@@ -1,0 +1,9 @@
+; Example instance in the declarative file format (see lib/model/spec.mli).
+;   dune exec bin/rightsizer.exe -- solve --file examples/instances/cpu_gpu.sexp
+(instance
+  (types
+    ((name cpu) (count 4) (switching-cost 2) (cap 1)
+     (cost (power (idle 0.4) (coef 0.6) (expo 2))))
+    ((name gpu) (count 2) (switching-cost 6) (cap 3)
+     (cost (affine (intercept 1.0) (slope 0.3)))))
+  (load 1 2 5.5 8 7 3 1 0.5 0 2 4 1))

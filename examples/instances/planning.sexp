@@ -1,0 +1,9 @@
+; Fleet-planning input: counts are maxima, (capex c) prices each unit.
+;   dune exec bin/rightsizer.exe -- plan examples/instances/planning.sexp
+(instance
+  (types
+    ((name small-box) (count 10) (capex 4) (switching-cost 1.5) (cap 1)
+     (cost (power (idle 0.6) (coef 0.8) (expo 2))))
+    ((name mid-range) (count 6) (capex 9) (switching-cost 3) (cap 2)
+     (cost (power (idle 0.8) (coef 0.5) (expo 2)))))
+  (load 2 4 6 8 6 3 1 0.5 2 5 7 4))
