@@ -1,0 +1,548 @@
+(* Command-line driver: reproduce the paper's figures and theorem tables,
+   solve instances, and compare policies on the built-in scenarios.
+
+     rightsizer list                     # every reproducible artifact
+     rightsizer run fig1 thm8 ...        # regenerate selected artifacts
+     rightsizer run --all                # everything (EXPERIMENTS.md source)
+     rightsizer solve --scenario cpu-gpu # offline optimum on a scenario
+     rightsizer online --scenario cpu-gpu --eps 0.5
+     rightsizer compare --scenario three-tier
+*)
+
+open Cmdliner
+
+(* Shared -v/--verbose flag: enables debug logging from the library's
+   sources ("rightsizing.*"). *)
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_term =
+  let arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.") in
+  Term.(const setup_logs $ arg)
+
+let scenarios =
+  [ ("cpu-gpu", fun horizon -> Core.Scenarios.cpu_gpu ?horizon ());
+    ("homogeneous", fun horizon -> Core.Scenarios.homogeneous ?horizon ());
+    ("three-tier", fun horizon -> Core.Scenarios.three_tier ?horizon ());
+    ("time-varying", fun horizon -> Core.Scenarios.time_varying_costs ?horizon ());
+    ("maintenance", fun horizon -> Core.Scenarios.maintenance ?horizon ()) ]
+
+let scenario_conv =
+  let parse s =
+    match List.assoc_opt s scenarios with
+    | Some f -> Ok (s, f)
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario %s (try: %s)" s
+                (String.concat ", " (List.map fst scenarios))))
+  in
+  let print ppf (name, _) = Format.pp_print_string ppf name in
+  Arg.conv (parse, print)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv (List.nth scenarios 0)
+    & info [ "s"; "scenario" ] ~docv:"NAME" ~doc:"Built-in scenario to operate on.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ]
+        ~docv:"FILE"
+        ~doc:"Load the instance from an s-expression file instead of a scenario               (see lib/model/spec.mli for the format).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "w"; "workload" ] ~docv:"CSV"
+        ~doc:"Replace the instance's loads with a workload CSV (columns slot,load; \
+              see Sim.Trace).  Loads must fit the fleet's capacity.")
+
+(* Resolve --file (takes precedence) or --scenario into an instance, then
+   optionally swap in a CSV workload. *)
+let resolve_instance ?workload (name, mk) horizon file =
+  let base =
+    match file with
+    | Some path -> (
+        match Core.Spec.load_file path with
+        | Ok inst -> Ok (path, inst)
+        | Error m -> Error (Printf.sprintf "cannot load %s: %s" path m))
+    | None -> Ok (name, mk horizon)
+  in
+  match (base, workload) with
+  | (Error _ as e), _ -> e
+  | Ok _, None -> base
+  | Ok (label, inst), Some path -> (
+      match Core.Trace.load_workload ~path with
+      | exception Invalid_argument m -> Error (Printf.sprintf "bad workload %s: %s" path m)
+      | load ->
+          let swapped =
+            Core.Instance.make ~types:inst.Core.Instance.types ~load
+              ~cost:(fun ~time ~typ ->
+                (* Clamp the cost clock into the original horizon so
+                   longer traces reuse the final slot's functions. *)
+                inst.Core.Instance.cost
+                  ~time:(min time (Core.Instance.horizon inst - 1))
+                  ~typ)
+              ()
+          in
+          if Core.Instance.feasible_load swapped then
+            Ok (Printf.sprintf "%s + %s" label (Filename.basename path), swapped)
+          else Error "workload exceeds the fleet's capacity")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "T"; "horizon" ] ~docv:"SLOTS" ~doc:"Override the scenario's horizon.")
+
+let print_schedule inst schedule =
+  let d = Core.Instance.num_types inst in
+  let tbl =
+    Core.Table.create
+      ~header:
+        ("t" :: "load"
+        :: List.init d (fun j -> inst.Core.Instance.types.(j).Core.Server_type.name))
+  in
+  Array.iteri
+    (fun t x ->
+      Core.Table.add_row tbl
+        (string_of_int t
+        :: Printf.sprintf "%.2f" inst.Core.Instance.load.(t)
+        :: List.init d (fun j -> string_of_int x.(j))))
+    schedule;
+  Core.Table.print tbl
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    let tbl = Core.Table.create ~header:[ "id"; "kind"; "description" ] in
+    List.iter
+      (fun e ->
+        let kind =
+          match e.Core.Experiment_registry.kind with
+          | `Figure -> "figure"
+          | `Table -> "table"
+          | `Extension -> "extension"
+        in
+        Core.Table.add_row tbl [ e.Core.Experiment_registry.id; kind; e.description ])
+      Core.Experiment_registry.all;
+    Core.Table.print ~align:Core.Table.Left tbl
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every reproducible figure/table.")
+    Term.(const run $ const ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (see list).")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment in paper order.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Also write each report to DIR/<id>.txt (DIR is created).")
+  in
+  let run all out ids =
+    let targets =
+      if all then List.map (fun e -> e.Core.Experiment_registry.id) Core.Experiment_registry.all
+      else ids
+    in
+    if targets = [] then `Error (false, "no experiment ids given (or use --all)")
+    else begin
+      let missing =
+        List.filter (fun id -> Core.Experiment_registry.find id = None) targets
+      in
+      match missing with
+      | _ :: _ -> `Error (false, "unknown ids: " ^ String.concat ", " missing)
+      | [] ->
+          (match out with
+          | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+          | Some _ | None -> ());
+          List.iter
+            (fun id ->
+              match Core.Experiment_registry.find id with
+              | Some e ->
+                  let report = e.Core.Experiment_registry.run () in
+                  Core.Report.print report;
+                  print_newline ();
+                  (match out with
+                  | Some dir ->
+                      Out_channel.with_open_text
+                        (Filename.concat dir (id ^ ".txt"))
+                        (fun oc -> Out_channel.output_string oc (Core.Report.to_string report));
+                      List.iter
+                        (fun (name, content) ->
+                          Out_channel.with_open_text (Filename.concat dir name)
+                            (fun oc -> Out_channel.output_string oc content))
+                        report.Core.Report.artifacts
+                  | None -> ())
+              | None -> ())
+            targets;
+          `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate figures/tables from the paper.")
+    Term.(ret (const run $ all_arg $ out_arg $ ids_arg))
+
+(* --- solve --- *)
+
+let solve_cmd =
+  let eps_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "eps" ] ~docv:"EPS"
+          ~doc:"Use the (1+eps)-approximation instead of the exact optimum.")
+  in
+  let run () scenario horizon file workload eps =
+    match resolve_instance ?workload scenario horizon file with
+    | Error m -> `Error (false, m)
+    | Ok (name, inst) ->
+        let schedule, cost =
+          match eps with
+          | None -> Core.solve_offline inst
+          | Some eps -> Core.solve_approx ~eps inst
+        in
+        Printf.printf "instance %s: %s cost %.4f\n" name
+          (match eps with None -> "optimal" | Some e -> Printf.sprintf "(1+%g)-approximate" e)
+          cost;
+        print_schedule inst schedule;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a scenario or instance file offline (Section 4).")
+    Term.(
+      ret
+        (const run $ verbose_term $ scenario_arg $ horizon_arg $ file_arg $ workload_arg
+        $ eps_arg))
+
+(* --- online --- *)
+
+let online_cmd =
+  let eps_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "eps" ] ~docv:"EPS" ~doc:"Algorithm C's eps (time-dependent costs only).")
+  in
+  let run scenario horizon file eps =
+    match resolve_instance scenario horizon file with
+    | Error m -> `Error (false, m)
+    | Ok (name, inst) ->
+        let schedule, cost = Core.run_online ~eps inst in
+        let opt = Core.Harness.opt_cost inst in
+        let algorithm = if inst.Core.Instance.time_independent then "A" else "C" in
+        Printf.printf "instance %s: algorithm %s cost %.4f, OPT %.4f, ratio %.4f\n" name
+          algorithm cost opt (cost /. opt);
+        print_schedule inst schedule;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "online" ~doc:"Run the paper's online algorithm on a scenario or instance file.")
+    Term.(ret (const run $ scenario_arg $ horizon_arg $ file_arg $ eps_arg))
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let window_arg =
+    Arg.(value & opt int 3 & info [ "window" ] ~docv:"W" ~doc:"Receding-horizon lookahead.")
+  in
+  let run scenario horizon file window =
+    match resolve_instance scenario horizon file with
+    | Error m -> `Error (false, m)
+    | Ok (name, inst) ->
+    let opt = Core.Harness.opt_cost inst in
+    let named = Core.Harness.run_suite ~window inst in
+    let tbl = Core.Table.create ~header:[ "policy"; "cost"; "ratio"; "feasible" ] in
+    List.iter
+      (fun e ->
+        Core.Table.add_row tbl
+          [ e.Core.Harness.name;
+            Printf.sprintf "%.3f" e.Core.Harness.cost;
+            Printf.sprintf "%.3f" e.Core.Harness.ratio;
+            string_of_bool e.Core.Harness.feasible ])
+      (Core.Harness.evaluate inst ~opt named);
+    Printf.printf "instance %s (T = %d, d = %d)\n" name (Core.Instance.horizon inst)
+      (Core.Instance.num_types inst);
+    Core.Table.print tbl;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all policies on a scenario or instance file.")
+    Term.(ret (const run $ scenario_arg $ horizon_arg $ file_arg $ window_arg))
+
+(* --- plan --- *)
+
+let plan_cmd =
+  let file_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Instance file; each type's count is its maximum and an optional \
+                (capex c) field prices each unit.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 20_000 & info [ "budget" ] ~docv:"N" ~doc:"Max DP evaluations.")
+  in
+  let run path budget =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error m -> `Error (false, m)
+    | text -> (
+        match Core.Spec.parse_planning text with
+        | Error m -> `Error (false, Printf.sprintf "cannot parse %s: %s" path m)
+        | Ok (triples, load) ->
+            let candidates =
+              Array.map
+                (fun (server, fn, capex) -> { Core.Fleet_planner.server; fn; capex })
+                triples
+            in
+            let plan = Core.Fleet_planner.optimize ~budget ~candidates ~load () in
+            Printf.printf "fleet plan for %s (%d fleets priced%s):\n" path
+              plan.Core.Fleet_planner.evaluated
+              (if plan.Core.Fleet_planner.exhaustive then ", exhaustive"
+               else "; budget hit, possibly suboptimal");
+            let tbl = Core.Table.create ~header:[ "type"; "buy"; "of max"; "capex/unit" ] in
+            Array.iteri
+              (fun j n ->
+                let server, _, capex = triples.(j) in
+                Core.Table.add_row tbl
+                  [ server.Core.Server_type.name;
+                    string_of_int n;
+                    string_of_int server.Core.Server_type.count;
+                    Printf.sprintf "%.2f" capex ])
+              plan.Core.Fleet_planner.counts;
+            Core.Table.print tbl;
+            Printf.printf "capex %.2f + operating %.2f = total %.2f\n"
+              plan.Core.Fleet_planner.capex plan.Core.Fleet_planner.operating
+              plan.Core.Fleet_planner.total;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Choose fleet sizes (capex + optimal operating cost) from an instance file.")
+    Term.(ret (const run $ file_pos $ budget_arg))
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("opt", `Opt); ("alg-a", `A); ("alg-b", `B) ]) `Opt
+      & info [ "a"; "algorithm" ] ~docv:"NAME"
+          ~doc:"Whose schedule to analyse: $(b,opt), $(b,alg-a) or $(b,alg-b).")
+  in
+  let run scenario horizon file algo =
+    match resolve_instance scenario horizon file with
+    | Error m -> `Error (false, m)
+    | Ok (name, inst) ->
+        let algo_name, schedule =
+          match algo with
+          | `Opt -> ("offline optimum", (Core.Offline_dp.solve_optimal inst).Core.Offline_dp.schedule)
+          | `A -> ("algorithm A", (Core.Alg_a.run inst).Core.Alg_a.schedule)
+          | `B -> ("algorithm B", (Core.Alg_b.run inst).Core.Alg_b.schedule)
+        in
+        let d = Core.Instance.num_types inst in
+        let horizon_n = Core.Instance.horizon inst in
+        Printf.printf "instance %s, %s (T = %d, d = %d)\n" name algo_name horizon_n d;
+        Printf.printf "operating %.3f + switching %.3f = %.3f\n"
+          (Core.Cost.schedule_operating inst schedule)
+          (Core.Cost.schedule_switching inst schedule)
+          (Core.Cost.schedule inst schedule);
+        let tbl =
+          Core.Table.create
+            ~header:[ "type"; "m"; "peak"; "mean"; "ups"; "downs"; "busy slots" ]
+        in
+        for typ = 0 to d - 1 do
+          let st = Core.Schedule.stats schedule ~typ in
+          Core.Table.add_row tbl
+            [ inst.Core.Instance.types.(typ).Core.Server_type.name;
+              string_of_int (Core.Instance.max_count inst ~typ);
+              string_of_int st.Core.Schedule.peak;
+              Printf.sprintf "%.2f" st.Core.Schedule.mean_active;
+              string_of_int st.Core.Schedule.power_ups;
+              string_of_int st.Core.Schedule.power_downs;
+              Printf.sprintf "%d/%d" st.Core.Schedule.busy_slots horizon_n ]
+        done;
+        Core.Table.print tbl;
+        (* Trajectories. *)
+        print_newline ();
+        let glyphs = [| '#'; 'o'; '+'; 'x'; '*' |] in
+        print_string
+          (Core.Ascii_plot.step_series
+             (List.init d (fun typ ->
+                  { Core.Ascii_plot.label =
+                      inst.Core.Instance.types.(typ).Core.Server_type.name;
+                    glyph = glyphs.(typ mod Array.length glyphs);
+                    values = Core.Schedule.column schedule ~typ })));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Operational statistics of a schedule (power cycles, usage).")
+    Term.(ret (const run $ scenario_arg $ horizon_arg $ file_arg $ algo_arg))
+
+(* --- report --- *)
+
+let report_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the markdown to FILE instead of stdout.")
+  in
+  let run out =
+    let buf = Buffer.create 8192 in
+    Buffer.add_string buf
+      "# Reproduction report\n\nGenerated by `rightsizer report` — every figure and \
+       theorem of Albers & Quedenfeld (SPAA 2021), regenerated and machine-checked.\n\n";
+    let all_pass = ref true in
+    List.iter
+      (fun e ->
+        let report = e.Core.Experiment_registry.run () in
+        if not report.Core.Report.pass then all_pass := false;
+        Buffer.add_string buf (Core.Report.to_markdown report))
+      Core.Experiment_registry.all;
+    Buffer.add_string buf
+      (Printf.sprintf "---\n\n**Overall: %s.**\n"
+         (if !all_pass then "every machine-checked claim holds" else "CHECKS FAILED"));
+    (match out with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Buffer.contents buf));
+        Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the full markdown reproduction report.")
+    Term.(const run $ out_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run () =
+    let tbl = Core.Table.create ~header:[ "id"; "check"; "measured" ] in
+    let all_pass = ref true in
+    List.iter
+      (fun e ->
+        let report = e.Core.Experiment_registry.run () in
+        if not report.Core.Report.pass then all_pass := false;
+        Core.Table.add_row tbl
+          [ e.Core.Experiment_registry.id;
+            (if report.Core.Report.pass then "PASS" else "FAIL");
+            report.Core.Report.verdict ])
+      Core.Experiment_registry.all;
+    Core.Table.print ~align:Core.Table.Left tbl;
+    if !all_pass then begin
+      print_endline "\nall machine-checked claims hold";
+      `Ok ()
+    end
+    else `Error (false, "one or more reproduction checks FAILED")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run every experiment and assert its machine-checked claim (CI entry point).")
+    Term.(ret (const run $ const ()))
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let boot_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "boot-delay" ] ~docv:"SLOTS"
+          ~doc:"Boot delay applied to every type (paper model: 0).")
+  in
+  let carry_arg =
+    Arg.(
+      value & flag
+      & info [ "carry-backlog" ] ~doc:"Queue overflow volume instead of dropping it.")
+  in
+  let failure_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "failure-rate" ] ~docv:"P"
+          ~doc:"Per-server, per-slot crash probability (0 disables failures).")
+  in
+  let repair_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repair-slots" ] ~docv:"SLOTS" ~doc:"Repair time for crashed servers.")
+  in
+  let controller_arg =
+    Arg.(
+      value
+      & opt (enum [ ("opt", `Opt); ("alg-a", `A); ("alg-b", `B);
+                    ("hysteresis", `Hysteresis); ("static-peak", `Peak) ])
+          `A
+      & info [ "c"; "controller" ] ~docv:"NAME"
+          ~doc:"Decision policy: $(b,opt) (offline optimum), $(b,alg-a), $(b,alg-b),                 $(b,hysteresis), or $(b,static-peak).")
+  in
+  let run scenario horizon file boot carry failure_rate repair controller =
+    match resolve_instance scenario horizon file with
+    | Error m -> `Error (false, m)
+    | Ok (name, inst) ->
+        let d = Core.Instance.num_types inst in
+        if boot < 0 then `Error (false, "boot delay must be non-negative")
+        else begin
+          let failures =
+            if failure_rate <= 0. then None
+            else Some { Core.Sim_dc.rate = failure_rate; repair_slots = repair; seed = 11 }
+          in
+          let config =
+            { Core.Sim_dc.boot_delay = Array.make d boot; carry_backlog = carry; failures }
+          in
+          let ctrl_name, controller =
+            match controller with
+            | `Opt ->
+                let { Core.Offline_dp.schedule; _ } = Core.Offline_dp.solve_optimal inst in
+                ("offline optimum", Core.Controllers.of_schedule schedule)
+            | `A -> ("algorithm A", Core.Controllers.alg_a inst)
+            | `B -> ("algorithm B", Core.Controllers.alg_b inst)
+            | `Hysteresis ->
+                ("hysteresis 80/30", Core.Controllers.hysteresis ~up:0.8 ~down:0.3 inst)
+            | `Peak -> ("static peak", Core.Controllers.static_peak inst)
+          in
+          let m, commanded = Core.Sim_dc.run_controller ~config inst controller in
+          Printf.printf
+            "instance %s, controller %s, boot delay %d, %s overflow\n" name ctrl_name boot
+            (if carry then "queued" else "dropped");
+          Printf.printf "  energy    %10.3f\n" m.Core.Sim_dc.energy;
+          Printf.printf "  switching %10.3f  (%d power-ups)\n" m.Core.Sim_dc.switching
+            m.Core.Sim_dc.power_up_events;
+          Printf.printf "  total     %10.3f\n" (m.Core.Sim_dc.energy +. m.Core.Sim_dc.switching);
+          Printf.printf "  served    %10.3f\n" m.Core.Sim_dc.served;
+          if failure_rate > 0. then
+            Printf.printf "  crashes   %10d\n" m.Core.Sim_dc.failures;
+          Printf.printf "  unserved  %10.3f\n" m.Core.Sim_dc.unserved;
+          Printf.printf "  backlog^  %10.3f\n" m.Core.Sim_dc.backlog_peak;
+          Printf.printf "  util      %10.3f\n" m.Core.Sim_dc.mean_utilisation;
+          print_schedule inst commanded;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute a controller in the discrete-event simulator (boot delays, backlogs).")
+    Term.(
+      ret
+        (const run $ scenario_arg $ horizon_arg $ file_arg $ boot_arg $ carry_arg
+        $ failure_arg $ repair_arg $ controller_arg))
+
+let () =
+  let doc = "Right-sizing heterogeneous data centers (SPAA 2021 reproduction)" in
+  let info = Cmd.info "rightsizer" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; report_cmd; verify_cmd; solve_cmd; online_cmd; compare_cmd;
+       simulate_cmd; analyze_cmd; plan_cmd ]))

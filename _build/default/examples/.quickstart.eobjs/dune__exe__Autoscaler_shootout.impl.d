@@ -1,0 +1,1 @@
+examples/autoscaler_shootout.ml: Array Core List Printf

@@ -1,0 +1,1 @@
+examples/capacity_expansion.ml: Array Core List Printf

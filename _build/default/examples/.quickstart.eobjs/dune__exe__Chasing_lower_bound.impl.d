@@ -1,0 +1,1 @@
+examples/chasing_lower_bound.ml: Core List Printf

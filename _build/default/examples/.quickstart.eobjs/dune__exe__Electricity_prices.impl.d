@@ -1,0 +1,1 @@
+examples/electricity_prices.ml: Array Core List Printf

@@ -1,0 +1,1 @@
+examples/electricity_prices.mli:

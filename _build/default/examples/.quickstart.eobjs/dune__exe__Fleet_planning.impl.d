@@ -1,0 +1,1 @@
+examples/fleet_planning.ml: Array Core List Printf

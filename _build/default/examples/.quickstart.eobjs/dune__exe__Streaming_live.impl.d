@@ -1,0 +1,1 @@
+examples/streaming_live.ml: Array Core List Printf

@@ -1,0 +1,1 @@
+examples/trace_comparison.ml: Core List Printf

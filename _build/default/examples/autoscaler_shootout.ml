@@ -1,0 +1,72 @@
+(* Run the paper's online algorithm as a *controller* inside the
+   discrete-event simulator, against the threshold autoscalers real
+   clouds deploy — including the effect of boot delays the paper's model
+   abstracts away, on a job-level Poisson trace.
+
+     dune exec examples/autoscaler_shootout.exe
+*)
+
+let () =
+  (* Build the aggregate instance from a job-level trace, the direction
+     a practitioner would come from. *)
+  let horizon = 48 in
+  let rng = Core.Prng.create 77 in
+  let trace = Core.Job_trace.poisson ~rng ~horizon ~rate:4. ~mean_volume:1.4 in
+  let load =
+    Core.Workload.clamp ~lo:0. ~hi:18. (Core.Job_trace.volumes trace ~horizon)
+  in
+  Printf.printf "%d jobs, %.1f total volume, aggregated into %d slots\n"
+    (Core.Job_trace.count trace)
+    (Core.Job_trace.total_volume trace)
+    horizon;
+  Printf.printf "load: %s\n\n" (Core.Ascii_plot.sparkline load);
+  let types =
+    [| Core.Server_type.make ~name:"web" ~count:12 ~switching_cost:2.5 ~cap:1. ();
+       Core.Server_type.make ~name:"compute" ~count:4 ~switching_cost:8. ~cap:3. () |]
+  in
+  let fns =
+    [| Core.Fn.power ~idle:0.5 ~coef:0.7 ~expo:2.;
+       Core.Fn.power ~idle:1.1 ~coef:0.4 ~expo:1.6 |]
+  in
+  let inst = Core.Instance.make_static ~types ~load ~fns () in
+  let opt = Core.Harness.opt_cost inst in
+  Printf.printf "offline optimum (hindsight): %.2f\n\n" opt;
+
+  (* Controllers carry closure state, so they are rebuilt per run. *)
+  let controllers =
+    [ ("algorithm A (paper)", fun () -> Core.Controllers.alg_a inst);
+      ("hysteresis 80/30", fun () -> Core.Controllers.hysteresis ~up:0.8 ~down:0.3 inst);
+      ("hysteresis 60/20", fun () -> Core.Controllers.hysteresis ~up:0.6 ~down:0.2 inst);
+      ("static peak", fun () -> Core.Controllers.static_peak inst) ]
+  in
+  List.iter
+    (fun delay ->
+      Printf.printf "boot delay = %d slot(s):\n" delay;
+      let tbl =
+        Core.Table.create
+          ~header:[ "controller"; "cost"; "vs OPT"; "unserved"; "utilisation" ]
+      in
+      List.iter
+        (fun (name, mk) ->
+          let config =
+            { Core.Sim_dc.boot_delay = Array.make 2 delay; carry_backlog = false; failures = None }
+          in
+          let m, _ = Core.Sim_dc.run_controller ~config inst (mk ()) in
+          Core.Table.add_row tbl
+            [ name;
+              Printf.sprintf "%.2f" (m.Core.Sim_dc.energy +. m.Core.Sim_dc.switching);
+              Printf.sprintf "%.3f" ((m.Core.Sim_dc.energy +. m.Core.Sim_dc.switching) /. opt);
+              Printf.sprintf "%.2f" m.Core.Sim_dc.unserved;
+              Printf.sprintf "%.2f" m.Core.Sim_dc.mean_utilisation ])
+        controllers;
+      Core.Table.print tbl;
+      print_newline ())
+    [ 0; 1; 2 ];
+  print_string
+    "reading: on a spiky, structure-free trace static provisioning is\n\
+     hard to beat (powering down buys little between random bursts) and\n\
+     reactive policies drop volume once boots take time; algorithm A\n\
+     stays closest to OPT among the adaptive policies while threshold\n\
+     autoscalers thrash.  Compare examples/datacenter_day.exe, where the\n\
+     diurnal structure reverses the ranking — exactly the regime the\n\
+     paper's competitive guarantee is about.\n"

@@ -1,0 +1,49 @@
+(* A two-day CPU+GPU scenario under a noisy diurnal load — the workload
+   the paper's introduction motivates: deep night-time valleys where
+   right-sizing saves energy, and morning ramps where switching costs
+   punish eager power-downs.
+
+     dune exec examples/datacenter_day.exe
+*)
+
+let () =
+  let inst = Core.Scenarios.cpu_gpu ~horizon:48 ~seed:42 () in
+  let horizon = Core.Instance.horizon inst in
+  Printf.printf "CPU+GPU data center, %d slots\n" horizon;
+  Printf.printf "load: %s\n\n" (Core.Ascii_plot.sparkline inst.Core.Instance.load);
+
+  (* Offline optimum and the online algorithm. *)
+  let optimal, opt_cost = Core.solve_offline inst in
+  let a = Core.Alg_a.run inst in
+  let online_cost = Core.Cost.schedule inst a.Core.Alg_a.schedule in
+
+  let series typ glyph_opt glyph_a =
+    [ { Core.Ascii_plot.label = "optimal"; glyph = glyph_opt;
+        values = Core.Schedule.column optimal ~typ };
+      { Core.Ascii_plot.label = "algorithm A"; glyph = glyph_a;
+        values = Core.Schedule.column a.Core.Alg_a.schedule ~typ } ]
+  in
+  print_string "CPU servers (o = optimal, # = online):\n";
+  print_string (Core.Ascii_plot.step_series (series 0 'o' '#'));
+  print_string "\nGPU servers (o = optimal, # = online):\n";
+  print_string (Core.Ascii_plot.step_series (series 1 'o' '#'));
+
+  (* Cost breakdown. *)
+  let tbl = Core.Table.create ~header:[ "policy"; "operating"; "switching"; "total"; "ratio" ] in
+  let add name schedule =
+    let op = Core.Cost.schedule_operating inst schedule in
+    let sw = Core.Cost.schedule_switching inst schedule in
+    Core.Table.add_row tbl
+      [ name;
+        Printf.sprintf "%.2f" op;
+        Printf.sprintf "%.2f" sw;
+        Printf.sprintf "%.2f" (op +. sw);
+        Printf.sprintf "%.3f" ((op +. sw) /. opt_cost) ]
+  in
+  add "OPT" optimal;
+  add "alg-A" a.Core.Alg_a.schedule;
+  add "always-on" (Core.Baselines.always_on inst);
+  add "follow-demand" (Core.Baselines.follow_demand inst);
+  print_newline ();
+  Core.Table.print tbl;
+  Printf.printf "\nonline ratio %.3f (guarantee: 2d + 1 = 5)\n" (online_cost /. opt_cost)

@@ -1,0 +1,52 @@
+(* Time-dependent operating costs (Section 3): electricity is cheap at
+   night and expensive during the day, so the *same* idle server costs
+   different amounts per slot.  Algorithm A does not apply; algorithm B
+   achieves 2d + 1 + c(I) and algorithm C squeezes the constant below
+   any eps by sub-slot refinement.
+
+     dune exec examples/electricity_prices.exe
+*)
+
+let () =
+  let inst = Core.Scenarios.time_varying_costs ~horizon:36 () in
+  let d = Core.Instance.num_types inst in
+  Printf.printf "time-varying electricity prices, %d slots, %d types\n\n"
+    (Core.Instance.horizon inst) d;
+  Printf.printf "load:        %s\n" (Core.Ascii_plot.sparkline inst.Core.Instance.load);
+  let idle_curve =
+    Array.init (Core.Instance.horizon inst) (fun time ->
+        Core.Instance.idle_cost inst ~time ~typ:0)
+  in
+  Printf.printf "idle cost:   %s  (type 0; follows the price of power)\n\n"
+    (Core.Ascii_plot.sparkline idle_curve);
+
+  let opt = Core.Harness.opt_cost inst in
+  let b = Core.Alg_b.run inst in
+  let b_cost = Core.Cost.schedule inst b.Core.Alg_b.schedule in
+  Printf.printf "OPT                 : %8.3f\n" opt;
+  Printf.printf "algorithm B         : %8.3f  (ratio %.4f, guarantee %.3f)\n" b_cost
+    (b_cost /. opt)
+    (Core.Harness.competitive_bound inst ~algorithm:`B);
+
+  List.iter
+    (fun eps ->
+      let c = Core.Alg_c.run ~eps inst in
+      let c_cost = Core.Cost.schedule inst c.Core.Alg_c.schedule in
+      let sub_slots = Array.fold_left ( + ) 0 c.Core.Alg_c.parts in
+      Printf.printf
+        "algorithm C eps=%-4g: %8.3f  (ratio %.4f, guarantee %.3f; %d sub-slots, c(I~)=%.4f)\n"
+        eps c_cost (c_cost /. opt)
+        ((2. *. float_of_int d) +. 1. +. eps)
+        sub_slots c.Core.Alg_c.c_refined)
+    [ 1.0; 0.5; 0.1 ];
+
+  (* B's power-down times react to the price: servers started in cheap
+     hours run longer (their idle budget beta drains slower). *)
+  print_newline ();
+  print_string "algorithm B trajectories (o = on-site type, + = burst pool):\n";
+  print_string
+    (Core.Ascii_plot.step_series
+       [ { Core.Ascii_plot.label = "on-site servers"; glyph = 'o';
+           values = Core.Schedule.column b.Core.Alg_b.schedule ~typ:0 };
+         { Core.Ascii_plot.label = "burst-pool servers"; glyph = '+';
+           values = Core.Schedule.column b.Core.Alg_b.schedule ~typ:1 } ])

@@ -1,0 +1,63 @@
+(* Capacity planning: the paper right-sizes the *schedule* given the
+   fleet; this example right-sizes the *fleet* itself.  Candidate server
+   models carry acquisition (capex) prices; the planner searches fleet
+   compositions, pricing each with the paper's optimal offline schedule
+   on a representative week of load.
+
+     dune exec examples/fleet_planning.exe
+*)
+
+let () =
+  let rng = Core.Prng.create 31 in
+  let load =
+    Core.Workload.clamp ~lo:0. ~hi:14.
+      (Core.Workload.add
+         (Core.Workload.diurnal ~noise:0.07 ~rng ~horizon:56 ~period:24 ~base:1. ~peak:10. ())
+         (Core.Workload.bursty ~horizon:56 ~burst:2 ~gap:12 ~height:3. ()))
+  in
+  Printf.printf "representative load (%d slots): %s\n\n" (Array.length load)
+    (Core.Ascii_plot.sparkline load);
+
+  let candidate name ~count ~capex ~beta ~cap ~idle ~coef =
+    { Core.Fleet_planner.server =
+        Core.Server_type.make ~name ~count ~switching_cost:beta ~cap ();
+      capex;
+      fn = Core.Fn.power ~idle ~coef ~expo:2. }
+  in
+  (* Three models on the market: cheap small boxes, efficient mid-range,
+     big accelerators with a high sticker price. *)
+  let candidates =
+    [| candidate "small-box" ~count:10 ~capex:4. ~beta:1.5 ~cap:1. ~idle:0.6 ~coef:0.8;
+       candidate "mid-range" ~count:6 ~capex:9. ~beta:3. ~cap:2. ~idle:0.8 ~coef:0.5;
+       candidate "accelerator" ~count:3 ~capex:25. ~beta:8. ~cap:5. ~idle:1.6 ~coef:0.3 |]
+  in
+  let plan = Core.Fleet_planner.optimize ~candidates ~load () in
+  Printf.printf "optimal fleet (over %d priced candidates%s):\n" plan.Core.Fleet_planner.evaluated
+    (if plan.Core.Fleet_planner.exhaustive then ", exhaustive search" else "");
+  Array.iteri
+    (fun j n ->
+      Printf.printf "  %-12s x %d  (of up to %d)\n"
+        candidates.(j).Core.Fleet_planner.server.Core.Server_type.name n
+        candidates.(j).Core.Fleet_planner.server.Core.Server_type.count)
+    plan.Core.Fleet_planner.counts;
+  Printf.printf "  capex %.1f + operating %.2f = %.2f\n\n" plan.Core.Fleet_planner.capex
+    plan.Core.Fleet_planner.operating plan.Core.Fleet_planner.total;
+
+  (* Compare against two naive plans. *)
+  let priced counts =
+    let types =
+      Array.mapi
+        (fun j c -> Core.Server_type.with_count c.Core.Fleet_planner.server counts.(j))
+        candidates
+    in
+    let fns = Array.map (fun c -> c.Core.Fleet_planner.fn) candidates in
+    let inst = Core.Instance.make_static ~types ~load ~fns () in
+    let capex =
+      Array.to_list (Array.mapi (fun j n -> float_of_int n *. candidates.(j).Core.Fleet_planner.capex) counts)
+      |> List.fold_left ( +. ) 0.
+    in
+    capex +. snd (Core.solve_offline inst)
+  in
+  Printf.printf "naive all-small  (14 boxes needed): total %.2f\n" (priced [| 10; 2; 0 |]);
+  Printf.printf "naive all-big    (3 accelerators) : total %.2f\n" (priced [| 0; 0; 3 |]);
+  Printf.printf "planner's mix                      : total %.2f\n" plan.Core.Fleet_planner.total

@@ -1,0 +1,43 @@
+(* Quickstart: define a small heterogeneous data center, solve it offline,
+   and run the paper's online algorithm on the same workload.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* Two server types: four small machines (cheap to start, capacity 1)
+     and two big ones (expensive to start, capacity 3). *)
+  let types =
+    [| Core.Server_type.make ~name:"small" ~count:4 ~switching_cost:2. ~cap:1. ();
+       Core.Server_type.make ~name:"big" ~count:2 ~switching_cost:6. ~cap:3. () |]
+  in
+  (* Energy curves: idle draw plus a superlinear load term ([6, 32]). *)
+  let fns =
+    [| Core.Fn.power ~idle:0.4 ~coef:0.6 ~expo:2.;
+       Core.Fn.power ~idle:1.0 ~coef:0.3 ~expo:1.5 |]
+  in
+  (* A little day: quiet, busy, quiet. *)
+  let load = [| 1.; 2.; 5.; 8.; 7.; 3.; 1.; 0.5; 0.; 2.; 4.; 1. |] in
+  let inst = Core.Instance.make_static ~types ~load ~fns () in
+
+  (* Offline optimum (Section 4.1). *)
+  let optimal, opt_cost = Core.solve_offline inst in
+  Printf.printf "offline optimum: cost %.3f\n" opt_cost;
+  Array.iteri
+    (fun t x ->
+      Printf.printf "  slot %2d: load %4.1f -> %d small + %d big\n" t load.(t) x.(0) x.(1))
+    optimal;
+
+  (* The online algorithm (Section 2: time-independent costs -> A). *)
+  let online, online_cost = Core.run_online inst in
+  Printf.printf "\nonline algorithm A: cost %.3f (ratio %.3f, guarantee %g)\n" online_cost
+    (online_cost /. opt_cost)
+    (Core.Harness.competitive_bound inst ~algorithm:`A);
+  Array.iteri
+    (fun t x -> Printf.printf "  slot %2d: %d small + %d big\n" t x.(0) x.(1))
+    online;
+
+  (* A (1 + eps)-approximation of the offline optimum (Section 4.2). *)
+  let _, approx_cost = Core.solve_approx ~eps:0.1 inst in
+  Printf.printf "\n(1+0.1)-approximation: cost %.3f (<= %.3f)\n" approx_cost
+    (1.1 *. opt_cost)

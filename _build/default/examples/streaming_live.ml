@@ -1,0 +1,41 @@
+(* Streaming deployment: no instance, no horizon — create a session with
+   the fleet description and feed loads as they arrive.  Decisions are
+   identical to the batch algorithm run on the same loads.
+
+     dune exec examples/streaming_live.exe
+*)
+
+let () =
+  let types =
+    [| Core.Server_type.make ~name:"web" ~count:6 ~switching_cost:2. ~cap:1. ();
+       Core.Server_type.make ~name:"batch" ~count:2 ~switching_cost:7. ~cap:4. () |]
+  in
+  let fns =
+    [| Core.Fn.power ~idle:0.5 ~coef:0.7 ~expo:2.;
+       Core.Fn.power ~idle:1.2 ~coef:0.4 ~expo:1.5 |]
+  in
+  let session = Core.Streaming.alg_a ~types ~fns () in
+  print_endline "streaming session (algorithm A, 2d+1 = 5 guarantee):";
+  print_endline " slot  load   -> web batch";
+  (* Loads arrive one by one — in deployment this loop is the
+     monitoring feed. *)
+  let arrivals = [ 1.0; 2.5; 6.0; 9.5; 11.0; 7.0; 3.0; 1.0; 0.0; 0.0; 4.0; 8.0 ] in
+  List.iteri
+    (fun t load ->
+      let x = Core.Streaming.feed session load in
+      Printf.printf "  %2d   %5.1f ->  %d     %d\n" t load x.(0) x.(1))
+    arrivals;
+  Printf.printf "%d slots served; current config %s\n"
+    (Core.Streaming.fed session)
+    (Core.Config.to_string (Core.Streaming.config session));
+
+  (* The guarantee is inherited from the batch algorithm: verify on this
+     very stream by solving offline in hindsight. *)
+  let load = Array.of_list arrivals in
+  let inst = Core.Instance.make_static ~types ~load ~fns () in
+  let batch = (Core.Alg_a.run inst).Core.Alg_a.schedule in
+  let _, opt = Core.solve_offline inst in
+  Printf.printf "hindsight: OPT %.2f, streamed cost %.2f (ratio %.3f <= 5)\n"
+    opt
+    (Core.Cost.schedule inst batch)
+    (Core.Cost.schedule inst batch /. opt)

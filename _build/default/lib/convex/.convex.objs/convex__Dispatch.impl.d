@@ -1,0 +1,1 @@
+lib/convex/dispatch.ml: Array Float Fn Scalar_min Util

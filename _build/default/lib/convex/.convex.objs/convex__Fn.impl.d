@@ -1,0 +1,1 @@
+lib/convex/fn.ml: Array Float List Option Printf

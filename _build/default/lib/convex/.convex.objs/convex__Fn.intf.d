@@ -1,0 +1,1 @@
+lib/convex/fn.mli:

@@ -1,0 +1,1 @@
+lib/convex/scalar_min.ml: Float

@@ -1,0 +1,176 @@
+type piece = { fn : Fn.t; upper : float }
+type solution = { assignment : float array; objective : float }
+
+let feas_eps = 1e-9
+
+let feasible pieces ~total =
+  let cap = Array.fold_left (fun acc p -> acc +. p.upper) 0. pieces in
+  cap +. (feas_eps *. Float.max 1. total) >= total
+
+let objective pieces z =
+  let acc = ref 0. in
+  Array.iteri (fun j p -> acc := !acc +. Fn.eval p.fn z.(j)) pieces;
+  !acc
+
+(* Response of piece [j] to multiplier [nu]: the largest z in [0, upper]
+   whose derivative does not exceed [nu].  Monotone non-decreasing in nu. *)
+let response p nu =
+  if p.upper <= 0. then 0.
+  else
+    let d = Fn.deriv p.fn in
+    if d 0. >= nu then 0.
+    else if d p.upper <= nu then p.upper
+    else Scalar_min.bisect_monotone d ~lo:0. ~hi:p.upper ~target:nu
+
+(* Fast paths: with one unconstrained-at-zero piece the assignment is
+   forced; with two, the problem is a 1-D convex minimisation solved by
+   golden section.  These cover d <= 2, the dominant case in the
+   experiments, far cheaper than the nested-bisection water-filling. *)
+let solve_few ~tol pieces ~total =
+  let active = ref [] in
+  Array.iteri (fun j p -> if p.upper > 0. then active := j :: !active) pieces;
+  match !active with
+  | [] -> None (* total > 0 but no capacity; caught by feasibility upstream *)
+  | [ j ] ->
+      let z = Array.map (fun _ -> 0.) pieces in
+      z.(j) <- total;
+      Some { assignment = z; objective = objective pieces z }
+  | [ j2; j1 ] ->
+      (* active was built in reverse index order. *)
+      let a = pieces.(j1) and b = pieces.(j2) in
+      let lo = Float.max 0. (total -. b.upper) and hi = Float.min a.upper total in
+      (* Capacity equal to the load within the feasibility tolerance can
+         invert the interval by a rounding hair; collapse it instead. *)
+      let hi = Float.max lo hi in
+      let cost z = Fn.eval a.fn z +. Fn.eval b.fn (total -. z) in
+      let z1, _ = Scalar_min.golden_section ~tol cost ~lo ~hi in
+      let z = Array.map (fun _ -> 0.) pieces in
+      z.(j1) <- z1;
+      z.(j2) <- total -. z1;
+      Some { assignment = z; objective = objective pieces z }
+  | [ j3; j2; j1 ] ->
+      (* Nested golden section: the partial minimum over (z2, z3) is a
+         convex function of z1, so an outer golden section around the
+         2-piece inner solve stays exact (within tolerance) and is far
+         cheaper than the general water-filling. *)
+      let a = pieces.(j1) and b = pieces.(j2) and c = pieces.(j3) in
+      let inner z1 =
+        let rest = total -. z1 in
+        let lo = Float.max 0. (rest -. c.upper) and hi = Float.min b.upper rest in
+        let hi = Float.max lo hi in
+        let cost z2 = Fn.eval b.fn z2 +. Fn.eval c.fn (rest -. z2) in
+        Scalar_min.golden_section ~tol cost ~lo ~hi
+      in
+      let lo1 = Float.max 0. (total -. (b.upper +. c.upper)) in
+      let hi1 = Float.min a.upper total in
+      let hi1 = Float.max lo1 hi1 in
+      let outer z1 =
+        let _, v = inner z1 in
+        Fn.eval a.fn z1 +. v
+      in
+      let z1, _ = Scalar_min.golden_section ~tol outer ~lo:lo1 ~hi:hi1 in
+      let z2, _ = inner z1 in
+      let z = Array.map (fun _ -> 0.) pieces in
+      z.(j1) <- z1;
+      z.(j2) <- z2;
+      z.(j3) <- total -. z1 -. z2;
+      Some { assignment = z; objective = objective pieces z }
+  | _ :: _ :: _ :: _ -> None
+
+let solve ?(tol = 1e-9) pieces ~total =
+  if total < 0. then invalid_arg "Dispatch.solve: negative total";
+  if not (feasible pieces ~total) then None
+  else if total = 0. then
+    Some { assignment = Array.map (fun _ -> 0.) pieces; objective = objective pieces (Array.map (fun _ -> 0.) pieces) }
+  else begin
+    match solve_few ~tol pieces ~total with
+    | Some solution -> Some solution
+    | None ->
+    let d = Array.length pieces in
+    let deriv_at j z = Fn.deriv pieces.(j).fn z in
+    let nu_lo = ref infinity and nu_hi = ref neg_infinity in
+    for j = 0 to d - 1 do
+      if pieces.(j).upper > 0. then begin
+        nu_lo := Float.min !nu_lo (deriv_at j 0.);
+        nu_hi := Float.max !nu_hi (deriv_at j pieces.(j).upper)
+      end
+    done;
+    let nu_lo = ref (!nu_lo -. 1.) and nu_hi = ref (!nu_hi +. 1.) in
+    let sum_response nu =
+      let acc = ref 0. in
+      for j = 0 to d - 1 do
+        acc := !acc +. response pieces.(j) nu
+      done;
+      !acc
+    in
+    (* Bisection invariant: sum_response !nu_lo <= total <= sum_response !nu_hi
+       (the upper end saturates every piece, and feasibility holds). *)
+    for _ = 1 to 80 do
+      let m = (!nu_lo +. !nu_hi) /. 2. in
+      if sum_response m < total then nu_lo := m else nu_hi := m
+    done;
+    let z_lo = Array.init d (fun j -> response pieces.(j) !nu_lo) in
+    let z_hi = Array.init d (fun j -> response pieces.(j) !nu_hi) in
+    let s_lo = Array.fold_left ( +. ) 0. z_lo in
+    let s_hi = Array.fold_left ( +. ) 0. z_hi in
+    let z =
+      if Float.abs (s_hi -. s_lo) <= tol then z_hi
+      else
+        (* A derivative plateau straddles the optimal multiplier: cost is
+           linear along it, so linear interpolation is optimal. *)
+        let theta = Util.Float_cmp.clamp ~lo:0. ~hi:1. ((total -. s_lo) /. (s_hi -. s_lo)) in
+        Array.init d (fun j -> z_lo.(j) +. (theta *. (z_hi.(j) -. z_lo.(j))))
+    in
+    (* Repair any residual drift from bisection tolerance. *)
+    let s = Array.fold_left ( +. ) 0. z in
+    let resid = ref (total -. s) in
+    if Float.abs !resid > 0. then
+      for j = 0 to d - 1 do
+        if !resid > 0. then begin
+          let room = pieces.(j).upper -. z.(j) in
+          let delta = Float.min room !resid in
+          if delta > 0. then begin
+            z.(j) <- z.(j) +. delta;
+            resid := !resid -. delta
+          end
+        end
+        else if !resid < 0. then begin
+          let delta = Float.min z.(j) (-. !resid) in
+          if delta > 0. then begin
+            z.(j) <- z.(j) -. delta;
+            resid := !resid +. delta
+          end
+        end
+      done;
+    Some { assignment = z; objective = objective pieces z }
+  end
+
+let greedy ?(steps = 4096) pieces ~total =
+  if total < 0. then invalid_arg "Dispatch.greedy: negative total";
+  if not (feasible pieces ~total) then None
+  else if total = 0. then
+    let z = Array.map (fun _ -> 0.) pieces in
+    Some { assignment = z; objective = objective pieces z }
+  else begin
+    let d = Array.length pieces in
+    let z = Array.make d 0. in
+    let delta = total /. float_of_int steps in
+    (* Each increment goes to the piece with the least marginal cost, which
+       is optimal for convex pieces as steps -> infinity. *)
+    for _ = 1 to steps do
+      let best = ref (-1) and best_cost = ref infinity in
+      for j = 0 to d - 1 do
+        if z.(j) +. delta <= pieces.(j).upper +. (feas_eps *. Float.max 1. total) then begin
+          let marginal = Fn.eval pieces.(j).fn (z.(j) +. delta) -. Fn.eval pieces.(j).fn z.(j) in
+          if marginal < !best_cost then begin
+            best := j;
+            best_cost := marginal
+          end
+        end
+      done;
+      if !best >= 0 then z.(!best) <- z.(!best) +. delta
+    done;
+    (* Clamp tiny overshoot from the feasibility tolerance. *)
+    Array.iteri (fun j _ -> z.(j) <- Float.min z.(j) pieces.(j).upper) pieces;
+    Some { assignment = z; objective = objective pieces z }
+  end

@@ -1,0 +1,42 @@
+(** Separable convex minimisation over a capped simplex.
+
+    This is the inner problem of the paper's equation (1): given convex
+    increasing pieces [h_1, ..., h_d] (there, [h_j(z) = x_j f_{t,j}(lambda_t
+    z / x_j)]) and per-piece caps [u_j] (there, the fraction of the volume
+    type [j]'s active servers can absorb), find
+
+    {[ min  sum_j h_j(z_j)   s.t.  sum_j z_j = total,  0 <= z_j <= u_j ]}
+
+    Up to three active pieces are solved by (nested) golden section on
+    the convex 1-D restrictions; the general solver is KKT water-filling: a value [nu] is bisected so
+    that the per-piece responses [z_j(nu) = sup {z | h_j'(z) <= nu}]
+    (clamped to [\[0, u_j\]]) sum to [total]; a final interpolation step
+    resolves derivative plateaus (e.g. affine pieces with equal slopes),
+    along which cost is linear, so interpolation keeps optimality.
+
+    [greedy] is an independent discretised solver used to cross-check the
+    water-filler in the test suite. *)
+
+type piece = {
+  fn : Fn.t;      (** the convex increasing cost [h_j] *)
+  upper : float;  (** cap [u_j >= 0]; the piece is fixed to 0 when [u_j = 0] *)
+}
+
+type solution = {
+  assignment : float array;  (** optimal [z_j], same length as the input *)
+  objective : float;         (** [sum_j h_j(z_j)] *)
+}
+
+val solve : ?tol:float -> piece array -> total:float -> solution option
+(** Water-filling solve.  Returns [None] when [sum_j u_j < total] (no
+    feasible assignment).  [total] must be non-negative.  Accuracy: the
+    assignment satisfies the simplex constraint to within [tol]
+    (default [1e-9]) and the objective is optimal to first order in
+    [tol]. *)
+
+val greedy : ?steps:int -> piece array -> total:float -> solution option
+(** Marginal-cost greedy on a grid of [steps] increments (default 4096).
+    Exact in the limit for convex pieces; used as an oracle in tests. *)
+
+val feasible : piece array -> total:float -> bool
+(** Whether [sum_j u_j >= total] (up to a small tolerance). *)

@@ -1,0 +1,169 @@
+type t = {
+  eval : float -> float;
+  closed_deriv : (float -> float) option;
+  desc : string;
+  constant : bool;
+}
+
+let eval f z = f.eval z
+
+let numeric_deriv f z =
+  let h = 1e-6 *. Float.max 1. (Float.abs z) in
+  let lo = Float.max 0. (z -. h) in
+  let hi = z +. h in
+  (f.eval hi -. f.eval lo) /. (hi -. lo)
+
+let deriv f z =
+  match f.closed_deriv with Some d -> d z | None -> numeric_deriv f z
+
+let has_closed_deriv f = Option.is_some f.closed_deriv
+let describe f = f.desc
+let is_constant f = f.constant
+
+let check_nonneg name x =
+  if x < 0. || Float.is_nan x then
+    invalid_arg (Printf.sprintf "Convex.Fn: %s must be non-negative" name)
+
+let const c =
+  check_nonneg "const" c;
+  { eval = (fun _ -> c);
+    closed_deriv = Some (fun _ -> 0.);
+    desc = Printf.sprintf "const %.3g" c;
+    constant = true }
+
+let affine ~intercept ~slope =
+  check_nonneg "intercept" intercept;
+  check_nonneg "slope" slope;
+  { eval = (fun z -> intercept +. (slope *. z));
+    closed_deriv = Some (fun _ -> slope);
+    desc = Printf.sprintf "%.3g + %.3g z" intercept slope;
+    constant = slope = 0. }
+
+let power ~idle ~coef ~expo =
+  check_nonneg "idle" idle;
+  check_nonneg "coef" coef;
+  if expo < 1. then invalid_arg "Convex.Fn.power: expo must be >= 1";
+  { eval = (fun z -> idle +. (coef *. (z ** expo)));
+    closed_deriv = Some (fun z -> coef *. expo *. (z ** (expo -. 1.)));
+    desc = Printf.sprintf "%.3g + %.3g z^%.3g" idle coef expo;
+    constant = coef = 0. }
+
+let quadratic ~c0 ~c1 ~c2 =
+  check_nonneg "c0" c0;
+  check_nonneg "c1" c1;
+  check_nonneg "c2" c2;
+  { eval = (fun z -> c0 +. (c1 *. z) +. (c2 *. z *. z));
+    closed_deriv = Some (fun z -> c1 +. (2. *. c2 *. z));
+    desc = Printf.sprintf "%.3g + %.3g z + %.3g z^2" c0 c1 c2;
+    constant = c1 = 0. && c2 = 0. }
+
+let piecewise_linear points =
+  (match points with
+  | [] | [ _ ] -> invalid_arg "Convex.Fn.piecewise_linear: need >= 2 points"
+  | (z0, _) :: _ when z0 <> 0. ->
+      invalid_arg "Convex.Fn.piecewise_linear: first point must be at z = 0"
+  | _ -> ());
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  let slopes = Array.make (n - 1) 0. in
+  for i = 0 to n - 2 do
+    let z0, v0 = pts.(i) and z1, v1 = pts.(i + 1) in
+    if z1 <= z0 then invalid_arg "Convex.Fn.piecewise_linear: z not increasing";
+    slopes.(i) <- (v1 -. v0) /. (z1 -. z0);
+    if slopes.(i) < 0. then
+      invalid_arg "Convex.Fn.piecewise_linear: function must be increasing";
+    if i > 0 && slopes.(i) < slopes.(i - 1) -. 1e-12 then
+      invalid_arg "Convex.Fn.piecewise_linear: slopes must be non-decreasing"
+  done;
+  let v00 = snd pts.(0) in
+  if v00 < 0. then invalid_arg "Convex.Fn.piecewise_linear: negative value";
+  (* Locate the segment containing z; extend the last slope beyond the end. *)
+  let segment z =
+    let rec go i = if i >= n - 2 || z < fst pts.(i + 1) then i else go (i + 1) in
+    go 0
+  in
+  let eval z =
+    let i = segment z in
+    let z0, v0 = pts.(i) in
+    v0 +. (slopes.(i) *. (z -. z0))
+  in
+  let closed_deriv z = slopes.(segment z) in
+  { eval;
+    closed_deriv = Some closed_deriv;
+    desc = Printf.sprintf "piecewise-linear (%d points)" n;
+    constant = Array.for_all (fun s -> s = 0.) slopes }
+
+let max_affine pieces =
+  if pieces = [] then invalid_arg "Convex.Fn.max_affine: empty";
+  List.iter
+    (fun (i, s) ->
+      check_nonneg "intercept" i;
+      check_nonneg "slope" s)
+    pieces;
+  let eval z =
+    List.fold_left (fun acc (i, s) -> Float.max acc (i +. (s *. z))) neg_infinity pieces
+  in
+  let closed_deriv z =
+    (* Derivative of the active piece; at ties pick the largest slope,
+       which lies between the one-sided derivatives required by KKT. *)
+    let v = eval z in
+    List.fold_left
+      (fun acc (i, s) -> if Float.abs (i +. (s *. z) -. v) <= 1e-12 *. Float.max 1. v then Float.max acc s else acc)
+      0. pieces
+  in
+  { eval;
+    closed_deriv = Some closed_deriv;
+    desc = Printf.sprintf "max of %d affine pieces" (List.length pieces);
+    constant = List.for_all (fun (_, s) -> s = 0.) pieces && List.length pieces = 1 }
+
+let scale k f =
+  check_nonneg "scale" k;
+  { eval = (fun z -> k *. f.eval z);
+    closed_deriv = Option.map (fun d z -> k *. d z) f.closed_deriv;
+    desc = Printf.sprintf "%.3g * (%s)" k f.desc;
+    constant = f.constant || k = 0. }
+
+let add f g =
+  { eval = (fun z -> f.eval z +. g.eval z);
+    closed_deriv =
+      (match (f.closed_deriv, g.closed_deriv) with
+      | Some df, Some dg -> Some (fun z -> df z +. dg z)
+      | _ -> None);
+    desc = Printf.sprintf "(%s) + (%s)" f.desc g.desc;
+    constant = f.constant && g.constant }
+
+let compose_scaled ~outer ~inner f =
+  check_nonneg "outer" outer;
+  check_nonneg "inner" inner;
+  { eval = (fun z -> outer *. f.eval (inner *. z));
+    closed_deriv = Option.map (fun d z -> outer *. inner *. d (inner *. z)) f.closed_deriv;
+    desc = Printf.sprintf "%.3g * f(%.3g z) where f = %s" outer inner f.desc;
+    constant = f.constant || outer = 0. || inner = 0. }
+
+let shift_idle c f =
+  check_nonneg "shift" c;
+  { eval = (fun z -> c +. f.eval z);
+    closed_deriv = f.closed_deriv;
+    desc = Printf.sprintf "%.3g + (%s)" c f.desc;
+    constant = f.constant }
+
+let sample_grid ~lo ~hi n = Array.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let check_convex ?(samples = 64) ~lo ~hi f =
+  let zs = sample_grid ~lo ~hi samples in
+  let ok = ref true in
+  for i = 0 to samples - 3 do
+    let a = f.eval zs.(i) and b = f.eval zs.(i + 1) and c = f.eval zs.(i + 2) in
+    (* Midpoint convexity on an even grid: b <= (a + c) / 2 + tolerance. *)
+    if b > ((a +. c) /. 2.) +. (1e-9 *. Float.max 1. (Float.abs b)) then ok := false
+  done;
+  !ok
+
+let check_increasing ?(samples = 64) ~lo ~hi f =
+  let zs = sample_grid ~lo ~hi samples in
+  let ok = ref true in
+  for i = 0 to samples - 2 do
+    let a = f.eval zs.(i) and b = f.eval zs.(i + 1) in
+    if b < a -. (1e-9 *. Float.max 1. (Float.abs a)) then ok := false
+  done;
+  !ok

@@ -1,0 +1,89 @@
+(** Convex, increasing, non-negative operating-cost functions.
+
+    The paper models the energy cost of one server of type [j] running
+    with load [z] as a convex increasing non-negative function
+    [f_{t,j}(z)] (Section 1).  This module provides the concrete function
+    representations used everywhere: evaluation, an optional closed-form
+    derivative (exploited by the dispatch solver's KKT water-filling), and
+    smart constructors covering the families the paper discusses —
+    constant (load-independent costs of [5]), affine, power-law
+    [idle + coef * z^expo] (the standard dynamic-power model of [6, 32]),
+    quadratic, piecewise linear, and max-of-affine. *)
+
+type t
+(** An immutable scalar function with convexity metadata. *)
+
+val eval : t -> float -> float
+(** [eval f z] is [f(z)].  Defined for all [z >= 0]. *)
+
+val deriv : t -> float -> float
+(** [deriv f z] is the derivative at [z] — closed-form when the
+    constructor provides one, otherwise a central finite difference.
+    At kinks of piecewise functions it returns a value between the
+    one-sided derivatives, which is all the KKT solver requires. *)
+
+val has_closed_deriv : t -> bool
+(** Whether a closed-form derivative is attached. *)
+
+val describe : t -> string
+(** Human-readable description for logs and tables. *)
+
+val is_constant : t -> bool
+(** Recognises load-independent functions ([const]), enabling the
+    [g_t(x) = sum_j l_j x_j] fast path of the special case studied
+    in [5]. *)
+
+(** {1 Constructors} *)
+
+val const : float -> t
+(** [const c] is [fun _ -> c] with [c >= 0]. *)
+
+val affine : intercept:float -> slope:float -> t
+(** [affine ~intercept ~slope] is [z -> intercept + slope * z]; both
+    coefficients must be non-negative to keep the function increasing. *)
+
+val power : idle:float -> coef:float -> expo:float -> t
+(** [power ~idle ~coef ~expo] is [z -> idle + coef * z^expo] with
+    [idle, coef >= 0] and [expo >= 1] (convexity). *)
+
+val quadratic : c0:float -> c1:float -> c2:float -> t
+(** [z -> c0 + c1 z + c2 z^2] with all coefficients non-negative. *)
+
+val piecewise_linear : (float * float) list -> t
+(** [piecewise_linear points] interpolates the given [(z, value)] points
+    (sorted by [z], starting at [z = 0]) and extends the last segment's
+    slope beyond the final point.  The points must describe a convex
+    increasing function; raises [Invalid_argument] otherwise. *)
+
+val max_affine : (float * float) list -> t
+(** [max_affine pieces] is [z -> max_i (intercept_i + slope_i * z)] over
+    a non-empty list of [(intercept, slope)] pairs with non-negative
+    slopes — always convex; increasing when evaluated on [z >= 0] with
+    non-negative slopes. *)
+
+(** {1 Combinators} *)
+
+val scale : float -> t -> t
+(** [scale k f] is [z -> k * f(z)] for [k >= 0].  Used by algorithm C's
+    sub-slot division [f~_{u,j} = f_{t,j} / n~_t]. *)
+
+val add : t -> t -> t
+(** Pointwise sum (convexity is preserved). *)
+
+val shift_idle : float -> t -> t
+(** [shift_idle c f] is [z -> c + f(z)], adjusting the idle cost. *)
+
+val compose_scaled : outer:float -> inner:float -> t -> t
+(** [compose_scaled ~outer ~inner f] is [z -> outer * f(inner * z)] with
+    [outer, inner >= 0] — exactly the dispatch piece
+    [h_j(z) = x_j f_{t,j}(lambda_t z / x_j)] of equation (1) when
+    [outer = x_j] and [inner = lambda_t / x_j].  Convexity and
+    monotonicity are preserved. *)
+
+(** {1 Sampling checks (used by the property tests)} *)
+
+val check_convex : ?samples:int -> lo:float -> hi:float -> t -> bool
+(** Midpoint-convexity check on an even sample grid. *)
+
+val check_increasing : ?samples:int -> lo:float -> hi:float -> t -> bool
+(** Monotonicity check on an even sample grid. *)

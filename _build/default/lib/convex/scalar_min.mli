@@ -1,0 +1,18 @@
+(** One-dimensional search primitives shared by the dispatch solver.
+
+    Everything operates on plain [float -> float] closures; convexity or
+    monotonicity is a precondition stated per function. *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float * float
+(** [golden_section f ~lo ~hi] minimises a unimodal (e.g. convex) [f] on
+    [\[lo, hi\]] and returns [(argmin, min)].  Accuracy is [tol] in the
+    argument (default [1e-10] scaled by the interval). *)
+
+val bisect_monotone :
+  ?iters:int -> (float -> float) -> lo:float -> hi:float -> target:float -> float
+(** [bisect_monotone f ~lo ~hi ~target] assumes [f] non-decreasing and
+    returns a point [x] where [f] crosses [target]: the supremum of
+    [{x | f(x) <= target}] up to bisection accuracy, clamped to the
+    interval.  If [f lo > target] it returns [lo]; if [f hi <= target]
+    it returns [hi]. *)

@@ -1,0 +1,63 @@
+module Fn = Convex.Fn
+module Dispatch = Convex.Dispatch
+module Scalar_min = Convex.Scalar_min
+module Server_type = Model.Server_type
+module Instance = Model.Instance
+module Config = Model.Config
+module Schedule = Model.Schedule
+module Cost = Model.Cost
+module Spec = Model.Spec
+module Grid = Offline.Grid
+module Transform = Offline.Transform
+module Offline_dp = Offline.Dp
+module Brute_force = Offline.Brute_force
+module Graph_paper = Offline.Graph_paper
+module Approx_witness = Offline.Approx_witness
+module Prefix_opt = Online.Prefix_opt
+module Alg_a = Online.Alg_a
+module Alg_b = Online.Alg_b
+module Alg_c = Online.Alg_c
+module Alg_rand = Online.Alg_rand
+module Stepper = Online.Stepper
+module Streaming = Online.Streaming
+module Analysis = Online.Analysis
+module Baselines = Online.Baselines
+module Adversary = Online.Adversary
+module Harness = Online.Harness
+module Fractional = Fractional.Relax
+module Fleet_planner = Planner.Fleet
+module Predictor = Forecast.Predictor
+module Predictive = Forecast.Predictive
+module Job_trace = Dcsim.Job_trace
+module Sim_dc = Dcsim.Sim
+module Controllers = Dcsim.Controllers
+module Workload = Sim.Workload
+module Trace = Sim.Trace
+module Report = Experiments.Report
+module Experiment_registry = Experiments.Registry
+module Scenarios = Sim.Scenarios
+module Prng = Util.Prng
+module Stats = Util.Stats
+module Table = Util.Table
+module Csv = Util.Csv
+module Sexp = Util.Sexp
+module Ascii_plot = Util.Ascii_plot
+module Svg = Util.Svg
+
+let solve_offline inst =
+  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in
+  (schedule, cost)
+
+let solve_approx ~eps inst =
+  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_approx ~eps inst in
+  (schedule, cost)
+
+let run_online ?(eps = 0.5) inst =
+  let schedule =
+    if inst.Model.Instance.time_independent then (Online.Alg_a.run inst).Online.Alg_a.schedule
+    else (Online.Alg_c.run ~eps inst).Online.Alg_c.schedule
+  in
+  (schedule, Model.Cost.schedule inst schedule)
+
+let competitive_ratio inst schedule =
+  Model.Cost.schedule inst schedule /. Online.Harness.opt_cost inst

@@ -1,0 +1,81 @@
+(** Public facade of the right-sizing library.
+
+    Reproduces "Algorithms for Right-Sizing Heterogeneous Data Centers"
+    (Albers and Quedenfeld, SPAA 2021).  The sub-modules re-export the
+    underlying libraries:
+
+    - {!Fn}, {!Dispatch}: convex operating-cost functions and the
+      capped-simplex dispatch of equation (1);
+    - {!Server_type}, {!Instance}, {!Config}, {!Schedule}, {!Cost}:
+      the problem model of Section 1;
+    - {!Offline_dp}, {!Grid}, {!Brute_force}: Section 4's optimal and
+      [(1+eps)]-approximate offline algorithms (incl. time-varying
+      sizes);
+    - {!Alg_a}, {!Alg_b}, {!Alg_c}, {!Prefix_opt}: the online algorithms
+      of Sections 2 and 3;
+    - {!Baselines}, {!Adversary}, {!Harness}: comparison policies and
+      experiment machinery;
+    - {!Workload}, {!Scenarios}: synthetic traces and named setups;
+    - {!Prng}, {!Stats}, {!Table}, {!Ascii_plot}: utilities.
+
+    The top-level helpers cover the common calls. *)
+
+module Fn = Convex.Fn
+module Dispatch = Convex.Dispatch
+module Scalar_min = Convex.Scalar_min
+module Server_type = Model.Server_type
+module Instance = Model.Instance
+module Config = Model.Config
+module Schedule = Model.Schedule
+module Cost = Model.Cost
+module Spec = Model.Spec
+module Grid = Offline.Grid
+module Transform = Offline.Transform
+module Offline_dp = Offline.Dp
+module Brute_force = Offline.Brute_force
+module Graph_paper = Offline.Graph_paper
+module Approx_witness = Offline.Approx_witness
+module Prefix_opt = Online.Prefix_opt
+module Alg_a = Online.Alg_a
+module Alg_b = Online.Alg_b
+module Alg_c = Online.Alg_c
+module Alg_rand = Online.Alg_rand
+module Stepper = Online.Stepper
+module Streaming = Online.Streaming
+module Analysis = Online.Analysis
+module Baselines = Online.Baselines
+module Adversary = Online.Adversary
+module Harness = Online.Harness
+module Fractional = Fractional.Relax
+module Fleet_planner = Planner.Fleet
+module Predictor = Forecast.Predictor
+module Predictive = Forecast.Predictive
+module Job_trace = Dcsim.Job_trace
+module Sim_dc = Dcsim.Sim
+module Controllers = Dcsim.Controllers
+module Workload = Sim.Workload
+module Trace = Sim.Trace
+module Report = Experiments.Report
+module Experiment_registry = Experiments.Registry
+module Scenarios = Sim.Scenarios
+module Prng = Util.Prng
+module Stats = Util.Stats
+module Table = Util.Table
+module Csv = Util.Csv
+module Sexp = Util.Sexp
+module Ascii_plot = Util.Ascii_plot
+module Svg = Util.Svg
+
+val solve_offline : Instance.t -> Schedule.t * float
+(** Exact optimal schedule and cost (Section 4.1). *)
+
+val solve_approx : eps:float -> Instance.t -> Schedule.t * float
+(** [(1 + eps)]-approximate schedule and cost (Sections 4.2/4.3). *)
+
+val run_online : ?eps:float -> Instance.t -> Schedule.t * float
+(** The paper's online algorithm matched to the instance: algorithm A
+    for time-independent costs, algorithm C (default [eps = 0.5]) for
+    time-dependent ones.  Returns the schedule and its cost. *)
+
+val competitive_ratio : Instance.t -> Schedule.t -> float
+(** Cost of the schedule divided by the exact optimum. *)

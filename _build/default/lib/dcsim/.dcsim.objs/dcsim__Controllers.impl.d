@@ -1,0 +1,1 @@
+lib/dcsim/controllers.ml: Array Float List Model Online

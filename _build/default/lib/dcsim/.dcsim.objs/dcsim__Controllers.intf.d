@@ -1,0 +1,1 @@
+lib/dcsim/controllers.mli: Model Sim

@@ -1,0 +1,1 @@
+lib/dcsim/job_trace.mli: Util

@@ -1,0 +1,1 @@
+lib/dcsim/sim.ml: Array Float Job_trace List Model Queue Util

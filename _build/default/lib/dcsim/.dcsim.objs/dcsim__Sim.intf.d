@@ -1,0 +1,1 @@
+lib/dcsim/sim.mli: Job_trace Model

@@ -1,0 +1,94 @@
+let of_schedule schedule ~time ~load:_ ~backlog:_ = Array.copy schedule.(time)
+
+(* The paper's algorithms as controllers: the shared prefix engine and
+   power-down state machine (Online.Stepper) driven by the simulator's
+   forward clock. *)
+let of_stepper make inst =
+  let engine = Online.Prefix_opt.create inst in
+  let stepper = make inst in
+  let clock = ref 0 in
+  fun ~time ~load:_ ~backlog:_ ->
+    if time <> !clock then invalid_arg "Controllers: stepped out of order";
+    incr clock;
+    let { Online.Prefix_opt.last = hat; _ } = Online.Prefix_opt.step engine in
+    Online.Stepper.step stepper ~time ~hat
+
+let alg_a inst = of_stepper Online.Stepper.alg_a inst
+let alg_b inst = of_stepper Online.Stepper.alg_b inst
+
+(* Order types by idle cost per unit of capacity — the scale-out order
+   of the threshold controller. *)
+let efficiency_order inst ~time =
+  let d = Model.Instance.num_types inst in
+  let keyed =
+    List.init d (fun typ ->
+        let st = inst.Model.Instance.types.(typ) in
+        (Model.Instance.idle_cost inst ~time ~typ /. st.Model.Server_type.cap, typ))
+  in
+  List.map snd (List.sort compare keyed)
+
+let hysteresis ~up ~down inst =
+  if not (0. <= down && down < up && up <= 1.) then
+    invalid_arg "Controllers.hysteresis: need 0 <= down < up <= 1";
+  let d = Model.Instance.num_types inst in
+  let types = inst.Model.Instance.types in
+  let x = Array.make d 0 in
+  fun ~time ~load ~backlog ->
+    let demand = load +. backlog in
+    let capacity () = Model.Config.capacity types x in
+    let order = efficiency_order inst ~time in
+    (* Scale out while over the upper threshold (or infeasible). *)
+    let needs_more () =
+      let c = capacity () in
+      c < demand || (c > 0. && demand /. c > up) || (c = 0. && demand > 0.)
+    in
+    let can_add typ = x.(typ) < types.(typ).Model.Server_type.count in
+    let rec grow () =
+      if needs_more () then
+        match List.find_opt can_add order with
+        | Some typ ->
+            x.(typ) <- x.(typ) + 1;
+            grow ()
+        | None -> () (* fleet exhausted; serve what we can *)
+    in
+    grow ();
+    (* Scale in while below the lower threshold, never breaking
+       feasibility for the current demand. *)
+    let removable typ =
+      x.(typ) > 0
+      && capacity () -. types.(typ).Model.Server_type.cap >= demand
+      &&
+      let c = capacity () -. types.(typ).Model.Server_type.cap in
+      c = 0. || demand /. c <= up
+    in
+    let rec shrink () =
+      let c = capacity () in
+      if c > 0. && demand /. c < down then
+        match List.find_opt removable (List.rev order) with
+        | Some typ ->
+            x.(typ) <- x.(typ) - 1;
+            shrink ()
+        | None -> ()
+    in
+    shrink ();
+    Array.copy x
+
+let static_peak inst =
+  let peak = Array.fold_left Float.max 0. inst.Model.Instance.load in
+  let d = Model.Instance.num_types inst in
+  let types = inst.Model.Instance.types in
+  (* Cheapest-idle-first fleet that covers the peak. *)
+  let x = Array.make d 0 in
+  let order = efficiency_order inst ~time:0 in
+  let rec fill () =
+    if Model.Config.capacity types x < peak then
+      match
+        List.find_opt (fun typ -> x.(typ) < types.(typ).Model.Server_type.count) order
+      with
+      | Some typ ->
+          x.(typ) <- x.(typ) + 1;
+          fill ()
+      | None -> ()
+  in
+  fill ();
+  fun ~time:_ ~load:_ ~backlog:_ -> Array.copy x

@@ -1,0 +1,30 @@
+(** Ready-made controllers for {!Sim.run_controller}.
+
+    The paper's online algorithms become controllers by streaming the
+    simulator's clock into their prefix engines (they still only read
+    the past, so the wrapping preserves their online nature); the
+    practical comparison points are the threshold autoscaler every cloud
+    actually runs, and static peak provisioning. *)
+
+val of_schedule : Model.Schedule.t -> Sim.controller
+(** Replay a precomputed schedule, ignoring observations. *)
+
+val alg_a : Model.Instance.t -> Sim.controller
+(** Algorithm A as a stateful controller (time-independent instances).
+    Raises when stepped out of order — the simulator always steps
+    forward, so this only triggers on misuse. *)
+
+val alg_b : Model.Instance.t -> Sim.controller
+(** Algorithm B as a stateful controller (requires positive switching
+    costs). *)
+
+val hysteresis : up:float -> down:float -> Model.Instance.t -> Sim.controller
+(** The classic threshold autoscaler: scale out when utilisation exceeds
+    [up], scale in below [down] ([0 <= down < up <= 1]); always keeps
+    enough capacity for the observed load plus backlog.  Servers are
+    added cheapest-idle-per-capacity first and removed in the reverse
+    order. *)
+
+val static_peak : Model.Instance.t -> Sim.controller
+(** Always-on provisioning for the instance's peak load (computed from
+    the declared loads — static planning, not an online decision). *)

@@ -1,0 +1,39 @@
+type job = { arrival : int; volume : float }
+
+type t = job array
+
+let of_volumes loads =
+  let jobs = ref [] in
+  Array.iteri
+    (fun arrival volume ->
+      if volume > 0. then jobs := { arrival; volume } :: !jobs)
+    loads;
+  Array.of_list (List.rev !jobs)
+
+let poisson ~rng ~horizon ~rate ~mean_volume =
+  if rate < 0. || mean_volume <= 0. then invalid_arg "Job_trace.poisson: bad parameters";
+  let jobs = ref [] in
+  for arrival = 0 to horizon - 1 do
+    (* Geometric number of arrivals with mean [rate]: same first moment
+       as a Poisson clock, cheap to sample exactly. *)
+    let p = 1. /. (1. +. rate) in
+    let rec arrivals n = if Util.Prng.float rng 1. < p then n else arrivals (n + 1) in
+    let n = arrivals 0 in
+    for _ = 1 to n do
+      let volume = Util.Prng.exponential rng ~rate:(1. /. mean_volume) in
+      jobs := { arrival; volume } :: !jobs
+    done
+  done;
+  Array.of_list (List.rev !jobs)
+
+let volumes trace ~horizon =
+  let out = Array.make horizon 0. in
+  Array.iter
+    (fun { arrival; volume } ->
+      if arrival >= 0 && arrival < horizon then out.(arrival) <- out.(arrival) +. volume)
+    trace;
+  out
+
+let total_volume trace = Array.fold_left (fun acc j -> acc +. j.volume) 0. trace
+
+let count = Array.length

@@ -1,0 +1,28 @@
+(** Job-level workload traces for the discrete-event simulator.
+
+    The paper models one aggregate volume [lambda_t] per slot; real
+    clusters see many jobs whose per-slot sums form that volume.  A
+    trace here is a bag of (arrival slot, volume) jobs; aggregating it
+    recovers the paper's [lambda] so the same instance can drive both
+    the analytic solvers and the simulator. *)
+
+type job = { arrival : int; volume : float }
+
+type t = job array
+
+val of_volumes : float array -> t
+(** One aggregate job per slot (slots with zero volume emit no job). *)
+
+val poisson :
+  rng:Util.Prng.t -> horizon:int -> rate:float -> mean_volume:float -> t
+(** Per slot, a Poisson-ish number of jobs (geometric approximation with
+    the same mean [rate]), each with an exponential volume of mean
+    [mean_volume].  Deterministic given the PRNG. *)
+
+val volumes : t -> horizon:int -> float array
+(** Aggregate per-slot volumes ([lambda_t]); jobs arriving at or beyond
+    [horizon] are ignored. *)
+
+val total_volume : t -> float
+
+val count : t -> int

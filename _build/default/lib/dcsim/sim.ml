@@ -1,0 +1,386 @@
+type config = {
+  boot_delay : int array;
+  carry_backlog : bool;
+  failures : failure_model option;
+}
+
+and failure_model = { rate : float; repair_slots : int; seed : int }
+
+let ideal ~d = { boot_delay = Array.make d 0; carry_backlog = false; failures = None }
+
+type metrics = {
+  energy : float;
+  energy_by_type : float array;
+  switching : float;
+  served : float;
+  unserved : float;
+  backlog_peak : float;
+  power_up_events : int;
+  failures : int;
+  mean_utilisation : float;
+}
+
+type controller = time:int -> load:float -> backlog:float -> Model.Config.t
+
+(* Per-type fleet state: active servers plus a boot queue of
+   (slots remaining, count) entries, most recent first. *)
+type fleet = { mutable active : int; mutable booting : (int * int) list }
+
+let booting_total fleet = List.fold_left (fun acc (_, c) -> acc + c) 0 fleet.booting
+
+(* Cancel [n] booting servers, newest first; returns how many were
+   cancelled (the rest must come out of the active pool). *)
+let cancel_boots fleet n =
+  let cancelled = ref 0 in
+  let rec walk n = function
+    | [] -> []
+    | (rem, count) :: rest ->
+        if n = 0 then (rem, count) :: walk 0 rest
+        else if n >= count then begin
+          cancelled := !cancelled + count;
+          walk (n - count) rest
+        end
+        else begin
+          cancelled := !cancelled + n;
+          (rem, count - n) :: walk 0 rest
+        end
+  in
+  fleet.booting <- walk n fleet.booting;
+  !cancelled
+
+let validate_config inst config =
+  if Array.length config.boot_delay <> Model.Instance.num_types inst then
+    invalid_arg "Sim: boot_delay must have one entry per type";
+  Array.iter
+    (fun b -> if b < 0 then invalid_arg "Sim: negative boot delay")
+    config.boot_delay;
+  match config.failures with
+  | None -> ()
+  | Some f ->
+      if f.rate < 0. || f.rate > 1. then invalid_arg "Sim: failure rate in [0, 1]";
+      if f.repair_slots < 1 then invalid_arg "Sim: repair_slots must be >= 1"
+
+let run ?config inst decide =
+  let d = Model.Instance.num_types inst in
+  let config = match config with Some c -> c | None -> ideal ~d in
+  validate_config inst config;
+  let horizon = Model.Instance.horizon inst in
+  let types = inst.Model.Instance.types in
+  let fleets = Array.init d (fun _ -> { active = 0; booting = [] }) in
+  let failure_rng =
+    match config.failures with Some f -> Some (Util.Prng.create f.seed) | None -> None
+  in
+  (* Per type: (slots until repaired, count) of crashed servers. *)
+  let repairing = Array.make d [] in
+  let failures_total = ref 0 in
+  let energy = ref 0. and switching = ref 0. in
+  let energy_by_type = Array.make d 0. in
+  let served_total = ref 0. and unserved = ref 0. in
+  let backlog = ref 0. and backlog_peak = ref 0. in
+  let power_up_events = ref 0 in
+  let util_sum = ref 0. and util_slots = ref 0 in
+  let commanded = Array.make horizon [||] in
+  for time = 0 to horizon - 1 do
+    (* 1. Boot progress: entries that reach zero become active. *)
+    Array.iter
+      (fun fleet ->
+        let ready = ref 0 in
+        fleet.booting <-
+          List.filter_map
+            (fun (rem, count) ->
+              if rem <= 1 then begin
+                ready := !ready + count;
+                None
+              end
+              else Some (rem - 1, count))
+            fleet.booting;
+        fleet.active <- fleet.active + !ready)
+      fleets;
+    (* 1b. Failures: crashed servers leave the active pool; completed
+       repairs return capacity to the (inactive) pool. *)
+    (match (config.failures, failure_rng) with
+    | Some f, Some rng ->
+        Array.iteri
+          (fun typ fleet ->
+            repairing.(typ) <-
+              List.filter_map
+                (fun (rem, count) -> if rem <= 1 then None else Some (rem - 1, count))
+                repairing.(typ);
+            let crashed = ref 0 in
+            for _ = 1 to fleet.active do
+              if Util.Prng.float rng 1. < f.rate then incr crashed
+            done;
+            if !crashed > 0 then begin
+              fleet.active <- fleet.active - !crashed;
+              failures_total := !failures_total + !crashed;
+              repairing.(typ) <- (f.repair_slots, !crashed) :: repairing.(typ)
+            end)
+          fleets
+    | _ -> ());
+    (* 2. Decision. *)
+    let load = inst.Model.Instance.load.(time) in
+    let target = decide ~time ~load ~backlog:!backlog in
+    if Array.length target <> d then invalid_arg "Sim: controller dimension mismatch";
+    commanded.(time) <- Array.copy target;
+    (* 3. Reconcile commanded targets with the physical fleet. *)
+    for typ = 0 to d - 1 do
+      let fleet = fleets.(typ) in
+      let present = fleet.active + booting_total fleet in
+      let under_repair =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 repairing.(typ)
+      in
+      if target.(typ) > types.(typ).Model.Server_type.count then
+        invalid_arg "Sim: target exceeds fleet size";
+      let want = min target.(typ) (types.(typ).Model.Server_type.count - under_repair) in
+      if want > present then begin
+        let up = want - present in
+        switching := !switching +. (float_of_int up *. types.(typ).Model.Server_type.switching_cost);
+        power_up_events := !power_up_events + up;
+        if config.boot_delay.(typ) = 0 then fleet.active <- fleet.active + up
+        else fleet.booting <- (config.boot_delay.(typ), up) :: fleet.booting
+      end
+      else if want < present then begin
+        let down = present - want in
+        let cancelled = cancel_boots fleet down in
+        fleet.active <- fleet.active - (down - cancelled)
+      end
+    done;
+    (* 4. Serve as much of the demand as the active fleet can absorb. *)
+    let active = Array.map (fun f -> f.active) fleets in
+    let capacity = Model.Config.capacity types active in
+    let demand = load +. !backlog in
+    let served = Float.min demand capacity in
+    let leftover = demand -. served in
+    served_total := !served_total +. served;
+    if config.carry_backlog then backlog := leftover
+    else begin
+      unserved := !unserved +. leftover;
+      backlog := 0.
+    end;
+    backlog_peak := Float.max !backlog_peak !backlog;
+    if capacity > 0. then begin
+      util_sum := !util_sum +. (served /. capacity);
+      incr util_slots
+    end;
+    (* 5. Meter energy: active servers via the dispatch model, booting
+       servers draw idle power. *)
+    (match Model.Cost.operating_by_type inst ~time ~volume:served active with
+    | Some parts ->
+        Array.iteri
+          (fun typ e ->
+            energy := !energy +. e;
+            energy_by_type.(typ) <- energy_by_type.(typ) +. e)
+          parts
+    | None ->
+        (* Should not happen: served <= capacity by construction. *)
+        energy := !energy +. Model.Cost.operating_volume inst ~time ~volume:served active);
+    Array.iteri
+      (fun typ fleet ->
+        let boots = booting_total fleet in
+        if boots > 0 then begin
+          let idle = float_of_int boots *. Model.Instance.idle_cost inst ~time ~typ in
+          energy := !energy +. idle;
+          energy_by_type.(typ) <- energy_by_type.(typ) +. idle
+        end)
+      fleets
+  done;
+  ( { energy = !energy;
+      energy_by_type;
+      switching = !switching;
+      served = !served_total;
+      unserved = !unserved;
+      backlog_peak = !backlog_peak;
+      power_up_events = !power_up_events;
+      failures = !failures_total;
+      mean_utilisation =
+        (if !util_slots = 0 then 0. else !util_sum /. float_of_int !util_slots) },
+    commanded )
+
+type wait_stats = {
+  mean_wait : float;
+  p95_wait : float;
+  max_wait : float;
+  completed : int;
+  abandoned : int;
+}
+
+let run_trace ?config inst trace controller =
+  let d = Model.Instance.num_types inst in
+  let config = match config with Some c -> c | None -> ideal ~d in
+  let config = { config with carry_backlog = true } in
+  validate_config inst config;
+  let horizon = Model.Instance.horizon inst in
+  (* Jobs per arrival slot, FIFO within a slot. *)
+  let arrivals = Array.make horizon [] in
+  Array.iter
+    (fun { Job_trace.arrival; volume } ->
+      if arrival >= 0 && arrival < horizon && volume > 0. then
+        arrivals.(arrival) <- volume :: arrivals.(arrival))
+    trace;
+  Array.iteri (fun t js -> arrivals.(t) <- List.rev js) arrivals;
+  (* Queue of (arrival slot, remaining volume), FIFO. *)
+  let queue = Queue.create () in
+  let waits = ref [] in
+  let completed = ref 0 in
+  let backlog_of_queue () =
+    Queue.fold (fun acc (_, v) -> acc +. v) 0. queue
+  in
+  (* Same structure as [run], but service drains the FIFO job queue so
+     each job's completion slot (hence wait) is observable. *)
+  let fleets = Array.init d (fun _ -> { active = 0; booting = [] }) in
+  let failure_rng =
+    match config.failures with Some f -> Some (Util.Prng.create f.seed) | None -> None
+  in
+  let repairing = Array.make d [] in
+  let failures_total = ref 0 in
+  let energy = ref 0. and switching = ref 0. in
+  let energy_by_type = Array.make d 0. in
+  let served_total = ref 0. in
+  let backlog_peak = ref 0. in
+  let power_up_events = ref 0 in
+  let util_sum = ref 0. and util_slots = ref 0 in
+  let commanded = Array.make horizon [||] in
+  let types = inst.Model.Instance.types in
+  for time = 0 to horizon - 1 do
+    Array.iter
+      (fun fleet ->
+        let ready = ref 0 in
+        fleet.booting <-
+          List.filter_map
+            (fun (rem, count) ->
+              if rem <= 1 then begin
+                ready := !ready + count;
+                None
+              end
+              else Some (rem - 1, count))
+            fleet.booting;
+        fleet.active <- fleet.active + !ready)
+      fleets;
+    (match (config.failures, failure_rng) with
+    | Some f, Some rng ->
+        Array.iteri
+          (fun typ fleet ->
+            repairing.(typ) <-
+              List.filter_map
+                (fun (rem, count) -> if rem <= 1 then None else Some (rem - 1, count))
+                repairing.(typ);
+            let crashed = ref 0 in
+            for _ = 1 to fleet.active do
+              if Util.Prng.float rng 1. < f.rate then incr crashed
+            done;
+            if !crashed > 0 then begin
+              fleet.active <- fleet.active - !crashed;
+              failures_total := !failures_total + !crashed;
+              repairing.(typ) <- (f.repair_slots, !crashed) :: repairing.(typ)
+            end)
+          fleets
+    | _ -> ());
+    (* Enqueue this slot's jobs, then decide. *)
+    List.iter (fun v -> Queue.add (time, v) queue) arrivals.(time);
+    let load = inst.Model.Instance.load.(time) in
+    let target = controller ~time ~load ~backlog:(backlog_of_queue () -. load) in
+    if Array.length target <> d then invalid_arg "Sim: controller dimension mismatch";
+    commanded.(time) <- Array.copy target;
+    for typ = 0 to d - 1 do
+      let fleet = fleets.(typ) in
+      let present = fleet.active + booting_total fleet in
+      let under_repair = List.fold_left (fun acc (_, c) -> acc + c) 0 repairing.(typ) in
+      if target.(typ) > types.(typ).Model.Server_type.count then
+        invalid_arg "Sim: target exceeds fleet size";
+      let want = min target.(typ) (types.(typ).Model.Server_type.count - under_repair) in
+      if want > present then begin
+        let up = want - present in
+        switching :=
+          !switching +. (float_of_int up *. types.(typ).Model.Server_type.switching_cost);
+        power_up_events := !power_up_events + up;
+        if config.boot_delay.(typ) = 0 then fleet.active <- fleet.active + up
+        else fleet.booting <- (config.boot_delay.(typ), up) :: fleet.booting
+      end
+      else if want < present then begin
+        let down = present - want in
+        let cancelled = cancel_boots fleet down in
+        fleet.active <- fleet.active - (down - cancelled)
+      end
+    done;
+    (* FIFO service. *)
+    let active = Array.map (fun f -> f.active) fleets in
+    let capacity = Model.Config.capacity types active in
+    let budget = ref capacity in
+    let continue_serving = ref true in
+    while !continue_serving && not (Queue.is_empty queue) && !budget > 1e-12 do
+      let arrival, remaining = Queue.peek queue in
+      if remaining <= !budget +. 1e-12 then begin
+        ignore (Queue.pop queue);
+        budget := !budget -. remaining;
+        waits := float_of_int (time - arrival) :: !waits;
+        incr completed
+      end
+      else begin
+        (* Partial service: shrink the head job in place. *)
+        ignore (Queue.pop queue);
+        let rest = remaining -. !budget in
+        budget := 0.;
+        (* Re-insert at the FRONT: rebuild the queue. *)
+        let tail = Queue.copy queue in
+        Queue.clear queue;
+        Queue.add (arrival, rest) queue;
+        Queue.transfer tail queue;
+        continue_serving := false
+      end
+    done;
+    let served = capacity -. !budget in
+    served_total := !served_total +. served;
+    backlog_peak := Float.max !backlog_peak (backlog_of_queue ());
+    if capacity > 0. then begin
+      util_sum := !util_sum +. (served /. capacity);
+      incr util_slots
+    end;
+    (match Model.Cost.operating_by_type inst ~time ~volume:served active with
+    | Some parts ->
+        Array.iteri
+          (fun typ e ->
+            energy := !energy +. e;
+            energy_by_type.(typ) <- energy_by_type.(typ) +. e)
+          parts
+    | None -> energy := !energy +. Model.Cost.operating_volume inst ~time ~volume:served active);
+    Array.iteri
+      (fun typ fleet ->
+        let boots = booting_total fleet in
+        if boots > 0 then begin
+          let idle = float_of_int boots *. Model.Instance.idle_cost inst ~time ~typ in
+          energy := !energy +. idle;
+          energy_by_type.(typ) <- energy_by_type.(typ) +. idle
+        end)
+      fleets
+  done;
+  let leftover = backlog_of_queue () in
+  let abandoned = Queue.length queue in
+  let metrics =
+    { energy = !energy;
+      energy_by_type;
+      switching = !switching;
+      served = !served_total;
+      unserved = leftover;
+      backlog_peak = !backlog_peak;
+      power_up_events = !power_up_events;
+      failures = !failures_total;
+      mean_utilisation =
+        (if !util_slots = 0 then 0. else !util_sum /. float_of_int !util_slots) }
+  in
+  let waits = Array.of_list !waits in
+  let stats =
+    { mean_wait = (if Array.length waits = 0 then 0. else Util.Stats.mean waits);
+      p95_wait = (if Array.length waits = 0 then 0. else Util.Stats.quantile waits 0.95);
+      max_wait = (if Array.length waits = 0 then 0. else Util.Stats.maximum waits);
+      completed = !completed;
+      abandoned }
+  in
+  (metrics, stats, commanded)
+
+let run_schedule ?config inst schedule =
+  if Array.length schedule <> Model.Instance.horizon inst then
+    invalid_arg "Sim.run_schedule: horizon mismatch";
+  let metrics, _ = run ?config inst (fun ~time ~load:_ ~backlog:_ -> schedule.(time)) in
+  metrics
+
+let run_controller ?config inst controller = run ?config inst controller

@@ -1,0 +1,98 @@
+(** Discrete-event execution of right-sizing decisions.
+
+    The paper's model assumes instantaneous power-ups and per-slot
+    aggregate volumes; this simulator relaxes both so the abstraction
+    can be stress-tested:
+
+    - a powered-up server of type [j] spends [boot_delay.(j)] slots
+      *booting* — drawing idle power, providing no capacity — before it
+      becomes active (the paper's model is [boot_delay = 0]);
+    - volume the active fleet cannot absorb is either dropped (recorded
+      as [unserved]) or carried as backlog into the next slot;
+    - energy is metered with the same dispatch machinery the analytic
+      cost uses, so with zero boot delays and no overload the simulated
+      energy-plus-switching equals [Cost.schedule] exactly (a tested
+      equivalence).
+
+    Decisions come from a fixed schedule or from a {!controller} that
+    only observes the past — the online algorithms wrap into controllers
+    in {!Controllers}. *)
+
+type config = {
+  boot_delay : int array;  (** per-type boot slots ([0] = paper model) *)
+  carry_backlog : bool;
+      (** overflow volume carries to the next slot ([true]) or is
+          dropped ([false]) *)
+  failures : failure_model option;
+      (** random server crashes ([None] = the paper's reliable fleet) *)
+}
+
+and failure_model = {
+  rate : float;        (** per active server, per slot crash probability *)
+  repair_slots : int;  (** slots a crashed server is unavailable *)
+  seed : int;          (** deterministic failure stream *)
+}
+(** Failure injection: each active server independently crashes with
+    probability [rate] per slot; a crashed unit is unavailable for
+    [repair_slots] slots and then rejoins the inactive pool.  The crash
+    itself costs nothing, but re-powering replacement capacity pays
+    [beta] as usual — so flaky fleets punish policies that run close to
+    the edge. *)
+
+val ideal : d:int -> config
+(** Zero boot delays, dropped overflow, no failures — the paper's
+    assumptions. *)
+
+type metrics = {
+  energy : float;          (** operating cost actually drawn *)
+  energy_by_type : float array;
+      (** the same energy attributed per type (dispatch split + boot
+          idle); sums to [energy] *)
+  switching : float;       (** power-up cost actually paid *)
+  served : float;          (** volume processed *)
+  unserved : float;        (** volume dropped (never served) *)
+  backlog_peak : float;    (** largest carried backlog *)
+  power_up_events : int;   (** individual servers commanded up *)
+  failures : int;          (** servers crashed by the failure model *)
+  mean_utilisation : float;
+      (** mean over busy slots of served volume / active capacity *)
+}
+
+val run_schedule : ?config:config -> Model.Instance.t -> Model.Schedule.t -> metrics
+(** Execute a precomputed schedule against the instance's own loads.
+    The schedule gives the *commanded* targets; with boot delays the
+    realised active counts lag behind. *)
+
+type controller = time:int -> load:float -> backlog:float -> Model.Config.t
+(** An online decision rule: sees the current slot index, the newly
+    arrived volume and the current backlog, and returns the commanded
+    configuration.  Implementations keep their own state in the
+    closure. *)
+
+val run_controller :
+  ?config:config -> Model.Instance.t -> controller -> metrics * Model.Schedule.t
+(** Drive a controller slot by slot; returns the metrics and the
+    commanded schedule (for offline inspection). *)
+
+type wait_stats = {
+  mean_wait : float;  (** mean slots between arrival and completion *)
+  p95_wait : float;
+  max_wait : float;
+  completed : int;    (** jobs fully served within the horizon *)
+  abandoned : int;    (** jobs still queued at the horizon *)
+}
+
+val run_trace :
+  ?config:config ->
+  Model.Instance.t ->
+  Job_trace.t ->
+  controller ->
+  metrics * wait_stats * Model.Schedule.t
+(** Job-level execution: the trace's jobs queue FIFO and are served by
+    the active capacity; a job's wait is the slot it finishes minus the
+    slot it arrived.  Jobs are never dropped ([carry_backlog] is
+    implied); what the horizon leaves unfinished is reported as
+    [unserved] volume and [abandoned] jobs.  The instance's [load]
+    array should be the trace's aggregation (see
+    {!Job_trace.volumes}) so the controller and the energy model see
+    consistent demand. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Convex Float List Model Offline Online Printf Report Sim Sys Util

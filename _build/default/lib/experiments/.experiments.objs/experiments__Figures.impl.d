@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Buffer Convex Float List Model Offline Online Printf Report String Util

@@ -1,0 +1,1 @@
+lib/experiments/forecasting.ml: Float Forecast List Model Offline Online Printf Report Sim Util

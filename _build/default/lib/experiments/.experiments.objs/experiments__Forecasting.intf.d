@@ -1,0 +1,1 @@
+lib/experiments/forecasting.mli: Report

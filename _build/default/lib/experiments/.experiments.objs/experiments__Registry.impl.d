@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Figures Forecasting List Report Sensitivity Simulation Tables

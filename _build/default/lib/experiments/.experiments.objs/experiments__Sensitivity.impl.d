@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Array Convex Float List Model Offline Online Printf Report Sim Util

@@ -1,0 +1,1 @@
+lib/experiments/simulation.ml: Array Convex Dcsim Float List Model Offline Printf Report Sim Util

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Convex Float Fractional List Model Offline Online Printf Report Sim Sys Util

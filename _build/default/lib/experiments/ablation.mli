@@ -1,0 +1,10 @@
+(** Ablations of the implementation's design choices (not paper claims):
+
+    - the dispatch solver's fast paths (golden section for [d <= 2])
+      versus the general KKT water-filling and the greedy oracle;
+    - the ramp-transform DP versus the literal explicit graph of
+      Section 4.1;
+    - the scalable online mode (reduced power-of-gamma grid inside the
+      prefix engine) versus the exact dense grid. *)
+
+val run : unit -> Report.t

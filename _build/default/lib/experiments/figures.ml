@@ -1,0 +1,230 @@
+let st = Model.Server_type.make
+
+(* The single-type instance behind Figures 1 and 2: beta = 5 and idle
+   cost 1 give the paper's timer t_j = 5; the load wanders so that the
+   optimal-prefix trajectory rises and falls like the figure's staircase. *)
+let fig12_instance () =
+  let types = [| st ~name:"node" ~count:3 ~switching_cost:5. ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:1. ~coef:1. ~expo:2. |] in
+  let load =
+    [| 1.; 2.; 1.; 0.5; 0.2; 0.1; 2.5; 3.; 1.; 0.4; 0.1; 0.; 0.; 1.5; 2.; 2.8; 1.;
+       0.3; 0.1; 0.; 0.8; 0.2; 0.; 0. |]
+  in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let fig1 () =
+  let inst = fig12_instance () in
+  let horizon = Model.Instance.horizon inst in
+  let r = Online.Alg_a.run inst in
+  let hat = Array.map (fun x -> x.(0)) r.Online.Alg_a.prefix_last in
+  let xa = Model.Schedule.column r.Online.Alg_a.schedule ~typ:0 in
+  let dominated = Array.for_all2 (fun a h -> a >= h) xa hat in
+  let tbar = match r.Online.Alg_a.runtimes.(0) with Some t -> t | None -> -1 in
+  let plot =
+    Util.Ascii_plot.step_series
+      [ { Util.Ascii_plot.label = "x^A_t (algorithm A)"; glyph = '#'; values = xa };
+        { Util.Ascii_plot.label = "x^_t (last state of optimal prefix schedule)";
+          glyph = '.';
+          values = hat } ]
+  in
+  let events =
+    String.concat "\n"
+      (List.map
+         (fun (time, _, count) ->
+           Printf.sprintf "slot %2d: +%d server(s), powered down after slot %d" time count
+             (min (horizon - 1) (time + tbar - 1)))
+         r.Online.Alg_a.power_ups)
+  in
+  { Report.id = "fig1";
+    title = "Algorithm A trajectory (one type, t_j = 5)";
+    claim = "x^A_t >= x^t_t for all t; every server runs exactly t_j = 5 slots";
+    verdict =
+      Printf.sprintf "t_j = %d; dominance %s; %d power-up events" tbar
+        (if dominated then "holds at every slot" else "VIOLATED")
+        (List.length r.Online.Alg_a.power_ups);
+    sections =
+      [ Report.section ~heading:"load (sparkline)"
+          (Util.Ascii_plot.sparkline inst.Model.Instance.load);
+        Report.section ~heading:"trajectories" plot;
+        Report.section ~heading:"power-up events" events ];
+    pass = dominated;
+    artifacts =
+      [ ( "fig1.svg",
+          Util.Svg.step_plot ~title:"Figure 1: algorithm A (t_j = 5)"
+            [ { Util.Svg.label = "load lambda_t"; color = Some "#bbbbbb";
+                values = Array.copy inst.Model.Instance.load };
+              Util.Svg.int_series ~label:"x^_t (optimal prefix end)" hat;
+              Util.Svg.int_series ~label:"x^A_t (algorithm A)" xa ] ) ] }
+
+let fig2 () =
+  let inst = fig12_instance () in
+  let horizon = Model.Instance.horizon inst in
+  let r = Online.Alg_a.run inst in
+  let blocks = Online.Analysis.blocks_a r ~typ:0 ~horizon in
+  let taus = Online.Analysis.special_slots blocks in
+  let per = Online.Analysis.blocks_per_special blocks taus in
+  let covered = List.fold_left ( + ) 0 per = List.length blocks in
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i b ->
+      Buffer.add_string buf
+        (Printf.sprintf "A_{%d}: [%2d, %2d]  (%d server(s))\n" (i + 1)
+           b.Online.Analysis.start b.Online.Analysis.stop b.Online.Analysis.count))
+    blocks;
+  let tau_line =
+    "tau = " ^ String.concat ", " (List.map string_of_int taus)
+    ^ "\n|B_k| = " ^ String.concat ", " (List.map string_of_int per)
+  in
+  { Report.id = "fig2";
+    title = "Blocks A_{j,i} and special time slots tau_{j,k}";
+    claim = "each block contains exactly one special time slot";
+    verdict =
+      Printf.sprintf "%d blocks, %d special slots; partition %s" (List.length blocks)
+        (List.length taus)
+        (if covered then "exact" else "BROKEN");
+    sections =
+      [ Report.section ~heading:"blocks" (Buffer.contents buf);
+        Report.section ~heading:"special slots" tau_line ];
+    pass = covered;
+    artifacts = [] }
+
+let fig3 () =
+  (* beta = 6 with idle costs engineered so W_5 = {1, 2} (paper slots):
+     both the group powered up at slot 1 and the one at slot 2 are shut
+     down at slot 5. *)
+  let idles = [| 2.; 1.; 4.; 1.; 2.; 1.; 1.; 1.; 3.; 1. |] in
+  let load = [| 2.; 3.; 0.; 0.; 0.; 0.; 0.; 1.; 0.; 0. |] in
+  let types = [| st ~name:"node" ~count:3 ~switching_cost:6. ~cap:1. () |] in
+  let fns = Array.map Convex.Fn.const idles in
+  let inst =
+    Model.Instance.make ~types ~load ~cost:(fun ~time ~typ:_ -> fns.(time)) ()
+  in
+  let r = Online.Alg_b.run inst in
+  let col = Model.Schedule.column r.Online.Alg_b.schedule ~typ:0 in
+  let plot =
+    Util.Ascii_plot.step_series
+      [ { Util.Ascii_plot.label = "x^B_t"; glyph = '#'; values = col } ]
+  in
+  let w5 =
+    List.filter (fun (t, _, _) -> t = 4) r.Online.Alg_b.power_downs
+    |> List.fold_left (fun acc (_, _, c) -> acc + c) 0
+  in
+  let idle_line =
+    "l_t   = "
+    ^ String.concat " " (Array.to_list (Array.map (Printf.sprintf "%g") idles))
+  in
+  let events =
+    String.concat "\n"
+      (List.map
+         (fun (t, _, c) -> Printf.sprintf "power-down of %d server(s) at slot %d (paper slot %d)" c t (t + 1))
+         r.Online.Alg_b.power_downs)
+  in
+  { Report.id = "fig3";
+    title = "Algorithm B with beta = 6 and time-varying idle costs";
+    claim = "W_5 = {1, 2}: the groups powered up at paper slots 1 and 2 shut down at slot 5";
+    verdict =
+      Printf.sprintf "servers leaving at paper slot 5: %d (expected 3 = group(2) + group(1))" w5;
+    sections =
+      [ Report.section ~heading:"idle operating costs" idle_line;
+        Report.section ~heading:"x^B trajectory" plot;
+        Report.section ~heading:"power-down events" events ];
+    pass = (w5 = 3);
+    artifacts =
+      [ ( "fig3.svg",
+          Util.Svg.step_plot ~title:"Figure 3: algorithm B (beta = 6)"
+            [ { Util.Svg.label = "idle cost l_t"; color = Some "#bbbbbb";
+                values = Array.copy idles };
+              Util.Svg.int_series ~label:"x^B_t" col ] ) ] }
+
+let fig4 () =
+  (* Figure 4's instance: d = 2, T = 2, m = (2, 1); costs chosen so the
+     optimal schedule is x_1 = (2, 0), x_2 = (1, 1). *)
+  let types =
+    [| st ~name:"type1" ~count:2 ~switching_cost:1. ~cap:1. ();
+       st ~name:"type2" ~count:1 ~switching_cost:2. ~cap:2. () |]
+  in
+  let fns =
+    [| [| Convex.Fn.affine ~intercept:0.2 ~slope:0.1;
+          Convex.Fn.affine ~intercept:3. ~slope:1. |];
+       [| Convex.Fn.affine ~intercept:0.2 ~slope:2.;
+          Convex.Fn.affine ~intercept:0.1 ~slope:0.05 |] |]
+  in
+  let inst =
+    Model.Instance.make ~types ~load:[| 2.; 3. |]
+      ~cost:(fun ~time ~typ -> fns.(time).(typ))
+      ()
+  in
+  let stats = Offline.Graph_paper.stats inst in
+  let via_graph = Offline.Graph_paper.solve inst in
+  let via_dp = Offline.Dp.solve_optimal inst in
+  let agree = Util.Float_cmp.close ~eps:1e-9 via_graph.Offline.Dp.cost via_dp.Offline.Dp.cost in
+  let sched_str r =
+    String.concat " -> "
+      (Array.to_list (Array.map Model.Config.to_string r.Offline.Dp.schedule))
+  in
+  { Report.id = "fig4";
+    title = "Graph representation (d = 2, T = 2, m = (2, 1))";
+    claim = "the shortest path from v-up_{1,(0,0)} to v-down_{2,(0,0)} is the optimal schedule (2,0) -> (1,1)";
+    verdict =
+      Printf.sprintf "graph: %d vertices, %d edges; shortest path %s (cost %.4f), DP %s; %s"
+        stats.Offline.Graph_paper.vertices stats.Offline.Graph_paper.edges
+        (sched_str via_graph) via_graph.Offline.Dp.cost (sched_str via_dp)
+        (if agree then "costs agree" else "COSTS DIFFER");
+    sections =
+      [ Report.section ~heading:"schedule via explicit graph" (sched_str via_graph);
+        Report.section ~heading:"schedule via transform DP" (sched_str via_dp) ];
+    pass = (agree && via_graph.Offline.Dp.schedule = [| [| 2; 0 |]; [| 1; 1 |] |]);
+    artifacts = [] }
+
+let fig5 () =
+  (* gamma = 2, m = 10: build an optimal single-type schedule, the grid
+     {0,1,2,4,8,10}, and the witness X' of eq. (18). *)
+  let gamma = 2. in
+  let types = [| st ~name:"node" ~count:10 ~switching_cost:3. ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:0.6 ~coef:0.8 ~expo:2. |] in
+  let load =
+    [| 2.; 3.; 5.; 7.; 9.; 9.5; 8.; 6.; 4.; 2.; 1.; 0.5; 1.; 3.; 6.; 8.; 9.; 7.; 4.; 1. |]
+  in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let opt = Offline.Dp.solve_optimal inst in
+  let grid _ = Offline.Grid.power ~gamma [| 10 |] in
+  let witness = Offline.Approx_witness.build ~gamma ~grid opt.Offline.Dp.schedule in
+  let ok =
+    Offline.Approx_witness.invariant_holds ~gamma ~opt:opt.Offline.Dp.schedule ~witness
+  in
+  let approx = Offline.Dp.solve_approx ~eps:((2. *. gamma) -. 2.) inst in
+  let wit_cost = Model.Cost.schedule inst witness in
+  let band =
+    Array.map
+      (fun x -> min 10 (int_of_float (Float.floor (3. *. float_of_int x.(0)))))
+      opt.Offline.Dp.schedule
+  in
+  let plot =
+    Util.Ascii_plot.step_series
+      [ { Util.Ascii_plot.label = "band top: min(m, 3 x*_t)"; glyph = '.'; values = band };
+        { Util.Ascii_plot.label = "x'_t (witness on {0,1,2,4,8,10})"; glyph = '#';
+          values = Model.Schedule.column witness ~typ:0 };
+        { Util.Ascii_plot.label = "x*_t (optimal)"; glyph = 'o';
+          values = Model.Schedule.column opt.Offline.Dp.schedule ~typ:0 } ]
+  in
+  { Report.id = "fig5";
+    title = "Construction of X' (gamma = 2, m = 10)";
+    claim = "X' stays within [x*, min(m, 3 x*)] and C(X^gamma) <= C(X') <= 3 C(X*)";
+    verdict =
+      Printf.sprintf
+        "invariant %s; C(X*) = %.3f, C(X^gamma) = %.3f, C(X') = %.3f, 3 C(X*) = %.3f"
+        (if ok then "holds" else "VIOLATED")
+        opt.Offline.Dp.cost approx.Offline.Dp.cost wit_cost (3. *. opt.Offline.Dp.cost);
+    sections = [ Report.section ~heading:"schedules" plot ];
+    pass =
+      (ok
+      && approx.Offline.Dp.cost <= wit_cost +. 1e-6
+      && wit_cost <= (3. *. opt.Offline.Dp.cost) +. 1e-6);
+    artifacts =
+      [ ( "fig5.svg",
+          Util.Svg.step_plot ~title:"Figure 5: witness X' (gamma = 2, m = 10)"
+            [ Util.Svg.int_series ~label:"band top min(m, 3 x*)" ~color:"#bbbbbb" band;
+              Util.Svg.int_series ~label:"x* (optimal)"
+                (Model.Schedule.column opt.Offline.Dp.schedule ~typ:0);
+              Util.Svg.int_series ~label:"x' (witness)"
+                (Model.Schedule.column witness ~typ:0) ] ) ] }

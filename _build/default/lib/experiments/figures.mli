@@ -1,0 +1,29 @@
+(** Reproductions of the paper's five figures, regenerated from real
+    algorithm runs (not drawings): each returns a {!Report.t} containing
+    ASCII renderings plus a machine-checked verdict that the depicted
+    property holds in the run. *)
+
+val fig1 : unit -> Report.t
+(** Figure 1 — algorithm A on one server type with [t_j = 5]: the
+    optimal-prefix trajectory [x^t_{t,j}] vs the algorithm's [x^A_{t,j}];
+    every power-up runs exactly 5 slots and [x^A >= x^] throughout. *)
+
+val fig2 : unit -> Report.t
+(** Figure 2 — the blocks [A_{j,i}] of the same run and the special time
+    slots [tau_{j,k}]: consecutive special slots are [>= t_j] apart and
+    each block contains exactly one. *)
+
+val fig3 : unit -> Report.t
+(** Figure 3 — algorithm B with [beta_j = 6] and time-varying idle costs:
+    the runtimes [t_{t,j}] and the power-down sets [W_t]; reproduces
+    [W_5 = {1, 2}] (both early groups shut down at slot 5). *)
+
+val fig4 : unit -> Report.t
+(** Figure 4 — the graph representation on [d = 2, T = 2, m = (2, 1)]:
+    24 vertices; the shortest path equals the optimal schedule
+    [x_1 = (2,0), x_2 = (1,1)]. *)
+
+val fig5 : unit -> Report.t
+(** Figure 5 — the witness schedule [X'] for [gamma = 2, m_j = 10] on the
+    grid [{0,1,2,4,8,10}]: [X'] stays inside the band from the optimal
+    count up to [min(m, 3 * optimal)] (invariant (19)). *)

@@ -1,0 +1,73 @@
+let fmt = Printf.sprintf
+
+let predictors =
+  [ ("naive-last", fun () -> Forecast.Predictor.naive_last ());
+    ("seasonal-24", fun () -> Forecast.Predictor.seasonal_naive ~period:24);
+    ("ewma-0.4", fun () -> Forecast.Predictor.ewma ~alpha:0.4);
+    ("holt-winters-24",
+     fun () -> Forecast.Predictor.holt_winters ~alpha:0.4 ~beta:0.05 ~gamma:0.3 ~period:24) ]
+
+let traces () =
+  let rng = Util.Prng.create 404 in
+  [ ("diurnal",
+     Sim.Workload.diurnal ~noise:0.08 ~rng ~horizon:96 ~period:24 ~base:1. ~peak:12. ());
+    ("bursty", Sim.Workload.bursty ~horizon:96 ~burst:3 ~gap:9 ~height:9. ~base:1. ());
+    ("mmpp",
+     Sim.Workload.mmpp ~rng ~horizon:96 ~low:2. ~high:9. ~switch_prob:0.08 ~jitter:0.1);
+    ("random-walk",
+     Sim.Workload.random_walk ~rng ~horizon:96 ~start:5. ~step:1.2 ~lo:0. ~hi:12.) ]
+
+let accuracy_section () =
+  let tbl =
+    Util.Table.create ~header:[ "trace"; "predictor"; "MAE"; "RMSE"; "MAPE" ]
+  in
+  List.iter
+    (fun (trace_name, series) ->
+      List.iter
+        (fun (pred_name, make) ->
+          let e = Forecast.Predictor.backtest ~make series in
+          Util.Table.add_row tbl
+            [ trace_name; pred_name;
+              fmt "%.3f" e.Forecast.Predictor.mae;
+              fmt "%.3f" e.Forecast.Predictor.rmse;
+              (if Float.is_nan e.Forecast.Predictor.mape then "-"
+               else fmt "%.1f%%" (100. *. e.Forecast.Predictor.mape)) ])
+        predictors)
+    (traces ());
+  Util.Table.render tbl
+
+let policy_section () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:48 () in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let tbl = Util.Table.create ~header:[ "policy"; "lookahead"; "ratio vs OPT" ] in
+  let add name window ratio = Util.Table.add_row tbl [ name; window; fmt "%.4f" ratio ] in
+  let ratio schedule = Model.Cost.schedule inst schedule /. opt in
+  add "oracle receding horizon" "true future (6)"
+    (ratio (Online.Baselines.receding_horizon ~window:6 inst));
+  List.iter
+    (fun (pred_name, make) ->
+      add (fmt "predictive horizon [%s]" pred_name) "forecast (6)"
+        (ratio (Forecast.Predictive.plan ~make ~window:6 inst)))
+    predictors;
+  add "algorithm A (paper)" "none"
+    (ratio (Online.Alg_a.run inst).Online.Alg_a.schedule);
+  add "anticipatory A [seasonal-24]" "forecast (6)"
+    (ratio
+       (Forecast.Predictive.anticipatory_a
+          ~make:(fun () -> Forecast.Predictor.seasonal_naive ~period:24)
+          ~window:6 inst));
+  Util.Table.render tbl
+
+let run () =
+  Report.make ~id:"forecast"
+    ~title:"Predictions: forecast accuracy and the honest receding horizon (cf. [16, 25])"
+    ~claim:
+      "good forecasts recover most of the oracle-lookahead advantage; algorithm A needs \
+       none and stays within its guarantee"
+    ~verdict:
+      "seasonal forecasts close most of the oracle gap on structured traces; on \
+       structure-free traces forecasting buys little and the guarantee-backed algorithm \
+       is the safe choice"
+    [ Report.section ~heading:"one-step backtest accuracy (T = 96)" (accuracy_section ());
+      Report.section ~heading:"policies on the diurnal scenario (T = 48)" (policy_section ())
+    ]

@@ -1,0 +1,7 @@
+(** Predictions experiment (related work [16, 25]): how accurate are the
+    classic forecasters on each trace family, and how much of the
+    oracle-lookahead advantage does an *honest* (forecast-driven)
+    receding-horizon planner retain compared to the paper's
+    guarantee-backed algorithm A? *)
+
+val run : unit -> Report.t

@@ -1,0 +1,57 @@
+type entry = {
+  id : string;
+  kind : [ `Figure | `Table | `Extension ];
+  description : string;
+  run : unit -> Report.t;
+}
+
+let all =
+  [ { id = "fig1"; kind = `Figure;
+      description = "Algorithm A trajectory (t_j = 5)"; run = Figures.fig1 };
+    { id = "fig2"; kind = `Figure;
+      description = "Blocks and special time slots"; run = Figures.fig2 };
+    { id = "fig3"; kind = `Figure;
+      description = "Algorithm B power-down bookkeeping (beta = 6)"; run = Figures.fig3 };
+    { id = "fig4"; kind = `Figure;
+      description = "Graph representation (d = 2, T = 2, m = (2,1))"; run = Figures.fig4 };
+    { id = "fig5"; kind = `Figure;
+      description = "Witness schedule X' (gamma = 2, m = 10)"; run = Figures.fig5 };
+    { id = "thm8"; kind = `Table;
+      description = "Algorithm A within 2d + 1"; run = Tables.thm8 };
+    { id = "cor9"; kind = `Table;
+      description = "Load-independent special case within 2d"; run = Tables.cor9 };
+    { id = "thm13"; kind = `Table;
+      description = "Algorithm B within 2d + 1 + c(I)"; run = Tables.thm13 };
+    { id = "thm15"; kind = `Table;
+      description = "Algorithm C within 2d + 1 + eps"; run = Tables.thm15 };
+    { id = "thm21"; kind = `Table;
+      description = "(1+eps)-approximation quality and runtime"; run = Tables.thm21 };
+    { id = "thm22"; kind = `Table;
+      description = "Time-varying data-center sizes"; run = Tables.thm22 };
+    { id = "chasing"; kind = `Table;
+      description = "Omega(2^d/d) chasing lower bound"; run = Tables.chasing };
+    { id = "lower-bound"; kind = `Table;
+      description = "2d lower-bound probe (resonant bursts)"; run = Tables.lower_bound };
+    { id = "baselines"; kind = `Table;
+      description = "Policy comparison on the diurnal scenario"; run = Tables.baselines };
+    { id = "fractional"; kind = `Extension;
+      description = "Fractional setting: gap, LCP, rounding blow-up"; run = Tables.fractional };
+    { id = "sensitivity"; kind = `Extension;
+      description = "Ratio surface over beta scale x load volatility"; run = Sensitivity.run };
+    { id = "forecast"; kind = `Extension;
+      description = "Forecast accuracy + honest receding horizon"; run = Forecasting.run };
+    { id = "geo"; kind = `Extension;
+      description = "Geographic price-shifting (follow the moon)"; run = Tables.geo };
+    { id = "randomized"; kind = `Extension;
+      description = "Randomised vs deterministic power-down"; run = Tables.randomized };
+    { id = "simulation"; kind = `Extension;
+      description = "Discrete-event validation (boot delays, autoscalers)";
+      run = Simulation.run };
+    { id = "ablation"; kind = `Extension;
+      description = "Design-choice ablations (fast paths, graph vs DP, reduced grids)";
+      run = Ablation.run }
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

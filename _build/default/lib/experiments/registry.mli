@@ -1,0 +1,20 @@
+(** Index of every reproducible artifact: figure ids, theorem tables and
+    extension experiments, with one runner per id.  The CLI and the
+    benchmark executable both dispatch through this list, so
+    [EXPERIMENTS.md], [rightsizer] and [bench/main.exe] cannot drift
+    apart. *)
+
+type entry = {
+  id : string;
+  kind : [ `Figure | `Table | `Extension ];
+  description : string;
+  run : unit -> Report.t;
+}
+
+val all : entry list
+(** Every experiment, in paper order. *)
+
+val find : string -> entry option
+(** Look an experiment up by id. *)
+
+val ids : unit -> string list

@@ -1,0 +1,43 @@
+type section = { heading : string; body : string }
+
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  verdict : string;
+  sections : section list;
+  artifacts : (string * string) list;
+  pass : bool;
+}
+
+let make ~id ~title ~claim ~verdict ?(artifacts = []) ?(pass = true) sections =
+  { id; title; claim; verdict; sections; artifacts; pass }
+
+let section ~heading body = { heading; body }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== [%s] %s ===\n" t.id t.title);
+  Buffer.add_string buf (Printf.sprintf "Paper claim : %s\n" t.claim);
+  Buffer.add_string buf (Printf.sprintf "Measured    : %s\n" t.verdict);
+  Buffer.add_string buf (Printf.sprintf "Check       : %s\n" (if t.pass then "PASS" else "FAIL"));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "\n--- %s ---\n%s\n" s.heading s.body))
+    t.sections;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let to_markdown t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "## `%s` — %s\n\n" t.id t.title);
+  Buffer.add_string buf (Printf.sprintf "**Paper claim.** %s\n\n" t.claim);
+  Buffer.add_string buf
+    (Printf.sprintf "**Measured.** %s — check **%s**.\n\n" t.verdict
+       (if t.pass then "PASS" else "FAIL"));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "*%s*\n\n```\n%s\n```\n\n" s.heading s.body))
+    t.sections;
+  Buffer.contents buf

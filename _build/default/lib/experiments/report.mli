@@ -1,0 +1,46 @@
+(** Experiment reports: structured output shared by the CLI, the
+    benchmark harness, and [EXPERIMENTS.md].  Each experiment renders a
+    report with a headline verdict so a reader can scan paper-claim vs
+    measurement at a glance. *)
+
+type section = {
+  heading : string;
+  body : string;  (** preformatted text: a table or an ASCII plot *)
+}
+
+type t = {
+  id : string;          (** e.g. ["fig1"], ["thm8"] *)
+  title : string;       (** what the paper artifact shows *)
+  claim : string;       (** the paper's claim being reproduced *)
+  verdict : string;     (** the measured outcome, one line *)
+  sections : section list;
+  artifacts : (string * string) list;
+      (** extra files to write alongside the text report when exporting
+          (filename, content) — e.g. SVG renderings of the figures *)
+  pass : bool;
+      (** the machine-checked verdict: [true] when every claim the
+          experiment verifies held in this run.  [rightsizer verify]
+          asserts the conjunction over all experiments. *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  claim:string ->
+  verdict:string ->
+  ?artifacts:(string * string) list ->
+  ?pass:bool ->
+  section list ->
+  t
+(** Constructor; [artifacts] defaults to empty, [pass] to [true]. *)
+
+val section : heading:string -> string -> section
+
+val to_string : t -> string
+(** Render the whole report as plain text. *)
+
+val to_markdown : t -> string
+(** Render as a markdown section (tables/plots in code fences) — the
+    building block of [rightsizer report]. *)
+
+val print : t -> unit

@@ -1,0 +1,7 @@
+(** Sensitivity analysis: how algorithm A's empirical competitive ratio
+    responds to the two quantities its analysis pivots on — the
+    switching-to-idle cost ratio [beta / l] (the ski-rental break-even)
+    and the volatility of the load.  The worst-case bound [2d + 1] is
+    flat; the measured surface shows where real instances sit under it. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,156 @@
+let fmt = Printf.sprintf
+
+let total m = m.Dcsim.Sim.energy +. m.Dcsim.Sim.switching
+
+let equivalence_section () =
+  let tbl =
+    Util.Table.create ~header:[ "instance"; "analytic C(X)"; "simulated"; "difference" ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (name, inst) ->
+      let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in
+      let m = Dcsim.Sim.run_schedule inst schedule in
+      let diff = Float.abs (cost -. total m) in
+      if diff > 1e-6 then ok := false;
+      Util.Table.add_row tbl
+        [ name; fmt "%.6f" cost; fmt "%.6f" (total m); fmt "%.1e" diff ])
+    [ ("cpu-gpu", Sim.Scenarios.cpu_gpu ~horizon:24 ());
+      ("three-tier", Sim.Scenarios.three_tier ~horizon:24 ());
+      ("electricity", Sim.Scenarios.time_varying_costs ~horizon:24 ()) ];
+  (Util.Table.render tbl, !ok)
+
+let boot_delay_section () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:48 () in
+  let arrived = Array.fold_left ( +. ) 0. inst.Model.Instance.load in
+  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in
+  let tbl =
+    Util.Table.create
+      ~header:
+        [ "boot delay"; "mode"; "cost"; "vs analytic"; "unserved %"; "backlog peak" ]
+  in
+  List.iter
+    (fun delay ->
+      List.iter
+        (fun carry ->
+          let config =
+            { Dcsim.Sim.boot_delay = Array.make 2 delay; carry_backlog = carry; failures = None }
+          in
+          let m = Dcsim.Sim.run_schedule ~config inst schedule in
+          Util.Table.add_row tbl
+            [ string_of_int delay;
+              (if carry then "queue" else "drop");
+              fmt "%.2f" (total m);
+              fmt "%+.2f%%" (100. *. ((total m /. cost) -. 1.));
+              fmt "%.2f%%" (100. *. m.Dcsim.Sim.unserved /. arrived);
+              fmt "%.2f" m.Dcsim.Sim.backlog_peak ])
+        [ false; true ])
+    [ 0; 1; 2 ];
+  Util.Table.render tbl
+
+let failure_section () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:48 () in
+  let tbl =
+    Util.Table.create
+      ~header:[ "failure rate"; "controller"; "cost"; "unserved"; "crashes" ]
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun (name, mk) ->
+          let config =
+            { Dcsim.Sim.boot_delay = [| 0; 0 |];
+              carry_backlog = false;
+              failures =
+                (if rate = 0. then None
+                 else Some { Dcsim.Sim.rate; repair_slots = 3; seed = 11 }) }
+          in
+          let m, _ = Dcsim.Sim.run_controller ~config inst (mk ()) in
+          Util.Table.add_row tbl
+            [ fmt "%g" rate; name; fmt "%.2f" (total m); fmt "%.2f" m.Dcsim.Sim.unserved;
+              string_of_int m.Dcsim.Sim.failures ])
+        [ ("algorithm A", fun () -> Dcsim.Controllers.alg_a inst);
+          ("hysteresis 80/30", fun () -> Dcsim.Controllers.hysteresis ~up:0.8 ~down:0.3 inst) ])
+    [ 0.; 0.01; 0.05 ];
+  Util.Table.render tbl
+
+let controllers_section () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:48 () in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let tbl =
+    Util.Table.create
+      ~header:[ "controller"; "cost"; "ratio vs OPT"; "utilisation"; "power-ups" ]
+  in
+  List.iter
+    (fun (name, controller) ->
+      let m, _ = Dcsim.Sim.run_controller inst controller in
+      Util.Table.add_row tbl
+        [ name;
+          fmt "%.2f" (total m);
+          fmt "%.3f" (total m /. opt);
+          fmt "%.2f" m.Dcsim.Sim.mean_utilisation;
+          string_of_int m.Dcsim.Sim.power_up_events ])
+    [ ("algorithm A (paper)", Dcsim.Controllers.alg_a inst);
+      ("hysteresis 80/30", Dcsim.Controllers.hysteresis ~up:0.8 ~down:0.3 inst);
+      ("hysteresis 60/20", Dcsim.Controllers.hysteresis ~up:0.6 ~down:0.2 inst);
+      ("static peak", Dcsim.Controllers.static_peak inst) ];
+  Util.Table.render tbl
+
+let latency_section () =
+  (* Job-level waits under each controller: an SLO view the aggregate
+     model cannot give.  Poisson jobs aggregated into the instance loads
+     so controllers and the energy meter see consistent demand. *)
+  let horizon = 48 in
+  let rng = Util.Prng.create 505 in
+  let trace = Dcsim.Job_trace.poisson ~rng ~horizon ~rate:3. ~mean_volume:1.2 in
+  let load = Sim.Workload.clamp ~lo:0. ~hi:9. (Dcsim.Job_trace.volumes trace ~horizon) in
+  (* A tight fleet (peak ~= capacity) so queueing actually shows. *)
+  let types =
+    [| Model.Server_type.make ~name:"web" ~count:5 ~switching_cost:2. ~cap:1. ();
+       Model.Server_type.make ~name:"big" ~count:2 ~switching_cost:6. ~cap:2. () |]
+  in
+  let fns =
+    [| Convex.Fn.power ~idle:0.5 ~coef:0.7 ~expo:2.;
+       Convex.Fn.power ~idle:1.1 ~coef:0.4 ~expo:1.6 |]
+  in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let tbl =
+    Util.Table.create
+      ~header:[ "controller"; "cost"; "mean wait"; "p95 wait"; "completed"; "left" ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let m, w, _ = Dcsim.Sim.run_trace inst trace (mk ()) in
+      Util.Table.add_row tbl
+        [ name; fmt "%.1f" (total m);
+          fmt "%.2f" w.Dcsim.Sim.mean_wait;
+          fmt "%.2f" w.Dcsim.Sim.p95_wait;
+          string_of_int w.Dcsim.Sim.completed;
+          string_of_int w.Dcsim.Sim.abandoned ])
+    [ ("algorithm A", fun () -> Dcsim.Controllers.alg_a inst);
+      ("hysteresis 80/30", fun () -> Dcsim.Controllers.hysteresis ~up:0.8 ~down:0.3 inst);
+      ("static peak", fun () -> Dcsim.Controllers.static_peak inst) ];
+  Util.Table.render tbl
+
+let run () =
+  let equivalence, ok = equivalence_section () in
+  { Report.id = "simulation";
+    title = "Discrete-event validation of the model (boot delays, autoscalers)";
+    claim =
+      "the analytic cost model is exact under the paper's assumptions and degrades \
+       gracefully under realistic boot delays";
+    verdict =
+      (if ok then
+         "simulated = analytic under ideal assumptions (diff < 1e-6); with boot delays the \
+          gap stays small while unserved volume quantifies the assumption's price"
+       else "EQUIVALENCE BROKEN");
+    sections =
+      [ Report.section ~heading:"ideal-assumption equivalence" equivalence;
+        Report.section ~heading:"boot-delay sweep (optimal schedule, cpu-gpu T=48)"
+          (boot_delay_section ());
+        Report.section ~heading:"controllers in simulation" (controllers_section ());
+        Report.section ~heading:"failure injection (repair = 3 slots)" (failure_section ());
+        Report.section ~heading:"job-level latency (Poisson trace, FIFO service)"
+          (latency_section ()) ];
+    pass = ok;
+    artifacts = [] }

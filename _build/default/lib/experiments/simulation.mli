@@ -1,0 +1,11 @@
+(** Discrete-event validation of the paper's modelling assumptions:
+
+    - with zero boot delays the simulated energy-plus-switching equals
+      the analytic cost [C(X)] exactly;
+    - with realistic boot delays the instantaneous-switching assumption
+      is probed: unserved volume and extra energy per delay;
+    - the paper's algorithm compared, in simulation, against the
+      threshold autoscaler and static peak provisioning every cloud
+      actually runs. *)
+
+val run : unit -> Report.t

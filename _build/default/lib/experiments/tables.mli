@@ -1,0 +1,56 @@
+(** Measured tables for the paper's theorems.  The paper proves
+    worst-case bounds; each experiment measures the empirical competitive
+    or approximation ratio over instance families and reports it next to
+    the proven bound (measured <= bound must hold on every instance; the
+    gap shows the bounds' slack on non-adversarial inputs). *)
+
+val thm8 : unit -> Report.t
+(** Theorem 8 — algorithm A is [(2d+1)]-competitive: ratios over random
+    time-independent instances and the named scenarios, for
+    [d in {1, 2, 3}]. *)
+
+val cor9 : unit -> Report.t
+(** Corollary 9 — ratio [2d] for load- and time-independent costs. *)
+
+val thm13 : unit -> Report.t
+(** Theorem 13 — algorithm B is [(2d+1+c(I))]-competitive on
+    time-dependent instances; reports the measured [c(I)] per family. *)
+
+val thm15 : unit -> Report.t
+(** Theorem 15 — algorithm C is [(2d+1+eps)]-competitive; sweeps
+    [eps in {1, 0.5, 0.1}] and confirms [c(I~) <= eps]. *)
+
+val thm21 : unit -> Report.t
+(** Theorem 21 — the [(1+eps)]-approximation: cost ratio vs the exact
+    optimum and runtime/state-count scaling in [eps] and [m]. *)
+
+val thm22 : unit -> Report.t
+(** Theorem 22 — time-varying data-center sizes: the approximation on
+    the maintenance/expansion scenario. *)
+
+val chasing : unit -> Report.t
+(** Related-work example — [Omega(2^d / d)] lower bound for general
+    discrete convex function chasing, simulated for [d in {2..12}]. *)
+
+val lower_bound : unit -> Report.t
+(** The [2d] lower-bound probe of [5]: resonant-burst adversaries per
+    dimension, measured ratio of algorithm A vs the [2d] bound. *)
+
+val baselines : unit -> Report.t
+(** Motivation table — OPT, algorithm A, the randomised variant, LCP-1d
+    where applicable, and the operating-practice baselines on the
+    CPU+GPU diurnal scenario. *)
+
+val fractional : unit -> Report.t
+(** Extension — the fractional setting of the related work: integrality
+    gap on homogeneous instances, fractional LCP's empirical ratio, and
+    the paper's ceiling-rounding blow-up example. *)
+
+val geo : unit -> Report.t
+(** Extension — a geographic-load-balancing flavoured instance (related
+    work [26, 22]): two regions as server types with phase-shifted
+    electricity prices; measures where capacity runs. *)
+
+val randomized : unit -> Report.t
+(** Extension — deterministic vs randomised power-down on adversarial
+    bursts: expected cost over seeds, per [d]. *)

@@ -1,0 +1,1 @@
+lib/forecast/predictive.ml: Array Model Offline Online Predictor Util

@@ -1,0 +1,1 @@
+lib/forecast/predictive.mli: Model Predictor

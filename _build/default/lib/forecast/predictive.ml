@@ -1,0 +1,76 @@
+let capacity_cap inst ~time = Model.Instance.capacity_at inst ~time
+
+(* Re-plan an optimal window starting at [time]: slot one carries the
+   observed demand, later slots the predictor's forecasts clamped into
+   each slot's feasible range; commit the first decision. *)
+let plan_step ~window ~predictor ~current inst ~time ~demand =
+  let horizon = Model.Instance.horizon inst in
+  let len = min window (horizon - time) in
+  let base = Model.Instance.window inst ~start:time ~len in
+  let forecast = Predictor.forecast predictor ~steps:len in
+  let load =
+    Array.init len (fun u ->
+        if u = 0 then Util.Float_cmp.clamp ~lo:0. ~hi:(capacity_cap inst ~time) demand
+        else
+          Util.Float_cmp.clamp ~lo:0.
+            ~hi:(capacity_cap inst ~time:(time + u))
+            forecast.(u))
+  in
+  let window_inst =
+    Model.Instance.make
+      ~avail:(fun ~time:u ~typ -> base.Model.Instance.avail ~time:u ~typ)
+      ~types:base.Model.Instance.types ~load
+      ~cost:(fun ~time:u ~typ -> base.Model.Instance.cost ~time:u ~typ)
+      ()
+  in
+  let { Offline.Dp.schedule; _ } = Offline.Dp.solve ~initial:current window_inst in
+  schedule.(0)
+
+let anticipatory_a ~make ~window inst =
+  if window < 0 then invalid_arg "Predictive.anticipatory_a: window must be >= 0";
+  if not inst.Model.Instance.time_independent then
+    invalid_arg "Predictive.anticipatory_a: operating costs must be time-independent";
+  let horizon = Model.Instance.horizon inst in
+  let d = Model.Instance.num_types inst in
+  let fns = Array.init d (fun typ -> inst.Model.Instance.cost ~time:0 ~typ) in
+  let predictor = make () in
+  let stepper = Online.Stepper.alg_a inst in
+  let schedule = Array.make horizon [||] in
+  for time = 0 to horizon - 1 do
+    Predictor.observe predictor inst.Model.Instance.load.(time);
+    (* Observed prefix extended by clamped forecasts. *)
+    let w = min window (horizon - 1 - time) in
+    let forecast = if w > 0 then Predictor.forecast predictor ~steps:w else [||] in
+    let load =
+      Array.init
+        (time + 1 + w)
+        (fun u ->
+          if u <= time then inst.Model.Instance.load.(u)
+          else
+            Util.Float_cmp.clamp ~lo:0.
+              ~hi:(capacity_cap inst ~time:u)
+              forecast.(u - time - 1))
+    in
+    let extended = Model.Instance.make_static ~types:inst.Model.Instance.types ~load ~fns () in
+    let { Offline.Dp.schedule = ext; _ } = Offline.Dp.solve extended in
+    schedule.(time) <- Online.Stepper.step stepper ~time ~hat:ext.(time)
+  done;
+  schedule
+
+let controller ~make ~window inst =
+  if window < 1 then invalid_arg "Predictive.controller: window must be >= 1";
+  let predictor = make () in
+  let d = Model.Instance.num_types inst in
+  let current = ref (Model.Config.zero d) in
+  fun ~time ~load ~backlog ->
+    let demand = load +. backlog in
+    let next = plan_step ~window ~predictor ~current:!current inst ~time ~demand in
+    Predictor.observe predictor load;
+    current := next;
+    Array.copy next
+
+let plan ~make ~window inst =
+  let horizon = Model.Instance.horizon inst in
+  let ctrl = controller ~make ~window inst in
+  Array.init horizon (fun time ->
+      ctrl ~time ~load:inst.Model.Instance.load.(time) ~backlog:0.)

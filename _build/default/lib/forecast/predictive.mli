@@ -1,0 +1,47 @@
+(** Receding-horizon planning on *forecast* loads — the honest version
+    of {!Online.Baselines.receding_horizon}, which reads the true future.
+
+    At each slot the planner observes the true load, re-plans an optimal
+    window whose first slot carries the observed load and whose remaining
+    slots carry the predictor's forecasts (clamped to the fleet
+    capacity so the window instance stays well-formed), and commits the
+    first decision.  Feasibility for the *true* loads is guaranteed
+    because slot one of every window is the observed load.
+
+    This realises the predictions-based line of related work ([16, 25])
+    at the level the paper's model permits. *)
+
+val plan :
+  make:(unit -> Predictor.t) ->
+  window:int ->
+  Model.Instance.t ->
+  Model.Schedule.t
+(** Run the predictive planner over the whole instance.  [window >= 1]
+    ([window = 1] degenerates to myopic re-planning with switching
+    awareness). *)
+
+val anticipatory_a :
+  make:(unit -> Predictor.t) ->
+  window:int ->
+  Model.Instance.t ->
+  Model.Schedule.t
+(** Algorithm A with predictions: the power-up target at slot [t] is the
+    slot-[t] configuration of an optimal schedule over the observed
+    prefix *extended by [window] forecast slots* (clamped to capacity),
+    instead of the prefix alone; the ski-rental power-down timers are
+    unchanged.  With [window = 0] this is exactly algorithm A.  The
+    paper's guarantee does not transfer (the forecast can mislead);
+    the forecast experiment measures what anticipation buys.  Requires a
+    time-independent instance. *)
+
+val controller :
+  make:(unit -> Predictor.t) ->
+  window:int ->
+  Model.Instance.t ->
+  time:int ->
+  load:float ->
+  backlog:float ->
+  Model.Config.t
+(** The same policy as a controller closure, structurally compatible
+    with {!Dcsim.Sim.controller} (the [backlog] is added to the observed
+    load before planning). *)

@@ -1,0 +1,149 @@
+(* Each method is a record of closures over its own mutable state; the
+   wrapper enforces input validation and non-negative forecasts. *)
+type t = {
+  name : string;
+  mutable count : int;
+  observe_raw : float -> unit;
+  forecast_raw : int -> float;  (* k-th step ahead, k >= 1 *)
+}
+
+let observe p y =
+  if y < 0. || not (Float.is_finite y) then
+    invalid_arg "Predictor.observe: loads must be finite and non-negative";
+  p.observe_raw y;
+  p.count <- p.count + 1
+
+let forecast p ~steps =
+  if steps < 1 then invalid_arg "Predictor.forecast: steps must be >= 1";
+  Array.init steps (fun i ->
+      if p.count = 0 then 0. else Float.max 0. (p.forecast_raw (i + 1)))
+
+let observed p = p.count
+let name p = p.name
+
+let naive_last () =
+  let last = ref 0. in
+  { name = "naive-last";
+    count = 0;
+    observe_raw = (fun y -> last := y);
+    forecast_raw = (fun _ -> !last) }
+
+let seasonal_naive ~period =
+  if period < 1 then invalid_arg "Predictor.seasonal_naive: period must be >= 1";
+  let seen = Array.make period Float.nan in
+  let last = ref 0. in
+  let count = ref 0 in
+  { name = Printf.sprintf "seasonal-naive(%d)" period;
+    count = 0;
+    observe_raw =
+      (fun y ->
+        seen.(!count mod period) <- y;
+        last := y;
+        incr count);
+    forecast_raw =
+      (fun k ->
+        let phase = (!count + k - 1) mod period in
+        if Float.is_nan seen.(phase) then !last else seen.(phase)) }
+
+let ewma ~alpha =
+  if not (alpha > 0. && alpha <= 1.) then invalid_arg "Predictor.ewma: alpha in (0, 1]";
+  let level = ref 0. in
+  let started = ref false in
+  { name = Printf.sprintf "ewma(%.2g)" alpha;
+    count = 0;
+    observe_raw =
+      (fun y ->
+        if !started then level := (alpha *. y) +. ((1. -. alpha) *. !level)
+        else begin
+          level := y;
+          started := true
+        end);
+    forecast_raw = (fun _ -> !level) }
+
+let holt ~alpha ~beta =
+  if not (alpha > 0. && alpha <= 1.) then invalid_arg "Predictor.holt: alpha in (0, 1]";
+  if not (beta >= 0. && beta <= 1.) then invalid_arg "Predictor.holt: beta in [0, 1]";
+  let level = ref 0. and trend = ref 0. in
+  let seen = ref 0 in
+  { name = Printf.sprintf "holt(%.2g,%.2g)" alpha beta;
+    count = 0;
+    observe_raw =
+      (fun y ->
+        (match !seen with
+        | 0 -> level := y
+        | 1 ->
+            trend := y -. !level;
+            level := y
+        | _ ->
+            let prev = !level in
+            level := (alpha *. y) +. ((1. -. alpha) *. (prev +. !trend));
+            trend := (beta *. (!level -. prev)) +. ((1. -. beta) *. !trend));
+        incr seen);
+    forecast_raw = (fun k -> !level +. (float_of_int k *. !trend)) }
+
+let holt_winters ~alpha ~beta ~gamma ~period =
+  if period < 2 then invalid_arg "Predictor.holt_winters: period must be >= 2";
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Predictor.holt_winters: alpha in (0, 1]";
+  if not (beta >= 0. && beta <= 1.) then invalid_arg "Predictor.holt_winters: beta in [0, 1]";
+  if not (gamma >= 0. && gamma <= 1.) then
+    invalid_arg "Predictor.holt_winters: gamma in [0, 1]";
+  let level = ref 0. and trend = ref 0. in
+  let season = Array.make period 0. in
+  let seen = ref 0 in
+  { name = Printf.sprintf "holt-winters(%d)" period;
+    count = 0;
+    observe_raw =
+      (fun y ->
+        let phase = !seen mod period in
+        (match !seen with
+        | 0 -> level := y
+        | _ ->
+            let prev = !level in
+            level :=
+              (alpha *. (y -. season.(phase))) +. ((1. -. alpha) *. (prev +. !trend));
+            trend := (beta *. (!level -. prev)) +. ((1. -. beta) *. !trend);
+            season.(phase) <-
+              (gamma *. (y -. !level)) +. ((1. -. gamma) *. season.(phase)));
+        incr seen);
+    forecast_raw =
+      (fun k ->
+        let phase = (!seen + k - 1) mod period in
+        !level +. (float_of_int k *. !trend) +. season.(phase)) }
+
+type errors = { mae : float; rmse : float; mape : float; samples : int }
+
+let backtest ~make ?(steps = 1) ?warmup series =
+  if steps < 1 then invalid_arg "Predictor.backtest: steps must be >= 1";
+  let n = Array.length series in
+  let warmup = match warmup with Some w -> max 0 w | None -> n / 4 in
+  let abs_sum = ref 0. and sq_sum = ref 0. in
+  let pct_sum = ref 0. and pct_n = ref 0 in
+  let samples = ref 0 in
+  (* Ring of outstanding forecasts: ring.(t mod steps) holds the
+     [steps]-ahead prediction that targets slot t. *)
+  let ring = Array.make steps Float.nan in
+  let p = make () in
+  for t = 0 to n - 1 do
+    let actual = series.(t) in
+    let predicted = ring.(t mod steps) in
+    if t >= warmup && not (Float.is_nan predicted) then begin
+      let err = Float.abs (predicted -. actual) in
+      abs_sum := !abs_sum +. err;
+      sq_sum := !sq_sum +. (err *. err);
+      if actual > 0. then begin
+        pct_sum := !pct_sum +. (err /. actual);
+        incr pct_n
+      end;
+      incr samples
+    end;
+    observe p actual;
+    (* Record the forecast targeting slot t + steps. *)
+    let f = forecast p ~steps in
+    ring.((t + steps) mod steps) <- f.(steps - 1)
+  done;
+  let nf = float_of_int (max 1 !samples) in
+  { mae = (if !samples = 0 then Float.nan else !abs_sum /. nf);
+    rmse = (if !samples = 0 then Float.nan else sqrt (!sq_sum /. nf));
+    mape = (if !pct_n = 0 then Float.nan else !pct_sum /. float_of_int !pct_n);
+    samples = !samples }

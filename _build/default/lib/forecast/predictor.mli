@@ -1,0 +1,66 @@
+(** One-step and multi-step load forecasting.
+
+    The receding-horizon baseline in {!Online.Baselines} cheats: it reads
+    the true future.  Real systems forecast.  This module provides the
+    classic streaming predictors — last-value, seasonal naive,
+    exponential smoothing (EWMA), Holt's trend method and additive
+    Holt–Winters — behind one stateful interface, plus a backtest
+    harness measuring their accuracy on a trace.
+
+    Predictors are warm-started by simply observing the stream; all are
+    deterministic.  Forecasts are clamped at zero (loads are
+    non-negative). *)
+
+type t
+(** A stateful predictor: feed observations in order, ask for forecasts
+    of the next slots at any point. *)
+
+val observe : t -> float -> unit
+(** Append the next observed load.  Raises [Invalid_argument] on
+    negative or non-finite values. *)
+
+val forecast : t -> steps:int -> float array
+(** Forecast the next [steps] loads ([steps >= 1]).  Before any
+    observation, predicts zeros. *)
+
+val observed : t -> int
+(** Number of observations so far. *)
+
+val name : t -> string
+(** The predictor's label for tables. *)
+
+(** {1 Constructors} *)
+
+val naive_last : unit -> t
+(** Predicts the last observed value, flat. *)
+
+val seasonal_naive : period:int -> t
+(** Predicts the value observed one [period] ago in the same phase;
+    falls back to the last observation for phases not seen yet. *)
+
+val ewma : alpha:float -> t
+(** Exponentially weighted moving average, [alpha in (0, 1]]
+    ([alpha = 1] degenerates to {!naive_last}).  Flat forecasts. *)
+
+val holt : alpha:float -> beta:float -> t
+(** Holt's linear-trend method: level plus trend, both exponentially
+    smoothed; forecasts extrapolate the trend. *)
+
+val holt_winters : alpha:float -> beta:float -> gamma:float -> period:int -> t
+(** Additive Holt–Winters: level, trend, and one seasonal term per phase
+    of the [period]. *)
+
+(** {1 Backtesting} *)
+
+type errors = {
+  mae : float;   (** mean absolute error *)
+  rmse : float;  (** root mean squared error *)
+  mape : float;  (** mean absolute percentage error over non-zero actuals;
+                     [nan] when every actual is zero *)
+  samples : int; (** forecasts evaluated *)
+}
+
+val backtest : make:(unit -> t) -> ?steps:int -> ?warmup:int -> float array -> errors
+(** Walk the series: after a [warmup] prefix (default: one quarter of the
+    series), at each position forecast [steps] ahead (default 1), score
+    the forecast for that slot against the actual, then observe it. *)

@@ -1,0 +1,1 @@
+lib/fractional/relax.ml: Array Convex Float Model Offline Online Util

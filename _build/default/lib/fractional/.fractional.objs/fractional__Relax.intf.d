@@ -1,0 +1,1 @@
+lib/fractional/relax.mli: Model Util

@@ -1,0 +1,76 @@
+let refine ~granularity inst =
+  if granularity < 1 then invalid_arg "Relax.refine: granularity must be >= 1";
+  let k = granularity in
+  let kf = float_of_int k in
+  let types =
+    Array.map
+      (fun st ->
+        Model.Server_type.make ~name:(st.Model.Server_type.name ^ "-unit")
+          ~count:(st.Model.Server_type.count * k)
+          ~switching_cost:(st.Model.Server_type.switching_cost /. kf)
+          ~cap:(st.Model.Server_type.cap /. kf)
+          ())
+      inst.Model.Instance.types
+  in
+  (* f_u(z) = f(k z) / k: convexity, monotonicity and the idle cost
+     scaling are preserved by compose_scaled. *)
+  let scale fn = Convex.Fn.compose_scaled ~outer:(1. /. kf) ~inner:kf fn in
+  let avail ~time ~typ = k * inst.Model.Instance.avail ~time ~typ in
+  let load = Array.copy inst.Model.Instance.load in
+  if inst.Model.Instance.time_independent then
+    (* Preserve the flag so algorithm A remains applicable. *)
+    let fns =
+      Array.init (Array.length types) (fun typ ->
+          scale (inst.Model.Instance.cost ~time:0 ~typ))
+    in
+    Model.Instance.make_static ~avail ~types ~load ~fns ()
+  else
+    let cost ~time ~typ = scale (inst.Model.Instance.cost ~time ~typ) in
+    Model.Instance.make ~avail ~types ~load ~cost ()
+
+let to_fractional ~granularity schedule =
+  let kf = float_of_int granularity in
+  Array.map (Array.map (fun u -> float_of_int u /. kf)) schedule
+
+let optimum ~granularity inst =
+  (Offline.Dp.solve_optimal (refine ~granularity inst)).Offline.Dp.cost
+
+let integrality_gap ~granularity inst =
+  let integral = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  integral /. optimum ~granularity inst
+
+let lcp ~granularity inst =
+  if Model.Instance.num_types inst <> 1 then
+    invalid_arg "Relax.lcp: homogeneous instances only (d = 1)";
+  let refined = refine ~granularity inst in
+  let schedule = Online.Baselines.lcp_1d refined in
+  (to_fractional ~granularity schedule, Model.Cost.schedule refined schedule)
+
+let round_up fractional =
+  Array.map (Array.map (fun x -> int_of_float (Float.ceil (x -. 1e-9)))) fractional
+
+let round_randomized ~rng inst fractional =
+  if Model.Instance.num_types inst <> 1 then
+    invalid_arg "Relax.round_randomized: homogeneous instances only (d = 1)";
+  if Array.length fractional <> Model.Instance.horizon inst then
+    invalid_arg "Relax.round_randomized: horizon mismatch";
+  let cap = inst.Model.Instance.types.(0).Model.Server_type.cap in
+  let m = Model.Instance.max_count inst ~typ:0 in
+  let theta = Util.Prng.float rng 1. in
+  Array.mapi
+    (fun t row ->
+      if Array.length row <> 1 then
+        invalid_arg "Relax.round_randomized: dimension mismatch";
+      let needed = int_of_float (Float.ceil ((inst.Model.Instance.load.(t) /. cap) -. 1e-9)) in
+      let rounded = int_of_float (Float.ceil (row.(0) -. theta -. 1e-9)) in
+      [| min m (max needed (max 0 rounded)) |])
+    fractional
+
+let oscillation_cost ~eps ~periods ~beta =
+  if eps <= 0. || eps > 1. then invalid_arg "Relax.oscillation_cost: eps in (0, 1]";
+  if periods < 1 then invalid_arg "Relax.oscillation_cost: periods >= 1";
+  if beta < 0. then invalid_arg "Relax.oscillation_cost: beta >= 0";
+  (* Fractional: 1 -> 1+eps costs eps * beta per period; rounded: 1 -> 2
+     costs beta per period (power-downs are free in both). *)
+  let p = float_of_int periods in
+  (p *. eps *. beta, p *. beta)

@@ -1,0 +1,61 @@
+(** The fractional setting, by fleet refinement.
+
+    The related literature ([23, 24, 13]; lower bound 2 in [9] and the
+    paper's companion work) studies the *fractional* relaxation where the
+    number of active servers may be any real.  This module realises that
+    relaxation at resolution [1/granularity] by splitting every server of
+    type [j] into [granularity] unit-servers with capacity
+    [zmax_j / granularity], switching cost [beta_j / granularity] and
+    operating cost [f_u(z) = f(granularity * z) / granularity] — a
+    faithful rescaling: [u] units running a type-[j] volume [v] cost
+    exactly [(u / granularity) * f(v / (u / granularity))], the
+    fractional cost of [x = u / granularity] servers.
+
+    The refined problem is again an integral right-sizing instance, so
+    the whole library (offline DP, online algorithms, approximation)
+    applies to the fractional setting unchanged.  State spaces grow by
+    [granularity^d]; intended use is [d = 1] (the homogeneous fractional
+    literature) or small [d]. *)
+
+val refine : granularity:int -> Model.Instance.t -> Model.Instance.t
+(** The unit-server instance ([granularity >= 1]). *)
+
+val to_fractional : granularity:int -> Model.Schedule.t -> float array array
+(** Unit counts back to fractional server counts
+    ([x_{t,j} = units_{t,j} / granularity]). *)
+
+val optimum : granularity:int -> Model.Instance.t -> float
+(** Cost of an optimal fractional schedule (at the given resolution) —
+    a lower bound on the integral optimum as [granularity] grows. *)
+
+val integrality_gap : granularity:int -> Model.Instance.t -> float
+(** Integral optimum divided by fractional optimum ([>= 1] up to the
+    resolution error). *)
+
+val lcp : granularity:int -> Model.Instance.t -> float array array * float
+(** Fractional lazy capacity provisioning for [d = 1] ([23, 24]): the
+    LCP trajectory (fractional counts) and its cost in the fractional
+    instance.  Raises [Invalid_argument] when [d <> 1]. *)
+
+val round_up : float array array -> Model.Schedule.t
+(** Pointwise ceiling — the naive rounding whose switching cost the
+    paper shows can blow up arbitrarily. *)
+
+val round_randomized :
+  rng:Util.Prng.t -> Model.Instance.t -> float array array -> Model.Schedule.t
+(** The randomised rounding of [4] for the homogeneous case ([d = 1]):
+    draw one offset [Theta ~ U(0,1)] and set
+    [X_t = max(ceil(x_t - Theta), ceil(lambda_t / zmax))].  With a single
+    shared offset the rounding is monotone, so the expected number of
+    power-ups equals the fractional one — the key step behind [4]'s
+    2-competitive randomised algorithm; the capacity clamp restores the
+    feasibility that naive rounding down loses.  Raises
+    [Invalid_argument] when [d <> 1] or the fractional schedule's shape
+    mismatches the instance. *)
+
+val oscillation_cost : eps:float -> periods:int -> beta:float -> float * float
+(** The paper's rounding counterexample: a fractional schedule
+    oscillating between [1] and [1 + eps] pays switching cost
+    [eps * beta] per period, while its ceiling pays [beta].  Returns
+    [(fractional_switching, rounded_switching)] over [periods]
+    oscillations; their ratio is [1 / eps]. *)

@@ -1,0 +1,1 @@
+lib/model/config.ml: Array Server_type Stdlib String

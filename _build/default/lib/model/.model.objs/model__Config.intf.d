@@ -1,0 +1,1 @@
+lib/model/config.mli: Server_type

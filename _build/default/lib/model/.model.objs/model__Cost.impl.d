@@ -1,0 +1,1 @@
+lib/model/cost.ml: Array Config Convex Float Hashtbl Instance Schedule Server_type

@@ -1,0 +1,1 @@
+lib/model/cost.mli: Config Instance Schedule

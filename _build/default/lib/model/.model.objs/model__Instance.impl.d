@@ -1,0 +1,1 @@
+lib/model/instance.ml: Array Convex Float Server_type

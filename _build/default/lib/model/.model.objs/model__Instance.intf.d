@@ -1,0 +1,1 @@
+lib/model/instance.mli: Convex Server_type

@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Array Config Format Instance List

@@ -1,0 +1,1 @@
+lib/model/schedule.mli: Config Format Instance

@@ -1,0 +1,1 @@
+lib/model/server_type.ml: Float Format

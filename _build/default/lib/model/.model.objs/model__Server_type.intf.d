@@ -1,0 +1,1 @@
+lib/model/server_type.mli: Format

@@ -1,0 +1,1 @@
+lib/model/spec.ml: Array Buffer Convex Float In_channel Instance List Printf Result Server_type String Util

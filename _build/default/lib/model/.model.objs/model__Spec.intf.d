@@ -1,0 +1,1 @@
+lib/model/spec.mli: Convex Instance Server_type Util

@@ -1,0 +1,47 @@
+type t = int array
+
+let zero d = Array.make d 0
+
+let equal a b = a = b
+
+let compare = Stdlib.compare
+
+let copy = Array.copy
+
+let to_string x =
+  "(" ^ String.concat "," (Array.to_list (Array.map string_of_int x)) ^ ")"
+
+let switching_cost types ~from_ ~to_ =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j st ->
+      let up = to_.(j) - from_.(j) in
+      if up > 0 then acc := !acc +. (float_of_int up *. st.Server_type.switching_cost))
+    types;
+  !acc
+
+let transition_cost types ~from_ ~to_ =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j st ->
+      let delta = to_.(j) - from_.(j) in
+      if delta > 0 then acc := !acc +. (float_of_int delta *. st.Server_type.switching_cost)
+      else if delta < 0 then
+        acc := !acc +. (float_of_int (-delta) *. st.Server_type.switch_down))
+    types;
+  !acc
+
+let capacity types x =
+  let acc = ref 0. in
+  Array.iteri (fun j st -> acc := !acc +. (float_of_int x.(j) *. st.Server_type.cap)) types;
+  !acc
+
+let dominates a b =
+  let ok = ref true in
+  Array.iteri (fun j aj -> if aj < b.(j) then ok := false) a;
+  !ok
+
+let within x m =
+  let ok = ref true in
+  Array.iteri (fun j xj -> if xj < 0 || xj > m.(j) then ok := false) x;
+  !ok

@@ -1,0 +1,37 @@
+(** Server configurations: the vector [x = (x_1, ..., x_d)] of active
+    servers per type.  Plain [int array]s with helper operations; arrays
+    are never shared mutably across modules — functions that could keep a
+    reference copy their input. *)
+
+type t = int array
+
+val zero : int -> t
+(** All-inactive configuration of the given dimension. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic order; used for deterministic argmin tie-breaking. *)
+
+val copy : t -> t
+
+val to_string : t -> string
+(** e.g. ["(2,0,1)"]. *)
+
+val switching_cost : Server_type.t array -> from_:t -> to_:t -> float
+(** [sum_j beta_j (to_j - from_j)^+] — the power-up cost of moving between
+    consecutive slots (paper, eq. (2)). *)
+
+val transition_cost : Server_type.t array -> from_:t -> to_:t -> float
+(** Two-sided variant: power-ups at [beta_j] plus power-downs at
+    [switch_down_j].  Equals {!switching_cost} when every
+    [switch_down_j = 0]. *)
+
+val capacity : Server_type.t array -> t -> float
+(** [sum_j x_j zmax_j]: the job volume the configuration can absorb. *)
+
+val dominates : t -> t -> bool
+(** Pointwise [>=]. *)
+
+val within : t -> t -> bool
+(** [within x m]: pointwise [0 <= x_j <= m_j]. *)

@@ -1,0 +1,147 @@
+let cap_eps = 1e-9
+
+(* Total capacity of configuration [x]; feasible iff >= load. *)
+let config_capacity inst x = Config.capacity inst.Instance.types x
+
+let all_constant inst ~time x =
+  let d = Instance.num_types inst in
+  let ok = ref true in
+  for typ = 0 to d - 1 do
+    if x.(typ) > 0 && not (Convex.Fn.is_constant (inst.Instance.cost ~time ~typ)) then
+      ok := false
+  done;
+  !ok
+
+let idle_sum inst ~time x =
+  let acc = ref 0. in
+  Array.iteri
+    (fun typ xj ->
+      if xj > 0 then
+        acc := !acc +. (float_of_int xj *. Instance.idle_cost inst ~time ~typ))
+    x;
+  !acc
+
+(* Proportional-to-capacity split: feasible whenever the configuration
+   covers the load, used when every active type has constant cost. *)
+let proportional_split inst x =
+  let types = inst.Instance.types in
+  let cap = config_capacity inst x in
+  Array.mapi
+    (fun j xj -> float_of_int xj *. types.(j).Server_type.cap /. cap)
+    x
+
+let pieces inst ~time x ~load =
+  let types = inst.Instance.types in
+  Array.mapi
+    (fun j xj ->
+      if xj = 0 then { Convex.Dispatch.fn = Convex.Fn.const 0.; upper = 0. }
+      else
+        let xf = float_of_int xj in
+        let fn =
+          Convex.Fn.compose_scaled ~outer:xf ~inner:(load /. xf)
+            (inst.Instance.cost ~time ~typ:j)
+        in
+        let upper = Float.min 1. (xf *. types.(j).Server_type.cap /. load) in
+        { Convex.Dispatch.fn; upper })
+    x
+
+let split_for_volume inst ~time ~load x =
+  let d = Instance.num_types inst in
+  if load <= 0. then Some (Array.make d 0., idle_sum inst ~time x)
+  else if config_capacity inst x +. cap_eps < load then None
+  else if all_constant inst ~time x then
+    Some (proportional_split inst x, idle_sum inst ~time x)
+  else if d = 1 then begin
+    (* Lemma 2: spread the volume evenly over the active servers. *)
+    let xf = float_of_int x.(0) in
+    let z = Float.min (load /. xf) inst.Instance.types.(0).Server_type.cap in
+    Some ([| 1. |], xf *. Convex.Fn.eval (inst.Instance.cost ~time ~typ:0) z)
+  end
+  else
+    match Convex.Dispatch.solve (pieces inst ~time x ~load) ~total:1. with
+    | None -> None
+    | Some { assignment; objective } ->
+        (* Idle cost of types left without volume still accrues: the
+           dispatch pieces already include it via h_j(0) = x_j f(0). *)
+        Some (assignment, objective)
+
+let operating_split inst ~time x =
+  split_for_volume inst ~time ~load:inst.Instance.load.(time) x
+
+let operating_by_type inst ~time ~volume x =
+  if volume < 0. then invalid_arg "Cost.operating_by_type: negative volume";
+  match split_for_volume inst ~time ~load:volume x with
+  | None -> None
+  | Some (split, _) ->
+      Some
+        (Array.mapi
+           (fun j xj ->
+             if xj = 0 then 0.
+             else
+               let xf = float_of_int xj in
+               xf
+               *. Convex.Fn.eval (inst.Instance.cost ~time ~typ:j)
+                    (volume *. split.(j) /. xf))
+           x)
+
+let operating_volume inst ~time ~volume x =
+  if volume < 0. then invalid_arg "Cost.operating_volume: negative volume";
+  match split_for_volume inst ~time ~load:volume x with
+  | None -> infinity
+  | Some (_, g) -> g
+
+let operating inst ~time x =
+  match operating_split inst ~time x with None -> infinity | Some (_, g) -> g
+
+let load_dependent inst ~time x ~typ =
+  match operating_split inst ~time x with
+  | None -> infinity
+  | Some (split, _) ->
+      if x.(typ) = 0 then 0.
+      else
+        let xf = float_of_int x.(typ) in
+        let fn = inst.Instance.cost ~time ~typ in
+        let per_server = inst.Instance.load.(time) *. split.(typ) /. xf in
+        Float.max 0. (xf *. (Convex.Fn.eval fn per_server -. Convex.Fn.eval fn 0.))
+
+let switching inst ~from_ ~to_ = Config.switching_cost inst.Instance.types ~from_ ~to_
+
+let schedule_operating inst s =
+  let acc = ref 0. in
+  for time = 0 to Instance.horizon inst - 1 do
+    acc := !acc +. operating inst ~time s.(time)
+  done;
+  !acc
+
+let schedule_switching inst s =
+  let d = Instance.num_types inst in
+  let horizon = Instance.horizon inst in
+  let prev = ref (Config.zero d) in
+  let acc = ref 0. in
+  for time = 0 to horizon - 1 do
+    acc := !acc +. Config.transition_cost inst.Instance.types ~from_:!prev ~to_:s.(time);
+    prev := s.(time)
+  done;
+  (* Final teardown to x_{T+1} = 0 (free unless down costs are set). *)
+  if horizon > 0 then
+    acc :=
+      !acc +. Config.transition_cost inst.Instance.types ~from_:!prev ~to_:(Config.zero d);
+  !acc
+
+let schedule inst s =
+  if Schedule.horizon s <> Instance.horizon inst then
+    invalid_arg "Cost.schedule: horizon mismatch";
+  schedule_operating inst s +. schedule_switching inst s
+
+type cache = { inst : Instance.t; table : (int * int list, float) Hashtbl.t }
+
+let make_cache inst = { inst; table = Hashtbl.create 4096 }
+
+let cached_operating cache ~time x =
+  let key = (time, Array.to_list x) in
+  match Hashtbl.find_opt cache.table key with
+  | Some g -> g
+  | None ->
+      let g = operating cache.inst ~time x in
+      Hashtbl.add cache.table key g;
+      g

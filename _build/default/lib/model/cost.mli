@@ -1,0 +1,57 @@
+(** Cost evaluation: the operating cost [g_t(x)] of equation (1), the
+    switching cost, and the total schedule cost of equation (2).
+
+    [g_t(x)] minimises the job split over the capped simplex; this module
+    builds the dispatch pieces [h_j(z) = x_j f_{t,j}(lambda_t z / x_j)]
+    and delegates to {!Convex.Dispatch}, with fast paths for zero load,
+    load-independent costs (the special case of [5]), and a single server
+    type ([d = 1], the homogeneous setting of [23, 24, 3, 4], where the
+    inner minimum degenerates to [x f(lambda_t / x)] by Lemma 2). *)
+
+val operating : Instance.t -> time:int -> Config.t -> float
+(** [g_t(x)]; [infinity] when the configuration cannot absorb the slot's
+    load ([sum_j x_j zmax_j < lambda_t], or positive load with no active
+    server). *)
+
+val operating_split : Instance.t -> time:int -> Config.t -> (float array * float) option
+(** The minimising job split [(z_{t,1}, ..., z_{t,d})] together with
+    [g_t(x)]; [None] when infeasible.  Needed by the analysis helpers
+    ([L_{t,j}]) and by tests. *)
+
+val operating_by_type :
+  Instance.t -> time:int -> volume:float -> Config.t -> float array option
+(** Attribute the operating cost of serving [volume] to the types:
+    [x_j * f_{t,j}(volume * z_j / x_j)] under the minimising split
+    ([None] when infeasible).  Sums to {!operating_volume}. *)
+
+val operating_volume : Instance.t -> time:int -> volume:float -> Config.t -> float
+(** Like {!operating} but for an arbitrary job volume instead of the
+    slot's own [lambda_t] — the discrete-event simulator serves backlogs
+    and partially dropped volumes with it. *)
+
+val load_dependent : Instance.t -> time:int -> Config.t -> typ:int -> float
+(** The load-dependent part [L_{t,j}(X) = x_j (f_{t,j}(lambda z_j / x_j)
+    - f_{t,j}(0))] of equation (3); [0] when [x_j = 0], [infinity] when
+    the configuration is infeasible. *)
+
+val switching : Instance.t -> from_:Config.t -> to_:Config.t -> float
+(** Power-up cost between consecutive configurations. *)
+
+val schedule : Instance.t -> Schedule.t -> float
+(** Total cost [C(X)] of equation (2), including the initial power-up
+    from the all-inactive state and — when power-down costs are present —
+    the power-downs, including the final teardown to the all-inactive
+    state [x_{T+1} = 0].  [infinity] if any slot is infeasible. *)
+
+val schedule_operating : Instance.t -> Schedule.t -> float
+(** The operating-cost part [C_op(X)]. *)
+
+val schedule_switching : Instance.t -> Schedule.t -> float
+(** The switching-cost part [C_sw(X)]. *)
+
+type cache
+(** Memo table for [g_t(x)] — the dynamic programs evaluate the same
+    (slot, configuration) pairs many times during reconstruction. *)
+
+val make_cache : Instance.t -> cache
+val cached_operating : cache -> time:int -> Config.t -> float

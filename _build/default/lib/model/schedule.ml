@@ -1,0 +1,72 @@
+type t = Config.t array
+
+let make rows = Array.map Array.copy rows
+
+let of_lists rows = Array.of_list (List.map Array.of_list rows)
+
+let horizon s = Array.length s
+
+let dim s = if Array.length s = 0 then 0 else Array.length s.(0)
+
+let get s ~time = Array.copy s.(time)
+
+let column s ~typ = Array.map (fun x -> x.(typ)) s
+
+type violation =
+  | Bad_count of { time : int; typ : int; value : int; avail : int }
+  | Under_capacity of { time : int; capacity : float; load : float }
+
+let check inst s =
+  if horizon s <> Instance.horizon inst then
+    invalid_arg "Schedule.check: horizon mismatch";
+  let d = Instance.num_types inst in
+  let violations = ref [] in
+  for time = 0 to horizon s - 1 do
+    let x = s.(time) in
+    if Array.length x <> d then invalid_arg "Schedule.check: dimension mismatch";
+    for typ = 0 to d - 1 do
+      let avail = inst.Instance.avail ~time ~typ in
+      if x.(typ) < 0 || x.(typ) > avail then
+        violations := Bad_count { time; typ; value = x.(typ); avail } :: !violations
+    done;
+    let capacity = Config.capacity inst.Instance.types x in
+    let load = inst.Instance.load.(time) in
+    if capacity +. 1e-9 < load then
+      violations := Under_capacity { time; capacity; load } :: !violations
+  done;
+  List.rev !violations
+
+let feasible inst s = check inst s = []
+
+type type_stats = {
+  peak : int;
+  mean_active : float;
+  power_ups : int;
+  power_downs : int;
+  busy_slots : int;
+}
+
+let stats s ~typ =
+  let horizon = horizon s in
+  let col = column s ~typ in
+  let peak = Array.fold_left max 0 col in
+  let total = Array.fold_left ( + ) 0 col in
+  let ups = ref 0 and downs = ref 0 and busy = ref 0 in
+  let prev = ref 0 in
+  Array.iter
+    (fun x ->
+      if x > !prev then ups := !ups + (x - !prev) else downs := !downs + (!prev - x);
+      if x > 0 then incr busy;
+      prev := x)
+    col;
+  { peak;
+    mean_active = (if horizon = 0 then 0. else float_of_int total /. float_of_int horizon);
+    power_ups = !ups;
+    power_downs = !downs;
+    busy_slots = !busy }
+
+let pp_violation ppf = function
+  | Bad_count { time; typ; value; avail } ->
+      Format.fprintf ppf "slot %d: x_{%d} = %d outside [0, %d]" time typ value avail
+  | Under_capacity { time; capacity; load } ->
+      Format.fprintf ppf "slot %d: capacity %g < load %g" time capacity load

@@ -1,0 +1,50 @@
+(** Schedules: one configuration per time slot, [x_t = schedule.(t)].
+
+    The boundary states [x_0 = x_{T+1} = 0] of the paper are implicit —
+    they are handled by the cost functions and feasibility checks, not
+    stored. *)
+
+type t = Config.t array
+
+val make : Config.t array -> t
+(** Deep-copies the rows so later mutation of the input cannot alias. *)
+
+val of_lists : int list list -> t
+(** Convenience constructor for tests: one inner list per slot. *)
+
+val horizon : t -> int
+val dim : t -> int
+
+val get : t -> time:int -> Config.t
+(** A copy of the slot's configuration. *)
+
+val column : t -> typ:int -> int array
+(** The per-type trajectory [x_{1,j}, ..., x_{T,j}] — what the paper's
+    figures plot. *)
+
+type violation =
+  | Bad_count of { time : int; typ : int; value : int; avail : int }
+      (** [x_{t,j}] outside [\[0, m_{t,j}\]]. *)
+  | Under_capacity of { time : int; capacity : float; load : float }
+      (** [sum_j x_{t,j} zmax_j < lambda_t]. *)
+
+val check : Instance.t -> t -> violation list
+(** All feasibility violations (empty list means the schedule is feasible
+    in the paper's sense). *)
+
+val feasible : Instance.t -> t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type type_stats = {
+  peak : int;           (** max active servers of the type *)
+  mean_active : float;  (** average active count over the horizon *)
+  power_ups : int;      (** individual servers powered up (incl. slot 0) *)
+  power_downs : int;    (** individual servers powered down (excl. final teardown) *)
+  busy_slots : int;     (** slots with at least one active server *)
+}
+
+val stats : t -> typ:int -> type_stats
+(** Operational statistics of one type's trajectory — power cycling,
+    utilisation of the fleet, idle exposure; used by the [analyze] CLI
+    and the examples. *)

@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  count : int;
+  switching_cost : float;
+  switch_down : float;
+  cap : float;
+}
+
+let make ?(name = "server") ?(switch_down = 0.) ~count ~switching_cost ~cap () =
+  if count < 0 then invalid_arg "Server_type.make: negative count";
+  if switching_cost < 0. || Float.is_nan switching_cost then
+    invalid_arg "Server_type.make: negative switching cost";
+  if switch_down < 0. || Float.is_nan switch_down then
+    invalid_arg "Server_type.make: negative power-down cost";
+  if cap <= 0. || Float.is_nan cap then invalid_arg "Server_type.make: non-positive cap";
+  { name; count; switching_cost; switch_down; cap }
+
+let with_count t count =
+  if count < 0 then invalid_arg "Server_type.with_count: negative count";
+  { t with count }
+
+let pp ppf t =
+  if t.switch_down = 0. then
+    Format.fprintf ppf "%s(m=%d, beta=%g, zmax=%g)" t.name t.count t.switching_cost t.cap
+  else
+    Format.fprintf ppf "%s(m=%d, beta=%g+%g, zmax=%g)" t.name t.count t.switching_cost
+      t.switch_down t.cap

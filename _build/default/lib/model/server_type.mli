@@ -1,0 +1,40 @@
+(** One heterogeneous server type (paper, Section 1).
+
+    A type [j] is described by the number of servers [m_j], the power-up
+    (switching) cost [beta_j], and the per-server capacity [zmax_j] — the
+    maximum job volume one server can process in a single time slot.
+    Operating-cost functions live in {!Instance} because they may depend
+    on the time slot. *)
+
+type t = private {
+  name : string;          (** label for tables and logs *)
+  count : int;            (** [m_j >= 0] *)
+  switching_cost : float; (** power-up cost [beta_j >= 0] *)
+  switch_down : float;
+      (** power-down cost [>= 0].  The paper folds it into the power-up
+          cost (Section 1: with [x_0 = x_{T+1} = 0] every power-up is
+          eventually matched by a power-down, so charging
+          [beta_up + beta_down] per power-up is exactly equivalent);
+          {!Instance.fold_switching} performs that folding, and the
+          solvers apply it automatically. *)
+  cap : float;            (** [zmax_j > 0] *)
+}
+
+val make :
+  ?name:string ->
+  ?switch_down:float ->
+  count:int ->
+  switching_cost:float ->
+  cap:float ->
+  unit ->
+  t
+(** Validating constructor; raises [Invalid_argument] on a negative
+    count, a negative switching cost (either direction), or a
+    non-positive capacity.  [switch_down] defaults to [0] (the paper's
+    convention). *)
+
+val with_count : t -> int -> t
+(** Copy with a different server count (used by time-varying sizes). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer. *)

@@ -1,0 +1,196 @@
+let ( let* ) = Result.bind
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let field key items =
+  match Util.Sexp.assoc key items with
+  | Some args -> Ok args
+  | None -> fail "missing field (%s ...)" key
+
+let float_field key items =
+  let* args = field key items in
+  match args with
+  | [ v ] -> (
+      match Util.Sexp.float_atom v with
+      | Some f -> Ok f
+      | None -> fail "field (%s ...) expects a number" key)
+  | _ -> fail "field (%s ...) expects exactly one number" key
+
+let int_field key items =
+  let* f = float_field key items in
+  if Float.is_integer f then Ok (int_of_float f) else fail "field (%s ...) expects an integer" key
+
+let string_field key items =
+  let* args = field key items in
+  match args with
+  | [ Util.Sexp.Atom s ] -> Ok s
+  | _ -> fail "field (%s ...) expects one atom" key
+
+let parse_pairs what args =
+  let pair = function
+    | Util.Sexp.List [ a; b ] -> (
+        match (Util.Sexp.float_atom a, Util.Sexp.float_atom b) with
+        | Some x, Some y -> Ok (x, y)
+        | _ -> fail "%s expects numeric pairs" what)
+    | Util.Sexp.Atom _ | Util.Sexp.List _ -> fail "%s expects (x y) pairs" what
+  in
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* p = pair item in
+      Ok (p :: acc))
+    (Ok []) args
+  |> Result.map List.rev
+
+let guarded what f = try Ok (f ()) with Invalid_argument m -> fail "%s: %s" what m
+
+let parse_cost sexp =
+  match sexp with
+  | Util.Sexp.List (Util.Sexp.Atom "const" :: [ v ]) -> (
+      match Util.Sexp.float_atom v with
+      | Some c -> guarded "const" (fun () -> Convex.Fn.const c)
+      | None -> fail "(const c) expects a number")
+  | Util.Sexp.List (Util.Sexp.Atom "affine" :: fields) ->
+      let* intercept = float_field "intercept" fields in
+      let* slope = float_field "slope" fields in
+      guarded "affine" (fun () -> Convex.Fn.affine ~intercept ~slope)
+  | Util.Sexp.List (Util.Sexp.Atom "power" :: fields) ->
+      let* idle = float_field "idle" fields in
+      let* coef = float_field "coef" fields in
+      let* expo = float_field "expo" fields in
+      guarded "power" (fun () -> Convex.Fn.power ~idle ~coef ~expo)
+  | Util.Sexp.List (Util.Sexp.Atom "quadratic" :: fields) ->
+      let* c0 = float_field "c0" fields in
+      let* c1 = float_field "c1" fields in
+      let* c2 = float_field "c2" fields in
+      guarded "quadratic" (fun () -> Convex.Fn.quadratic ~c0 ~c1 ~c2)
+  | Util.Sexp.List (Util.Sexp.Atom "piecewise" :: args) ->
+      let* points = parse_pairs "piecewise" args in
+      guarded "piecewise" (fun () -> Convex.Fn.piecewise_linear points)
+  | Util.Sexp.List (Util.Sexp.Atom "max-affine" :: args) ->
+      let* pieces = parse_pairs "max-affine" args in
+      guarded "max-affine" (fun () -> Convex.Fn.max_affine pieces)
+  | Util.Sexp.Atom a -> fail "unknown cost expression %s" a
+  | Util.Sexp.List (Util.Sexp.Atom family :: _) -> fail "unknown cost family %s" family
+  | Util.Sexp.List _ -> fail "malformed cost expression"
+
+let parse_type sexp =
+  match sexp with
+  | Util.Sexp.Atom _ -> fail "each type must be a list of fields"
+  | Util.Sexp.List fields ->
+      let name = Result.value (string_field "name" fields) ~default:"server" in
+      let* count = int_field "count" fields in
+      let* switching_cost = float_field "switching-cost" fields in
+      let switch_down = Result.value (float_field "switch-down" fields) ~default:0. in
+      let* cap = float_field "cap" fields in
+      let* cost_args = field "cost" fields in
+      let* fn =
+        match cost_args with
+        | [ c ] -> parse_cost c
+        | _ -> fail "field (cost ...) expects one cost expression"
+      in
+      let* st =
+        guarded "type" (fun () ->
+            Server_type.make ~name ~switch_down ~count ~switching_cost ~cap ())
+      in
+      Ok (st, fn)
+
+let parse_load args =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      match Util.Sexp.float_atom item with
+      | Some l when l >= 0. -> Ok (l :: acc)
+      | Some _ -> fail "negative load"
+      | None -> fail "loads must be numbers")
+    (Ok []) args
+  |> Result.map (fun l -> Array.of_list (List.rev l))
+
+let parse text =
+  let* sexp = Util.Sexp.parse text in
+  match sexp with
+  | Util.Sexp.List (Util.Sexp.Atom "instance" :: body) ->
+      let* type_items = field "types" body in
+      let* typed =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* t = parse_type item in
+            Ok (t :: acc))
+          (Ok []) type_items
+        |> Result.map List.rev
+      in
+      if typed = [] then fail "at least one type required"
+      else
+        let* load_items = field "load" body in
+        let* load = parse_load load_items in
+        if Array.length load = 0 then fail "at least one load slot required"
+        else
+          let types = Array.of_list (List.map fst typed) in
+          let fns = Array.of_list (List.map snd typed) in
+          guarded "instance" (fun () -> Instance.make_static ~types ~load ~fns ())
+  | Util.Sexp.Atom _ | Util.Sexp.List _ -> fail "expected (instance ...)"
+
+let parse_planning text =
+  let* sexp = Util.Sexp.parse text in
+  match sexp with
+  | Util.Sexp.List (Util.Sexp.Atom "instance" :: body) ->
+      let* type_items = field "types" body in
+      let* triples =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* st, fn = parse_type item in
+            let capex =
+              match item with
+              | Util.Sexp.List fields ->
+                  Result.value (float_field "capex" fields) ~default:0.
+              | Util.Sexp.Atom _ -> 0.
+            in
+            if capex < 0. then fail "negative capex"
+            else Ok ((st, fn, capex) :: acc))
+          (Ok []) type_items
+        |> Result.map List.rev
+      in
+      if triples = [] then fail "at least one type required"
+      else
+        let* load_items = field "load" body in
+        let* load = parse_load load_items in
+        if Array.length load = 0 then fail "at least one load slot required"
+        else Ok (Array.of_list triples, load)
+  | Util.Sexp.Atom _ | Util.Sexp.List _ -> fail "expected (instance ...)"
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let render_cost fn ~cap =
+  (* Sample the curve into a piecewise-linear description — lossy but
+     always expressible. *)
+  let samples = 9 in
+  let points =
+    List.init samples (fun i ->
+        let z = cap *. float_of_int i /. float_of_int (samples - 1) in
+        Printf.sprintf "(%.9g %.9g)" z (Convex.Fn.eval fn z))
+  in
+  "(piecewise " ^ String.concat " " points ^ ")"
+
+let to_string inst =
+  if not inst.Instance.time_independent then
+    invalid_arg "Spec.to_string: only time-independent instances are expressible";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "(instance\n (types\n";
+  Array.iteri
+    (fun j st ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  ((name %s) (count %d) (switching-cost %.9g) (cap %.9g)\n   (cost %s))\n"
+           st.Server_type.name st.Server_type.count st.Server_type.switching_cost
+           st.Server_type.cap
+           (render_cost (inst.Instance.cost ~time:0 ~typ:j) ~cap:st.Server_type.cap)))
+    inst.Instance.types;
+  Buffer.add_string buf " )\n (load";
+  Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf " %.9g" l)) inst.Instance.load;
+  Buffer.add_string buf "))\n";
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Declarative instance files.
+
+    A time-independent problem instance can be written down as an
+    s-expression and solved from the CLI without writing OCaml:
+
+    {v
+    (instance
+      (types
+        ((name cpu) (count 8) (switching-cost 3) (cap 1)
+         (cost (power (idle 0.5) (coef 0.7) (expo 2))))
+        ((name gpu) (count 3) (switching-cost 10) (cap 4)
+         (cost (affine (intercept 1.2) (slope 0.4)))))
+      (load 1 2 5.5 8 7 3 1 0))
+    v}
+
+    Each type takes an optional [(switch-down c)] power-down cost.
+    Cost families: [(const c)], [(affine (intercept i) (slope s))],
+    [(power (idle i) (coef c) (expo e))],
+    [(quadratic (c0 a) (c1 b) (c2 c))],
+    [(piecewise (z v) (z v) ...)], and
+    [(max-affine (i s) (i s) ...)].
+
+    Only the time-independent setting is expressible in files — the
+    common case for experiment configs; time-dependent instances need
+    the OCaml API. *)
+
+val parse : string -> (Instance.t, string) result
+(** Parse an instance from the s-expression text. *)
+
+val load_file : string -> (Instance.t, string) result
+(** Read and parse a file. *)
+
+val parse_cost : Util.Sexp.t -> (Convex.Fn.t, string) result
+(** Parse a single cost-family expression (exposed for tests). *)
+
+val parse_planning :
+  string -> ((Server_type.t * Convex.Fn.t * float) array * float array, string) result
+(** Parse the same file format for fleet planning: each type's [count]
+    becomes the per-type maximum, and an optional [(capex c)] field
+    (default [0]) prices each unit.  Returns the candidate triples
+    [(type-at-max-count, cost-curve, capex)] and the load. *)
+
+val to_string : Instance.t -> string
+(** Render a time-independent instance back to the file format (cost
+    functions are rendered from their descriptions only when they came
+    from {!parse}; programmatically-built instances render a
+    [piecewise] sampling of each cost curve instead).  Raises
+    [Invalid_argument] on time-dependent instances. *)

@@ -1,0 +1,1 @@
+lib/offline/approx_witness.ml: Array Float Grid Printf

@@ -1,0 +1,1 @@
+lib/offline/approx_witness.mli: Grid Model

@@ -1,0 +1,1 @@
+lib/offline/brute_force.ml: Array Dp Float Grid List Model

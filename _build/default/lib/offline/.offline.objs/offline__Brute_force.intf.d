@@ -1,0 +1,1 @@
+lib/offline/brute_force.mli: Dp Model

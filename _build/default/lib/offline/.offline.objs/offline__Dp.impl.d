@@ -1,0 +1,1 @@
+lib/offline/dp.ml: Array Float Grid Logs Model Transform Util

@@ -1,0 +1,1 @@
+lib/offline/dp.mli: Grid Model

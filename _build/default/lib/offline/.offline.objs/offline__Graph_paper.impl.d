@@ -1,0 +1,1 @@
+lib/offline/graph_paper.ml: Array Dp Float Grid Model

@@ -1,0 +1,1 @@
+lib/offline/graph_paper.mli: Dp Model

@@ -1,0 +1,1 @@
+lib/offline/grid.ml: Array Float Fun List

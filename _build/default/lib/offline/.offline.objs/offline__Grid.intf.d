@@ -1,0 +1,1 @@
+lib/offline/grid.mli: Model

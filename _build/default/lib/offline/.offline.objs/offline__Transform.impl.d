@@ -1,0 +1,1 @@
+lib/offline/transform.ml: Array Grid List

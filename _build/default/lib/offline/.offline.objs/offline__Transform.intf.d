@@ -1,0 +1,1 @@
+lib/offline/transform.mli: Grid

@@ -1,0 +1,45 @@
+let build ~gamma ~grid opt_schedule =
+  if gamma <= 1. then invalid_arg "Approx_witness.build: gamma must be > 1";
+  let horizon = Array.length opt_schedule in
+  if horizon = 0 then invalid_arg "Approx_witness.build: empty schedule";
+  let d = Array.length opt_schedule.(0) in
+  let witness = Array.make horizon [||] in
+  let prev = Array.make d 0 in
+  let factor = (2. *. gamma) -. 1. in
+  for time = 0 to horizon - 1 do
+    let g = grid time in
+    let x = Array.make d 0 in
+    for j = 0 to d - 1 do
+      let star = opt_schedule.(time).(j) in
+      let ceiling = int_of_float (Float.floor (factor *. float_of_int star)) in
+      if prev.(j) <= star then
+        (* Round the optimal count up to the grid. *)
+        match Grid.round_up g j star with
+        | Some v -> x.(j) <- v
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Approx_witness.build: no grid value >= %d on axis %d" star j)
+      else if prev.(j) <= ceiling then x.(j) <- prev.(j)
+      else
+        (* Drop to the largest grid value within the invariant band. *)
+        x.(j) <- Grid.round_down g j ceiling
+    done;
+    witness.(time) <- x;
+    Array.blit x 0 prev 0 d
+  done;
+  witness
+
+let invariant_holds ~gamma ~opt ~witness =
+  let factor = (2. *. gamma) -. 1. in
+  let ok = ref true in
+  Array.iteri
+    (fun time x_star ->
+      Array.iteri
+        (fun j star ->
+          let w = witness.(time).(j) in
+          if w < star then ok := false;
+          if float_of_int w > (factor *. float_of_int star) +. 1e-9 && w > star then
+            ok := false)
+        x_star)
+    opt;
+  !ok

@@ -1,0 +1,25 @@
+(** The witness schedule [X'] of Theorem 16 (paper, eq. (18), Figure 5).
+
+    The proof of the approximation guarantee constructs, from an optimal
+    schedule [X*], an on-grid schedule [X'] with
+
+    {[ x'_t = x_min  if x'_{t-1} <= x*_t            (round up to the grid)
+       x'_t = x'_{t-1} if x*_t < x'_{t-1} <= (2g-1) x*_t   (stay)
+       x'_t = x_max  if (2g-1) x*_t < x'_{t-1}      (drop to the grid)  ]}
+
+    per type, where [x_min = min {x in M^g | x >= x*_t}] and
+    [x_max = max {x in M^g | x <= (2g-1) x*_t}], maintaining the
+    invariant [x*_t <= x'_t <= (2g-1) x*_t] (eq. (19)).  Building [X']
+    explicitly lets the test-suite check the proof mechanically and the
+    experiment harness render Figure 5. *)
+
+val build : gamma:float -> grid:(int -> Grid.t) -> Model.Schedule.t -> Model.Schedule.t
+(** [build ~gamma ~grid opt_schedule] constructs [X'] on the per-slot
+    grids.  Raises [Invalid_argument] if a rounding target does not exist
+    on the grid (cannot happen for grids built by {!Grid.power} over the
+    same fleet). *)
+
+val invariant_holds : gamma:float -> opt:Model.Schedule.t -> witness:Model.Schedule.t -> bool
+(** Checks eq. (19): [x*_{t,j} <= x'_{t,j} <= (2 gamma - 1) x*_{t,j}]
+    pointwise (the upper bound is also capped by the fleet size, as in
+    Figure 5's blue line). *)

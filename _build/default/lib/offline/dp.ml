@@ -1,0 +1,136 @@
+let log_src = Logs.Src.create "rightsizing.dp" ~doc:"Offline dynamic programs"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = { schedule : Model.Schedule.t; cost : float }
+
+let betas inst =
+  Array.map (fun st -> st.Model.Server_type.switching_cost) inst.Model.Instance.types
+
+let dense_grids inst time =
+  let d = Model.Instance.num_types inst in
+  Grid.dense (Array.init d (fun typ -> inst.Model.Instance.avail ~time ~typ))
+
+let approx_grids ~gamma inst time =
+  let d = Model.Instance.num_types inst in
+  Grid.power ~gamma (Array.init d (fun typ -> inst.Model.Instance.avail ~time ~typ))
+
+let state_count inst ~grids =
+  let acc = ref 0 in
+  for time = 0 to Model.Instance.horizon inst - 1 do
+    acc := !acc + Grid.size (grids time)
+  done;
+  !acc
+
+(* Operating costs of every state of a layer's grid.  With several
+   domains the pure evaluations fan out in parallel (bypassing the
+   cache, which is not thread-safe); sequentially the memoised path is
+   kept for the reconstruction scans. *)
+let layer_operating ~domains inst cache grid ~time =
+  if domains > 1 then
+    Util.Parallel.parallel_init ~domains (Grid.size grid) (fun idx ->
+        Model.Cost.operating inst ~time (Grid.config_at grid idx))
+  else begin
+    let flat = Array.make (Grid.size grid) infinity in
+    Grid.iter grid (fun idx x -> flat.(idx) <- Model.Cost.cached_operating cache ~time x);
+    flat
+  end
+
+let solve ?grids ?initial ?(domains = 1) inst =
+  (* Two-sided switching costs fold into the power-up side without
+     changing any schedule's cost (paper, Section 1). *)
+  let inst = Model.Instance.fold_switching inst in
+  let horizon = Model.Instance.horizon inst in
+  if horizon = 0 then invalid_arg "Dp.solve: empty instance";
+  let grids = match grids with Some g -> g | None -> dense_grids inst in
+  let betas = betas inst in
+  let d = Model.Instance.num_types inst in
+  let cache = Model.Cost.make_cache inst in
+  (* arrival.(t).(i): cheapest cost of a schedule prefix ending in state i
+     of grid t, including slot t's operating cost. *)
+  let arrival = Array.make horizon [||] in
+  (* Reuse the previous slot's grid object when the axes coincide, so the
+     cheap in-place transform applies on the common static-size path. *)
+  let grid_at = Array.make horizon (grids 0) in
+  for time = 1 to horizon - 1 do
+    let g = grids time in
+    grid_at.(time) <- (if Grid.equal g grid_at.(time - 1) then grid_at.(time - 1) else g)
+  done;
+  for time = 0 to horizon - 1 do
+    let grid = grid_at.(time) in
+    let entering =
+      if time = 0 then begin
+        (* Single known source: the switching cost from it is closed-form,
+           no transform needed (and [initial] need not be on the grid). *)
+        let init =
+          match initial with None -> Model.Config.zero d | Some c -> Array.copy c
+        in
+        let flat = Array.make (Grid.size grid) infinity in
+        Grid.iter grid (fun idx x ->
+            flat.(idx) <-
+              Model.Config.switching_cost inst.Model.Instance.types ~from_:init ~to_:x);
+        flat
+      end
+      else begin
+        let src = Array.copy arrival.(time - 1) in
+        let src_grid = grid_at.(time - 1) in
+        if src_grid == grid then begin
+          Transform.ramp_grid ~grid ~betas src;
+          src
+        end
+        else Transform.ramp_across ~src_grid ~dst_grid:grid ~betas src
+      end
+    in
+    let ops = layer_operating ~domains inst cache grid ~time in
+    Array.iteri (fun i c -> entering.(i) <- c +. ops.(i)) entering;
+    arrival.(time) <- entering
+  done;
+  (* Terminal: powering everything down is free. *)
+  let last_grid = grid_at.(horizon - 1) in
+  let best = ref infinity and best_idx = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if c < !best then begin
+        best := c;
+        best_idx := i
+      end)
+    arrival.(horizon - 1);
+  if not (Float.is_finite !best) then
+    invalid_arg "Dp.solve: no feasible schedule (load exceeds capacity)";
+  (* Reconstruct backwards: pick, per slot, the lexicographically smallest
+     predecessor achieving the arrival cost. *)
+  let schedule = Array.make horizon [||] in
+  schedule.(horizon - 1) <- Grid.config_at last_grid !best_idx;
+  for time = horizon - 1 downto 1 do
+    let target = schedule.(time) in
+    let grid = grid_at.(time - 1) in
+    let best = ref infinity and best_x = ref None in
+    Grid.iter grid (fun idx y ->
+        let total =
+          arrival.(time - 1).(idx)
+          +. Model.Config.switching_cost inst.Model.Instance.types ~from_:y ~to_:target
+        in
+        if
+          total < !best -. 1e-12
+          || (Float.abs (total -. !best) <= 1e-12
+             && match !best_x with Some b -> Model.Config.compare y b < 0 | None -> true)
+        then begin
+          best := total;
+          best_x := Some (Model.Config.copy y)
+        end);
+    match !best_x with
+    | Some y -> schedule.(time - 1) <- y
+    | None -> invalid_arg "Dp.solve: reconstruction failed"
+  done;
+  Log.debug (fun m ->
+      m "solved T=%d d=%d states/slot<=%d cost=%g" horizon d
+        (Grid.size grid_at.(horizon - 1))
+        !best);
+  { schedule; cost = !best }
+
+let solve_optimal ?domains inst = solve ?domains inst
+
+let solve_approx ?domains ~eps inst =
+  if eps <= 0. then invalid_arg "Dp.solve_approx: eps must be positive";
+  let gamma = 1. +. (eps /. 2.) in
+  solve ~grids:(approx_grids ~gamma inst) ?domains inst

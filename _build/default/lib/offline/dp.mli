@@ -1,0 +1,53 @@
+(** Offline shortest-path algorithms (paper, Section 4).
+
+    [solve] runs the dynamic program over per-slot state grids: the
+    optimal algorithm of Section 4.1 uses dense grids, the
+    [(1+eps)]-approximation of Section 4.2 uses power-of-gamma grids, and
+    Section 4.3's time-varying data-center sizes fall out of letting the
+    grid differ per slot.  Layer transitions are ramp inf-convolutions
+    ({!Transform}), so a solve costs [O(T * |grid| * d)] plus the
+    operating-cost evaluations [g_t(x)]. *)
+
+type result = {
+  schedule : Model.Schedule.t;  (** an optimal (w.r.t. the grids) schedule *)
+  cost : float;           (** its total cost [C(X)] *)
+}
+
+val solve :
+  ?grids:(int -> Grid.t) ->
+  ?initial:Model.Config.t ->
+  ?domains:int ->
+  Model.Instance.t ->
+  result
+(** Shortest path over the given per-slot grids (default: dense grids
+    honouring the instance's per-slot availability).  [initial] is the
+    configuration active before the first slot (default: all inactive) —
+    lookahead baselines re-plan from their current state with it; the
+    reported cost includes the power-up from [initial].  Raises
+    [Invalid_argument] when the instance admits no feasible schedule.
+    Argmin ties are broken towards the lexicographically smallest
+    configuration, so the result is deterministic.
+
+    [domains] (default 1) fans the per-layer operating-cost evaluations
+    [g_t(x)] — the dominant work — out across OCaml 5 domains; results
+    are bit-identical to the sequential solve because only the pure
+    evaluations are parallelised. *)
+
+val solve_optimal : ?domains:int -> Model.Instance.t -> result
+(** Section 4.1: exact optimum on dense grids. *)
+
+val solve_approx : ?domains:int -> eps:float -> Model.Instance.t -> result
+(** Section 4.2 (and 4.3 when the instance is size-varying): grids
+    [M^gamma] with [gamma = 1 + eps/2], guaranteeing
+    [cost <= (1 + eps) * OPT] (Theorem 16 with [2*gamma - 1 = 1 + eps]).
+    Requires [eps > 0]. *)
+
+val dense_grids : Model.Instance.t -> int -> Grid.t
+(** The per-slot dense grid (availability-aware). *)
+
+val approx_grids : gamma:float -> Model.Instance.t -> int -> Grid.t
+(** The per-slot reduced grid [X_j M_{t,j}^gamma]. *)
+
+val state_count : Model.Instance.t -> grids:(int -> Grid.t) -> int
+(** Total number of graph states [sum_t |grid_t|] — the size measure in
+    Theorems 21/22 (each state contributes two vertices). *)

@@ -1,0 +1,150 @@
+type stats = { vertices : int; edges : int }
+
+(* Parent pointers, one constructor per edge family of the paper. *)
+type parent =
+  | P_start
+  | P_up of int    (* up edge from a smaller config on the ↑ level *)
+  | P_op           (* operating edge from the ↑ twin *)
+  | P_down of int  (* down edge from a larger config on the ↓ level *)
+  | P_next of int  (* slot-change edge from the previous ↓ level *)
+  | P_unreached
+
+let stats inst =
+  let horizon = Model.Instance.horizon inst in
+  let vertices = ref 0 and edges = ref 0 in
+  for time = 0 to horizon - 1 do
+    let grid = Dp.dense_grids inst time in
+    let size = Grid.size grid in
+    vertices := !vertices + (2 * size);
+    (* Operating edges. *)
+    edges := !edges + size;
+    (* Up and down edges: one pair per vertex per axis where the
+       coordinate is below its axis maximum. *)
+    for j = 0 to Grid.dim grid - 1 do
+      let len = Grid.axis_length grid j in
+      edges := !edges + (2 * (size - (size / len)))
+    done;
+    (* Slot-change edges. *)
+    if time < horizon - 1 then edges := !edges + size
+  done;
+  { vertices = !vertices; edges = !edges }
+
+(* Neighbour on axis [j], one grid step up; -1 when at the axis top.
+   With the flat mixed-radix layout this is idx + stride_j. *)
+let step_up ~strides ~lengths idx j =
+  let pos = idx / strides.(j) mod lengths.(j) in
+  if pos = lengths.(j) - 1 then -1 else idx + strides.(j)
+
+let solve inst =
+  let horizon = Model.Instance.horizon inst in
+  if horizon = 0 then invalid_arg "Graph_paper.solve: empty instance";
+  let d = Model.Instance.num_types inst in
+  let cache = Model.Cost.make_cache inst in
+  let grids = Array.init horizon (Dp.dense_grids inst) in
+  let geometry grid =
+    let lengths = Array.init d (Grid.axis_length grid) in
+    let strides = Array.make d 1 in
+    for j = d - 2 downto 0 do
+      strides.(j) <- strides.(j + 1) * lengths.(j + 1)
+    done;
+    (lengths, strides)
+  in
+  (* Per-slot distance and parent arrays for both vertex levels. *)
+  let dist_up = Array.init horizon (fun t -> Array.make (Grid.size grids.(t)) infinity) in
+  let dist_down = Array.init horizon (fun t -> Array.make (Grid.size grids.(t)) infinity) in
+  let par_up = Array.init horizon (fun t -> Array.make (Grid.size grids.(t)) P_unreached) in
+  let par_down = Array.init horizon (fun t -> Array.make (Grid.size grids.(t)) P_unreached) in
+  for time = 0 to horizon - 1 do
+    let grid = grids.(time) in
+    let size = Grid.size grid in
+    let lengths, strides = geometry grid in
+    let betas =
+      Array.map (fun st -> st.Model.Server_type.switching_cost) inst.Model.Instance.types
+    in
+    (* Entry into the ↑ level: the source, or the previous ↓ level. *)
+    if time = 0 then begin
+      match Grid.index_of grid (Model.Config.zero d) with
+      | Some zero_idx ->
+          dist_up.(0).(zero_idx) <- 0.;
+          par_up.(0).(zero_idx) <- P_start
+      | None -> invalid_arg "Graph_paper.solve: missing all-off state"
+    end
+    else
+      Grid.iter grids.(time - 1) (fun prev_idx x ->
+          if Float.is_finite dist_down.(time - 1).(prev_idx) then
+            match Grid.index_of grid x with
+            | Some idx ->
+                if dist_down.(time - 1).(prev_idx) < dist_up.(time).(idx) then begin
+                  dist_up.(time).(idx) <- dist_down.(time - 1).(prev_idx);
+                  par_up.(time).(idx) <- P_next prev_idx
+                end
+            | None -> ());
+    (* ↑ level: relax up edges in ascending flat order (a DAG order,
+       since climbing increases the flat index). *)
+    for idx = 0 to size - 1 do
+      if Float.is_finite dist_up.(time).(idx) then
+        for j = 0 to d - 1 do
+          let nxt = step_up ~strides ~lengths idx j in
+          if nxt >= 0 then begin
+            let values = Grid.axis_values grid j in
+            let pos = idx / strides.(j) mod lengths.(j) in
+            let climb = betas.(j) *. float_of_int (values.(pos + 1) - values.(pos)) in
+            if dist_up.(time).(idx) +. climb < dist_up.(time).(nxt) then begin
+              dist_up.(time).(nxt) <- dist_up.(time).(idx) +. climb;
+              par_up.(time).(nxt) <- P_up idx
+            end
+          end
+        done
+    done;
+    (* Operating edges ↑ -> ↓. *)
+    Grid.iter grid (fun idx x ->
+        if Float.is_finite dist_up.(time).(idx) then begin
+          let g = Model.Cost.cached_operating cache ~time x in
+          if dist_up.(time).(idx) +. g < dist_down.(time).(idx) then begin
+            dist_down.(time).(idx) <- dist_up.(time).(idx) +. g;
+            par_down.(time).(idx) <- P_op
+          end
+        end);
+    (* ↓ level: relax down edges (from larger to smaller configs) by
+       pulling in descending flat order — a DAG order for this family. *)
+    for idx = size - 1 downto 0 do
+      for j = 0 to d - 1 do
+        let nxt = step_up ~strides ~lengths idx j in
+        if nxt >= 0 && Float.is_finite dist_down.(time).(nxt) then
+          if dist_down.(time).(nxt) < dist_down.(time).(idx) then begin
+            dist_down.(time).(idx) <- dist_down.(time).(nxt);
+            par_down.(time).(idx) <- P_down nxt
+          end
+      done
+    done
+  done;
+  (* Terminal vertex: v↓_{T,0}. *)
+  let last = horizon - 1 in
+  let zero_idx =
+    match Grid.index_of grids.(last) (Model.Config.zero d) with
+    | Some i -> i
+    | None -> invalid_arg "Graph_paper.solve: missing all-off state"
+  in
+  let cost = dist_down.(last).(zero_idx) in
+  if not (Float.is_finite cost) then
+    invalid_arg "Graph_paper.solve: no feasible schedule (load exceeds capacity)";
+  (* Walk the parents, recording the operating-edge crossing per slot. *)
+  let schedule = Array.make horizon [||] in
+  let rec walk_down time idx =
+    match par_down.(time).(idx) with
+    | P_op ->
+        schedule.(time) <- Grid.config_at grids.(time) idx;
+        walk_up time idx
+    | P_down from_idx -> walk_down time from_idx
+    | P_start | P_up _ | P_next _ | P_unreached ->
+        invalid_arg "Graph_paper.solve: broken parent chain (down)"
+  and walk_up time idx =
+    match par_up.(time).(idx) with
+    | P_start -> ()
+    | P_up from_idx -> walk_up time from_idx
+    | P_next prev_idx -> walk_down (time - 1) prev_idx
+    | P_op | P_down _ | P_unreached ->
+        invalid_arg "Graph_paper.solve: broken parent chain (up)"
+  in
+  walk_down last zero_idx;
+  { Dp.schedule; cost }

@@ -1,0 +1,30 @@
+(** Literal implementation of the paper's graph representation
+    (Section 4.1, Figure 4).
+
+    The graph [G(I)] has two vertices [v↑_{t,x}] and [v↓_{t,x}] per slot
+    [t] and configuration [x]:
+
+    - [e^op_{t,x}]: [v↑_{t,x} -> v↓_{t,x}] with weight [g_t(x)];
+    - [e^up_{t,x,j}]: [v↑_{t,x} -> v↑_{t,x+e_j}] with weight [beta_j];
+    - [e^down_{t,x,j}]: [v↓_{t,x+e_j} -> v↓_{t,x}] with weight [0];
+    - [e^next_{t,x}]: [v↓_{t,x} -> v↑_{t+1,x}] with weight [0].
+
+    A shortest [v↑_{1,0} -> v↓_{T,0}] path corresponds to an optimal
+    schedule.  This module materialises the edges and runs a
+    topological-order shortest path — an *independent reference
+    implementation* used to cross-validate the transform-based
+    {!Dp}, exactly as the paper describes the algorithm.  It is
+    exponential in memory for large fleets; use {!Dp} in production. *)
+
+type stats = {
+  vertices : int;  (** [2 T prod (m_j + 1)] *)
+  edges : int;
+}
+
+val stats : Model.Instance.t -> stats
+(** Size of [G(I)] without building it. *)
+
+val solve : Model.Instance.t -> Dp.result
+(** Shortest path through the explicit graph.  Same contract as
+    {!Dp.solve_optimal} (deterministic lexicographic tie-breaks may
+    differ, but the cost is identical). *)

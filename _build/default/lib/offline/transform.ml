@@ -1,0 +1,115 @@
+let ramp_line ~beta ~values ~costs =
+  let n = Array.length values in
+  if Array.length costs <> n then invalid_arg "Transform.ramp_line: length mismatch";
+  (* Forward: reach i from below, paying beta per unit climbed. *)
+  for i = 1 to n - 1 do
+    let climb = beta *. float_of_int (values.(i) - values.(i - 1)) in
+    if costs.(i - 1) +. climb < costs.(i) then costs.(i) <- costs.(i - 1) +. climb
+  done;
+  (* Backward: reach i from above for free. *)
+  for i = n - 2 downto 0 do
+    if costs.(i + 1) < costs.(i) then costs.(i) <- costs.(i + 1)
+  done
+
+let ramp_between ~beta ~src_values ~src ~dst_values =
+  let ns = Array.length src_values and nd = Array.length dst_values in
+  if Array.length src <> ns then invalid_arg "Transform.ramp_between: length mismatch";
+  let out = Array.make nd infinity in
+  (* From below: out.(i) = beta * vd_i + min_{vs_y <= vd_i} (src_y - beta * vs_y). *)
+  let y = ref 0 and best = ref infinity in
+  for i = 0 to nd - 1 do
+    while !y < ns && src_values.(!y) <= dst_values.(i) do
+      let candidate = src.(!y) -. (beta *. float_of_int src_values.(!y)) in
+      if candidate < !best then best := candidate;
+      incr y
+    done;
+    if !best < infinity then out.(i) <- !best +. (beta *. float_of_int dst_values.(i))
+  done;
+  (* From above (free descent): suffix minimum of src over vs_y >= vd_i. *)
+  let y = ref (ns - 1) and best = ref infinity in
+  for i = nd - 1 downto 0 do
+    while !y >= 0 && src_values.(!y) >= dst_values.(i) do
+      if src.(!y) < !best then best := src.(!y);
+      decr y
+    done;
+    if !best < out.(i) then out.(i) <- !best
+  done;
+  out
+
+(* Iterate over every 1-D line along axis [j] of a flat array with the
+   given per-axis lengths, calling [f ~offset ~stride]. *)
+let iter_lines lengths j f =
+  let d = Array.length lengths in
+  let stride = ref 1 in
+  for k = j + 1 to d - 1 do
+    stride := !stride * lengths.(k)
+  done;
+  let stride = !stride in
+  let block = stride * lengths.(j) in
+  let size = Array.fold_left ( * ) 1 lengths in
+  let base = ref 0 in
+  while !base < size do
+    for off = 0 to stride - 1 do
+      f ~offset:(!base + off) ~stride
+    done;
+    base := !base + block
+  done
+
+let ramp_grid ~grid ~betas flat =
+  let d = Grid.dim grid in
+  if Array.length betas <> d then invalid_arg "Transform.ramp_grid: betas mismatch";
+  if Array.length flat <> Grid.size grid then
+    invalid_arg "Transform.ramp_grid: size mismatch";
+  let lengths = Array.init d (Grid.axis_length grid) in
+  for j = 0 to d - 1 do
+    let values = Grid.axis_values grid j in
+    let n = lengths.(j) in
+    let line = Array.make n 0. in
+    iter_lines lengths j (fun ~offset ~stride ->
+        for i = 0 to n - 1 do
+          line.(i) <- flat.(offset + (i * stride))
+        done;
+        ramp_line ~beta:betas.(j) ~values ~costs:line;
+        for i = 0 to n - 1 do
+          flat.(offset + (i * stride)) <- line.(i)
+        done)
+  done
+
+let ramp_across ~src_grid ~dst_grid ~betas flat =
+  let d = Grid.dim src_grid in
+  if Grid.dim dst_grid <> d then invalid_arg "Transform.ramp_across: dim mismatch";
+  if Array.length betas <> d then invalid_arg "Transform.ramp_across: betas mismatch";
+  if Array.length flat <> Grid.size src_grid then
+    invalid_arg "Transform.ramp_across: size mismatch";
+  (* Replace one axis at a time; [lengths] tracks the mixed shape. *)
+  let lengths = Array.init d (Grid.axis_length src_grid) in
+  let current = ref (Array.copy flat) in
+  for j = 0 to d - 1 do
+    let src_values = Grid.axis_values src_grid j in
+    let dst_values = Grid.axis_values dst_grid j in
+    let ns = lengths.(j) and nd = Array.length dst_values in
+    let new_lengths = Array.copy lengths in
+    new_lengths.(j) <- nd;
+    let new_size = Array.fold_left ( * ) 1 new_lengths in
+    let next = Array.make new_size infinity in
+    (* Walk matching lines of the old and new arrays in parallel: lines
+       are enumerated in the same (other-axes) order by iter_lines. *)
+    let src_lines = ref [] in
+    iter_lines lengths j (fun ~offset ~stride -> src_lines := (offset, stride) :: !src_lines);
+    let dst_lines = ref [] in
+    iter_lines new_lengths j (fun ~offset ~stride -> dst_lines := (offset, stride) :: !dst_lines);
+    let src_line = Array.make ns 0. in
+    List.iter2
+      (fun (soff, sstr) (doff, dstr) ->
+        for i = 0 to ns - 1 do
+          src_line.(i) <- !current.(soff + (i * sstr))
+        done;
+        let out = ramp_between ~beta:betas.(j) ~src_values ~src:src_line ~dst_values in
+        for i = 0 to nd - 1 do
+          next.(doff + (i * dstr)) <- out.(i)
+        done)
+      (List.rev !src_lines) (List.rev !dst_lines);
+    lengths.(j) <- nd;
+    current := next
+  done;
+  !current

@@ -1,0 +1,41 @@
+(** Ramp inf-convolutions — the layer-to-layer step of the shortest-path
+    dynamic programs.
+
+    The paper's graph (Section 4.1) connects configurations with
+    per-coordinate edges: one step up on axis [j] costs [beta_j] per unit,
+    one step down is free.  Consequently the minimum over predecessors
+
+    {[ D'(x) = min_y D(y) + sum_j beta_j (x_j - y_j)^+ ]}
+
+    is a separable inf-convolution, computable exactly by one
+    forward/backward scan per axis instead of materialising the graph.
+    The mismatched-grid variant supports the approximation grids
+    (Section 4.2, edge weight [beta_j (N_j(x_j) - x_j)] telescopes to the
+    same ramp) and time-varying sizes (Section 4.3). *)
+
+val ramp_line : beta:float -> values:int array -> costs:float array -> unit
+(** In-place 1-D transform on a single axis:
+    [costs.(i) <- min_y costs.(y) + beta * (values.(i) - values.(y))^+].
+    [values] must be strictly increasing and match [costs] in length. *)
+
+val ramp_between :
+  beta:float ->
+  src_values:int array ->
+  src:float array ->
+  dst_values:int array ->
+  float array
+(** 1-D transform across two (possibly different) sorted axes:
+    [out.(i) = min_y src.(y) + beta * (dst_values.(i) - src_values.(y))^+].
+    Runs in [O(|src| + |dst|)]. *)
+
+val ramp_grid : grid:Grid.t -> betas:float array -> float array -> unit
+(** In-place multi-dimensional transform of a flat state-cost array over
+    [grid], applying {!ramp_line} along every axis ([betas.(j)] is the
+    per-unit up cost of axis [j]). *)
+
+val ramp_across :
+  src_grid:Grid.t -> dst_grid:Grid.t -> betas:float array -> float array -> float array
+(** Multi-dimensional transform from a flat array over [src_grid] to a
+    fresh flat array over [dst_grid] (axes are transformed one at a time
+    through intermediate mixed shapes).  The grids must have the same
+    dimension. *)

@@ -1,0 +1,1 @@
+lib/online/adversary.ml: Alg_a Array Convex Float List Model Offline

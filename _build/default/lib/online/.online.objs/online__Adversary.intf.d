@@ -1,0 +1,1 @@
+lib/online/adversary.mli: Model

@@ -1,0 +1,1 @@
+lib/online/alg_a.ml: Array Float List Logs Model Prefix_opt Stepper

@@ -1,0 +1,1 @@
+lib/online/alg_a.mli: Model Offline

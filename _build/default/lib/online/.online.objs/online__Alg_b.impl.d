@@ -1,0 +1,1 @@
+lib/online/alg_b.ml: Array Float Model Prefix_opt Stepper

@@ -1,0 +1,1 @@
+lib/online/alg_b.mli: Model Offline

@@ -1,0 +1,1 @@
+lib/online/alg_c.ml: Alg_b Array Convex Float Model

@@ -1,0 +1,1 @@
+lib/online/alg_rand.ml: Array Float List Model Prefix_opt Util

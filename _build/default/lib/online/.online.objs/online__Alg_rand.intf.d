@@ -1,0 +1,1 @@
+lib/online/alg_rand.mli: Model Util

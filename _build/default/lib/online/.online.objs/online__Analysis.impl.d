@@ -1,0 +1,1 @@
+lib/online/analysis.ml: Alg_a Alg_b Array Float List Model

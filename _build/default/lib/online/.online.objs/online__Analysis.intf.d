@@ -1,0 +1,1 @@
+lib/online/analysis.mli: Alg_a Alg_b Model

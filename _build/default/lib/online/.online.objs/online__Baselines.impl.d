@@ -1,0 +1,1 @@
+lib/online/baselines.ml: Array Float Model Offline Prefix_opt

@@ -1,0 +1,1 @@
+lib/online/baselines.mli: Model

@@ -1,0 +1,1 @@
+lib/online/harness.ml: Alg_a Alg_b Alg_c Baselines Convex List Model Offline Printf

@@ -1,0 +1,1 @@
+lib/online/harness.mli: Model

@@ -1,0 +1,1 @@
+lib/online/prefix_opt.ml: Array Float Model Offline

@@ -1,0 +1,1 @@
+lib/online/prefix_opt.mli: Model Offline

@@ -1,0 +1,1 @@
+lib/online/stepper.ml: Array Float Hashtbl List Model

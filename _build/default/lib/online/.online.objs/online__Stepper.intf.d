@@ -1,0 +1,1 @@
+lib/online/stepper.mli: Model

@@ -1,0 +1,1 @@
+lib/online/streaming.ml: Array Float Model Prefix_opt Stepper

@@ -1,0 +1,1 @@
+lib/online/streaming.mli: Convex Model

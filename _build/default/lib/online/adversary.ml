@@ -1,0 +1,97 @@
+type chasing_outcome = {
+  steps : int;
+  online_cost : float;
+  offline_cost : float;
+  ratio : float;
+}
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+(* Power-up cost of moving between bit-mask vertices with beta_j = 1. *)
+let up_cost ~from_ ~to_ = popcount (to_ land lnot from_)
+
+let chasing_lower_bound ~d =
+  if d < 1 || d > 20 then invalid_arg "Adversary.chasing_lower_bound: d in [1, 20]";
+  let vertices = 1 lsl d in
+  let steps = vertices - 1 in
+  let visited = Array.make vertices false in
+  let pos = ref 0 in
+  visited.(0) <- true;
+  let online_cost = ref 0 in
+  for _ = 1 to steps do
+    (* The adversary forbids the current vertex; the lazy player moves to
+       the cheapest other vertex (a free power-down when possible,
+       otherwise one power-up). *)
+    let best = ref (-1) and best_cost = ref max_int in
+    for v = 0 to vertices - 1 do
+      if v <> !pos then begin
+        let c = up_cost ~from_:!pos ~to_:v in
+        if c < !best_cost then begin
+          best_cost := c;
+          best := v
+        end
+      end
+    done;
+    online_cost := !online_cost + !best_cost;
+    pos := !best;
+    visited.(!pos) <- true
+  done;
+  (* Offline: jump once to any vertex the player (and hence the adversary)
+     never touches; it exists because only [steps] vertices get forbidden. *)
+  let refuge = ref (-1) in
+  for v = vertices - 1 downto 0 do
+    if not visited.(v) then refuge := v
+  done;
+  let offline_cost =
+    if !refuge >= 0 then float_of_int (up_cost ~from_:0 ~to_:!refuge)
+    else float_of_int d
+  in
+  let offline_cost = Float.max offline_cost 1e-9 in
+  { steps;
+    online_cost = float_of_int !online_cost;
+    offline_cost;
+    ratio = float_of_int !online_cost /. offline_cost }
+
+type reactive_outcome = {
+  instance : Model.Instance.t;
+  alg_cost : float;
+  opt_cost : float;
+  forced_ratio : float;
+}
+
+let reactive_a ?(rounds = 8) ~beta ~idle () =
+  if beta <= 0. || idle <= 0. then
+    invalid_arg "Adversary.reactive_a: beta and idle must be positive";
+  if rounds < 1 then invalid_arg "Adversary.reactive_a: rounds must be >= 1";
+  let types = [| Model.Server_type.make ~name:"node" ~count:1 ~switching_cost:beta ~cap:1. () |] in
+  let fns = [| Convex.Fn.const idle |] in
+  let instance_of loads =
+    Model.Instance.make_static ~types ~load:(Array.of_list (List.rev loads)) ~fns ()
+  in
+  (* Switching cost is only paid when x_{t-1} = 0 and the load forces a
+     power-up at t (a same-slot down+up cancels in the schedule), so the
+     adversary issues a load exactly when A's server was off in the
+     previous slot.  A is deterministic, so simulating it on each prefix
+     is a legitimate adaptive-adversary computation. *)
+  let server_on_last loads =
+    let r = Alg_a.run (instance_of loads) in
+    let col = Model.Schedule.column r.Alg_a.schedule ~typ:0 in
+    col.(Array.length col - 1) = 1
+  in
+  let rec build loads issued =
+    if issued >= rounds then loads
+    else if server_on_last loads then build (0. :: loads) issued
+    else build (1. :: loads) (issued + 1)
+  in
+  (* Seed with one demanded slot, then react; stop after [rounds] loads
+     and a final cool-down slot so the last timer expires naturally. *)
+  let tbar = max 1 (int_of_float (Float.ceil (beta /. idle))) in
+  let loads = build [ 1. ] 1 in
+  let loads = List.init tbar (fun _ -> 0.) @ loads in
+  let instance = instance_of loads in
+  let alg = Alg_a.run instance in
+  let alg_cost = Model.Cost.schedule instance alg.Alg_a.schedule in
+  let opt_cost = (Offline.Dp.solve_optimal instance).Offline.Dp.cost in
+  { instance; alg_cost; opt_cost; forced_ratio = alg_cost /. opt_cost }

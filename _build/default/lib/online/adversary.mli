@@ -1,0 +1,41 @@
+(** Adversarial constructions.
+
+    [chasing_lower_bound] reproduces the related-work example from the
+    paper showing that *general* discrete convex function chasing has an
+    [Omega(2^d / d)] competitive ratio — the reason the paper restricts
+    attention to operating costs of the form of equation (1).  The
+    adversary makes the online player's current hypercube vertex
+    infinitely expensive each slot for [2^d - 1] slots; any online
+    player keeps paying switching cost while the offline player jumps
+    once to a vertex that is never forbidden. *)
+
+type chasing_outcome = {
+  steps : int;         (** [2^d - 1] slots played *)
+  online_cost : float; (** switching cost paid by the simulated player *)
+  offline_cost : float;(** cost of the single offline jump ([<= d]) *)
+  ratio : float;
+}
+
+val chasing_lower_bound : d:int -> chasing_outcome
+(** Simulates a lazy online player (it escapes each forbidden vertex as
+    cheaply as possible, preferring free power-downs) against the
+    forbid-current-vertex adversary on [{0,1}^d] with [beta_j = 1].
+    Requires [1 <= d <= 20]. *)
+
+type reactive_outcome = {
+  instance : Model.Instance.t;  (** the constructed adversarial instance *)
+  alg_cost : float;             (** algorithm A's cost on it *)
+  opt_cost : float;             (** the exact offline optimum *)
+  forced_ratio : float;
+}
+
+val reactive_a : ?rounds:int -> beta:float -> idle:float -> unit -> reactive_outcome
+(** The classic ski-rental adversary against algorithm A for [d = 1]
+    ([m = 1], constant operating cost [idle], switching cost [beta]):
+    it issues a unit load exactly in the slots where A's server is off
+    and nothing while it runs, so A pays [beta + t_1 * idle ~ 2 beta]
+    per round while the optimum simply stays powered on.  As
+    [idle / beta -> 0] and [rounds] grows the forced ratio approaches
+    the lower bound [2 = 2d] of [5].  Because A is deterministic, the
+    adversary constructs the instance by simulating A on every prefix —
+    a legitimate (adaptive) adversary argument. *)

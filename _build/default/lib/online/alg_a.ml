@@ -1,0 +1,34 @@
+let log_src = Logs.Src.create "rightsizing.online" ~doc:"Online algorithms"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  schedule : Model.Schedule.t;
+  prefix_last : Model.Config.t array;
+  prefix_costs : float array;
+  runtimes : int option array;
+  power_ups : (int * int * int) list;
+}
+
+let runtime inst ~typ =
+  let beta = inst.Model.Instance.types.(typ).Model.Server_type.switching_cost in
+  let idle = Model.Instance.idle_cost inst ~time:0 ~typ in
+  if idle <= 0. then None else Some (max 1 (int_of_float (Float.ceil (beta /. idle))))
+
+let run ?grid inst =
+  let horizon = Model.Instance.horizon inst in
+  let engine = Prefix_opt.create ?grid inst in
+  let stepper = Stepper.alg_a inst in
+  let schedule = Array.make horizon [||] in
+  let prefix_last = Array.make horizon [||] in
+  let prefix_costs = Array.make horizon 0. in
+  for time = 0 to horizon - 1 do
+    let { Prefix_opt.last = hat; prefix_cost; _ } = Prefix_opt.step engine in
+    prefix_last.(time) <- hat;
+    prefix_costs.(time) <- prefix_cost;
+    schedule.(time) <- Stepper.step stepper ~time ~hat
+  done;
+  let power_ups = Stepper.power_ups stepper in
+  Log.debug (fun m ->
+      m "algorithm A: T=%d, %d power-up events" horizon (List.length power_ups));
+  { schedule; prefix_last; prefix_costs; runtimes = Stepper.runtimes stepper; power_ups }

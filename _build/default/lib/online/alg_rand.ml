@@ -1,0 +1,56 @@
+type result = {
+  schedule : Model.Schedule.t;
+  prefix_last : Model.Config.t array;
+  thresholds : float list;
+}
+
+(* Inverse-CDF sampling: F(z) = (e^z - 1) / (e - 1), so
+   F^{-1}(u) = ln(1 + u (e - 1)). *)
+let draw_threshold rng =
+  let u = Util.Prng.float rng 1. in
+  log (1. +. (u *. (Float.exp 1. -. 1.)))
+
+let run ~rng inst =
+  let horizon = Model.Instance.horizon inst in
+  let d = Model.Instance.num_types inst in
+  Array.iter
+    (fun st ->
+      if st.Model.Server_type.switching_cost <= 0. then
+        invalid_arg "Alg_rand.run: every switching cost must be positive")
+    inst.Model.Instance.types;
+  let engine = Prefix_opt.create inst in
+  (* Outstanding groups per type: (accumulated idle cost, budget, count).
+     Accumulation starts the slot after power-up, as in algorithm B. *)
+  let groups = Array.make d [] in
+  let x = Array.make d 0 in
+  let schedule = Array.make horizon [||] in
+  let prefix_last = Array.make horizon [||] in
+  let thresholds = ref [] in
+  for time = 0 to horizon - 1 do
+    let { Prefix_opt.last = hat; _ } = Prefix_opt.step engine in
+    prefix_last.(time) <- hat;
+    for typ = 0 to d - 1 do
+      let l = Model.Instance.idle_cost inst ~time ~typ in
+      let beta = inst.Model.Instance.types.(typ).Model.Server_type.switching_cost in
+      (* Charge this slot's idle cost to every outstanding group, then
+         power down those whose randomised budget is exhausted — they are
+         inactive from this slot on. *)
+      let updated =
+        List.map (fun (acc, budget, count) -> (acc +. l, budget, count)) groups.(typ)
+      in
+      let leaving, staying = List.partition (fun (acc, budget, _) -> acc > budget) updated in
+      groups.(typ) <- staying;
+      List.iter (fun (_, _, count) -> x.(typ) <- x.(typ) - count) leaving;
+      if x.(typ) < hat.(typ) then begin
+        let up = hat.(typ) - x.(typ) in
+        let z = draw_threshold rng in
+        thresholds := z :: !thresholds;
+        (* Fresh group: the power-up slot's own idle cost is excluded, so
+           accumulation starts at zero. *)
+        groups.(typ) <- groups.(typ) @ [ (0., z *. beta, up) ];
+        x.(typ) <- hat.(typ)
+      end
+    done;
+    schedule.(time) <- Array.copy x
+  done;
+  { schedule; prefix_last; thresholds = List.rev !thresholds }

@@ -1,0 +1,94 @@
+type block = { start : int; stop : int; count : int }
+
+let blocks_a result ~typ ~horizon =
+  let runtime = result.Alg_a.runtimes.(typ) in
+  List.filter_map
+    (fun (time, j, count) ->
+      if j <> typ then None
+      else
+        let stop =
+          match runtime with
+          | None -> horizon - 1
+          | Some tbar -> min (horizon - 1) (time + tbar - 1)
+        in
+        Some { start = time; stop; count })
+    result.Alg_a.power_ups
+
+let blocks_b result ~typ ~horizon =
+  (* Pair each power-up with the power-down of the same group: algorithm B
+     shuts whole groups, so the (slot, count) pairs match one-to-one in
+     chronological order. *)
+  let ups = List.filter (fun (_, j, _) -> j = typ) result.Alg_b.power_ups in
+  let downs = ref (List.filter (fun (_, j, _) -> j = typ) result.Alg_b.power_downs) in
+  List.map
+    (fun (start, _, count) ->
+      (* Find this group's shutdown: the earliest remaining power-down
+         with the same count whose slot is after [start]. *)
+      let rec take acc = function
+        | [] -> (None, List.rev acc)
+        | (slot, _, c) :: rest when c = count && slot > start ->
+            (Some slot, List.rev_append acc rest)
+        | other :: rest -> take (other :: acc) rest
+      in
+      let stop_slot, rest = take [] !downs in
+      downs := rest;
+      match stop_slot with
+      | Some e -> { start; stop = min (horizon - 1) (e - 1); count }
+      | None -> { start; stop = horizon - 1; count })
+    ups
+
+let special_slots blocks =
+  match List.rev blocks with
+  | [] -> []
+  | last :: _ ->
+      (* Walk backwards: given tau, the previous special slot is the last
+         block start s with block end < tau (i.e. s's block misses tau). *)
+      let starts_desc = List.rev_map (fun b -> b) blocks in
+      let rec go tau acc =
+        let prev =
+          List.find_opt (fun b -> b.start < tau && b.stop < tau) starts_desc
+        in
+        match prev with
+        | Some b -> go b.start (b.start :: acc)
+        | None -> acc
+      in
+      go last.start [ last.start ]
+
+let blocks_per_special blocks taus =
+  List.map
+    (fun tau ->
+      List.length (List.filter (fun b -> b.start <= tau && tau <= b.stop) blocks))
+    taus
+
+let block_cost inst ~typ block =
+  let beta = inst.Model.Instance.types.(typ).Model.Server_type.switching_cost in
+  let idle = ref 0. in
+  for time = block.start to block.stop do
+    idle := !idle +. Model.Instance.idle_cost inst ~time ~typ
+  done;
+  float_of_int block.count *. (beta +. !idle)
+
+let lemma6_bound inst ~typ block =
+  let beta = inst.Model.Instance.types.(typ).Model.Server_type.switching_cost in
+  let idle = Model.Instance.idle_cost inst ~time:0 ~typ in
+  if idle <= 0. then invalid_arg "Analysis.lemma6_bound: needs f_j(0) > 0";
+  let tbar = Float.of_int (max 1 (int_of_float (Float.ceil (beta /. idle)))) in
+  float_of_int block.count *. 2. *. Float.min (beta +. idle) (tbar *. idle)
+
+let lemma11_bound inst ~typ block =
+  let beta = inst.Model.Instance.types.(typ).Model.Server_type.switching_cost in
+  let worst = ref 0. in
+  for time = 0 to Model.Instance.horizon inst - 1 do
+    worst := Float.max !worst (Model.Instance.idle_cost inst ~time ~typ)
+  done;
+  float_of_int block.count *. ((2. *. beta) +. !worst)
+
+let load_dependent_total inst schedule =
+  let acc = ref 0. in
+  Array.iteri
+    (fun time x ->
+      for typ = 0 to Model.Instance.num_types inst - 1 do
+        acc := !acc +. Model.Cost.load_dependent inst ~time x ~typ
+      done)
+    schedule;
+  !acc

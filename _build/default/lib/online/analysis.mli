@@ -1,0 +1,52 @@
+(** Analysis machinery from the competitive proofs (Sections 2 and 3):
+    the blocks [A_{j,i}] — maximal activity intervals of individual
+    powered-up servers — and the special time slots [tau_{j,k}]
+    constructed in reverse time such that every block contains exactly
+    one special slot (Figure 2).  Exposing these lets the experiment
+    harness render Figure 2 and the test-suite check the combinatorial
+    claims the proofs of Lemmas 7 and 12 rely on. *)
+
+type block = {
+  start : int;   (** power-up slot [s_{j,i}] (0-based) *)
+  stop : int;    (** last active slot (inclusive) *)
+  count : int;   (** servers powered up together at [start] *)
+}
+
+val blocks_a : Alg_a.result -> typ:int -> horizon:int -> block list
+(** Blocks of algorithm A for one type: each power-up of [n] servers at
+    slot [s] forms a block [\[s, s + t_j - 1\]] (clipped to the horizon;
+    unbounded when the type never powers down). *)
+
+val blocks_b : Alg_b.result -> typ:int -> horizon:int -> block list
+(** Blocks of algorithm B, reconstructed from its power-up and power-down
+    events (a block powered up at [s] and shut down at slot [e] covers
+    [\[s, e - 1\]]). *)
+
+val special_slots : block list -> int list
+(** The slots [tau_{j,1} < ... < tau_{j,n'}]: walking backwards from the
+    last block start, each next special slot is the last block start
+    whose block ends before the current special slot.  Requires the
+    blocks sorted by start (as returned by [blocks_a]/[blocks_b]). *)
+
+val blocks_per_special : block list -> int list -> int list
+(** For each special slot, how many blocks contain it ([|B_{j,k}|]).
+    The proofs require every block to contain exactly one special slot:
+    the returned counts then sum to the number of blocks. *)
+
+val block_cost : Model.Instance.t -> typ:int -> block -> float
+(** The switching-plus-idle cost [H_{j,i}] of one block (per server,
+    times the block's [count]): [count * (beta_j + sum of l_{t,j} over
+    the block's slots)] — eq. (4) for algorithm A, eq. (10) for B. *)
+
+val lemma6_bound : Model.Instance.t -> typ:int -> block -> float
+(** Algorithm A's per-block bound (Lemma 6):
+    [count * 2 min(beta_j + f_j(0), t_j f_j(0))].  Only meaningful on
+    time-independent instances with [f_j(0) > 0]. *)
+
+val lemma11_bound : Model.Instance.t -> typ:int -> block -> float
+(** Algorithm B's per-block bound (Lemma 11):
+    [count * (2 beta_j + max_t l_{t,j})]. *)
+
+val load_dependent_total : Model.Instance.t -> Model.Schedule.t -> float
+(** [sum_t sum_j L_{t,j}(X)] — the left side of Lemma 5; the lemma
+    bounds it by the total cost of the final optimal prefix schedule. *)

@@ -1,0 +1,54 @@
+type evaluation = { name : string; cost : float; ratio : float; feasible : bool }
+
+let opt_cost inst = (Offline.Dp.solve_optimal inst).Offline.Dp.cost
+
+let evaluate inst ~opt named =
+  List.map
+    (fun (name, schedule) ->
+      let cost = Model.Cost.schedule inst schedule in
+      { name;
+        cost;
+        ratio = (if opt > 0. then cost /. opt else if cost = 0. then 1. else infinity);
+        feasible = Model.Schedule.feasible inst schedule })
+    named
+
+let all_load_independent inst =
+  let d = Model.Instance.num_types inst in
+  let ok = ref true in
+  for time = 0 to Model.Instance.horizon inst - 1 do
+    for typ = 0 to d - 1 do
+      if not (Convex.Fn.is_constant (inst.Model.Instance.cost ~time ~typ)) then ok := false
+    done
+  done;
+  !ok
+
+let competitive_bound inst ~algorithm =
+  let d = float_of_int (Model.Instance.num_types inst) in
+  match algorithm with
+  | `A -> if all_load_independent inst then 2. *. d else (2. *. d) +. 1.
+  | `B -> (2. *. d) +. 1. +. Alg_b.c_of_instance inst
+  | `C eps -> (2. *. d) +. 1. +. eps
+
+let run_suite ?(eps = 0.5) ?(window = 3) ?(include_baselines = true) inst =
+  let opt = Offline.Dp.solve_optimal inst in
+  let online =
+    if inst.Model.Instance.time_independent then
+      [ ("alg-A", (Alg_a.run inst).Alg_a.schedule) ]
+    else
+      [ ("alg-B", (Alg_b.run inst).Alg_b.schedule);
+        (Printf.sprintf "alg-C(eps=%g)" eps, (Alg_c.run ~eps inst).Alg_c.schedule) ]
+  in
+  let baselines =
+    if not include_baselines then []
+    else begin
+      let basic =
+        [ ("always-on", Baselines.always_on inst);
+          ("follow-demand", Baselines.follow_demand inst);
+          (Printf.sprintf "horizon-%d" window, Baselines.receding_horizon ~window inst) ]
+      in
+      if Model.Instance.num_types inst = 1 then
+        basic @ [ ("lcp", Baselines.lcp_1d inst) ]
+      else basic
+    end
+  in
+  (("OPT", opt.Offline.Dp.schedule) :: online) @ baselines

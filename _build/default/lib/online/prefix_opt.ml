@@ -1,0 +1,73 @@
+type step = {
+  last : Model.Config.t;
+  last_hi : Model.Config.t;
+  prefix_cost : float;
+}
+
+type t = {
+  inst : Model.Instance.t;
+  grid : Offline.Grid.t;
+  betas : float array;
+  cache : Model.Cost.cache;
+  mutable arrival : float array;  (* empty before the first step *)
+  mutable clock : int;
+}
+
+let create ?grid inst =
+  let inst = Model.Instance.fold_switching inst in
+  let grid =
+    match grid with
+    | Some g ->
+        if Offline.Grid.dim g <> Model.Instance.num_types inst then
+          invalid_arg "Prefix_opt.create: grid dimension mismatch";
+        g
+    | None -> Offline.Grid.dense (Model.Instance.counts inst)
+  in
+  let betas =
+    Array.map (fun st -> st.Model.Server_type.switching_cost) inst.Model.Instance.types
+  in
+  { inst; grid; betas; cache = Model.Cost.make_cache inst; arrival = [||]; clock = 0 }
+
+let time e = e.clock
+
+let step e =
+  if e.clock >= Model.Instance.horizon e.inst then
+    invalid_arg "Prefix_opt.step: past the horizon";
+  let time = e.clock in
+  let d = Model.Instance.num_types e.inst in
+  let entering =
+    if time = 0 then begin
+      let flat = Array.make (Offline.Grid.size e.grid) infinity in
+      (match Offline.Grid.index_of e.grid (Model.Config.zero d) with
+      | Some idx -> flat.(idx) <- 0.
+      | None -> assert false);
+      Offline.Transform.ramp_grid ~grid:e.grid ~betas:e.betas flat;
+      flat
+    end
+    else begin
+      let flat = Array.copy e.arrival in
+      Offline.Transform.ramp_grid ~grid:e.grid ~betas:e.betas flat;
+      flat
+    end
+  in
+  Offline.Grid.iter e.grid (fun idx x ->
+      entering.(idx) <- entering.(idx) +. Model.Cost.cached_operating e.cache ~time x);
+  e.arrival <- entering;
+  e.clock <- time + 1;
+  (* Flat-index order is lexicographic, so the first strict minimum is the
+     lexicographically smallest optimal last configuration. *)
+  let best = ref infinity and lo = ref (-1) and hi = ref (-1) in
+  Array.iteri
+    (fun idx c ->
+      if c < !best then begin
+        best := c;
+        lo := idx;
+        hi := idx
+      end
+      else if c = !best then hi := idx)
+    entering;
+  if not (Float.is_finite !best) then
+    invalid_arg "Prefix_opt.step: no feasible schedule for this prefix";
+  { last = Offline.Grid.config_at e.grid !lo;
+    last_hi = Offline.Grid.config_at e.grid !hi;
+    prefix_cost = !best }

@@ -1,0 +1,114 @@
+type rule =
+  | A of { runtimes : int option array; w : (int, int array) Hashtbl.t }
+      (* w: power-up slot -> counts per type (sparse, unbounded horizon) *)
+  | B of {
+      prefix : float array array;  (* prefix.(j).(t) = sum of l_{v,j}, v < t *)
+      groups : (int * int) list array;  (* per type: (power-up slot, count) *)
+    }
+
+type t = {
+  inst : Model.Instance.t;
+  rule : rule;
+  x : int array;
+  mutable clock : int;
+  mutable ups : (int * int * int) list;
+  mutable downs : (int * int * int) list;
+}
+
+let alg_a inst =
+  if not inst.Model.Instance.time_independent then
+    invalid_arg "Stepper.alg_a: operating costs must be time-independent";
+  let d = Model.Instance.num_types inst in
+  let runtimes =
+    Array.init d (fun typ ->
+        let beta = inst.Model.Instance.types.(typ).Model.Server_type.switching_cost in
+        let idle = Model.Instance.idle_cost inst ~time:0 ~typ in
+        if idle <= 0. then None
+        else Some (max 1 (int_of_float (Float.ceil (beta /. idle)))))
+  in
+  { inst;
+    rule = A { runtimes; w = Hashtbl.create 64 };
+    x = Array.make d 0;
+    clock = 0;
+    ups = [];
+    downs = [] }
+
+let alg_b inst =
+  Array.iter
+    (fun st ->
+      if st.Model.Server_type.switching_cost <= 0. then
+        invalid_arg "Stepper.alg_b: every switching cost must be positive")
+    inst.Model.Instance.types;
+  let d = Model.Instance.num_types inst in
+  let horizon = Model.Instance.horizon inst in
+  { inst;
+    rule =
+      B { prefix = Array.make_matrix d (horizon + 1) 0.; groups = Array.make d [] };
+    x = Array.make d 0;
+    clock = 0;
+    ups = [];
+    downs = [] }
+
+let step t ~time ~hat =
+  if time <> t.clock then invalid_arg "Stepper.step: slots must be fed in order";
+  t.clock <- time + 1;
+  let d = Array.length t.x in
+  if Array.length hat <> d then invalid_arg "Stepper.step: dimension mismatch";
+  for typ = 0 to d - 1 do
+    (* Power down. *)
+    (match t.rule with
+    | A { runtimes; w } -> (
+        match runtimes.(typ) with
+        | Some tbar when time - tbar >= 0 -> (
+            match Hashtbl.find_opt w (time - tbar) with
+            | Some counts when counts.(typ) > 0 ->
+                t.x.(typ) <- t.x.(typ) - counts.(typ);
+                t.downs <- (time, typ, counts.(typ)) :: t.downs
+            | Some _ | None -> ())
+        | Some _ | None -> ())
+    | B b ->
+        let l = Model.Instance.idle_cost t.inst ~time ~typ in
+        b.prefix.(typ).(time + 1) <- b.prefix.(typ).(time) +. l;
+        let beta = t.inst.Model.Instance.types.(typ).Model.Server_type.switching_cost in
+        let leaving, staying =
+          List.partition
+            (fun (u, _) ->
+              let upto_prev = b.prefix.(typ).(time) -. b.prefix.(typ).(u + 1) in
+              let upto_now = b.prefix.(typ).(time + 1) -. b.prefix.(typ).(u + 1) in
+              upto_prev <= beta && beta < upto_now)
+            b.groups.(typ)
+        in
+        b.groups.(typ) <- staying;
+        List.iter
+          (fun (_, count) ->
+            t.x.(typ) <- t.x.(typ) - count;
+            t.downs <- (time, typ, count) :: t.downs)
+          leaving);
+    (* Power up to the optimal-prefix target. *)
+    if t.x.(typ) < hat.(typ) then begin
+      let up = hat.(typ) - t.x.(typ) in
+      (match t.rule with
+      | A { w; _ } ->
+          let counts =
+            match Hashtbl.find_opt w time with
+            | Some c -> c
+            | None ->
+                let c = Array.make d 0 in
+                Hashtbl.add w time c;
+                c
+          in
+          counts.(typ) <- counts.(typ) + up
+      | B b -> b.groups.(typ) <- b.groups.(typ) @ [ (time, up) ]);
+      t.x.(typ) <- hat.(typ);
+      t.ups <- (time, typ, up) :: t.ups
+    end
+  done;
+  Array.copy t.x
+
+let power_ups t = List.rev t.ups
+let power_downs t = List.rev t.downs
+
+let runtimes t =
+  match t.rule with
+  | A { runtimes; _ } -> Array.copy runtimes
+  | B _ -> invalid_arg "Stepper.runtimes: algorithm B has no fixed timers"

@@ -1,0 +1,34 @@
+(** The per-slot state machines of algorithms A and B, factored out of
+    the batch runners so the same logic drives batch runs
+    ({!Alg_a.run}/{!Alg_b.run}), simulator controllers and the streaming
+    API — one implementation, no drift.
+
+    A stepper holds the power-down bookkeeping (A's fixed timers, B's
+    accumulated idle budgets); each [step] applies the slot's power-downs
+    and then powers up to the supplied optimal-prefix configuration
+    [hat]. *)
+
+type t
+
+val alg_a : Model.Instance.t -> t
+(** Algorithm A's timers ([t_j = ceil(beta_j / f_j(0))]); raises
+    [Invalid_argument] on time-dependent instances. *)
+
+val alg_b : Model.Instance.t -> t
+(** Algorithm B's idle-budget rule; raises [Invalid_argument] unless
+    every [beta_j > 0]. *)
+
+val step : t -> time:int -> hat:Model.Config.t -> Model.Config.t
+(** Process one slot (slots must be fed in order, starting at 0) and
+    return the resulting active configuration (a fresh array). *)
+
+val power_ups : t -> (int * int * int) list
+(** Chronological [(time, typ, count)] power-up events so far. *)
+
+val power_downs : t -> (int * int * int) list
+(** Chronological power-down events so far (empty for a type of
+    algorithm A that never powers down). *)
+
+val runtimes : t -> int option array
+(** Algorithm A's timers per type ([None] = never powers down); raises
+    [Invalid_argument] on a B stepper. *)

@@ -1,0 +1,57 @@
+type t = {
+  inst : Model.Instance.t;  (* built over the mutable load buffer *)
+  loads : float array;
+  engine : Prefix_opt.t;
+  stepper : Stepper.t;
+  capacity : float;
+  mutable clock : int;
+  mutable current : Model.Config.t;
+}
+
+let build ~max_horizon ~types ~make_inst ~make_stepper =
+  if max_horizon < 1 then invalid_arg "Streaming: max_horizon must be >= 1";
+  (* The instance reads this buffer; slot t is written before the engine
+     ever evaluates it, so the mutation is invisible to the algorithms. *)
+  let loads = Array.make max_horizon 0. in
+  let inst = make_inst ~loads in
+  let capacity =
+    Array.fold_left
+      (fun acc st ->
+        acc +. (float_of_int st.Model.Server_type.count *. st.Model.Server_type.cap))
+      0. types
+  in
+  { inst;
+    loads;
+    engine = Prefix_opt.create inst;
+    stepper = make_stepper inst;
+    capacity;
+    clock = 0;
+    current = Model.Config.zero (Array.length types) }
+
+let alg_a ?(max_horizon = 4096) ~types ~fns () =
+  build ~max_horizon ~types
+    ~make_inst:(fun ~loads -> Model.Instance.make_static ~types ~load:loads ~fns ())
+    ~make_stepper:Stepper.alg_a
+
+let alg_b ?(max_horizon = 4096) ~types ~cost () =
+  build ~max_horizon ~types
+    ~make_inst:(fun ~loads -> Model.Instance.make ~types ~load:loads ~cost ())
+    ~make_stepper:Stepper.alg_b
+
+let feed t volume =
+  if volume < 0. || not (Float.is_finite volume) then
+    invalid_arg "Streaming.feed: volume must be finite and non-negative";
+  if volume > t.capacity +. 1e-9 then
+    invalid_arg "Streaming.feed: volume exceeds the fleet capacity";
+  if t.clock >= Array.length t.loads then
+    invalid_arg "Streaming.feed: session horizon exhausted";
+  let time = t.clock in
+  t.loads.(time) <- volume;
+  let { Prefix_opt.last = hat; _ } = Prefix_opt.step t.engine in
+  let x = Stepper.step t.stepper ~time ~hat in
+  t.clock <- time + 1;
+  t.current <- x;
+  Array.copy x
+
+let fed t = t.clock
+let config t = Array.copy t.current

@@ -1,0 +1,43 @@
+(** Streaming deployment API.
+
+    The batch runners take a complete {!Model.Instance.t} and merely
+    promise not to peek ahead; a deployed controller receives loads one
+    slot at a time with no horizon in hand.  A streaming session owns a
+    pre-sized load buffer, writes each arriving volume into it, and
+    advances the same prefix engine and power-down state machine the
+    batch algorithms use — so a streamed run is decision-for-decision
+    identical to the batch run on the same loads (a tested identity). *)
+
+type t
+
+val alg_a :
+  ?max_horizon:int ->
+  types:Model.Server_type.t array ->
+  fns:Convex.Fn.t array ->
+  unit ->
+  t
+(** A streaming session running algorithm A (time-independent costs,
+    one function per type).  [max_horizon] bounds the number of slots
+    the session can absorb (default 4096). *)
+
+val alg_b :
+  ?max_horizon:int ->
+  types:Model.Server_type.t array ->
+  cost:(time:int -> typ:int -> Convex.Fn.t) ->
+  unit ->
+  t
+(** A streaming session running algorithm B (time-dependent costs; the
+    [cost] closure is consulted as slots arrive). *)
+
+val feed : t -> float -> Model.Config.t
+(** Deliver the next slot's job volume and obtain the configuration to
+    run during that slot.  Raises [Invalid_argument] on a negative or
+    non-finite volume, when the volume exceeds the fleet capacity
+    (no feasible configuration), or past [max_horizon]. *)
+
+val fed : t -> int
+(** Slots processed so far. *)
+
+val config : t -> Model.Config.t
+(** The currently active configuration (all-off before the first
+    [feed]). *)

@@ -1,0 +1,1 @@
+lib/planner/fleet.ml: Array Convex Float List Model Offline

@@ -1,0 +1,1 @@
+lib/planner/fleet.mli: Convex Model

@@ -1,0 +1,107 @@
+type candidate = { server : Model.Server_type.t; capex : float; fn : Convex.Fn.t }
+
+type plan = {
+  counts : int array;
+  capex : float;
+  operating : float;
+  total : float;
+  evaluated : int;
+  exhaustive : bool;
+}
+
+let fleet_capacity candidates counts =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j n -> acc := !acc +. (float_of_int n *. candidates.(j).server.Model.Server_type.cap))
+    counts;
+  !acc
+
+let operating_cost candidates counts ~load =
+  let types =
+    Array.mapi
+      (fun j c -> Model.Server_type.with_count c.server counts.(j))
+      candidates
+  in
+  let fns = Array.map (fun c -> c.fn) candidates in
+  let inst = Model.Instance.make_static ~types ~load:(Array.copy load) ~fns () in
+  (Offline.Dp.solve_optimal inst).Offline.Dp.cost
+
+(* Shared search skeleton: [price counts] returns the aggregated
+   operating cost of a fleet; [peak] is the capacity every fleet must
+   reach. *)
+let search ~budget ~candidates ~peak ~price =
+  let (candidates : candidate array) = candidates in
+  let d = Array.length candidates in
+  let maxima = Array.map (fun (c : candidate) -> c.server.Model.Server_type.count) candidates in
+  if fleet_capacity candidates maxima < peak then
+    invalid_arg "Fleet.optimize: even the maximal fleet cannot carry the peak load";
+  let evaluated = ref 0 in
+  let best = ref None in
+  let exhausted = ref true in
+  let counts = Array.make d 0 in
+  let rec walk j capex_so_far =
+    if !evaluated >= budget then exhausted := false
+    else if j = d then begin
+      let incumbent = match !best with Some p -> p.total | None -> infinity in
+      if capex_so_far < incumbent && fleet_capacity candidates counts >= peak then begin
+        incr evaluated;
+        let operating = price counts in
+        let total = capex_so_far +. operating in
+        if total < incumbent then
+          best :=
+            Some
+              { counts = Array.copy counts;
+                capex = capex_so_far;
+                operating;
+                total;
+                evaluated = 0;
+                exhaustive = false }
+      end
+    end
+    else
+      let incumbent = match !best with Some p -> p.total | None -> infinity in
+      if capex_so_far >= incumbent then ()
+      else
+        for n = 0 to maxima.(j) do
+          counts.(j) <- n;
+          walk (j + 1) (capex_so_far +. (float_of_int n *. candidates.(j).capex));
+          counts.(j) <- 0
+        done
+  in
+  walk 0 0.;
+  match !best with
+  | None -> invalid_arg "Fleet.optimize: no feasible fleet within the bounds"
+  | Some p -> { p with evaluated = !evaluated; exhaustive = !exhausted }
+
+let optimize ?(budget = 20_000) ~candidates ~load () =
+  let (candidates : candidate array) = candidates in
+  if Array.length candidates = 0 then invalid_arg "Fleet.optimize: no candidates";
+  if Array.length load = 0 then invalid_arg "Fleet.optimize: empty load";
+  Array.iter
+    (fun (c : candidate) ->
+      if c.capex < 0. then invalid_arg "Fleet.optimize: negative capex")
+    candidates;
+  let peak = Array.fold_left Float.max 0. load in
+  search ~budget ~candidates ~peak ~price:(fun counts ->
+      operating_cost candidates counts ~load)
+
+let optimize_robust ?(budget = 20_000) ?(objective = `Worst_case) ~candidates ~scenarios () =
+  let (candidates : candidate array) = candidates in
+  if Array.length candidates = 0 then invalid_arg "Fleet.optimize_robust: no candidates";
+  if scenarios = [] then invalid_arg "Fleet.optimize_robust: no scenarios";
+  List.iter
+    (fun load ->
+      if Array.length load = 0 then invalid_arg "Fleet.optimize_robust: empty scenario")
+    scenarios;
+  let peak =
+    List.fold_left
+      (fun acc load -> Float.max acc (Array.fold_left Float.max 0. load))
+      0. scenarios
+  in
+  let price counts =
+    let costs = List.map (fun load -> operating_cost candidates counts ~load) scenarios in
+    match objective with
+    | `Worst_case -> List.fold_left Float.max neg_infinity costs
+    | `Mean -> List.fold_left ( +. ) 0. costs /. float_of_int (List.length costs)
+  in
+  search ~budget ~candidates ~peak ~price

@@ -1,0 +1,50 @@
+(** Fleet planning: right-size the *fleet*, not just the schedule.
+
+    The paper takes the counts [m_j] as given; a capacity planner must
+    choose them.  Given candidate server types with per-unit acquisition
+    (capex) costs and a representative workload, this module searches
+    for the fleet whose capex plus optimal operating-plus-switching cost
+    (the paper's objective, computed by the offline solver) is minimal.
+
+    The search is exact within the given per-type count bounds: it walks
+    the count lattice with a best-first expansion and prunes with two
+    sound bounds — a fleet is discarded when its capex alone exceeds the
+    incumbent, and capacity-infeasible fleets are never evaluated.  For
+    the small candidate sets real planning involves (a handful of types,
+    tens of units) this is exhaustive-equivalent; a [budget] caps the
+    number of DP evaluations for larger spaces (the search then returns
+    the best fleet found, flagged as possibly non-optimal). *)
+
+type candidate = {
+  server : Model.Server_type.t;  (** the type at its maximum count *)
+  capex : float;                 (** acquisition cost per unit, [>= 0] *)
+  fn : Convex.Fn.t;              (** operating-cost curve *)
+}
+
+type plan = {
+  counts : int array;      (** chosen [m_j] per candidate *)
+  capex : float;           (** acquisition cost of the fleet *)
+  operating : float;       (** optimal schedule cost on the workload *)
+  total : float;           (** capex + operating *)
+  evaluated : int;         (** fleets priced with the DP *)
+  exhaustive : bool;       (** whether the whole lattice was covered *)
+}
+
+val optimize : ?budget:int -> candidates:candidate array -> load:float array -> unit -> plan
+(** Find the cheapest fleet for the workload.  Raises
+    [Invalid_argument] when no in-bounds fleet can carry the peak load,
+    when there are no candidates, or when the load is empty.  [budget]
+    (default [20_000]) caps DP evaluations. *)
+
+val optimize_robust :
+  ?budget:int ->
+  ?objective:[ `Worst_case | `Mean ] ->
+  candidates:candidate array ->
+  scenarios:float array list ->
+  unit ->
+  plan
+(** Robust planning over several workload scenarios (e.g. weekday /
+    weekend / growth forecasts): minimise capex plus the worst-case
+    (default) or mean optimal operating cost across the scenarios.  The
+    fleet must carry every scenario's peak.  [plan.operating] reports
+    the aggregated (worst or mean) operating cost. *)

@@ -1,0 +1,1 @@
+lib/sim/scenarios.ml: Array Convex Float List Model Printf Util Workload

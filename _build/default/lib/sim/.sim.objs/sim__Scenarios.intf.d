@@ -1,0 +1,1 @@
+lib/sim/scenarios.mli: Model Util

@@ -1,0 +1,214 @@
+let st = Model.Server_type.make
+
+let cpu_gpu ?(horizon = 48) ?(seed = 42) () =
+  let rng = Util.Prng.create seed in
+  let types =
+    [| st ~name:"cpu" ~count:8 ~switching_cost:3. ~cap:1. ();
+       st ~name:"gpu" ~count:3 ~switching_cost:10. ~cap:4. () |]
+  in
+  let fns =
+    [| Convex.Fn.power ~idle:0.5 ~coef:0.7 ~expo:2.;
+       Convex.Fn.power ~idle:1.2 ~coef:0.4 ~expo:1.5 |]
+  in
+  let load =
+    Workload.diurnal ~noise:0.08 ~rng ~horizon ~period:24 ~base:1. ~peak:12. ()
+  in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let homogeneous ?(horizon = 40) ?(count = 10) ?(seed = 7) () =
+  let rng = Util.Prng.create seed in
+  let types = [| st ~name:"node" ~count ~switching_cost:4. ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:0.6 ~coef:0.8 ~expo:2. |] in
+  let load =
+    Workload.diurnal ~noise:0.1 ~rng ~horizon ~period:20 ~base:0.5
+      ~peak:(0.8 *. float_of_int count)
+      ()
+  in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let three_tier ?(horizon = 60) ?(seed = 11) () =
+  let rng = Util.Prng.create seed in
+  let types =
+    [| st ~name:"legacy" ~count:6 ~switching_cost:1.5 ~cap:1. ();
+       st ~name:"current" ~count:6 ~switching_cost:4. ~cap:2. ();
+       st ~name:"accel" ~count:2 ~switching_cost:12. ~cap:6. () |]
+  in
+  let fns =
+    [| Convex.Fn.power ~idle:0.8 ~coef:0.9 ~expo:2.;
+       Convex.Fn.power ~idle:0.5 ~coef:0.5 ~expo:2.;
+       Convex.Fn.power ~idle:1.5 ~coef:0.3 ~expo:1.2 |]
+  in
+  let base = Workload.diurnal ~noise:0.05 ~rng ~horizon ~period:30 ~base:2. ~peak:14. () in
+  let burst = Workload.bursty ~horizon ~burst:2 ~gap:13 ~height:6. () in
+  let load = Workload.clamp ~lo:0. ~hi:28. (Workload.add base burst) in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let time_varying_costs ?(horizon = 36) ?(seed = 23) () =
+  let rng = Util.Prng.create seed in
+  let types =
+    [| st ~name:"onsite" ~count:6 ~switching_cost:5. ~cap:1. ();
+       st ~name:"burst-pool" ~count:4 ~switching_cost:2. ~cap:2. () |]
+  in
+  (* Electricity price: cheap at night, expensive during the day. *)
+  let price t = 0.6 +. (0.5 *. (1. -. cos (2. *. Float.pi *. float_of_int t /. 24.))) in
+  let cost ~time ~typ =
+    let p = price time in
+    match typ with
+    | 0 -> Convex.Fn.power ~idle:(0.5 *. p) ~coef:(0.8 *. p) ~expo:2.
+    | _ -> Convex.Fn.power ~idle:(0.9 *. p) ~coef:(0.5 *. p) ~expo:1.6
+  in
+  let load = Workload.diurnal ~noise:0.1 ~rng ~horizon ~period:24 ~base:1. ~peak:10. () in
+  Model.Instance.make ~types ~load ~cost ()
+
+let load_independent ~d ~horizon ~seed =
+  let rng = Util.Prng.create seed in
+  let types =
+    Array.init d (fun j ->
+        st
+          ~name:(Printf.sprintf "type%d" j)
+          ~count:(2 + Util.Prng.int rng 3)
+          ~switching_cost:(1. +. Util.Prng.float rng 4.)
+          ~cap:(float_of_int (1 lsl j))
+          ())
+  in
+  let fns = Array.init d (fun _ -> Convex.Fn.const (0.3 +. Util.Prng.float rng 1.2)) in
+  let capacity =
+    Array.fold_left
+      (fun acc t -> acc +. (float_of_int t.Model.Server_type.count *. t.Model.Server_type.cap))
+      0. types
+  in
+  let load =
+    Array.init horizon (fun _ -> Util.Prng.float rng (0.8 *. capacity))
+  in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let random_fn rng =
+  match Util.Prng.int rng 3 with
+  | 0 -> Convex.Fn.const (0.1 +. Util.Prng.float rng 1.5)
+  | 1 ->
+      Convex.Fn.affine
+        ~intercept:(0.1 +. Util.Prng.float rng 1.)
+        ~slope:(Util.Prng.float rng 2.)
+  | _ ->
+      Convex.Fn.power
+        ~idle:(0.1 +. Util.Prng.float rng 1.)
+        ~coef:(Util.Prng.float rng 2.)
+        ~expo:(1. +. Util.Prng.float rng 2.)
+
+let random_types rng ~d ~max_count =
+  Array.init d (fun j ->
+      st
+        ~name:(Printf.sprintf "type%d" j)
+        ~count:(1 + Util.Prng.int rng max_count)
+        ~switching_cost:(0.5 +. Util.Prng.float rng 3.5)
+        ~cap:(float_of_int (1 lsl Util.Prng.int rng 3))
+        ())
+
+let random_load rng types ~horizon =
+  let capacity =
+    Array.fold_left
+      (fun acc t -> acc +. (float_of_int t.Model.Server_type.count *. t.Model.Server_type.cap))
+      0. types
+  in
+  Array.init horizon (fun _ -> Util.Prng.float rng (0.9 *. capacity))
+
+let random_static ~rng ~d ~horizon ~max_count =
+  let types = random_types rng ~d ~max_count in
+  let fns = Array.init d (fun _ -> random_fn rng) in
+  let load = random_load rng types ~horizon in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let random_dynamic ~rng ~d ~horizon ~max_count =
+  let types = random_types rng ~d ~max_count in
+  let fns = Array.init horizon (fun _ -> Array.init d (fun _ -> random_fn rng)) in
+  let load = random_load rng types ~horizon in
+  Model.Instance.make ~types ~load ~cost:(fun ~time ~typ -> fns.(time).(typ)) ()
+
+let inefficient_mix ?(horizon = 36) ?(seed = 17) () =
+  let rng = Util.Prng.create seed in
+  let types =
+    [| st ~name:"efficient" ~count:6 ~switching_cost:2. ~cap:1. ();
+       (* Dominated on both axes — only its capacity justifies it. *)
+       st ~name:"inefficient" ~count:2 ~switching_cost:7. ~cap:5. () |]
+  in
+  let fns =
+    [| Convex.Fn.power ~idle:0.5 ~coef:0.6 ~expo:2.;
+       Convex.Fn.power ~idle:1.4 ~coef:0.8 ~expo:2. |]
+  in
+  let base = Workload.diurnal ~noise:0.05 ~rng ~horizon ~period:18 ~base:1. ~peak:5. () in
+  let peaks = Workload.bursty ~horizon ~burst:2 ~gap:10 ~height:9. () in
+  let load = Workload.clamp ~lo:0. ~hi:15. (Workload.add base peaks) in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let resonant_bursts ~d ~rounds =
+  if d < 1 || rounds < 1 then invalid_arg "Scenarios.resonant_bursts: bad parameters";
+  let idle = 1. and beta = 4. in
+  let types =
+    Array.init d (fun j ->
+        st
+          ~name:(Printf.sprintf "tier%d" j)
+          ~count:1 ~switching_cost:beta
+          ~cap:(3. ** float_of_int j)
+          ())
+  in
+  let fns = Array.init d (fun _ -> Convex.Fn.const idle) in
+  (* Forcing type j requires exceeding the joint capacity of all smaller
+     types: caps are 1, 3, 9, ..., and sum_{k<j} 3^k < 3^j. *)
+  let force_level j =
+    let below = ref 0. in
+    for k = 0 to j - 1 do
+      below := !below +. (3. ** float_of_int k)
+    done;
+    !below +. 1.
+  in
+  (* A burst, then a pause one slot longer than the ski-rental timer
+     t = ceil(beta / idle), so algorithm A powers down just before the
+     next burst and pays the switching cost again. *)
+  let tbar = int_of_float (Float.ceil (beta /. idle)) in
+  let pause = tbar + 1 in
+  let pattern = ref [] in
+  for _ = 1 to rounds do
+    for j = d - 1 downto 0 do
+      pattern := List.rev_append (List.init pause (fun _ -> 0.)) (force_level j :: !pattern)
+    done
+  done;
+  let load = Array.of_list (List.rev !pattern) in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let geo_shift ?(horizon = 48) ?(seed = 29) () =
+  let rng = Util.Prng.create seed in
+  let types =
+    [| st ~name:"region-west" ~count:8 ~switching_cost:3. ~cap:1. ();
+       st ~name:"region-east" ~count:8 ~switching_cost:3. ~cap:1. () |]
+  in
+  (* Prices oscillate with a 24-slot day, half a day apart. *)
+  let price region t =
+    let phase = if region = 0 then 0. else Float.pi in
+    0.5 +. (0.45 *. (1. +. sin ((2. *. Float.pi *. float_of_int t /. 24.) +. phase)))
+  in
+  let cost ~time ~typ =
+    let p = price typ time in
+    Convex.Fn.power ~idle:(0.8 *. p) ~coef:(0.7 *. p) ~expo:2.
+  in
+  (* A mostly flat global load: the interest is *where* it runs. *)
+  let load = Workload.diurnal ~noise:0.05 ~rng ~horizon ~period:24 ~base:5. ~peak:7. () in
+  Model.Instance.make ~types ~load ~cost ()
+
+let maintenance ?(horizon = 30) () =
+  let types =
+    [| st ~name:"rack-a" ~count:6 ~switching_cost:3. ~cap:1. ();
+       st ~name:"rack-b" ~count:4 ~switching_cost:5. ~cap:2. () |]
+  in
+  let fns =
+    [| Convex.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2.;
+       Convex.Fn.power ~idle:0.8 ~coef:0.5 ~expo:2. |]
+  in
+  let avail ~time ~typ =
+    match typ with
+    | 0 -> if time >= 10 && time < 15 then 2 else 6 (* maintenance window *)
+    | _ -> if time < 20 then 2 else 4 (* late expansion *)
+  in
+  let load =
+    Workload.diurnal ~horizon ~period:15 ~base:1. ~peak:6. ()
+  in
+  Model.Instance.make_static ~avail ~types ~load ~fns ()

@@ -1,0 +1,65 @@
+let workload_header = [ "slot"; "load" ]
+
+let save_workload ~path load =
+  let rows =
+    Array.to_list
+      (Array.mapi (fun t l -> [ string_of_int t; Printf.sprintf "%.9g" l ]) load)
+  in
+  Util.Csv.write ~path ~header:workload_header rows
+
+let load_workload ~path =
+  let body = Util.Csv.read_body ~path ~header:workload_header in
+  let parse = function
+    | [ _; l ] -> (
+        match float_of_string_opt l with
+        | Some v when v >= 0. -> v
+        | Some _ -> invalid_arg "Trace.load_workload: negative load"
+        | None -> invalid_arg "Trace.load_workload: non-numeric load")
+    | _ -> invalid_arg "Trace.load_workload: malformed row"
+  in
+  Array.of_list (List.map parse body)
+
+let schedule_header inst =
+  [ "slot"; "load" ]
+  @ Array.to_list
+      (Array.map (fun st -> st.Model.Server_type.name) inst.Model.Instance.types)
+  @ [ "operating"; "switching" ]
+
+let save_schedule ~path inst schedule =
+  let d = Model.Instance.num_types inst in
+  let prev = ref (Model.Config.zero d) in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun t x ->
+           let op = Model.Cost.operating inst ~time:t x in
+           let sw = Model.Cost.switching inst ~from_:!prev ~to_:x in
+           prev := x;
+           [ string_of_int t; Printf.sprintf "%.9g" inst.Model.Instance.load.(t) ]
+           @ List.init d (fun j -> string_of_int x.(j))
+           @ [ Printf.sprintf "%.9g" op; Printf.sprintf "%.9g" sw ])
+         schedule)
+  in
+  Util.Csv.write ~path ~header:(schedule_header inst) rows
+
+let load_schedule ~path ~d =
+  let rows = Util.Csv.read ~path in
+  match rows with
+  | [] -> invalid_arg "Trace.load_schedule: empty file"
+  | header :: body ->
+      if List.length header <> d + 4 then
+        invalid_arg "Trace.load_schedule: column count mismatch";
+      let parse row =
+        match row with
+        | _slot :: _load :: rest when List.length rest = d + 2 ->
+            let counts = List.filteri (fun i _ -> i < d) rest in
+            Array.of_list
+              (List.map
+                 (fun c ->
+                   match int_of_string_opt c with
+                   | Some v when v >= 0 -> v
+                   | Some _ | None -> invalid_arg "Trace.load_schedule: bad count")
+                 counts)
+        | _ -> invalid_arg "Trace.load_schedule: malformed row"
+      in
+      Array.of_list (List.map parse body)

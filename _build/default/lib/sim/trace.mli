@@ -1,0 +1,17 @@
+(** Persistence of workloads and schedules as CSV — lets experiments be
+    replayed on external traces and results be inspected outside OCaml. *)
+
+val save_workload : path:string -> float array -> unit
+(** Columns [slot, load]. *)
+
+val load_workload : path:string -> float array
+(** Inverse of {!save_workload}; raises [Invalid_argument] on malformed
+    files (wrong header, non-numeric or negative loads). *)
+
+val save_schedule : path:string -> Model.Instance.t -> Model.Schedule.t -> unit
+(** Columns [slot, load, <one per type name>, operating, switching] —
+    the per-slot decisions and cost breakdown. *)
+
+val load_schedule : path:string -> d:int -> Model.Schedule.t
+(** Reads back the configuration columns of {!save_schedule} (the cost
+    columns are ignored). *)

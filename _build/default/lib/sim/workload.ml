@@ -1,0 +1,85 @@
+let constant ~horizon ~level =
+  if level < 0. then invalid_arg "Workload.constant: negative level";
+  Array.make horizon level
+
+let diurnal ?(noise = 0.) ?rng ~horizon ~period ~base ~peak () =
+  if period < 1 then invalid_arg "Workload.diurnal: period must be >= 1";
+  if base < 0. || peak < base then invalid_arg "Workload.diurnal: need 0 <= base <= peak";
+  Array.init horizon (fun t ->
+      let phase = 2. *. Float.pi *. float_of_int t /. float_of_int period in
+      let mid = (base +. peak) /. 2. and amp = (peak -. base) /. 2. in
+      let pure = mid -. (amp *. cos phase) in
+      let noisy =
+        match rng with
+        | Some g when noise > 0. -> pure *. Float.max 0. (Util.Prng.gaussian g ~mu:1. ~sigma:noise)
+        | Some _ | None -> pure
+      in
+      Float.max 0. noisy)
+
+let bursty ~horizon ~burst ~gap ~height ?(base = 0.) () =
+  if burst < 1 || gap < 0 then invalid_arg "Workload.bursty: bad shape";
+  if height < base || base < 0. then invalid_arg "Workload.bursty: need 0 <= base <= height";
+  Array.init horizon (fun t -> if t mod (burst + gap) < burst then height else base)
+
+let random_walk ~rng ~horizon ~start ~step ~lo ~hi =
+  if lo > hi || start < lo || start > hi then invalid_arg "Workload.random_walk: bad range";
+  let x = ref start in
+  Array.init horizon (fun _ ->
+      let delta = Util.Prng.float_range rng ~lo:(-.step) ~hi:step in
+      let next = !x +. delta in
+      (* Reflect at the boundaries. *)
+      let next = if next > hi then hi -. (next -. hi) else next in
+      let next = if next < lo then lo +. (lo -. next) else next in
+      x := Util.Float_cmp.clamp ~lo ~hi next;
+      !x)
+
+let spikes ~rng ~horizon ~base ~height ~rate =
+  if base < 0. || height < 0. || rate < 0. || rate > 1. then
+    invalid_arg "Workload.spikes: bad parameters";
+  Array.init horizon (fun _ ->
+      if Util.Prng.float rng 1. < rate then base +. height else base)
+
+let mmpp ~rng ~horizon ~low ~high ~switch_prob ~jitter =
+  if low < 0. || high < low then invalid_arg "Workload.mmpp: need 0 <= low <= high";
+  if switch_prob < 0. || switch_prob > 1. then
+    invalid_arg "Workload.mmpp: switch_prob in [0, 1]";
+  if jitter < 0. then invalid_arg "Workload.mmpp: negative jitter";
+  let in_high = ref false in
+  Array.init horizon (fun _ ->
+      if Util.Prng.float rng 1. < switch_prob then in_high := not !in_high;
+      let mean = if !in_high then high else low in
+      let noisy =
+        if jitter > 0. then mean *. Float.max 0. (Util.Prng.gaussian rng ~mu:1. ~sigma:jitter)
+        else mean
+      in
+      Float.max 0. noisy)
+
+let weekly ?rng ?(noise = 0.) ~weeks ~day ~weekday_peak ~weekend_peak ~base () =
+  if weeks < 1 || day < 1 then invalid_arg "Workload.weekly: bad shape";
+  if base < 0. || weekday_peak < base || weekend_peak < base then
+    invalid_arg "Workload.weekly: need base <= peaks";
+  let horizon = weeks * 7 * day in
+  Array.init horizon (fun t ->
+      let day_index = t / day mod 7 in
+      let peak = if day_index < 5 then weekday_peak else weekend_peak in
+      let phase = 2. *. Float.pi *. float_of_int (t mod day) /. float_of_int day in
+      let mid = (base +. peak) /. 2. and amp = (peak -. base) /. 2. in
+      let pure = mid -. (amp *. cos phase) in
+      let noisy =
+        match rng with
+        | Some g when noise > 0. ->
+            pure *. Float.max 0. (Util.Prng.gaussian g ~mu:1. ~sigma:noise)
+        | Some _ | None -> pure
+      in
+      Float.max 0. noisy)
+
+let add a b =
+  if Array.length a <> Array.length b then invalid_arg "Workload.add: length mismatch";
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let clamp ~lo ~hi xs = Array.map (Util.Float_cmp.clamp ~lo ~hi) xs
+
+let scale_to_peak ~peak xs =
+  if peak < 0. then invalid_arg "Workload.scale_to_peak: negative peak";
+  let hi = Array.fold_left Float.max 0. xs in
+  if hi <= 0. then Array.copy xs else Array.map (fun x -> x /. hi *. peak) xs

@@ -1,0 +1,75 @@
+(** Synthetic job-volume traces.
+
+    The paper evaluates nothing empirically and real data-center traces
+    are proprietary, so experiments run on synthetic traces that exercise
+    the same decision structure: slow diurnal swings (the motivating
+    "low-load periods" of the introduction), on/off bursts (power-up /
+    power-down stress), random walks (no structure), and spike trains
+    (rare overload).  All generators are deterministic given the PRNG
+    state. *)
+
+val constant : horizon:int -> level:float -> float array
+
+val diurnal :
+  ?noise:float ->
+  ?rng:Util.Prng.t ->
+  horizon:int ->
+  period:int ->
+  base:float ->
+  peak:float ->
+  unit ->
+  float array
+(** Sinusoidal day/night pattern between [base] and [peak] with the given
+    [period]; optional multiplicative Gaussian noise (std [noise]). *)
+
+val bursty :
+  horizon:int -> burst:int -> gap:int -> height:float -> ?base:float -> unit -> float array
+(** Rectangular bursts: [burst] slots at [height], then [gap] slots at
+    [base] (default 0), repeating. *)
+
+val random_walk :
+  rng:Util.Prng.t -> horizon:int -> start:float -> step:float -> lo:float -> hi:float -> float array
+(** Reflected random walk with uniform steps in [±step]. *)
+
+val spikes :
+  rng:Util.Prng.t -> horizon:int -> base:float -> height:float -> rate:float -> float array
+(** Base load with spikes of the given [height] occurring independently
+    with probability [rate] per slot. *)
+
+val mmpp :
+  rng:Util.Prng.t ->
+  horizon:int ->
+  low:float ->
+  high:float ->
+  switch_prob:float ->
+  jitter:float ->
+  float array
+(** Markov-modulated load: a two-state chain (low/high mean) switching
+    state with probability [switch_prob] per slot; the emitted load is
+    the state mean with multiplicative Gaussian [jitter], clamped at 0.
+    Produces the regime-switching traces real clusters show (long quiet
+    phases, long busy phases). *)
+
+val weekly :
+  ?rng:Util.Prng.t ->
+  ?noise:float ->
+  weeks:int ->
+  day:int ->
+  weekday_peak:float ->
+  weekend_peak:float ->
+  base:float ->
+  unit ->
+  float array
+(** A 7-day cycle: five diurnal weekdays at [weekday_peak] followed by
+    two quieter weekend days at [weekend_peak], repeated [weeks] times
+    with [day] slots per day — the classic enterprise shape (and the
+    natural scenario pair for robust fleet planning). *)
+
+val add : float array -> float array -> float array
+(** Pointwise sum (lengths must match). *)
+
+val clamp : lo:float -> hi:float -> float array -> float array
+(** Pointwise clamp into [\[lo, hi\]]. *)
+
+val scale_to_peak : peak:float -> float array -> float array
+(** Rescale so that the maximum equals [peak] (no-op on all-zero input). *)

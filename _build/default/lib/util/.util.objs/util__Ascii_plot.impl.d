@@ -1,0 +1,1 @@
+lib/util/ascii_plot.ml: Array Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/util/svg.ml: Array Buffer Float List Printf String

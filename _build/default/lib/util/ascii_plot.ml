@@ -1,0 +1,52 @@
+type series = { label : string; glyph : char; values : int array }
+
+let step_series ?(max_height = 30) series =
+  let width =
+    List.fold_left (fun acc s -> max acc (Array.length s.values)) 0 series
+  in
+  let top =
+    List.fold_left
+      (fun acc s -> Array.fold_left max acc s.values)
+      0 series
+  in
+  let top = min top max_height in
+  let buf = Buffer.create 1024 in
+  for level = top downto 1 do
+    Buffer.add_string buf (Printf.sprintf "%3d |" level);
+    for t = 0 to width - 1 do
+      let cell =
+        List.fold_left
+          (fun acc s ->
+            if t < Array.length s.values && s.values.(t) >= level then Some s.glyph
+            else acc)
+          None series
+      in
+      Buffer.add_char buf (match cell with Some c -> c | None -> ' ')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "    +";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "     ";
+  for t = 0 to width - 1 do
+    Buffer.add_char buf (if (t + 1) mod 5 = 0 then Char.chr (Char.code '0' + ((t + 1) / 5) mod 10) else ' ')
+  done;
+  Buffer.add_string buf "  (time slots; digit k marks t = 5k)\n";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "     %c = %s\n" s.glyph s.label))
+    series;
+  Buffer.contents buf
+
+let sparkline xs =
+  let glyphs = [| " "; "."; ":"; "-"; "="; "+"; "*"; "#"; "%"; "@" |] in
+  let hi = Array.fold_left Float.max 0. xs in
+  if hi <= 0. then String.make (Array.length xs) ' '
+  else
+    String.concat ""
+      (Array.to_list
+         (Array.map
+            (fun x ->
+              let idx = int_of_float (x /. hi *. 9.) in
+              glyphs.(max 0 (min 9 idx)))
+            xs))

@@ -1,0 +1,18 @@
+(** Terminal renderings of the paper's figures.
+
+    The paper's Figures 1, 3 and 5 are step plots of integer server counts
+    over time; [step_series] renders one or more such series on a shared
+    integer lattice so the staircase structure is visible in a terminal
+    (and in [EXPERIMENTS.md]). *)
+
+type series = { label : string; glyph : char; values : int array }
+(** One step curve: [values.(t)] is the level during slot [t+1]. *)
+
+val step_series : ?max_height:int -> series list -> string
+(** Render the series on a common axis, one text row per integer level,
+    highest level on top.  Later series overwrite earlier ones where they
+    coincide.  [max_height] caps the number of rows (default 30). *)
+
+val sparkline : float array -> string
+(** One-line bar rendering of a non-negative float series (used for job
+    volumes [lambda_t]). *)

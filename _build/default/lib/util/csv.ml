@@ -1,0 +1,79 @@
+(* Empty cells are quoted too, so a single-cell empty row is never
+   mistaken for a blank line on read. *)
+let needs_quoting cell =
+  cell = "" || String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+
+let escape cell =
+  if needs_quoting cell then begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else cell
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  let emit row = output_string oc (String.concat "," (List.map escape row) ^ "\n") in
+  (try
+     emit header;
+     List.iter emit rows
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+(* Split one line into cells, honouring double-quote escaping. *)
+let split_line line =
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let in_quotes = ref false in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else if c = '"' then in_quotes := true
+    else if c = ',' then begin
+      cells := Buffer.contents buf :: !cells;
+      Buffer.clear buf
+    end
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  cells := Buffer.contents buf :: !cells;
+  List.rev !cells
+
+let read ~path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if line <> "" then rows := split_line line :: !rows
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in_noerr ic;
+      raise e);
+  List.rev !rows
+
+let read_body ~path ~header =
+  match read ~path with
+  | [] -> invalid_arg "Csv.read_body: empty file"
+  | first :: body ->
+      if first <> header then invalid_arg "Csv.read_body: header mismatch";
+      body

@@ -1,0 +1,15 @@
+(** Minimal CSV reading/writing for experiment artifacts.
+
+    Deliberately small: comma-separated, quotes only when a cell contains
+    a comma, quote or newline; no embedded-newline support on read (the
+    library never produces such cells). *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write [header] then the rows.  Raises [Sys_error] on I/O failure. *)
+
+val read : path:string -> string list list
+(** All rows including the header line, cells unescaped. *)
+
+val read_body : path:string -> header:string list -> string list list
+(** Like {!read} but checks that the first row equals [header]
+    (raises [Invalid_argument] otherwise) and returns only the body. *)

@@ -1,0 +1,16 @@
+let default_eps = 1e-9
+
+let close ?(eps = default_eps) a b =
+  if a = b then true
+  else if Float.is_nan a || Float.is_nan b then false
+  else if not (Float.is_finite a && Float.is_finite b) then false
+  else
+    let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+    Float.abs (a -. b) <= eps *. scale
+
+let le ?(eps = default_eps) a b = a <= b || close ~eps a b
+let ge ?(eps = default_eps) a b = a >= b || close ~eps a b
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let is_finite x = Float.is_finite x

@@ -1,0 +1,22 @@
+(** Tolerant floating-point comparisons used throughout the tests and the
+    dynamic programs (cost values are sums of many float terms). *)
+
+val default_eps : float
+(** Default absolute/relative tolerance ([1e-9]). *)
+
+val close : ?eps:float -> float -> float -> bool
+(** [close a b] holds when [a] and [b] agree up to a mixed
+    absolute/relative tolerance.  Two infinities of the same sign are
+    close. *)
+
+val le : ?eps:float -> float -> float -> bool
+(** [le a b] is [a <= b] up to tolerance. *)
+
+val ge : ?eps:float -> float -> float -> bool
+(** [ge a b] is [a >= b] up to tolerance. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into the closed interval [\[lo, hi\]]. *)
+
+val is_finite : float -> bool
+(** True for ordinary floats (not nan, not infinite). *)

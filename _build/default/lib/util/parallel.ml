@@ -1,0 +1,34 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Below this many items the spawn overhead dominates any speed-up. *)
+let min_parallel_items = 256
+
+let parallel_fill ~domains out f =
+  let n = Array.length out in
+  if domains <= 1 || n < min_parallel_items then
+    for i = 0 to n - 1 do
+      out.(i) <- f i
+    done
+  else begin
+    let workers = min domains n in
+    let chunk = (n + workers - 1) / workers in
+    let run lo hi =
+      for i = lo to hi do
+        out.(i) <- f i
+      done
+    in
+    let handles =
+      List.init (workers - 1) (fun w ->
+          let lo = (w + 1) * chunk in
+          let hi = min (n - 1) (lo + chunk - 1) in
+          Domain.spawn (fun () -> if lo <= hi then run lo hi))
+    in
+    (* The calling domain takes the first chunk. *)
+    run 0 (min (n - 1) (chunk - 1));
+    List.iter Domain.join handles
+  end
+
+let parallel_init ~domains n f =
+  let out = Array.make n 0. in
+  parallel_fill ~domains out f;
+  out

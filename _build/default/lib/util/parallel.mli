@@ -1,0 +1,20 @@
+(** Minimal data-parallel helpers over OCaml 5 domains.
+
+    The dynamic programs spend almost all their time in independent
+    [g_t(x)] evaluations per grid state; these helpers fan such loops out
+    across domains.  No external dependency (hand-rolled chunking rather
+    than domainslib); work items must be pure — they run concurrently
+    without synchronisation. *)
+
+val recommended_domains : unit -> int
+(** A sensible worker count: [Domain.recommended_domain_count], at
+    least 1. *)
+
+val parallel_fill : domains:int -> float array -> (int -> float) -> unit
+(** [parallel_fill ~domains out f] sets [out.(i) <- f i] for every index,
+    splitting the range into contiguous chunks across [domains] domains
+    (sequential when [domains <= 1] or the array is small).  [f] must be
+    pure and must not touch shared mutable state. *)
+
+val parallel_init : domains:int -> int -> (int -> float) -> float array
+(** Allocate and {!parallel_fill}. *)

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+let copy g = { state = g.state }
+
+let int g bound =
+  assert (bound > 0);
+  (* Drop two bits so the value always fits OCaml's 63-bit native int. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  raw mod bound
+
+let float g bound =
+  assert (bound >= 0.);
+  (* 53 high bits give a uniform double in [0, 1). *)
+  let raw = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  raw /. 9007199254740992. *. bound
+
+let float_range g ~lo ~hi = lo +. float g (hi -. lo)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let gaussian g ~mu ~sigma =
+  let rec nonzero () =
+    let u = float g 1. in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float g 1. in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential g ~rate =
+  assert (rate > 0.);
+  let rec nonzero () =
+    let u = float g 1. in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    All experiments in this repository must be reproducible, so randomness
+    is drawn from an explicit splitmix64 state rather than the global
+    [Random] module.  Streams can be split so that independent experiment
+    components do not perturb each other's draws. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed.  Equal seeds
+    yield equal streams. *)
+
+val split : t -> t
+(** [split g] derives an independent generator from [g], advancing [g]
+    by one draw. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state without advancing it. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)].  [bound] must be finite
+    and non-negative. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate ([rate > 0]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,96 @@
+type t = Atom of string | List of t list
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_blank st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_blank st
+  | Some ';' ->
+      (* Comment to end of line. *)
+      let rec eat () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            eat ()
+      in
+      eat ();
+      skip_blank st
+  | Some _ | None -> ()
+
+let error st msg = Error (Printf.sprintf "%s at offset %d" msg st.pos)
+
+let rec parse_one st =
+  skip_blank st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '(' ->
+      advance st;
+      let rec items acc =
+        skip_blank st;
+        match peek st with
+        | Some ')' ->
+            advance st;
+            Ok (List (List.rev acc))
+        | None -> error st "unclosed parenthesis"
+        | Some _ -> (
+            match parse_one st with
+            | Ok item -> items (item :: acc)
+            | Error _ as e -> e)
+      in
+      items []
+  | Some ')' -> error st "unexpected ')'"
+  | Some _ ->
+      let start = st.pos in
+      let rec eat () =
+        match peek st with
+        | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | ';') | None -> ()
+        | Some _ ->
+            advance st;
+            eat ()
+      in
+      eat ();
+      Ok (Atom (String.sub st.input start (st.pos - start)))
+
+let parse input =
+  let st = { input; pos = 0 } in
+  match parse_one st with
+  | Error _ as e -> e
+  | Ok v ->
+      skip_blank st;
+      if st.pos = String.length input then Ok v
+      else error st "trailing content after expression"
+
+let parse_many input =
+  let st = { input; pos = 0 } in
+  let rec go acc =
+    skip_blank st;
+    if st.pos = String.length input then Ok (List.rev acc)
+    else
+      match parse_one st with
+      | Ok v -> go (v :: acc)
+      | Error _ as e -> (match e with Error m -> Error m | Ok _ -> assert false)
+  in
+  go []
+
+let rec to_string = function
+  | Atom a -> a
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let atom = function Atom a -> Some a | List _ -> None
+
+let assoc key items =
+  List.find_map
+    (function
+      | List (Atom k :: args) when k = key -> Some args
+      | Atom _ | List _ -> None)
+    items
+
+let float_atom = function Atom a -> float_of_string_opt a | List _ -> None
+let int_atom = function Atom a -> int_of_string_opt a | List _ -> None

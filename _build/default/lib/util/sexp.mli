@@ -1,0 +1,27 @@
+(** Minimal s-expressions — the surface syntax for instance files.
+
+    Atoms are bare tokens (no quoting needed for the numeric/identifier
+    atoms the instance format uses); lists are parenthesised.  Comments
+    run from [;] to end of line. *)
+
+type t = Atom of string | List of t list
+
+val parse : string -> (t, string) result
+(** Parse exactly one s-expression (surrounding whitespace allowed);
+    [Error msg] carries a human-readable position. *)
+
+val parse_many : string -> (t list, string) result
+(** Parse a sequence of s-expressions. *)
+
+val to_string : t -> string
+(** Render; atoms are emitted verbatim. *)
+
+val atom : t -> string option
+(** Atom payload, if any. *)
+
+val assoc : string -> t list -> t list option
+(** [assoc key items] finds [(key v1 v2 ...)] among [items] and returns
+    its arguments. *)
+
+val float_atom : t -> float option
+val int_atom : t -> int option

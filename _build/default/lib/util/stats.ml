@@ -1,0 +1,42 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (acc /. float_of_int n)
+
+let minimum xs = Array.fold_left Float.min infinity xs
+let maximum xs = Array.fold_left Float.max neg_infinity xs
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    let frac = pos -. float_of_int lo in
+    ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let median xs = quantile xs 0.5
+
+let std_error xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan else stddev xs /. sqrt (float_of_int n)
+
+let mean_ci95 xs = (mean xs, 1.96 *. std_error xs)
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 || Array.exists (fun x -> x <= 0.) xs then Float.nan
+  else
+    let acc = Array.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (acc /. float_of_int n)

@@ -1,0 +1,32 @@
+(** Small descriptive-statistics helpers for experiment tables. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; [nan] on an empty array. *)
+
+val minimum : float array -> float
+(** Smallest element; [infinity] on an empty array. *)
+
+val maximum : float array -> float
+(** Largest element; [neg_infinity] on an empty array. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] is the linear-interpolation quantile for
+    [q] in [\[0, 1\]]; [nan] on an empty array.  Does not mutate [xs]. *)
+
+val median : float array -> float
+(** Shorthand for [quantile xs 0.5]. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values; [nan] if any value is
+    non-positive or the array is empty. *)
+
+val std_error : float array -> float
+(** Standard error of the mean, [stddev / sqrt n]; [nan] on an empty
+    array. *)
+
+val mean_ci95 : float array -> float * float
+(** Mean with its 95% normal-approximation half-width
+    ([1.96 * std_error]). *)

@@ -1,0 +1,129 @@
+type series = { label : string; color : string option; values : float array }
+
+let palette = [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let int_series ~label ?color values =
+  { label; color; values = Array.map float_of_int values }
+
+let escape text =
+  let buf = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let step_plot ?(width = 720) ?(height = 360) ?(x_label = "time slot")
+    ?(y_label = "active servers") ~title series =
+  let margin_left = 56 and margin_right = 16 and margin_top = 40 in
+  let margin_bottom = 48 + (16 * List.length series) in
+  let plot_w = width - margin_left - margin_right in
+  let plot_h = height - margin_top - margin_bottom in
+  let n =
+    List.fold_left (fun acc s -> max acc (Array.length s.values)) 1 series
+  in
+  let y_max =
+    List.fold_left
+      (fun acc s -> Array.fold_left Float.max acc s.values)
+      1. series
+  in
+  let y_max = Float.max 1. (Float.ceil y_max) in
+  let x_of t = float_of_int margin_left +. (float_of_int t /. float_of_int n *. float_of_int plot_w) in
+  let y_of v =
+    float_of_int (margin_top + plot_h) -. (v /. y_max *. float_of_int plot_h)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"12\">\n"
+       width height width height);
+  Buffer.add_string buf
+    (Printf.sprintf "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"22\" font-size=\"15\" font-weight=\"bold\">%s</text>\n"
+       margin_left (escape title));
+  (* Axes. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\"/>\n" margin_left
+       (margin_top + plot_h) (margin_left + plot_w) (margin_top + plot_h));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\"/>\n" margin_left
+       margin_top margin_left (margin_top + plot_h));
+  (* Y ticks: at most ~8 integer ticks. *)
+  let y_step = max 1 (int_of_float (Float.ceil (y_max /. 8.))) in
+  let rec y_ticks v =
+    if v <= y_max +. 1e-9 then begin
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\"/>\n"
+           margin_left (y_of v) (margin_left + plot_w) (y_of v));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\" dominant-baseline=\"middle\">%g</text>\n"
+           (margin_left - 6) (y_of v) v);
+      y_ticks (v +. float_of_int y_step)
+    end
+  in
+  y_ticks 0.;
+  (* X ticks every ~n/8 slots. *)
+  let x_step = max 1 (n / 8) in
+  let t = ref 0 in
+  while !t < n do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%d</text>\n" (x_of !t)
+         (margin_top + plot_h + 16) !t);
+    t := !t + x_step
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">%s</text>\n"
+       (margin_left + (plot_w / 2))
+       (margin_top + plot_h + 34)
+       (escape x_label));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"14\" y=\"%d\" text-anchor=\"middle\" transform=\"rotate(-90 14 %d)\">%s</text>\n"
+       (margin_top + (plot_h / 2))
+       (margin_top + (plot_h / 2))
+       (escape y_label));
+  (* Step paths. *)
+  List.iteri
+    (fun i s ->
+      let color =
+        match s.color with Some c -> c | None -> palette.(i mod Array.length palette)
+      in
+      let buf_path = Buffer.create 256 in
+      Array.iteri
+        (fun t v ->
+          let x0 = x_of t and x1 = x_of (t + 1) and y = y_of v in
+          if t = 0 then Buffer.add_string buf_path (Printf.sprintf "M %.1f %.1f " x0 y)
+          else Buffer.add_string buf_path (Printf.sprintf "L %.1f %.1f " x0 y);
+          Buffer.add_string buf_path (Printf.sprintf "L %.1f %.1f " x1 y))
+        s.values;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+           (Buffer.contents buf_path) color);
+      (* Legend row. *)
+      let ly = margin_top + plot_h + 48 + (16 * i) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" stroke-width=\"3\"/>\n"
+           margin_left ly (margin_left + 24) ly color);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%d\" dominant-baseline=\"middle\">%s</text>\n"
+           (margin_left + 32) ly (escape s.label)))
+    series;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

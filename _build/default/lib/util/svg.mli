@@ -1,0 +1,26 @@
+(** Minimal SVG rendering of step plots — the paper's figures as actual
+    graphics, with no external dependency.
+
+    Produces self-contained SVG documents: axes with integer ticks, one
+    step path per series, and a legend.  Colours default to a small
+    qualitative palette. *)
+
+type series = {
+  label : string;
+  color : string option;  (** CSS colour; [None] picks from the palette *)
+  values : float array;   (** level during slot [t] *)
+}
+
+val step_plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** Render the series as step curves over slots [0 .. n-1].  Returns the
+    SVG document text (default canvas 720x360). *)
+
+val int_series : label:string -> ?color:string -> int array -> series
+(** Convenience wrapper for integer trajectories. *)

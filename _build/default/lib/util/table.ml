@@ -1,0 +1,69 @@
+type align = Left | Right
+
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let fit width row =
+  let rec go n = function
+    | [] -> if n = 0 then [] else "" :: go (n - 1) []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go width row
+
+let add_row t row = t.rows <- fit (List.length t.header) row :: t.rows
+
+let fmt_float x =
+  if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else if Float.is_nan x then "nan"
+  else Printf.sprintf "%.4g" x
+
+let add_float_row t ?(fmt = fmt_float) label xs =
+  add_row t (label :: List.map fmt xs);
+  t
+
+let render ?(align = Right) t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else
+      match align with
+      | Left -> cell ^ String.make n ' '
+      | Right -> String.make n ' ' ^ cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line t.header :: rule :: List.map line rows)
+
+let to_csv t =
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+      let buf = Buffer.create (String.length cell + 2) in
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+        cell;
+      Buffer.add_char buf '"';
+      Buffer.contents buf
+    end
+    else cell
+  in
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (line t.header :: List.rev_map line t.rows) ^ "\n"
+
+let print ?align t =
+  print_string (render ?align t);
+  print_newline ()

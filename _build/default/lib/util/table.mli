@@ -1,0 +1,35 @@
+(** Aligned plain-text tables for experiment output.
+
+    The benchmark harness and the CLI print the rows the paper's theorems
+    predict; a fixed-width renderer keeps them legible in a terminal and
+    in [EXPERIMENTS.md] code blocks. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : header:string list -> t
+(** Fresh table with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** Append one row; the row is padded or truncated to the header width. *)
+
+val add_float_row : t -> ?fmt:(float -> string) -> string -> float list -> t
+(** [add_float_row tbl label xs] appends [label :: formatted xs] and
+    returns the table for chaining.  The default format is ["%.4g"]. *)
+
+val render : ?align:align -> t -> string
+(** Render with column separators.  Numeric-looking cells are
+    right-aligned when [align] is [Right] (the default). *)
+
+val print : ?align:align -> t -> unit
+(** [render] to standard output, followed by a newline. *)
+
+val to_csv : t -> string
+(** The same table as CSV text (header + rows), for machine-readable
+    experiment artifacts. *)
+
+val fmt_float : float -> string
+(** Default cell formatter: ["%.4g"], with infinities rendered as
+    ["inf"]. *)

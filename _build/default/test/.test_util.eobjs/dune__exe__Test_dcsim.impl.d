@@ -1,0 +1,1 @@
+test/test_dcsim.ml: Alcotest Array Convex Dcsim Float List Model Offline Online Printf Sim Util

@@ -1,0 +1,1 @@
+test/test_forecast.ml: Alcotest Array Convex Float Forecast List Model Offline Online Printf Sim

@@ -1,0 +1,1 @@
+test/test_fractional.ml: Alcotest Array Convex Float Fractional List Model Offline Online Printf Sim Util

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Fun List Model Offline Sim Sys Util

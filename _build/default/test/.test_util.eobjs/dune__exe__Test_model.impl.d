@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Convex Float List Model Offline Online Printf Util

@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest Array Convex Float List Model Offline Online Printf Sim Util

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Convex Float List Model Offline Online Printf Sim String Util

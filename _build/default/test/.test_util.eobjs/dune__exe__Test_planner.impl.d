@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Array Convex Model Offline Planner Sim Util

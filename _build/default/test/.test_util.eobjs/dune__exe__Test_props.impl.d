@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Convex Dcsim Filename Float Fractional Fun List Model Offline Online Printf QCheck2 QCheck_alcotest Sim Sys Util

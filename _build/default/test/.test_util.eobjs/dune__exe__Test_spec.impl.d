@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Convex Filename Float Fun Model Offline Out_channel Result Sim Sys Util

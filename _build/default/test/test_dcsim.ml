@@ -1,0 +1,398 @@
+(* Tests for the discrete-event simulator: job traces, the scheduler
+   equivalence with the analytic cost model, boot-delay effects, backlog
+   accounting, and the controllers. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+let st = Model.Server_type.make
+
+let simple ?(horizon = 6) ?(beta = 3.) ~load () =
+  let types = [| st ~name:"node" ~count:5 ~switching_cost:beta ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:0.5 ~coef:1. ~expo:2. |] in
+  let load = match load with Some l -> l | None -> Array.make horizon 2. in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+(* --- Job_trace --- *)
+
+let test_trace_of_volumes_roundtrip () =
+  let loads = [| 0.; 2.5; 0.; 1. |] in
+  let trace = Dcsim.Job_trace.of_volumes loads in
+  checki "zero slots emit no job" 2 (Dcsim.Job_trace.count trace);
+  Alcotest.(check (array (float 1e-12))) "aggregation inverts" loads
+    (Dcsim.Job_trace.volumes trace ~horizon:4)
+
+let test_trace_poisson_moments () =
+  let rng = Util.Prng.create 7 in
+  let trace = Dcsim.Job_trace.poisson ~rng ~horizon:2000 ~rate:2. ~mean_volume:1.5 in
+  let expected = 2000. *. 2. *. 1.5 in
+  let total = Dcsim.Job_trace.total_volume trace in
+  checkb "total volume near expectation" true
+    (Float.abs (total -. expected) /. expected < 0.1);
+  checkb "job count near expectation" true
+    (Float.abs (float_of_int (Dcsim.Job_trace.count trace) -. 4000.) /. 4000. < 0.1)
+
+let test_trace_volumes_clips_horizon () =
+  let trace = [| { Dcsim.Job_trace.arrival = 9; volume = 5. } |] in
+  Alcotest.(check (array (float 0.))) "out of range ignored" [| 0.; 0. |]
+    (Dcsim.Job_trace.volumes trace ~horizon:2)
+
+(* --- Sim: equivalence with the analytic model --- *)
+
+let test_sim_matches_cost_model () =
+  (* Zero boot delay + feasible schedule: energy + switching equals
+     Cost.schedule to the last bit of tolerance. *)
+  List.iter
+    (fun inst ->
+      let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in
+      let m = Dcsim.Sim.run_schedule inst schedule in
+      checkb "cost equivalence" true
+        (Util.Float_cmp.close ~eps:1e-9 cost (m.Dcsim.Sim.energy +. m.Dcsim.Sim.switching));
+      checkf 1e-9 "nothing unserved" 0. m.Dcsim.Sim.unserved;
+      checkf 1e-9 "everything served" (Array.fold_left ( +. ) 0. inst.Model.Instance.load)
+        m.Dcsim.Sim.served)
+    [ Sim.Scenarios.cpu_gpu ~horizon:16 ();
+      Sim.Scenarios.three_tier ~horizon:12 ();
+      Sim.Scenarios.time_varying_costs ~horizon:12 () ]
+
+let test_sim_counts_power_ups () =
+  let inst = simple ~load:(Some [| 2.; 2.; 0.; 0.; 2.; 2. |]) () in
+  let schedule = Model.Schedule.of_lists [ [ 2 ]; [ 2 ]; [ 0 ]; [ 0 ]; [ 2 ]; [ 2 ] ] in
+  let m = Dcsim.Sim.run_schedule inst schedule in
+  checki "4 individual power-ups" 4 m.Dcsim.Sim.power_up_events;
+  checkf 1e-9 "switching = 4 beta" 12. m.Dcsim.Sim.switching
+
+let test_sim_boot_delay_drops_volume () =
+  (* One slot of boot delay: the first burst finds no capacity. *)
+  let inst = simple ~load:(Some [| 2.; 2.; 0.; 0.; 0.; 0. |]) () in
+  let schedule = Model.Schedule.of_lists [ [ 2 ]; [ 2 ]; [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ] ] in
+  let cfg = { Dcsim.Sim.boot_delay = [| 1 |]; carry_backlog = false; failures = None } in
+  let m = Dcsim.Sim.run_schedule ~config:cfg inst schedule in
+  checkf 1e-9 "first slot dropped" 2. m.Dcsim.Sim.unserved;
+  checkf 1e-9 "rest served" 2. m.Dcsim.Sim.served
+
+let test_sim_backlog_carries () =
+  let inst = simple ~load:(Some [| 2.; 0.; 0.; 0.; 0.; 0. |]) () in
+  let schedule = Model.Schedule.of_lists [ [ 2 ]; [ 2 ]; [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ] ] in
+  let cfg = { Dcsim.Sim.boot_delay = [| 1 |]; carry_backlog = true; failures = None } in
+  let m = Dcsim.Sim.run_schedule ~config:cfg inst schedule in
+  (* The burst waits one slot in the backlog, then the booted servers
+     drain it. *)
+  checkf 1e-9 "eventually served" 2. m.Dcsim.Sim.served;
+  checkf 1e-9 "nothing dropped" 0. m.Dcsim.Sim.unserved;
+  checkf 1e-9 "peak backlog" 2. m.Dcsim.Sim.backlog_peak
+
+let test_sim_volume_conservation () =
+  (* served + unserved + final backlog = total arrivals, whatever the
+     configuration. *)
+  let rng = Util.Prng.create 33 in
+  for _ = 1 to 10 do
+    let inst = Sim.Scenarios.random_static ~rng ~d:2 ~horizon:8 ~max_count:3 in
+    let { Offline.Dp.schedule; _ } = Offline.Dp.solve_optimal inst in
+    List.iter
+      (fun carry ->
+        let cfg = { Dcsim.Sim.boot_delay = [| 1; 2 |]; carry_backlog = carry; failures = None } in
+        let m = Dcsim.Sim.run_schedule ~config:cfg inst schedule in
+        let arrived = Array.fold_left ( +. ) 0. inst.Model.Instance.load in
+        (* With carry, un-drained backlog at the horizon is neither
+           served nor dropped; bound instead of equality. *)
+        checkb "conservation" true
+          (m.Dcsim.Sim.served +. m.Dcsim.Sim.unserved <= arrived +. 1e-6))
+      [ true; false ]
+  done
+
+let test_sim_boot_cancellation () =
+  (* Command up then immediately down: booting servers are cancelled, no
+     server ever becomes active, but the switching cost was paid. *)
+  let inst = simple ~load:(Some [| 0.; 0.; 0.; 0.; 0.; 0. |]) () in
+  let schedule = Model.Schedule.of_lists [ [ 3 ]; [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ] ] in
+  let cfg = { Dcsim.Sim.boot_delay = [| 3 |]; carry_backlog = false; failures = None } in
+  let m = Dcsim.Sim.run_schedule ~config:cfg inst schedule in
+  checkf 1e-9 "paid for the aborted boots" 9. m.Dcsim.Sim.switching;
+  (* Energy: one slot of 3 booting servers' idle power. *)
+  checkf 1e-9 "one slot of boot idle" (3. *. 0.5) m.Dcsim.Sim.energy
+
+let test_sim_rejects_bad_inputs () =
+  let inst = simple ~load:None () in
+  let schedule = Array.make 6 [| 9 |] in
+  checkb "target above fleet" true
+    (try ignore (Dcsim.Sim.run_schedule inst schedule); false
+     with Invalid_argument _ -> true);
+  checkb "boot_delay arity" true
+    (try
+       ignore
+         (Dcsim.Sim.run_schedule
+            ~config:{ Dcsim.Sim.boot_delay = [| 0; 0 |]; carry_backlog = false; failures = None }
+            inst
+            (Array.make 6 [| 0 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_failures_deterministic () =
+  let inst = simple ~load:(Some (Array.make 6 3.)) () in
+  let schedule = Array.make 6 [| 4 |] in
+  let cfg rate =
+    { Dcsim.Sim.boot_delay = [| 0 |];
+      carry_backlog = false;
+      failures = Some { Dcsim.Sim.rate; repair_slots = 2; seed = 9 } }
+  in
+  let a = Dcsim.Sim.run_schedule ~config:(cfg 0.3) inst schedule in
+  let b = Dcsim.Sim.run_schedule ~config:(cfg 0.3) inst schedule in
+  checki "same failure stream" a.Dcsim.Sim.failures b.Dcsim.Sim.failures;
+  checkb "failures happened" true (a.Dcsim.Sim.failures > 0);
+  (* Rate 0 is exactly the reliable run. *)
+  let clean = Dcsim.Sim.run_schedule ~config:(cfg 0.) inst schedule in
+  let reliable = Dcsim.Sim.run_schedule inst schedule in
+  checki "no failures at rate 0" 0 clean.Dcsim.Sim.failures;
+  checkb "rate 0 = reliable" true
+    (Util.Float_cmp.close ~eps:1e-9
+       (clean.Dcsim.Sim.energy +. clean.Dcsim.Sim.switching)
+       (reliable.Dcsim.Sim.energy +. reliable.Dcsim.Sim.switching))
+
+let test_sim_failures_cost_resilience () =
+  (* With a fixed-schedule operator failures drop volume; the replacement
+     power-ups cost extra switching when the controller re-requests. *)
+  let inst = simple ~load:(Some (Array.make 8 3.)) () in
+  let schedule = Array.make 8 [| 3 |] in
+  let cfg =
+    { Dcsim.Sim.boot_delay = [| 0 |];
+      carry_backlog = false;
+      failures = Some { Dcsim.Sim.rate = 0.15; repair_slots = 2; seed = 4 } }
+  in
+  let m = Dcsim.Sim.run_schedule ~config:cfg inst schedule in
+  checkb "volume lost or re-bought" true
+    (m.Dcsim.Sim.unserved > 0. || m.Dcsim.Sim.power_up_events > 3);
+  checkb "validation" true
+    (try
+       ignore
+         (Dcsim.Sim.run_schedule
+            ~config:
+              { Dcsim.Sim.boot_delay = [| 0 |];
+                carry_backlog = false;
+                failures = Some { Dcsim.Sim.rate = 2.; repair_slots = 1; seed = 1 } }
+            inst schedule);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_failures_repair_returns_capacity () =
+  (* After repair the controller can re-power the unit: with rate forced
+     on a single slot via seed choice the long-run service recovers. *)
+  let inst = simple ~load:(Some (Array.make 12 2.)) () in
+  let cfg =
+    { Dcsim.Sim.boot_delay = [| 0 |];
+      carry_backlog = false;
+      failures = Some { Dcsim.Sim.rate = 0.2; repair_slots = 1; seed = 2 } }
+  in
+  (* A replenishing controller: always ask for 3. *)
+  let m, _ =
+    Dcsim.Sim.run_controller ~config:cfg inst (fun ~time:_ ~load:_ ~backlog:_ -> [| 3 |])
+  in
+  (* Demand 2 with 3 requested: single-unit failures cannot drop volume
+     except in the slot capacity dips below 2 before re-request. *)
+  checkb "mostly served" true (m.Dcsim.Sim.served >= 0.8 *. 24.)
+
+let test_sim_energy_by_type_sums () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:16 () in
+  let { Offline.Dp.schedule; _ } = Offline.Dp.solve_optimal inst in
+  let m = Dcsim.Sim.run_schedule inst schedule in
+  let parts = Array.fold_left ( +. ) 0. m.Dcsim.Sim.energy_by_type in
+  checkb "per-type energy sums to total" true
+    (Util.Float_cmp.close ~eps:1e-9 parts m.Dcsim.Sim.energy)
+
+(* --- run_trace: job-level latency --- *)
+
+let test_trace_waits_zero_with_ample_capacity () =
+  let inst = simple ~load:(Some [| 2.; 2.; 2.; 2.; 2.; 2. |]) () in
+  let trace = Dcsim.Job_trace.of_volumes inst.Model.Instance.load in
+  let m, w, _ =
+    Dcsim.Sim.run_trace inst trace (fun ~time:_ ~load:_ ~backlog:_ -> [| 5 |])
+  in
+  checkf 1e-9 "all served" 12. m.Dcsim.Sim.served;
+  checki "all jobs completed" 6 w.Dcsim.Sim.completed;
+  checkf 1e-9 "no waiting" 0. w.Dcsim.Sim.max_wait;
+  checki "none abandoned" 0 w.Dcsim.Sim.abandoned
+
+let test_trace_waits_grow_under_tight_capacity () =
+  (* A burst of 6 volume with capacity 2/slot: the tail waits ~2 slots. *)
+  let inst = simple ~load:(Some [| 6.; 0.; 0.; 0.; 0.; 0. |]) () in
+  let trace =
+    [| { Dcsim.Job_trace.arrival = 0; volume = 2. };
+       { Dcsim.Job_trace.arrival = 0; volume = 2. };
+       { Dcsim.Job_trace.arrival = 0; volume = 2. } |]
+  in
+  let _, w, _ =
+    Dcsim.Sim.run_trace inst trace (fun ~time:_ ~load:_ ~backlog:_ -> [| 2 |])
+  in
+  checki "all complete eventually" 3 w.Dcsim.Sim.completed;
+  checkf 1e-9 "head job immediate" 0.
+    (if w.Dcsim.Sim.completed = 3 then 0. else 1.);
+  checkf 1e-9 "max wait = 2 slots" 2. w.Dcsim.Sim.max_wait;
+  checkf 1e-9 "mean wait" 1. w.Dcsim.Sim.mean_wait
+
+let test_trace_fifo_order () =
+  (* A large early job delays a tiny later one (FIFO, no overtaking). *)
+  let inst = simple ~load:(Some [| 4.; 0.1; 0.; 0.; 0.; 0. |]) () in
+  let trace =
+    [| { Dcsim.Job_trace.arrival = 0; volume = 4. };
+       { Dcsim.Job_trace.arrival = 1; volume = 0.1 } |]
+  in
+  let _, w, _ =
+    Dcsim.Sim.run_trace inst trace (fun ~time:_ ~load:_ ~backlog:_ -> [| 2 |])
+  in
+  (* Big job: slots 0-1 (wait 1); tiny job: finishes slot 1 after the big
+     one completes within the same slot's budget (wait 0). *)
+  checki "both complete" 2 w.Dcsim.Sim.completed;
+  checkf 1e-9 "max wait" 1. w.Dcsim.Sim.max_wait
+
+let test_trace_abandoned_at_horizon () =
+  let inst = simple ~load:(Some [| 5.; 0. |]) () in
+  let trace = [| { Dcsim.Job_trace.arrival = 0; volume = 5. } |] in
+  let m, w, _ =
+    Dcsim.Sim.run_trace inst trace (fun ~time:_ ~load:_ ~backlog:_ -> [| 1 |])
+  in
+  checki "unfinished job abandoned" 1 w.Dcsim.Sim.abandoned;
+  checkb "leftover volume reported" true (m.Dcsim.Sim.unserved > 2.9)
+
+let test_trace_energy_consistent_with_scalar_run () =
+  (* Aggregated per-slot volumes served by ample capacity: the job-level
+     run must meter the same energy as the scalar run. *)
+  let inst = Sim.Scenarios.homogeneous ~horizon:12 () in
+  let { Offline.Dp.schedule; _ } = Offline.Dp.solve_optimal inst in
+  let trace = Dcsim.Job_trace.of_volumes inst.Model.Instance.load in
+  let scalar = Dcsim.Sim.run_schedule inst schedule in
+  let joblevel, _, _ =
+    Dcsim.Sim.run_trace inst trace (Dcsim.Controllers.of_schedule schedule)
+  in
+  checkb "same energy" true
+    (Util.Float_cmp.close ~eps:1e-9 scalar.Dcsim.Sim.energy joblevel.Dcsim.Sim.energy);
+  checkb "same switching" true
+    (Util.Float_cmp.close ~eps:1e-9 scalar.Dcsim.Sim.switching joblevel.Dcsim.Sim.switching)
+
+(* --- Controllers --- *)
+
+let test_controller_of_schedule () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:10 () in
+  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in
+  let m, commanded =
+    Dcsim.Sim.run_controller inst (Dcsim.Controllers.of_schedule schedule)
+  in
+  checkb "replays exactly" true
+    (Util.Float_cmp.close ~eps:1e-9 cost (m.Dcsim.Sim.energy +. m.Dcsim.Sim.switching));
+  checkb "commanded = schedule" true (commanded = schedule)
+
+let test_controller_alg_a_matches_batch () =
+  (* The controller wrapping must reproduce Alg_a.run decision for
+     decision. *)
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:18 () in
+  let batch = (Online.Alg_a.run inst).Online.Alg_a.schedule in
+  let _, commanded = Dcsim.Sim.run_controller inst (Dcsim.Controllers.alg_a inst) in
+  checkb "identical schedules" true (commanded = batch)
+
+let test_controller_alg_b_matches_batch () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:14 () in
+  let batch = (Online.Alg_b.run inst).Online.Alg_b.schedule in
+  let _, commanded = Dcsim.Sim.run_controller inst (Dcsim.Controllers.alg_b inst) in
+  checkb "identical schedules" true (commanded = batch)
+
+let test_controller_hysteresis_serves_everything () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:24 () in
+  let m, commanded =
+    Dcsim.Sim.run_controller inst (Dcsim.Controllers.hysteresis ~up:0.8 ~down:0.3 inst)
+  in
+  checkf 1e-6 "no drops in the ideal setting" 0. m.Dcsim.Sim.unserved;
+  checkb "feasible commands" true (Model.Schedule.feasible inst commanded)
+
+let test_controller_hysteresis_band () =
+  (* Utilisation stays at or below the upper threshold whenever the
+     fleet has room. *)
+  let inst = simple ~load:(Some [| 1.; 2.; 3.; 4.; 3.; 1. |]) () in
+  let up = 0.9 in
+  let _, commanded =
+    Dcsim.Sim.run_controller inst (Dcsim.Controllers.hysteresis ~up ~down:0.2 inst)
+  in
+  Array.iteri
+    (fun t x ->
+      let cap = Model.Config.capacity inst.Model.Instance.types x in
+      checkb
+        (Printf.sprintf "slot %d within band" t)
+        true
+        (cap = 0. || inst.Model.Instance.load.(t) /. cap <= up +. 1e-9))
+    commanded
+
+let test_controller_hysteresis_validation () =
+  let inst = simple ~load:None () in
+  checkb "bad thresholds" true
+    (try
+       let _ : Dcsim.Sim.controller = Dcsim.Controllers.hysteresis ~up:0.2 ~down:0.5 inst in
+       false
+     with Invalid_argument _ -> true)
+
+let test_controller_static_peak () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:24 () in
+  let m, commanded = Dcsim.Sim.run_controller inst (Dcsim.Controllers.static_peak inst) in
+  checkf 1e-6 "serves everything" 0. m.Dcsim.Sim.unserved;
+  (* Constant configuration throughout. *)
+  Array.iter
+    (fun x -> checkb "constant" true (Model.Config.equal x commanded.(0)))
+    commanded
+
+let test_alg_a_beats_static_peak_in_sim () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:48 () in
+  let cost m = m.Dcsim.Sim.energy +. m.Dcsim.Sim.switching in
+  let ma, _ = Dcsim.Sim.run_controller inst (Dcsim.Controllers.alg_a inst) in
+  let mp, _ = Dcsim.Sim.run_controller inst (Dcsim.Controllers.static_peak inst) in
+  checkb "right-sizing wins on diurnal traces" true (cost ma < cost mp)
+
+let () =
+  Alcotest.run "dcsim"
+    [ ( "job_trace",
+        [ Alcotest.test_case "of_volumes roundtrip" `Quick test_trace_of_volumes_roundtrip;
+          Alcotest.test_case "poisson moments" `Quick test_trace_poisson_moments;
+          Alcotest.test_case "volumes clips horizon" `Quick test_trace_volumes_clips_horizon
+        ] );
+      ( "sim",
+        [ Alcotest.test_case "equivalence with the cost model" `Quick
+            test_sim_matches_cost_model;
+          Alcotest.test_case "power-up accounting" `Quick test_sim_counts_power_ups;
+          Alcotest.test_case "boot delay drops volume" `Quick test_sim_boot_delay_drops_volume;
+          Alcotest.test_case "backlog carries" `Quick test_sim_backlog_carries;
+          Alcotest.test_case "volume conservation" `Quick test_sim_volume_conservation;
+          Alcotest.test_case "boot cancellation" `Quick test_sim_boot_cancellation;
+          Alcotest.test_case "input validation" `Quick test_sim_rejects_bad_inputs;
+          Alcotest.test_case "failure injection deterministic" `Quick
+            test_sim_failures_deterministic;
+          Alcotest.test_case "failures cost resilience" `Quick
+            test_sim_failures_cost_resilience;
+          Alcotest.test_case "repair returns capacity" `Quick
+            test_sim_failures_repair_returns_capacity;
+          Alcotest.test_case "per-type energy attribution" `Quick
+            test_sim_energy_by_type_sums
+        ] );
+      ( "run_trace",
+        [ Alcotest.test_case "zero waits with ample capacity" `Quick
+            test_trace_waits_zero_with_ample_capacity;
+          Alcotest.test_case "waits grow under tight capacity" `Quick
+            test_trace_waits_grow_under_tight_capacity;
+          Alcotest.test_case "FIFO order" `Quick test_trace_fifo_order;
+          Alcotest.test_case "abandoned at horizon" `Quick test_trace_abandoned_at_horizon;
+          Alcotest.test_case "energy consistent with scalar run" `Quick
+            test_trace_energy_consistent_with_scalar_run
+        ] );
+      ( "controllers",
+        [ Alcotest.test_case "of_schedule replay" `Quick test_controller_of_schedule;
+          Alcotest.test_case "alg-A controller = batch run" `Quick
+            test_controller_alg_a_matches_batch;
+          Alcotest.test_case "alg-B controller = batch run" `Quick
+            test_controller_alg_b_matches_batch;
+          Alcotest.test_case "hysteresis serves everything" `Quick
+            test_controller_hysteresis_serves_everything;
+          Alcotest.test_case "hysteresis respects the band" `Quick
+            test_controller_hysteresis_band;
+          Alcotest.test_case "hysteresis validation" `Quick
+            test_controller_hysteresis_validation;
+          Alcotest.test_case "static peak" `Quick test_controller_static_peak;
+          Alcotest.test_case "alg-A beats static peak in simulation" `Quick
+            test_alg_a_beats_static_peak_in_sim
+        ] )
+    ]

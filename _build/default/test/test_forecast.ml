@@ -1,0 +1,261 @@
+(* Tests for the forecasting substrate and the predictive
+   receding-horizon planner. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+let feed p xs = Array.iter (Forecast.Predictor.observe p) xs
+
+(* --- predictors --- *)
+
+let test_before_any_observation () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (array (float 0.))) "zeros" [| 0.; 0. |]
+        (Forecast.Predictor.forecast p ~steps:2))
+    [ Forecast.Predictor.naive_last ();
+      Forecast.Predictor.seasonal_naive ~period:3;
+      Forecast.Predictor.ewma ~alpha:0.5;
+      Forecast.Predictor.holt ~alpha:0.5 ~beta:0.2;
+      Forecast.Predictor.holt_winters ~alpha:0.5 ~beta:0.2 ~gamma:0.2 ~period:4 ]
+
+let test_naive_last () =
+  let p = Forecast.Predictor.naive_last () in
+  feed p [| 1.; 5.; 3. |];
+  Alcotest.(check (array (float 0.))) "flat last" [| 3.; 3.; 3. |]
+    (Forecast.Predictor.forecast p ~steps:3);
+  checki "count" 3 (Forecast.Predictor.observed p)
+
+let test_seasonal_naive_exact_on_periodic () =
+  let period = 4 in
+  let signal = Array.init 16 (fun t -> float_of_int (t mod period) +. 1.) in
+  let p = Forecast.Predictor.seasonal_naive ~period in
+  feed p signal;
+  (* Next slots are phases 0, 1, 2, ... again. *)
+  Alcotest.(check (array (float 1e-12))) "periodic continuation" [| 1.; 2.; 3.; 4.; 1. |]
+    (Forecast.Predictor.forecast p ~steps:5)
+
+let test_seasonal_naive_fallback () =
+  let p = Forecast.Predictor.seasonal_naive ~period:5 in
+  feed p [| 7. |];
+  (* Phases 1..4 unseen: fall back to the last observation. *)
+  Alcotest.(check (array (float 0.))) "fallback" [| 7.; 7. |]
+    (Forecast.Predictor.forecast p ~steps:2)
+
+let test_ewma_constant_convergence () =
+  let p = Forecast.Predictor.ewma ~alpha:0.3 in
+  feed p (Array.make 200 4.2);
+  checkb "converged" true
+    (Float.abs ((Forecast.Predictor.forecast p ~steps:1).(0) -. 4.2) < 1e-9)
+
+let test_ewma_alpha_one_is_naive () =
+  let p = Forecast.Predictor.ewma ~alpha:1. in
+  feed p [| 1.; 9.; 2. |];
+  checkf 1e-12 "last value" 2. (Forecast.Predictor.forecast p ~steps:1).(0)
+
+let test_holt_tracks_linear_trend () =
+  (* On an exactly linear series Holt's update is exact from step two. *)
+  let p = Forecast.Predictor.holt ~alpha:0.8 ~beta:0.5 in
+  feed p (Array.init 30 (fun t -> 2. +. (3. *. float_of_int t)));
+  let f = Forecast.Predictor.forecast p ~steps:3 in
+  (* Next values: 2 + 3*30, 2 + 3*31, ... *)
+  checkb "extrapolates" true (Float.abs (f.(0) -. 92.) < 1e-6);
+  checkb "extrapolates further" true (Float.abs (f.(2) -. 98.) < 1e-6)
+
+let test_holt_winters_periodic () =
+  (* Trendless periodic signal: after warm-up the forecasts track the
+     cycle closely. *)
+  let period = 6 in
+  let signal t = 5. +. (2. *. sin (2. *. Float.pi *. float_of_int t /. float_of_int period)) in
+  let p = Forecast.Predictor.holt_winters ~alpha:0.3 ~beta:0.05 ~gamma:0.4 ~period in
+  for t = 0 to 119 do
+    Forecast.Predictor.observe p (signal t)
+  done;
+  let f = Forecast.Predictor.forecast p ~steps:period in
+  let max_err = ref 0. in
+  for k = 0 to period - 1 do
+    max_err := Float.max !max_err (Float.abs (f.(k) -. signal (120 + k)))
+  done;
+  checkb (Printf.sprintf "cycle tracked (max err %.3f)" !max_err) true (!max_err < 0.4)
+
+let test_forecast_nonnegative () =
+  (* A falling trend would extrapolate below zero; forecasts clamp. *)
+  let p = Forecast.Predictor.holt ~alpha:0.9 ~beta:0.9 in
+  feed p [| 10.; 6.; 2. |];
+  Array.iter
+    (fun v -> checkb "clamped at zero" true (v >= 0.))
+    (Forecast.Predictor.forecast p ~steps:6)
+
+let test_validation () =
+  checkb "bad alpha" true
+    (try ignore (Forecast.Predictor.ewma ~alpha:0.); false with Invalid_argument _ -> true);
+  checkb "bad period" true
+    (try ignore (Forecast.Predictor.seasonal_naive ~period:0); false
+     with Invalid_argument _ -> true);
+  let p = Forecast.Predictor.naive_last () in
+  checkb "negative observation" true
+    (try Forecast.Predictor.observe p (-1.); false with Invalid_argument _ -> true);
+  checkb "bad steps" true
+    (try ignore (Forecast.Predictor.forecast p ~steps:0); false
+     with Invalid_argument _ -> true)
+
+(* --- backtest --- *)
+
+let test_backtest_perfect_on_constant () =
+  let series = Array.make 40 3. in
+  let e = Forecast.Predictor.backtest ~make:Forecast.Predictor.naive_last series in
+  checkf 1e-9 "mae 0" 0. e.Forecast.Predictor.mae;
+  checkf 1e-9 "rmse 0" 0. e.Forecast.Predictor.rmse;
+  checkb "samples counted" true (e.Forecast.Predictor.samples > 0)
+
+let test_backtest_seasonal_beats_naive_on_periodic () =
+  let series = Array.init 60 (fun t -> float_of_int (t mod 6)) in
+  let naive = Forecast.Predictor.backtest ~make:Forecast.Predictor.naive_last series in
+  let seasonal =
+    Forecast.Predictor.backtest
+      ~make:(fun () -> Forecast.Predictor.seasonal_naive ~period:6)
+      series
+  in
+  checkb "seasonal wins" true
+    (seasonal.Forecast.Predictor.mae < naive.Forecast.Predictor.mae);
+  checkf 1e-9 "seasonal is exact" 0. seasonal.Forecast.Predictor.mae
+
+let test_backtest_multi_step () =
+  let series = Array.init 50 (fun t -> float_of_int t) in
+  let e =
+    Forecast.Predictor.backtest
+      ~make:(fun () -> Forecast.Predictor.holt ~alpha:0.9 ~beta:0.9)
+      ~steps:3 series
+  in
+  (* Holt is exact on linear series even three steps out. *)
+  checkb "exact on linear" true (e.Forecast.Predictor.mae < 1e-6)
+
+let test_backtest_mape_all_zero () =
+  let e =
+    Forecast.Predictor.backtest ~make:Forecast.Predictor.naive_last (Array.make 20 0.)
+  in
+  checkb "mape undefined" true (Float.is_nan e.Forecast.Predictor.mape)
+
+(* --- predictive planning --- *)
+
+let test_predictive_feasible_and_bounded () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:24 () in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  List.iter
+    (fun make ->
+      let s = Forecast.Predictive.plan ~make ~window:4 inst in
+      checkb "feasible" true (Model.Schedule.feasible inst s);
+      checkb "not absurd" true (Model.Cost.schedule inst s <= 3. *. opt))
+    [ (fun () -> Forecast.Predictor.naive_last ());
+      (fun () -> Forecast.Predictor.seasonal_naive ~period:24);
+      (fun () -> Forecast.Predictor.ewma ~alpha:0.5) ]
+
+let test_predictive_perfect_forecast_matches_oracle () =
+  (* On an exactly periodic load, the seasonal predictor's window equals
+     the true future, so predictive = oracle receding horizon. *)
+  let types =
+    [| Model.Server_type.make ~name:"n" ~count:6 ~switching_cost:3. ~cap:1. () |]
+  in
+  let fns = [| Convex.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2. |] in
+  let load = Array.init 36 (fun t -> float_of_int (1 + (t mod 4))) in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let oracle = Online.Baselines.receding_horizon ~window:4 inst in
+  let predictive =
+    Forecast.Predictive.plan
+      ~make:(fun () -> Forecast.Predictor.seasonal_naive ~period:4)
+      ~window:4 inst
+  in
+  (* After one full period of warm-up the decisions coincide. *)
+  let agree = ref 0 in
+  for t = 4 to 35 do
+    if Model.Config.equal oracle.(t) predictive.(t) then incr agree
+  done;
+  checkb
+    (Printf.sprintf "decisions mostly agree (%d/32)" !agree)
+    true (!agree >= 28)
+
+let test_predictive_window_one () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:12 () in
+  let s =
+    Forecast.Predictive.plan ~make:Forecast.Predictor.naive_last ~window:1 inst
+  in
+  checkb "feasible" true (Model.Schedule.feasible inst s)
+
+let test_anticipatory_window_zero_is_alg_a () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:16 () in
+  let plain = (Online.Alg_a.run inst).Online.Alg_a.schedule in
+  let anticipatory =
+    Forecast.Predictive.anticipatory_a ~make:Forecast.Predictor.naive_last ~window:0 inst
+  in
+  checkb "identical to algorithm A" true (anticipatory = plain)
+
+let test_anticipatory_feasible_and_helpful_on_periodic () =
+  (* On an exactly periodic trace with a seasonal forecast, anticipation
+     cannot hurt much and usually helps (pre-warms before ramps). *)
+  let types = [| Model.Server_type.make ~name:"n" ~count:6 ~switching_cost:4. ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2. |] in
+  let load = Array.init 32 (fun t -> float_of_int (1 + (t mod 4))) in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let plain = (Online.Alg_a.run inst).Online.Alg_a.schedule in
+  let ant =
+    Forecast.Predictive.anticipatory_a
+      ~make:(fun () -> Forecast.Predictor.seasonal_naive ~period:4)
+      ~window:4 inst
+  in
+  checkb "feasible" true (Model.Schedule.feasible inst ant);
+  checkb "not worse than plain A by much" true
+    (Model.Cost.schedule inst ant <= (1.1 *. Model.Cost.schedule inst plain) +. 1e-9)
+
+let test_anticipatory_rejects_time_dependent () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:6 () in
+  checkb "raises" true
+    (try
+       ignore
+         (Forecast.Predictive.anticipatory_a ~make:Forecast.Predictor.naive_last ~window:2 inst);
+       false
+     with Invalid_argument _ -> true)
+
+let test_predictive_validation () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:4 () in
+  checkb "bad window" true
+    (try ignore (Forecast.Predictive.plan ~make:Forecast.Predictor.naive_last ~window:0 inst);
+         false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "forecast"
+    [ ( "predictors",
+        [ Alcotest.test_case "cold start" `Quick test_before_any_observation;
+          Alcotest.test_case "naive last" `Quick test_naive_last;
+          Alcotest.test_case "seasonal naive exact on periodic" `Quick
+            test_seasonal_naive_exact_on_periodic;
+          Alcotest.test_case "seasonal naive fallback" `Quick test_seasonal_naive_fallback;
+          Alcotest.test_case "ewma convergence" `Quick test_ewma_constant_convergence;
+          Alcotest.test_case "ewma alpha=1 is naive" `Quick test_ewma_alpha_one_is_naive;
+          Alcotest.test_case "holt tracks linear trend" `Quick test_holt_tracks_linear_trend;
+          Alcotest.test_case "holt-winters tracks a cycle" `Quick test_holt_winters_periodic;
+          Alcotest.test_case "forecasts clamped at zero" `Quick test_forecast_nonnegative;
+          Alcotest.test_case "validation" `Quick test_validation
+        ] );
+      ( "backtest",
+        [ Alcotest.test_case "perfect on constant" `Quick test_backtest_perfect_on_constant;
+          Alcotest.test_case "seasonal beats naive on periodic" `Quick
+            test_backtest_seasonal_beats_naive_on_periodic;
+          Alcotest.test_case "multi-step" `Quick test_backtest_multi_step;
+          Alcotest.test_case "mape on all-zero series" `Quick test_backtest_mape_all_zero
+        ] );
+      ( "predictive",
+        [ Alcotest.test_case "feasible and bounded" `Quick test_predictive_feasible_and_bounded;
+          Alcotest.test_case "perfect forecast matches oracle" `Quick
+            test_predictive_perfect_forecast_matches_oracle;
+          Alcotest.test_case "window one" `Quick test_predictive_window_one;
+          Alcotest.test_case "validation" `Quick test_predictive_validation;
+          Alcotest.test_case "anticipatory window 0 = algorithm A" `Quick
+            test_anticipatory_window_zero_is_alg_a;
+          Alcotest.test_case "anticipatory feasible and helpful" `Quick
+            test_anticipatory_feasible_and_helpful_on_periodic;
+          Alcotest.test_case "anticipatory rejects time-dependent" `Quick
+            test_anticipatory_rejects_time_dependent
+        ] )
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the fractional-setting substrate: refinement correctness,
+   integrality gap direction, fractional LCP, and the rounding
+   counterexample from the paper's related-work discussion. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+let homogeneous ?(horizon = 12) () = Sim.Scenarios.homogeneous ~horizon ~count:4 ~seed:3 ()
+
+let test_refine_shape () =
+  let inst = homogeneous () in
+  let refined = Fractional.Relax.refine ~granularity:5 inst in
+  checki "unit count" 20 (Model.Instance.max_count refined ~typ:0);
+  checkf 1e-12 "unit switching cost"
+    (inst.Model.Instance.types.(0).Model.Server_type.switching_cost /. 5.)
+    refined.Model.Instance.types.(0).Model.Server_type.switching_cost;
+  checkf 1e-12 "unit capacity"
+    (inst.Model.Instance.types.(0).Model.Server_type.cap /. 5.)
+    refined.Model.Instance.types.(0).Model.Server_type.cap;
+  (* Total capacity is unchanged. *)
+  checkf 1e-9 "total capacity preserved"
+    (Model.Instance.capacity_at inst ~time:0)
+    (Model.Instance.capacity_at refined ~time:0)
+
+let test_refine_cost_equivalence () =
+  (* k units running a volume cost exactly what k/granularity whole
+     servers would: compare g on matching configurations. *)
+  let inst = homogeneous () in
+  let k = 4 in
+  let refined = Fractional.Relax.refine ~granularity:k inst in
+  for whole = 1 to 4 do
+    let g_orig = Model.Cost.operating inst ~time:2 [| whole |] in
+    let g_refined = Model.Cost.operating refined ~time:2 [| whole * k |] in
+    checkb
+      (Printf.sprintf "g matches at x = %d" whole)
+      true
+      (Util.Float_cmp.close ~eps:1e-6 g_orig g_refined)
+  done
+
+let test_refine_granularity_one_identity () =
+  let inst = homogeneous () in
+  let refined = Fractional.Relax.refine ~granularity:1 inst in
+  let a = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let b = (Offline.Dp.solve_optimal refined).Offline.Dp.cost in
+  checkb "same optimum" true (Util.Float_cmp.close ~eps:1e-6 a b)
+
+let test_fractional_opt_lower_bounds_integral () =
+  let inst = homogeneous () in
+  let integral = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  List.iter
+    (fun granularity ->
+      let frac = Fractional.Relax.optimum ~granularity inst in
+      checkb
+        (Printf.sprintf "frac (k=%d) <= integral" granularity)
+        true
+        (frac <= integral +. 1e-6))
+    [ 2; 4; 8 ]
+
+let test_fractional_opt_monotone_in_granularity () =
+  (* Finer grids can only help: k and 2k nest. *)
+  let inst = homogeneous () in
+  let c2 = Fractional.Relax.optimum ~granularity:2 inst in
+  let c4 = Fractional.Relax.optimum ~granularity:4 inst in
+  let c8 = Fractional.Relax.optimum ~granularity:8 inst in
+  checkb "4 refines 2" true (c4 <= c2 +. 1e-6);
+  checkb "8 refines 4" true (c8 <= c4 +. 1e-6)
+
+let test_integrality_gap_at_least_one () =
+  let inst = homogeneous () in
+  checkb "gap >= 1" true (Fractional.Relax.integrality_gap ~granularity:4 inst >= 1. -. 1e-6)
+
+let test_to_fractional () =
+  let frac = Fractional.Relax.to_fractional ~granularity:4 [| [| 6 |]; [| 0 |] |] in
+  checkf 1e-12 "6 units = 1.5 servers" 1.5 frac.(0).(0);
+  checkf 1e-12 "zero" 0. frac.(1).(0)
+
+let test_lcp_fractional_ratio () =
+  let inst = homogeneous ~horizon:20 () in
+  let granularity = 6 in
+  let _, cost = Fractional.Relax.lcp ~granularity inst in
+  let frac_opt = Fractional.Relax.optimum ~granularity inst in
+  checkb "LCP within its 3-competitive guarantee" true (cost <= (3. *. frac_opt) +. 1e-6)
+
+let test_lcp_requires_d1 () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:4 () in
+  checkb "raises" true
+    (try ignore (Fractional.Relax.lcp ~granularity:2 inst); false
+     with Invalid_argument _ -> true)
+
+let test_round_up () =
+  let rounded = Fractional.Relax.round_up [| [| 1.25; 0. |]; [| 2.; 0.5 |] |] in
+  Alcotest.(check (array (array int))) "ceiling" [| [| 2; 0 |]; [| 2; 1 |] |] rounded
+
+let test_round_up_feasible () =
+  (* Rounding a fractional optimum up yields a feasible integral schedule
+     (capacities only grow). *)
+  let inst = homogeneous () in
+  let granularity = 4 in
+  let refined = Fractional.Relax.refine ~granularity inst in
+  let r = Offline.Dp.solve_optimal refined in
+  let frac = Fractional.Relax.to_fractional ~granularity r.Offline.Dp.schedule in
+  let rounded = Fractional.Relax.round_up frac in
+  checkb "feasible" true (Model.Schedule.feasible inst rounded)
+
+let test_round_randomized_feasible_and_unbiased () =
+  let inst = homogeneous () in
+  let granularity = 4 in
+  let refined = Fractional.Relax.refine ~granularity inst in
+  let frac =
+    Fractional.Relax.to_fractional ~granularity
+      (Offline.Dp.solve_optimal refined).Offline.Dp.schedule
+  in
+  let horizon = Model.Instance.horizon inst in
+  let sums = Array.make horizon 0. in
+  let draws = 200 in
+  for k = 1 to draws do
+    let rng = Util.Prng.create (500 + k) in
+    let rounded = Fractional.Relax.round_randomized ~rng inst frac in
+    checkb "feasible for every draw" true (Model.Schedule.feasible inst rounded);
+    Array.iteri (fun t x -> sums.(t) <- sums.(t) +. float_of_int x.(0)) rounded
+  done;
+  (* Where the capacity clamp is inactive, E[X_t] = x_t. *)
+  let cap = inst.Model.Instance.types.(0).Model.Server_type.cap in
+  Array.iteri
+    (fun t s ->
+      let needed = Float.ceil (inst.Model.Instance.load.(t) /. cap) in
+      if frac.(t).(0) > needed +. 0.2 then
+        checkb
+          (Printf.sprintf "unbiased at %d" t)
+          true
+          (Float.abs ((s /. float_of_int draws) -. frac.(t).(0)) < 0.15))
+    sums
+
+let test_round_randomized_beats_ceil_on_oscillation () =
+  (* The paper's oscillation: ceil pays beta per period, the randomised
+     offset pays ~eps * beta in expectation. *)
+  let types = [| Model.Server_type.make ~count:3 ~switching_cost:5. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 0.1 |] in
+  let horizon = 20 in
+  let load = Array.make horizon 0.5 in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let frac =
+    Array.init horizon (fun t -> [| (if t mod 2 = 0 then 1. else 1.1) |])
+  in
+  let ceil_cost = Model.Cost.schedule inst (Fractional.Relax.round_up frac) in
+  let draws = 200 in
+  let acc = ref 0. in
+  for k = 1 to draws do
+    let rng = Util.Prng.create (900 + k) in
+    acc := !acc +. Model.Cost.schedule inst (Fractional.Relax.round_randomized ~rng inst frac)
+  done;
+  let expected = !acc /. float_of_int draws in
+  checkb
+    (Printf.sprintf "E[randomized] = %.2f << ceil = %.2f" expected ceil_cost)
+    true
+    (expected < 0.5 *. ceil_cost)
+
+let test_round_randomized_validation () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:4 () in
+  let rng = Util.Prng.create 1 in
+  checkb "d = 1 only" true
+    (try ignore (Fractional.Relax.round_randomized ~rng inst [| [| 1.; 1. |] |]); false
+     with Invalid_argument _ -> true)
+
+let test_oscillation_blowup () =
+  let frac, rounded = Fractional.Relax.oscillation_cost ~eps:0.1 ~periods:7 ~beta:2. in
+  checkf 1e-9 "fractional pays eps beta per period" 1.4 frac;
+  checkf 1e-9 "rounded pays beta per period" 14. rounded;
+  checkb "bad eps rejected" true
+    (try ignore (Fractional.Relax.oscillation_cost ~eps:0. ~periods:1 ~beta:1.); false
+     with Invalid_argument _ -> true)
+
+let test_fractional_lower_bound_2_not_violated () =
+  (* The fractional lower bound is 2 ([9]); our discrete A run on the
+     refined instance must respect its own (2d+1) bound there too. *)
+  let inst = homogeneous ~horizon:14 () in
+  let refined = Fractional.Relax.refine ~granularity:3 inst in
+  let a = Online.Alg_a.run refined in
+  let opt = (Offline.Dp.solve_optimal refined).Offline.Dp.cost in
+  let ratio = Model.Cost.schedule refined a.Online.Alg_a.schedule /. opt in
+  checkb "within 3" true (ratio <= 3. +. 1e-6)
+
+let test_inefficient_mix_handled () =
+  (* The scenario with a dominated (inefficient) type: excluded by [5],
+     must still satisfy A's guarantee here. *)
+  let inst = Sim.Scenarios.inefficient_mix () in
+  let r = Online.Alg_a.run inst in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let ratio = Model.Cost.schedule inst r.Online.Alg_a.schedule /. opt in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_a.schedule);
+  checkb "within 2d+1" true (ratio <= 5. +. 1e-6);
+  (* The inefficient type is genuinely needed at peaks. *)
+  let uses_inefficient =
+    Array.exists (fun x -> x.(1) > 0) ((Offline.Dp.solve_optimal inst).Offline.Dp.schedule)
+  in
+  checkb "peaks force the inefficient type" true uses_inefficient
+
+let () =
+  Alcotest.run "fractional"
+    [ ( "refinement",
+        [ Alcotest.test_case "fleet shape" `Quick test_refine_shape;
+          Alcotest.test_case "cost equivalence" `Quick test_refine_cost_equivalence;
+          Alcotest.test_case "granularity 1 is the identity" `Quick
+            test_refine_granularity_one_identity
+        ] );
+      ( "optimum",
+        [ Alcotest.test_case "lower-bounds the integral optimum" `Quick
+            test_fractional_opt_lower_bounds_integral;
+          Alcotest.test_case "monotone in granularity" `Quick
+            test_fractional_opt_monotone_in_granularity;
+          Alcotest.test_case "integrality gap >= 1" `Quick test_integrality_gap_at_least_one;
+          Alcotest.test_case "to_fractional" `Quick test_to_fractional
+        ] );
+      ( "lcp",
+        [ Alcotest.test_case "3-competitive empirically" `Quick test_lcp_fractional_ratio;
+          Alcotest.test_case "requires d = 1" `Quick test_lcp_requires_d1
+        ] );
+      ( "rounding",
+        [ Alcotest.test_case "ceiling" `Quick test_round_up;
+          Alcotest.test_case "rounded optimum is feasible" `Quick test_round_up_feasible;
+          Alcotest.test_case "randomized rounding feasible and unbiased" `Quick
+            test_round_randomized_feasible_and_unbiased;
+          Alcotest.test_case "randomized rounding beats ceil on oscillation" `Quick
+            test_round_randomized_beats_ceil_on_oscillation;
+          Alcotest.test_case "randomized rounding validation" `Quick
+            test_round_randomized_validation;
+          Alcotest.test_case "oscillation blow-up" `Quick test_oscillation_blowup
+        ] );
+      ( "related",
+        [ Alcotest.test_case "A on the refined instance" `Quick
+            test_fractional_lower_bound_2_not_violated;
+          Alcotest.test_case "inefficient types handled" `Quick test_inefficient_mix_handled
+        ] )
+    ]

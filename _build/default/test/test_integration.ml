@@ -1,0 +1,150 @@
+(* Integration tests across modules, driven through the Core facade —
+   the same call paths the examples, CLI and benchmarks use. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+
+let test_core_offline_pipeline () =
+  let inst = Core.Scenarios.cpu_gpu ~horizon:24 () in
+  let schedule, cost = Core.solve_offline inst in
+  checkb "feasible" true (Core.Schedule.feasible inst schedule);
+  checkf 1e-6 "cost consistent" cost (Core.Cost.schedule inst schedule);
+  let _, approx_cost = Core.solve_approx ~eps:0.2 inst in
+  checkb "approx within bound" true (approx_cost <= (1.2 *. cost) +. 1e-6);
+  checkb "approx above opt" true (approx_cost >= cost -. 1e-6)
+
+let test_core_online_dispatches_by_instance_kind () =
+  let static_inst = Core.Scenarios.cpu_gpu ~horizon:16 () in
+  let s, cs = Core.run_online static_inst in
+  checkb "A feasible" true (Core.Schedule.feasible static_inst s);
+  checkb "A ratio within 2d+1" true
+    (Core.competitive_ratio static_inst s <= 5. +. 1e-6);
+  checkf 1e-6 "cost consistent" cs (Core.Cost.schedule static_inst s);
+  let dyn_inst = Core.Scenarios.time_varying_costs ~horizon:16 () in
+  let sd, _ = Core.run_online ~eps:0.5 dyn_inst in
+  checkb "C feasible" true (Core.Schedule.feasible dyn_inst sd);
+  checkb "C ratio within 2d+1+eps" true
+    (Core.competitive_ratio dyn_inst sd <= 5.5 +. 1e-6)
+
+let test_full_suite_ordering () =
+  (* On the motivating diurnal trace, the paper's narrative: OPT <= any
+     policy; right-sizing beats both static extremes. *)
+  let inst = Core.Scenarios.cpu_gpu ~horizon:48 () in
+  let named = Core.Harness.run_suite inst in
+  let opt = Core.Harness.opt_cost inst in
+  let evals = Core.Harness.evaluate inst ~opt named in
+  List.iter
+    (fun e ->
+      checkb (e.Core.Harness.name ^ " feasible") true e.Core.Harness.feasible;
+      checkb (e.Core.Harness.name ^ " >= OPT") true (e.Core.Harness.ratio >= 1. -. 1e-6))
+    evals;
+  let ratio name =
+    (List.find (fun e -> e.Core.Harness.name = name) evals).Core.Harness.ratio
+  in
+  checkb "algorithm A within its guarantee" true (ratio "alg-A" <= 5.);
+  (* The online algorithm beats naive always-on provisioning on a trace
+     with deep night-time valleys. *)
+  checkb "right-sizing beats always-on" true (ratio "alg-A" <= ratio "always-on" +. 0.5)
+
+let test_time_varying_end_to_end () =
+  let inst = Core.Scenarios.maintenance () in
+  let schedule, cost = Core.solve_offline inst in
+  checkb "feasible under availability" true (Core.Schedule.feasible inst schedule);
+  let _, acost = Core.solve_approx ~eps:0.5 inst in
+  checkb "Theorem 22" true (acost <= (1.5 *. cost) +. 1e-6)
+
+let test_resonant_bursts_stress_alg_a () =
+  (* The adversarial probe drives A's ratio visibly above 1 (the online
+     penalty) while staying within the 2d+1 guarantee. *)
+  let inst = Core.Scenarios.resonant_bursts ~d:2 ~rounds:4 in
+  let r = Core.Alg_a.run inst in
+  let opt = Core.Harness.opt_cost inst in
+  let ratio = Core.Cost.schedule inst r.Core.Alg_a.schedule /. opt in
+  checkb "stressed above 1.2" true (ratio > 1.2);
+  checkb "within 2d+1" true (ratio <= 5. +. 1e-9)
+
+let test_chasing_demo () =
+  let o = Core.Adversary.chasing_lower_bound ~d:10 in
+  checkb "exponential online cost" true (o.Core.Adversary.online_cost >= 256.);
+  checkb "cheap offline" true (o.Core.Adversary.offline_cost <= 10.)
+
+let test_homogeneous_matches_d1_literature () =
+  (* For d = 1 algorithm A is the 3-competitive discrete algorithm of
+     [3, 4]; check the guarantee on the homogeneous scenario. *)
+  let inst = Core.Scenarios.homogeneous ~horizon:40 () in
+  let r = Core.Alg_a.run inst in
+  let ratio = Core.competitive_ratio inst r.Core.Alg_a.schedule in
+  checkb "within 3" true (ratio <= 3. +. 1e-9);
+  checkb "LCP also reasonable" true
+    (Core.competitive_ratio inst (Core.Baselines.lcp_1d inst) <= 4.)
+
+let test_deterministic_repetition () =
+  (* Everything is seeded: two identical runs give identical costs. *)
+  let run () =
+    let inst = Core.Scenarios.three_tier ~horizon:30 () in
+    let _, cost = Core.solve_offline inst in
+    let r = Core.Alg_a.run inst in
+    (cost, Core.Cost.schedule inst r.Core.Alg_a.schedule)
+  in
+  let c1, a1 = run () in
+  let c2, a2 = run () in
+  checkf 0. "opt deterministic" c1 c2;
+  checkf 0. "alg A deterministic" a1 a2
+
+let test_figures_emit_svg_artifacts () =
+  List.iter
+    (fun id ->
+      match Core.Experiment_registry.find id with
+      | None -> Alcotest.fail ("missing experiment " ^ id)
+      | Some e ->
+          let report = e.Core.Experiment_registry.run () in
+          (match report.Core.Report.artifacts with
+          | [ (name, content) ] ->
+              checkb "svg filename" true (Filename.check_suffix name ".svg");
+              checkb "svg content" true
+                (String.length content > 100
+                && String.sub content 0 4 = "<svg")
+          | _ -> Alcotest.fail "expected exactly one artifact"))
+    [ "fig1"; "fig3"; "fig5" ]
+
+let test_registry_well_formed () =
+  let ids = Core.Experiment_registry.ids () in
+  let uniq = List.sort_uniq compare ids in
+  Alcotest.(check int) "ids unique" (List.length ids) (List.length uniq);
+  checkb "finds every id" true
+    (List.for_all (fun id -> Core.Experiment_registry.find id <> None) ids);
+  checkb "misses unknown ids" true (Core.Experiment_registry.find "nope" = None)
+
+let test_fast_experiments_pass () =
+  (* The cheap experiments run inside the test suite; bench/main.exe and
+     `rightsizer verify` cover the rest. *)
+  List.iter
+    (fun id ->
+      match Core.Experiment_registry.find id with
+      | None -> Alcotest.fail ("missing " ^ id)
+      | Some e ->
+          let report = e.Core.Experiment_registry.run () in
+          checkb (id ^ " machine-check") true report.Core.Report.pass)
+    [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "geo" ]
+
+let () =
+  Alcotest.run "integration"
+    [ ( "end_to_end",
+        [ Alcotest.test_case "offline pipeline" `Quick test_core_offline_pipeline;
+          Alcotest.test_case "online dispatch by instance kind" `Quick
+            test_core_online_dispatches_by_instance_kind;
+          Alcotest.test_case "full suite ordering" `Slow test_full_suite_ordering;
+          Alcotest.test_case "time-varying end to end" `Quick test_time_varying_end_to_end;
+          Alcotest.test_case "resonant bursts stress A" `Quick
+            test_resonant_bursts_stress_alg_a;
+          Alcotest.test_case "chasing demo" `Quick test_chasing_demo;
+          Alcotest.test_case "homogeneous d=1 guarantee" `Quick
+            test_homogeneous_matches_d1_literature;
+          Alcotest.test_case "deterministic repetition" `Quick test_deterministic_repetition;
+          Alcotest.test_case "figures emit SVG artifacts" `Quick
+            test_figures_emit_svg_artifacts;
+          Alcotest.test_case "registry well-formed" `Quick test_registry_well_formed;
+          Alcotest.test_case "fast experiments pass their checks" `Slow
+            test_fast_experiments_pass
+        ] )
+    ]

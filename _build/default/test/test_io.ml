@@ -1,0 +1,96 @@
+(* Tests for the CSV substrate and the workload/schedule persistence. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+
+let with_temp f =
+  let path = Filename.temp_file "rightsizing" ".csv" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* --- Csv --- *)
+
+let test_csv_roundtrip () =
+  with_temp (fun path ->
+      let header = [ "a"; "b"; "c" ] in
+      let rows = [ [ "1"; "2"; "3" ]; [ "x"; "y"; "z" ] ] in
+      Util.Csv.write ~path ~header rows;
+      Alcotest.(check (list (list string))) "roundtrip" (header :: rows) (Util.Csv.read ~path);
+      Alcotest.(check (list (list string))) "body" rows (Util.Csv.read_body ~path ~header))
+
+let test_csv_quoting () =
+  with_temp (fun path ->
+      let rows = [ [ "has,comma"; "has\"quote"; "plain" ] ] in
+      Util.Csv.write ~path ~header:[ "x"; "y"; "z" ] rows;
+      Alcotest.(check (list (list string)))
+        "quoted cells survive" rows
+        (Util.Csv.read_body ~path ~header:[ "x"; "y"; "z" ]))
+
+let test_csv_header_mismatch () =
+  with_temp (fun path ->
+      Util.Csv.write ~path ~header:[ "a" ] [ [ "1" ] ];
+      checkb "raises" true
+        (try ignore (Util.Csv.read_body ~path ~header:[ "b" ]); false
+         with Invalid_argument _ -> true))
+
+(* --- Trace --- *)
+
+let test_workload_roundtrip () =
+  with_temp (fun path ->
+      let load = [| 0.; 1.5; 2.25; 100.125 |] in
+      Sim.Trace.save_workload ~path load;
+      let back = Sim.Trace.load_workload ~path in
+      Alcotest.(check int) "length" 4 (Array.length back);
+      Array.iteri (fun i l -> checkf 1e-9 "value" l back.(i)) load)
+
+let test_workload_rejects_garbage () =
+  with_temp (fun path ->
+      Util.Csv.write ~path ~header:[ "slot"; "load" ] [ [ "0"; "not-a-number" ] ];
+      checkb "raises" true
+        (try ignore (Sim.Trace.load_workload ~path); false
+         with Invalid_argument _ -> true))
+
+let test_schedule_roundtrip () =
+  with_temp (fun path ->
+      let inst = Sim.Scenarios.cpu_gpu ~horizon:10 () in
+      let { Offline.Dp.schedule; _ } = Offline.Dp.solve_optimal inst in
+      Sim.Trace.save_schedule ~path inst schedule;
+      let back = Sim.Trace.load_schedule ~path ~d:2 in
+      Alcotest.(check int) "horizon" 10 (Array.length back);
+      Array.iteri
+        (fun t x -> checkb "row matches" true (Model.Config.equal x schedule.(t)))
+        back)
+
+let test_schedule_cost_columns () =
+  with_temp (fun path ->
+      let inst = Sim.Scenarios.homogeneous ~horizon:6 () in
+      let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in
+      Sim.Trace.save_schedule ~path inst schedule;
+      (* Sum of the operating and switching columns equals the total. *)
+      let body =
+        Util.Csv.read_body ~path
+          ~header:[ "slot"; "load"; "node"; "operating"; "switching" ]
+      in
+      let total =
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | [ _; _; _; op; sw ] -> acc +. float_of_string op +. float_of_string sw
+            | _ -> Alcotest.fail "malformed row")
+          0. body
+      in
+      checkb "columns sum to the schedule cost" true (Util.Float_cmp.close ~eps:1e-6 total cost))
+
+let () =
+  Alcotest.run "io"
+    [ ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "header mismatch" `Quick test_csv_header_mismatch
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "workload roundtrip" `Quick test_workload_roundtrip;
+          Alcotest.test_case "workload rejects garbage" `Quick test_workload_rejects_garbage;
+          Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "schedule cost columns" `Quick test_schedule_cost_columns
+        ] )
+    ]

@@ -1,0 +1,501 @@
+(* Unit tests for the offline layer: state grids, ramp transforms, the
+   shortest-path DP (Section 4.1), the (1+eps)-approximation (Section 4.2,
+   Theorem 16), and time-varying sizes (Section 4.3, Theorem 22). *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+let st = Model.Server_type.make
+
+(* --- Grid --- *)
+
+let test_grid_dense () =
+  let g = Offline.Grid.dense [| 2; 1 |] in
+  checki "size" 6 (Offline.Grid.size g);
+  checki "dim" 2 (Offline.Grid.dim g);
+  Alcotest.(check (array int)) "axis 0" [| 0; 1; 2 |] (Offline.Grid.axis_values g 0);
+  Alcotest.(check (array int)) "axis 1" [| 0; 1 |] (Offline.Grid.axis_values g 1)
+
+let test_grid_indexing_roundtrip () =
+  let g = Offline.Grid.dense [| 3; 2; 1 |] in
+  for idx = 0 to Offline.Grid.size g - 1 do
+    let x = Offline.Grid.config_at g idx in
+    match Offline.Grid.index_of g x with
+    | Some idx' -> checki "roundtrip" idx idx'
+    | None -> Alcotest.fail "config must be on-grid"
+  done
+
+let test_grid_iter_order_lexicographic () =
+  let g = Offline.Grid.dense [| 1; 1 |] in
+  let seen = ref [] in
+  Offline.Grid.iter g (fun _ x -> seen := Model.Config.copy x :: !seen);
+  Alcotest.(check (list (array int)))
+    "lexicographic"
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+    (List.rev !seen)
+
+let test_grid_power_axis () =
+  (* gamma = 2, m = 10: the paper's Figure 5 grid {0,1,2,4,8,10}. *)
+  let g = Offline.Grid.power ~gamma:2. [| 10 |] in
+  Alcotest.(check (array int)) "M^2 of 10" [| 0; 1; 2; 4; 8; 10 |]
+    (Offline.Grid.axis_values g 0)
+
+let test_grid_power_ratio_bound () =
+  (* Consecutive non-zero values differ by a factor of at most gamma —
+     except where they are consecutive integers (no integer can lie in
+     between, the best integrality allows). *)
+  List.iter
+    (fun gamma ->
+      let g = Offline.Grid.power ~gamma [| 1000 |] in
+      let axis = Offline.Grid.axis_values g 0 in
+      for i = 1 to Array.length axis - 2 do
+        let ratio = float_of_int axis.(i + 1) /. float_of_int axis.(i) in
+        checkb
+          (Printf.sprintf "gap ok at %d (gamma %f)" axis.(i) gamma)
+          true
+          (ratio <= gamma +. 1e-9 || axis.(i + 1) = axis.(i) + 1)
+      done)
+    [ 1.05; 1.25; 1.5; 2.; 3. ]
+
+let test_grid_power_contains_extremes () =
+  let g = Offline.Grid.power ~gamma:1.5 [| 37 |] in
+  let axis = Offline.Grid.axis_values g 0 in
+  checki "starts at 0" 0 axis.(0);
+  checki "ends at m" 37 axis.(Array.length axis - 1);
+  checkb "contains 1" true (Array.exists (( = ) 1) axis)
+
+let test_grid_power_zero_count () =
+  let g = Offline.Grid.power ~gamma:2. [| 0 |] in
+  Alcotest.(check (array int)) "only 0" [| 0 |] (Offline.Grid.axis_values g 0)
+
+let test_grid_round_up_down () =
+  let g = Offline.Grid.power ~gamma:2. [| 10 |] in
+  checkb "round_up 3 -> 4" true (Offline.Grid.round_up g 0 3 = Some 4);
+  checkb "round_up 10 -> 10" true (Offline.Grid.round_up g 0 10 = Some 10);
+  checkb "round_up 11 -> None" true (Offline.Grid.round_up g 0 11 = None);
+  checki "round_down 3 -> 2" 2 (Offline.Grid.round_down g 0 3);
+  checki "round_down 0 -> 0" 0 (Offline.Grid.round_down g 0 0);
+  checki "round_down 100 -> 10" 10 (Offline.Grid.round_down g 0 100);
+  checki "max_value" 10 (Offline.Grid.max_value g 0)
+
+let test_grid_equal () =
+  let a = Offline.Grid.dense [| 2; 2 |] and b = Offline.Grid.dense [| 2; 2 |] in
+  checkb "equal" true (Offline.Grid.equal a b);
+  checkb "not equal" false (Offline.Grid.equal a (Offline.Grid.dense [| 2; 3 |]))
+
+let test_grid_validation () =
+  checkb "missing zero" true
+    (try ignore (Offline.Grid.make [| [| 1; 2 |] |]); false with Invalid_argument _ -> true);
+  checkb "not increasing" true
+    (try ignore (Offline.Grid.make [| [| 0; 2; 2 |] |]); false with Invalid_argument _ -> true);
+  checkb "gamma <= 1" true
+    (try ignore (Offline.Grid.power ~gamma:1. [| 5 |]); false with Invalid_argument _ -> true)
+
+(* --- Transform --- *)
+
+let brute_ramp ~beta ~values ~costs i =
+  let best = ref infinity in
+  Array.iteri
+    (fun y cy ->
+      let up = float_of_int (max 0 (values.(i) - values.(y))) in
+      let c = cy +. (beta *. up) in
+      if c < !best then best := c)
+    costs;
+  !best
+
+let strictly_increasing_axis rng n =
+  let vals = Array.make n 0 in
+  for i = 1 to n - 1 do
+    vals.(i) <- vals.(i - 1) + 1 + Util.Prng.int rng 3
+  done;
+  vals
+
+let test_ramp_line_matches_bruteforce () =
+  let rng = Util.Prng.create 3 in
+  for _ = 1 to 50 do
+    let n = 1 + Util.Prng.int rng 8 in
+    let values = strictly_increasing_axis rng n in
+    let costs = Array.init n (fun _ -> Util.Prng.float rng 10.) in
+    let beta = Util.Prng.float rng 3. in
+    let expected = Array.init n (brute_ramp ~beta ~values ~costs) in
+    let got = Array.copy costs in
+    Offline.Transform.ramp_line ~beta ~values ~costs:got;
+    Array.iteri (fun i e -> checkf 1e-9 "ramp matches" e got.(i)) expected
+  done
+
+let test_ramp_line_infinity () =
+  let values = [| 0; 1; 2 |] in
+  let costs = [| infinity; 5.; infinity |] in
+  Offline.Transform.ramp_line ~beta:2. ~values ~costs;
+  checkf 0. "free descent" 5. costs.(0);
+  checkf 0. "unchanged" 5. costs.(1);
+  checkf 0. "climb" 7. costs.(2)
+
+let test_ramp_between_matches_bruteforce () =
+  let rng = Util.Prng.create 4 in
+  for _ = 1 to 50 do
+    let ns = 1 + Util.Prng.int rng 6 and nd = 1 + Util.Prng.int rng 6 in
+    let src_values = strictly_increasing_axis rng ns in
+    let dst_values = strictly_increasing_axis rng nd in
+    let src = Array.init ns (fun _ -> Util.Prng.float rng 10.) in
+    let beta = Util.Prng.float rng 3. in
+    let got = Offline.Transform.ramp_between ~beta ~src_values ~src ~dst_values in
+    Array.iteri
+      (fun i vi ->
+        let best = ref infinity in
+        Array.iteri
+          (fun y cy ->
+            let up = float_of_int (max 0 (vi - src_values.(y))) in
+            let c = cy +. (beta *. up) in
+            if c < !best then best := c)
+          src;
+        checkf 1e-9 "ramp_between matches" !best got.(i))
+      dst_values
+  done
+
+let test_ramp_grid_2d () =
+  (* 2x2 grid, both betas 1; start from a single finite cell. *)
+  let grid = Offline.Grid.dense [| 1; 1 |] in
+  let flat = [| infinity; infinity; infinity; 0. |] in
+  (* index 3 = (1,1). *)
+  Offline.Transform.ramp_grid ~grid ~betas:[| 1.; 1. |] flat;
+  checkf 1e-12 "(1,1) stays" 0. flat.(3);
+  checkf 1e-12 "(1,0): free down" 0. flat.(2);
+  checkf 1e-12 "(0,1): free down" 0. flat.(1);
+  checkf 1e-12 "(0,0): free down twice" 0. flat.(0)
+
+let test_ramp_grid_up_costs () =
+  let grid = Offline.Grid.dense [| 1; 1 |] in
+  let flat = [| 0.; infinity; infinity; infinity |] in
+  Offline.Transform.ramp_grid ~grid ~betas:[| 2.; 3. |] flat;
+  checkf 1e-12 "(0,0)" 0. flat.(0);
+  checkf 1e-12 "(0,1)" 3. flat.(1);
+  checkf 1e-12 "(1,0)" 2. flat.(2);
+  checkf 1e-12 "(1,1)" 5. flat.(3)
+
+let test_ramp_across_matches_dense () =
+  (* When src and dst grids coincide, ramp_across must equal ramp_grid. *)
+  let grid = Offline.Grid.dense [| 2; 2 |] in
+  let rng = Util.Prng.create 5 in
+  let flat = Array.init (Offline.Grid.size grid) (fun _ -> Util.Prng.float rng 10.) in
+  let in_place = Array.copy flat in
+  Offline.Transform.ramp_grid ~grid ~betas:[| 1.5; 0.5 |] in_place;
+  let across =
+    Offline.Transform.ramp_across ~src_grid:grid ~dst_grid:grid ~betas:[| 1.5; 0.5 |] flat
+  in
+  Array.iteri (fun i e -> checkf 1e-9 "agree" e across.(i)) in_place
+
+let test_ramp_across_mismatched () =
+  (* src axis {0,1,2}, dst axis {0,2}: hand-checked. *)
+  let src_grid = Offline.Grid.make [| [| 0; 1; 2 |] |] in
+  let dst_grid = Offline.Grid.make [| [| 0; 2 |] |] in
+  let src = [| 4.; 1.; 3. |] in
+  let out = Offline.Transform.ramp_across ~src_grid ~dst_grid ~betas:[| 2. |] src in
+  (* dst 0: min(4, 1, 3) = 1 (free down). dst 2: min(4+4, 1+2, 3) = 3. *)
+  checkf 1e-12 "dst 0" 1. out.(0);
+  checkf 1e-12 "dst 2" 3. out.(1)
+
+(* --- DP vs brute force --- *)
+
+let random_small_instance rng ~dynamic =
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 2 + Util.Prng.int rng 3 in
+  if dynamic then Sim.Scenarios.random_dynamic ~rng ~d ~horizon ~max_count:2
+  else Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:2
+
+let test_dp_matches_bruteforce () =
+  let rng = Util.Prng.create 17 in
+  for _ = 1 to 30 do
+    let inst = random_small_instance rng ~dynamic:false in
+    let dp = Offline.Dp.solve_optimal inst in
+    let bf = Offline.Brute_force.solve inst in
+    checkb "costs agree" true
+      (Util.Float_cmp.close ~eps:1e-6 dp.Offline.Dp.cost bf.Offline.Dp.cost)
+  done
+
+let test_dp_matches_bruteforce_dynamic () =
+  let rng = Util.Prng.create 18 in
+  for _ = 1 to 20 do
+    let inst = random_small_instance rng ~dynamic:true in
+    let dp = Offline.Dp.solve_optimal inst in
+    let bf = Offline.Brute_force.solve inst in
+    checkb "costs agree" true
+      (Util.Float_cmp.close ~eps:1e-6 dp.Offline.Dp.cost bf.Offline.Dp.cost)
+  done
+
+let test_dp_cost_equals_schedule_cost () =
+  let rng = Util.Prng.create 19 in
+  for _ = 1 to 20 do
+    let inst = random_small_instance rng ~dynamic:false in
+    let dp = Offline.Dp.solve_optimal inst in
+    checkb "reported = evaluated" true
+      (Util.Float_cmp.close ~eps:1e-6 dp.Offline.Dp.cost
+         (Model.Cost.schedule inst dp.Offline.Dp.schedule));
+    checkb "feasible" true (Model.Schedule.feasible inst dp.Offline.Dp.schedule)
+  done
+
+let test_dp_figure4_instance () =
+  (* The paper's Figure 4: d = 2, T = 2, m = (2, 1).  We build costs that
+     make x_1 = (2,0), x_2 = (1,1) optimal and check the DP finds them. *)
+  let types =
+    [| st ~name:"t1" ~count:2 ~switching_cost:1. ~cap:1. ();
+       st ~name:"t2" ~count:1 ~switching_cost:2. ~cap:2. () |]
+  in
+  let fns =
+    Array.init 2 (fun time ->
+        if time = 0 then
+          [| Convex.Fn.affine ~intercept:0.2 ~slope:0.1;
+             Convex.Fn.affine ~intercept:3. ~slope:1. |]
+        else
+          [| Convex.Fn.affine ~intercept:0.2 ~slope:2.;
+             Convex.Fn.affine ~intercept:0.1 ~slope:0.05 |])
+  in
+  let inst =
+    Model.Instance.make ~types ~load:[| 2.; 2. |]
+      ~cost:(fun ~time ~typ -> fns.(time).(typ))
+      ()
+  in
+  let dp = Offline.Dp.solve_optimal inst in
+  let bf = Offline.Brute_force.solve inst in
+  checkb "matches brute force" true
+    (Util.Float_cmp.close ~eps:1e-6 dp.Offline.Dp.cost bf.Offline.Dp.cost);
+  Alcotest.(check (array int)) "slot 0 config" [| 2; 0 |] dp.Offline.Dp.schedule.(0);
+  checki "slot 1 uses type 2" 1 dp.Offline.Dp.schedule.(1).(1)
+
+let test_dp_idle_bridging () =
+  (* With a short gap and a high beta it is cheaper to idle through. *)
+  let types = [| st ~count:1 ~switching_cost:10. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let inst = Model.Instance.make_static ~types ~load:[| 1.; 0.; 1. |] ~fns () in
+  let dp = Offline.Dp.solve_optimal inst in
+  Alcotest.(check (list (array int)))
+    "stays on through the gap"
+    [ [| 1 |]; [| 1 |]; [| 1 |] ]
+    (Array.to_list dp.Offline.Dp.schedule);
+  checkf 1e-9 "cost" 13. dp.Offline.Dp.cost
+
+let test_dp_powers_down_across_long_gap () =
+  let types = [| st ~count:1 ~switching_cost:2. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let load = [| 1.; 0.; 0.; 0.; 0.; 1. |] in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let dp = Offline.Dp.solve_optimal inst in
+  checki "off in the middle" 0 dp.Offline.Dp.schedule.(2).(0);
+  (* Two activations: 2 * (beta + 1 slot idle-at-load) = 6. *)
+  checkf 1e-9 "cost" 6. dp.Offline.Dp.cost
+
+let test_dp_infeasible_raises () =
+  let types = [| st ~count:1 ~switching_cost:1. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let inst = Model.Instance.make_static ~types ~load:[| 5. |] ~fns () in
+  checkb "raises" true
+    (try ignore (Offline.Dp.solve_optimal inst); false with Invalid_argument _ -> true)
+
+let test_dp_initial_state () =
+  (* Starting with the server already on removes the power-up cost. *)
+  let types = [| st ~count:1 ~switching_cost:10. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let inst = Model.Instance.make_static ~types ~load:[| 1. |] ~fns () in
+  let cold = Offline.Dp.solve inst in
+  let warm = Offline.Dp.solve ~initial:[| 1 |] inst in
+  checkf 1e-9 "cold pays beta" 11. cold.Offline.Dp.cost;
+  checkf 1e-9 "warm does not" 1. warm.Offline.Dp.cost
+
+let test_dp_parallel_identical () =
+  (* A grid big enough to cross the parallel threshold; results must be
+     bit-identical to the sequential solve. *)
+  let types = [| st ~count:400 ~switching_cost:2. ~cap:1. () |] in
+  let fns = [| Convex.Fn.affine ~intercept:0.3 ~slope:0.9 |] in
+  let load = [| 120.; 300.; 50.; 0.; 200. |] in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let seq = Offline.Dp.solve_optimal inst in
+  List.iter
+    (fun domains ->
+      let par = Offline.Dp.solve_optimal ~domains inst in
+      checkb (Printf.sprintf "identical cost (domains=%d)" domains) true
+        (par.Offline.Dp.cost = seq.Offline.Dp.cost);
+      checkb "identical schedule" true (par.Offline.Dp.schedule = seq.Offline.Dp.schedule))
+    [ 2; 4 ]
+
+(* --- Approximation (Theorems 16 / 21) --- *)
+
+let test_approx_within_bound () =
+  let rng = Util.Prng.create 23 in
+  for _ = 1 to 15 do
+    let d = 1 + Util.Prng.int rng 2 in
+    let horizon = 3 + Util.Prng.int rng 3 in
+    let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:6 in
+    let opt = Offline.Dp.solve_optimal inst in
+    List.iter
+      (fun eps ->
+        let ap = Offline.Dp.solve_approx ~eps inst in
+        checkb "within (1+eps) OPT" true
+          (ap.Offline.Dp.cost <= ((1. +. eps) *. opt.Offline.Dp.cost) +. 1e-6);
+        checkb "not below OPT" true (ap.Offline.Dp.cost >= opt.Offline.Dp.cost -. 1e-6);
+        checkb "feasible" true (Model.Schedule.feasible inst ap.Offline.Dp.schedule))
+      [ 2.; 1.; 0.5; 0.1 ]
+  done
+
+let test_approx_converges_to_opt () =
+  (* As eps shrinks the approximate cost approaches the optimum. *)
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:16 () in
+  let opt = Offline.Dp.solve_optimal inst in
+  let costs =
+    List.map (fun eps -> (Offline.Dp.solve_approx ~eps inst).Offline.Dp.cost) [ 2.; 0.5; 0.05 ]
+  in
+  (match costs with
+  | [ a; b; c ] ->
+      checkb "tightens" true (c <= a +. 1e-6 && c <= b +. 1e-6);
+      checkb "tight at eps=0.05" true (c <= (1.05 *. opt.Offline.Dp.cost) +. 1e-6)
+  | _ -> Alcotest.fail "unreachable");
+  checkb "all above OPT" true
+    (List.for_all (fun c -> c >= opt.Offline.Dp.cost -. 1e-6) costs)
+
+let test_approx_state_count_smaller () =
+  (* The reduction only bites for large fleets: O(log m) vs m + 1. *)
+  let types =
+    [| st ~count:500 ~switching_cost:2. ~cap:1. ();
+       st ~count:300 ~switching_cost:3. ~cap:2. () |]
+  in
+  let fns = [| Convex.Fn.const 1.; Convex.Fn.const 1. |] in
+  let inst = Model.Instance.make_static ~types ~load:(Array.make 4 10.) ~fns () in
+  let dense = Offline.Dp.state_count inst ~grids:(Offline.Dp.dense_grids inst) in
+  let reduced =
+    Offline.Dp.state_count inst ~grids:(Offline.Dp.approx_grids ~gamma:1.5 inst)
+  in
+  checkb "reduced grid is much smaller" true (reduced * 10 < dense)
+
+(* --- Time-varying sizes (Section 4.3 / Theorem 22) --- *)
+
+let test_timevarying_respects_avail () =
+  let inst = Sim.Scenarios.maintenance () in
+  let dp = Offline.Dp.solve_optimal inst in
+  checkb "feasible incl. availability" true
+    (Model.Schedule.feasible inst dp.Offline.Dp.schedule);
+  for time = 10 to 14 do
+    checkb "maintenance cap" true (dp.Offline.Dp.schedule.(time).(0) <= 2)
+  done
+
+let test_timevarying_matches_bruteforce () =
+  let types =
+    [| st ~count:2 ~switching_cost:1.5 ~cap:1. ();
+       st ~count:2 ~switching_cost:2.5 ~cap:2. () |]
+  in
+  let fns = [| Convex.Fn.const 0.5; Convex.Fn.const 0.8 |] in
+  let avail ~time ~typ = if typ = 0 && time = 1 then 0 else 2 in
+  let inst = Model.Instance.make_static ~avail ~types ~load:[| 2.; 2.; 2. |] ~fns () in
+  let dp = Offline.Dp.solve_optimal inst in
+  let bf = Offline.Brute_force.solve inst in
+  checkb "agree" true (Util.Float_cmp.close ~eps:1e-6 dp.Offline.Dp.cost bf.Offline.Dp.cost)
+
+let test_timevarying_approx_bound () =
+  let inst = Sim.Scenarios.maintenance () in
+  let opt = Offline.Dp.solve_optimal inst in
+  let ap = Offline.Dp.solve_approx ~eps:0.5 inst in
+  checkb "Theorem 22 bound" true (ap.Offline.Dp.cost <= (1.5 *. opt.Offline.Dp.cost) +. 1e-6);
+  checkb "feasible" true (Model.Schedule.feasible inst ap.Offline.Dp.schedule)
+
+(* --- Scale (marked Slow) --- *)
+
+let test_scale_long_horizon () =
+  (* d = 1, m = 50, T = 2000: linear-in-T behaviour of the transform DP. *)
+  let types = [| st ~count:50 ~switching_cost:3. ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2. |] in
+  let load = Sim.Workload.diurnal ~horizon:2000 ~period:48 ~base:2. ~peak:45. () in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let r = Offline.Dp.solve_optimal inst in
+  checkb "finite" true (Float.is_finite r.Offline.Dp.cost);
+  checkb "feasible" true (Model.Schedule.feasible inst r.Offline.Dp.schedule)
+
+let test_scale_huge_fleet_approx () =
+  (* m = 100_000: only the reduced grid is tractable; 35 states/slot. *)
+  let types = [| st ~count:100_000 ~switching_cost:2. ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:0.4 ~coef:0.6 ~expo:2. |] in
+  let load = Sim.Workload.diurnal ~horizon:48 ~period:24 ~base:100. ~peak:90_000. () in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let r = Offline.Dp.solve_approx ~eps:0.5 inst in
+  checkb "finite" true (Float.is_finite r.Offline.Dp.cost);
+  checkb "feasible" true (Model.Schedule.feasible inst r.Offline.Dp.schedule);
+  let grid = Offline.Dp.approx_grids ~gamma:1.25 inst 0 in
+  checkb "log-sized grid" true (Offline.Grid.size grid < 120)
+
+let test_scale_online_long_run () =
+  (* Algorithm A over a long horizon stays linear-ish via the prefix
+     engine (one offline solve's worth of work in total). *)
+  let types = [| st ~count:20 ~switching_cost:3. ~cap:1. () |] in
+  let fns = [| Convex.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2. |] in
+  let load = Sim.Workload.diurnal ~horizon:1000 ~period:40 ~base:1. ~peak:18. () in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let r = Online.Alg_a.run inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_a.schedule);
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  checkb "within 3" true (Model.Cost.schedule inst r.Online.Alg_a.schedule <= 3. *. opt)
+
+(* --- Brute force itself --- *)
+
+let test_bruteforce_too_large () =
+  let types = [| st ~count:20 ~switching_cost:1. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let inst = Model.Instance.make_static ~types ~load:(Array.make 8 1.) ~fns () in
+  checkb "guard trips" true
+    (try ignore (Offline.Brute_force.solve ~limit:1000 inst); false
+     with Offline.Brute_force.Too_large _ -> true)
+
+let () =
+  Alcotest.run "offline"
+    [ ( "grid",
+        [ Alcotest.test_case "dense" `Quick test_grid_dense;
+          Alcotest.test_case "index roundtrip" `Quick test_grid_indexing_roundtrip;
+          Alcotest.test_case "iter lexicographic" `Quick test_grid_iter_order_lexicographic;
+          Alcotest.test_case "power axis Figure 5" `Quick test_grid_power_axis;
+          Alcotest.test_case "power ratio bound" `Quick test_grid_power_ratio_bound;
+          Alcotest.test_case "power contains extremes" `Quick test_grid_power_contains_extremes;
+          Alcotest.test_case "power with zero count" `Quick test_grid_power_zero_count;
+          Alcotest.test_case "round up/down" `Quick test_grid_round_up_down;
+          Alcotest.test_case "equality" `Quick test_grid_equal;
+          Alcotest.test_case "validation" `Quick test_grid_validation
+        ] );
+      ( "transform",
+        [ Alcotest.test_case "ramp_line vs brute force" `Quick test_ramp_line_matches_bruteforce;
+          Alcotest.test_case "ramp_line with infinities" `Quick test_ramp_line_infinity;
+          Alcotest.test_case "ramp_between vs brute force" `Quick
+            test_ramp_between_matches_bruteforce;
+          Alcotest.test_case "2-D descent" `Quick test_ramp_grid_2d;
+          Alcotest.test_case "2-D climb costs" `Quick test_ramp_grid_up_costs;
+          Alcotest.test_case "across = in-place on equal grids" `Quick
+            test_ramp_across_matches_dense;
+          Alcotest.test_case "across mismatched grids" `Quick test_ramp_across_mismatched
+        ] );
+      ( "dp",
+        [ Alcotest.test_case "matches brute force (static)" `Quick test_dp_matches_bruteforce;
+          Alcotest.test_case "matches brute force (dynamic)" `Quick
+            test_dp_matches_bruteforce_dynamic;
+          Alcotest.test_case "cost equals schedule cost" `Quick test_dp_cost_equals_schedule_cost;
+          Alcotest.test_case "Figure 4 instance" `Quick test_dp_figure4_instance;
+          Alcotest.test_case "bridges short gaps" `Quick test_dp_idle_bridging;
+          Alcotest.test_case "powers down across long gaps" `Quick
+            test_dp_powers_down_across_long_gap;
+          Alcotest.test_case "infeasible raises" `Quick test_dp_infeasible_raises;
+          Alcotest.test_case "initial state" `Quick test_dp_initial_state;
+          Alcotest.test_case "parallel evaluation identical" `Quick test_dp_parallel_identical
+        ] );
+      ( "approx",
+        [ Alcotest.test_case "Theorem 16 bound" `Quick test_approx_within_bound;
+          Alcotest.test_case "converges to OPT" `Quick test_approx_converges_to_opt;
+          Alcotest.test_case "reduced state count" `Quick test_approx_state_count_smaller
+        ] );
+      ( "time_varying",
+        [ Alcotest.test_case "respects availability" `Quick test_timevarying_respects_avail;
+          Alcotest.test_case "matches brute force" `Quick test_timevarying_matches_bruteforce;
+          Alcotest.test_case "Theorem 22 bound" `Quick test_timevarying_approx_bound
+        ] );
+      ( "scale",
+        [ Alcotest.test_case "long horizon (T = 2000)" `Slow test_scale_long_horizon;
+          Alcotest.test_case "huge fleet via reduced grid (m = 100k)" `Slow
+            test_scale_huge_fleet_approx;
+          Alcotest.test_case "long online run (T = 1000)" `Slow test_scale_online_long_run
+        ] );
+      ( "brute_force",
+        [ Alcotest.test_case "work-limit guard" `Quick test_bruteforce_too_large ] )
+    ]

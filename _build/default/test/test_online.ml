@@ -1,0 +1,644 @@
+(* Unit tests for the online layer: the prefix-optimal engine, algorithms
+   A (Section 2), B (Section 3.1), C (Section 3.2), the baselines, the
+   chasing adversary, and the harness. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+let st = Model.Server_type.make
+
+(* --- Prefix_opt --- *)
+
+let test_prefix_cost_matches_offline () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:10 () in
+  let engine = Online.Prefix_opt.create inst in
+  for t = 1 to 10 do
+    let { Online.Prefix_opt.prefix_cost; _ } = Online.Prefix_opt.step engine in
+    let direct = Offline.Dp.solve_optimal (Model.Instance.prefix inst t) in
+    checkb
+      (Printf.sprintf "prefix %d" t)
+      true
+      (Util.Float_cmp.close ~eps:1e-6 prefix_cost direct.Offline.Dp.cost)
+  done
+
+let test_prefix_last_is_optimal_end () =
+  (* The returned configuration must close an optimal prefix schedule:
+     same cost as the offline solve of the prefix. *)
+  let inst = Sim.Scenarios.homogeneous ~horizon:8 () in
+  let engine = Online.Prefix_opt.create inst in
+  for t = 1 to 8 do
+    let { Online.Prefix_opt.last; last_hi; _ } = Online.Prefix_opt.step engine in
+    let direct = Offline.Dp.solve_optimal (Model.Instance.prefix inst t) in
+    (* The lexicographically-smallest DP solve ends in [last .. last_hi]. *)
+    let final = direct.Offline.Dp.schedule.(t - 1) in
+    checkb "within argmin range" true
+      (Model.Config.compare last final <= 0 && Model.Config.compare final last_hi <= 0)
+  done
+
+let test_prefix_step_past_horizon_raises () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:2 () in
+  let engine = Online.Prefix_opt.create inst in
+  ignore (Online.Prefix_opt.step engine);
+  ignore (Online.Prefix_opt.step engine);
+  checki "clock" 2 (Online.Prefix_opt.time engine);
+  checkb "raises" true
+    (try ignore (Online.Prefix_opt.step engine); false with Invalid_argument _ -> true)
+
+(* --- Algorithm A --- *)
+
+let simple_static ?(beta = 5.) ?(idle = 1.) ?(count = 5) ~load () =
+  let types = [| st ~count ~switching_cost:beta ~cap:1. () |] in
+  let fns = [| Convex.Fn.shift_idle idle (Convex.Fn.power ~idle:0. ~coef:1. ~expo:2.) |] in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let test_alg_a_runtime_value () =
+  let inst = simple_static ~beta:5. ~idle:1. ~load:[| 1. |] () in
+  checkb "tbar = 5" true (Online.Alg_a.runtime inst ~typ:0 = Some 5);
+  let inst2 = simple_static ~beta:4.5 ~idle:1. ~load:[| 1. |] () in
+  checkb "tbar = ceil(4.5)" true (Online.Alg_a.runtime inst2 ~typ:0 = Some 5);
+  let inst3 = simple_static ~beta:5. ~idle:0. ~load:[| 1. |] () in
+  checkb "free idling -> never power down" true (Online.Alg_a.runtime inst3 ~typ:0 = None)
+
+let test_alg_a_dominates_prefix_opt () =
+  (* The defining invariant: x^A_{t,j} >= x^t_{t,j}. *)
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:20 () in
+  let r = Online.Alg_a.run inst in
+  Array.iteri
+    (fun t hat ->
+      checkb (Printf.sprintf "dominates at %d" t) true
+        (Model.Config.dominates r.Online.Alg_a.schedule.(t) hat))
+    r.Online.Alg_a.prefix_last
+
+let test_alg_a_feasible () =
+  let inst = Sim.Scenarios.three_tier ~horizon:30 () in
+  let r = Online.Alg_a.run inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_a.schedule)
+
+let test_alg_a_ski_rental_powerdown () =
+  (* One burst: the server stays up exactly tbar = 3 slots, then leaves. *)
+  let inst = simple_static ~beta:3. ~idle:1. ~count:1 ~load:[| 1.; 0.; 0.; 0.; 0.; 0. |] () in
+  let r = Online.Alg_a.run inst in
+  Alcotest.(check (array int)) "runs exactly tbar slots" [| 1; 1; 1; 0; 0; 0 |]
+    (Model.Schedule.column r.Online.Alg_a.schedule ~typ:0)
+
+let test_alg_a_never_powers_down_free_idle () =
+  let inst = simple_static ~beta:3. ~idle:0. ~count:1 ~load:[| 1.; 0.; 0.; 0. |] () in
+  let r = Online.Alg_a.run inst in
+  Alcotest.(check (array int)) "stays up" [| 1; 1; 1; 1 |]
+    (Model.Schedule.column r.Online.Alg_a.schedule ~typ:0)
+
+let test_alg_a_figure1_shape () =
+  (* Figure 1's mechanism with tbar = 5: each power-up extends the stay by
+     exactly 5 slots from its own slot, so a second burst 3 slots after
+     the first keeps one server up until burst2 + 5. *)
+  let load = [| 1.; 0.; 0.; 1.; 0.; 0.; 0.; 0.; 0.; 0. |] in
+  let inst = simple_static ~beta:5. ~idle:1. ~count:2 ~load () in
+  let r = Online.Alg_a.run inst in
+  let col = Model.Schedule.column r.Online.Alg_a.schedule ~typ:0 in
+  (* First server: slots 0..4.  Optimal prefix at slot 3 reuses the still
+     running server, so no second power-up happens unless demand needs 2. *)
+  checki "active at 0" 1 col.(0);
+  checki "still active at 4" 1 col.(4);
+  checki "down at 5 or reused" 0 col.(8)
+
+let test_alg_a_blocks_cover_powerups () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:24 () in
+  let r = Online.Alg_a.run inst in
+  (* Events are chronological with positive counts, and per type the total
+     powered up covers the peak of the schedule column (every active
+     server stems from some power-up event). *)
+  let last_time = ref (-1) in
+  List.iter
+    (fun (time, _, count) ->
+      checkb "chronological" true (time >= !last_time);
+      last_time := time;
+      checkb "positive count" true (count > 0))
+    r.Online.Alg_a.power_ups;
+  for typ = 0 to Model.Instance.num_types inst - 1 do
+    let total =
+      List.fold_left
+        (fun acc (_, j, c) -> if j = typ then acc + c else acc)
+        0 r.Online.Alg_a.power_ups
+    in
+    let peak = Array.fold_left max 0 (Model.Schedule.column r.Online.Alg_a.schedule ~typ) in
+    checkb "ups cover the peak" true (total >= peak)
+  done
+
+let test_alg_a_lemma4_load_dependent () =
+  (* Lemma 4 fixes one job split (the one optimal for X^t) and shows that
+     spreading the same per-type volume over the >= servers of X^A cannot
+     increase the load-dependent cost:
+     x (f(v/x) - f(0)) is non-increasing in x for convex f. *)
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:16 () in
+  let r = Online.Alg_a.run inst in
+  Array.iteri
+    (fun t hat ->
+      match Model.Cost.operating_split inst ~time:t hat with
+      | None -> Alcotest.fail "optimal prefix config must be feasible"
+      | Some (split, _) ->
+          for typ = 0 to 1 do
+            let lambda = inst.Model.Instance.load.(t) in
+            let volume = lambda *. split.(typ) in
+            let f = inst.Model.Instance.cost ~time:t ~typ in
+            let part x =
+              if x = 0 then 0.
+              else
+                let xf = float_of_int x in
+                xf *. (Convex.Fn.eval f (volume /. xf) -. Convex.Fn.eval f 0.)
+            in
+            checkb
+              (Printf.sprintf "L at t=%d j=%d" t typ)
+              true
+              (part r.Online.Alg_a.schedule.(t).(typ) <= part hat.(typ) +. 1e-6)
+          done)
+    r.Online.Alg_a.prefix_last
+
+let test_alg_a_rejects_time_dependent () =
+  let inst = Sim.Scenarios.time_varying_costs () in
+  checkb "raises" true
+    (try ignore (Online.Alg_a.run inst); false with Invalid_argument _ -> true)
+
+let test_alg_a_competitive_on_scenario () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:24 () in
+  let r = Online.Alg_a.run inst in
+  let opt = Online.Harness.opt_cost inst in
+  let cost = Model.Cost.schedule inst r.Online.Alg_a.schedule in
+  let bound = Online.Harness.competitive_bound inst ~algorithm:`A in
+  checkb "within 2d+1" true (cost <= (bound *. opt) +. 1e-6)
+
+let test_alg_a_reduced_grid_mode () =
+  (* The scalable mode stays feasible and lands near the dense-grid run. *)
+  let types =
+    [| st ~name:"big-fleet" ~count:100 ~switching_cost:2. ~cap:1. () |]
+  in
+  let fns = [| Convex.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2. |] in
+  let load = [| 20.; 80.; 95.; 40.; 5.; 0.; 30.; 70. |] in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let dense = Online.Alg_a.run inst in
+  let grid = Offline.Grid.power ~gamma:1.5 [| 100 |] in
+  let reduced = Online.Alg_a.run ~grid inst in
+  checkb "feasible" true (Model.Schedule.feasible inst reduced.Online.Alg_a.schedule);
+  let cd = Model.Cost.schedule inst dense.Online.Alg_a.schedule in
+  let cr = Model.Cost.schedule inst reduced.Online.Alg_a.schedule in
+  checkb "within 1.5x of the dense run" true (cr <= 1.5 *. cd)
+
+let test_prefix_grid_dimension_mismatch () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:4 () in
+  let grid = Offline.Grid.dense [| 3 |] in
+  checkb "raises" true
+    (try ignore (Online.Prefix_opt.create ~grid inst); false
+     with Invalid_argument _ -> true)
+
+(* --- Algorithm B --- *)
+
+let dynamic_idle_instance ~beta ~idles ~load =
+  (* Single type; idle cost of slot t is idles.(t) (constant functions,
+     so all cost is idle cost). *)
+  let horizon = Array.length idles in
+  assert (Array.length load = horizon);
+  let types = [| st ~count:3 ~switching_cost:beta ~cap:1. () |] in
+  let fns = Array.map Convex.Fn.const idles in
+  Model.Instance.make ~types ~load ~cost:(fun ~time ~typ:_ -> fns.(time)) ()
+
+let test_alg_b_figure3_powerdowns () =
+  (* Figure 3's bookkeeping, beta = 6: idle costs (paper slots 1..)
+     l = [2; 1; 4; 1; 2; ...].  Servers powered up at paper slots 1 and 2
+     are both shut down at paper slot 5 (W_5 = {1, 2}). *)
+  let idles = [| 2.; 1.; 4.; 1.; 2.; 1.; 1.; 1. |] in
+  let load = [| 2.; 3.; 0.; 0.; 0.; 0.; 0.; 0. |] in
+  let inst = dynamic_idle_instance ~beta:6. ~idles ~load in
+  let r = Online.Alg_b.run inst in
+  (* Power-ups: 2 servers at code slot 0, 1 more at code slot 1. *)
+  checkb "power-up at slot 0" true (List.mem (0, 0, 2) r.Online.Alg_b.power_ups);
+  checkb "power-up at slot 1" true (List.mem (1, 0, 1) r.Online.Alg_b.power_ups);
+  (* Both groups leave at code slot 4 (paper slot 5). *)
+  let downs_at_4 =
+    List.filter (fun (t, _, _) -> t = 4) r.Online.Alg_b.power_downs
+    |> List.fold_left (fun acc (_, _, c) -> acc + c) 0
+  in
+  checki "W_5 empties both groups" 3 downs_at_4;
+  Alcotest.(check (array int)) "column" [| 2; 3; 3; 3; 0; 0; 0; 0 |]
+    (Model.Schedule.column r.Online.Alg_b.schedule ~typ:0)
+
+let test_alg_b_runtime_excludes_own_slot () =
+  (* The idle cost of the power-up slot itself must not count: with
+     l = [100; 1; 1; ...] and beta = 2.5 a server powered at slot 0 stays
+     through slots 1 and 2 (1 + 1 <= 2.5) and leaves at slot 3. *)
+  let idles = [| 100.; 1.; 1.; 1.; 1. |] in
+  let load = [| 1.; 0.; 0.; 0.; 0. |] in
+  let inst = dynamic_idle_instance ~beta:2.5 ~idles ~load in
+  let r = Online.Alg_b.run inst in
+  Alcotest.(check (array int)) "own slot free" [| 1; 1; 1; 0; 0 |]
+    (Model.Schedule.column r.Online.Alg_b.schedule ~typ:0)
+
+let test_alg_b_dominates_prefix_opt () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:24 () in
+  let r = Online.Alg_b.run inst in
+  Array.iteri
+    (fun t hat ->
+      checkb (Printf.sprintf "dominates at %d" t) true
+        (Model.Config.dominates r.Online.Alg_b.schedule.(t) hat))
+    r.Online.Alg_b.prefix_last
+
+let test_alg_b_feasible () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:24 () in
+  let r = Online.Alg_b.run inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_b.schedule)
+
+let test_alg_b_updown_balance () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:24 () in
+  let r = Online.Alg_b.run inst in
+  let ups = List.fold_left (fun acc (_, _, c) -> acc + c) 0 r.Online.Alg_b.power_ups in
+  let downs = List.fold_left (fun acc (_, _, c) -> acc + c) 0 r.Online.Alg_b.power_downs in
+  checkb "downs never exceed ups" true (downs <= ups)
+
+let test_alg_b_requires_positive_beta () =
+  let types = [| st ~count:1 ~switching_cost:0. ~cap:1. () |] in
+  let inst =
+    Model.Instance.make ~types ~load:[| 1. |]
+      ~cost:(fun ~time:_ ~typ:_ -> Convex.Fn.const 1.)
+      ()
+  in
+  checkb "raises" true
+    (try ignore (Online.Alg_b.run inst); false with Invalid_argument _ -> true)
+
+let test_alg_b_theorem13_bound () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:20 () in
+  let r = Online.Alg_b.run inst in
+  let opt = Online.Harness.opt_cost inst in
+  let cost = Model.Cost.schedule inst r.Online.Alg_b.schedule in
+  let bound = Online.Harness.competitive_bound inst ~algorithm:`B in
+  checkb "within 2d+1+c(I)" true (cost <= (bound *. opt) +. 1e-6)
+
+let test_c_of_instance () =
+  let idles = [| 2.; 8.; 4. |] in
+  let inst = dynamic_idle_instance ~beta:4. ~idles ~load:[| 0.; 0.; 0. |] in
+  (* max l / beta = 8 / 4 = 2, single type. *)
+  checkf 1e-9 "c(I)" 2. (Online.Alg_b.c_of_instance inst)
+
+(* --- Algorithm C --- *)
+
+let test_alg_c_parts_formula () =
+  let idles = [| 2.; 8.; 4. |] in
+  let inst = dynamic_idle_instance ~beta:4. ~idles ~load:[| 0.; 0.; 0. |] in
+  (* d = 1, eps = 0.5: n~_t = ceil(2 * l_t / 4). *)
+  checki "slot 0" 1 (Online.Alg_c.parts_of_slot ~eps:0.5 inst ~time:0);
+  checki "slot 1" 4 (Online.Alg_c.parts_of_slot ~eps:0.5 inst ~time:1);
+  checki "slot 2" 2 (Online.Alg_c.parts_of_slot ~eps:0.5 inst ~time:2)
+
+let test_alg_c_refined_constant_small () =
+  (* Eq. (16): c(I~) <= eps. *)
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:12 () in
+  List.iter
+    (fun eps ->
+      let r = Online.Alg_c.run ~eps inst in
+      checkb
+        (Printf.sprintf "c(I~) = %f <= eps = %f" r.Online.Alg_c.c_refined eps)
+        true
+        (r.Online.Alg_c.c_refined <= eps +. 1e-9))
+    [ 1.; 0.5; 0.25 ]
+
+let test_alg_c_lemma14_cost_not_increased () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:12 () in
+  let r = Online.Alg_c.run ~eps:0.5 inst in
+  let c_on_original = Model.Cost.schedule inst r.Online.Alg_c.schedule in
+  let b_on_refined = Model.Cost.schedule r.Online.Alg_c.refined r.Online.Alg_c.sub_schedule in
+  checkb "Lemma 14" true (c_on_original <= b_on_refined +. 1e-6)
+
+let test_alg_c_feasible () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:12 () in
+  let r = Online.Alg_c.run ~eps:0.5 inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_c.schedule)
+
+let test_alg_c_configs_from_sub_schedule () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:8 () in
+  let r = Online.Alg_c.run ~eps:0.5 inst in
+  (* Each x^C_t appears among the sub-slot configurations of U(t). *)
+  let u = ref 0 in
+  Array.iteri
+    (fun t parts ->
+      let candidates = Array.sub r.Online.Alg_c.sub_schedule !u parts in
+      checkb
+        (Printf.sprintf "x^C_%d from U(%d)" t t)
+        true
+        (Array.exists (fun x -> Model.Config.equal x r.Online.Alg_c.schedule.(t)) candidates);
+      u := !u + parts)
+    r.Online.Alg_c.parts
+
+let test_alg_c_theorem15_bound () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:16 () in
+  let opt = Online.Harness.opt_cost inst in
+  List.iter
+    (fun eps ->
+      let r = Online.Alg_c.run ~eps inst in
+      let cost = Model.Cost.schedule inst r.Online.Alg_c.schedule in
+      let bound = (2. *. 2.) +. 1. +. eps in
+      checkb "within 2d+1+eps" true (cost <= (bound *. opt) +. 1e-6))
+    [ 1.; 0.5 ]
+
+let test_alg_c_rejects_bad_eps () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:4 () in
+  checkb "raises" true
+    (try ignore (Online.Alg_c.run ~eps:0. inst); false with Invalid_argument _ -> true)
+
+(* --- Edge cases shared by the online algorithms --- *)
+
+let test_all_zero_loads () =
+  (* Nothing arrives: the optimal prefix is empty every slot, nothing is
+     ever powered up, cost 0. *)
+  let inst = simple_static ~load:(Array.make 6 0.) () in
+  let a = Online.Alg_a.run inst in
+  checkf 0. "A cost" 0. (Model.Cost.schedule inst a.Online.Alg_a.schedule);
+  Alcotest.(check (array int)) "never powers up" (Array.make 6 0)
+    (Model.Schedule.column a.Online.Alg_a.schedule ~typ:0);
+  let b = Online.Alg_b.run inst in
+  checkf 0. "B cost" 0. (Model.Cost.schedule inst b.Online.Alg_b.schedule)
+
+let test_alg_c_on_time_independent () =
+  (* C is legal (if pointless) on time-independent instances: the
+     refinement just divides each slot by a constant. *)
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:8 () in
+  let r = Online.Alg_c.run ~eps:0.5 inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_c.schedule);
+  let opt = Online.Harness.opt_cost inst in
+  checkb "within 2d+1+eps" true
+    (Model.Cost.schedule inst r.Online.Alg_c.schedule <= (5.5 *. opt) +. 1e-6)
+
+(* --- Streaming --- *)
+
+let test_streaming_matches_batch_a () =
+  (* Feeding loads one by one must reproduce the batch run exactly. *)
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:20 () in
+  let batch = (Online.Alg_a.run inst).Online.Alg_a.schedule in
+  let session =
+    Online.Streaming.alg_a ~max_horizon:32 ~types:inst.Model.Instance.types
+      ~fns:(Array.init 2 (fun typ -> inst.Model.Instance.cost ~time:0 ~typ))
+      ()
+  in
+  Array.iteri
+    (fun t load ->
+      let x = Online.Streaming.feed session load in
+      checkb (Printf.sprintf "slot %d identical" t) true (Model.Config.equal x batch.(t)))
+    inst.Model.Instance.load;
+  checki "fed" 20 (Online.Streaming.fed session)
+
+let test_streaming_matches_batch_b () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:16 () in
+  let batch = (Online.Alg_b.run inst).Online.Alg_b.schedule in
+  let session =
+    Online.Streaming.alg_b ~max_horizon:16 ~types:inst.Model.Instance.types
+      ~cost:(fun ~time ~typ -> inst.Model.Instance.cost ~time ~typ)
+      ()
+  in
+  Array.iteri
+    (fun t load ->
+      let x = Online.Streaming.feed session load in
+      checkb (Printf.sprintf "slot %d identical" t) true (Model.Config.equal x batch.(t)))
+    inst.Model.Instance.load
+
+let test_streaming_validation () =
+  let types = [| st ~count:2 ~switching_cost:1. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let session = Online.Streaming.alg_a ~max_horizon:2 ~types ~fns () in
+  checkb "negative volume" true
+    (try ignore (Online.Streaming.feed session (-1.)); false
+     with Invalid_argument _ -> true);
+  checkb "over capacity" true
+    (try ignore (Online.Streaming.feed session 5.); false
+     with Invalid_argument _ -> true);
+  ignore (Online.Streaming.feed session 1.);
+  ignore (Online.Streaming.feed session 1.);
+  checkb "horizon exhausted" true
+    (try ignore (Online.Streaming.feed session 1.); false
+     with Invalid_argument _ -> true)
+
+let test_streaming_config_tracking () =
+  let types = [| st ~count:2 ~switching_cost:3. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let session = Online.Streaming.alg_a ~types ~fns () in
+  Alcotest.(check (array int)) "starts all-off" [| 0 |] (Online.Streaming.config session);
+  let x = Online.Streaming.feed session 2. in
+  Alcotest.(check (array int)) "powers up for the load" [| 2 |] x;
+  Alcotest.(check (array int)) "config tracks" x (Online.Streaming.config session)
+
+(* --- Baselines --- *)
+
+let test_always_on_constant () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:12 () in
+  let s = Online.Baselines.always_on inst in
+  checkb "feasible" true (Model.Schedule.feasible inst s);
+  let first = s.(0) in
+  Array.iter (fun x -> checkb "constant" true (Model.Config.equal x first)) s
+
+let test_follow_demand_is_pointwise_argmin () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:8 () in
+  let s = Online.Baselines.follow_demand inst in
+  checkb "feasible" true (Model.Schedule.feasible inst s);
+  let grid = Offline.Grid.dense (Model.Instance.counts inst) in
+  Array.iteri
+    (fun t x ->
+      let g = Model.Cost.operating inst ~time:t x in
+      Offline.Grid.iter grid (fun _ y ->
+          checkb "argmin" true (g <= Model.Cost.operating inst ~time:t y +. 1e-6)))
+    s
+
+let test_receding_horizon_full_window_is_optimal () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:10 () in
+  let s = Online.Baselines.receding_horizon ~window:10 inst in
+  let opt = Online.Harness.opt_cost inst in
+  (* With the whole horizon visible the first plan is already optimal and
+     re-planning from an optimal prefix stays optimal. *)
+  checkb "optimal with full lookahead" true
+    (Model.Cost.schedule inst s <= opt +. 1e-6)
+
+let test_receding_horizon_feasible () =
+  let inst = Sim.Scenarios.three_tier ~horizon:20 () in
+  let s = Online.Baselines.receding_horizon ~window:3 inst in
+  checkb "feasible" true (Model.Schedule.feasible inst s)
+
+let test_lcp_requires_d1 () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:4 () in
+  checkb "raises" true
+    (try ignore (Online.Baselines.lcp_1d inst); false with Invalid_argument _ -> true)
+
+let test_lcp_feasible_and_reasonable () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:30 () in
+  let s = Online.Baselines.lcp_1d inst in
+  checkb "feasible" true (Model.Schedule.feasible inst s);
+  let opt = Online.Harness.opt_cost inst in
+  (* LCP is 3-competitive in the fractional setting; allow slack here but
+     catch gross regressions. *)
+  checkb "within 4x OPT on this trace" true (Model.Cost.schedule inst s <= 4. *. opt)
+
+(* --- Adversary --- *)
+
+let test_chasing_exponential_separation () =
+  let o = Online.Adversary.chasing_lower_bound ~d:8 in
+  checki "steps" 255 o.Online.Adversary.steps;
+  checkb "offline at most d" true (o.Online.Adversary.offline_cost <= 8.);
+  checkb "ratio beats poly(d)" true (o.Online.Adversary.ratio > 16.)
+
+let test_chasing_monotone_in_d () =
+  let r d = (Online.Adversary.chasing_lower_bound ~d).Online.Adversary.ratio in
+  checkb "grows" true (r 4 < r 6 && r 6 < r 10)
+
+let test_reactive_adversary_forces_two () =
+  (* The adaptive ski-rental adversary drives A towards the d = 1 lower
+     bound 2 as beta/idle grows. *)
+  let r1 = (Online.Adversary.reactive_a ~rounds:6 ~beta:4. ~idle:1. ()).Online.Adversary.forced_ratio in
+  let r2 = (Online.Adversary.reactive_a ~rounds:10 ~beta:10. ~idle:0.5 ()).Online.Adversary.forced_ratio in
+  checkb "grows with beta/idle" true (r2 > r1);
+  checkb "approaches 2" true (r2 > 1.85);
+  checkb "never exceeds the guarantee" true (r2 <= 3. +. 1e-9)
+
+let test_reactive_adversary_instance_valid () =
+  let o = Online.Adversary.reactive_a ~rounds:4 ~beta:3. ~idle:1. () in
+  checkb "feasible loads" true (Model.Instance.feasible_load o.Online.Adversary.instance);
+  checkb "ratio consistent" true
+    (Float.abs (o.Online.Adversary.forced_ratio -. (o.Online.Adversary.alg_cost /. o.Online.Adversary.opt_cost)) < 1e-9);
+  checkb "bad args" true
+    (try ignore (Online.Adversary.reactive_a ~beta:0. ~idle:1. ()); false
+     with Invalid_argument _ -> true)
+
+let test_chasing_bad_d () =
+  checkb "raises" true
+    (try ignore (Online.Adversary.chasing_lower_bound ~d:0); false
+     with Invalid_argument _ -> true)
+
+(* --- Harness --- *)
+
+let test_harness_evaluate () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:10 () in
+  let opt_result = Offline.Dp.solve_optimal inst in
+  let opt = opt_result.Offline.Dp.cost in
+  let evals =
+    Online.Harness.evaluate inst ~opt
+      [ ("opt", opt_result.Offline.Dp.schedule);
+        ("a", (Online.Alg_a.run inst).Online.Alg_a.schedule) ]
+  in
+  (match evals with
+  | [ e_opt; e_a ] ->
+      checkb "opt ratio 1" true (Util.Float_cmp.close ~eps:1e-6 e_opt.Online.Harness.ratio 1.);
+      checkb "a ratio >= 1" true (e_a.Online.Harness.ratio >= 1. -. 1e-9);
+      checkb "both feasible" true (e_opt.Online.Harness.feasible && e_a.Online.Harness.feasible)
+  | _ -> Alcotest.fail "two evaluations")
+
+let test_harness_run_suite_static () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:10 () in
+  let named = Online.Harness.run_suite inst in
+  let names = List.map fst named in
+  checkb "has OPT" true (List.mem "OPT" names);
+  checkb "has alg-A" true (List.mem "alg-A" names);
+  checkb "has lcp for d=1" true (List.mem "lcp" names)
+
+let test_harness_run_suite_dynamic () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:10 () in
+  let named = Online.Harness.run_suite ~include_baselines:false inst in
+  let names = List.map fst named in
+  checkb "has alg-B" true (List.mem "alg-B" names);
+  checkb "has alg-C" true (List.exists (fun n -> String.length n >= 5 && String.sub n 0 5 = "alg-C") names);
+  checkb "no baselines" true (not (List.mem "always-on" names))
+
+let test_competitive_bounds () =
+  let li = Sim.Scenarios.load_independent ~d:2 ~horizon:4 ~seed:1 in
+  checkf 1e-9 "Corollary 9: 2d" 4. (Online.Harness.competitive_bound li ~algorithm:`A);
+  let general = Sim.Scenarios.cpu_gpu ~horizon:4 () in
+  checkf 1e-9 "Theorem 8: 2d+1" 5. (Online.Harness.competitive_bound general ~algorithm:`A);
+  checkf 1e-9 "Theorem 15: 2d+1+eps" 5.25
+    (Online.Harness.competitive_bound general ~algorithm:(`C 0.25))
+
+let () =
+  Alcotest.run "online"
+    [ ( "prefix_opt",
+        [ Alcotest.test_case "prefix cost matches offline" `Quick
+            test_prefix_cost_matches_offline;
+          Alcotest.test_case "last config closes an optimal prefix" `Quick
+            test_prefix_last_is_optimal_end;
+          Alcotest.test_case "step past horizon raises" `Quick
+            test_prefix_step_past_horizon_raises
+        ] );
+      ( "alg_a",
+        [ Alcotest.test_case "runtime t_j" `Quick test_alg_a_runtime_value;
+          Alcotest.test_case "dominates optimal prefix" `Quick test_alg_a_dominates_prefix_opt;
+          Alcotest.test_case "feasible" `Quick test_alg_a_feasible;
+          Alcotest.test_case "ski-rental power-down" `Quick test_alg_a_ski_rental_powerdown;
+          Alcotest.test_case "free idling never powers down" `Quick
+            test_alg_a_never_powers_down_free_idle;
+          Alcotest.test_case "Figure 1 shape" `Quick test_alg_a_figure1_shape;
+          Alcotest.test_case "power-up events consistent" `Quick
+            test_alg_a_blocks_cover_powerups;
+          Alcotest.test_case "Lemma 4 (load-dependent cost)" `Quick
+            test_alg_a_lemma4_load_dependent;
+          Alcotest.test_case "rejects time-dependent costs" `Quick
+            test_alg_a_rejects_time_dependent;
+          Alcotest.test_case "Theorem 8 bound on scenario" `Quick
+            test_alg_a_competitive_on_scenario;
+          Alcotest.test_case "reduced-grid scalable mode" `Quick test_alg_a_reduced_grid_mode;
+          Alcotest.test_case "grid dimension mismatch" `Quick
+            test_prefix_grid_dimension_mismatch
+        ] );
+      ( "alg_b",
+        [ Alcotest.test_case "Figure 3 power-downs (W_5 = {1,2})" `Quick
+            test_alg_b_figure3_powerdowns;
+          Alcotest.test_case "own slot's idle cost excluded" `Quick
+            test_alg_b_runtime_excludes_own_slot;
+          Alcotest.test_case "dominates optimal prefix" `Quick test_alg_b_dominates_prefix_opt;
+          Alcotest.test_case "feasible" `Quick test_alg_b_feasible;
+          Alcotest.test_case "up/down balance" `Quick test_alg_b_updown_balance;
+          Alcotest.test_case "requires positive beta" `Quick test_alg_b_requires_positive_beta;
+          Alcotest.test_case "Theorem 13 bound on scenario" `Quick test_alg_b_theorem13_bound;
+          Alcotest.test_case "c(I)" `Quick test_c_of_instance
+        ] );
+      ( "alg_c",
+        [ Alcotest.test_case "sub-slot counts" `Quick test_alg_c_parts_formula;
+          Alcotest.test_case "eq. (16): c(I~) <= eps" `Quick test_alg_c_refined_constant_small;
+          Alcotest.test_case "Lemma 14: repair does not increase cost" `Quick
+            test_alg_c_lemma14_cost_not_increased;
+          Alcotest.test_case "feasible" `Quick test_alg_c_feasible;
+          Alcotest.test_case "configs come from sub-schedule" `Quick
+            test_alg_c_configs_from_sub_schedule;
+          Alcotest.test_case "Theorem 15 bound on scenario" `Quick test_alg_c_theorem15_bound;
+          Alcotest.test_case "rejects eps <= 0" `Quick test_alg_c_rejects_bad_eps
+        ] );
+      ( "edge_cases",
+        [ Alcotest.test_case "all-zero loads" `Quick test_all_zero_loads;
+          Alcotest.test_case "C on a time-independent instance" `Quick
+            test_alg_c_on_time_independent
+        ] );
+      ( "streaming",
+        [ Alcotest.test_case "matches batch A decision-for-decision" `Quick
+            test_streaming_matches_batch_a;
+          Alcotest.test_case "matches batch B decision-for-decision" `Quick
+            test_streaming_matches_batch_b;
+          Alcotest.test_case "validation" `Quick test_streaming_validation;
+          Alcotest.test_case "config tracking" `Quick test_streaming_config_tracking
+        ] );
+      ( "baselines",
+        [ Alcotest.test_case "always-on constant & feasible" `Quick test_always_on_constant;
+          Alcotest.test_case "follow-demand is pointwise argmin" `Quick
+            test_follow_demand_is_pointwise_argmin;
+          Alcotest.test_case "receding horizon, full window = OPT" `Quick
+            test_receding_horizon_full_window_is_optimal;
+          Alcotest.test_case "receding horizon feasible" `Quick test_receding_horizon_feasible;
+          Alcotest.test_case "LCP requires d=1" `Quick test_lcp_requires_d1;
+          Alcotest.test_case "LCP feasible and competitive-ish" `Quick
+            test_lcp_feasible_and_reasonable
+        ] );
+      ( "adversary",
+        [ Alcotest.test_case "exponential separation" `Quick
+            test_chasing_exponential_separation;
+          Alcotest.test_case "ratio grows with d" `Quick test_chasing_monotone_in_d;
+          Alcotest.test_case "bad d rejected" `Quick test_chasing_bad_d;
+          Alcotest.test_case "reactive adversary forces ratio -> 2" `Quick
+            test_reactive_adversary_forces_two;
+          Alcotest.test_case "reactive adversary instance valid" `Quick
+            test_reactive_adversary_instance_valid
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "evaluate" `Quick test_harness_evaluate;
+          Alcotest.test_case "run_suite (static)" `Quick test_harness_run_suite_static;
+          Alcotest.test_case "run_suite (dynamic)" `Quick test_harness_run_suite_dynamic;
+          Alcotest.test_case "bound formulas" `Quick test_competitive_bounds
+        ] )
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the fleet planner and the schedule statistics. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+let cand ?(capex = 1.) ?(beta = 1.) ?(cap = 1.) ?(idle = 0.5) ~count name =
+  { Planner.Fleet.server =
+      Model.Server_type.make ~name ~count ~switching_cost:beta ~cap ();
+    capex;
+    fn = Convex.Fn.power ~idle ~coef:0.5 ~expo:2. }
+
+(* --- Fleet planner --- *)
+
+let test_planner_single_type_sizing () =
+  (* One type: the planner must pick just enough servers — capex pushes
+     the count down, capacity feasibility pushes it up. *)
+  let candidates = [| cand ~capex:10. ~count:8 "node" |] in
+  let load = [| 3.; 3.; 3.; 3. |] in
+  let p = Planner.Fleet.optimize ~candidates ~load () in
+  checki "exactly the peak" 3 p.Planner.Fleet.counts.(0);
+  checkb "exhaustive" true p.Planner.Fleet.exhaustive;
+  checkf 1e-9 "capex accounted" 30. p.Planner.Fleet.capex
+
+let test_planner_matches_bruteforce () =
+  (* Exhaustive reference over the whole lattice. *)
+  let candidates =
+    [| cand ~capex:2. ~beta:1. ~cap:1. ~count:3 "a";
+       cand ~capex:3. ~beta:2. ~cap:2. ~idle:0.8 ~count:2 "b" |]
+  in
+  let load = [| 1.; 3.; 2.; 0.; 4. |] in
+  let p = Planner.Fleet.optimize ~candidates ~load () in
+  let brute = ref infinity in
+  for a = 0 to 3 do
+    for b = 0 to 2 do
+      let cap = float_of_int a +. (2. *. float_of_int b) in
+      if cap >= 4. then begin
+        let types =
+          [| Model.Server_type.with_count candidates.(0).Planner.Fleet.server a;
+             Model.Server_type.with_count candidates.(1).Planner.Fleet.server b |]
+        in
+        let fns = Array.map (fun c -> c.Planner.Fleet.fn) candidates in
+        let inst = Model.Instance.make_static ~types ~load ~fns () in
+        let total =
+          (2. *. float_of_int a) +. (3. *. float_of_int b)
+          +. (Offline.Dp.solve_optimal inst).Offline.Dp.cost
+        in
+        if total < !brute then brute := total
+      end
+    done
+  done;
+  checkb "matches brute force" true
+    (Util.Float_cmp.close ~eps:1e-6 p.Planner.Fleet.total !brute)
+
+let test_planner_capex_tradeoff () =
+  (* Free capex: buy the whole fleet never hurts; expensive capex: buy
+     the minimum feasible. *)
+  let mk capex = [| cand ~capex ~count:5 "node" |] in
+  let load = [| 2.; 2. |] in
+  let cheap = Planner.Fleet.optimize ~candidates:(mk 0.) ~load () in
+  let dear = Planner.Fleet.optimize ~candidates:(mk 1000.) ~load () in
+  checkb "cheap capex buys at least as many" true
+    (cheap.Planner.Fleet.counts.(0) >= dear.Planner.Fleet.counts.(0));
+  checki "dear capex buys the minimum" 2 dear.Planner.Fleet.counts.(0)
+
+let test_planner_prunes () =
+  let candidates =
+    [| cand ~capex:5. ~count:6 "a"; cand ~capex:5. ~cap:2. ~count:6 "b" |]
+  in
+  let load = [| 2.; 2.; 2. |] in
+  let p = Planner.Fleet.optimize ~candidates ~load () in
+  (* Lattice has 49 points; pruning must skip a decent share. *)
+  checkb "prunes" true (p.Planner.Fleet.evaluated < 49);
+  checkb "still exhaustive" true p.Planner.Fleet.exhaustive
+
+let test_planner_budget_flag () =
+  let candidates =
+    [| cand ~capex:0.1 ~count:6 "a"; cand ~capex:0.1 ~cap:2. ~count:6 "b" |]
+  in
+  let load = [| 2.; 2. |] in
+  let p = Planner.Fleet.optimize ~budget:3 ~candidates ~load () in
+  checkb "budget respected" true (p.Planner.Fleet.evaluated <= 3);
+  checkb "flagged non-exhaustive" false p.Planner.Fleet.exhaustive
+
+let test_planner_validation () =
+  let candidates = [| cand ~count:1 "tiny" |] in
+  checkb "infeasible peak" true
+    (try ignore (Planner.Fleet.optimize ~candidates ~load:[| 5. |] ()); false
+     with Invalid_argument _ -> true);
+  checkb "no candidates" true
+    (try ignore (Planner.Fleet.optimize ~candidates:[||] ~load:[| 1. |] ()); false
+     with Invalid_argument _ -> true);
+  checkb "empty load" true
+    (try ignore (Planner.Fleet.optimize ~candidates ~load:[||] ()); false
+     with Invalid_argument _ -> true)
+
+let test_planner_robust_covers_all_peaks () =
+  let candidates = [| cand ~capex:5. ~count:8 "node" |] in
+  let weekday = [| 2.; 5.; 5.; 2. |] and weekend = [| 1.; 2.; 7.; 1. |] in
+  let p =
+    Planner.Fleet.optimize_robust ~candidates ~scenarios:[ weekday; weekend ] ()
+  in
+  checkb "covers the joint peak" true (p.Planner.Fleet.counts.(0) >= 7);
+  (* Worst-case objective dominates each scenario's own cost. *)
+  let per_scenario load =
+    (Planner.Fleet.optimize ~candidates ~load ()).Planner.Fleet.operating
+  in
+  checkb "worst >= weekday alone" true
+    (p.Planner.Fleet.operating +. 1e-6 >= per_scenario weekday);
+  checkb "worst >= weekend alone" true
+    (p.Planner.Fleet.operating +. 1e-6 >= per_scenario weekend)
+
+let test_planner_robust_mean_cheaper_than_worst () =
+  let candidates =
+    [| cand ~capex:2. ~count:4 "a"; cand ~capex:3. ~cap:2. ~count:3 "b" |]
+  in
+  let scenarios = [ [| 1.; 4.; 2. |]; [| 3.; 1.; 3. |] ] in
+  let worst = Planner.Fleet.optimize_robust ~candidates ~scenarios () in
+  let mean = Planner.Fleet.optimize_robust ~objective:`Mean ~candidates ~scenarios () in
+  checkb "mean objective <= worst objective" true
+    (mean.Planner.Fleet.total <= worst.Planner.Fleet.total +. 1e-9)
+
+let test_planner_robust_validation () =
+  let candidates = [| cand ~count:2 "a" |] in
+  checkb "no scenarios" true
+    (try ignore (Planner.Fleet.optimize_robust ~candidates ~scenarios:[] ()); false
+     with Invalid_argument _ -> true)
+
+(* --- Schedule statistics --- *)
+
+let test_schedule_stats () =
+  let s = Model.Schedule.of_lists [ [ 2 ]; [ 3 ]; [ 1 ]; [ 0 ]; [ 2 ] ] in
+  let st = Model.Schedule.stats s ~typ:0 in
+  checki "peak" 3 st.Model.Schedule.peak;
+  checkf 1e-9 "mean" 1.6 st.Model.Schedule.mean_active;
+  (* Ups: 2 (t0) + 1 (t1) + 2 (t4) = 5; downs: 2 (t2) + 1 (t3) = 3. *)
+  checki "ups" 5 st.Model.Schedule.power_ups;
+  checki "downs" 3 st.Model.Schedule.power_downs;
+  checki "busy" 4 st.Model.Schedule.busy_slots
+
+let test_schedule_stats_consistent_with_costs () =
+  (* power_ups * beta equals the switching cost for a one-type schedule
+     without down costs. *)
+  let inst = Sim.Scenarios.homogeneous ~horizon:20 () in
+  let { Offline.Dp.schedule; _ } = Offline.Dp.solve_optimal inst in
+  let st = Model.Schedule.stats schedule ~typ:0 in
+  let beta = inst.Model.Instance.types.(0).Model.Server_type.switching_cost in
+  checkb "ups price the switching" true
+    (Util.Float_cmp.close ~eps:1e-9
+       (float_of_int st.Model.Schedule.power_ups *. beta)
+       (Model.Cost.schedule_switching inst schedule))
+
+let () =
+  Alcotest.run "planner"
+    [ ( "fleet",
+        [ Alcotest.test_case "single-type sizing" `Quick test_planner_single_type_sizing;
+          Alcotest.test_case "matches brute force" `Quick test_planner_matches_bruteforce;
+          Alcotest.test_case "capex trade-off" `Quick test_planner_capex_tradeoff;
+          Alcotest.test_case "pruning" `Quick test_planner_prunes;
+          Alcotest.test_case "budget flag" `Quick test_planner_budget_flag;
+          Alcotest.test_case "validation" `Quick test_planner_validation;
+          Alcotest.test_case "robust: covers all peaks" `Quick
+            test_planner_robust_covers_all_peaks;
+          Alcotest.test_case "robust: mean vs worst objective" `Quick
+            test_planner_robust_mean_cheaper_than_worst;
+          Alcotest.test_case "robust: validation" `Quick test_planner_robust_validation
+        ] );
+      ( "schedule_stats",
+        [ Alcotest.test_case "basic counters" `Quick test_schedule_stats;
+          Alcotest.test_case "consistent with switching cost" `Quick
+            test_schedule_stats_consistent_with_costs
+        ] )
+    ]

@@ -1,0 +1,544 @@
+(* Property-based tests (qcheck): convexity preservation, dispatch
+   optimality, transform laws, DP-vs-brute-force equivalence, the
+   approximation guarantee (Theorem 16), and the competitive bounds of
+   Theorems 8/13/15 and Corollary 9 on randomised instances.
+
+   Instances are derived deterministically from a generated integer seed,
+   so qcheck shrinking walks over seeds and every failure is replayable. *)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let mk_test ?(count = 30) ~name prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count seed_gen prop)
+
+(* --- Convex functions --- *)
+
+let random_fn rng =
+  match Util.Prng.int rng 4 with
+  | 0 -> Convex.Fn.const (Util.Prng.float rng 2.)
+  | 1 ->
+      Convex.Fn.affine ~intercept:(Util.Prng.float rng 2.) ~slope:(Util.Prng.float rng 2.)
+  | 2 ->
+      Convex.Fn.power ~idle:(Util.Prng.float rng 2.) ~coef:(Util.Prng.float rng 2.)
+        ~expo:(1. +. Util.Prng.float rng 2.)
+  | _ ->
+      Convex.Fn.quadratic ~c0:(Util.Prng.float rng 1.) ~c1:(Util.Prng.float rng 1.)
+        ~c2:(Util.Prng.float rng 1.)
+
+let prop_fn_convex_increasing seed =
+  let rng = Util.Prng.create seed in
+  let f = random_fn rng in
+  Convex.Fn.check_convex ~lo:0. ~hi:4. f && Convex.Fn.check_increasing ~lo:0. ~hi:4. f
+
+let prop_fn_combinators_preserve_convexity seed =
+  let rng = Util.Prng.create seed in
+  let f = random_fn rng and g = random_fn rng in
+  let k = Util.Prng.float rng 3. in
+  let candidates =
+    [ Convex.Fn.scale k f;
+      Convex.Fn.add f g;
+      Convex.Fn.shift_idle k f;
+      Convex.Fn.compose_scaled ~outer:(0.5 +. k) ~inner:(0.1 +. Util.Prng.float rng 2.) f ]
+  in
+  List.for_all
+    (fun h -> Convex.Fn.check_convex ~lo:0. ~hi:4. h && Convex.Fn.check_increasing ~lo:0. ~hi:4. h)
+    candidates
+
+let prop_fn_deriv_matches_finite_difference seed =
+  let rng = Util.Prng.create seed in
+  let f = random_fn rng in
+  let z = 0.1 +. Util.Prng.float rng 3. in
+  let h = 1e-5 in
+  let numeric = (Convex.Fn.eval f (z +. h) -. Convex.Fn.eval f (z -. h)) /. (2. *. h) in
+  Float.abs (numeric -. Convex.Fn.deriv f z) < 1e-3 *. Float.max 1. (Float.abs numeric)
+
+(* --- Dispatch --- *)
+
+let random_pieces rng =
+  let d = 1 + Util.Prng.int rng 4 in
+  Array.init d (fun _ ->
+      { Convex.Dispatch.fn = random_fn rng; upper = 0.3 +. Util.Prng.float rng 0.9 })
+
+let prop_dispatch_valid_simplex_point seed =
+  let rng = Util.Prng.create seed in
+  let pieces = random_pieces rng in
+  let cap = Array.fold_left (fun acc p -> acc +. p.Convex.Dispatch.upper) 0. pieces in
+  let total = Util.Prng.float rng cap in
+  match Convex.Dispatch.solve pieces ~total with
+  | None -> false (* within capacity, must be feasible *)
+  | Some { assignment; _ } ->
+      let sum = Array.fold_left ( +. ) 0. assignment in
+      Float.abs (sum -. total) < 1e-6
+      && Array.for_all2
+           (fun z p -> z >= -1e-9 && z <= p.Convex.Dispatch.upper +. 1e-6)
+           assignment pieces
+
+let prop_dispatch_beats_random_feasible_points seed =
+  let rng = Util.Prng.create seed in
+  let pieces = random_pieces rng in
+  let cap = Array.fold_left (fun acc p -> acc +. p.Convex.Dispatch.upper) 0. pieces in
+  let total = Util.Prng.float rng cap in
+  match Convex.Dispatch.solve pieces ~total with
+  | None -> false
+  | Some { objective; _ } ->
+      (* Sample random feasible assignments; none may beat the solver by
+         more than the tolerance. *)
+      let d = Array.length pieces in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        (* Random point: draw weights, scale to total, clamp to caps and
+           dump the overflow greedily. *)
+        let w = Array.init d (fun _ -> Util.Prng.float rng 1. +. 1e-6) in
+        let wsum = Array.fold_left ( +. ) 0. w in
+        let z = Array.map (fun wi -> wi /. wsum *. total) w in
+        let overflow = ref 0. in
+        Array.iteri
+          (fun j zj ->
+            let cap_j = pieces.(j).Convex.Dispatch.upper in
+            if zj > cap_j then begin
+              overflow := !overflow +. (zj -. cap_j);
+              z.(j) <- cap_j
+            end)
+          z;
+        Array.iteri
+          (fun j zj ->
+            if !overflow > 0. then begin
+              let room = pieces.(j).Convex.Dispatch.upper -. zj in
+              let take = Float.min room !overflow in
+              z.(j) <- zj +. take;
+              overflow := !overflow -. take
+            end)
+          z;
+        if !overflow <= 1e-9 then begin
+          let c = ref 0. in
+          Array.iteri (fun j zj -> c := !c +. Convex.Fn.eval pieces.(j).Convex.Dispatch.fn zj) z;
+          if !c < objective -. 1e-4 *. Float.max 1. objective then ok := false
+        end
+      done;
+      !ok
+
+let prop_dispatch_matches_greedy seed =
+  let rng = Util.Prng.create seed in
+  let pieces = random_pieces rng in
+  let cap = Array.fold_left (fun acc p -> acc +. p.Convex.Dispatch.upper) 0. pieces in
+  let total = Util.Prng.float rng cap in
+  match (Convex.Dispatch.solve pieces ~total, Convex.Dispatch.greedy ~steps:4000 pieces ~total) with
+  | Some kkt, Some grd ->
+      kkt.Convex.Dispatch.objective
+      <= grd.Convex.Dispatch.objective +. (1e-2 *. Float.max 1. grd.Convex.Dispatch.objective)
+  | _ -> false
+
+(* --- Transforms --- *)
+
+let prop_ramp_line_dominated_and_idempotent seed =
+  let rng = Util.Prng.create seed in
+  let n = 2 + Util.Prng.int rng 8 in
+  let values = Array.make n 0 in
+  for i = 1 to n - 1 do
+    values.(i) <- values.(i - 1) + 1 + Util.Prng.int rng 3
+  done;
+  let costs = Array.init n (fun _ -> Util.Prng.float rng 10.) in
+  let beta = Util.Prng.float rng 3. in
+  let once = Array.copy costs in
+  Offline.Transform.ramp_line ~beta ~values ~costs:once;
+  (* Transform never increases any entry... *)
+  let dominated = Array.for_all2 (fun a b -> a <= b +. 1e-12) once costs in
+  (* ...and is idempotent: re-applying it changes nothing. *)
+  let twice = Array.copy once in
+  Offline.Transform.ramp_line ~beta ~values ~costs:twice;
+  dominated && Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-12) twice once
+
+(* --- Offline DP --- *)
+
+let tiny_instance rng ~dynamic =
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 2 + Util.Prng.int rng 3 in
+  if dynamic then Sim.Scenarios.random_dynamic ~rng ~d ~horizon ~max_count:2
+  else Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:2
+
+let prop_dp_equals_bruteforce seed =
+  let rng = Util.Prng.create seed in
+  let inst = tiny_instance rng ~dynamic:(Util.Prng.bool rng) in
+  let dp = Offline.Dp.solve_optimal inst in
+  let bf = Offline.Brute_force.solve inst in
+  Util.Float_cmp.close ~eps:1e-6 dp.Offline.Dp.cost bf.Offline.Dp.cost
+  && Util.Float_cmp.close ~eps:1e-6 dp.Offline.Dp.cost
+       (Model.Cost.schedule inst dp.Offline.Dp.schedule)
+
+let prop_dp_schedule_feasible seed =
+  let rng = Util.Prng.create seed in
+  let inst = tiny_instance rng ~dynamic:(Util.Prng.bool rng) in
+  Model.Schedule.feasible inst (Offline.Dp.solve_optimal inst).Offline.Dp.schedule
+
+let prop_approx_theorem16 seed =
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 2 + Util.Prng.int rng 4 in
+  let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:7 in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  List.for_all
+    (fun eps ->
+      let c = (Offline.Dp.solve_approx ~eps inst).Offline.Dp.cost in
+      c <= ((1. +. eps) *. opt) +. 1e-6 && c >= opt -. 1e-6)
+    [ 1.; 0.3 ]
+
+(* --- Online algorithms --- *)
+
+let prop_alg_a_theorem8 seed =
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 3 + Util.Prng.int rng 5 in
+  let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:3 in
+  let r = Online.Alg_a.run inst in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let cost = Model.Cost.schedule inst r.Online.Alg_a.schedule in
+  Model.Schedule.feasible inst r.Online.Alg_a.schedule
+  && cost <= (((2. *. float_of_int d) +. 1.) *. opt) +. 1e-6
+
+let prop_alg_a_corollary9 seed =
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 3 in
+  let horizon = 3 + Util.Prng.int rng 5 in
+  let inst = Sim.Scenarios.load_independent ~d ~horizon ~seed:(Util.Prng.int rng 100000) in
+  let r = Online.Alg_a.run inst in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let cost = Model.Cost.schedule inst r.Online.Alg_a.schedule in
+  cost <= ((2. *. float_of_int d) *. opt) +. 1e-6
+
+let prop_alg_a_dominance seed =
+  let rng = Util.Prng.create seed in
+  let inst =
+    Sim.Scenarios.random_static ~rng ~d:(1 + Util.Prng.int rng 2)
+      ~horizon:(3 + Util.Prng.int rng 4) ~max_count:3
+  in
+  let r = Online.Alg_a.run inst in
+  let ok = ref true in
+  Array.iteri
+    (fun t hat ->
+      if not (Model.Config.dominates r.Online.Alg_a.schedule.(t) hat) then ok := false)
+    r.Online.Alg_a.prefix_last;
+  !ok
+
+let prop_alg_b_theorem13 seed =
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 3 + Util.Prng.int rng 4 in
+  let inst = Sim.Scenarios.random_dynamic ~rng ~d ~horizon ~max_count:3 in
+  let r = Online.Alg_b.run inst in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let cost = Model.Cost.schedule inst r.Online.Alg_b.schedule in
+  let bound = (2. *. float_of_int d) +. 1. +. Online.Alg_b.c_of_instance inst in
+  Model.Schedule.feasible inst r.Online.Alg_b.schedule && cost <= (bound *. opt) +. 1e-6
+
+let prop_alg_c_theorem15 seed =
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 3 + Util.Prng.int rng 3 in
+  let inst = Sim.Scenarios.random_dynamic ~rng ~d ~horizon ~max_count:2 in
+  let eps = 0.25 +. Util.Prng.float rng 0.75 in
+  let r = Online.Alg_c.run ~eps inst in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let cost = Model.Cost.schedule inst r.Online.Alg_c.schedule in
+  let bound = (2. *. float_of_int d) +. 1. +. eps in
+  Model.Schedule.feasible inst r.Online.Alg_c.schedule
+  && cost <= (bound *. opt) +. 1e-6
+  && r.Online.Alg_c.c_refined <= eps +. 1e-9
+
+let prop_prefix_cost_monotone seed =
+  let rng = Util.Prng.create seed in
+  let inst =
+    Sim.Scenarios.random_static ~rng ~d:(1 + Util.Prng.int rng 2)
+      ~horizon:(3 + Util.Prng.int rng 4) ~max_count:3
+  in
+  let engine = Online.Prefix_opt.create inst in
+  let prev = ref 0. in
+  let ok = ref true in
+  for _ = 1 to Model.Instance.horizon inst do
+    let { Online.Prefix_opt.prefix_cost; _ } = Online.Prefix_opt.step engine in
+    (* A longer prefix can only cost more: restricting an optimal longer
+       schedule yields a feasible shorter one. *)
+    if prefix_cost < !prev -. 1e-9 then ok := false;
+    prev := prefix_cost
+  done;
+  !ok
+
+let prop_baselines_feasible seed =
+  let rng = Util.Prng.create seed in
+  let inst =
+    Sim.Scenarios.random_static ~rng ~d:(1 + Util.Prng.int rng 2)
+      ~horizon:(3 + Util.Prng.int rng 3) ~max_count:3
+  in
+  Model.Schedule.feasible inst (Online.Baselines.follow_demand inst)
+  && Model.Schedule.feasible inst (Online.Baselines.receding_horizon ~window:2 inst)
+
+let prop_graph_paper_equals_dp seed =
+  (* Two independent implementations of Section 4.1 agree. *)
+  let rng = Util.Prng.create seed in
+  let inst = tiny_instance rng ~dynamic:(Util.Prng.bool rng) in
+  let g = Offline.Graph_paper.solve inst in
+  let dp = Offline.Dp.solve_optimal inst in
+  Util.Float_cmp.close ~eps:1e-6 g.Offline.Dp.cost dp.Offline.Dp.cost
+  && Model.Schedule.feasible inst g.Offline.Dp.schedule
+
+let prop_witness_invariant seed =
+  (* Eq. (18)'s construction satisfies invariant (19) and the Theorem 16
+     cost chain on every random optimum. *)
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 2 + Util.Prng.int rng 4 in
+  let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:8 in
+  let gamma = 1.2 +. Util.Prng.float rng 1.3 in
+  let opt = Offline.Dp.solve_optimal inst in
+  let grid _ = Offline.Grid.power ~gamma (Model.Instance.counts inst) in
+  let w = Offline.Approx_witness.build ~gamma ~grid opt.Offline.Dp.schedule in
+  Offline.Approx_witness.invariant_holds ~gamma ~opt:opt.Offline.Dp.schedule ~witness:w
+  && Model.Schedule.feasible inst w
+  && Model.Cost.schedule inst w <= (((2. *. gamma) -. 1.) *. opt.Offline.Dp.cost) +. 1e-6
+
+let prop_blocks_partition seed =
+  (* Lemma 7's combinatorial core: every block of algorithm A contains
+     exactly one special time slot. *)
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 4 + Util.Prng.int rng 8 in
+  let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:3 in
+  let r = Online.Alg_a.run inst in
+  let ok = ref true in
+  for typ = 0 to d - 1 do
+    let blocks = Online.Analysis.blocks_a r ~typ ~horizon in
+    let taus = Online.Analysis.special_slots blocks in
+    let per = Online.Analysis.blocks_per_special blocks taus in
+    if List.fold_left ( + ) 0 per <> List.length blocks then ok := false;
+    if List.exists (fun c -> c < 1) per then ok := false
+  done;
+  !ok
+
+let prop_fractional_refine_preserves_g seed =
+  (* g evaluated on matching whole/unit configurations agrees. *)
+  let rng = Util.Prng.create seed in
+  let inst = Sim.Scenarios.random_static ~rng ~d:1 ~horizon:3 ~max_count:3 in
+  let k = 2 + Util.Prng.int rng 4 in
+  let refined = Fractional.Relax.refine ~granularity:k inst in
+  let time = Util.Prng.int rng 3 in
+  let ok = ref true in
+  for whole = 1 to Model.Instance.max_count inst ~typ:0 do
+    let a = Model.Cost.operating inst ~time [| whole |] in
+    let b = Model.Cost.operating refined ~time [| whole * k |] in
+    if Float.is_finite a <> Float.is_finite b then ok := false
+    else if Float.is_finite a && not (Util.Float_cmp.close ~eps:1e-5 a b) then ok := false
+  done;
+  !ok
+
+let prop_ramp_across_random_grids seed =
+  (* The mismatched-grid transform equals the brute-force minimum. *)
+  let rng = Util.Prng.create seed in
+  let axis () =
+    let n = 1 + Util.Prng.int rng 5 in
+    let vals = Array.make n 0 in
+    for i = 1 to n - 1 do
+      vals.(i) <- vals.(i - 1) + 1 + Util.Prng.int rng 3
+    done;
+    vals
+  in
+  let src_values = axis () and dst_values = axis () in
+  let src = Array.init (Array.length src_values) (fun _ -> Util.Prng.float rng 10.) in
+  let beta = Util.Prng.float rng 3. in
+  let got = Offline.Transform.ramp_between ~beta ~src_values ~src ~dst_values in
+  let ok = ref true in
+  Array.iteri
+    (fun i vi ->
+      let best = ref infinity in
+      Array.iteri
+        (fun y cy ->
+          let c = cy +. (beta *. float_of_int (max 0 (vi - src_values.(y)))) in
+          if c < !best then best := c)
+        src;
+      if Float.abs (!best -. got.(i)) > 1e-9 then ok := false)
+    dst_values;
+  !ok
+
+let prop_sexp_roundtrip seed =
+  (* print . parse = id on generated trees. *)
+  let rng = Util.Prng.create seed in
+  let rec gen depth =
+    if depth = 0 || Util.Prng.bool rng then
+      Util.Sexp.Atom (Printf.sprintf "a%d" (Util.Prng.int rng 1000))
+    else
+      Util.Sexp.List (List.init (Util.Prng.int rng 4) (fun _ -> gen (depth - 1)))
+  in
+  let tree = gen 4 in
+  match Util.Sexp.parse (Util.Sexp.to_string tree) with
+  | Ok back -> back = tree
+  | Error _ -> false
+
+let prop_csv_roundtrip seed =
+  let rng = Util.Prng.create seed in
+  let cell () =
+    let glyphs = [| "x"; "1.5"; "a,b"; "q\"q"; "plain text"; "" |] in
+    glyphs.(Util.Prng.int rng (Array.length glyphs))
+  in
+  let cols = 1 + Util.Prng.int rng 4 in
+  let header = List.init cols (fun i -> Printf.sprintf "c%d" i) in
+  let rows = List.init (1 + Util.Prng.int rng 5) (fun _ -> List.init cols (fun _ -> cell ())) in
+  let path = Filename.temp_file "prop" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Util.Csv.write ~path ~header rows;
+      Util.Csv.read_body ~path ~header = rows)
+
+let prop_streaming_equals_batch seed =
+  (* The streaming session replays the batch algorithm exactly. *)
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 3 + Util.Prng.int rng 5 in
+  let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:3 in
+  let batch = (Online.Alg_a.run inst).Online.Alg_a.schedule in
+  let session =
+    Online.Streaming.alg_a ~max_horizon:horizon ~types:inst.Model.Instance.types
+      ~fns:(Array.init d (fun typ -> inst.Model.Instance.cost ~time:0 ~typ))
+      ()
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun t load ->
+      let x = Online.Streaming.feed session load in
+      if not (Model.Config.equal x batch.(t)) then ok := false)
+    inst.Model.Instance.load;
+  !ok
+
+let prop_fold_switching_identity seed =
+  (* Every schedule costs the same under the folded instance. *)
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 2 + Util.Prng.int rng 4 in
+  let types =
+    Array.init d (fun j ->
+        Model.Server_type.make
+          ~name:(Printf.sprintf "t%d" j)
+          ~count:(1 + Util.Prng.int rng 2)
+          ~switching_cost:(Util.Prng.float rng 3.)
+          ~switch_down:(Util.Prng.float rng 3.)
+          ~cap:(1. +. Util.Prng.float rng 2.)
+          ())
+  in
+  let fns = Array.init d (fun _ -> random_fn rng) in
+  let load = Array.init horizon (fun _ -> 0.) in
+  let inst = Model.Instance.make_static ~types ~load ~fns () in
+  let folded = Model.Instance.fold_switching inst in
+  let schedule =
+    Array.init horizon (fun _ ->
+        Array.init d (fun j -> Util.Prng.int rng (types.(j).Model.Server_type.count + 1)))
+  in
+  Util.Float_cmp.close ~eps:1e-9
+    (Model.Cost.schedule inst schedule)
+    (Model.Cost.schedule folded schedule)
+
+let prop_opt_monotone_in_fleet seed =
+  (* Adding servers never raises the optimal cost. *)
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 2 + Util.Prng.int rng 3 in
+  let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:2 in
+  let bigger_types =
+    Array.map
+      (fun st -> Model.Server_type.with_count st (st.Model.Server_type.count + 1))
+      inst.Model.Instance.types
+  in
+  let bigger =
+    Model.Instance.make_static ~types:bigger_types ~load:inst.Model.Instance.load
+      ~fns:(Array.init d (fun typ -> inst.Model.Instance.cost ~time:0 ~typ))
+      ()
+  in
+  (Offline.Dp.solve_optimal bigger).Offline.Dp.cost
+  <= (Offline.Dp.solve_optimal inst).Offline.Dp.cost +. 1e-6
+
+let prop_sim_conservation seed =
+  (* served + unserved <= arrivals under any boot delays / failures. *)
+  let rng = Util.Prng.create seed in
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 3 + Util.Prng.int rng 4 in
+  let inst = Sim.Scenarios.random_static ~rng ~d ~horizon ~max_count:3 in
+  let { Offline.Dp.schedule; _ } = Offline.Dp.solve_optimal inst in
+  let config =
+    { Dcsim.Sim.boot_delay = Array.init d (fun _ -> Util.Prng.int rng 3);
+      carry_backlog = Util.Prng.bool rng;
+      failures =
+        (if Util.Prng.bool rng then
+           Some { Dcsim.Sim.rate = Util.Prng.float rng 0.3; repair_slots = 1 + Util.Prng.int rng 3; seed }
+         else None) }
+  in
+  let m = Dcsim.Sim.run_schedule ~config inst schedule in
+  let arrived = Array.fold_left ( +. ) 0. inst.Model.Instance.load in
+  m.Dcsim.Sim.served +. m.Dcsim.Sim.unserved <= arrived +. 1e-6
+  && m.Dcsim.Sim.served >= -.1e-9
+
+let prop_opt_lower_bounds_everything seed =
+  (* OPT really is minimal among everything else we can produce. *)
+  let rng = Util.Prng.create seed in
+  let inst =
+    Sim.Scenarios.random_static ~rng ~d:(1 + Util.Prng.int rng 2)
+      ~horizon:(3 + Util.Prng.int rng 3) ~max_count:3
+  in
+  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+  let candidates =
+    [ Model.Cost.schedule inst (Online.Alg_a.run inst).Online.Alg_a.schedule;
+      Model.Cost.schedule inst (Online.Baselines.follow_demand inst);
+      Model.Cost.schedule inst (Online.Baselines.receding_horizon ~window:2 inst) ]
+  in
+  List.for_all (fun c -> c >= opt -. 1e-6) candidates
+
+let () =
+  Alcotest.run "props"
+    [ ( "convex",
+        [ mk_test ~count:100 ~name:"constructors produce convex increasing fns"
+            prop_fn_convex_increasing;
+          mk_test ~count:100 ~name:"combinators preserve convexity"
+            prop_fn_combinators_preserve_convexity;
+          mk_test ~count:100 ~name:"closed derivative = finite difference"
+            prop_fn_deriv_matches_finite_difference
+        ] );
+      ( "dispatch",
+        [ mk_test ~count:100 ~name:"solution is a valid capped-simplex point"
+            prop_dispatch_valid_simplex_point;
+          mk_test ~count:50 ~name:"no random feasible point beats the solver"
+            prop_dispatch_beats_random_feasible_points;
+          mk_test ~count:50 ~name:"agrees with the greedy oracle" prop_dispatch_matches_greedy
+        ] );
+      ( "transform",
+        [ mk_test ~count:100 ~name:"ramp_line dominates input and is idempotent"
+            prop_ramp_line_dominated_and_idempotent
+        ] );
+      ( "offline",
+        [ mk_test ~count:40 ~name:"DP = brute force" prop_dp_equals_bruteforce;
+          mk_test ~count:40 ~name:"DP schedule feasible" prop_dp_schedule_feasible;
+          mk_test ~count:20 ~name:"Theorem 16: (1+eps)-approximation" prop_approx_theorem16
+        ] );
+      ( "systems",
+        [ mk_test ~count:25 ~name:"streaming session = batch run" prop_streaming_equals_batch;
+          mk_test ~count:40 ~name:"switch-down folding identity" prop_fold_switching_identity;
+          mk_test ~count:25 ~name:"OPT monotone in fleet size" prop_opt_monotone_in_fleet;
+          mk_test ~count:30 ~name:"simulator volume conservation" prop_sim_conservation
+        ] );
+      ( "extensions",
+        [ mk_test ~count:25 ~name:"explicit graph = transform DP" prop_graph_paper_equals_dp;
+          mk_test ~count:25 ~name:"witness X' invariant and cost chain" prop_witness_invariant;
+          mk_test ~count:30 ~name:"blocks partition by special slots" prop_blocks_partition;
+          mk_test ~count:30 ~name:"fractional refinement preserves g" prop_fractional_refine_preserves_g;
+          mk_test ~count:100 ~name:"ramp across random grids" prop_ramp_across_random_grids;
+          mk_test ~count:100 ~name:"sexp print/parse roundtrip" prop_sexp_roundtrip;
+          mk_test ~count:50 ~name:"csv write/read roundtrip" prop_csv_roundtrip
+        ] );
+      ( "online",
+        [ mk_test ~count:25 ~name:"Theorem 8: A within 2d+1" prop_alg_a_theorem8;
+          mk_test ~count:25 ~name:"Corollary 9: A within 2d (load-independent)"
+            prop_alg_a_corollary9;
+          mk_test ~count:25 ~name:"A dominates optimal prefixes" prop_alg_a_dominance;
+          mk_test ~count:20 ~name:"Theorem 13: B within 2d+1+c(I)" prop_alg_b_theorem13;
+          mk_test ~count:15 ~name:"Theorem 15: C within 2d+1+eps" prop_alg_c_theorem15;
+          mk_test ~count:25 ~name:"optimal prefix cost is monotone" prop_prefix_cost_monotone;
+          mk_test ~count:20 ~name:"baselines feasible" prop_baselines_feasible;
+          mk_test ~count:20 ~name:"OPT lower-bounds all policies"
+            prop_opt_lower_bounds_everything
+        ] )
+    ]

@@ -1,0 +1,222 @@
+(* Unit tests for the simulation substrate: workload generators and the
+   named scenarios. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+let nonneg xs = Array.for_all (fun x -> x >= 0.) xs
+
+(* --- Workload --- *)
+
+let test_constant () =
+  let w = Sim.Workload.constant ~horizon:5 ~level:2. in
+  checki "length" 5 (Array.length w);
+  Array.iter (fun x -> checkf 0. "level" 2. x) w;
+  checkb "negative rejected" true
+    (try ignore (Sim.Workload.constant ~horizon:1 ~level:(-1.)); false
+     with Invalid_argument _ -> true)
+
+let test_diurnal_range_and_phase () =
+  let w = Sim.Workload.diurnal ~horizon:48 ~period:24 ~base:1. ~peak:9. () in
+  checki "length" 48 (Array.length w);
+  checkb "within range" true (Array.for_all (fun x -> x >= 1. -. 1e-9 && x <= 9. +. 1e-9) w);
+  checkf 1e-9 "trough at t=0" 1. w.(0);
+  checkf 1e-9 "peak mid-period" 9. w.(12);
+  checkf 1e-9 "periodic" w.(3) w.(27)
+
+let test_diurnal_noise_deterministic () =
+  let mk () =
+    let rng = Util.Prng.create 5 in
+    Sim.Workload.diurnal ~noise:0.2 ~rng ~horizon:24 ~period:12 ~base:0.5 ~peak:4. ()
+  in
+  Alcotest.(check (array (float 0.))) "same seed, same trace" (mk ()) (mk ());
+  checkb "non-negative" true (nonneg (mk ()))
+
+let test_bursty_pattern () =
+  let w = Sim.Workload.bursty ~horizon:10 ~burst:2 ~gap:3 ~height:5. ~base:1. () in
+  Alcotest.(check (array (float 0.)))
+    "pattern" [| 5.; 5.; 1.; 1.; 1.; 5.; 5.; 1.; 1.; 1. |] w
+
+let test_random_walk_bounds () =
+  let rng = Util.Prng.create 9 in
+  let w = Sim.Workload.random_walk ~rng ~horizon:500 ~start:5. ~step:1. ~lo:0. ~hi:10. in
+  checkb "bounded" true (Array.for_all (fun x -> x >= 0. && x <= 10.) w)
+
+let test_spikes () =
+  let rng = Util.Prng.create 10 in
+  let w = Sim.Workload.spikes ~rng ~horizon:2000 ~base:1. ~height:4. ~rate:0.25 in
+  checkb "two levels only" true (Array.for_all (fun x -> x = 1. || x = 5.) w);
+  let spike_count = Array.fold_left (fun acc x -> if x = 5. then acc + 1 else acc) 0 w in
+  (* Rate 0.25 over 2000 slots: expect about 500 spikes. *)
+  checkb "rate plausible" true (spike_count > 350 && spike_count < 650)
+
+let test_mmpp_regimes () =
+  let rng = Util.Prng.create 12 in
+  let w = Sim.Workload.mmpp ~rng ~horizon:3000 ~low:1. ~high:8. ~switch_prob:0.05 ~jitter:0. in
+  checkb "non-negative" true (nonneg w);
+  checkb "two levels without jitter" true (Array.for_all (fun x -> x = 1. || x = 8.) w);
+  (* Both regimes occur. *)
+  checkb "low occurs" true (Array.exists (( = ) 1.) w);
+  checkb "high occurs" true (Array.exists (( = ) 8.) w);
+  (* Regimes persist: fewer switches than a fair coin would produce. *)
+  let switches = ref 0 in
+  for i = 1 to Array.length w - 1 do
+    if w.(i) <> w.(i - 1) then incr switches
+  done;
+  checkb "sticky regimes" true (!switches < 400)
+
+let test_mmpp_jitter () =
+  let rng = Util.Prng.create 13 in
+  let w = Sim.Workload.mmpp ~rng ~horizon:500 ~low:1. ~high:8. ~switch_prob:0.1 ~jitter:0.2 in
+  checkb "non-negative with jitter" true (nonneg w);
+  checkb "bad args" true
+    (try ignore (Sim.Workload.mmpp ~rng ~horizon:1 ~low:5. ~high:1. ~switch_prob:0.1 ~jitter:0.); false
+     with Invalid_argument _ -> true)
+
+let test_weekly_shape () =
+  let w =
+    Sim.Workload.weekly ~weeks:2 ~day:24 ~weekday_peak:10. ~weekend_peak:4. ~base:1. ()
+  in
+  checki "two weeks" (2 * 7 * 24) (Array.length w);
+  (* Weekday noon beats weekend noon. *)
+  checkb "weekday peaks higher" true (w.(12) > w.((5 * 24) + 12));
+  checkf 1e-9 "weekday noon" 10. w.(12);
+  checkf 1e-9 "weekend noon" 4. w.((5 * 24) + 12);
+  checkf 1e-9 "periodic across weeks" w.(12) w.((7 * 24) + 12);
+  checkb "bad args" true
+    (try
+       ignore
+         (Sim.Workload.weekly ~weeks:0 ~day:24 ~weekday_peak:1. ~weekend_peak:1. ~base:0. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_add_clamp_scale () =
+  let a = [| 1.; 2. |] and b = [| 3.; 4. |] in
+  Alcotest.(check (array (float 0.))) "add" [| 4.; 6. |] (Sim.Workload.add a b);
+  Alcotest.(check (array (float 0.))) "clamp" [| 1.; 1.5 |]
+    (Sim.Workload.clamp ~lo:0. ~hi:1.5 (Sim.Workload.add a [| 0.; 0. |] |> Array.map (fun x -> x)));
+  let scaled = Sim.Workload.scale_to_peak ~peak:10. [| 1.; 2.; 5. |] in
+  Alcotest.(check (array (float 1e-9))) "scaled" [| 2.; 4.; 10. |] scaled;
+  Alcotest.(check (array (float 0.))) "all-zero unchanged" [| 0.; 0. |]
+    (Sim.Workload.scale_to_peak ~peak:10. [| 0.; 0. |])
+
+let test_add_length_mismatch () =
+  checkb "raises" true
+    (try ignore (Sim.Workload.add [| 1. |] [| 1.; 2. |]); false
+     with Invalid_argument _ -> true)
+
+(* --- Scenarios --- *)
+
+let feasible_and_shaped name inst ~d =
+  checkb (name ^ " feasible") true (Model.Instance.feasible_load inst);
+  checki (name ^ " types") d (Model.Instance.num_types inst);
+  checkb (name ^ " non-negative load") true (nonneg inst.Model.Instance.load)
+
+let test_cpu_gpu () =
+  let inst = Sim.Scenarios.cpu_gpu () in
+  feasible_and_shaped "cpu_gpu" inst ~d:2;
+  checkb "time independent" true inst.Model.Instance.time_independent
+
+let test_homogeneous () =
+  let inst = Sim.Scenarios.homogeneous () in
+  feasible_and_shaped "homogeneous" inst ~d:1
+
+let test_three_tier () =
+  let inst = Sim.Scenarios.three_tier () in
+  feasible_and_shaped "three_tier" inst ~d:3
+
+let test_time_varying_costs () =
+  let inst = Sim.Scenarios.time_varying_costs () in
+  feasible_and_shaped "time_varying" inst ~d:2;
+  checkb "time dependent" false inst.Model.Instance.time_independent;
+  (* Idle costs actually vary over time. *)
+  let l0 = Model.Instance.idle_cost inst ~time:0 ~typ:0 in
+  let l12 = Model.Instance.idle_cost inst ~time:12 ~typ:0 in
+  checkb "idle cost varies" true (Float.abs (l0 -. l12) > 1e-6)
+
+let test_load_independent () =
+  let inst = Sim.Scenarios.load_independent ~d:3 ~horizon:6 ~seed:2 in
+  feasible_and_shaped "load_independent" inst ~d:3;
+  for typ = 0 to 2 do
+    checkb "constant" true (Convex.Fn.is_constant (inst.Model.Instance.cost ~time:0 ~typ))
+  done
+
+let test_random_instances_deterministic () =
+  let mk seed =
+    let rng = Util.Prng.create seed in
+    Sim.Scenarios.random_static ~rng ~d:2 ~horizon:4 ~max_count:3
+  in
+  let a = mk 3 and b = mk 3 in
+  Alcotest.(check (array (float 0.))) "same loads" a.Model.Instance.load b.Model.Instance.load;
+  checkf 0. "same idle cost"
+    (Model.Instance.idle_cost a ~time:0 ~typ:0)
+    (Model.Instance.idle_cost b ~time:0 ~typ:0)
+
+let test_random_instances_feasible () =
+  let rng = Util.Prng.create 4 in
+  for _ = 1 to 20 do
+    let s = Sim.Scenarios.random_static ~rng ~d:3 ~horizon:5 ~max_count:3 in
+    checkb "static feasible" true (Model.Instance.feasible_load s);
+    let dy = Sim.Scenarios.random_dynamic ~rng ~d:2 ~horizon:5 ~max_count:3 in
+    checkb "dynamic feasible" true (Model.Instance.feasible_load dy);
+    checkb "dynamic flagged" false dy.Model.Instance.time_independent
+  done
+
+let test_resonant_bursts_structure () =
+  let inst = Sim.Scenarios.resonant_bursts ~d:2 ~rounds:3 in
+  feasible_and_shaped "resonant" inst ~d:2;
+  (* Bursts targeting type 1 must exceed type 0's capacity (1). *)
+  let has_forcing = Array.exists (fun l -> l > 1.) inst.Model.Instance.load in
+  checkb "contains forcing bursts" true has_forcing;
+  checkb "load independent" true
+    (Convex.Fn.is_constant (inst.Model.Instance.cost ~time:0 ~typ:0))
+
+let test_geo_shift_structure () =
+  let inst = Sim.Scenarios.geo_shift () in
+  feasible_and_shaped "geo" inst ~d:2;
+  checkb "time dependent" false inst.Model.Instance.time_independent;
+  (* Prices are phase-shifted: when west is cheap, east is dear. *)
+  let w0 = Model.Instance.idle_cost inst ~time:6 ~typ:0 in
+  let e0 = Model.Instance.idle_cost inst ~time:6 ~typ:1 in
+  let w12 = Model.Instance.idle_cost inst ~time:18 ~typ:0 in
+  let e12 = Model.Instance.idle_cost inst ~time:18 ~typ:1 in
+  checkb "opposite phases" true ((w0 -. e0) *. (w12 -. e12) < 0.)
+
+let test_maintenance_structure () =
+  let inst = Sim.Scenarios.maintenance () in
+  checkb "size varying" true inst.Model.Instance.size_varying;
+  checki "window cap" 2 (inst.Model.Instance.avail ~time:12 ~typ:0);
+  checki "full outside window" 6 (inst.Model.Instance.avail ~time:2 ~typ:0);
+  checki "expansion" 4 (inst.Model.Instance.avail ~time:25 ~typ:1);
+  checkb "loads fit availability" true (Model.Instance.feasible_load inst)
+
+let () =
+  Alcotest.run "sim"
+    [ ( "workload",
+        [ Alcotest.test_case "constant" `Quick test_constant;
+          Alcotest.test_case "diurnal range and phase" `Quick test_diurnal_range_and_phase;
+          Alcotest.test_case "diurnal noise deterministic" `Quick
+            test_diurnal_noise_deterministic;
+          Alcotest.test_case "bursty pattern" `Quick test_bursty_pattern;
+          Alcotest.test_case "random walk bounds" `Quick test_random_walk_bounds;
+          Alcotest.test_case "spikes" `Quick test_spikes;
+          Alcotest.test_case "weekly shape" `Quick test_weekly_shape;
+          Alcotest.test_case "mmpp regimes" `Quick test_mmpp_regimes;
+          Alcotest.test_case "mmpp jitter and validation" `Quick test_mmpp_jitter;
+          Alcotest.test_case "add/clamp/scale" `Quick test_add_clamp_scale;
+          Alcotest.test_case "length mismatch" `Quick test_add_length_mismatch
+        ] );
+      ( "scenarios",
+        [ Alcotest.test_case "cpu_gpu" `Quick test_cpu_gpu;
+          Alcotest.test_case "homogeneous" `Quick test_homogeneous;
+          Alcotest.test_case "three_tier" `Quick test_three_tier;
+          Alcotest.test_case "time_varying_costs" `Quick test_time_varying_costs;
+          Alcotest.test_case "load_independent" `Quick test_load_independent;
+          Alcotest.test_case "random deterministic" `Quick test_random_instances_deterministic;
+          Alcotest.test_case "random feasible" `Quick test_random_instances_feasible;
+          Alcotest.test_case "resonant bursts" `Quick test_resonant_bursts_structure;
+          Alcotest.test_case "geo shift" `Quick test_geo_shift_structure;
+          Alcotest.test_case "maintenance" `Quick test_maintenance_structure
+        ] )
+    ]

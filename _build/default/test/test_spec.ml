@@ -1,0 +1,239 @@
+(* Tests for the s-expression parser and the declarative instance file
+   format. *)
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let checki = Alcotest.(check int)
+
+(* --- Sexp --- *)
+
+let test_sexp_atom () =
+  match Util.Sexp.parse "hello" with
+  | Ok (Util.Sexp.Atom "hello") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected atom"
+
+let test_sexp_nested () =
+  match Util.Sexp.parse "(a (b 1 2.5) ())" with
+  | Ok
+      (Util.Sexp.List
+         [ Util.Sexp.Atom "a";
+           Util.Sexp.List [ Util.Sexp.Atom "b"; Util.Sexp.Atom "1"; Util.Sexp.Atom "2.5" ];
+           Util.Sexp.List [] ]) ->
+      ()
+  | Ok s -> Alcotest.failf "unexpected parse: %s" (Util.Sexp.to_string s)
+  | Error m -> Alcotest.fail m
+
+let test_sexp_comments_whitespace () =
+  match Util.Sexp.parse "  ; leading comment\n ( a ; inline\n b )\n" with
+  | Ok (Util.Sexp.List [ Util.Sexp.Atom "a"; Util.Sexp.Atom "b" ]) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "comments/whitespace mishandled"
+
+let test_sexp_errors () =
+  checkb "unclosed" true (Result.is_error (Util.Sexp.parse "(a b"));
+  checkb "stray paren" true (Result.is_error (Util.Sexp.parse ")"));
+  checkb "trailing" true (Result.is_error (Util.Sexp.parse "(a) b"));
+  checkb "empty" true (Result.is_error (Util.Sexp.parse "   "))
+
+let test_sexp_roundtrip () =
+  let text = "(instance (types ((name cpu))) (load 1 2 3))" in
+  match Util.Sexp.parse text with
+  | Ok s -> Alcotest.(check string) "roundtrip" text (Util.Sexp.to_string s)
+  | Error m -> Alcotest.fail m
+
+let test_sexp_parse_many () =
+  match Util.Sexp.parse_many "(a) (b) atom" with
+  | Ok [ _; _; Util.Sexp.Atom "atom" ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "parse_many"
+
+let test_sexp_helpers () =
+  match Util.Sexp.parse "((k 1) (other x))" with
+  | Ok (Util.Sexp.List items) ->
+      (match Util.Sexp.assoc "k" items with
+      | Some [ v ] -> checkb "int atom" true (Util.Sexp.int_atom v = Some 1)
+      | Some _ | None -> Alcotest.fail "assoc");
+      checkb "missing key" true (Util.Sexp.assoc "absent" items = None)
+  | Ok _ | Error _ -> Alcotest.fail "setup"
+
+(* --- Spec: cost expressions --- *)
+
+let parse_cost_exn text =
+  match Util.Sexp.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok s -> (
+      match Model.Spec.parse_cost s with
+      | Ok fn -> fn
+      | Error m -> Alcotest.fail m)
+
+let test_cost_families () =
+  checkf 1e-12 "const" 2. (Convex.Fn.eval (parse_cost_exn "(const 2)") 5.);
+  checkf 1e-12 "affine" 4.
+    (Convex.Fn.eval (parse_cost_exn "(affine (intercept 1) (slope 1.5))") 2.);
+  checkf 1e-12 "power" 9.
+    (Convex.Fn.eval (parse_cost_exn "(power (idle 1) (coef 2) (expo 2))") 2.);
+  checkf 1e-12 "quadratic" 6.
+    (Convex.Fn.eval (parse_cost_exn "(quadratic (c0 1) (c1 2) (c2 3))") 1.);
+  checkf 1e-12 "piecewise" 1.5
+    (Convex.Fn.eval (parse_cost_exn "(piecewise (0 1) (1 2) (2 5))") 0.5);
+  checkf 1e-12 "max-affine" 4.
+    (Convex.Fn.eval (parse_cost_exn "(max-affine (1 0) (0 2))") 2.)
+
+let test_cost_rejects () =
+  let rejects text =
+    match Util.Sexp.parse text with
+    | Error _ -> true
+    | Ok s -> Result.is_error (Model.Spec.parse_cost s)
+  in
+  checkb "unknown family" true (rejects "(sine (freq 1))");
+  checkb "missing field" true (rejects "(affine (intercept 1))");
+  checkb "non-convex piecewise" true (rejects "(piecewise (0 0) (1 5) (2 6))");
+  checkb "negative const" true (rejects "(const -1)")
+
+(* --- Spec: whole instances --- *)
+
+let sample =
+  {|(instance
+     (types
+       ((name cpu) (count 4) (switching-cost 2) (cap 1)
+        (cost (power (idle 0.4) (coef 0.6) (expo 2))))
+       ((name gpu) (count 2) (switching-cost 6) (cap 3)
+        (cost (affine (intercept 1.0) (slope 0.3)))))
+     (load 1 2 5.5 8))|}
+
+let test_instance_parse () =
+  match Model.Spec.parse sample with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+      checki "types" 2 (Model.Instance.num_types inst);
+      checki "horizon" 4 (Model.Instance.horizon inst);
+      checkb "time independent" true inst.Model.Instance.time_independent;
+      checkf 1e-12 "count" 4. (float_of_int (Model.Instance.max_count inst ~typ:0));
+      checkf 1e-12 "idle cost gpu" 1. (Model.Instance.idle_cost inst ~time:0 ~typ:1);
+      checkf 1e-12 "load" 5.5 inst.Model.Instance.load.(2)
+
+let test_instance_solvable () =
+  match Model.Spec.parse sample with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+      let r = Offline.Dp.solve_optimal inst in
+      checkb "solves" true (Float.is_finite r.Offline.Dp.cost);
+      checkb "feasible" true (Model.Schedule.feasible inst r.Offline.Dp.schedule)
+
+let test_instance_rejects () =
+  let rejects text = Result.is_error (Model.Spec.parse text) in
+  checkb "not an instance" true (rejects "(problem (types) (load 1))");
+  checkb "no types" true (rejects "(instance (types) (load 1))");
+  checkb "no load" true (rejects "(instance (types ((count 1) (switching-cost 1) (cap 1) (cost (const 1)))))");
+  checkb "empty load" true
+    (rejects
+       "(instance (types ((count 1) (switching-cost 1) (cap 1) (cost (const 1)))) (load))");
+  checkb "negative load" true
+    (rejects
+       "(instance (types ((count 1) (switching-cost 1) (cap 1) (cost (const 1)))) (load -1))");
+  checkb "bad count" true
+    (rejects
+       "(instance (types ((count 1.5) (switching-cost 1) (cap 1) (cost (const 1)))) (load 1))")
+
+let test_instance_switch_down () =
+  match
+    Model.Spec.parse
+      "(instance (types ((count 1) (switching-cost 2) (switch-down 1.5) (cap 1) (cost (const 1)))) (load 1))"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+      checkf 1e-12 "switch_down parsed" 1.5
+        inst.Model.Instance.types.(0).Model.Server_type.switch_down
+
+let test_instance_default_name () =
+  match
+    Model.Spec.parse
+      "(instance (types ((count 1) (switching-cost 1) (cap 1) (cost (const 1)))) (load 1))"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+      Alcotest.(check string) "default" "server"
+        inst.Model.Instance.types.(0).Model.Server_type.name
+
+let test_render_roundtrip_costs () =
+  (* to_string samples the curves; re-parsing must give an instance with
+     (approximately) the same optimum. *)
+  match Model.Spec.parse sample with
+  | Error m -> Alcotest.fail m
+  | Ok inst -> (
+      let text = Model.Spec.to_string inst in
+      match Model.Spec.parse text with
+      | Error m -> Alcotest.failf "re-parse: %s" m
+      | Ok inst' ->
+          let a = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+          let b = (Offline.Dp.solve_optimal inst').Offline.Dp.cost in
+          checkb "optimum approximately preserved" true (Float.abs (a -. b) /. a < 0.02))
+
+let test_render_rejects_time_dependent () =
+  let inst = Sim.Scenarios.time_varying_costs ~horizon:4 () in
+  checkb "raises" true
+    (try ignore (Model.Spec.to_string inst); false with Invalid_argument _ -> true)
+
+let test_parse_planning () =
+  let text =
+    "(instance (types ((name a) (count 3) (capex 2.5) (switching-cost 1) (cap 1) \
+     (cost (const 1))) ((name b) (count 2) (switching-cost 2) (cap 2) \
+     (cost (const 0.5)))) (load 1 2))"
+  in
+  match Model.Spec.parse_planning text with
+  | Error m -> Alcotest.fail m
+  | Ok (triples, load) ->
+      checki "two candidates" 2 (Array.length triples);
+      let st, fn, capex = triples.(0) in
+      checki "max count" 3 st.Model.Server_type.count;
+      checkf 1e-12 "capex" 2.5 capex;
+      checkf 1e-12 "curve" 1. (Convex.Fn.eval fn 0.5);
+      let _, _, capex_b = triples.(1) in
+      checkf 1e-12 "capex defaults to 0" 0. capex_b;
+      checki "load length" 2 (Array.length load)
+
+let test_parse_planning_rejects_negative_capex () =
+  checkb "rejected" true
+    (Result.is_error
+       (Model.Spec.parse_planning
+          "(instance (types ((count 1) (capex -1) (switching-cost 1) (cap 1) (cost (const 1)))) (load 1))"))
+
+let test_load_file () =
+  let path = Filename.temp_file "inst" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc sample);
+      match Model.Spec.load_file path with
+      | Ok inst -> checki "loaded" 2 (Model.Instance.num_types inst)
+      | Error m -> Alcotest.fail m);
+  checkb "missing file" true (Result.is_error (Model.Spec.load_file "/nonexistent/x.sexp"))
+
+let () =
+  Alcotest.run "spec"
+    [ ( "sexp",
+        [ Alcotest.test_case "atom" `Quick test_sexp_atom;
+          Alcotest.test_case "nested" `Quick test_sexp_nested;
+          Alcotest.test_case "comments and whitespace" `Quick test_sexp_comments_whitespace;
+          Alcotest.test_case "errors" `Quick test_sexp_errors;
+          Alcotest.test_case "roundtrip" `Quick test_sexp_roundtrip;
+          Alcotest.test_case "parse_many" `Quick test_sexp_parse_many;
+          Alcotest.test_case "helpers" `Quick test_sexp_helpers
+        ] );
+      ( "cost",
+        [ Alcotest.test_case "all families" `Quick test_cost_families;
+          Alcotest.test_case "rejections" `Quick test_cost_rejects
+        ] );
+      ( "instance",
+        [ Alcotest.test_case "parse" `Quick test_instance_parse;
+          Alcotest.test_case "solvable" `Quick test_instance_solvable;
+          Alcotest.test_case "rejections" `Quick test_instance_rejects;
+          Alcotest.test_case "switch-down field" `Quick test_instance_switch_down;
+          Alcotest.test_case "default name" `Quick test_instance_default_name;
+          Alcotest.test_case "render roundtrip" `Quick test_render_roundtrip_costs;
+          Alcotest.test_case "render rejects time-dependent" `Quick
+            test_render_rejects_time_dependent;
+          Alcotest.test_case "parse_planning" `Quick test_parse_planning;
+          Alcotest.test_case "planning rejects negative capex" `Quick
+            test_parse_planning_rejects_negative_capex;
+          Alcotest.test_case "load_file" `Quick test_load_file
+        ] )
+    ]
