@@ -2,11 +2,14 @@
 
    Two parts, both printed in one run of `dune exec bench/main.exe`:
 
-   1. Bechamel micro-benchmarks — one Test.make per paper artifact,
-      timing that artifact's computational kernel (the DP behind
+   1. Bechamel micro-benchmarks — one entry per paper artifact, timing
+      that artifact's computational kernel (the DP behind
       Figure 4/Theorem 8, the reduced-grid solve behind Theorem 21, one
       online step behind Theorems 8/13, ...), plus the low-level kernels
-      (dispatch, ramp transform).
+      (dispatch, ramp transform).  Next to each timing we print the
+      telemetry counters one run of the kernel increments
+      (Obs.Counter), so cost regressions can be traced to work
+      regressions (more DP cells, more scalar minimisations, ...).
 
    2. The experiment tables/figures themselves (the rows and series the
       paper reports), regenerated through the same registry the CLI
@@ -52,165 +55,165 @@ let dispatch_pieces =
          { Core.Dispatch.fn = Core.Fn.power ~idle:0.2 ~coef:(0.5 +. float_of_int j) ~expo:2.;
            upper = 0.5 }))
 
-let tests =
+(* Each bench keeps its kernel thunk alongside the Bechamel test so the
+   timing loop can replay one run under Obs.Counter and report the work
+   done per run. *)
+let bench name f = (name, fun () -> ignore (f ()))
+
+let benches =
   [ (* Figures: the kernels behind each rendering. *)
-    Test.make ~name:"fig1+2: algorithm A full run (d=1, T=24)"
-      (Staged.stage (fun () -> Core.Alg_a.run (Lazy.force fix_fig12)));
-    Test.make ~name:"fig3: algorithm B full run (d=2, T=16)"
-      (Staged.stage (fun () -> Core.Alg_b.run (Lazy.force fix_dynamic)));
-    Test.make ~name:"fig4: explicit paper graph shortest path (d=2, T=24)"
-      (Staged.stage (fun () -> Core.Graph_paper.solve (Lazy.force fix_cpu_gpu)));
-    Test.make ~name:"fig5: witness X' construction (gamma=2)"
-      (Staged.stage
-         (let inst = Core.Scenarios.homogeneous ~horizon:20 () in
-          let opt = (Core.Offline_dp.solve_optimal inst).Core.Offline_dp.schedule in
-          let grid _ = Core.Grid.power ~gamma:2. (Core.Instance.counts inst) in
-          fun () -> Core.Approx_witness.build ~gamma:2. ~grid opt));
+    bench "fig1+2: algorithm A full run (d=1, T=24)"
+      (fun () -> Core.Alg_a.run (Lazy.force fix_fig12));
+    bench "fig3: algorithm B full run (d=2, T=16)"
+      (fun () -> Core.Alg_b.run (Lazy.force fix_dynamic));
+    bench "fig4: explicit paper graph shortest path (d=2, T=24)"
+      (fun () -> Core.Graph_paper.solve (Lazy.force fix_cpu_gpu));
+    bench "fig5: witness X' construction (gamma=2)"
+      (let inst = Core.Scenarios.homogeneous ~horizon:20 () in
+       let opt = (Core.Offline_dp.solve_optimal inst).Core.Offline_dp.schedule in
+       let grid _ = Core.Grid.power ~gamma:2. (Core.Instance.counts inst) in
+       fun () -> Core.Approx_witness.build ~gamma:2. ~grid opt);
     (* Theorem kernels. *)
-    Test.make ~name:"thm8: exact offline DP (d=2, T=24, m=(8,3))"
-      (Staged.stage (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_cpu_gpu)));
-    Test.make ~name:"thm8: exact offline DP (d=3, T=30, m=(6,6,2))"
-      (Staged.stage (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_three_tier)));
-    Test.make ~name:"thm8: algorithm A full run (d=2, T=24)"
-      (Staged.stage (fun () -> Core.Alg_a.run (Lazy.force fix_cpu_gpu)));
-    Test.make ~name:"cor9: algorithm A, load-independent (d=3, T=12)"
-      (Staged.stage
-         (let inst = Core.Scenarios.load_independent ~d:3 ~horizon:12 ~seed:5 in
-          fun () -> Core.Alg_a.run inst));
-    Test.make ~name:"thm13: algorithm B full run (d=2, T=16)"
-      (Staged.stage (fun () -> Core.Alg_b.run (Lazy.force fix_dynamic)));
-    Test.make ~name:"thm15: algorithm C full run (eps=0.5, d=2, T=16)"
-      (Staged.stage (fun () -> Core.Alg_c.run ~eps:0.5 (Lazy.force fix_dynamic)));
-    Test.make ~name:"thm21: exact DP, large fleet (d=2, T=16, m=(60,40))"
-      (Staged.stage (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_large)));
-    Test.make ~name:"thm21: (1+1)-approx DP, large fleet"
-      (Staged.stage (fun () -> Core.Offline_dp.solve_approx ~eps:1. (Lazy.force fix_large)));
-    Test.make ~name:"thm21: (1+0.25)-approx DP, large fleet"
-      (Staged.stage (fun () -> Core.Offline_dp.solve_approx ~eps:0.25 (Lazy.force fix_large)));
-    Test.make ~name:"thm22: exact DP with time-varying sizes (T=30)"
-      (Staged.stage (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_maintenance)));
-    Test.make ~name:"chasing: hypercube adversary (d=12)"
-      (Staged.stage (fun () -> Core.Adversary.chasing_lower_bound ~d:12));
-    Test.make ~name:"lower-bound: resonant bursts, A full run (d=2)"
-      (Staged.stage
-         (let inst = Core.Scenarios.resonant_bursts ~d:2 ~rounds:4 in
-          fun () -> Core.Alg_a.run inst));
-    Test.make ~name:"baselines: LCP-1d full run (T=40)"
-      (Staged.stage (fun () -> Core.Baselines.lcp_1d (Lazy.force fix_homogeneous)));
-    Test.make ~name:"randomized: Alg_rand full run (d=2, T=24)"
-      (Staged.stage
-         (let rng = Core.Prng.create 9 in
-          fun () -> Core.Alg_rand.run ~rng:(Core.Prng.copy rng) (Lazy.force fix_cpu_gpu)));
-    Test.make ~name:"fractional: refined solve (d=1, k=8, T=24)"
-      (Staged.stage
-         (let inst = Core.Scenarios.homogeneous ~horizon:24 () in
-          let refined = Core.Fractional.refine ~granularity:8 inst in
-          fun () -> Core.Offline_dp.solve_optimal refined));
-    Test.make ~name:"lower-bound: reactive adversary build (rounds=6)"
-      (Staged.stage (fun () -> Core.Adversary.reactive_a ~rounds:6 ~beta:4. ~idle:1. ()));
-    Test.make ~name:"simulation: schedule execution (d=2, T=48)"
-      (Staged.stage
-         (let inst = Core.Scenarios.cpu_gpu ~horizon:48 () in
-          let { Core.Offline_dp.schedule; _ } = Core.Offline_dp.solve_optimal inst in
-          fun () -> Core.Sim_dc.run_schedule inst schedule));
-    Test.make ~name:"simulation: hysteresis controller (d=2, T=48)"
-      (Staged.stage
-         (let inst = Core.Scenarios.cpu_gpu ~horizon:48 () in
-          fun () ->
-            Core.Sim_dc.run_controller inst
-              (Core.Controllers.hysteresis ~up:0.8 ~down:0.3 inst)));
-    Test.make ~name:"ablation: reduced-grid online step (m=(200,100))"
-      (Staged.stage
-         (let types =
-            [| Core.Server_type.make ~name:"s" ~count:200 ~switching_cost:2. ~cap:1. ();
-               Core.Server_type.make ~name:"l" ~count:100 ~switching_cost:5. ~cap:2. () |]
-          in
-          let fns =
-            [| Core.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2.;
-               Core.Fn.power ~idle:0.9 ~coef:0.5 ~expo:2. |]
-          in
-          let load = Core.Workload.diurnal ~horizon:8 ~period:8 ~base:10. ~peak:320. () in
-          let inst = Core.Instance.make_static ~types ~load ~fns () in
-          let grid = Core.Grid.power ~gamma:1.5 (Core.Instance.counts inst) in
-          fun () ->
-            let e = Core.Prefix_opt.create ~grid inst in
-            Core.Prefix_opt.step e));
-    Test.make ~name:"forecast: holt-winters backtest (T=96)"
-      (Staged.stage
-         (let rng = Core.Prng.create 5 in
-          let series =
-            Core.Workload.diurnal ~noise:0.1 ~rng ~horizon:96 ~period:24 ~base:1. ~peak:12. ()
-          in
-          fun () ->
-            Core.Predictor.backtest
-              ~make:(fun () ->
-                Core.Predictor.holt_winters ~alpha:0.4 ~beta:0.05 ~gamma:0.3 ~period:24)
-              series));
-    Test.make ~name:"forecast: predictive horizon plan (window=4, T=24)"
-      (Staged.stage
-         (let inst = Core.Scenarios.cpu_gpu ~horizon:24 () in
-          fun () ->
-            Core.Predictive.plan
-              ~make:(fun () -> Core.Predictor.seasonal_naive ~period:24)
-              ~window:4 inst));
-    Test.make ~name:"planner: 2-candidate fleet optimisation"
-      (Staged.stage
-         (let candidates =
-            [| { Core.Fleet_planner.server =
-                   Core.Server_type.make ~name:"a" ~count:5 ~switching_cost:1.5 ~cap:1. ();
-                 capex = 3.;
-                 fn = Core.Fn.power ~idle:0.5 ~coef:0.6 ~expo:2. };
-               { Core.Fleet_planner.server =
-                   Core.Server_type.make ~name:"b" ~count:3 ~switching_cost:4. ~cap:2. ();
-                 capex = 6.;
-                 fn = Core.Fn.power ~idle:0.9 ~coef:0.4 ~expo:2. } |]
-          in
-          let load = [| 2.; 4.; 6.; 5.; 2.; 1.; 3.; 6. |] in
-          fun () -> Core.Fleet_planner.optimize ~candidates ~load ()));
-    Test.make ~name:"simulation: failure-injected run (rate 0.05)"
-      (Staged.stage
-         (let inst = Core.Scenarios.cpu_gpu ~horizon:48 () in
-          let { Core.Offline_dp.schedule; _ } = Core.Offline_dp.solve_optimal inst in
-          let config =
-            { Core.Sim_dc.boot_delay = [| 0; 0 |];
-              carry_backlog = false;
-              failures = Some { Core.Sim_dc.rate = 0.05; repair_slots = 3; seed = 7 } }
-          in
-          fun () -> Core.Sim_dc.run_schedule ~config inst schedule));
+    bench "thm8: exact offline DP (d=2, T=24, m=(8,3))"
+      (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_cpu_gpu));
+    bench "thm8: exact offline DP (d=3, T=30, m=(6,6,2))"
+      (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_three_tier));
+    bench "thm8: algorithm A full run (d=2, T=24)"
+      (fun () -> Core.Alg_a.run (Lazy.force fix_cpu_gpu));
+    bench "cor9: algorithm A, load-independent (d=3, T=12)"
+      (let inst = Core.Scenarios.load_independent ~d:3 ~horizon:12 ~seed:5 in
+       fun () -> Core.Alg_a.run inst);
+    bench "thm13: algorithm B full run (d=2, T=16)"
+      (fun () -> Core.Alg_b.run (Lazy.force fix_dynamic));
+    bench "thm15: algorithm C full run (eps=0.5, d=2, T=16)"
+      (fun () -> Core.Alg_c.run ~eps:0.5 (Lazy.force fix_dynamic));
+    bench "thm21: exact DP, large fleet (d=2, T=16, m=(60,40))"
+      (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_large));
+    bench "thm21: (1+1)-approx DP, large fleet"
+      (fun () -> Core.Offline_dp.solve_approx ~eps:1. (Lazy.force fix_large));
+    bench "thm21: (1+0.25)-approx DP, large fleet"
+      (fun () -> Core.Offline_dp.solve_approx ~eps:0.25 (Lazy.force fix_large));
+    bench "thm22: exact DP with time-varying sizes (T=30)"
+      (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_maintenance));
+    bench "chasing: hypercube adversary (d=12)"
+      (fun () -> Core.Adversary.chasing_lower_bound ~d:12);
+    bench "lower-bound: resonant bursts, A full run (d=2)"
+      (let inst = Core.Scenarios.resonant_bursts ~d:2 ~rounds:4 in
+       fun () -> Core.Alg_a.run inst);
+    bench "baselines: LCP-1d full run (T=40)"
+      (fun () -> Core.Baselines.lcp_1d (Lazy.force fix_homogeneous));
+    bench "randomized: Alg_rand full run (d=2, T=24)"
+      (let rng = Core.Prng.create 9 in
+       fun () -> Core.Alg_rand.run ~rng:(Core.Prng.copy rng) (Lazy.force fix_cpu_gpu));
+    bench "fractional: refined solve (d=1, k=8, T=24)"
+      (let inst = Core.Scenarios.homogeneous ~horizon:24 () in
+       let refined = Core.Fractional.refine ~granularity:8 inst in
+       fun () -> Core.Offline_dp.solve_optimal refined);
+    bench "lower-bound: reactive adversary build (rounds=6)"
+      (fun () -> Core.Adversary.reactive_a ~rounds:6 ~beta:4. ~idle:1. ());
+    bench "simulation: schedule execution (d=2, T=48)"
+      (let inst = Core.Scenarios.cpu_gpu ~horizon:48 () in
+       let { Core.Offline_dp.schedule; _ } = Core.Offline_dp.solve_optimal inst in
+       fun () -> Core.Sim_dc.run_schedule inst schedule);
+    bench "simulation: hysteresis controller (d=2, T=48)"
+      (let inst = Core.Scenarios.cpu_gpu ~horizon:48 () in
+       fun () ->
+         Core.Sim_dc.run_controller inst
+           (Core.Controllers.hysteresis ~up:0.8 ~down:0.3 inst));
+    bench "ablation: reduced-grid online step (m=(200,100))"
+      (let types =
+         [| Core.Server_type.make ~name:"s" ~count:200 ~switching_cost:2. ~cap:1. ();
+            Core.Server_type.make ~name:"l" ~count:100 ~switching_cost:5. ~cap:2. () |]
+       in
+       let fns =
+         [| Core.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2.;
+            Core.Fn.power ~idle:0.9 ~coef:0.5 ~expo:2. |]
+       in
+       let load = Core.Workload.diurnal ~horizon:8 ~period:8 ~base:10. ~peak:320. () in
+       let inst = Core.Instance.make_static ~types ~load ~fns () in
+       let grid = Core.Grid.power ~gamma:1.5 (Core.Instance.counts inst) in
+       fun () ->
+         let e = Core.Prefix_opt.create ~grid inst in
+         Core.Prefix_opt.step e);
+    bench "forecast: holt-winters backtest (T=96)"
+      (let rng = Core.Prng.create 5 in
+       let series =
+         Core.Workload.diurnal ~noise:0.1 ~rng ~horizon:96 ~period:24 ~base:1. ~peak:12. ()
+       in
+       fun () ->
+         Core.Predictor.backtest
+           ~make:(fun () ->
+             Core.Predictor.holt_winters ~alpha:0.4 ~beta:0.05 ~gamma:0.3 ~period:24)
+           series);
+    bench "forecast: predictive horizon plan (window=4, T=24)"
+      (let inst = Core.Scenarios.cpu_gpu ~horizon:24 () in
+       fun () ->
+         Core.Predictive.plan
+           ~make:(fun () -> Core.Predictor.seasonal_naive ~period:24)
+           ~window:4 inst);
+    bench "planner: 2-candidate fleet optimisation"
+      (let candidates =
+         [| { Core.Fleet_planner.server =
+                Core.Server_type.make ~name:"a" ~count:5 ~switching_cost:1.5 ~cap:1. ();
+              capex = 3.;
+              fn = Core.Fn.power ~idle:0.5 ~coef:0.6 ~expo:2. };
+            { Core.Fleet_planner.server =
+                Core.Server_type.make ~name:"b" ~count:3 ~switching_cost:4. ~cap:2. ();
+              capex = 6.;
+              fn = Core.Fn.power ~idle:0.9 ~coef:0.4 ~expo:2. } |]
+       in
+       let load = [| 2.; 4.; 6.; 5.; 2.; 1.; 3.; 6. |] in
+       fun () -> Core.Fleet_planner.optimize ~candidates ~load ());
+    bench "simulation: failure-injected run (rate 0.05)"
+      (let inst = Core.Scenarios.cpu_gpu ~horizon:48 () in
+       let { Core.Offline_dp.schedule; _ } = Core.Offline_dp.solve_optimal inst in
+       let config =
+         { Core.Sim_dc.boot_delay = [| 0; 0 |];
+           carry_backlog = false;
+           failures = Some { Core.Sim_dc.rate = 0.05; repair_slots = 3; seed = 7 } }
+       in
+       fun () -> Core.Sim_dc.run_schedule ~config inst schedule);
     (* Low-level kernels. *)
-    Test.make ~name:"kernel: dispatch water-filling (d=4)"
-      (Staged.stage (fun () -> Core.Dispatch.solve (Lazy.force dispatch_pieces) ~total:1.));
-    Test.make ~name:"kernel: dispatch golden-section (d=2)"
-      (Staged.stage
-         (let pieces = Array.sub (Lazy.force dispatch_pieces) 0 2 in
-          fun () -> Core.Dispatch.solve pieces ~total:0.9));
-    Test.make ~name:"kernel: g_t(x) evaluation (d=2)"
-      (Staged.stage
-         (let inst = Lazy.force fix_cpu_gpu in
-          fun () -> Core.Cost.operating inst ~time:6 [| 4; 2 |]));
-    Test.make ~name:"kernel: ramp transform, 64x64 grid"
-      (Staged.stage
-         (let grid = Core.Grid.dense [| 63; 63 |] in
-          let flat = Array.init (Core.Grid.size grid) (fun i -> float_of_int (i mod 97)) in
-          fun () ->
-            let work = Array.copy flat in
-            Core.Transform.ramp_grid ~grid ~betas:[| 1.5; 2.5 |] work));
-    Test.make ~name:"kernel: prefix-opt single step (d=2)"
-      (Staged.stage
-         (let inst = Lazy.force fix_cpu_gpu in
-          fun () ->
-            let e = Core.Prefix_opt.create inst in
-            Core.Prefix_opt.step e))
+    bench "kernel: dispatch water-filling (d=4)"
+      (fun () -> Core.Dispatch.solve (Lazy.force dispatch_pieces) ~total:1.);
+    bench "kernel: dispatch golden-section (d=2)"
+      (let pieces = Array.sub (Lazy.force dispatch_pieces) 0 2 in
+       fun () -> Core.Dispatch.solve pieces ~total:0.9);
+    bench "kernel: g_t(x) evaluation (d=2)"
+      (let inst = Lazy.force fix_cpu_gpu in
+       fun () -> Core.Cost.operating inst ~time:6 [| 4; 2 |]);
+    bench "kernel: ramp transform, 64x64 grid"
+      (let grid = Core.Grid.dense [| 63; 63 |] in
+       let flat = Array.init (Core.Grid.size grid) (fun i -> float_of_int (i mod 97)) in
+       fun () ->
+         let work = Array.copy flat in
+         Core.Transform.ramp_grid ~grid ~betas:[| 1.5; 2.5 |] work);
+    bench "kernel: prefix-opt single step (d=2)"
+      (let inst = Lazy.force fix_cpu_gpu in
+       fun () ->
+         let e = Core.Prefix_opt.create inst in
+         Core.Prefix_opt.step e)
   ]
+
+(* One instrumented run of the kernel: reset every counter, run once,
+   render the non-zero deltas on a single line. *)
+let counters_per_run fn =
+  Core.Obs.Counter.reset_all ();
+  fn ();
+  let line = Core.Obs.Metrics_export.compact (Core.Obs.Counter.snapshot ()) in
+  if line = "" then "-" else line
 
 let run_timings () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~compaction:false ()
   in
   let instances = Instance.[ monotonic_clock ] in
-  let tbl = Core.Table.create ~header:[ "benchmark"; "time/run"; "r^2" ] in
+  let tbl =
+    Core.Table.create ~header:[ "benchmark"; "time/run"; "r^2"; "work/run (Obs counters)" ]
+  in
   List.iter
-    (fun test ->
+    (fun (name, fn) ->
+      let test = Test.make ~name (Staged.stage fn) in
       List.iter
         (fun elt ->
           let result = Benchmark.run cfg instances elt in
@@ -234,9 +237,9 @@ let run_timings () =
             | Some r -> Printf.sprintf "%.3f" r
             | None -> "-"
           in
-          Core.Table.add_row tbl [ Test.Elt.name elt; pretty; r2 ])
+          Core.Table.add_row tbl [ Test.Elt.name elt; pretty; r2; counters_per_run fn ])
         (Test.elements test))
-    tests;
+    benches;
   print_endline "== Bechamel micro-benchmarks (one kernel per paper artifact) ==";
   Core.Table.print ~align:Core.Table.Left tbl;
   print_newline ()

@@ -21,6 +21,76 @@ let verbose_term =
   let arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.") in
   Term.(const setup_logs $ arg)
 
+(* Shared observability flags.  Setup runs before the command body;
+   export happens at process exit so one mechanism serves every
+   subcommand (the solvers and steppers are instrumented with Obs spans
+   and counters unconditionally). *)
+let setup_obs trace metrics manifest summary =
+  if trace <> None || metrics <> None || manifest <> None || summary then begin
+    let started_us = Core.Obs.Span.now_us () in
+    let contents =
+      match trace with
+      | Some _ ->
+          let sink, contents = Core.Obs.Sink.memory () in
+          Core.Obs.Sink.install sink;
+          Some contents
+      | None -> None
+    in
+    at_exit (fun () ->
+        Core.Obs.Sink.uninstall ();
+        let wall_s = (Core.Obs.Span.now_us () -. started_us) /. 1e6 in
+        let label = String.concat " " (Array.to_list Sys.argv) in
+        let m = Core.Obs.Run_manifest.capture ~label ~wall_s in
+        (match (trace, contents) with
+        | Some path, Some contents ->
+            Core.Obs.Trace_export.write_chrome_json
+              ~other:(Core.Obs.Run_manifest.to_fields m) ~path (contents ())
+        | _ -> ());
+        (match metrics with
+        | Some path -> Core.Obs.Metrics_export.write ~path (Core.Obs.Counter.snapshot ())
+        | None -> ());
+        (match manifest with
+        | Some path -> Core.Obs.Run_manifest.write_json ~path m
+        | None -> ());
+        if summary then begin
+          print_newline ();
+          print_string (Core.Obs.Run_manifest.render m)
+        end)
+  end
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record solver spans and write them to FILE as Chrome trace-event JSON \
+                (load in chrome://tracing or https://ui.perfetto.dev).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the final work-counter snapshot (DP cells, dispatch calls, \
+                power-ups, ...) to FILE as plain text.")
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:"Write the run manifest (command, scenario, algorithm, wall time, \
+                counters) to FILE as JSON — a reproducible record of the run.")
+  in
+  let summary_arg =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:"Print the run manifest (wall time and non-zero work counters) on exit.")
+  in
+  Term.(const setup_obs $ trace_arg $ metrics_arg $ manifest_arg $ summary_arg)
+
 let scenarios =
   [ ("cpu-gpu", fun horizon -> Core.Scenarios.cpu_gpu ?horizon ());
     ("homogeneous", fun horizon -> Core.Scenarios.homogeneous ?horizon ());
@@ -74,26 +144,35 @@ let resolve_instance ?workload (name, mk) horizon file =
         | Error m -> Error (Printf.sprintf "cannot load %s: %s" path m))
     | None -> Ok (name, mk horizon)
   in
-  match (base, workload) with
-  | (Error _ as e), _ -> e
-  | Ok _, None -> base
-  | Ok (label, inst), Some path -> (
-      match Core.Trace.load_workload ~path with
-      | exception Invalid_argument m -> Error (Printf.sprintf "bad workload %s: %s" path m)
-      | load ->
-          let swapped =
-            Core.Instance.make ~types:inst.Core.Instance.types ~load
-              ~cost:(fun ~time ~typ ->
-                (* Clamp the cost clock into the original horizon so
-                   longer traces reuse the final slot's functions. *)
-                inst.Core.Instance.cost
-                  ~time:(min time (Core.Instance.horizon inst - 1))
-                  ~typ)
-              ()
-          in
-          if Core.Instance.feasible_load swapped then
-            Ok (Printf.sprintf "%s + %s" label (Filename.basename path), swapped)
-          else Error "workload exceeds the fleet's capacity")
+  let result =
+    match (base, workload) with
+    | (Error _ as e), _ -> e
+    | Ok _, None -> base
+    | Ok (label, inst), Some path -> (
+        match Core.Trace.load_workload ~path with
+        | exception Invalid_argument m -> Error (Printf.sprintf "bad workload %s: %s" path m)
+        | load ->
+            let swapped =
+              Core.Instance.make ~types:inst.Core.Instance.types ~load
+                ~cost:(fun ~time ~typ ->
+                  (* Clamp the cost clock into the original horizon so
+                     longer traces reuse the final slot's functions. *)
+                  inst.Core.Instance.cost
+                    ~time:(min time (Core.Instance.horizon inst - 1))
+                    ~typ)
+                ()
+            in
+            if Core.Instance.feasible_load swapped then
+              Ok (Printf.sprintf "%s + %s" label (Filename.basename path), swapped)
+            else Error "workload exceeds the fleet's capacity")
+  in
+  (match result with
+  | Ok (label, inst) ->
+      Core.Obs.Run_manifest.note "scenario" label;
+      Core.Obs.Run_manifest.note "horizon" (string_of_int (Core.Instance.horizon inst));
+      Core.Obs.Run_manifest.note "types" (string_of_int (Core.Instance.num_types inst))
+  | Error _ -> ());
+  result
 
 let horizon_arg =
   Arg.(
@@ -154,7 +233,7 @@ let run_cmd =
       & info [ "o"; "out" ] ~docv:"DIR"
           ~doc:"Also write each report to DIR/<id>.txt (DIR is created).")
   in
-  let run all out ids =
+  let run () all out ids =
     let targets =
       if all then List.map (fun e -> e.Core.Experiment_registry.id) Core.Experiment_registry.all
       else ids
@@ -195,7 +274,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate figures/tables from the paper.")
-    Term.(ret (const run $ all_arg $ out_arg $ ids_arg))
+    Term.(ret (const run $ obs_term $ all_arg $ out_arg $ ids_arg))
 
 (* --- solve --- *)
 
@@ -207,10 +286,14 @@ let solve_cmd =
       & info [ "eps" ] ~docv:"EPS"
           ~doc:"Use the (1+eps)-approximation instead of the exact optimum.")
   in
-  let run () scenario horizon file workload eps =
+  let run () () scenario horizon file workload eps =
     match resolve_instance ?workload scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
+        Core.Obs.Run_manifest.note "algorithm"
+          (match eps with
+          | None -> "dp-optimal"
+          | Some e -> Printf.sprintf "dp-approx(eps=%g)" e);
         let schedule, cost =
           match eps with
           | None -> Core.solve_offline inst
@@ -226,8 +309,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a scenario or instance file offline (Section 4).")
     Term.(
       ret
-        (const run $ verbose_term $ scenario_arg $ horizon_arg $ file_arg $ workload_arg
-        $ eps_arg))
+        (const run $ verbose_term $ obs_term $ scenario_arg $ horizon_arg $ file_arg
+        $ workload_arg $ eps_arg))
 
 (* --- online --- *)
 
@@ -237,13 +320,16 @@ let online_cmd =
       value & opt float 0.5
       & info [ "eps" ] ~docv:"EPS" ~doc:"Algorithm C's eps (time-dependent costs only).")
   in
-  let run scenario horizon file eps =
+  let run () scenario horizon file eps =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
+        let algorithm = if inst.Core.Instance.time_independent then "A" else "C" in
+        Core.Obs.Run_manifest.note "algorithm" ("alg-" ^ algorithm);
+        if algorithm = "C" then
+          Core.Obs.Run_manifest.note "eps" (Printf.sprintf "%g" eps);
         let schedule, cost = Core.run_online ~eps inst in
         let opt = Core.Harness.opt_cost inst in
-        let algorithm = if inst.Core.Instance.time_independent then "A" else "C" in
         Printf.printf "instance %s: algorithm %s cost %.4f, OPT %.4f, ratio %.4f\n" name
           algorithm cost opt (cost /. opt);
         print_schedule inst schedule;
@@ -251,7 +337,7 @@ let online_cmd =
   in
   Cmd.v
     (Cmd.info "online" ~doc:"Run the paper's online algorithm on a scenario or instance file.")
-    Term.(ret (const run $ scenario_arg $ horizon_arg $ file_arg $ eps_arg))
+    Term.(ret (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ eps_arg))
 
 (* --- compare --- *)
 
@@ -259,10 +345,11 @@ let compare_cmd =
   let window_arg =
     Arg.(value & opt int 3 & info [ "window" ] ~docv:"W" ~doc:"Receding-horizon lookahead.")
   in
-  let run scenario horizon file window =
+  let run () scenario horizon file window =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
+    Core.Obs.Run_manifest.note "algorithm" "suite";
     let opt = Core.Harness.opt_cost inst in
     let named = Core.Harness.run_suite ~window inst in
     let tbl = Core.Table.create ~header:[ "policy"; "cost"; "ratio"; "feasible" ] in
@@ -281,7 +368,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all policies on a scenario or instance file.")
-    Term.(ret (const run $ scenario_arg $ horizon_arg $ file_arg $ window_arg))
+    Term.(ret (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ window_arg))
 
 (* --- plan --- *)
 
@@ -297,7 +384,8 @@ let plan_cmd =
   let budget_arg =
     Arg.(value & opt int 20_000 & info [ "budget" ] ~docv:"N" ~doc:"Max DP evaluations.")
   in
-  let run path budget =
+  let run () path budget =
+    Core.Obs.Run_manifest.note "algorithm" "fleet-planner";
     match In_channel.with_open_text path In_channel.input_all with
     | exception Sys_error m -> `Error (false, m)
     | text -> (
@@ -333,7 +421,7 @@ let plan_cmd =
   Cmd.v
     (Cmd.info "plan"
        ~doc:"Choose fleet sizes (capex + optimal operating cost) from an instance file.")
-    Term.(ret (const run $ file_pos $ budget_arg))
+    Term.(ret (const run $ obs_term $ file_pos $ budget_arg))
 
 (* --- analyze --- *)
 
@@ -345,7 +433,7 @@ let analyze_cmd =
       & info [ "a"; "algorithm" ] ~docv:"NAME"
           ~doc:"Whose schedule to analyse: $(b,opt), $(b,alg-a) or $(b,alg-b).")
   in
-  let run scenario horizon file algo =
+  let run () scenario horizon file algo =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
@@ -355,6 +443,7 @@ let analyze_cmd =
           | `A -> ("algorithm A", (Core.Alg_a.run inst).Core.Alg_a.schedule)
           | `B -> ("algorithm B", (Core.Alg_b.run inst).Core.Alg_b.schedule)
         in
+        Core.Obs.Run_manifest.note "algorithm" algo_name;
         let d = Core.Instance.num_types inst in
         let horizon_n = Core.Instance.horizon inst in
         Printf.printf "instance %s, %s (T = %d, d = %d)\n" name algo_name horizon_n d;
@@ -392,7 +481,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Operational statistics of a schedule (power cycles, usage).")
-    Term.(ret (const run $ scenario_arg $ horizon_arg $ file_arg $ algo_arg))
+    Term.(ret (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ algo_arg))
 
 (* --- report --- *)
 
@@ -403,7 +492,7 @@ let report_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the markdown to FILE instead of stdout.")
   in
-  let run out =
+  let run () out =
     let buf = Buffer.create 8192 in
     Buffer.add_string buf
       "# Reproduction report\n\nGenerated by `rightsizer report` — every figure and \
@@ -427,12 +516,12 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the full markdown reproduction report.")
-    Term.(const run $ out_arg)
+    Term.(const run $ obs_term $ out_arg)
 
 (* --- verify --- *)
 
 let verify_cmd =
-  let run () =
+  let run () () =
     let tbl = Core.Table.create ~header:[ "id"; "check"; "measured" ] in
     let all_pass = ref true in
     List.iter
@@ -454,7 +543,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Run every experiment and assert its machine-checked claim (CI entry point).")
-    Term.(ret (const run $ const ()))
+    Term.(ret (const run $ obs_term $ const ()))
 
 (* --- simulate --- *)
 
@@ -490,7 +579,7 @@ let simulate_cmd =
       & info [ "c"; "controller" ] ~docv:"NAME"
           ~doc:"Decision policy: $(b,opt) (offline optimum), $(b,alg-a), $(b,alg-b),                 $(b,hysteresis), or $(b,static-peak).")
   in
-  let run scenario horizon file boot carry failure_rate repair controller =
+  let run () scenario horizon file boot carry failure_rate repair controller =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
@@ -515,6 +604,7 @@ let simulate_cmd =
                 ("hysteresis 80/30", Core.Controllers.hysteresis ~up:0.8 ~down:0.3 inst)
             | `Peak -> ("static peak", Core.Controllers.static_peak inst)
           in
+          Core.Obs.Run_manifest.note "controller" ctrl_name;
           let m, commanded = Core.Sim_dc.run_controller ~config inst controller in
           Printf.printf
             "instance %s, controller %s, boot delay %d, %s overflow\n" name ctrl_name boot
@@ -538,7 +628,7 @@ let simulate_cmd =
        ~doc:"Execute a controller in the discrete-event simulator (boot delays, backlogs).")
     Term.(
       ret
-        (const run $ scenario_arg $ horizon_arg $ file_arg $ boot_arg $ carry_arg
+        (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ boot_arg $ carry_arg
         $ failure_arg $ repair_arg $ controller_arg))
 
 let () =

@@ -1,6 +1,10 @@
 type piece = { fn : Fn.t; upper : float }
 type solution = { assignment : float array; objective : float }
 
+let c_calls = Obs.Counter.make "dispatch.calls"
+let c_iters = Obs.Counter.make "scalar_min.iters"
+let count_iters n = Obs.Counter.add c_iters n
+
 let feas_eps = 1e-9
 
 let feasible pieces ~total =
@@ -20,7 +24,7 @@ let response p nu =
     let d = Fn.deriv p.fn in
     if d 0. >= nu then 0.
     else if d p.upper <= nu then p.upper
-    else Scalar_min.bisect_monotone d ~lo:0. ~hi:p.upper ~target:nu
+    else Scalar_min.bisect_monotone ~on_iter:count_iters d ~lo:0. ~hi:p.upper ~target:nu
 
 (* Fast paths: with one unconstrained-at-zero piece the assignment is
    forced; with two, the problem is a 1-D convex minimisation solved by
@@ -43,7 +47,7 @@ let solve_few ~tol pieces ~total =
          invert the interval by a rounding hair; collapse it instead. *)
       let hi = Float.max lo hi in
       let cost z = Fn.eval a.fn z +. Fn.eval b.fn (total -. z) in
-      let z1, _ = Scalar_min.golden_section ~tol cost ~lo ~hi in
+      let z1, _ = Scalar_min.golden_section ~tol ~on_iter:count_iters cost ~lo ~hi in
       let z = Array.map (fun _ -> 0.) pieces in
       z.(j1) <- z1;
       z.(j2) <- total -. z1;
@@ -59,7 +63,7 @@ let solve_few ~tol pieces ~total =
         let lo = Float.max 0. (rest -. c.upper) and hi = Float.min b.upper rest in
         let hi = Float.max lo hi in
         let cost z2 = Fn.eval b.fn z2 +. Fn.eval c.fn (rest -. z2) in
-        Scalar_min.golden_section ~tol cost ~lo ~hi
+        Scalar_min.golden_section ~tol ~on_iter:count_iters cost ~lo ~hi
       in
       let lo1 = Float.max 0. (total -. (b.upper +. c.upper)) in
       let hi1 = Float.min a.upper total in
@@ -68,7 +72,7 @@ let solve_few ~tol pieces ~total =
         let _, v = inner z1 in
         Fn.eval a.fn z1 +. v
       in
-      let z1, _ = Scalar_min.golden_section ~tol outer ~lo:lo1 ~hi:hi1 in
+      let z1, _ = Scalar_min.golden_section ~tol ~on_iter:count_iters outer ~lo:lo1 ~hi:hi1 in
       let z2, _ = inner z1 in
       let z = Array.map (fun _ -> 0.) pieces in
       z.(j1) <- z1;
@@ -78,6 +82,7 @@ let solve_few ~tol pieces ~total =
   | _ :: _ :: _ :: _ -> None
 
 let solve ?(tol = 1e-9) pieces ~total =
+  Obs.Counter.incr c_calls;
   if total < 0. then invalid_arg "Dispatch.solve: negative total";
   if not (feasible pieces ~total) then None
   else if total = 0. then
@@ -146,6 +151,7 @@ let solve ?(tol = 1e-9) pieces ~total =
   end
 
 let greedy ?(steps = 4096) pieces ~total =
+  Obs.Counter.incr c_calls;
   if total < 0. then invalid_arg "Dispatch.greedy: negative total";
   if not (feasible pieces ~total) then None
   else if total = 0. then

@@ -1,13 +1,17 @@
 let inv_phi = (sqrt 5. -. 1.) /. 2.
 
-let golden_section ?(tol = 1e-10) ?(max_iter = 200) f ~lo ~hi =
+let report on_iter n = match on_iter with None -> () | Some k -> k n
+
+let golden_section ?(tol = 1e-10) ?(max_iter = 200) ?on_iter f ~lo ~hi =
   assert (lo <= hi);
   let tol = tol *. Float.max 1. (hi -. lo) in
   let rec go a b fa_x fb_x x1 x2 iter =
     (* Invariant: x1 < x2 inside [a, b], fa_x = f x1, fb_x = f x2. *)
-    if b -. a <= tol || iter >= max_iter then
+    if b -. a <= tol || iter >= max_iter then begin
+      report on_iter iter;
       let m = (a +. b) /. 2. in
       (m, f m)
+    end
     else if fa_x <= fb_x then
       let b' = x2 in
       let x2' = x1 in
@@ -19,18 +23,26 @@ let golden_section ?(tol = 1e-10) ?(max_iter = 200) f ~lo ~hi =
       let x2' = a' +. (inv_phi *. (b -. a')) in
       go a' b fb_x (f x2') x1' x2' (iter + 1)
   in
-  if hi -. lo <= tol then
+  if hi -. lo <= tol then begin
+    report on_iter 0;
     let m = (lo +. hi) /. 2. in
     (m, f m)
+  end
   else
     let x1 = hi -. (inv_phi *. (hi -. lo)) in
     let x2 = lo +. (inv_phi *. (hi -. lo)) in
     go lo hi (f x1) (f x2) x1 x2 0
 
-let bisect_monotone ?(iters = 80) f ~lo ~hi ~target =
+let bisect_monotone ?(iters = 80) ?on_iter f ~lo ~hi ~target =
   assert (lo <= hi);
-  if f lo > target then lo
-  else if f hi <= target then hi
+  if f lo > target then begin
+    report on_iter 0;
+    lo
+  end
+  else if f hi <= target then begin
+    report on_iter 0;
+    hi
+  end
   else begin
     let a = ref lo and b = ref hi in
     (* Invariant: f !a <= target < f !b. *)
@@ -38,5 +50,6 @@ let bisect_monotone ?(iters = 80) f ~lo ~hi ~target =
       let m = (!a +. !b) /. 2. in
       if f m <= target then a := m else b := m
     done;
+    report on_iter iters;
     !a
   end

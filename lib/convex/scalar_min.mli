@@ -1,18 +1,37 @@
 (** One-dimensional search primitives shared by the dispatch solver.
 
     Everything operates on plain [float -> float] closures; convexity or
-    monotonicity is a precondition stated per function. *)
+    monotonicity is a precondition stated per function.  Both searches
+    accept an [?on_iter] observer, called once per search with the number
+    of iterations performed, so callers can attribute work to an
+    [Obs.Counter] without the primitives depending on the telemetry
+    layer. *)
 
 val golden_section :
-  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float * float
+  ?tol:float ->
+  ?max_iter:int ->
+  ?on_iter:(int -> unit) ->
+  (float -> float) ->
+  lo:float ->
+  hi:float ->
+  float * float
 (** [golden_section f ~lo ~hi] minimises a unimodal (e.g. convex) [f] on
     [\[lo, hi\]] and returns [(argmin, min)].  Accuracy is [tol] in the
-    argument (default [1e-10] scaled by the interval). *)
+    argument (default [1e-10] scaled by the interval).  [on_iter]
+    receives the number of interval contractions performed (0 when the
+    interval was already within tolerance). *)
 
 val bisect_monotone :
-  ?iters:int -> (float -> float) -> lo:float -> hi:float -> target:float -> float
+  ?iters:int ->
+  ?on_iter:(int -> unit) ->
+  (float -> float) ->
+  lo:float ->
+  hi:float ->
+  target:float ->
+  float
 (** [bisect_monotone f ~lo ~hi ~target] assumes [f] non-decreasing and
     returns a point [x] where [f] crosses [target]: the supremum of
     [{x | f(x) <= target}] up to bisection accuracy, clamped to the
     interval.  If [f lo > target] it returns [lo]; if [f hi <= target]
-    it returns [hi]. *)
+    it returns [hi].  [on_iter] receives the bisection count (0 on the
+    early returns). *)

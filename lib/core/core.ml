@@ -43,6 +43,7 @@ module Csv = Util.Csv
 module Sexp = Util.Sexp
 module Ascii_plot = Util.Ascii_plot
 module Svg = Util.Svg
+module Obs = Obs
 
 let solve_offline inst =
   let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in

@@ -66,6 +66,11 @@ module Sexp = Util.Sexp
 module Ascii_plot = Util.Ascii_plot
 module Svg = Util.Svg
 
+module Obs = Obs
+(** Telemetry: spans, counters, sinks, trace/metrics exporters and run
+    manifests ({!Obs.Span}, {!Obs.Counter}, {!Obs.Sink},
+    {!Obs.Trace_export}, {!Obs.Metrics_export}, {!Obs.Run_manifest}). *)
+
 val solve_offline : Instance.t -> Schedule.t * float
 (** Exact optimal schedule and cost (Section 4.1). *)
 

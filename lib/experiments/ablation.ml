@@ -1,16 +1,9 @@
 let fmt = Printf.sprintf
 
-let time f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
-
-let time_n n f =
-  let t0 = Sys.time () in
-  for _ = 1 to n do
-    ignore (f ())
-  done;
-  (Sys.time () -. t0) /. float_of_int n
+(* Wall clock (Obs.Span), not Sys.time: CPU time sums over domains and
+   over-reports any section that fans out via Util.Parallel. *)
+let time = Obs.Span.timed
+let time_n = Obs.Span.timed_n
 
 (* --- dispatch: fast paths vs oracle --- *)
 

@@ -5,6 +5,13 @@ type entry = {
   run : unit -> Report.t;
 }
 
+(* Every registered experiment runs inside a span named after its id and
+   notes itself in the run manifest, so `rightsizer run --trace` shows
+   per-artifact wall time with the solver spans nested underneath. *)
+let traced id run () =
+  Obs.Run_manifest.note "experiment" id;
+  Obs.Span.with_ ("experiment." ^ id) run
+
 let all =
   [ { id = "fig1"; kind = `Figure;
       description = "Algorithm A trajectory (t_j = 5)"; run = Figures.fig1 };
@@ -51,6 +58,8 @@ let all =
       description = "Design-choice ablations (fast paths, graph vs DP, reduced grids)";
       run = Ablation.run }
   ]
+
+let all = List.map (fun e -> { e with run = traced e.id e.run }) all
 
 let find id = List.find_opt (fun e -> e.id = id) all
 

@@ -154,10 +154,9 @@ let thm15 () =
     pass = !ok;
     artifacts = [] }
 
-let time f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
+(* Wall clock (Obs.Span), not Sys.time: CPU time sums over domains and
+   over-reports any section that fans out via Util.Parallel. *)
+let time = Obs.Span.timed
 
 let thm21 () =
   (* Quality/work trade-off in eps on a fleet large enough for the grid

@@ -137,11 +137,17 @@ type cache = { inst : Instance.t; table : (int * int list, float) Hashtbl.t }
 
 let make_cache inst = { inst; table = Hashtbl.create 4096 }
 
+let c_memo_hits = Obs.Counter.make "cost.memo_hits"
+let c_memo_misses = Obs.Counter.make "cost.memo_misses"
+
 let cached_operating cache ~time x =
   let key = (time, Array.to_list x) in
   match Hashtbl.find_opt cache.table key with
-  | Some g -> g
+  | Some g ->
+      Obs.Counter.incr c_memo_hits;
+      g
   | None ->
+      Obs.Counter.incr c_memo_misses;
       let g = operating cache.inst ~time x in
       Hashtbl.add cache.table key g;
       g

@@ -1,0 +1,33 @@
+(** Cheap process-wide work counters.
+
+    A counter is a named atomic integer, striped across per-domain
+    shards so concurrent [incr]/[add] (single fetch-and-adds) don't
+    contend on one cache line; reads sum the shards, so values stay
+    exact across domains and the hot solvers (DP cell expansion,
+    dispatch calls, scalar-min iterations) count their work
+    unconditionally.  Counters register themselves in a
+    global table keyed by name: [make] at module initialisation returns
+    the same counter for the same name, and {!snapshot} reads them all. *)
+
+type t
+
+val make : string -> t
+(** Create or look up the counter called [name].  Call at module
+    top-level so the hot path holds the handle. *)
+
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+
+val reset : t -> unit
+
+val find : string -> t option
+(** Look up a counter by name without creating it. *)
+
+val snapshot : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name
+    (zeros included — filter at the presentation layer). *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (between benchmark runs). *)

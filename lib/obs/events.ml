@@ -1,0 +1,26 @@
+type kind = Begin | End | Instant
+
+type t = {
+  kind : kind;
+  name : string;
+  ts_us : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+let make ?(args = []) kind ~name ~ts_us ~tid = { kind; name; ts_us; tid; args }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+let render ?(zeros = false) counters =
+  let counters = if zeros then counters else List.filter (fun (_, v) -> v <> 0) counters in
+  match counters with
+  | [] -> "(no counters)\n"
+  | counters ->
+      let width =
+        List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 counters
+      in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf (Printf.sprintf "%-*s %d\n" width name v))
+        counters;
+      Buffer.contents buf
+
+let write ?zeros ~path counters =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (render ?zeros counters))
+
+let pretty_count n =
+  let f = float_of_int n in
+  if n < 10_000 then string_of_int n
+  else if f < 1e6 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else Printf.sprintf "%.1fG" (f /. 1e9)
+
+let compact counters =
+  counters
+  |> List.filter (fun (_, v) -> v <> 0)
+  |> List.map (fun (name, v) -> Printf.sprintf "%s=%s" name (pretty_count v))
+  |> String.concat " "

@@ -1,0 +1,14 @@
+(** Plain-text rendering of counter snapshots (the [--metrics] output). *)
+
+val render : ?zeros:bool -> (string * int) list -> string
+(** One aligned [name value] line per counter.  Zero-valued counters are
+    dropped unless [zeros] is true. *)
+
+val write : ?zeros:bool -> path:string -> (string * int) list -> unit
+
+val pretty_count : int -> string
+(** [12345678] as ["12.3M"], small values verbatim. *)
+
+val compact : (string * int) list -> string
+(** Single-line [name=1.2k] rendering of the non-zero counters — used by
+    the bench harness next to each timing. *)

@@ -1,0 +1,89 @@
+type t = {
+  label : string;
+  notes : (string * string) list;
+  wall_s : float;
+  counters : (string * int) list;
+}
+
+(* Process-wide annotation store: whoever learns a fact about the run
+   (the CLI's scenario resolution, a solver's algorithm choice) notes it
+   here; [capture] folds the notes into the manifest.  Insertion order is
+   kept, later notes overwrite earlier ones with the same key. *)
+let lock = Mutex.create ()
+let store : (string * string) list ref = ref []
+
+let note key value =
+  Mutex.lock lock;
+  let rec replace = function
+    | [] -> [ (key, value) ]
+    | (k, _) :: rest when k = key -> (k, value) :: rest
+    | kv :: rest -> kv :: replace rest
+  in
+  store := replace !store;
+  Mutex.unlock lock
+
+let notes () =
+  Mutex.lock lock;
+  let n = !store in
+  Mutex.unlock lock;
+  n
+
+let reset_notes () =
+  Mutex.lock lock;
+  store := [];
+  Mutex.unlock lock
+
+let capture ~label ~wall_s =
+  { label;
+    notes = notes ();
+    wall_s;
+    counters = List.filter (fun (_, v) -> v <> 0) (Counter.snapshot ()) }
+
+let render m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "run      %s\n" m.label);
+  Buffer.add_string buf (Printf.sprintf "wall     %.3f s\n" m.wall_s);
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-8s %s\n" k v)) m.notes;
+  (match m.counters with
+  | [] -> ()
+  | counters ->
+      Buffer.add_string buf "counters\n";
+      let width =
+        List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 counters
+      in
+      List.iter
+        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" width name v))
+        counters);
+  Buffer.contents buf
+
+let to_fields m =
+  (("label", m.label) :: ("wall_s", Printf.sprintf "%.6f" m.wall_s) :: m.notes)
+  @ List.map (fun (name, v) -> ("counter." ^ name, string_of_int v)) m.counters
+
+let to_json m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"label\": \"%s\",\n" (Events.json_escape m.label));
+  Buffer.add_string buf (Printf.sprintf "  \"wall_s\": %.6f,\n" m.wall_s);
+  Buffer.add_string buf "  \"notes\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\": \"%s\"" (Events.json_escape k) (Events.json_escape v)))
+    m.notes;
+  Buffer.add_string buf (if m.notes = [] then "},\n" else "\n  },\n");
+  Buffer.add_string buf "  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\": %d" (Events.json_escape name) v))
+    m.counters;
+  Buffer.add_string buf (if m.counters = [] then "}\n" else "\n  }\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_json ~path m =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_json m))

@@ -1,0 +1,35 @@
+(** Per-run provenance records.
+
+    A manifest is the reproducibility stub of one run: what was executed
+    (label and free-form notes such as scenario, algorithm, seed), how
+    long it took on the wall clock, and the non-zero counter snapshot —
+    enough to tell, months later, whether a number changed because the
+    work changed or because each unit of work got slower. *)
+
+type t = {
+  label : string;                  (** e.g. the command line *)
+  notes : (string * string) list;  (** scenario, algorithm, seed, ... *)
+  wall_s : float;
+  counters : (string * int) list;  (** non-zero counters at capture *)
+}
+
+val note : string -> string -> unit
+(** Record a key/value fact about the current run in the process-wide
+    store (later notes overwrite earlier ones with the same key). *)
+
+val notes : unit -> (string * string) list
+
+val reset_notes : unit -> unit
+
+val capture : label:string -> wall_s:float -> t
+(** Snapshot the note store and {!Counter.snapshot} into a manifest. *)
+
+val render : t -> string
+(** Human-readable multi-line rendering (the [--obs-summary] output). *)
+
+val to_fields : t -> (string * string) list
+(** Flat key/value view, suitable for a Chrome trace's [otherData]. *)
+
+val to_json : t -> string
+
+val write_json : path:string -> t -> unit

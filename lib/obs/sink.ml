@@ -1,0 +1,82 @@
+type t = { emit : Events.t -> unit }
+
+let null = { emit = (fun _ -> ()) }
+let make emit = { emit }
+
+(* A single process-wide sink.  [None] is the common production state:
+   every instrumentation site checks [installed] (one atomic read) before
+   doing any timing or allocation, so the disabled overhead is a branch. *)
+let current : t option Atomic.t = Atomic.make None
+
+let install s = Atomic.set current (Some s)
+let uninstall () = Atomic.set current None
+let installed () = Atomic.get current <> None
+
+let emit ev =
+  match Atomic.get current with None -> () | Some s -> s.emit ev
+
+let with_sink s f =
+  let prev = Atomic.get current in
+  Atomic.set current (Some s);
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f
+
+let memory () =
+  let lock = Mutex.create () in
+  let events = ref [] in
+  let emit ev =
+    Mutex.lock lock;
+    events := ev :: !events;
+    Mutex.unlock lock
+  in
+  let contents () =
+    Mutex.lock lock;
+    let l = List.rev !events in
+    Mutex.unlock lock;
+    l
+  in
+  ({ emit }, contents)
+
+let ring ~capacity () =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  let lock = Mutex.create () in
+  let buf = Array.make capacity None in
+  let total = ref 0 in
+  let emit ev =
+    Mutex.lock lock;
+    buf.(!total mod capacity) <- Some ev;
+    incr total;
+    Mutex.unlock lock
+  in
+  let contents () =
+    Mutex.lock lock;
+    let n = min !total capacity in
+    let start = if !total <= capacity then 0 else !total mod capacity in
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      match buf.((start + i) mod capacity) with
+      | Some ev -> out := ev :: !out
+      | None -> ()
+    done;
+    Mutex.unlock lock;
+    !out
+  in
+  ({ emit }, contents)
+
+let file path =
+  let oc = Out_channel.open_text path in
+  let lock = Mutex.create () in
+  let first = ref true in
+  Out_channel.output_string oc "[\n";
+  let emit ev =
+    Mutex.lock lock;
+    if !first then first := false else Out_channel.output_string oc ",\n";
+    Out_channel.output_string oc (Trace_export.event_json ev);
+    Mutex.unlock lock
+  in
+  let close () =
+    Mutex.lock lock;
+    Out_channel.output_string oc "\n]\n";
+    Out_channel.close oc;
+    Mutex.unlock lock
+  in
+  ({ emit }, close)

@@ -1,0 +1,45 @@
+(** Pluggable destinations for telemetry events.
+
+    At most one sink is installed per process.  With no sink installed
+    every instrumentation site reduces to one atomic read — cheap enough
+    to leave the probes compiled into the hot solvers permanently. *)
+
+type t
+
+val null : t
+(** Accepts and discards every event (useful to measure probe overhead
+    with the emission paths active). *)
+
+val make : (Events.t -> unit) -> t
+(** A custom sink from an emission callback.  The callback may be called
+    concurrently from several domains and must synchronise internally. *)
+
+val memory : unit -> t * (unit -> Events.t list)
+(** An unbounded in-memory sink and a function returning everything
+    recorded so far in emission order.  Thread-safe. *)
+
+val ring : capacity:int -> unit -> t * (unit -> Events.t list)
+(** A bounded sink keeping only the most recent [capacity] events
+    (oldest first on readout) — constant memory for always-on tracing of
+    long runs.  Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val file : string -> t * (unit -> unit)
+(** [file path] streams events to [path] as a Chrome trace-event JSON
+    array as they arrive; the returned closer writes the footer and
+    closes the channel.  Thread-safe. *)
+
+val install : t -> unit
+(** Make [s] the process-wide sink. *)
+
+val uninstall : unit -> unit
+(** Remove the installed sink (back to zero-overhead mode). *)
+
+val installed : unit -> bool
+(** Whether a sink is currently installed (one atomic read). *)
+
+val emit : Events.t -> unit
+(** Send an event to the installed sink; no-op without one. *)
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Run [f] with [s] installed, restoring the previous sink afterwards
+    (exception-safe). *)

@@ -1,0 +1,33 @@
+let epoch = Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let tid () = (Domain.self () :> int)
+
+let with_ ?args name f =
+  if not (Sink.installed ()) then f ()
+  else begin
+    let t = tid () in
+    Sink.emit (Events.make ?args Events.Begin ~name ~ts_us:(now_us ()) ~tid:t);
+    Fun.protect
+      ~finally:(fun () ->
+        Sink.emit (Events.make Events.End ~name ~ts_us:(now_us ()) ~tid:t))
+      f
+  end
+
+let instant ?args name =
+  if Sink.installed () then
+    Sink.emit (Events.make ?args Events.Instant ~name ~ts_us:(now_us ()) ~tid:(tid ()))
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let timed_n n f =
+  if n <= 0 then invalid_arg "Span.timed_n: n must be positive";
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n

@@ -1,0 +1,117 @@
+let args_json args =
+  match args with
+  | [] -> ""
+  | args ->
+      let fields =
+        List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\":\"%s\"" (Events.json_escape k) (Events.json_escape v))
+          args
+      in
+      Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+
+let event_json (ev : Events.t) =
+  let ph, extra =
+    match ev.Events.kind with
+    | Events.Begin -> ("B", "")
+    | Events.End -> ("E", "")
+    | Events.Instant -> ("i", ",\"s\":\"t\"")
+  in
+  Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s%s}"
+    (Events.json_escape ev.Events.name)
+    ph ev.Events.ts_us ev.Events.tid extra (args_json ev.Events.args)
+
+let to_chrome_json ?(other = []) events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (event_json ev))
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"";
+  (match other with
+  | [] -> ()
+  | other ->
+      let fields =
+        List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\":\"%s\"" (Events.json_escape k) (Events.json_escape v))
+          other
+      in
+      Buffer.add_string buf (Printf.sprintf ",\"otherData\":{%s}" (String.concat "," fields)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_chrome_json ?other ~path events =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_chrome_json ?other events))
+
+(* Rebuild the span forest per domain from the flat event list.  Events
+   arrive in emission order, so within one tid the Begin/End pairs nest
+   like parentheses; unmatched Begins (a crash mid-span) render with an
+   open duration. *)
+type node = {
+  label : string;
+  start_us : float;
+  mutable dur_us : float option;
+  mutable children : node list;  (* reverse order while building *)
+}
+
+let to_tree events =
+  let module M = Map.Make (Int) in
+  (* Per tid: stack of open nodes (innermost first) and finished roots
+     (reverse order). *)
+  let state = ref M.empty in
+  let get tid = match M.find_opt tid !state with Some s -> s | None -> ([], []) in
+  let set tid s = state := M.add tid s !state in
+  List.iter
+    (fun (ev : Events.t) ->
+      let stack, roots = get ev.Events.tid in
+      match ev.Events.kind with
+      | Events.Begin ->
+          let node =
+            { label = ev.Events.name; start_us = ev.Events.ts_us; dur_us = None; children = [] }
+          in
+          set ev.Events.tid (node :: stack, roots)
+      | Events.End -> (
+          match stack with
+          | [] -> () (* unmatched End: drop *)
+          | node :: rest ->
+              node.dur_us <- Some (ev.Events.ts_us -. node.start_us);
+              (match rest with
+              | parent :: _ ->
+                  parent.children <- node :: parent.children;
+                  set ev.Events.tid (rest, roots)
+              | [] -> set ev.Events.tid ([], node :: roots)))
+      | Events.Instant ->
+          let node =
+            { label = "* " ^ ev.Events.name;
+              start_us = ev.Events.ts_us;
+              dur_us = Some 0.;
+              children = [] }
+          in
+          (match stack with
+          | parent :: _ -> parent.children <- node :: parent.children
+          | [] -> set ev.Events.tid (stack, node :: roots)))
+    events;
+  let buf = Buffer.create 1024 in
+  let rec render indent node =
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_string buf node.label;
+    (match node.dur_us with
+    | Some 0. -> ()
+    | Some d -> Buffer.add_string buf (Printf.sprintf "  %.3f ms" (d /. 1e3))
+    | None -> Buffer.add_string buf "  (unclosed)");
+    Buffer.add_char buf '\n';
+    List.iter (render (indent + 2)) (List.rev node.children)
+  in
+  M.iter
+    (fun tid (stack, roots) ->
+      Buffer.add_string buf (Printf.sprintf "domain %d\n" tid);
+      List.iter (render 2) (List.rev roots);
+      (* Anything still open when the trace was read. *)
+      List.iter (render 2) (List.rev stack))
+    !state;
+  Buffer.contents buf

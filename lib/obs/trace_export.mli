@@ -1,0 +1,27 @@
+(** Exporters for recorded event streams.
+
+    Two renderings of the same events: the Chrome [trace_event] JSON
+    format, loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}, and a plain-text span tree for terminals and logs. *)
+
+val event_json : Events.t -> string
+(** One event as a Chrome trace-event JSON object ([ph] B/E/i). *)
+
+val to_chrome_json : ?other:(string * string) list -> Events.t list -> string
+(** The full object-format trace: [{"traceEvents": [...], ...}].
+    [other] lands in the ["otherData"] field — the run manifest goes
+    there so a trace file is self-describing. *)
+
+val write_chrome_json :
+  ?other:(string * string) list -> path:string -> Events.t list -> unit
+
+val to_tree : Events.t list -> string
+(** Per-domain span forest with wall durations, e.g.
+    {v
+domain 0
+  dp.solve  12.431 ms
+    parallel.fill  3.101 ms
+  * stepper.power_up
+    v}
+    Instant events render as [* name] leaves; spans still open at the
+    end of the stream render as [(unclosed)]. *)

@@ -4,6 +4,9 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type result = { schedule : Model.Schedule.t; cost : float }
 
+let c_solves = Obs.Counter.make "dp.solves"
+let c_cells = Obs.Counter.make "dp.cells"
+
 let betas inst =
   Array.map (fun st -> st.Model.Server_type.switching_cost) inst.Model.Instance.types
 
@@ -37,6 +40,8 @@ let layer_operating ~domains inst cache grid ~time =
   end
 
 let solve ?grids ?initial ?(domains = 1) inst =
+ Obs.Span.with_ "dp.solve" ~args:[ ("domains", string_of_int domains) ] @@ fun () ->
+  Obs.Counter.incr c_solves;
   (* Two-sided switching costs fold into the power-up side without
      changing any schedule's cost (paper, Section 1). *)
   let inst = Model.Instance.fold_switching inst in
@@ -56,8 +61,10 @@ let solve ?grids ?initial ?(domains = 1) inst =
     let g = grids time in
     grid_at.(time) <- (if Grid.equal g grid_at.(time - 1) then grid_at.(time - 1) else g)
   done;
+  (Obs.Span.with_ "dp.forward" @@ fun () ->
   for time = 0 to horizon - 1 do
     let grid = grid_at.(time) in
+    Obs.Counter.add c_cells (Grid.size grid);
     let entering =
       if time = 0 then begin
         (* Single known source: the switching cost from it is closed-form,
@@ -84,7 +91,7 @@ let solve ?grids ?initial ?(domains = 1) inst =
     let ops = layer_operating ~domains inst cache grid ~time in
     Array.iteri (fun i c -> entering.(i) <- c +. ops.(i)) entering;
     arrival.(time) <- entering
-  done;
+  done);
   (* Terminal: powering everything down is free. *)
   let last_grid = grid_at.(horizon - 1) in
   let best = ref infinity and best_idx = ref (-1) in
@@ -101,6 +108,7 @@ let solve ?grids ?initial ?(domains = 1) inst =
      predecessor achieving the arrival cost. *)
   let schedule = Array.make horizon [||] in
   schedule.(horizon - 1) <- Grid.config_at last_grid !best_idx;
+  (Obs.Span.with_ "dp.reconstruct" @@ fun () ->
   for time = horizon - 1 downto 1 do
     let target = schedule.(time) in
     let grid = grid_at.(time - 1) in
@@ -121,7 +129,7 @@ let solve ?grids ?initial ?(domains = 1) inst =
     match !best_x with
     | Some y -> schedule.(time - 1) <- y
     | None -> invalid_arg "Dp.solve: reconstruction failed"
-  done;
+  done);
   Log.debug (fun m ->
       m "solved T=%d d=%d states/slot<=%d cost=%g" horizon d
         (Grid.size grid_at.(horizon - 1))

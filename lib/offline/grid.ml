@@ -8,6 +8,9 @@ let compute_strides dims =
   done;
   strides
 
+let c_builds = Obs.Counter.make "grid.builds"
+let c_states = Obs.Counter.make "grid.states"
+
 let make dims =
   if Array.length dims = 0 then invalid_arg "Grid.make: no axes";
   Array.iter
@@ -21,6 +24,8 @@ let make dims =
     dims;
   let dims = Array.map Array.copy dims in
   let size = Array.fold_left (fun acc axis -> acc * Array.length axis) 1 dims in
+  Obs.Counter.incr c_builds;
+  Obs.Counter.add c_states size;
   { dims; strides = compute_strides dims; size }
 
 let dense m = make (Array.map (fun mj -> Array.init (mj + 1) Fun.id) m)

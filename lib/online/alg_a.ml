@@ -16,6 +16,7 @@ let runtime inst ~typ =
   if idle <= 0. then None else Some (max 1 (int_of_float (Float.ceil (beta /. idle))))
 
 let run ?grid inst =
+  Obs.Span.with_ "alg_a.run" @@ fun () ->
   let horizon = Model.Instance.horizon inst in
   let engine = Prefix_opt.create ?grid inst in
   let stepper = Stepper.alg_a inst in

@@ -21,6 +21,7 @@ let c_of_instance inst =
   !acc
 
 let run ?grid inst =
+  Obs.Span.with_ "alg_b.run" @@ fun () ->
   let horizon = Model.Instance.horizon inst in
   let engine = Prefix_opt.create ?grid inst in
   let stepper = Stepper.alg_b inst in

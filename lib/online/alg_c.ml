@@ -43,6 +43,7 @@ let refine ~eps inst =
 
 let run ~eps inst =
   if eps <= 0. then invalid_arg "Alg_c.run: eps must be positive";
+  Obs.Span.with_ "alg_c.run" ~args:[ ("eps", string_of_float eps) ] @@ fun () ->
   let horizon = Model.Instance.horizon inst in
   let parts, slot_of, refined = refine ~eps inst in
   let b = Alg_b.run refined in

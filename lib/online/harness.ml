@@ -30,24 +30,31 @@ let competitive_bound inst ~algorithm =
   | `C eps -> (2. *. d) +. 1. +. eps
 
 let run_suite ?(eps = 0.5) ?(window = 3) ?(include_baselines = true) inst =
-  let opt = Offline.Dp.solve_optimal inst in
+  Obs.Span.with_ "harness.run_suite" @@ fun () ->
+  (* One span per policy, so a trace of a suite run shows where the wall
+     time went across OPT, the online algorithms and the baselines. *)
+  let policy name f = (name, Obs.Span.with_ ("harness." ^ name) f) in
+  let opt = Obs.Span.with_ "harness.OPT" (fun () -> Offline.Dp.solve_optimal inst) in
   let online =
     if inst.Model.Instance.time_independent then
-      [ ("alg-A", (Alg_a.run inst).Alg_a.schedule) ]
+      [ policy "alg-A" (fun () -> (Alg_a.run inst).Alg_a.schedule) ]
     else
-      [ ("alg-B", (Alg_b.run inst).Alg_b.schedule);
-        (Printf.sprintf "alg-C(eps=%g)" eps, (Alg_c.run ~eps inst).Alg_c.schedule) ]
+      [ policy "alg-B" (fun () -> (Alg_b.run inst).Alg_b.schedule);
+        (Printf.sprintf "alg-C(eps=%g)" eps,
+         Obs.Span.with_ "harness.alg-C" (fun () -> (Alg_c.run ~eps inst).Alg_c.schedule)) ]
   in
   let baselines =
     if not include_baselines then []
     else begin
       let basic =
-        [ ("always-on", Baselines.always_on inst);
-          ("follow-demand", Baselines.follow_demand inst);
-          (Printf.sprintf "horizon-%d" window, Baselines.receding_horizon ~window inst) ]
+        [ policy "always-on" (fun () -> Baselines.always_on inst);
+          policy "follow-demand" (fun () -> Baselines.follow_demand inst);
+          (Printf.sprintf "horizon-%d" window,
+           Obs.Span.with_ "harness.receding-horizon" (fun () ->
+               Baselines.receding_horizon ~window inst)) ]
       in
       if Model.Instance.num_types inst = 1 then
-        basic @ [ ("lcp", Baselines.lcp_1d inst) ]
+        basic @ [ policy "lcp" (fun () -> Baselines.lcp_1d inst) ]
       else basic
     end
   in

@@ -49,8 +49,23 @@ let alg_b inst =
     ups = [];
     downs = [] }
 
+let c_steps = Obs.Counter.make "stepper.steps"
+let c_ups = Obs.Counter.make "stepper.power_ups"
+let c_downs = Obs.Counter.make "stepper.power_downs"
+
+(* Instant events carry their slot/type/count; build the args only when
+   a sink is listening. *)
+let event name ~time ~typ ~count =
+  if Obs.Sink.installed () then
+    Obs.Span.instant name
+      ~args:
+        [ ("time", string_of_int time);
+          ("typ", string_of_int typ);
+          ("count", string_of_int count) ]
+
 let step t ~time ~hat =
   if time <> t.clock then invalid_arg "Stepper.step: slots must be fed in order";
+  Obs.Counter.incr c_steps;
   t.clock <- time + 1;
   let d = Array.length t.x in
   if Array.length hat <> d then invalid_arg "Stepper.step: dimension mismatch";
@@ -63,6 +78,8 @@ let step t ~time ~hat =
             match Hashtbl.find_opt w (time - tbar) with
             | Some counts when counts.(typ) > 0 ->
                 t.x.(typ) <- t.x.(typ) - counts.(typ);
+                Obs.Counter.add c_downs counts.(typ);
+                event "stepper.power_down" ~time ~typ ~count:counts.(typ);
                 t.downs <- (time, typ, counts.(typ)) :: t.downs
             | Some _ | None -> ())
         | Some _ | None -> ())
@@ -82,6 +99,8 @@ let step t ~time ~hat =
         List.iter
           (fun (_, count) ->
             t.x.(typ) <- t.x.(typ) - count;
+            Obs.Counter.add c_downs count;
+            event "stepper.power_down" ~time ~typ ~count;
             t.downs <- (time, typ, count) :: t.downs)
           leaving);
     (* Power up to the optimal-prefix target. *)
@@ -100,6 +119,8 @@ let step t ~time ~hat =
           counts.(typ) <- counts.(typ) + up
       | B b -> b.groups.(typ) <- b.groups.(typ) @ [ (time, up) ]);
       t.x.(typ) <- hat.(typ);
+      Obs.Counter.add c_ups up;
+      event "stepper.power_up" ~time ~typ ~count:up;
       t.ups <- (time, typ, up) :: t.ups
     end
   done;

@@ -3,6 +3,9 @@ let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 (* Below this many items the spawn overhead dominates any speed-up. *)
 let min_parallel_items = 256
 
+let c_fills = Obs.Counter.make "parallel.fills"
+let c_spawns = Obs.Counter.make "parallel.domain_spawns"
+
 let parallel_fill ~domains out f =
   let n = Array.length out in
   if domains <= 1 || n < min_parallel_items then
@@ -11,6 +14,11 @@ let parallel_fill ~domains out f =
     done
   else begin
     let workers = min domains n in
+    Obs.Counter.incr c_fills;
+    Obs.Counter.add c_spawns (workers - 1);
+    Obs.Span.with_ "parallel.fill"
+      ~args:[ ("n", string_of_int n); ("workers", string_of_int workers) ]
+    @@ fun () ->
     let chunk = (n + workers - 1) / workers in
     let run lo hi =
       for i = lo to hi do

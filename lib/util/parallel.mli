@@ -10,6 +10,10 @@ val recommended_domains : unit -> int
 (** A sensible worker count: [Domain.recommended_domain_count], at
     least 1. *)
 
+val min_parallel_items : int
+(** Arrays smaller than this are always filled sequentially (the spawn
+    overhead dominates below it).  Exposed for the edge-case tests. *)
+
 val parallel_fill : domains:int -> float array -> (int -> float) -> unit
 (** [parallel_fill ~domains out f] sets [out.(i) <- f i] for every index,
     splitting the range into contiguous chunks across [domains] domains

@@ -1,0 +1,267 @@
+(* Telemetry library: spans, counters, sinks, exporters, manifests. *)
+
+let checkb msg = Alcotest.(check bool) msg
+let checki msg = Alcotest.(check int) msg
+let checks msg = Alcotest.(check string) msg
+
+let ev ?args kind name ts tid = Obs.Events.make ?args kind ~name ~ts_us:ts ~tid
+
+(* --- spans through the memory sink --- *)
+
+let test_span_nesting () =
+  let sink, contents = Obs.Sink.memory () in
+  Obs.Sink.with_sink sink (fun () ->
+      Obs.Span.with_ "outer" (fun () ->
+          Obs.Span.with_ "inner" ~args:[ ("k", "v") ] (fun () -> ());
+          Obs.Span.instant "tick"));
+  let events = contents () in
+  let shape =
+    List.map (fun (e : Obs.Events.t) -> (e.kind, e.name)) events
+  in
+  Alcotest.(check int) "five events" 5 (List.length events);
+  checkb "emission order" true
+    (shape
+    = [ (Obs.Events.Begin, "outer"); (Obs.Events.Begin, "inner");
+        (Obs.Events.End, "inner"); (Obs.Events.Instant, "tick");
+        (Obs.Events.End, "outer") ]);
+  let ts = List.map (fun (e : Obs.Events.t) -> e.ts_us) events in
+  checkb "timestamps monotone" true (List.sort compare ts = ts);
+  checkb "single domain" true
+    (List.for_all (fun (e : Obs.Events.t) -> e.tid = Obs.Span.tid ()) events);
+  let inner = List.nth events 1 in
+  checkb "args preserved" true (inner.args = [ ("k", "v") ])
+
+let test_span_end_on_raise () =
+  let sink, contents = Obs.Sink.memory () in
+  (try Obs.Sink.with_sink sink (fun () -> Obs.Span.with_ "boom" (fun () -> raise Exit))
+   with Exit -> ());
+  let shape = List.map (fun (e : Obs.Events.t) -> e.Obs.Events.kind) (contents ()) in
+  checkb "End emitted despite raise" true (shape = [ Obs.Events.Begin; Obs.Events.End ])
+
+let test_span_disabled_is_transparent () =
+  Obs.Sink.uninstall ();
+  checkb "no sink" false (Obs.Sink.installed ());
+  checki "with_ returns result" 42 (Obs.Span.with_ "quiet" (fun () -> 42))
+
+let test_timed () =
+  let v, t = Obs.Span.timed (fun () -> 7) in
+  checki "value" 7 v;
+  checkb "non-negative wall time" true (t >= 0.);
+  let mean = Obs.Span.timed_n 3 (fun () -> ()) in
+  checkb "mean non-negative" true (mean >= 0.);
+  Alcotest.check_raises "timed_n 0 rejected" (Invalid_argument "Span.timed_n: n must be positive")
+    (fun () -> ignore (Obs.Span.timed_n 0 (fun () -> ())))
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let c = Obs.Counter.make "test.basic" in
+  Obs.Counter.reset c;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 9;
+  checki "incr + add" 10 (Obs.Counter.value c);
+  checks "name" "test.basic" (Obs.Counter.name c);
+  (* make is idempotent by name: both handles share the cell. *)
+  let c' = Obs.Counter.make "test.basic" in
+  Obs.Counter.incr c';
+  checki "shared cell" 11 (Obs.Counter.value c);
+  checkb "registered" true (Obs.Counter.find "test.basic" <> None);
+  checkb "unknown name" true (Obs.Counter.find "test.no_such" = None);
+  checkb "snapshot sorted" true
+    (let names = List.map fst (Obs.Counter.snapshot ()) in
+     List.sort compare names = names)
+
+let test_counter_atomic_across_domains () =
+  let c = Obs.Counter.make "test.atomic" in
+  Obs.Counter.reset c;
+  let per_domain = 10_000 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  checki "no lost increments" (4 * per_domain) (Obs.Counter.value c)
+
+(* --- sinks --- *)
+
+let test_ring_sink () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Sink.ring: capacity must be positive") (fun () ->
+      ignore (Obs.Sink.ring ~capacity:0 ()));
+  let sink, contents = Obs.Sink.ring ~capacity:3 () in
+  Obs.Sink.with_sink sink (fun () ->
+      List.iter Obs.Span.instant [ "e1"; "e2"; "e3"; "e4"; "e5" ]);
+  let names = List.map (fun (e : Obs.Events.t) -> e.Obs.Events.name) (contents ()) in
+  checkb "keeps newest, oldest first" true (names = [ "e3"; "e4"; "e5" ])
+
+let test_with_sink_restores () =
+  let a, _ = Obs.Sink.memory () in
+  let b, contents_b = Obs.Sink.memory () in
+  Obs.Sink.install a;
+  Obs.Sink.with_sink b (fun () -> Obs.Span.instant "into-b");
+  checkb "outer sink back" true (Obs.Sink.installed ());
+  checki "b saw one event" 1 (List.length (contents_b ()));
+  Obs.Sink.uninstall ();
+  checkb "uninstalled" false (Obs.Sink.installed ())
+
+let test_file_sink () =
+  let path = Filename.temp_file "obs_test" ".trace.json" in
+  let sink, close = Obs.Sink.file path in
+  Obs.Sink.with_sink sink (fun () ->
+      Obs.Span.with_ "write" (fun () -> Obs.Span.instant "mark"));
+  close ();
+  let body = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  checkb "array opened" true (String.length body > 2 && body.[0] = '[');
+  checkb "array closed" true
+    (String.length body >= 3 && String.sub body (String.length body - 3) 3 = "\n]\n");
+  checkb "span written" true
+    (let re = {|"name":"write"|} in
+     let rec find i =
+       i + String.length re <= String.length body
+       && (String.sub body i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+(* --- exporters --- *)
+
+let golden_events =
+  [ ev Obs.Events.Begin "solve" 0. 0;
+    ev ~args:[ ("k", {|v"x|}) ] Obs.Events.Begin "inner" 100.5 0;
+    ev Obs.Events.End "inner" 200.5 0;
+    ev Obs.Events.Instant "tick" 250. 1;
+    ev Obs.Events.End "solve" 300. 0 ]
+
+let test_chrome_json_golden () =
+  let expected =
+    String.concat "\n"
+      [ {|{"traceEvents":[|};
+        {|{"name":"solve","ph":"B","ts":0.000,"pid":1,"tid":0},|};
+        {|{"name":"inner","ph":"B","ts":100.500,"pid":1,"tid":0,"args":{"k":"v\"x"}},|};
+        {|{"name":"inner","ph":"E","ts":200.500,"pid":1,"tid":0},|};
+        {|{"name":"tick","ph":"i","ts":250.000,"pid":1,"tid":1,"s":"t"},|};
+        {|{"name":"solve","ph":"E","ts":300.000,"pid":1,"tid":0}|};
+        {|],"displayTimeUnit":"ms","otherData":{"cmd":"test"}}|};
+        "" ]
+  in
+  checks "golden trace" expected
+    (Obs.Trace_export.to_chrome_json ~other:[ ("cmd", "test") ] golden_events)
+
+let test_chrome_json_roundtrip () =
+  (* Record through the real probe path, then re-parse our own output
+     shallowly: every emitted event must appear, Begin/End balanced. *)
+  let sink, contents = Obs.Sink.memory () in
+  Obs.Sink.with_sink sink (fun () ->
+      Obs.Span.with_ "a" (fun () -> Obs.Span.with_ "b" (fun () -> ())));
+  let events = contents () in
+  let json = Obs.Trace_export.to_chrome_json events in
+  let count_sub sub =
+    let n = ref 0 in
+    for i = 0 to String.length json - String.length sub do
+      if String.sub json i (String.length sub) = sub then incr n
+    done;
+    !n
+  in
+  checki "two Begins" 2 (count_sub {|"ph":"B"|});
+  checki "two Ends" 2 (count_sub {|"ph":"E"|});
+  checki "a appears twice" 2 (count_sub {|"name":"a"|});
+  checki "b appears twice" 2 (count_sub {|"name":"b"|})
+
+let test_json_escape () =
+  checks "quotes and controls" {|a\"b\\c\nd|}
+    (Obs.Events.json_escape "a\"b\\c\nd")
+
+let test_tree_rendering () =
+  let events =
+    [ ev Obs.Events.Begin "a" 0. 0;
+      ev Obs.Events.Begin "b" 1000. 0;
+      ev Obs.Events.End "b" 3000. 0;
+      ev Obs.Events.Instant "i" 3500. 0;
+      ev Obs.Events.End "a" 5000. 0 ]
+  in
+  checks "golden tree" "domain 0\n  a  5.000 ms\n    b  2.000 ms\n    * i\n"
+    (Obs.Trace_export.to_tree events);
+  let unclosed = Obs.Trace_export.to_tree [ ev Obs.Events.Begin "open" 0. 2 ] in
+  checks "unclosed flagged" "domain 2\n  open  (unclosed)\n" unclosed
+
+(* --- metrics rendering --- *)
+
+let test_metrics_render () =
+  let counters = [ ("a.zero", 0); ("b.small", 7); ("c.big", 12_345_678) ] in
+  let r = Obs.Metrics_export.render counters in
+  checkb "zeros dropped" true (not (String.length r > 0 && r.[0] = 'a'));
+  checks "zeros kept on demand"
+    "a.zero  0\nb.small 7\nc.big   12345678\n"
+    (Obs.Metrics_export.render ~zeros:true counters);
+  checks "pretty small" "9999" (Obs.Metrics_export.pretty_count 9999);
+  checks "pretty k" "40.0k" (Obs.Metrics_export.pretty_count 40_000);
+  checks "pretty M" "12.3M" (Obs.Metrics_export.pretty_count 12_345_678);
+  checks "compact" "b.small=7 c.big=12.3M" (Obs.Metrics_export.compact counters)
+
+(* --- run manifests --- *)
+
+let test_manifest () =
+  Obs.Run_manifest.reset_notes ();
+  Obs.Run_manifest.note "scenario" "cpu-gpu";
+  Obs.Run_manifest.note "algorithm" "alg-A";
+  Obs.Run_manifest.note "scenario" "three-tier" (* overwrites in place *);
+  checkb "later note wins, order kept" true
+    (Obs.Run_manifest.notes () = [ ("scenario", "three-tier"); ("algorithm", "alg-A") ]);
+  let c = Obs.Counter.make "test.manifest" in
+  Obs.Counter.reset c;
+  Obs.Counter.add c 5;
+  let m = Obs.Run_manifest.capture ~label:"unit test" ~wall_s:1.5 in
+  checkb "non-zero counter captured" true (List.mem_assoc "test.manifest" m.counters);
+  checkb "label in fields" true
+    (List.assoc_opt "label" (Obs.Run_manifest.to_fields m) = Some "unit test");
+  checkb "counter prefixed in fields" true
+    (List.assoc_opt "counter.test.manifest" (Obs.Run_manifest.to_fields m) = Some "5");
+  let json = Obs.Run_manifest.to_json m in
+  checkb "json has label" true
+    (let re = {|"label": "unit test"|} in
+     let rec find i =
+       i + String.length re <= String.length json
+       && (String.sub json i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  let rendered = Obs.Run_manifest.render m in
+  checkb "render mentions wall" true
+    (let re = "wall" in
+     let rec find i =
+       i + String.length re <= String.length rendered
+       && (String.sub rendered i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  Obs.Run_manifest.reset_notes ()
+
+let () =
+  Alcotest.run "obs"
+    [ ( "span",
+        [ Alcotest.test_case "nesting through memory sink" `Quick test_span_nesting;
+          Alcotest.test_case "end emitted on raise" `Quick test_span_end_on_raise;
+          Alcotest.test_case "disabled is transparent" `Quick test_span_disabled_is_transparent;
+          Alcotest.test_case "timed / timed_n" `Quick test_timed
+        ] );
+      ( "counter",
+        [ Alcotest.test_case "basics and registry" `Quick test_counter_basics;
+          Alcotest.test_case "atomic across domains" `Quick test_counter_atomic_across_domains
+        ] );
+      ( "sink",
+        [ Alcotest.test_case "ring keeps newest" `Quick test_ring_sink;
+          Alcotest.test_case "with_sink restores" `Quick test_with_sink_restores;
+          Alcotest.test_case "file sink streams JSON" `Quick test_file_sink
+        ] );
+      ( "export",
+        [ Alcotest.test_case "golden chrome trace" `Quick test_chrome_json_golden;
+          Alcotest.test_case "probe-path round trip" `Quick test_chrome_json_roundtrip;
+          Alcotest.test_case "json escaping" `Quick test_json_escape;
+          Alcotest.test_case "tree rendering" `Quick test_tree_rendering
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "render / pretty / compact" `Quick test_metrics_render ] );
+      ( "manifest",
+        [ Alcotest.test_case "notes and capture" `Quick test_manifest ] )
+    ]

@@ -131,6 +131,39 @@ let test_parallel_fill_matches_sequential () =
 let test_parallel_recommended () =
   checkb "at least one domain" true (Util.Parallel.recommended_domains () >= 1)
 
+let test_parallel_fill_edges () =
+  let m = Util.Parallel.min_parallel_items in
+  checkb "threshold positive" true (m > 0);
+  let f i = float_of_int (3 * i) +. 0.5 in
+  (* n = 0 and n = 1 must not spawn and must still fill every index. *)
+  Util.Parallel.parallel_fill ~domains:4 [||] f;
+  let one = [| Float.nan |] in
+  Util.Parallel.parallel_fill ~domains:4 one f;
+  checkf "n=1 filled" (f 0) one.(0);
+  (* Around the sequential/parallel threshold, and workers > n. *)
+  List.iter
+    (fun (n, domains) ->
+      let out = Array.make n Float.nan in
+      Util.Parallel.parallel_fill ~domains out f;
+      Array.iteri
+        (fun i v ->
+          if v <> f i then
+            Alcotest.failf "n=%d domains=%d: out.(%d) = %g, want %g" n domains i v (f i))
+        out)
+    [ (m - 1, 4); (m, 4); (m + 1, 4); (5, 16); (m + 5, 2 * (m + 5)); (4 * m, 8) ]
+
+let test_parallel_spawn_counter () =
+  match Obs.Counter.find "parallel.domain_spawns" with
+  | None -> Alcotest.fail "parallel.domain_spawns not registered"
+  | Some c ->
+      let m = Util.Parallel.min_parallel_items in
+      let before = Obs.Counter.value c in
+      ignore (Util.Parallel.parallel_init ~domains:4 (2 * m) float_of_int);
+      checkb "spawns counted above threshold" true (Obs.Counter.value c = before + 3);
+      let before = Obs.Counter.value c in
+      ignore (Util.Parallel.parallel_init ~domains:4 (m - 1) float_of_int);
+      checkb "no spawns below threshold" true (Obs.Counter.value c = before)
+
 let test_float_close () =
   checkb "equal" true (Util.Float_cmp.close 1. 1.);
   checkb "near" true (Util.Float_cmp.close 1. (1. +. 1e-12));
@@ -265,7 +298,9 @@ let () =
       ( "parallel",
         [ Alcotest.test_case "fill matches sequential" `Quick
             test_parallel_fill_matches_sequential;
-          Alcotest.test_case "recommended domains" `Quick test_parallel_recommended
+          Alcotest.test_case "recommended domains" `Quick test_parallel_recommended;
+          Alcotest.test_case "fill edge cases" `Quick test_parallel_fill_edges;
+          Alcotest.test_case "spawn counter" `Quick test_parallel_spawn_counter
         ] );
       ( "float_cmp",
         [ Alcotest.test_case "close" `Quick test_float_close;
