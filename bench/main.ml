@@ -16,7 +16,10 @@
       uses, with their machine-checked verdicts.
 
    Pass --quick to skip part 2 (timings only), or --tables-only to skip
-   the timings. *)
+   the timings.  --json FILE writes the timings as machine-readable JSON
+   (the CI regression gate compares it against BENCH_BASELINE.json via
+   scripts/bench_compare.py); --counters FILE writes the summed
+   work-counter deltas across one instrumented run of every kernel. *)
 
 open Bechamel
 open Toolkit
@@ -40,6 +43,25 @@ let fix_large =
           Core.Fn.power ~idle:0.8 ~coef:0.5 ~expo:2. |]
      in
      let load = Core.Workload.diurnal ~horizon:16 ~period:16 ~base:5. ~peak:100. () in
+     Core.Instance.make_static ~types ~load ~fns ())
+
+(* Dense d=3 instance big enough (11*7*5 = 385 states >= the 256-item
+   parallel cutoff) for the domain pool to actually fan out; the trio of
+   pool benches below times the same solve sequentially, on the
+   persistent pool, and on the legacy spawn-per-layer path. *)
+let fix_pool_dense =
+  lazy
+    (let types =
+       [| Core.Server_type.make ~name:"a" ~count:10 ~switching_cost:2. ~cap:1. ();
+          Core.Server_type.make ~name:"b" ~count:6 ~switching_cost:4. ~cap:2. ();
+          Core.Server_type.make ~name:"c" ~count:4 ~switching_cost:8. ~cap:4. () |]
+     in
+     let fns =
+       [| Core.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2.;
+          Core.Fn.power ~idle:0.7 ~coef:0.5 ~expo:1.8;
+          Core.Fn.power ~idle:1.1 ~coef:0.3 ~expo:1.5 |]
+     in
+     let load = Core.Workload.diurnal ~horizon:96 ~period:24 ~base:3. ~peak:30. () in
      Core.Instance.make_static ~types ~load ~fns ())
 
 let fix_fig12 =
@@ -95,6 +117,19 @@ let benches =
       (fun () -> Core.Offline_dp.solve_approx ~eps:0.25 (Lazy.force fix_large));
     bench "thm22: exact DP with time-varying sizes (T=30)"
       (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_maintenance));
+    (* Pool trio: same dense d=3, T=96 solve three ways.  The pooled and
+       spawn-per-layer runs both use 4 domains, so their delta is pure
+       spawn/join churn; all three return bit-identical results. *)
+    bench "pool: exact DP sequential (d=3, T=96, m=(10,6,4))"
+      (fun () -> Core.Offline_dp.solve_optimal (Lazy.force fix_pool_dense));
+    bench "pool: exact DP on 4-domain pool (d=3, T=96)"
+      (fun () -> Core.Offline_dp.solve_optimal ~domains:4 (Lazy.force fix_pool_dense));
+    bench "pool: exact DP spawn-per-layer x4 (d=3, T=96)"
+      (fun () ->
+        Core.Parallel.spawn_per_call := true;
+        Fun.protect
+          ~finally:(fun () -> Core.Parallel.spawn_per_call := false)
+          (fun () -> Core.Offline_dp.solve_optimal ~domains:4 (Lazy.force fix_pool_dense)));
     bench "chasing: hypercube adversary (d=12)"
       (fun () -> Core.Adversary.chasing_lower_bound ~d:12);
     bench "lower-bound: resonant bursts, A full run (d=2)"
@@ -196,12 +231,69 @@ let benches =
   ]
 
 (* One instrumented run of the kernel: reset every counter, run once,
-   render the non-zero deltas on a single line. *)
+   render the non-zero deltas on a single line.  The deltas are also
+   summed across benches into [counter_totals] (the --counters file). *)
+let counter_totals : (string, int) Hashtbl.t = Hashtbl.create 64
+
 let counters_per_run fn =
   Core.Obs.Counter.reset_all ();
   fn ();
-  let line = Core.Obs.Metrics_export.compact (Core.Obs.Counter.snapshot ()) in
+  let snap = Core.Obs.Counter.snapshot () in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then
+        Hashtbl.replace counter_totals name
+          (v + Option.value ~default:0 (Hashtbl.find_opt counter_totals name)))
+    snap;
+  let line = Core.Obs.Metrics_export.compact snap in
   if line = "" then "-" else line
+
+(* Benchmarks whose timings the CI regression gate enforces: the DP
+   solve paths this repo optimises.  Everything else is recorded in the
+   JSON for information only. *)
+let gated =
+  [ "thm8: exact offline DP (d=2, T=24, m=(8,3))";
+    "thm21: exact DP, large fleet (d=2, T=16, m=(60,40))";
+    "pool: exact DP sequential (d=3, T=96, m=(10,6,4))";
+    "pool: exact DP on 4-domain pool (d=3, T=96)" ]
+
+(* Machine-independent reference kernel: the comparator divides every
+   timing by the calibration ratio between the two runs, so a uniformly
+   slower CI runner does not read as a regression. *)
+let calibration_bench = "kernel: ramp transform, 64x64 grid"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"rightsizer-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"calibration\": \"%s\",\n" (json_escape calibration_bench));
+  Buffer.add_string buf "  \"tolerance\": 0.25,\n";
+  Buffer.add_string buf "  \"benches\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, nanos) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": {\"nanos\": %.1f, \"gate\": %b}%s\n" (json_escape name)
+           (if Float.is_nan nanos then -1. else nanos)
+           (List.mem name gated)
+           (if i = n - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
 
 let run_timings () =
   let cfg =
@@ -211,6 +303,7 @@ let run_timings () =
   let tbl =
     Core.Table.create ~header:[ "benchmark"; "time/run"; "r^2"; "work/run (Obs counters)" ]
   in
+  let results = ref [] in
   List.iter
     (fun (name, fn) ->
       let test = Test.make ~name (Staged.stage fn) in
@@ -225,6 +318,7 @@ let run_timings () =
           let nanos =
             match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
           in
+          results := (Test.Elt.name elt, nanos) :: !results;
           let pretty =
             if Float.is_nan nanos then "n/a"
             else if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
@@ -242,7 +336,8 @@ let run_timings () =
     benches;
   print_endline "== Bechamel micro-benchmarks (one kernel per paper artifact) ==";
   Core.Table.print ~align:Core.Table.Left tbl;
-  print_newline ()
+  print_newline ();
+  List.rev !results
 
 let run_tables () =
   print_endline "== Paper artifacts: regenerated figures and tables ==";
@@ -253,9 +348,35 @@ let run_tables () =
       print_newline ())
     Core.Experiment_registry.all
 
+(* Value of "--flag FILE" in argv, if present. *)
+let flag_value args flag =
+  let rec go = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go args
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let tables_only = List.mem "--tables-only" args in
-  if not tables_only then run_timings ();
+  let json = flag_value args "--json" in
+  let counters = flag_value args "--counters" in
+  if not tables_only then begin
+    let results = run_timings () in
+    (match json with
+    | Some path ->
+        write_json ~path results;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    match counters with
+    | Some path ->
+        let totals =
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counter_totals [])
+        in
+        Core.Obs.Metrics_export.write ~path totals;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  end;
   if not quick then run_tables ()

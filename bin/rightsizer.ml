@@ -95,6 +95,7 @@ let scenarios =
   [ ("cpu-gpu", fun horizon -> Core.Scenarios.cpu_gpu ?horizon ());
     ("homogeneous", fun horizon -> Core.Scenarios.homogeneous ?horizon ());
     ("three-tier", fun horizon -> Core.Scenarios.three_tier ?horizon ());
+    ("large-fleet", fun horizon -> Core.Scenarios.large_fleet ?horizon ());
     ("time-varying", fun horizon -> Core.Scenarios.time_varying_costs ?horizon ());
     ("maintenance", fun horizon -> Core.Scenarios.maintenance ?horizon ()) ]
 
@@ -179,6 +180,23 @@ let horizon_arg =
     value
     & opt (some int) None
     & info [ "T"; "horizon" ] ~docv:"SLOTS" ~doc:"Override the scenario's horizon.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "domains" ] ~docv:"N"
+        ~doc:"Spread the solvers' grid fills over N domains (a persistent worker \
+              pool; default 1 = sequential).  Schedules and costs are bit-identical \
+              to the sequential run; only the wall time changes.")
+
+(* Resolve --domains into an optional pool for the command body; the
+   manifest records the setting either way, and the pool is shut down
+   (domains joined) before the command returns. *)
+let with_domains domains f =
+  let domains = max 1 domains in
+  Core.Obs.Run_manifest.note "domains" (string_of_int domains);
+  if domains = 1 then f None
+  else Core.Pool.with_pool ~name:"pool" ~domains (fun pool -> f (Some pool))
 
 let print_schedule inst schedule =
   let d = Core.Instance.num_types inst in
@@ -286,7 +304,7 @@ let solve_cmd =
       & info [ "eps" ] ~docv:"EPS"
           ~doc:"Use the (1+eps)-approximation instead of the exact optimum.")
   in
-  let run () () scenario horizon file workload eps =
+  let run () () scenario horizon file workload eps domains =
     match resolve_instance ?workload scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
@@ -294,10 +312,11 @@ let solve_cmd =
           (match eps with
           | None -> "dp-optimal"
           | Some e -> Printf.sprintf "dp-approx(eps=%g)" e);
+        with_domains domains @@ fun pool ->
         let schedule, cost =
           match eps with
-          | None -> Core.solve_offline inst
-          | Some eps -> Core.solve_approx ~eps inst
+          | None -> Core.solve_offline ?pool inst
+          | Some eps -> Core.solve_approx ?pool ~eps inst
         in
         Printf.printf "instance %s: %s cost %.4f\n" name
           (match eps with None -> "optimal" | Some e -> Printf.sprintf "(1+%g)-approximate" e)
@@ -310,7 +329,7 @@ let solve_cmd =
     Term.(
       ret
         (const run $ verbose_term $ obs_term $ scenario_arg $ horizon_arg $ file_arg
-        $ workload_arg $ eps_arg))
+        $ workload_arg $ eps_arg $ domains_arg))
 
 (* --- online --- *)
 
@@ -320,7 +339,7 @@ let online_cmd =
       value & opt float 0.5
       & info [ "eps" ] ~docv:"EPS" ~doc:"Algorithm C's eps (time-dependent costs only).")
   in
-  let run () scenario horizon file eps =
+  let run () scenario horizon file eps domains =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
@@ -328,8 +347,9 @@ let online_cmd =
         Core.Obs.Run_manifest.note "algorithm" ("alg-" ^ algorithm);
         if algorithm = "C" then
           Core.Obs.Run_manifest.note "eps" (Printf.sprintf "%g" eps);
-        let schedule, cost = Core.run_online ~eps inst in
-        let opt = Core.Harness.opt_cost inst in
+        with_domains domains @@ fun pool ->
+        let schedule, cost = Core.run_online ~eps ?pool inst in
+        let opt = Core.Harness.opt_cost ?pool inst in
         Printf.printf "instance %s: algorithm %s cost %.4f, OPT %.4f, ratio %.4f\n" name
           algorithm cost opt (cost /. opt);
         print_schedule inst schedule;
@@ -337,7 +357,10 @@ let online_cmd =
   in
   Cmd.v
     (Cmd.info "online" ~doc:"Run the paper's online algorithm on a scenario or instance file.")
-    Term.(ret (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ eps_arg))
+    Term.(
+      ret
+        (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ eps_arg
+        $ domains_arg))
 
 (* --- compare --- *)
 
@@ -345,13 +368,14 @@ let compare_cmd =
   let window_arg =
     Arg.(value & opt int 3 & info [ "window" ] ~docv:"W" ~doc:"Receding-horizon lookahead.")
   in
-  let run () scenario horizon file window =
+  let run () scenario horizon file window domains =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
     Core.Obs.Run_manifest.note "algorithm" "suite";
-    let opt = Core.Harness.opt_cost inst in
-    let named = Core.Harness.run_suite ~window inst in
+    with_domains domains @@ fun pool ->
+    let opt = Core.Harness.opt_cost ?pool inst in
+    let named = Core.Harness.run_suite ~window ?pool inst in
     let tbl = Core.Table.create ~header:[ "policy"; "cost"; "ratio"; "feasible" ] in
     List.iter
       (fun e ->
@@ -368,7 +392,10 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all policies on a scenario or instance file.")
-    Term.(ret (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ window_arg))
+    Term.(
+      ret
+        (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ window_arg
+        $ domains_arg))
 
 (* --- plan --- *)
 
@@ -433,15 +460,18 @@ let analyze_cmd =
       & info [ "a"; "algorithm" ] ~docv:"NAME"
           ~doc:"Whose schedule to analyse: $(b,opt), $(b,alg-a) or $(b,alg-b).")
   in
-  let run () scenario horizon file algo =
+  let run () scenario horizon file algo domains =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
+        with_domains domains @@ fun pool ->
         let algo_name, schedule =
           match algo with
-          | `Opt -> ("offline optimum", (Core.Offline_dp.solve_optimal inst).Core.Offline_dp.schedule)
-          | `A -> ("algorithm A", (Core.Alg_a.run inst).Core.Alg_a.schedule)
-          | `B -> ("algorithm B", (Core.Alg_b.run inst).Core.Alg_b.schedule)
+          | `Opt ->
+              ( "offline optimum",
+                (Core.Offline_dp.solve_optimal ?pool inst).Core.Offline_dp.schedule )
+          | `A -> ("algorithm A", (Core.Alg_a.run ?pool inst).Core.Alg_a.schedule)
+          | `B -> ("algorithm B", (Core.Alg_b.run ?pool inst).Core.Alg_b.schedule)
         in
         Core.Obs.Run_manifest.note "algorithm" algo_name;
         let d = Core.Instance.num_types inst in
@@ -481,7 +511,10 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Operational statistics of a schedule (power cycles, usage).")
-    Term.(ret (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ algo_arg))
+    Term.(
+      ret
+        (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ algo_arg
+        $ domains_arg))
 
 (* --- report --- *)
 
@@ -579,13 +612,14 @@ let simulate_cmd =
       & info [ "c"; "controller" ] ~docv:"NAME"
           ~doc:"Decision policy: $(b,opt) (offline optimum), $(b,alg-a), $(b,alg-b),                 $(b,hysteresis), or $(b,static-peak).")
   in
-  let run () scenario horizon file boot carry failure_rate repair controller =
+  let run () scenario horizon file boot carry failure_rate repair controller domains =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) ->
         let d = Core.Instance.num_types inst in
         if boot < 0 then `Error (false, "boot delay must be non-negative")
         else begin
+          with_domains domains @@ fun pool ->
           let failures =
             if failure_rate <= 0. then None
             else Some { Core.Sim_dc.rate = failure_rate; repair_slots = repair; seed = 11 }
@@ -596,7 +630,9 @@ let simulate_cmd =
           let ctrl_name, controller =
             match controller with
             | `Opt ->
-                let { Core.Offline_dp.schedule; _ } = Core.Offline_dp.solve_optimal inst in
+                let { Core.Offline_dp.schedule; _ } =
+                  Core.Offline_dp.solve_optimal ?pool inst
+                in
                 ("offline optimum", Core.Controllers.of_schedule schedule)
             | `A -> ("algorithm A", Core.Controllers.alg_a inst)
             | `B -> ("algorithm B", Core.Controllers.alg_b inst)
@@ -629,7 +665,7 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ boot_arg $ carry_arg
-        $ failure_arg $ repair_arg $ controller_arg))
+        $ failure_arg $ repair_arg $ controller_arg $ domains_arg))
 
 let () =
   let doc = "Right-sizing heterogeneous data centers (SPAA 2021 reproduction)" in

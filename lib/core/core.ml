@@ -36,6 +36,8 @@ module Trace = Sim.Trace
 module Report = Experiments.Report
 module Experiment_registry = Experiments.Registry
 module Scenarios = Sim.Scenarios
+module Pool = Util.Pool
+module Parallel = Util.Parallel
 module Prng = Util.Prng
 module Stats = Util.Stats
 module Table = Util.Table
@@ -45,18 +47,19 @@ module Ascii_plot = Util.Ascii_plot
 module Svg = Util.Svg
 module Obs = Obs
 
-let solve_offline inst =
-  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal inst in
+let solve_offline ?domains ?pool inst =
+  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_optimal ?domains ?pool inst in
   (schedule, cost)
 
-let solve_approx ~eps inst =
-  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_approx ~eps inst in
+let solve_approx ?domains ?pool ~eps inst =
+  let { Offline.Dp.schedule; cost } = Offline.Dp.solve_approx ?domains ?pool ~eps inst in
   (schedule, cost)
 
-let run_online ?(eps = 0.5) inst =
+let run_online ?(eps = 0.5) ?domains ?pool inst =
   let schedule =
-    if inst.Model.Instance.time_independent then (Online.Alg_a.run inst).Online.Alg_a.schedule
-    else (Online.Alg_c.run ~eps inst).Online.Alg_c.schedule
+    if inst.Model.Instance.time_independent then
+      (Online.Alg_a.run ?domains ?pool inst).Online.Alg_a.schedule
+    else (Online.Alg_c.run ?domains ?pool ~eps inst).Online.Alg_c.schedule
   in
   (schedule, Model.Cost.schedule inst schedule)
 

@@ -133,21 +133,56 @@ let schedule inst s =
     invalid_arg "Cost.schedule: horizon mismatch";
   schedule_operating inst s +. schedule_switching inst s
 
-type cache = { inst : Instance.t; table : (int * int list, float) Hashtbl.t }
+(* The memo is striped like Obs.Counter: each domain works in the shard
+   picked by its id, so the common case (one domain per shard — pool
+   workers are few and long-lived) never contends.  The per-shard mutex
+   only matters when two domains hash to the same stripe; it guards the
+   table against concurrent structural mutation.  A miss computes
+   outside the lock — [operating] is pure, so a racing duplicate
+   computation is wasted work, never a wrong answer. *)
 
-let make_cache inst = { inst; table = Hashtbl.create 4096 }
+let shards = 8 (* power of two, mirroring Obs.Counter's stripe count *)
+
+type shard = { lock : Mutex.t; table : (int * int list, float) Hashtbl.t }
+
+type cache = { inst : Instance.t; stripes : shard array }
+
+let make_cache inst =
+  { inst;
+    stripes =
+      Array.init shards (fun _ -> { lock = Mutex.create (); table = Hashtbl.create 512 }) }
 
 let c_memo_hits = Obs.Counter.make "cost.memo_hits"
 let c_memo_misses = Obs.Counter.make "cost.memo_misses"
 
+let localize cache =
+  let mine = cache.stripes.((Domain.self () :> int) land (shards - 1)) in
+  Array.iter
+    (fun shard ->
+      if shard != mine then begin
+        Mutex.lock shard.lock;
+        let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) shard.table [] in
+        Mutex.unlock shard.lock;
+        Mutex.lock mine.lock;
+        List.iter (fun (k, v) -> Hashtbl.replace mine.table k v) entries;
+        Mutex.unlock mine.lock
+      end)
+    cache.stripes
+
 let cached_operating cache ~time x =
+  let shard = cache.stripes.((Domain.self () :> int) land (shards - 1)) in
   let key = (time, Array.to_list x) in
-  match Hashtbl.find_opt cache.table key with
+  Mutex.lock shard.lock;
+  let found = Hashtbl.find_opt shard.table key in
+  Mutex.unlock shard.lock;
+  match found with
   | Some g ->
       Obs.Counter.incr c_memo_hits;
       g
   | None ->
       Obs.Counter.incr c_memo_misses;
       let g = operating cache.inst ~time x in
-      Hashtbl.add cache.table key g;
+      Mutex.lock shard.lock;
+      Hashtbl.replace shard.table key g;
+      Mutex.unlock shard.lock;
       g

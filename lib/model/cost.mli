@@ -51,7 +51,22 @@ val schedule_switching : Instance.t -> Schedule.t -> float
 
 type cache
 (** Memo table for [g_t(x)] — the dynamic programs evaluate the same
-    (slot, configuration) pairs many times during reconstruction. *)
+    (slot, configuration) pairs many times during reconstruction.  The
+    table is striped into per-domain shards (selected by domain id,
+    like [Obs.Counter]), so {!cached_operating} is safe — and mostly
+    uncontended — when a [Util.Pool] fans evaluations out across
+    domains.  Entries are not shared between shards: a value cached by
+    one domain may be recomputed by another, trading a little duplicate
+    work for lock-free common-case lookups. *)
 
 val make_cache : Instance.t -> cache
+
 val cached_operating : cache -> time:int -> Config.t -> float
+(** Memoised {!operating}; callable concurrently from several domains
+    on the same [cache]. *)
+
+val localize : cache -> unit
+(** Copy every entry cached by other domains into the calling domain's
+    shard.  Call after a parallel warm-up fan-out when subsequent
+    {e sequential} code (e.g. [Brute_force]'s search) should hit the
+    values the pool workers computed. *)

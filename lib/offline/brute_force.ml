@@ -1,6 +1,12 @@
 exception Too_large of int
 
-let solve ?(limit = 2_000_000) inst =
+let solve ?(limit = 2_000_000) ?domains ?pool inst =
+  let domains =
+    match (domains, pool) with
+    | Some d, _ -> max 1 d
+    | None, Some p -> Util.Pool.size p
+    | None, None -> 1
+  in
   let horizon = Model.Instance.horizon inst in
   if horizon = 0 then invalid_arg "Brute_force.solve: empty instance";
   let d = Model.Instance.num_types inst in
@@ -22,6 +28,22 @@ let solve ?(limit = 2_000_000) inst =
   in
   ignore work;
   let cache = Model.Cost.make_cache inst in
+  (* The search revisits each (slot, state) cost many times; with a pool
+     available, pre-evaluate them all in parallel, then pull the workers'
+     shards into this domain so the sequential search below hits. *)
+  if domains > 1 then begin
+    let pairs =
+      Array.concat
+        (Array.to_list
+           (Array.mapi
+              (fun time states -> Array.map (fun x -> (time, x)) states)
+              layer_states))
+    in
+    Util.Parallel.parallel_for ?pool ~domains ~n:(Array.length pairs) (fun i ->
+        let time, x = pairs.(i) in
+        ignore (Model.Cost.cached_operating cache ~time x));
+    Model.Cost.localize cache
+  end;
   let best_cost = ref infinity in
   let best = ref None in
   let current = Array.make horizon [||] in

@@ -25,21 +25,28 @@ let state_count inst ~grids =
   done;
   !acc
 
-(* Operating costs of every state of a layer's grid.  With several
-   domains the pure evaluations fan out in parallel (bypassing the
-   cache, which is not thread-safe); sequentially the memoised path is
-   kept for the reconstruction scans. *)
-let layer_operating ~domains inst cache grid ~time =
-  if domains > 1 then
-    Util.Parallel.parallel_init ~domains (Grid.size grid) (fun idx ->
-        Model.Cost.operating inst ~time (Grid.config_at grid idx))
+(* Operating costs of every state of a layer's grid.  The memo shards
+   per domain (Model.Cost), so both the sequential path and the pooled
+   fan-out go through [cached_operating]. *)
+let layer_operating ?pool ~domains cache grid ~time =
+  let n = Grid.size grid in
+  if domains > 1 && n >= Util.Parallel.min_parallel_items then
+    Util.Parallel.parallel_init ?pool ~domains n (fun idx ->
+        Model.Cost.cached_operating cache ~time (Grid.config_at grid idx))
   else begin
-    let flat = Array.make (Grid.size grid) infinity in
+    let flat = Array.make n infinity in
     Grid.iter grid (fun idx x -> flat.(idx) <- Model.Cost.cached_operating cache ~time x);
     flat
   end
 
-let solve ?grids ?initial ?(domains = 1) inst =
+let solve ?grids ?initial ?domains ?pool inst =
+  (* [?pool] without an explicit count means "use the whole pool". *)
+  let domains =
+    match (domains, pool) with
+    | Some d, _ -> max 1 d
+    | None, Some p -> Util.Pool.size p
+    | None, None -> 1
+  in
  Obs.Span.with_ "dp.solve" ~args:[ ("domains", string_of_int domains) ] @@ fun () ->
   Obs.Counter.incr c_solves;
   (* Two-sided switching costs fold into the power-up side without
@@ -82,13 +89,13 @@ let solve ?grids ?initial ?(domains = 1) inst =
         let src = Array.copy arrival.(time - 1) in
         let src_grid = grid_at.(time - 1) in
         if src_grid == grid then begin
-          Transform.ramp_grid ~grid ~betas src;
+          Transform.ramp_grid ?pool ~domains ~grid ~betas src;
           src
         end
-        else Transform.ramp_across ~src_grid ~dst_grid:grid ~betas src
+        else Transform.ramp_across ?pool ~domains ~src_grid ~dst_grid:grid ~betas src
       end
     in
-    let ops = layer_operating ~domains inst cache grid ~time in
+    let ops = layer_operating ?pool ~domains cache grid ~time in
     Array.iteri (fun i c -> entering.(i) <- c +. ops.(i)) entering;
     arrival.(time) <- entering
   done);
@@ -112,11 +119,28 @@ let solve ?grids ?initial ?(domains = 1) inst =
   for time = horizon - 1 downto 1 do
     let target = schedule.(time) in
     let grid = grid_at.(time - 1) in
+    let layer = arrival.(time - 1) in
+    (* The candidate totals are independent per state, so the expensive
+       half of the scan fans out; the fuzzy tie-breaking argmin stays a
+       single ordered pass, keeping the chosen predecessor — and hence
+       the schedule — bit-identical to the sequential solve. *)
+    let totals =
+      if domains > 1 && Grid.size grid >= Util.Parallel.min_parallel_items then
+        Some
+          (Util.Parallel.parallel_init ?pool ~domains (Grid.size grid) (fun idx ->
+               layer.(idx)
+               +. Model.Config.switching_cost inst.Model.Instance.types
+                    ~from_:(Grid.config_at grid idx) ~to_:target))
+      else None
+    in
     let best = ref infinity and best_x = ref None in
     Grid.iter grid (fun idx y ->
         let total =
-          arrival.(time - 1).(idx)
-          +. Model.Config.switching_cost inst.Model.Instance.types ~from_:y ~to_:target
+          match totals with
+          | Some t -> t.(idx)
+          | None ->
+              layer.(idx)
+              +. Model.Config.switching_cost inst.Model.Instance.types ~from_:y ~to_:target
         in
         if
           total < !best -. 1e-12
@@ -136,9 +160,9 @@ let solve ?grids ?initial ?(domains = 1) inst =
         !best);
   { schedule; cost = !best }
 
-let solve_optimal ?domains inst = solve ?domains inst
+let solve_optimal ?domains ?pool inst = solve ?domains ?pool inst
 
-let solve_approx ?domains ~eps inst =
+let solve_approx ?domains ?pool ~eps inst =
   if eps <= 0. then invalid_arg "Dp.solve_approx: eps must be positive";
   let gamma = 1. +. (eps /. 2.) in
-  solve ~grids:(approx_grids ~gamma inst) ?domains inst
+  solve ~grids:(approx_grids ~gamma inst) ?domains ?pool inst

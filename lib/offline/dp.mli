@@ -17,6 +17,7 @@ val solve :
   ?grids:(int -> Grid.t) ->
   ?initial:Model.Config.t ->
   ?domains:int ->
+  ?pool:Util.Pool.t ->
   Model.Instance.t ->
   result
 (** Shortest path over the given per-slot grids (default: dense grids
@@ -28,15 +29,22 @@ val solve :
     Argmin ties are broken towards the lexicographically smallest
     configuration, so the result is deterministic.
 
-    [domains] (default 1) fans the per-layer operating-cost evaluations
-    [g_t(x)] — the dominant work — out across OCaml 5 domains; results
-    are bit-identical to the sequential solve because only the pure
-    evaluations are parallelised. *)
+    [domains] fans the parallel-safe work — the per-layer
+    operating-cost evaluations [g_t(x)] (the dominant part, through the
+    shard-safe memo), the ramp transforms, and the reconstruction
+    scan's candidate totals — out across OCaml 5 domains on [pool]
+    (default: [Util.Parallel]'s persistent global pool).  Passing
+    [?pool] alone uses the pool's full size; the default with neither
+    is sequential.  Results are bit-identical to the sequential solve:
+    every parallel section computes the same values into disjoint
+    slots, and all fuzzy argmin scans remain single ordered passes.
+    Layers smaller than {!Util.Parallel.min_parallel_items} states stay
+    sequential regardless. *)
 
-val solve_optimal : ?domains:int -> Model.Instance.t -> result
+val solve_optimal : ?domains:int -> ?pool:Util.Pool.t -> Model.Instance.t -> result
 (** Section 4.1: exact optimum on dense grids. *)
 
-val solve_approx : ?domains:int -> eps:float -> Model.Instance.t -> result
+val solve_approx : ?domains:int -> ?pool:Util.Pool.t -> eps:float -> Model.Instance.t -> result
 (** Section 4.2 (and 4.3 when the instance is size-varying): grids
     [M^gamma] with [gamma = 1 + eps/2], guaranteeing
     [cost <= (1 + eps) * OPT] (Theorem 16 with [2*gamma - 1 = 1 + eps]).

@@ -55,7 +55,24 @@ let iter_lines lengths j f =
     base := !base + block
   done
 
-let ramp_grid ~grid ~betas flat =
+(* Lines along axis [j] can also be addressed directly: line [k] (of
+   [size / lengths.(j)] total) starts at [(k / stride) * block + k mod
+   stride].  The parallel paths below use this to fan independent lines
+   out across a domain pool without materialising (offset, stride)
+   lists; the per-axis passes themselves stay sequential because axis
+   [j+1] reads what axis [j] wrote. *)
+let line_offset ~block ~stride k = ((k / stride) * block) + (k mod stride)
+
+(* Fan the per-line closure out when the axis slab is big enough.  The
+   [min_items] cutoff is in matrix *elements* (the unit of actual
+   work), not lines, so it is scaled by the line length before the
+   per-line [Util.Parallel.parallel_for]. *)
+let for_lines ?pool ~domains ~min_items ~line_len ~n_lines f =
+  let min_lines = 1 + ((min_items - 1) / max 1 line_len) in
+  Util.Parallel.parallel_for ?pool ~min_items:min_lines ~domains ~n:n_lines f
+
+let ramp_grid ?pool ?(domains = 1) ?(min_items = Util.Parallel.min_parallel_items) ~grid
+    ~betas flat =
   let d = Grid.dim grid in
   if Array.length betas <> d then invalid_arg "Transform.ramp_grid: betas mismatch";
   if Array.length flat <> Grid.size grid then
@@ -64,18 +81,37 @@ let ramp_grid ~grid ~betas flat =
   for j = 0 to d - 1 do
     let values = Grid.axis_values grid j in
     let n = lengths.(j) in
-    let line = Array.make n 0. in
-    iter_lines lengths j (fun ~offset ~stride ->
-        for i = 0 to n - 1 do
-          line.(i) <- flat.(offset + (i * stride))
-        done;
-        ramp_line ~beta:betas.(j) ~values ~costs:line;
-        for i = 0 to n - 1 do
-          flat.(offset + (i * stride)) <- line.(i)
-        done)
+    if domains > 1 then begin
+      let stride = ref 1 in
+      for k = j + 1 to d - 1 do
+        stride := !stride * lengths.(k)
+      done;
+      let stride = !stride in
+      let block = stride * n in
+      let n_lines = Array.length flat / max 1 n in
+      for_lines ?pool ~domains ~min_items ~line_len:n ~n_lines (fun k ->
+          let offset = line_offset ~block ~stride k in
+          let line = Array.init n (fun i -> flat.(offset + (i * stride))) in
+          ramp_line ~beta:betas.(j) ~values ~costs:line;
+          for i = 0 to n - 1 do
+            flat.(offset + (i * stride)) <- line.(i)
+          done)
+    end
+    else begin
+      let line = Array.make n 0. in
+      iter_lines lengths j (fun ~offset ~stride ->
+          for i = 0 to n - 1 do
+            line.(i) <- flat.(offset + (i * stride))
+          done;
+          ramp_line ~beta:betas.(j) ~values ~costs:line;
+          for i = 0 to n - 1 do
+            flat.(offset + (i * stride)) <- line.(i)
+          done)
+    end
   done
 
-let ramp_across ~src_grid ~dst_grid ~betas flat =
+let ramp_across ?pool ?(domains = 1) ?(min_items = Util.Parallel.min_parallel_items)
+    ~src_grid ~dst_grid ~betas flat =
   let d = Grid.dim src_grid in
   if Grid.dim dst_grid <> d then invalid_arg "Transform.ramp_across: dim mismatch";
   if Array.length betas <> d then invalid_arg "Transform.ramp_across: betas mismatch";
@@ -88,27 +124,26 @@ let ramp_across ~src_grid ~dst_grid ~betas flat =
     let src_values = Grid.axis_values src_grid j in
     let dst_values = Grid.axis_values dst_grid j in
     let ns = lengths.(j) and nd = Array.length dst_values in
-    let new_lengths = Array.copy lengths in
-    new_lengths.(j) <- nd;
-    let new_size = Array.fold_left ( * ) 1 new_lengths in
+    let stride = ref 1 in
+    for k = j + 1 to d - 1 do
+      stride := !stride * lengths.(k)
+    done;
+    let stride = !stride in
+    let src_block = stride * ns and dst_block = stride * nd in
+    let new_size = Array.length !current / ns * nd in
     let next = Array.make new_size infinity in
-    (* Walk matching lines of the old and new arrays in parallel: lines
-       are enumerated in the same (other-axes) order by iter_lines. *)
-    let src_lines = ref [] in
-    iter_lines lengths j (fun ~offset ~stride -> src_lines := (offset, stride) :: !src_lines);
-    let dst_lines = ref [] in
-    iter_lines new_lengths j (fun ~offset ~stride -> dst_lines := (offset, stride) :: !dst_lines);
-    let src_line = Array.make ns 0. in
-    List.iter2
-      (fun (soff, sstr) (doff, dstr) ->
-        for i = 0 to ns - 1 do
-          src_line.(i) <- !current.(soff + (i * sstr))
-        done;
+    let n_lines = Array.length !current / ns in
+    let src = !current in
+    (* Matching src/dst lines share a line index: only axis [j]'s length
+       changed, so the other-axes enumeration (and the stride) agree. *)
+    for_lines ?pool ~domains ~min_items ~line_len:(ns + nd) ~n_lines (fun k ->
+        let soff = line_offset ~block:src_block ~stride k in
+        let doff = line_offset ~block:dst_block ~stride k in
+        let src_line = Array.init ns (fun i -> src.(soff + (i * stride))) in
         let out = ramp_between ~beta:betas.(j) ~src_values ~src:src_line ~dst_values in
         for i = 0 to nd - 1 do
-          next.(doff + (i * dstr)) <- out.(i)
-        done)
-      (List.rev !src_lines) (List.rev !dst_lines);
+          next.(doff + (i * stride)) <- out.(i)
+        done);
     lengths.(j) <- nd;
     current := next
   done;

@@ -28,14 +28,35 @@ val ramp_between :
     [out.(i) = min_y src.(y) + beta * (dst_values.(i) - src_values.(y))^+].
     Runs in [O(|src| + |dst|)]. *)
 
-val ramp_grid : grid:Grid.t -> betas:float array -> float array -> unit
+val ramp_grid :
+  ?pool:Util.Pool.t ->
+  ?domains:int ->
+  ?min_items:int ->
+  grid:Grid.t ->
+  betas:float array ->
+  float array ->
+  unit
 (** In-place multi-dimensional transform of a flat state-cost array over
     [grid], applying {!ramp_line} along every axis ([betas.(j)] is the
-    per-unit up cost of axis [j]). *)
+    per-unit up cost of axis [j]).
+
+    With [domains > 1] the independent lines of each axis pass fan out
+    over [pool] (default: the global pool) whenever the pass touches at
+    least [min_items] matrix elements (default
+    {!Util.Parallel.min_parallel_items}); the axis passes themselves
+    stay ordered, and results are bit-identical to the sequential
+    scan. *)
 
 val ramp_across :
-  src_grid:Grid.t -> dst_grid:Grid.t -> betas:float array -> float array -> float array
+  ?pool:Util.Pool.t ->
+  ?domains:int ->
+  ?min_items:int ->
+  src_grid:Grid.t ->
+  dst_grid:Grid.t ->
+  betas:float array ->
+  float array ->
+  float array
 (** Multi-dimensional transform from a flat array over [src_grid] to a
     fresh flat array over [dst_grid] (axes are transformed one at a time
     through intermediate mixed shapes).  The grids must have the same
-    dimension. *)
+    dimension.  [pool]/[domains]/[min_items] as in {!ramp_grid}. *)

@@ -15,10 +15,10 @@ let runtime inst ~typ =
   let idle = Model.Instance.idle_cost inst ~time:0 ~typ in
   if idle <= 0. then None else Some (max 1 (int_of_float (Float.ceil (beta /. idle))))
 
-let run ?grid inst =
+let run ?grid ?domains ?pool inst =
   Obs.Span.with_ "alg_a.run" @@ fun () ->
   let horizon = Model.Instance.horizon inst in
-  let engine = Prefix_opt.create ?grid inst in
+  let engine = Prefix_opt.create ?grid ?domains ?pool inst in
   let stepper = Stepper.alg_a inst in
   let schedule = Array.make horizon [||] in
   let prefix_last = Array.make horizon [||] in

@@ -20,10 +20,10 @@ let c_of_instance inst =
   done;
   !acc
 
-let run ?grid inst =
+let run ?grid ?domains ?pool inst =
   Obs.Span.with_ "alg_b.run" @@ fun () ->
   let horizon = Model.Instance.horizon inst in
-  let engine = Prefix_opt.create ?grid inst in
+  let engine = Prefix_opt.create ?grid ?domains ?pool inst in
   let stepper = Stepper.alg_b inst in
   let schedule = Array.make horizon [||] in
   let prefix_last = Array.make horizon [||] in

@@ -1,6 +1,7 @@
 type evaluation = { name : string; cost : float; ratio : float; feasible : bool }
 
-let opt_cost inst = (Offline.Dp.solve_optimal inst).Offline.Dp.cost
+let opt_cost ?domains ?pool inst =
+  (Offline.Dp.solve_optimal ?domains ?pool inst).Offline.Dp.cost
 
 let evaluate inst ~opt named =
   List.map
@@ -29,19 +30,23 @@ let competitive_bound inst ~algorithm =
   | `B -> (2. *. d) +. 1. +. Alg_b.c_of_instance inst
   | `C eps -> (2. *. d) +. 1. +. eps
 
-let run_suite ?(eps = 0.5) ?(window = 3) ?(include_baselines = true) inst =
+let run_suite ?(eps = 0.5) ?(window = 3) ?(include_baselines = true) ?domains ?pool inst
+    =
   Obs.Span.with_ "harness.run_suite" @@ fun () ->
   (* One span per policy, so a trace of a suite run shows where the wall
      time went across OPT, the online algorithms and the baselines. *)
   let policy name f = (name, Obs.Span.with_ ("harness." ^ name) f) in
-  let opt = Obs.Span.with_ "harness.OPT" (fun () -> Offline.Dp.solve_optimal inst) in
+  let opt =
+    Obs.Span.with_ "harness.OPT" (fun () -> Offline.Dp.solve_optimal ?domains ?pool inst)
+  in
   let online =
     if inst.Model.Instance.time_independent then
-      [ policy "alg-A" (fun () -> (Alg_a.run inst).Alg_a.schedule) ]
+      [ policy "alg-A" (fun () -> (Alg_a.run ?domains ?pool inst).Alg_a.schedule) ]
     else
-      [ policy "alg-B" (fun () -> (Alg_b.run inst).Alg_b.schedule);
+      [ policy "alg-B" (fun () -> (Alg_b.run ?domains ?pool inst).Alg_b.schedule);
         (Printf.sprintf "alg-C(eps=%g)" eps,
-         Obs.Span.with_ "harness.alg-C" (fun () -> (Alg_c.run ~eps inst).Alg_c.schedule)) ]
+         Obs.Span.with_ "harness.alg-C" (fun () ->
+             (Alg_c.run ?domains ?pool ~eps inst).Alg_c.schedule)) ]
   in
   let baselines =
     if not include_baselines then []
@@ -51,7 +56,7 @@ let run_suite ?(eps = 0.5) ?(window = 3) ?(include_baselines = true) inst =
           policy "follow-demand" (fun () -> Baselines.follow_demand inst);
           (Printf.sprintf "horizon-%d" window,
            Obs.Span.with_ "harness.receding-horizon" (fun () ->
-               Baselines.receding_horizon ~window inst)) ]
+               Baselines.receding_horizon ?domains ?pool ~window inst)) ]
       in
       if Model.Instance.num_types inst = 1 then
         basic @ [ policy "lcp" (fun () -> Baselines.lcp_1d inst) ]

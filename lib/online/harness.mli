@@ -8,7 +8,7 @@ type evaluation = {
   feasible : bool;   (** paper-sense feasibility of the schedule *)
 }
 
-val opt_cost : Model.Instance.t -> float
+val opt_cost : ?domains:int -> ?pool:Util.Pool.t -> Model.Instance.t -> float
 (** Exact optimum via {!Offline.Dp.solve_optimal}. *)
 
 val evaluate :
@@ -19,12 +19,18 @@ val run_suite :
   ?eps:float ->
   ?window:int ->
   ?include_baselines:bool ->
+  ?domains:int ->
+  ?pool:Util.Pool.t ->
   Model.Instance.t ->
   (string * Model.Schedule.t) list
 (** The standard line-up: OPT, algorithm A (time-independent instances)
     or algorithms B and C (default [eps = 0.5]), and — when
     [include_baselines] (default true) — always-on, follow-the-demand,
-    receding horizon (default [window = 3]) and, for [d = 1], LCP. *)
+    receding horizon (default [window = 3]) and, for [d = 1], LCP.
+
+    [domains]/[pool] parallelise the DP-backed policies (OPT, the
+    online algorithms' prefix engines, receding horizon); every
+    schedule is bit-identical to the single-domain run. *)
 
 val competitive_bound : Model.Instance.t -> algorithm:[ `A | `B | `C of float ] -> float
 (** The paper's guarantee for the instance: [2d + 1] for A (Theorem 8;

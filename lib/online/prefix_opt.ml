@@ -9,11 +9,19 @@ type t = {
   grid : Offline.Grid.t;
   betas : float array;
   cache : Model.Cost.cache;
+  pool : Util.Pool.t option;
+  domains : int;
   mutable arrival : float array;  (* empty before the first step *)
   mutable clock : int;
 }
 
-let create ?grid inst =
+let create ?grid ?domains ?pool inst =
+  let domains =
+    match (domains, pool) with
+    | Some d, _ -> max 1 d
+    | None, Some p -> Util.Pool.size p
+    | None, None -> 1
+  in
   let inst = Model.Instance.fold_switching inst in
   let grid =
     match grid with
@@ -26,7 +34,14 @@ let create ?grid inst =
   let betas =
     Array.map (fun st -> st.Model.Server_type.switching_cost) inst.Model.Instance.types
   in
-  { inst; grid; betas; cache = Model.Cost.make_cache inst; arrival = [||]; clock = 0 }
+  { inst;
+    grid;
+    betas;
+    cache = Model.Cost.make_cache inst;
+    pool;
+    domains;
+    arrival = [||];
+    clock = 0 }
 
 let time e = e.clock
 
@@ -35,23 +50,31 @@ let step e =
     invalid_arg "Prefix_opt.step: past the horizon";
   let time = e.clock in
   let d = Model.Instance.num_types e.inst in
+  let ramp = Offline.Transform.ramp_grid ?pool:e.pool ~domains:e.domains in
   let entering =
     if time = 0 then begin
       let flat = Array.make (Offline.Grid.size e.grid) infinity in
       (match Offline.Grid.index_of e.grid (Model.Config.zero d) with
       | Some idx -> flat.(idx) <- 0.
       | None -> assert false);
-      Offline.Transform.ramp_grid ~grid:e.grid ~betas:e.betas flat;
+      ramp ~grid:e.grid ~betas:e.betas flat;
       flat
     end
     else begin
       let flat = Array.copy e.arrival in
-      Offline.Transform.ramp_grid ~grid:e.grid ~betas:e.betas flat;
+      ramp ~grid:e.grid ~betas:e.betas flat;
       flat
     end
   in
-  Offline.Grid.iter e.grid (fun idx x ->
-      entering.(idx) <- entering.(idx) +. Model.Cost.cached_operating e.cache ~time x);
+  let n = Offline.Grid.size e.grid in
+  if e.domains > 1 && n >= Util.Parallel.min_parallel_items then
+    Util.Parallel.parallel_for ?pool:e.pool ~domains:e.domains ~n (fun idx ->
+        entering.(idx) <-
+          entering.(idx)
+          +. Model.Cost.cached_operating e.cache ~time (Offline.Grid.config_at e.grid idx))
+  else
+    Offline.Grid.iter e.grid (fun idx x ->
+        entering.(idx) <- entering.(idx) +. Model.Cost.cached_operating e.cache ~time x);
   e.arrival <- entering;
   e.clock <- time + 1;
   (* Flat-index order is lexicographic, so the first strict minimum is the

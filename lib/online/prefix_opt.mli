@@ -22,13 +22,20 @@ type step = {
   prefix_cost : float;  (** [C(X^t)], the optimal prefix cost *)
 }
 
-val create : ?grid:Offline.Grid.t -> Model.Instance.t -> t
+val create :
+  ?grid:Offline.Grid.t -> ?domains:int -> ?pool:Util.Pool.t -> Model.Instance.t -> t
 (** Engine over the given state grid (default: the instance's dense
     declared-count grid).  Passing a reduced power-of-gamma grid
     ({!Offline.Grid.power}) makes each step cost [O(prod log m_j)]
     instead of [O(prod m_j)]; the returned prefix optima are then
     optimal *within the grid* — a scalability/accuracy trade-off
-    analysed by the ablation experiment rather than by the paper. *)
+    analysed by the ablation experiment rather than by the paper.
+
+    With [domains > 1] (or a [pool]; [domains] defaults to the pool's
+    size), each step's ramp transform and operating-cost fill run on the
+    pool when the grid clears {!Util.Parallel.min_parallel_items}.  The
+    argmin scan stays sequential, so stepped results are bit-identical
+    to the single-domain engine. *)
 
 val step : t -> step
 (** Reveal and process the next slot.  Raises [Invalid_argument] past the

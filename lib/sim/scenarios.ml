@@ -43,6 +43,21 @@ let three_tier ?(horizon = 60) ?(seed = 11) () =
   let load = Workload.clamp ~lo:0. ~hi:28. (Workload.add base burst) in
   Model.Instance.make_static ~types ~load ~fns ()
 
+let large_fleet ?(horizon = 32) ?(seed = 5) () =
+  let rng = Util.Prng.create seed in
+  let types =
+    [| st ~name:"web" ~count:60 ~switching_cost:2. ~cap:1. ();
+       st ~name:"batch" ~count:40 ~switching_cost:6. ~cap:3. () |]
+  in
+  let fns =
+    [| Convex.Fn.power ~idle:0.4 ~coef:0.6 ~expo:2.;
+       Convex.Fn.power ~idle:0.9 ~coef:0.3 ~expo:1.6 |]
+  in
+  let load =
+    Workload.diurnal ~noise:0.06 ~rng ~horizon ~period:24 ~base:10. ~peak:120. ()
+  in
+  Model.Instance.make_static ~types ~load ~fns ()
+
 let time_varying_costs ?(horizon = 36) ?(seed = 23) () =
   let rng = Util.Prng.create seed in
   let types =

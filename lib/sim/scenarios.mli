@@ -19,6 +19,13 @@ val three_tier : ?horizon:int -> ?seed:int -> unit -> Model.Instance.t
 (** Three types (legacy, current, accelerator) with distinct switching
     costs and capacities; diurnal plus bursts.  Time-independent. *)
 
+val large_fleet : ?horizon:int -> ?seed:int -> unit -> Model.Instance.t
+(** Two types with large counts (60 web + 40 batch servers, a 2501-state
+    dense grid) — big enough that the DP clears
+    {!Util.Parallel.min_parallel_items} and actually fans out on a
+    domain pool.  Time-independent; the CLI's [--domains] demo and the
+    CI telemetry smoke test use it. *)
+
 val time_varying_costs : ?horizon:int -> ?seed:int -> unit -> Model.Instance.t
 (** Two types whose idle costs follow a day/night electricity price —
     the time-dependent setting of Section 3 (algorithms B/C). *)

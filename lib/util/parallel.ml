@@ -1,42 +1,90 @@
 let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
-(* Below this many items the spawn overhead dominates any speed-up. *)
+(* Below this many items the job hand-off overhead dominates any
+   speed-up, even on the persistent pool. *)
 let min_parallel_items = 256
 
 let c_fills = Obs.Counter.make "parallel.fills"
 let c_spawns = Obs.Counter.make "parallel.domain_spawns"
 
-let parallel_fill ~domains out f =
-  let n = Array.length out in
-  if domains <= 1 || n < min_parallel_items then
+(* --- process-wide pool ------------------------------------------------ *)
+
+let global_lock = Mutex.create ()
+let global_pool : Pool.t option ref = ref None
+let exit_hook = ref false
+
+let global ~domains =
+  (* Clamp like Pool.create does, so an oversized request doesn't make
+     every call tear the pool down and rebuild it. *)
+  let domains = max 1 (min domains Pool.max_domains) in
+  Mutex.lock global_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock global_lock) @@ fun () ->
+  match !global_pool with
+  | Some p when (not (Pool.is_shutdown p)) && Pool.size p >= domains -> p
+  | previous ->
+      (match previous with Some p -> Pool.shutdown p | None -> ());
+      global_pool := None;
+      let p = Pool.create ~name:"pool" ~domains () in
+      global_pool := Some p;
+      if not !exit_hook then begin
+        exit_hook := true;
+        at_exit (fun () ->
+            Mutex.lock global_lock;
+            let p = !global_pool in
+            global_pool := None;
+            Mutex.unlock global_lock;
+            match p with Some p -> Pool.shutdown p | None -> ())
+      end;
+      p
+
+(* --- legacy spawn-per-call strategy (benchmark reference) ------------- *)
+
+let spawn_per_call = ref false
+
+let spawning_for ~domains ~n f =
+  let workers = max 1 (min (min domains n) Pool.max_domains) in
+  Obs.Counter.add c_spawns (workers - 1);
+  let chunk = (n + workers - 1) / workers in
+  let run lo hi =
+    for i = lo to hi do
+      f i
+    done
+  in
+  let handles =
+    List.init (workers - 1) (fun w ->
+        let lo = (w + 1) * chunk in
+        let hi = min (n - 1) (lo + chunk - 1) in
+        Domain.spawn (fun () -> if lo <= hi then run lo hi))
+  in
+  (* The calling domain takes the first chunk. *)
+  run 0 (min (n - 1) (chunk - 1));
+  List.iter Domain.join handles
+
+(* --- public helpers --------------------------------------------------- *)
+
+let parallel_for ?pool ?(min_items = min_parallel_items) ~domains ~n f =
+  if domains <= 1 || n < min_items then
     for i = 0 to n - 1 do
-      out.(i) <- f i
+      f i
     done
   else begin
-    let workers = min domains n in
     Obs.Counter.incr c_fills;
-    Obs.Counter.add c_spawns (workers - 1);
     Obs.Span.with_ "parallel.fill"
-      ~args:[ ("n", string_of_int n); ("workers", string_of_int workers) ]
+      ~args:[ ("n", string_of_int n); ("workers", string_of_int domains) ]
     @@ fun () ->
-    let chunk = (n + workers - 1) / workers in
-    let run lo hi =
-      for i = lo to hi do
-        out.(i) <- f i
-      done
-    in
-    let handles =
-      List.init (workers - 1) (fun w ->
-          let lo = (w + 1) * chunk in
-          let hi = min (n - 1) (lo + chunk - 1) in
-          Domain.spawn (fun () -> if lo <= hi then run lo hi))
-    in
-    (* The calling domain takes the first chunk. *)
-    run 0 (min (n - 1) (chunk - 1));
-    List.iter Domain.join handles
+    if !spawn_per_call then spawning_for ~domains ~n f
+    else
+      let pool = match pool with Some p -> p | None -> global ~domains in
+      Pool.run ~workers:domains pool ~n f
   end
 
-let parallel_init ~domains n f =
-  let out = Array.make n 0. in
-  parallel_fill ~domains out f;
-  out
+let parallel_fill ?pool ?min_items ~domains out f =
+  parallel_for ?pool ?min_items ~domains ~n:(Array.length out) (fun i -> out.(i) <- f i)
+
+let parallel_init ?pool ?min_items ~domains n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    parallel_fill ?pool ?min_items ~domains out f;
+    out
+  end

@@ -1,24 +1,59 @@
-(** Minimal data-parallel helpers over OCaml 5 domains.
+(** Data-parallel helpers over OCaml 5 domains, backed by a persistent
+    {!Pool}.
 
     The dynamic programs spend almost all their time in independent
-    [g_t(x)] evaluations per grid state; these helpers fan such loops out
-    across domains.  No external dependency (hand-rolled chunking rather
-    than domainslib); work items must be pure — they run concurrently
-    without synchronisation. *)
+    [g_t(x)] evaluations per grid state; these helpers fan such loops
+    out across domains.  Work items must be safe to run concurrently
+    for distinct indices (pure, or writing only index-disjoint state).
+
+    Jobs are executed on a {!Pool.t}: either the one passed as [?pool],
+    or a process-wide {!global} pool that is created on first use and
+    grown when a larger [domains] is requested — so repeated parallel
+    sections (one per DP layer, say) reuse the same worker domains
+    instead of paying a [Domain.spawn]/join per section.  No external
+    dependency (hand-rolled rather than domainslib). *)
 
 val recommended_domains : unit -> int
 (** A sensible worker count: [Domain.recommended_domain_count], at
     least 1. *)
 
 val min_parallel_items : int
-(** Arrays smaller than this are always filled sequentially (the spawn
-    overhead dominates below it).  Exposed for the edge-case tests. *)
+(** Ranges smaller than this are always executed sequentially and never
+    reach the pool (below it, chunk hand-off and submitter wake-up cost
+    more than the fan-out saves — even with persistent workers).  The
+    default cutoff for every function here; override per call with
+    [?min_items] (the pool property tests force [~min_items:1] to
+    exercise the parallel path on small grids). *)
 
-val parallel_fill : domains:int -> float array -> (int -> float) -> unit
-(** [parallel_fill ~domains out f] sets [out.(i) <- f i] for every index,
-    splitting the range into contiguous chunks across [domains] domains
-    (sequential when [domains <= 1] or the array is small).  [f] must be
-    pure and must not touch shared mutable state. *)
+val global : domains:int -> Pool.t
+(** The process-wide pool, created on first use and replaced by a
+    larger one when [domains] exceeds its size (the old workers are
+    joined first).  Shut down automatically [at_exit].  Useful when a
+    caller has a [domains] count but no pool to thread through. *)
 
-val parallel_init : domains:int -> int -> (int -> float) -> float array
-(** Allocate and {!parallel_fill}. *)
+val parallel_for :
+  ?pool:Pool.t -> ?min_items:int -> domains:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~domains ~n f] runs [f i] for every [0 <= i < n] —
+    sequentially when [domains <= 1] or [n < min_items], otherwise on
+    [pool] (default: [global ~domains]) with at most [domains]
+    participating domains. *)
+
+val parallel_fill :
+  ?pool:Pool.t -> ?min_items:int -> domains:int -> 'a array -> (int -> 'a) -> unit
+(** [parallel_fill ~domains out f] sets [out.(i) <- f i] for every
+    index, via {!parallel_for}. *)
+
+val parallel_init :
+  ?pool:Pool.t -> ?min_items:int -> domains:int -> int -> (int -> 'a) -> 'a array
+(** Allocate and {!parallel_fill}.  Works for any element type: [f 0]
+    is evaluated (once, eagerly) to seed the array, then every index
+    including 0 is filled — so [f] must tolerate a second call at
+    index 0. *)
+
+val spawn_per_call : bool ref
+(** Benchmark knob: when set, the helpers use the legacy strategy of
+    spawning fresh domains on every call instead of the pool.  Retained
+    so the bench harness (and CI's regression gate) can measure the
+    pooled path against the pre-pool baseline; leave it [false]
+    everywhere else.  The legacy path still counts
+    [parallel.domain_spawns]. *)
