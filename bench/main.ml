@@ -227,7 +227,18 @@ let benches =
       (let inst = Lazy.force fix_cpu_gpu in
        fun () ->
          let e = Core.Prefix_opt.create inst in
-         Core.Prefix_opt.step e)
+         Core.Prefix_opt.step e);
+    bench "kernel: snapshot render+parse (dp-frontier, 12 layers)"
+      (let inst = Lazy.force fix_cpu_gpu in
+       let captured = ref None in
+       ignore
+         (Core.Offline_dp.solve
+            ~on_layer:(fun ~time thunk -> if time = 11 then captured := Some (thunk ()))
+            inst);
+       let payload = Core.Offline_dp.frontier_to_sexp (Option.get !captured) in
+       fun () ->
+         Core.Snapshot.parse ~kind:"dp-frontier"
+           (Core.Snapshot.render ~kind:"dp-frontier" payload))
   ]
 
 (* One instrumented run of the kernel: reset every counter, run once,

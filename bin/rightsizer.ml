@@ -198,6 +198,149 @@ let with_domains domains f =
   if domains = 1 then f None
   else Core.Pool.with_pool ~name:"pool" ~domains (fun pool -> f (Some pool))
 
+(* --- checkpoint/resume flags (solve and online; docs/robustness.md) --- *)
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Periodically write a crash-safe checkpoint (versioned, checksummed) \
+              to FILE; resume an interrupted run with $(b,--resume).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint every N slots/layers (default 8; with --checkpoint).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:"Resume from a checkpoint written by $(b,--checkpoint) for the same \
+              instance and settings.  The resumed run is bit-identical to an \
+              uninterrupted one; a torn or corrupted checkpoint is rejected.")
+
+let crash_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-after" ] ~docv:"N"
+        ~doc:"Testing hook: simulate a crash (exit 3) after N slots/layers, \
+              leaving the last checkpoint behind (requires --checkpoint).")
+
+(* Load and decode a checkpoint, or explain why not. *)
+let load_checkpoint ~kind ~decode path =
+  match Core.Snapshot.load ~kind ~path () with
+  | Error e ->
+      Error (Printf.sprintf "cannot resume from %s: %s" path
+               (Core.Snapshot.error_to_string e))
+  | Ok payload -> (
+      match decode payload with
+      | Error m -> Error (Printf.sprintf "cannot resume from %s: %s" path m)
+      | Ok v -> Ok v)
+
+let write_checkpoint ~kind ~path payload =
+  match Core.Snapshot.save ~path ~kind payload with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "warning: checkpoint %s failed: %s\n%!" path
+        (Core.Snapshot.error_to_string e)
+
+let simulated_crash ~done_ = function
+  | Some n when done_ >= n ->
+      Printf.eprintf "simulated crash after %d steps (exit 3)\n%!" done_;
+      exit 3
+  | Some _ | None -> ()
+
+(* The checkpointable online runner: the same engine+stepper loop as
+   Alg_a.run / Alg_b.run, with the composite session state (partial
+   schedule included — the final cost needs every slot's decision)
+   snapshotted every N slots.  Algorithm A for time-independent
+   instances, algorithm B otherwise. *)
+let run_online_checkpointed ?pool ~checkpoint ~every ~resume ~crash_after inst =
+  let module S = Core.Sexp in
+  let horizon = Core.Instance.horizon inst in
+  let engine = Core.Prefix_opt.create ?pool inst in
+  let stepper =
+    if inst.Core.Instance.time_independent then Core.Stepper.alg_a inst
+    else Core.Stepper.alg_b inst
+  in
+  let schedule = Array.make horizon [||] in
+  let start =
+    match resume with
+    | None -> Ok 0
+    | Some path ->
+        load_checkpoint ~kind:"online-run" path ~decode:(fun payload ->
+            match payload with
+            | S.List (S.Atom "online-run" :: fields) -> (
+                let rows name =
+                  match S.assoc name fields with
+                  | None -> Error (Printf.sprintf "online-run: missing field %s" name)
+                  | Some rows ->
+                      let rec go acc = function
+                        | [] -> Ok (List.rev acc)
+                        | (S.List (S.Atom "x" :: _) as row) :: rest -> (
+                            match Core.Snapshot.ints_of_field [ row ] "x" with
+                            | Ok r -> go (r :: acc) rest
+                            | Error m -> Error m)
+                        | _ -> Error (Printf.sprintf "online-run: malformed %s" name)
+                      in
+                      go [] rows
+                in
+                let sub name =
+                  match S.assoc name fields with
+                  | Some [ payload ] -> Ok payload
+                  | Some _ | None ->
+                      Error (Printf.sprintf "online-run: missing field %s" name)
+                in
+                match
+                  ( Core.Snapshot.int_of_field fields "time",
+                    rows "schedule",
+                    sub "engine",
+                    sub "stepper" )
+                with
+                | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _
+                | _, _, _, Error m -> Error m
+                | Ok time, Ok rows, Ok engine_s, Ok stepper_s ->
+                    if time < 0 || time > horizon || List.length rows <> time then
+                      Error "online-run: schedule prefix does not match the clock"
+                    else (
+                      List.iteri (fun i x -> schedule.(i) <- x) rows;
+                      match
+                        ( Core.Prefix_opt.restore engine engine_s,
+                          Core.Stepper.restore stepper stepper_s )
+                      with
+                      | Error m, _ | _, Error m -> Error m
+                      | Ok (), Ok () -> Ok time))
+            | S.Atom _ | S.List _ -> Error "online-run: unexpected payload shape")
+  in
+  match start with
+  | Error m -> Error m
+  | Ok start ->
+      let save_at time =
+        S.List
+          (S.Atom "online-run"
+          :: S.List [ S.Atom "time"; S.Atom (string_of_int time) ]
+          :: S.List
+               (S.Atom "schedule"
+               :: List.init time (fun i -> Core.Snapshot.int_array_field "x" schedule.(i)))
+          :: [ S.List [ S.Atom "engine"; Core.Prefix_opt.save engine ];
+               S.List [ S.Atom "stepper"; Core.Stepper.save stepper ] ])
+      in
+      for time = start to horizon - 1 do
+        let { Core.Prefix_opt.last = hat; _ } = Core.Prefix_opt.step engine in
+        schedule.(time) <- Core.Stepper.step stepper ~time ~hat;
+        (match checkpoint with
+        | Some path when (time + 1) mod every = 0 || time = horizon - 1 ->
+            write_checkpoint ~kind:"online-run" ~path (save_at (time + 1))
+        | Some _ | None -> ());
+        simulated_crash ~done_:(time + 1) crash_after
+      done;
+      Ok (schedule, Core.Cost.schedule inst schedule)
+
 let print_schedule inst schedule =
   let d = Core.Instance.num_types inst in
   let tbl =
@@ -304,32 +447,70 @@ let solve_cmd =
       & info [ "eps" ] ~docv:"EPS"
           ~doc:"Use the (1+eps)-approximation instead of the exact optimum.")
   in
-  let run () () scenario horizon file workload eps domains =
+  let run () () scenario horizon file workload eps domains checkpoint every resume
+      crash_after =
     match resolve_instance ?workload scenario horizon file with
     | Error m -> `Error (false, m)
-    | Ok (name, inst) ->
+    | Ok (name, inst) -> (
         Core.Obs.Run_manifest.note "algorithm"
           (match eps with
           | None -> "dp-optimal"
           | Some e -> Printf.sprintf "dp-approx(eps=%g)" e);
-        with_domains domains @@ fun pool ->
-        let schedule, cost =
-          match eps with
-          | None -> Core.solve_offline ?pool inst
-          | Some eps -> Core.solve_approx ?pool ~eps inst
-        in
-        Printf.printf "instance %s: %s cost %.4f\n" name
-          (match eps with None -> "optimal" | Some e -> Printf.sprintf "(1+%g)-approximate" e)
-          cost;
-        print_schedule inst schedule;
-        `Ok ()
+        if every < 1 then `Error (false, "--checkpoint-every must be >= 1")
+        else if crash_after <> None && checkpoint = None then
+          `Error (false, "--crash-after requires --checkpoint")
+        else begin
+          with_domains domains @@ fun pool ->
+          let grids =
+            match eps with
+            | None -> None
+            | Some eps when eps > 0. ->
+                Some (Core.Offline_dp.approx_grids ~gamma:(1. +. (eps /. 2.)) inst)
+            | Some _ -> None
+          in
+          let frontier =
+            match resume with
+            | None -> Ok None
+            | Some path ->
+                Result.map Option.some
+                  (load_checkpoint ~kind:"dp-frontier" path
+                     ~decode:Core.Offline_dp.frontier_of_sexp)
+          in
+          match (frontier, eps) with
+          | Error m, _ -> `Error (false, m)
+          | _, Some e when e <= 0. -> `Error (false, "--eps must be positive")
+          | Ok frontier, _ ->
+              let on_layer =
+                match checkpoint with
+                | None -> None
+                | Some path ->
+                    Some
+                      (fun ~time materialize ->
+                        let filled = time + 1 in
+                        if filled mod every = 0 then
+                          write_checkpoint ~kind:"dp-frontier" ~path
+                            (Core.Offline_dp.frontier_to_sexp (materialize ()));
+                        simulated_crash ~done_:filled crash_after)
+              in
+              let { Core.Offline_dp.schedule; cost } =
+                Core.Offline_dp.solve ?grids ?pool ?resume:frontier ?on_layer inst
+              in
+              Printf.printf "instance %s: %s cost %.4f\n" name
+                (match eps with
+                | None -> "optimal"
+                | Some e -> Printf.sprintf "(1+%g)-approximate" e)
+                cost;
+              print_schedule inst schedule;
+              `Ok ()
+        end)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a scenario or instance file offline (Section 4).")
     Term.(
       ret
         (const run $ verbose_term $ obs_term $ scenario_arg $ horizon_arg $ file_arg
-        $ workload_arg $ eps_arg $ domains_arg))
+        $ workload_arg $ eps_arg $ domains_arg $ checkpoint_arg $ checkpoint_every_arg
+        $ resume_arg $ crash_after_arg))
 
 (* --- online --- *)
 
@@ -339,28 +520,51 @@ let online_cmd =
       value & opt float 0.5
       & info [ "eps" ] ~docv:"EPS" ~doc:"Algorithm C's eps (time-dependent costs only).")
   in
-  let run () scenario horizon file eps domains =
+  let run () scenario horizon file eps domains checkpoint every resume crash_after =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
-    | Ok (name, inst) ->
-        let algorithm = if inst.Core.Instance.time_independent then "A" else "C" in
+    | Ok (name, inst) -> (
+        let checkpointing = checkpoint <> None || resume <> None in
+        let algorithm =
+          if inst.Core.Instance.time_independent then "A"
+          else if checkpointing then "B"
+          else "C"
+        in
         Core.Obs.Run_manifest.note "algorithm" ("alg-" ^ algorithm);
         if algorithm = "C" then
           Core.Obs.Run_manifest.note "eps" (Printf.sprintf "%g" eps);
-        with_domains domains @@ fun pool ->
-        let schedule, cost = Core.run_online ~eps ?pool inst in
-        let opt = Core.Harness.opt_cost ?pool inst in
-        Printf.printf "instance %s: algorithm %s cost %.4f, OPT %.4f, ratio %.4f\n" name
-          algorithm cost opt (cost /. opt);
-        print_schedule inst schedule;
-        `Ok ()
+        if every < 1 then `Error (false, "--checkpoint-every must be >= 1")
+        else if crash_after <> None && checkpoint = None then
+          `Error (false, "--crash-after requires --checkpoint")
+        else begin
+          with_domains domains @@ fun pool ->
+          let result =
+            if checkpointing then
+              run_online_checkpointed ?pool ~checkpoint ~every ~resume ~crash_after
+                inst
+            else Ok (Core.run_online ~eps ?pool inst)
+          in
+          match result with
+          | Error m -> `Error (false, m)
+          | Ok (schedule, cost) ->
+              let opt = Core.Harness.opt_cost ?pool inst in
+              Printf.printf "instance %s: algorithm %s cost %.4f, OPT %.4f, ratio %.4f\n"
+                name algorithm cost opt (cost /. opt);
+              print_schedule inst schedule;
+              `Ok ()
+        end)
   in
   Cmd.v
-    (Cmd.info "online" ~doc:"Run the paper's online algorithm on a scenario or instance file.")
+    (Cmd.info "online"
+       ~doc:"Run the paper's online algorithm on a scenario or instance file.  With \
+             --checkpoint/--resume the run is a checkpointable slot loop (algorithm A \
+             for time-independent instances, algorithm B otherwise) that survives \
+             crashes bit-identically.")
     Term.(
       ret
         (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ eps_arg
-        $ domains_arg))
+        $ domains_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+        $ crash_after_arg))
 
 (* --- compare --- *)
 

@@ -39,6 +39,8 @@ module Scenarios = Sim.Scenarios
 module Pool = Util.Pool
 module Parallel = Util.Parallel
 module Prng = Util.Prng
+module Snapshot = Util.Snapshot
+module Faultinj = Util.Faultinj
 module Stats = Util.Stats
 module Table = Util.Table
 module Csv = Util.Csv

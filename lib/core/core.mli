@@ -64,6 +64,15 @@ module Pool = Util.Pool
 
 module Parallel = Util.Parallel
 module Prng = Util.Prng
+
+module Snapshot = Util.Snapshot
+(** Versioned, checksummed checkpoint files (crash-safe save/load; see
+    [docs/robustness.md]). *)
+
+module Faultinj = Util.Faultinj
+(** Deterministic fault injection at named sites ([pool.job],
+    [dp.layer_fill], [streaming.feed], [snapshot.write]). *)
+
 module Stats = Util.Stats
 module Table = Util.Table
 module Csv = Util.Csv

@@ -4,8 +4,40 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type result = { schedule : Model.Schedule.t; cost : float }
 
+type frontier = { next_time : int; layers : float array array }
+
 let c_solves = Obs.Counter.make "dp.solves"
 let c_cells = Obs.Counter.make "dp.cells"
+let c_layer_retries = Obs.Counter.make "dp.layer_retries"
+
+module S = Util.Sexp
+
+let frontier_to_sexp f =
+  S.List
+    (S.Atom "dp-frontier"
+    :: S.List [ S.Atom "next-time"; S.Atom (string_of_int f.next_time) ]
+    :: Array.to_list (Array.map (Util.Snapshot.float_array_field "layer") f.layers))
+
+let frontier_of_sexp sexp =
+  match sexp with
+  | S.List (S.Atom "dp-frontier" :: fields) -> (
+      match Util.Snapshot.int_of_field fields "next-time" with
+      | Error m -> Error m
+      | Ok next_time ->
+          let rec layers acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | (S.List (S.Atom "layer" :: _) as l) :: rest -> (
+                match Util.Snapshot.floats_of_field [ l ] "layer" with
+                | Ok a -> layers (a :: acc) rest
+                | Error m -> Error m)
+            | S.List (S.Atom "next-time" :: _) :: rest -> layers acc rest
+            | _ -> Error "dp-frontier: malformed layer"
+          in
+          Result.bind (layers [] fields) (fun layers ->
+              if Array.length layers <> next_time then
+                Error "dp-frontier: layer count does not match next-time"
+              else Ok { next_time; layers }))
+  | S.Atom _ | S.List _ -> Error "dp-frontier: unexpected payload shape"
 
 let betas inst =
   Array.map (fun st -> st.Model.Server_type.switching_cost) inst.Model.Instance.types
@@ -39,7 +71,7 @@ let layer_operating ?pool ~domains cache grid ~time =
     flat
   end
 
-let solve ?grids ?initial ?domains ?pool inst =
+let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
   (* [?pool] without an explicit count means "use the whole pool". *)
   let domains =
     match (domains, pool) with
@@ -68,36 +100,75 @@ let solve ?grids ?initial ?domains ?pool inst =
     let g = grids time in
     grid_at.(time) <- (if Grid.equal g grid_at.(time - 1) then grid_at.(time - 1) else g)
   done;
+  (* Resume a checkpointed forward pass: the saved layers replace the
+     recomputation up to [next_time].  The caller must supply the same
+     instance and grids the frontier was captured under; sizes are
+     validated here, semantic agreement is the caller's contract. *)
+  let start_time =
+    match resume with
+    | None -> 0
+    | Some f ->
+        if f.next_time < 1 || f.next_time > horizon then
+          invalid_arg "Dp.solve: resume frontier outside the horizon";
+        if Array.length f.layers <> f.next_time then
+          invalid_arg "Dp.solve: resume frontier layer count mismatch";
+        for time = 0 to f.next_time - 1 do
+          if Array.length f.layers.(time) <> Grid.size grid_at.(time) then
+            invalid_arg "Dp.solve: resume frontier does not match the grids";
+          arrival.(time) <- Array.copy f.layers.(time)
+        done;
+        f.next_time
+  in
   (Obs.Span.with_ "dp.forward" @@ fun () ->
-  for time = 0 to horizon - 1 do
+  for time = start_time to horizon - 1 do
     let grid = grid_at.(time) in
     Obs.Counter.add c_cells (Grid.size grid);
-    let entering =
-      if time = 0 then begin
-        (* Single known source: the switching cost from it is closed-form,
-           no transform needed (and [initial] need not be on the grid). *)
-        let init =
-          match initial with None -> Model.Config.zero d | Some c -> Array.copy c
-        in
-        let flat = Array.make (Grid.size grid) infinity in
-        Grid.iter grid (fun idx x ->
-            flat.(idx) <-
-              Model.Config.switching_cost inst.Model.Instance.types ~from_:init ~to_:x);
-        flat
-      end
-      else begin
-        let src = Array.copy arrival.(time - 1) in
-        let src_grid = grid_at.(time - 1) in
-        if src_grid == grid then begin
-          Transform.ramp_grid ?pool ~domains ~grid ~betas src;
-          src
+    (* The fill only reads the previous layer (through a copy), so an
+       injected fault can be absorbed by simply refilling. *)
+    let fill () =
+      let entering =
+        if time = 0 then begin
+          (* Single known source: the switching cost from it is closed-form,
+             no transform needed (and [initial] need not be on the grid). *)
+          let init =
+            match initial with None -> Model.Config.zero d | Some c -> Array.copy c
+          in
+          let flat = Array.make (Grid.size grid) infinity in
+          Grid.iter grid (fun idx x ->
+              flat.(idx) <-
+                Model.Config.switching_cost inst.Model.Instance.types ~from_:init ~to_:x);
+          flat
         end
-        else Transform.ramp_across ?pool ~domains ~src_grid ~dst_grid:grid ~betas src
-      end
+        else begin
+          let src = Array.copy arrival.(time - 1) in
+          let src_grid = grid_at.(time - 1) in
+          if src_grid == grid then begin
+            Transform.ramp_grid ?pool ~domains ~grid ~betas src;
+            src
+          end
+          else Transform.ramp_across ?pool ~domains ~src_grid ~dst_grid:grid ~betas src
+        end
+      in
+      let ops = layer_operating ?pool ~domains cache grid ~time in
+      Array.iteri (fun i c -> entering.(i) <- c +. ops.(i)) entering;
+      entering
     in
-    let ops = layer_operating ?pool ~domains cache grid ~time in
-    Array.iteri (fun i c -> entering.(i) <- c +. ops.(i)) entering;
-    arrival.(time) <- entering
+    let entering =
+      try
+        Util.Faultinj.hit "dp.layer_fill";
+        fill ()
+      with Util.Faultinj.Injected { site = "dp.layer_fill"; _ } ->
+        Obs.Counter.incr c_layer_retries;
+        Util.Faultinj.recovered "dp.layer_fill";
+        Util.Faultinj.suppressed fill
+    in
+    arrival.(time) <- entering;
+    match on_layer with
+    | None -> ()
+    | Some cb ->
+        cb ~time (fun () ->
+            { next_time = time + 1;
+              layers = Array.init (time + 1) (fun u -> Array.copy arrival.(u)) })
   done);
   (* Terminal: powering everything down is free. *)
   let last_grid = grid_at.(horizon - 1) in

@@ -13,11 +13,24 @@ type result = {
   cost : float;           (** its total cost [C(X)] *)
 }
 
+type frontier = {
+  next_time : int;  (** first layer still to fill *)
+  layers : float array array;
+      (** the arrival layers for slots [0 .. next_time - 1] — everything
+          the forward pass has computed so far (reconstruction needs all
+          of them, so a checkpoint keeps the whole prefix, not just the
+          newest layer) *)
+}
+(** A checkpoint of an in-flight forward pass; see [?resume]/[?on_layer]
+    on {!solve} and the sexp codec below. *)
+
 val solve :
   ?grids:(int -> Grid.t) ->
   ?initial:Model.Config.t ->
   ?domains:int ->
   ?pool:Util.Pool.t ->
+  ?resume:frontier ->
+  ?on_layer:(time:int -> (unit -> frontier) -> unit) ->
   Model.Instance.t ->
   result
 (** Shortest path over the given per-slot grids (default: dense grids
@@ -39,7 +52,21 @@ val solve :
     every parallel section computes the same values into disjoint
     slots, and all fuzzy argmin scans remain single ordered passes.
     Layers smaller than {!Util.Parallel.min_parallel_items} states stay
-    sequential regardless. *)
+    sequential regardless.
+
+    Checkpoint/resume: [on_layer] is invoked after each filled layer
+    with a thunk that materialises the current {!frontier} (a deep
+    copy — only call it when actually writing a checkpoint); [resume]
+    skips the forward pass up to [next_time] by reinstating the saved
+    layers.  The caller must resume with the same instance and grids
+    the frontier was captured under (sizes are validated, semantics are
+    the contract); the resumed solve is then bit-identical to an
+    uninterrupted one.
+
+    Fault site: [dp.layer_fill] ({!Util.Faultinj}) fires before each
+    layer fill; an injected fault is absorbed by refilling the layer
+    under {!Util.Faultinj.suppressed} (the fill only reads the previous
+    layer, so the retry is exact) and counted in [dp.layer_retries]. *)
 
 val solve_optimal : ?domains:int -> ?pool:Util.Pool.t -> Model.Instance.t -> result
 (** Section 4.1: exact optimum on dense grids. *)
@@ -59,3 +86,9 @@ val approx_grids : gamma:float -> Model.Instance.t -> int -> Grid.t
 val state_count : Model.Instance.t -> grids:(int -> Grid.t) -> int
 (** Total number of graph states [sum_t |grid_t|] — the size measure in
     Theorems 21/22 (each state contributes two vertices). *)
+
+val frontier_to_sexp : frontier -> Util.Sexp.t
+(** Frontier payload with bit-exact float atoms, for wrapping in a
+    {!Util.Snapshot} container (kind [dp-frontier]). *)
+
+val frontier_of_sexp : Util.Sexp.t -> (frontier, string) Stdlib.result

@@ -5,10 +5,10 @@ type step = {
 }
 
 type t = {
-  inst : Model.Instance.t;
+  mutable inst : Model.Instance.t;  (* swapped by [rebind] on horizon growth *)
   grid : Offline.Grid.t;
   betas : float array;
-  cache : Model.Cost.cache;
+  mutable cache : Model.Cost.cache;
   pool : Util.Pool.t option;
   domains : int;
   mutable arrival : float array;  (* empty before the first step *)
@@ -44,6 +44,46 @@ let create ?grid ?domains ?pool inst =
     clock = 0 }
 
 let time e = e.clock
+
+let rebind e inst =
+  let inst = Model.Instance.fold_switching inst in
+  if Model.Instance.num_types inst <> Offline.Grid.dim e.grid then
+    invalid_arg "Prefix_opt.rebind: type-count mismatch";
+  if Model.Instance.counts inst <> Model.Instance.counts e.inst then
+    invalid_arg "Prefix_opt.rebind: fleet sizes changed";
+  if Model.Instance.horizon inst < e.clock then
+    invalid_arg "Prefix_opt.rebind: horizon shorter than slots already processed";
+  e.inst <- inst;
+  (* The memo keys (time, config) mean the same thing under the new
+     instance; rebuilding only forfeits cached values, which are
+     recomputed identically. *)
+  e.cache <- Model.Cost.make_cache inst
+
+let save e =
+  Util.Sexp.List
+    [ Util.Sexp.Atom "prefix-opt";
+      Util.Sexp.List [ Util.Sexp.Atom "clock"; Util.Sexp.Atom (string_of_int e.clock) ];
+      Util.Snapshot.float_array_field "arrival" e.arrival ]
+
+let restore e sexp =
+  match sexp with
+  | Util.Sexp.List (Util.Sexp.Atom "prefix-opt" :: fields) -> (
+      match
+        ( Util.Snapshot.int_of_field fields "clock",
+          Util.Snapshot.floats_of_field fields "arrival" )
+      with
+      | Error m, _ | _, Error m -> Error m
+      | Ok clock, Ok arrival ->
+          if clock < 0 || clock > Model.Instance.horizon e.inst then
+            Error "prefix-opt: clock outside the instance horizon"
+          else if clock > 0 && Array.length arrival <> Offline.Grid.size e.grid then
+            Error "prefix-opt: arrival layer does not match the state grid"
+          else begin
+            e.clock <- clock;
+            e.arrival <- (if clock = 0 then [||] else arrival);
+            Ok ()
+          end)
+  | Util.Sexp.Atom _ | Util.Sexp.List _ -> Error "prefix-opt: unexpected payload shape"
 
 let step e =
   if e.clock >= Model.Instance.horizon e.inst then

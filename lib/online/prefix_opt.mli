@@ -43,3 +43,21 @@ val step : t -> step
 
 val time : t -> int
 (** Number of slots processed so far. *)
+
+val rebind : t -> Model.Instance.t -> unit
+(** Swap in a new instance whose prefix agrees with the slots already
+    processed — the streaming layer's buffer growth: same types and
+    fleet sizes, a horizon at least {!time}.  The DP layer carries over
+    untouched, so subsequent steps are bit-identical to an engine built
+    over the new instance from scratch.  Raises [Invalid_argument] on a
+    dimension/fleet mismatch or a horizon shorter than {!time}. *)
+
+val save : t -> Util.Sexp.t
+(** The engine's resumable state (clock and live DP layer), floats
+    encoded bit-exactly ({!Util.Snapshot.float_atom}). *)
+
+val restore : t -> Util.Sexp.t -> (unit, string) result
+(** Load a {!save}d state into an engine created over the same instance
+    and grid; stepping afterwards is decision-for-decision identical to
+    the uninterrupted engine.  Validates the payload shape, the clock
+    against the horizon and the layer length against the grid. *)

@@ -7,8 +7,8 @@ type rule =
     }
 
 type t = {
-  inst : Model.Instance.t;
-  rule : rule;
+  mutable inst : Model.Instance.t;  (* swapped by [rebind] on horizon growth *)
+  mutable rule : rule;
   x : int array;
   mutable clock : int;
   mutable ups : (int * int * int) list;
@@ -133,3 +133,234 @@ let runtimes t =
   match t.rule with
   | A { runtimes; _ } -> Array.copy runtimes
   | B _ -> invalid_arg "Stepper.runtimes: algorithm B has no fixed timers"
+
+let rebind t inst =
+  if Model.Instance.num_types inst <> Array.length t.x then
+    invalid_arg "Stepper.rebind: type-count mismatch";
+  if Model.Instance.horizon inst < t.clock then
+    invalid_arg "Stepper.rebind: horizon shorter than slots already processed";
+  (match t.rule with
+  | A _ ->
+      if not inst.Model.Instance.time_independent then
+        invalid_arg "Stepper.rebind: algorithm A needs time-independent costs"
+  | B b ->
+      (* B's idle-cost prefix sums are pre-sized to horizon + 1; grow the
+         rows and keep the already-accumulated entries (indices up to
+         [clock] are filled, the rest are written before being read). *)
+      let len = Model.Instance.horizon inst + 1 in
+      t.rule <-
+        B
+          { b with
+            prefix =
+              Array.map
+                (fun row ->
+                  if Array.length row >= len then row
+                  else begin
+                    let row' = Array.make len 0. in
+                    Array.blit row 0 row' 0 (Array.length row);
+                    row'
+                  end)
+                b.prefix });
+  t.inst <- inst
+
+(* --- snapshot codec ---
+
+   The serialised state is exactly the mutable bookkeeping: the clock,
+   the active configuration, the chronological power events, and the
+   rule state (A's pending power-down table, B's idle prefix sums and
+   open groups).  The instance itself is reconstructed by the caller —
+   it contains closures — so [restore] targets a stepper freshly built
+   over the same instance. *)
+
+module S = Util.Sexp
+
+let events_field name events =
+  S.List
+    (S.Atom name
+    :: List.map
+         (fun (time, typ, count) ->
+           S.List
+             [ S.Atom (string_of_int time);
+               S.Atom (string_of_int typ);
+               S.Atom (string_of_int count) ])
+         events)
+
+let events_of_field fields name =
+  match S.assoc name fields with
+  | None -> Error (Printf.sprintf "missing field %s" name)
+  | Some args ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | S.List [ t; j; c ] :: rest -> (
+            match (S.int_atom t, S.int_atom j, S.int_atom c) with
+            | Some t, Some j, Some c -> go ((t, j, c) :: acc) rest
+            | _ -> Error (Printf.sprintf "malformed field %s" name))
+        | _ -> Error (Printf.sprintf "malformed field %s" name)
+      in
+      go [] args
+
+let save t =
+  let common =
+    [ S.List [ S.Atom "clock"; S.Atom (string_of_int t.clock) ];
+      Util.Snapshot.int_array_field "x" t.x;
+      events_field "ups" (List.rev t.ups);
+      events_field "downs" (List.rev t.downs) ]
+  in
+  match t.rule with
+  | A { w; _ } ->
+      let slots =
+        Hashtbl.fold (fun slot counts acc -> (slot, counts) :: acc) w []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      S.List
+        (S.Atom "stepper"
+        :: S.List [ S.Atom "rule"; S.Atom "a" ]
+        :: common
+        @ [ S.List
+              (S.Atom "w"
+              :: List.map
+                   (fun (slot, counts) ->
+                     S.List
+                       (S.Atom (string_of_int slot)
+                       :: Array.to_list
+                            (Array.map (fun c -> S.Atom (string_of_int c)) counts)))
+                   slots) ])
+  | B { prefix; groups } ->
+      S.List
+        (S.Atom "stepper"
+        :: S.List [ S.Atom "rule"; S.Atom "b" ]
+        :: common
+        @ [ S.List
+              (S.Atom "prefix"
+              :: Array.to_list
+                   (Array.map
+                      (fun row ->
+                        Util.Snapshot.float_array_field "row"
+                          (Array.sub row 0 (t.clock + 1)))
+                      prefix));
+            S.List
+              (S.Atom "groups"
+              :: Array.to_list
+                   (Array.map
+                      (fun g ->
+                        S.List
+                          (List.map
+                             (fun (u, c) ->
+                               S.List
+                                 [ S.Atom (string_of_int u); S.Atom (string_of_int c) ])
+                             g))
+                      groups)) ])
+
+let restore t sexp =
+  match sexp with
+  | S.List (S.Atom "stepper" :: fields) -> (
+      let rule_tag =
+        match S.assoc "rule" fields with
+        | Some [ S.Atom tag ] -> Ok tag
+        | Some _ | None -> Error "stepper: missing rule tag"
+      in
+      match
+        ( rule_tag,
+          Util.Snapshot.int_of_field fields "clock",
+          Util.Snapshot.ints_of_field fields "x",
+          events_of_field fields "ups",
+          events_of_field fields "downs" )
+      with
+      | Error m, _, _, _, _
+      | _, Error m, _, _, _
+      | _, _, Error m, _, _
+      | _, _, _, Error m, _
+      | _, _, _, _, Error m -> Error m
+      | Ok tag, Ok clock, Ok x, Ok ups, Ok downs -> (
+          let d = Array.length t.x in
+          if Array.length x <> d then Error "stepper: dimension mismatch"
+          else if clock < 0 || clock > Model.Instance.horizon t.inst then
+            Error "stepper: clock outside the instance horizon"
+          else
+            let commit () =
+              Array.blit x 0 t.x 0 d;
+              t.clock <- clock;
+              t.ups <- List.rev ups;
+              t.downs <- List.rev downs;
+              Ok ()
+            in
+            match (t.rule, tag) with
+            | A { w; _ }, "a" -> (
+                match S.assoc "w" fields with
+                | None -> Error "stepper: missing field w"
+                | Some slots ->
+                    let rec fill = function
+                      | [] -> commit ()
+                      | S.List (slot :: counts) :: rest
+                        when List.length counts = d -> (
+                          match
+                            ( S.int_atom slot,
+                              List.map S.int_atom counts |> fun l ->
+                              if List.for_all Option.is_some l then
+                                Some (Array.of_list (List.map Option.get l))
+                              else None )
+                          with
+                          | Some slot, Some counts ->
+                              Hashtbl.replace w slot counts;
+                              fill rest
+                          | _ -> Error "stepper: malformed field w")
+                      | _ -> Error "stepper: malformed field w"
+                    in
+                    Hashtbl.reset w;
+                    fill slots)
+            | B b, "b" -> (
+                let rows =
+                  match S.assoc "prefix" fields with
+                  | None -> Error "stepper: missing field prefix"
+                  | Some rows ->
+                      let rec go acc = function
+                        | [] -> Ok (Array.of_list (List.rev acc))
+                        | (S.List (S.Atom "row" :: _) as row) :: rest -> (
+                            match Util.Snapshot.floats_of_field [ row ] "row" with
+                            | Ok r -> go (r :: acc) rest
+                            | Error m -> Error m)
+                        | _ -> Error "stepper: malformed field prefix"
+                      in
+                      go [] rows
+                in
+                let groups =
+                  match S.assoc "groups" fields with
+                  | None -> Error "stepper: missing field groups"
+                  | Some gs ->
+                      let pair = function
+                        | S.List [ u; c ] -> (
+                            match (S.int_atom u, S.int_atom c) with
+                            | Some u, Some c -> Some (u, c)
+                            | _ -> None)
+                        | S.Atom _ | S.List _ -> None
+                      in
+                      let rec go acc = function
+                        | [] -> Ok (Array.of_list (List.rev acc))
+                        | S.List pairs :: rest -> (
+                            let decoded = List.map pair pairs in
+                            if List.for_all Option.is_some decoded then
+                              go (List.map Option.get decoded :: acc) rest
+                            else Error "stepper: malformed field groups")
+                        | _ -> Error "stepper: malformed field groups"
+                      in
+                      go [] gs
+                in
+                match (rows, groups) with
+                | Error m, _ | _, Error m -> Error m
+                | Ok rows, Ok groups ->
+                    if Array.length rows <> d || Array.length groups <> d then
+                      Error "stepper: dimension mismatch"
+                    else if
+                      Array.exists (fun r -> Array.length r <> clock + 1) rows
+                    then Error "stepper: prefix rows do not match the clock"
+                    else begin
+                      Array.iteri
+                        (fun typ row ->
+                          Array.fill b.prefix.(typ) 0 (Array.length b.prefix.(typ)) 0.;
+                          Array.blit row 0 b.prefix.(typ) 0 (Array.length row))
+                        rows;
+                      Array.blit groups 0 b.groups 0 d;
+                      commit ()
+                    end)
+            | A _, _ | B _, _ -> Error "stepper: rule tag does not match this stepper"))
+  | S.Atom _ | S.List _ -> Error "stepper: unexpected payload shape"

@@ -32,3 +32,24 @@ val power_downs : t -> (int * int * int) list
 val runtimes : t -> int option array
 (** Algorithm A's timers per type ([None] = never powers down); raises
     [Invalid_argument] on a B stepper. *)
+
+val rebind : t -> Model.Instance.t -> unit
+(** Swap in a new instance agreeing with the slots already processed —
+    the streaming layer's buffer growth.  Same types; the horizon must
+    cover the slots stepped so far.  Algorithm B's pre-sized prefix-sum
+    rows are grown to the new horizon with their accumulated entries
+    kept, so subsequent steps are bit-identical to a stepper built over
+    the new instance from scratch.  Raises [Invalid_argument] on a
+    mismatch. *)
+
+val save : t -> Util.Sexp.t
+(** The stepper's resumable state: clock, active configuration, power
+    events, and the rule bookkeeping (A's pending power-down table, B's
+    idle prefix sums — bit-exact floats — and open groups). *)
+
+val restore : t -> Util.Sexp.t -> (unit, string) result
+(** Load a {!save}d state into a stepper freshly built over the same
+    instance with the same rule; stepping afterwards is
+    decision-for-decision identical to the uninterrupted stepper.
+    Validates the rule tag, dimensions and clock.  On [Error] the
+    stepper may be partially overwritten — discard it. *)

@@ -1,18 +1,34 @@
 type t = {
-  inst : Model.Instance.t;  (* built over the mutable load buffer *)
-  loads : float array;
+  make_inst : loads:float array -> Model.Instance.t;  (* re-applied on growth *)
+  mutable inst : Model.Instance.t;  (* built over the mutable load buffer *)
+  mutable loads : float array;
   engine : Prefix_opt.t;
   stepper : Stepper.t;
   capacity : float;
+  hard_cap : int option;
   mutable clock : int;
   mutable current : Model.Config.t;
 }
 
+let c_grows = Obs.Counter.make "streaming.buffer_grows"
+
+(* Small enough that short sessions stay cheap (algorithm B pre-sizes
+   per-type prefix rows to the buffer length); doubling reaches any
+   horizon in logarithmically many regrows. *)
+let initial_capacity = 64
+
 let build ~max_horizon ~types ~make_inst ~make_stepper =
-  if max_horizon < 1 then invalid_arg "Streaming: max_horizon must be >= 1";
+  (match max_horizon with
+  | Some m when m < 1 -> invalid_arg "Streaming: max_horizon must be >= 1"
+  | Some _ | None -> ());
+  let cap0 =
+    match max_horizon with
+    | Some m -> min m initial_capacity
+    | None -> initial_capacity
+  in
   (* The instance reads this buffer; slot t is written before the engine
      ever evaluates it, so the mutation is invisible to the algorithms. *)
-  let loads = Array.make max_horizon 0. in
+  let loads = Array.make cap0 0. in
   let inst = make_inst ~loads in
   let capacity =
     Array.fold_left
@@ -20,31 +36,59 @@ let build ~max_horizon ~types ~make_inst ~make_stepper =
         acc +. (float_of_int st.Model.Server_type.count *. st.Model.Server_type.cap))
       0. types
   in
-  { inst;
+  { make_inst;
+    inst;
     loads;
     engine = Prefix_opt.create inst;
     stepper = make_stepper inst;
     capacity;
+    hard_cap = max_horizon;
     clock = 0;
     current = Model.Config.zero (Array.length types) }
 
-let alg_a ?(max_horizon = 4096) ~types ~fns () =
+let alg_a ?max_horizon ~types ~fns () =
   build ~max_horizon ~types
     ~make_inst:(fun ~loads -> Model.Instance.make_static ~types ~load:loads ~fns ())
     ~make_stepper:Stepper.alg_a
 
-let alg_b ?(max_horizon = 4096) ~types ~cost () =
+let alg_b ?max_horizon ~types ~cost () =
   build ~max_horizon ~types
     ~make_inst:(fun ~loads -> Model.Instance.make ~types ~load:loads ~cost ())
     ~make_stepper:Stepper.alg_b
 
+(* Grow the load buffer geometrically so it can absorb [needed] slots,
+   rebuilding the instance over the larger buffer and rebinding the
+   engine and stepper to it — their DP layer and power-down bookkeeping
+   carry over bit-identically.  Raises when [needed] exceeds the
+   session's optional hard cap. *)
+let ensure_capacity t ~needed =
+  (match t.hard_cap with
+  | Some cap when needed > cap ->
+      invalid_arg "Streaming.feed: session horizon exhausted"
+  | Some _ | None -> ());
+  if needed > Array.length t.loads then begin
+    let target = max needed (2 * Array.length t.loads) in
+    let target =
+      match t.hard_cap with Some cap -> min cap target | None -> target
+    in
+    let loads = Array.make target 0. in
+    Array.blit t.loads 0 loads 0 (Array.length t.loads);
+    Obs.Counter.incr c_grows;
+    t.loads <- loads;
+    t.inst <- t.make_inst ~loads;
+    Prefix_opt.rebind t.engine t.inst;
+    Stepper.rebind t.stepper t.inst
+  end
+
 let feed t volume =
+  (* Fault site first: an injected failure leaves the session state
+     untouched, so the caller can retry the same slot. *)
+  Util.Faultinj.hit "streaming.feed";
   if volume < 0. || not (Float.is_finite volume) then
     invalid_arg "Streaming.feed: volume must be finite and non-negative";
   if volume > t.capacity +. 1e-9 then
     invalid_arg "Streaming.feed: volume exceeds the fleet capacity";
-  if t.clock >= Array.length t.loads then
-    invalid_arg "Streaming.feed: session horizon exhausted";
+  ensure_capacity t ~needed:(t.clock + 1);
   let time = t.clock in
   t.loads.(time) <- volume;
   let { Prefix_opt.last = hat; _ } = Prefix_opt.step t.engine in
@@ -55,3 +99,57 @@ let feed t volume =
 
 let fed t = t.clock
 let config t = Array.copy t.current
+
+module S = Util.Sexp
+
+let save t =
+  S.List
+    [ S.Atom "streaming";
+      S.List [ S.Atom "clock"; S.Atom (string_of_int t.clock) ];
+      Util.Snapshot.float_array_field "loads" (Array.sub t.loads 0 t.clock);
+      Util.Snapshot.int_array_field "current" t.current;
+      S.List [ S.Atom "engine"; Prefix_opt.save t.engine ];
+      S.List [ S.Atom "stepper"; Stepper.save t.stepper ] ]
+
+let restore t sexp =
+  match sexp with
+  | S.List (S.Atom "streaming" :: fields) -> (
+      let sub name =
+        match S.assoc name fields with
+        | Some [ payload ] -> Ok payload
+        | Some _ | None -> Error (Printf.sprintf "streaming: missing field %s" name)
+      in
+      match
+        ( Util.Snapshot.int_of_field fields "clock",
+          Util.Snapshot.floats_of_field fields "loads",
+          Util.Snapshot.ints_of_field fields "current",
+          sub "engine",
+          sub "stepper" )
+      with
+      | Error m, _, _, _, _
+      | _, Error m, _, _, _
+      | _, _, Error m, _, _
+      | _, _, _, Error m, _
+      | _, _, _, _, Error m -> Error m
+      | Ok clock, Ok loads, Ok current, Ok engine, Ok stepper ->
+          if clock < 0 || Array.length loads <> clock then
+            Error "streaming: loads do not match the clock"
+          else if Array.length current <> Array.length t.current then
+            Error "streaming: dimension mismatch"
+          else if
+            match t.hard_cap with Some cap -> clock > cap | None -> false
+          then Error "streaming: snapshot exceeds this session's max_horizon"
+          else begin
+            ensure_capacity t ~needed:clock;
+            Array.blit loads 0 t.loads 0 clock;
+            match
+              ( Prefix_opt.restore t.engine engine,
+                Stepper.restore t.stepper stepper )
+            with
+            | Error m, _ | _, Error m -> Error m
+            | Ok (), Ok () ->
+                t.clock <- clock;
+                t.current <- Array.copy current;
+                Ok ()
+          end)
+  | S.Atom _ | S.List _ -> Error "streaming: unexpected payload shape"

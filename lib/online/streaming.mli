@@ -3,10 +3,23 @@
     The batch runners take a complete {!Model.Instance.t} and merely
     promise not to peek ahead; a deployed controller receives loads one
     slot at a time with no horizon in hand.  A streaming session owns a
-    pre-sized load buffer, writes each arriving volume into it, and
-    advances the same prefix engine and power-down state machine the
-    batch algorithms use — so a streamed run is decision-for-decision
-    identical to the batch run on the same loads (a tested identity). *)
+    load buffer that grows geometrically on demand, writes each arriving
+    volume into it, and advances the same prefix engine and power-down
+    state machine the batch algorithms use — so a streamed run is
+    decision-for-decision identical to the batch run on the same loads
+    (a tested identity), with no need to guess the horizon up front.
+
+    Sessions are checkpointable: {!save} captures the complete resumable
+    state (bit-exact floats) and {!restore} loads it into a freshly
+    constructed session, which then continues decision-for-decision
+    identically to an uninterrupted one — the crash/resume property
+    exercised by [test/test_robustness.ml].
+
+    Fault site: [streaming.feed] ({!Util.Faultinj}) fires before any
+    state is touched, so an injected failure leaves the session intact
+    and the same slot can simply be fed again.
+
+    Telemetry: [streaming.buffer_grows] counts buffer regrowths. *)
 
 type t
 
@@ -17,8 +30,9 @@ val alg_a :
   unit ->
   t
 (** A streaming session running algorithm A (time-independent costs,
-    one function per type).  [max_horizon] bounds the number of slots
-    the session can absorb (default 4096). *)
+    one function per type).  [max_horizon] is an optional hard cap on
+    the number of slots the session will absorb; by default the session
+    is unbounded and the buffer grows as slots arrive. *)
 
 val alg_b :
   ?max_horizon:int ->
@@ -33,7 +47,8 @@ val feed : t -> float -> Model.Config.t
 (** Deliver the next slot's job volume and obtain the configuration to
     run during that slot.  Raises [Invalid_argument] on a negative or
     non-finite volume, when the volume exceeds the fleet capacity
-    (no feasible configuration), or past [max_horizon]. *)
+    (no feasible configuration), or past [max_horizon] when a hard cap
+    was given. *)
 
 val fed : t -> int
 (** Slots processed so far. *)
@@ -41,3 +56,13 @@ val fed : t -> int
 val config : t -> Model.Config.t
 (** The currently active configuration (all-off before the first
     [feed]). *)
+
+val save : t -> Util.Sexp.t
+(** The session's complete resumable state: fed loads, clock, current
+    configuration, engine and stepper payloads. *)
+
+val restore : t -> Util.Sexp.t -> (unit, string) result
+(** Load a {!save}d state into a session constructed with the same
+    types, cost functions and cap.  Validates dimensions, the clock and
+    the cap; on [Error] the session may be partially overwritten —
+    discard it. *)

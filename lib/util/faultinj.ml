@@ -1,0 +1,83 @@
+type fault = { site : string; ordinal : int }
+
+exception Injected of fault
+
+type plan = Nth of int | Every of int | Prob of float
+
+type site_state = { plan : plan; rng : Prng.t; mutable hits : int }
+
+(* One mutex guards the site table; sites are hit from pool workers as
+   well as the submitting domain.  The armed flag is read lock-free so
+   the disarmed fast path costs a single atomic load. *)
+let lock = Mutex.create ()
+let is_armed = Atomic.make false
+let sites : (string, site_state) Hashtbl.t = Hashtbl.create 8
+
+(* Suppression is global (not per-domain): a recovery retry may fan its
+   work back out across pool workers, and those hits must stay quiet
+   too.  Nesting depth, so suppressed regions compose. *)
+let suppress_depth = Atomic.make 0
+
+let c_hits = Obs.Counter.make "faultinj.hits"
+let c_injected = Obs.Counter.make "faultinj.injected"
+let c_recovered = Obs.Counter.make "faultinj.recovered"
+
+let arm ?(seed = 0) plans =
+  Mutex.lock lock;
+  Hashtbl.reset sites;
+  let master = Prng.create seed in
+  List.iter
+    (fun (site, plan) ->
+      (* Split per site so the order of hits across sites cannot perturb
+         another site's probability stream. *)
+      Hashtbl.replace sites site { plan; rng = Prng.split master; hits = 0 })
+    plans;
+  Atomic.set is_armed (plans <> []);
+  Mutex.unlock lock
+
+let disarm () = arm []
+
+let armed () = Atomic.get is_armed
+
+let fired site st =
+  let due =
+    match st.plan with
+    | Nth n -> st.hits = n
+    | Every n -> n > 0 && st.hits mod n = 0
+    | Prob p -> Prng.float st.rng 1. < p
+  in
+  if due then begin
+    Obs.Counter.incr c_injected;
+    if Obs.Sink.installed () then
+      Obs.Span.instant "faultinj.injected"
+        ~args:[ ("site", site); ("ordinal", string_of_int st.hits) ];
+    Some { site; ordinal = st.hits }
+  end
+  else None
+
+let check site =
+  if (not (Atomic.get is_armed)) || Atomic.get suppress_depth > 0 then None
+  else begin
+    Mutex.lock lock;
+    let result =
+      match Hashtbl.find_opt sites site with
+      | None -> None
+      | Some st ->
+          Obs.Counter.incr c_hits;
+          st.hits <- st.hits + 1;
+          fired site st
+    in
+    Mutex.unlock lock;
+    result
+  end
+
+let hit site = match check site with None -> () | Some f -> raise (Injected f)
+
+let suppressed f =
+  Atomic.incr suppress_depth;
+  Fun.protect ~finally:(fun () -> Atomic.decr suppress_depth) f
+
+let recovered site =
+  Obs.Counter.incr c_recovered;
+  if Obs.Sink.installed () then
+    Obs.Span.instant "faultinj.recovered" ~args:[ ("site", site) ]

@@ -22,6 +22,7 @@ let c_nested_jobs = Obs.Counter.make "pool.nested_jobs"
 let c_chunks = Obs.Counter.make "pool.chunks"
 let c_queue_waits = Obs.Counter.make "pool.queue_waits"
 let c_busy_us = Obs.Counter.make "pool.busy_us"
+let c_degraded = Obs.Counter.make "pool.degraded_jobs"
 
 type job = {
   fn : int -> unit;
@@ -74,6 +75,9 @@ let participate t job =
       if Atomic.get job.error = None then begin
         Obs.Counter.incr c_chunks;
         try
+          (* Fault site: a worker dying at a chunk boundary.  The
+             submitter degrades the whole job to a sequential retry. *)
+          Faultinj.hit "pool.job";
           for i = lo to hi do
             job.fn i
           done
@@ -188,7 +192,18 @@ let run ?workers t ~n f =
     done;
     t.job <- None;
     Mutex.unlock t.lock;
-    match Atomic.get job.error with Some e -> raise e | None -> ()
+    match Atomic.get job.error with
+    | Some (Faultinj.Injected { site = "pool.job"; _ }) ->
+        (* An injected worker failure, not a bug in [f]: degrade to a
+           sequential retry on the submitter.  Work items are required
+           to be idempotent (pure writes of deterministic values into
+           index-disjoint slots), so re-running already-completed
+           indices reproduces the same state bit-for-bit. *)
+        Obs.Counter.incr c_degraded;
+        Faultinj.recovered "pool.job";
+        Faultinj.suppressed (fun () -> run_sequential c_seq_jobs n f)
+    | Some e -> raise e
+    | None -> ()
   end
 
 let shutdown t =

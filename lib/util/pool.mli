@@ -20,9 +20,17 @@
     sequential, and nested-submit executions), [pool.chunks] (range
     chunks consumed), [pool.queue_waits] (worker sleeps — a proxy for
     idle workers), [pool.busy_us] (summed per-domain busy time — worker
-    utilisation is [busy_us / (wall * workers)]).  Each parallel job
-    also runs inside a [pool.run] span carrying [n]/[workers]/[chunks]
-    args. *)
+    utilisation is [busy_us / (wall * workers)]), [pool.degraded_jobs]
+    (jobs rerun sequentially after an injected worker failure).  Each
+    parallel job also runs inside a [pool.run] span carrying
+    [n]/[workers]/[chunks] args.
+
+    Fault site: [pool.job] ({!Faultinj}) fires at chunk boundaries,
+    simulating a worker domain dying mid-job.  {!run} absorbs it by
+    re-running the whole range sequentially under
+    {!Faultinj.suppressed} — correct because work items are required
+    to be idempotent — and re-raises every {e real} exception
+    unchanged. *)
 
 type t
 

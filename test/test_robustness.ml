@@ -1,0 +1,475 @@
+(* Crash/resume and fault-injection tests.
+
+   The contract under test: a checkpoint taken at any slot, written
+   through the snapshot container and read back, must leave the resumed
+   run decision-for-decision identical to an uninterrupted one; and an
+   injected fault must either be absorbed (with the same result) or
+   surface as a clean typed error — never silently corrupt a result.
+
+   Instances are derived deterministically from a generated integer
+   seed (the [test_props.ml] convention), so qcheck shrinking walks
+   over seeds and every failure is replayable.  Failing crash/resume
+   cases dump their checkpoint text into [_robustness_artifacts/] for
+   CI to upload. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let st = Model.Server_type.make
+
+module Snapshot = Util.Snapshot
+module Faultinj = Util.Faultinj
+module S = Util.Sexp
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let mk_prop ?(count = 50) ~name prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count seed_gen prop)
+
+let counter name =
+  match Obs.Counter.find name with Some c -> Obs.Counter.value c | None -> 0
+
+let schedules_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Model.Config.equal a b
+
+(* --- failure artifacts --- *)
+
+let artifacts_dir = "_robustness_artifacts"
+
+let dump_artifact name text =
+  (try Sys.mkdir artifacts_dir 0o755 with Sys_error _ -> ());
+  let path = Filename.concat artifacts_dir name in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* --- random instances (small: the properties run hundreds of cases) --- *)
+
+let random_static_inst seed =
+  let rng = Util.Prng.create seed in
+  Sim.Scenarios.random_static ~rng ~d:(1 + Util.Prng.int rng 2)
+    ~horizon:(4 + Util.Prng.int rng 7) ~max_count:2
+
+let random_dynamic_inst seed =
+  let rng = Util.Prng.create seed in
+  Sim.Scenarios.random_dynamic ~rng ~d:(1 + Util.Prng.int rng 2)
+    ~horizon:(4 + Util.Prng.int rng 6) ~max_count:2
+
+let random_any_inst seed =
+  if seed mod 2 = 0 then random_static_inst (seed / 2) else random_dynamic_inst (seed / 2)
+
+(* A crash slot that depends on the seed but not on the instance
+   generator's own draws. *)
+let crash_slot seed horizon = Util.Prng.int (Util.Prng.create (seed + 7919)) horizon
+
+(* --- engine + stepper crash/resume --- *)
+
+let make_stepper alg inst =
+  match alg with `A -> Online.Stepper.alg_a inst | `B -> Online.Stepper.alg_b inst
+
+let run_uninterrupted ~alg inst =
+  let engine = Online.Prefix_opt.create inst in
+  let stepper = make_stepper alg inst in
+  let schedule =
+    Array.init (Model.Instance.horizon inst) (fun time ->
+        let hat = (Online.Prefix_opt.step engine).Online.Prefix_opt.last in
+        Online.Stepper.step stepper ~time ~hat)
+  in
+  (schedule, Online.Stepper.power_ups stepper, Online.Stepper.power_downs stepper)
+
+(* Run to [crash_at], checkpoint through the full container codec
+   (render + parse — exactly what the CLI writes and reads), discard the
+   live objects, restore into fresh ones, and finish. *)
+let run_crashed ~alg ~crash_at ~tag inst =
+  let horizon = Model.Instance.horizon inst in
+  let engine = Online.Prefix_opt.create inst in
+  let stepper = make_stepper alg inst in
+  let schedule = Array.make horizon [||] in
+  for time = 0 to crash_at - 1 do
+    let hat = (Online.Prefix_opt.step engine).Online.Prefix_opt.last in
+    schedule.(time) <- Online.Stepper.step stepper ~time ~hat
+  done;
+  let etext = Snapshot.render ~kind:"online-run" (Online.Prefix_opt.save engine) in
+  let stext = Snapshot.render ~kind:"online-run" (Online.Stepper.save stepper) in
+  let fail reason =
+    dump_artifact (tag ^ "-engine.snap") etext;
+    dump_artifact (tag ^ "-stepper.snap") stext;
+    Error reason
+  in
+  let engine2 = Online.Prefix_opt.create inst in
+  let stepper2 = make_stepper alg inst in
+  match (Snapshot.parse ~kind:"online-run" etext, Snapshot.parse ~kind:"online-run" stext) with
+  | Error e, _ | _, Error e -> fail ("parse: " ^ Snapshot.error_to_string e)
+  | Ok ep, Ok sp -> (
+      match (Online.Prefix_opt.restore engine2 ep, Online.Stepper.restore stepper2 sp) with
+      | Error m, _ | _, Error m -> fail ("restore: " ^ m)
+      | Ok (), Ok () ->
+          for time = crash_at to horizon - 1 do
+            let hat = (Online.Prefix_opt.step engine2).Online.Prefix_opt.last in
+            schedule.(time) <- Online.Stepper.step stepper2 ~time ~hat
+          done;
+          Ok (schedule, Online.Stepper.power_ups stepper2, Online.Stepper.power_downs stepper2))
+
+let prop_crash_resume ~alg ~gen ~tag seed =
+  let inst = gen seed in
+  let crash_at = crash_slot seed (Model.Instance.horizon inst) in
+  let base_sched, base_ups, base_downs = run_uninterrupted ~alg inst in
+  match run_crashed ~alg ~crash_at ~tag:(Printf.sprintf "%s-%d" tag seed) inst with
+  | Error _ -> false
+  | Ok (sched, ups, downs) ->
+      schedules_equal base_sched sched && base_ups = ups && base_downs = downs
+
+(* --- streaming crash/resume --- *)
+
+let session_a inst =
+  Online.Streaming.alg_a ~types:inst.Model.Instance.types
+    ~fns:
+      (Array.init (Model.Instance.num_types inst) (fun typ ->
+           inst.Model.Instance.cost ~time:0 ~typ))
+    ()
+
+let session_b inst =
+  (* Clamp so the session's internal (buffer-sized, possibly longer)
+     instance can probe the closure past the trace end; both runs see
+     the same closure, and only fed slots reach the algorithms. *)
+  let last = Model.Instance.horizon inst - 1 in
+  Online.Streaming.alg_b ~types:inst.Model.Instance.types
+    ~cost:(fun ~time ~typ -> inst.Model.Instance.cost ~time:(min time last) ~typ)
+    ()
+
+let prop_streaming_crash_resume ~make ~gen ~tag seed =
+  let inst = gen seed in
+  let loads = inst.Model.Instance.load in
+  let crash_at = crash_slot seed (Array.length loads) in
+  let base = Array.map (Online.Streaming.feed (make inst)) loads in
+  let session = make inst in
+  let sched = Array.make (Array.length loads) [||] in
+  for t = 0 to crash_at - 1 do
+    sched.(t) <- Online.Streaming.feed session loads.(t)
+  done;
+  let text = Snapshot.render ~kind:"online-run" (Online.Streaming.save session) in
+  let fail () =
+    dump_artifact (Printf.sprintf "%s-%d-session.snap" tag seed) text;
+    false
+  in
+  match Snapshot.parse ~kind:"online-run" text with
+  | Error _ -> fail ()
+  | Ok payload -> (
+      let session2 = make inst in
+      match Online.Streaming.restore session2 payload with
+      | Error _ -> fail ()
+      | Ok () ->
+          for t = crash_at to Array.length loads - 1 do
+            sched.(t) <- Online.Streaming.feed session2 loads.(t)
+          done;
+          if Online.Streaming.fed session2 = Array.length loads && schedules_equal base sched
+          then true
+          else fail ())
+
+(* --- DP frontier crash/resume --- *)
+
+let prop_dp_frontier_resume seed =
+  let inst = random_any_inst seed in
+  let base = Offline.Dp.solve inst in
+  let k = crash_slot seed (Model.Instance.horizon inst) in
+  let captured = ref None in
+  ignore
+    (Offline.Dp.solve
+       ~on_layer:(fun ~time thunk -> if time = k then captured := Some (thunk ()))
+       inst);
+  match !captured with
+  | None -> false
+  | Some f -> (
+      let text = Snapshot.render ~kind:"dp-frontier" (Offline.Dp.frontier_to_sexp f) in
+      match Snapshot.parse ~kind:"dp-frontier" text with
+      | Error _ -> false
+      | Ok payload -> (
+          match Offline.Dp.frontier_of_sexp payload with
+          | Error _ -> false
+          | Ok f' ->
+              let r = Offline.Dp.solve ~resume:f' inst in
+              r.Offline.Dp.cost = base.Offline.Dp.cost
+              && schedules_equal r.Offline.Dp.schedule base.Offline.Dp.schedule))
+
+(* --- snapshot codec properties --- *)
+
+let prop_float_atom_roundtrip seed =
+  let rng = Util.Prng.create seed in
+  let f =
+    match Util.Prng.int rng 6 with
+    | 0 -> infinity
+    | 1 -> neg_infinity
+    | 2 -> 0.
+    | 3 -> -0.
+    | _ -> (Util.Prng.float rng 2. -. 1.) *. Float.exp (Util.Prng.float rng 40. -. 20.)
+  in
+  match Snapshot.float_of_atom (Snapshot.float_atom f) with
+  | Some g -> Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g)
+  | None -> false
+
+let prop_container_roundtrip seed =
+  let rng = Util.Prng.create seed in
+  let xs = Array.init (1 + Util.Prng.int rng 8) (fun _ -> Util.Prng.float rng 1e3 -. 500.) in
+  let ns = Array.init (1 + Util.Prng.int rng 8) (fun _ -> Util.Prng.int rng 1000 - 500) in
+  let payload =
+    S.List
+      [ S.Atom "demo"; Snapshot.float_array_field "xs" xs; Snapshot.int_array_field "ns" ns ]
+  in
+  match Snapshot.parse ~kind:"demo" (Snapshot.render ~kind:"demo" payload) with
+  | Ok p -> String.equal (S.to_string p) (S.to_string payload)
+  | Error _ -> false
+
+(* --- fault-injection matrix --- *)
+
+let with_armed ?seed plans f =
+  Faultinj.arm ?seed plans;
+  Fun.protect ~finally:Faultinj.disarm f
+
+(* Large enough single-type grid (301 states > min_parallel_items) that
+   the pooled DP actually fans layer fills out to the workers. *)
+let wide_instance () =
+  let types = [| st ~count:300 ~switching_cost:2. ~cap:1. () |] in
+  let fns = [| Convex.Fn.affine ~intercept:1. ~slope:0.5 |] in
+  let load = [| 10.; 120.; 40.; 250.; 5.; 90. |] in
+  Model.Instance.make_static ~types ~load ~fns ()
+
+let test_fault_pool_degrades_to_sequential () =
+  let inst = wide_instance () in
+  let base = Offline.Dp.solve inst in
+  let pool = Util.Pool.create ~name:"faulty" ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Util.Pool.shutdown pool) @@ fun () ->
+  let degraded0 = counter "pool.degraded_jobs" in
+  let recovered0 = counter "faultinj.recovered" in
+  let r = with_armed [ ("pool.job", Faultinj.Nth 1) ] (fun () -> Offline.Dp.solve ~pool inst) in
+  checkb "degraded solve bit-identical" true
+    (r.Offline.Dp.cost = base.Offline.Dp.cost
+    && schedules_equal r.Offline.Dp.schedule base.Offline.Dp.schedule);
+  checkb "pool.degraded_jobs bumped" true (counter "pool.degraded_jobs" > degraded0);
+  checkb "faultinj.recovered bumped" true (counter "faultinj.recovered" > recovered0)
+
+let test_fault_pool_real_exception_propagates () =
+  (* Degradation is reserved for injected faults: a genuine exception
+     from a work item must still surface to the caller. *)
+  let pool = Util.Pool.create ~name:"boom" ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Util.Pool.shutdown pool) @@ fun () ->
+  let exception Boom in
+  checkb "raises" true
+    (try
+       ignore (Util.Parallel.parallel_init ~pool ~domains:2 600 (fun i ->
+           if i = 300 then raise Boom else i));
+       false
+     with Boom -> true)
+
+let test_fault_dp_layer_refill () =
+  let inst = wide_instance () in
+  let base = Offline.Dp.solve inst in
+  let retries0 = counter "dp.layer_retries" in
+  let r = with_armed [ ("dp.layer_fill", Faultinj.Every 2) ] (fun () -> Offline.Dp.solve inst) in
+  checkb "refilled solve bit-identical" true
+    (r.Offline.Dp.cost = base.Offline.Dp.cost
+    && schedules_equal r.Offline.Dp.schedule base.Offline.Dp.schedule);
+  checki "every other layer retried" (retries0 + 3) (counter "dp.layer_retries")
+
+let test_fault_dp_prob_plan_is_seeded () =
+  (* Same seed, same call sequence: the Prob plan must fire identically,
+     so the retry counter advances by the same amount both times. *)
+  let inst = wide_instance () in
+  let run () =
+    let before = counter "dp.layer_retries" in
+    ignore
+      (with_armed ~seed:42 [ ("dp.layer_fill", Faultinj.Prob 0.5) ] (fun () ->
+           Offline.Dp.solve inst));
+    counter "dp.layer_retries" - before
+  in
+  let a = run () and b = run () in
+  checki "identical replay" a b
+
+let test_fault_torn_snapshot_rejected () =
+  let path = Filename.temp_file "rightsizer" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) @@ fun () ->
+  let payload = S.List [ S.Atom "demo"; Snapshot.float_array_field "xs" [| 1.5; 2.25; -3. |] ] in
+  checkb "save raises Injected" true
+    (with_armed [ ("snapshot.write", Faultinj.Nth 1) ] (fun () ->
+         try
+           ignore (Snapshot.save ~path ~kind:"demo" payload);
+           false
+         with Faultinj.Injected { site = "snapshot.write"; _ } -> true));
+  (* The torn file is on disk; loading it must fail with a typed error,
+     never hand back a payload. *)
+  (match Snapshot.load ~kind:"demo" ~path () with
+  | Ok _ -> Alcotest.fail "torn snapshot was accepted"
+  | Error (Snapshot.Bad_format _ | Snapshot.Bad_checksum _) -> ()
+  | Error e -> Alcotest.fail ("unexpected error class: " ^ Snapshot.error_to_string e));
+  (* A clean retry (site fired once) must produce a loadable snapshot. *)
+  (match Snapshot.save ~path ~kind:"demo" payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Snapshot.error_to_string e));
+  match Snapshot.load ~kind:"demo" ~path () with
+  | Ok p -> checkb "payload intact" true (String.equal (S.to_string p) (S.to_string payload))
+  | Error e -> Alcotest.fail (Snapshot.error_to_string e)
+
+let replace_once ~sub ~by text =
+  let len = String.length sub in
+  let rec find i =
+    if i + len > String.length text then None
+    else if String.equal (String.sub text i len) sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> text
+  | Some i ->
+      String.sub text 0 i ^ by ^ String.sub text (i + len) (String.length text - i - len)
+
+let test_corrupted_payload_checksum () =
+  let payload = S.List [ S.Atom "demo"; S.List [ S.Atom "tag"; S.Atom "alpha" ] ] in
+  let text = Snapshot.render ~kind:"demo" payload in
+  (* Flip payload bytes without breaking the sexp: still parseable, so
+     rejection must come from the digest. *)
+  let corrupt = replace_once ~sub:"alpha" ~by:"alphb" text in
+  checkb "text changed" true (not (String.equal corrupt text));
+  match Snapshot.parse ~kind:"demo" corrupt with
+  | Error (Snapshot.Bad_checksum _) -> ()
+  | Error e -> Alcotest.fail ("expected Bad_checksum, got " ^ Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "corrupted payload accepted"
+
+let test_unknown_version_rejected () =
+  let text = Snapshot.render ~kind:"demo" (S.Atom "x") in
+  let hacked = replace_once ~sub:"(version 1)" ~by:"(version 99)" text in
+  match Snapshot.parse hacked with
+  | Error (Snapshot.Unknown_version 99) -> ()
+  | Error e -> Alcotest.fail ("expected Unknown_version, got " ^ Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+let test_wrong_kind_rejected () =
+  let text = Snapshot.render ~kind:"dp-frontier" (S.Atom "x") in
+  match Snapshot.parse ~kind:"online-run" text with
+  | Error (Snapshot.Wrong_kind { expected = "online-run"; actual = "dp-frontier" }) -> ()
+  | Error e -> Alcotest.fail ("expected Wrong_kind, got " ^ Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "wrong kind accepted"
+
+let test_fault_streaming_feed_clean_retry () =
+  let types = [| st ~count:2 ~switching_cost:3. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let clean = Online.Streaming.alg_a ~types ~fns () in
+  let expected = Online.Streaming.feed clean 1.5 in
+  let session = Online.Streaming.alg_a ~types ~fns () in
+  with_armed [ ("streaming.feed", Faultinj.Nth 1) ] @@ fun () ->
+  checkb "feed raises Injected" true
+    (try
+       ignore (Online.Streaming.feed session 1.5);
+       false
+     with Faultinj.Injected { site = "streaming.feed"; _ } -> true);
+  checki "no slot consumed" 0 (Online.Streaming.fed session);
+  (* The fault fires before any mutation, so feeding the same slot again
+     (the site fired once) continues cleanly. *)
+  let x = Online.Streaming.feed session 1.5 in
+  checkb "retry matches unfaulted session" true (Model.Config.equal expected x);
+  checki "slot consumed" 1 (Online.Streaming.fed session)
+
+(* --- streaming buffer growth boundaries (fixed 4096-cap regression) --- *)
+
+let big_session ?max_horizon () =
+  let types = [| st ~count:1 ~switching_cost:1. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 0.25 |] in
+  Online.Streaming.alg_a ?max_horizon ~types ~fns ()
+
+let test_streaming_unbounded_past_4096 () =
+  let session = big_session () in
+  let grows0 = counter "streaming.buffer_grows" in
+  for t = 1 to 4097 do
+    let x = Online.Streaming.feed session 0.5 in
+    if t = 4095 || t = 4096 || t = 4097 then
+      checkb (Printf.sprintf "slot %d served" t) true (Model.Config.equal x [| 1 |])
+  done;
+  checki "fed 4097" 4097 (Online.Streaming.fed session);
+  checkb "buffer grew geometrically" true (counter "streaming.buffer_grows" > grows0)
+
+let test_streaming_hard_cap_4096 () =
+  let session = big_session ~max_horizon:4096 () in
+  for _ = 1 to 4095 do ignore (Online.Streaming.feed session 0.5) done;
+  checki "4095 fed" 4095 (Online.Streaming.fed session);
+  ignore (Online.Streaming.feed session 0.5);
+  checki "4096 fed (cap reached exactly)" 4096 (Online.Streaming.fed session);
+  checkb "4097th feed rejected" true
+    (try
+       ignore (Online.Streaming.feed session 0.5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- golden snapshot format (v1 compatibility) --- *)
+
+let test_golden_v1_fixture () =
+  (* The checked-in fixture was written by the CLI's --checkpoint path:
+     [solve --scenario cpu-gpu --horizon 6 --checkpoint-every 1
+     --crash-after 3].  Reading it — and resuming from it to the exact
+     uninterrupted optimum — pins the v1 container and frontier codec:
+     a format change that breaks old checkpoints fails here first. *)
+  let path =
+    (* cwd is test/ under `dune runtest`, the project root under
+       `dune exec test/test_robustness.exe` (the CI shards). *)
+    if Sys.file_exists "fixtures/golden_v1.snap" then "fixtures/golden_v1.snap"
+    else Filename.concat "test" "fixtures/golden_v1.snap"
+  in
+  match Snapshot.load ~kind:"dp-frontier" ~path () with
+  | Error e -> Alcotest.fail ("golden fixture unreadable: " ^ Snapshot.error_to_string e)
+  | Ok payload -> (
+      match Offline.Dp.frontier_of_sexp payload with
+      | Error m -> Alcotest.fail ("golden frontier undecodable: " ^ m)
+      | Ok f ->
+          checki "next-time" 3 f.Offline.Dp.next_time;
+          checki "layers kept for reconstruction" 3 (Array.length f.Offline.Dp.layers);
+          let inst = Sim.Scenarios.cpu_gpu ~horizon:6 () in
+          let base = Offline.Dp.solve inst in
+          let r = Offline.Dp.solve ~resume:f inst in
+          checkb "resume from golden matches uninterrupted solve" true
+            (r.Offline.Dp.cost = base.Offline.Dp.cost
+            && schedules_equal r.Offline.Dp.schedule base.Offline.Dp.schedule))
+
+let () =
+  Alcotest.run ~and_exit:false "robustness"
+    [ ( "crash-resume",
+        [ mk_prop ~count:200 ~name:"alg A engine+stepper save/load/continue bit-identical"
+            (prop_crash_resume ~alg:`A ~gen:random_static_inst ~tag:"a-stepper");
+          mk_prop ~count:200 ~name:"alg B engine+stepper save/load/continue bit-identical"
+            (prop_crash_resume ~alg:`B ~gen:random_dynamic_inst ~tag:"b-stepper");
+          mk_prop ~count:200 ~name:"streaming session (A) save/load/continue bit-identical"
+            (prop_streaming_crash_resume ~make:session_a ~gen:random_static_inst
+               ~tag:"a-streaming");
+          mk_prop ~count:200 ~name:"streaming session (B) save/load/continue bit-identical"
+            (prop_streaming_crash_resume ~make:session_b ~gen:random_dynamic_inst
+               ~tag:"b-streaming");
+          mk_prop ~count:60 ~name:"DP frontier checkpoint resumes to identical solve"
+            prop_dp_frontier_resume
+        ] );
+      ( "snapshot-codec",
+        [ mk_prop ~count:200 ~name:"float atoms round-trip bit-exactly"
+            prop_float_atom_roundtrip;
+          mk_prop ~count:100 ~name:"container render/parse round-trips payloads"
+            prop_container_roundtrip;
+          Alcotest.test_case "golden v1 fixture still loads and resumes" `Quick
+            test_golden_v1_fixture;
+          Alcotest.test_case "unknown version rejected" `Quick test_unknown_version_rejected;
+          Alcotest.test_case "wrong kind rejected" `Quick test_wrong_kind_rejected;
+          Alcotest.test_case "corrupted payload fails the checksum" `Quick
+            test_corrupted_payload_checksum
+        ] );
+      ( "fault-injection",
+        [ Alcotest.test_case "pool degrades to sequential, result identical" `Quick
+            test_fault_pool_degrades_to_sequential;
+          Alcotest.test_case "real exceptions still propagate" `Quick
+            test_fault_pool_real_exception_propagates;
+          Alcotest.test_case "DP layer refill absorbs injected fault" `Quick
+            test_fault_dp_layer_refill;
+          Alcotest.test_case "Prob plans replay identically per seed" `Quick
+            test_fault_dp_prob_plan_is_seeded;
+          Alcotest.test_case "torn snapshot write rejected on load" `Quick
+            test_fault_torn_snapshot_rejected;
+          Alcotest.test_case "streaming feed fault leaves session intact" `Quick
+            test_fault_streaming_feed_clean_retry
+        ] );
+      ( "buffer-growth",
+        [ Alcotest.test_case "unbounded session crosses 4095/4096/4097" `Slow
+            test_streaming_unbounded_past_4096;
+          Alcotest.test_case "max_horizon 4096 rejects the 4097th slot" `Slow
+            test_streaming_hard_cap_4096
+        ] )
+    ]
