@@ -214,6 +214,25 @@ let benches =
     bench "kernel: dispatch golden-section (d=2)"
       (let pieces = Array.sub (Lazy.force dispatch_pieces) 0 2 in
        fun () -> Core.Dispatch.solve pieces ~total:0.9);
+    bench "kernel: dispatch numeric water-filling (d=4)"
+      (fun () -> Core.Dispatch.solve ~numeric:true (Lazy.force dispatch_pieces) ~total:1.);
+    bench "kernel: memo rank-table hit (d=2)"
+      (let inst = Lazy.force fix_cpu_gpu in
+       let cache = Core.Cost.make_cache inst in
+       let grid = Core.Grid.dense (Core.Instance.counts inst) in
+       ignore (Core.Cost.layer_table cache ~time:6 (Core.Grid.size grid) : float array);
+       let x = [| 4; 2 |] in
+       let rank =
+         match Core.Grid.index_of grid x with Some i -> i | None -> assert false
+       in
+       ignore (Core.Cost.operating_rank cache ~time:6 ~rank x : float);
+       fun () -> Core.Cost.operating_rank cache ~time:6 ~rank x);
+    bench "kernel: memo packed off-grid hit (d=2)"
+      (let inst = Lazy.force fix_cpu_gpu in
+       let cache = Core.Cost.make_cache inst in
+       let x = [| 4; 2 |] in
+       ignore (Core.Cost.cached_operating cache ~time:6 x : float);
+       fun () -> Core.Cost.cached_operating cache ~time:6 x);
     bench "kernel: g_t(x) evaluation (d=2)"
       (let inst = Lazy.force fix_cpu_gpu in
        fun () -> Core.Cost.operating inst ~time:6 [| 4; 2 |]);
@@ -266,7 +285,9 @@ let gated =
   [ "thm8: exact offline DP (d=2, T=24, m=(8,3))";
     "thm21: exact DP, large fleet (d=2, T=16, m=(60,40))";
     "pool: exact DP sequential (d=3, T=96, m=(10,6,4))";
-    "pool: exact DP on 4-domain pool (d=3, T=96)" ]
+    "pool: exact DP on 4-domain pool (d=3, T=96)";
+    "kernel: dispatch water-filling (d=4)";
+    "kernel: memo rank-table hit (d=2)" ]
 
 (* Machine-independent reference kernel: the comparator divides every
    timing by the calibration ratio between the two runs, so a uniformly

@@ -2,6 +2,7 @@ type piece = { fn : Fn.t; upper : float }
 type solution = { assignment : float array; objective : float }
 
 let c_calls = Obs.Counter.make "dispatch.calls"
+let c_analytic = Obs.Counter.make "dispatch.analytic_solves"
 let c_iters = Obs.Counter.make "scalar_min.iters"
 let count_iters n = Obs.Counter.add c_iters n
 
@@ -15,16 +16,6 @@ let objective pieces z =
   let acc = ref 0. in
   Array.iteri (fun j p -> acc := !acc +. Fn.eval p.fn z.(j)) pieces;
   !acc
-
-(* Response of piece [j] to multiplier [nu]: the largest z in [0, upper]
-   whose derivative does not exceed [nu].  Monotone non-decreasing in nu. *)
-let response p nu =
-  if p.upper <= 0. then 0.
-  else
-    let d = Fn.deriv p.fn in
-    if d 0. >= nu then 0.
-    else if d p.upper <= nu then p.upper
-    else Scalar_min.bisect_monotone ~on_iter:count_iters d ~lo:0. ~hi:p.upper ~target:nu
 
 (* Fast paths: with one unconstrained-at-zero piece the assignment is
    forced; with two, the problem is a 1-D convex minimisation solved by
@@ -81,73 +72,134 @@ let solve_few ~tol pieces ~total =
       Some { assignment = z; objective = objective pieces z }
   | _ :: _ :: _ :: _ -> None
 
-let solve ?(tol = 1e-9) pieces ~total =
+(* KKT water-filling, with either analytic or bisected per-piece
+   responses: bisect the multiplier [nu] until the responses sum to
+   [total], interpolate across derivative plateaus (cost is linear
+   along them, so the interpolation keeps optimality), then repair
+   residual drift.  The response of piece [j] to multiplier [nu] is the
+   largest z in [0, upper] whose derivative does not exceed [nu] —
+   monotone non-decreasing in nu.  The derivatives at the piece
+   endpoints are loop invariants of the outer bisection, so they are
+   cached once per piece rather than re-derived at every probe. *)
+let waterfill ~tol ~analytic pieces ~total =
+  let d = Array.length pieces in
+  let d0 = Array.make d 0. and dup = Array.make d 0. in
+  let nu_lo = ref infinity and nu_hi = ref neg_infinity in
+  for j = 0 to d - 1 do
+    if pieces.(j).upper > 0. then begin
+      d0.(j) <- Fn.deriv pieces.(j).fn 0.;
+      dup.(j) <- Fn.deriv pieces.(j).fn pieces.(j).upper;
+      nu_lo := Float.min !nu_lo d0.(j);
+      nu_hi := Float.max !nu_hi dup.(j)
+    end
+  done;
+  let response j nu =
+    let p = pieces.(j) in
+    if p.upper <= 0. then 0.
+    else if d0.(j) >= nu then 0.
+    else if dup.(j) <= nu then p.upper
+    else if analytic then
+      (* Interior strict crossing: the closed form is exact; clamp only
+         to absorb last-ulp rounding past the cap. *)
+      Float.min p.upper (Float.max 0. (Fn.inv_deriv p.fn nu))
+    else
+      Scalar_min.bisect_monotone ~on_iter:count_iters (Fn.deriv p.fn) ~lo:0. ~hi:p.upper
+        ~target:nu
+  in
+  let nu_lo = ref (!nu_lo -. 1.) and nu_hi = ref (!nu_hi +. 1.) in
+  let sum_response nu =
+    let acc = ref 0. in
+    for j = 0 to d - 1 do
+      acc := !acc +. response j nu
+    done;
+    !acc
+  in
+  (* Bisection invariant: sum_response !nu_lo <= total <= sum_response !nu_hi
+     (the upper end saturates every piece, and feasibility holds).  Stop
+     once the multiplier bracket is three orders tighter than the
+     z-space tolerance — further halving cannot move the responses. *)
+  let nu_eps = tol *. 1e-3 in
+  let iters = ref 0 in
+  while
+    !iters < 80
+    && !nu_hi -. !nu_lo > nu_eps *. Float.max 1. (Float.abs !nu_lo +. Float.abs !nu_hi)
+  do
+    incr iters;
+    let m = (!nu_lo +. !nu_hi) /. 2. in
+    if sum_response m < total then nu_lo := m else nu_hi := m
+  done;
+  let z_lo = Array.init d (fun j -> response j !nu_lo) in
+  let z_hi = Array.init d (fun j -> response j !nu_hi) in
+  let s_lo = Array.fold_left ( +. ) 0. z_lo in
+  let s_hi = Array.fold_left ( +. ) 0. z_hi in
+  let z =
+    if Float.abs (s_hi -. s_lo) <= tol then z_hi
+    else
+      (* A derivative plateau straddles the optimal multiplier: cost is
+         linear along it, so linear interpolation is optimal. *)
+      let theta = Util.Float_cmp.clamp ~lo:0. ~hi:1. ((total -. s_lo) /. (s_hi -. s_lo)) in
+      Array.init d (fun j -> z_lo.(j) +. (theta *. (z_hi.(j) -. z_lo.(j))))
+  in
+  (* Repair any residual drift from bisection tolerance. *)
+  let s = Array.fold_left ( +. ) 0. z in
+  let resid = ref (total -. s) in
+  if Float.abs !resid > 0. then
+    for j = 0 to d - 1 do
+      if !resid > 0. then begin
+        let room = pieces.(j).upper -. z.(j) in
+        let delta = Float.min room !resid in
+        if delta > 0. then begin
+          z.(j) <- z.(j) +. delta;
+          resid := !resid -. delta
+        end
+      end
+      else if !resid < 0. then begin
+        let delta = Float.min z.(j) (-. !resid) in
+        if delta > 0. then begin
+          z.(j) <- z.(j) -. delta;
+          resid := !resid +. delta
+        end
+      end
+    done;
+  { assignment = z; objective = objective pieces z }
+
+let solve ?(tol = 1e-9) ?(numeric = false) pieces ~total =
   Obs.Counter.incr c_calls;
   if total < 0. then invalid_arg "Dispatch.solve: negative total";
   if not (feasible pieces ~total) then None
-  else if total = 0. then
-    Some { assignment = Array.map (fun _ -> 0.) pieces; objective = objective pieces (Array.map (fun _ -> 0.) pieces) }
-  else begin
-    match solve_few ~tol pieces ~total with
-    | Some solution -> Some solution
-    | None ->
-    let d = Array.length pieces in
-    let deriv_at j z = Fn.deriv pieces.(j).fn z in
-    let nu_lo = ref infinity and nu_hi = ref neg_infinity in
-    for j = 0 to d - 1 do
-      if pieces.(j).upper > 0. then begin
-        nu_lo := Float.min !nu_lo (deriv_at j 0.);
-        nu_hi := Float.max !nu_hi (deriv_at j pieces.(j).upper)
-      end
-    done;
-    let nu_lo = ref (!nu_lo -. 1.) and nu_hi = ref (!nu_hi +. 1.) in
-    let sum_response nu =
-      let acc = ref 0. in
-      for j = 0 to d - 1 do
-        acc := !acc +. response pieces.(j) nu
-      done;
-      !acc
-    in
-    (* Bisection invariant: sum_response !nu_lo <= total <= sum_response !nu_hi
-       (the upper end saturates every piece, and feasibility holds). *)
-    for _ = 1 to 80 do
-      let m = (!nu_lo +. !nu_hi) /. 2. in
-      if sum_response m < total then nu_lo := m else nu_hi := m
-    done;
-    let z_lo = Array.init d (fun j -> response pieces.(j) !nu_lo) in
-    let z_hi = Array.init d (fun j -> response pieces.(j) !nu_hi) in
-    let s_lo = Array.fold_left ( +. ) 0. z_lo in
-    let s_hi = Array.fold_left ( +. ) 0. z_hi in
-    let z =
-      if Float.abs (s_hi -. s_lo) <= tol then z_hi
-      else
-        (* A derivative plateau straddles the optimal multiplier: cost is
-           linear along it, so linear interpolation is optimal. *)
-        let theta = Util.Float_cmp.clamp ~lo:0. ~hi:1. ((total -. s_lo) /. (s_hi -. s_lo)) in
-        Array.init d (fun j -> z_lo.(j) +. (theta *. (z_hi.(j) -. z_lo.(j))))
-    in
-    (* Repair any residual drift from bisection tolerance. *)
-    let s = Array.fold_left ( +. ) 0. z in
-    let resid = ref (total -. s) in
-    if Float.abs !resid > 0. then
-      for j = 0 to d - 1 do
-        if !resid > 0. then begin
-          let room = pieces.(j).upper -. z.(j) in
-          let delta = Float.min room !resid in
-          if delta > 0. then begin
-            z.(j) <- z.(j) +. delta;
-            resid := !resid -. delta
-          end
-        end
-        else if !resid < 0. then begin
-          let delta = Float.min z.(j) (-. !resid) in
-          if delta > 0. then begin
-            z.(j) <- z.(j) -. delta;
-            resid := !resid +. delta
-          end
-        end
-      done;
+  else if total = 0. then begin
+    let z = Array.map (fun _ -> 0.) pieces in
     Some { assignment = z; objective = objective pieces z }
+  end
+  else begin
+    (* One active piece forces the assignment, whichever path follows. *)
+    let nactive = ref 0 and last_active = ref (-1) in
+    Array.iteri
+      (fun j p ->
+        if p.upper > 0. then begin
+          incr nactive;
+          last_active := j
+        end)
+      pieces;
+    if !nactive = 1 then begin
+      let z = Array.map (fun _ -> 0.) pieces in
+      z.(!last_active) <- total;
+      Some { assignment = z; objective = objective pieces z }
+    end
+    else if
+      (not numeric)
+      && Array.for_all (fun p -> p.upper <= 0. || Fn.has_inv_deriv p.fn) pieces
+    then begin
+      (* Every active piece inverts its derivative in closed form: one
+         outer bisection on the multiplier, no nested 1-D searches. *)
+      Obs.Counter.incr c_analytic;
+      Some (waterfill ~tol ~analytic:true pieces ~total)
+    end
+    else begin
+      match solve_few ~tol pieces ~total with
+      | Some solution -> Some solution
+      | None -> Some (waterfill ~tol ~analytic:false pieces ~total)
+    end
   end
 
 let greedy ?(steps = 4096) pieces ~total =

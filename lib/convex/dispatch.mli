@@ -7,12 +7,18 @@
 
     {[ min  sum_j h_j(z_j)   s.t.  sum_j z_j = total,  0 <= z_j <= u_j ]}
 
-    Up to three active pieces are solved by (nested) golden section on
-    the convex 1-D restrictions; the general solver is KKT water-filling: a value [nu] is bisected so
+    The solver is KKT water-filling: a value [nu] is bisected so
     that the per-piece responses [z_j(nu) = sup {z | h_j'(z) <= nu}]
     (clamped to [\[0, u_j\]]) sum to [total]; a final interpolation step
     resolves derivative plateaus (e.g. affine pieces with equal slopes),
     along which cost is linear, so interpolation keeps optimality.
+    When every active piece has a closed-form derivative inverse
+    ({!Fn.has_inv_deriv} — all the built-in families except
+    max-of-affine), each response is computed analytically and the whole
+    solve is a single outer bisection; otherwise the interior crossings
+    fall back to nested [Scalar_min.bisect_monotone] searches, and up to
+    three active pieces are solved by (nested) golden section on the
+    convex 1-D restrictions.
 
     [greedy] is an independent discretised solver used to cross-check the
     water-filler in the test suite. *)
@@ -27,12 +33,16 @@ type solution = {
   objective : float;         (** [sum_j h_j(z_j)] *)
 }
 
-val solve : ?tol:float -> piece array -> total:float -> solution option
+val solve :
+  ?tol:float -> ?numeric:bool -> piece array -> total:float -> solution option
 (** Water-filling solve.  Returns [None] when [sum_j u_j < total] (no
     feasible assignment).  [total] must be non-negative.  Accuracy: the
     assignment satisfies the simplex constraint to within [tol]
     (default [1e-9]) and the objective is optimal to first order in
-    [tol]. *)
+    [tol].  [~numeric:true] disables the analytic-inverse fast path and
+    forces the legacy golden-section / nested-bisection route — kept so
+    the property tests and the benchmark suite can measure the analytic
+    path against it; production callers should leave the default. *)
 
 val greedy : ?steps:int -> piece array -> total:float -> solution option
 (** Marginal-cost greedy on a grid of [steps] increments (default 4096).

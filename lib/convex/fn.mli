@@ -3,12 +3,20 @@
     The paper models the energy cost of one server of type [j] running
     with load [z] as a convex increasing non-negative function
     [f_{t,j}(z)] (Section 1).  This module provides the concrete function
-    representations used everywhere: evaluation, an optional closed-form
-    derivative (exploited by the dispatch solver's KKT water-filling), and
-    smart constructors covering the families the paper discusses —
-    constant (load-independent costs of [5]), affine, power-law
-    [idle + coef * z^expo] (the standard dynamic-power model of [6, 32]),
-    quadratic, piecewise linear, and max-of-affine. *)
+    representations used everywhere: evaluation, a closed-form
+    derivative, and the closed-form derivative inverse exploited by the
+    dispatch solver's KKT water-filling.  Smart constructors cover the
+    families the paper discusses — constant (load-independent costs of
+    [5]), affine, power-law [idle + coef * z^expo] (the standard
+    dynamic-power model of [6, 32]), quadratic, piecewise linear, and
+    max-of-affine.
+
+    Internally a function is a concrete variant, not a record of
+    closures: the combinators ({!scale}, {!add}, {!shift_idle},
+    {!compose_scaled}) normalise into the same leaf families wherever
+    algebra allows (every family is closed under affine pre/post
+    composition), so the hot-path [eval]/[deriv]/[inv_deriv] are
+    branch-on-tag arithmetic with no indirect calls or allocation. *)
 
 type t
 (** An immutable scalar function with convexity metadata. *)
@@ -23,7 +31,23 @@ val deriv : t -> float -> float
     one-sided derivatives, which is all the KKT solver requires. *)
 
 val has_closed_deriv : t -> bool
-(** Whether a closed-form derivative is attached. *)
+(** Always [true] under the variant representation; retained for
+    compatibility with callers that used to probe the closure record. *)
+
+val inv_deriv : t -> float -> float
+(** [inv_deriv f nu] solves [f'(z) = nu] in closed form:
+    [sup { z >= 0 | f'(z) <= nu }], which may be [0.] (when
+    [f'(0) >= nu] for families with constant or right-continuous
+    derivative at the origin) or [infinity] (when the derivative never
+    exceeds [nu]).  Returns [nan] when no closed form exists
+    ({!max_affine}, or sums of two curved terms) — test with
+    {!has_inv_deriv} first.  The dispatch solver only calls it with
+    [f'(lo) < nu < f'(hi)], where the crossing is interior and the
+    boundary conventions are irrelevant. *)
+
+val has_inv_deriv : t -> bool
+(** Whether {!inv_deriv} returns a closed form ([nan]-free) for this
+    function. *)
 
 val describe : t -> string
 (** Human-readable description for logs and tables. *)

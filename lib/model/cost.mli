@@ -50,23 +50,50 @@ val schedule_switching : Instance.t -> Schedule.t -> float
 (** The switching-cost part [C_sw(X)]. *)
 
 type cache
-(** Memo table for [g_t(x)] — the dynamic programs evaluate the same
-    (slot, configuration) pairs many times during reconstruction.  The
-    table is striped into per-domain shards (selected by domain id,
-    like [Obs.Counter]), so {!cached_operating} is safe — and mostly
-    uncontended — when a [Util.Pool] fans evaluations out across
-    domains.  Entries are not shared between shards: a value cached by
-    one domain may be recomputed by another, trading a little duplicate
-    work for lock-free common-case lookups. *)
+(** Memo for [g_t(x)] — the dynamic programs evaluate the same (slot,
+    configuration) pairs many times during reconstruction.  Two tiers:
+
+    - {b flat per-slot rank tables} ({!layer_table} /
+      {!operating_rank}): when the caller enumerates a state grid it
+      already holds each state's flat index, which addresses a plain
+      [float array] directly — no key allocation, no hashing, no
+      locks.  [nan] marks an empty slot; pool workers touch disjoint
+      ranks during a fill, and racing duplicate writes of the same
+      value are benign.
+    - {b striped shards} for off-grid probes ({!cached_operating}):
+      per-domain shards selected by domain id (like [Obs.Counter]),
+      keyed by the configuration packed into one mixed-radix [int]
+      (with a generic fallback table for state spaces too large to
+      pack).  Entries are not shared between shards: a value cached by
+      one domain may be recomputed by another, trading a little
+      duplicate work for mostly-uncontended lookups. *)
 
 val make_cache : Instance.t -> cache
 
+val layer_table : cache -> time:int -> int -> float array
+(** [layer_table cache ~time n] is slot [time]'s rank table, grown to
+    hold [n] states (fresh slots are [nan] = not yet computed).  A size
+    change discards previous entries — the ranks belong to a different
+    grid.  Call from a single domain (before any parallel fan-out); the
+    returned array may then be read and filled concurrently at disjoint
+    ranks. *)
+
+val operating_rank : cache -> time:int -> rank:int -> Config.t -> float
+(** Memoised {!operating} through slot [time]'s rank table: returns the
+    cached value at [rank], or computes [operating ~time x] and stores
+    it there.  [x] must be the configuration whose flat grid index is
+    [rank], and {!layer_table} must have been sized past [rank] first.
+    Lock-free; safe from several domains as long as a rank is only
+    raced by writers storing the same configuration's value. *)
+
 val cached_operating : cache -> time:int -> Config.t -> float
-(** Memoised {!operating}; callable concurrently from several domains
-    on the same [cache]. *)
+(** Memoised {!operating} for configurations with no grid rank (the
+    online steppers' off-grid probes); callable concurrently from
+    several domains on the same [cache]. *)
 
 val localize : cache -> unit
-(** Copy every entry cached by other domains into the calling domain's
-    shard.  Call after a parallel warm-up fan-out when subsequent
-    {e sequential} code (e.g. [Brute_force]'s search) should hit the
-    values the pool workers computed. *)
+(** Copy every off-grid entry cached by other domains into the calling
+    domain's shard.  Call after a parallel warm-up fan-out when
+    subsequent {e sequential} code should hit the values the pool
+    workers computed.  (Rank tables need no localising — they are
+    shared by construction.) *)

@@ -28,21 +28,28 @@ let solve ?(limit = 2_000_000) ?domains ?pool inst =
   in
   ignore work;
   let cache = Model.Cost.make_cache inst in
+  (* [layer_states] was built in [Grid.iter] order, so a state's array
+     index is its grid rank — the key into the slot's flat memo table.
+     Size every table up front (single-domain), then the warm-up
+     fan-out and the sequential search below share the same lock-free
+     slots; no shard merging needed. *)
+  Array.iteri
+    (fun time states ->
+      ignore (Model.Cost.layer_table cache ~time (Array.length states) : float array))
+    layer_states;
   (* The search revisits each (slot, state) cost many times; with a pool
-     available, pre-evaluate them all in parallel, then pull the workers'
-     shards into this domain so the sequential search below hits. *)
+     available, pre-evaluate them all in parallel. *)
   if domains > 1 then begin
     let pairs =
       Array.concat
         (Array.to_list
            (Array.mapi
-              (fun time states -> Array.map (fun x -> (time, x)) states)
+              (fun time states -> Array.mapi (fun rank x -> (time, rank, x)) states)
               layer_states))
     in
     Util.Parallel.parallel_for ?pool ~domains ~n:(Array.length pairs) (fun i ->
-        let time, x = pairs.(i) in
-        ignore (Model.Cost.cached_operating cache ~time x));
-    Model.Cost.localize cache
+        let time, rank, x = pairs.(i) in
+        ignore (Model.Cost.operating_rank cache ~time ~rank x : float))
   end;
   let best_cost = ref infinity in
   let best = ref None in
@@ -63,9 +70,9 @@ let solve ?(limit = 2_000_000) ?domains ?pool inst =
       end
     end
     else
-      Array.iter
-        (fun x ->
-          let g = Model.Cost.cached_operating cache ~time x in
+      Array.iteri
+        (fun rank x ->
+          let g = Model.Cost.operating_rank cache ~time ~rank x in
           if Float.is_finite g then begin
             let sw = Model.Config.switching_cost inst.Model.Instance.types ~from_:prev ~to_:x in
             current.(time) <- x;

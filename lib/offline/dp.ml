@@ -57,19 +57,28 @@ let state_count inst ~grids =
   done;
   !acc
 
-(* Operating costs of every state of a layer's grid.  The memo shards
-   per domain (Model.Cost), so both the sequential path and the pooled
-   fan-out go through [cached_operating]. *)
+(* Operating costs of every state of a layer's grid, memoised in the
+   slot's flat rank table (Model.Cost.layer_table): the state's flat
+   index is the key, so a lookup is one array read and the pooled
+   fan-out writes disjoint ranks with no locks.  Configurations are
+   decoded into per-domain scratch buffers only on a miss — the loop
+   allocates nothing either way. *)
 let layer_operating ?pool ~domains cache grid ~time =
   let n = Grid.size grid in
+  let table = Model.Cost.layer_table cache ~time n in
+  let fill idx =
+    if Float.is_nan table.(idx) then
+      ignore
+        (Model.Cost.operating_rank cache ~time ~rank:idx (Grid.config_scratch grid idx)
+          : float)
+  in
   if domains > 1 && n >= Util.Parallel.min_parallel_items then
-    Util.Parallel.parallel_init ?pool ~domains n (fun idx ->
-        Model.Cost.cached_operating cache ~time (Grid.config_at grid idx))
-  else begin
-    let flat = Array.make n infinity in
-    Grid.iter grid (fun idx x -> flat.(idx) <- Model.Cost.cached_operating cache ~time x);
-    flat
-  end
+    Util.Parallel.parallel_for ?pool ~domains ~n fill
+  else
+    for idx = 0 to n - 1 do
+      fill idx
+    done;
+  table
 
 let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
   (* [?pool] without an explicit count means "use the whole pool". *)
@@ -201,7 +210,7 @@ let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
           (Util.Parallel.parallel_init ?pool ~domains (Grid.size grid) (fun idx ->
                layer.(idx)
                +. Model.Config.switching_cost inst.Model.Instance.types
-                    ~from_:(Grid.config_at grid idx) ~to_:target))
+                    ~from_:(Grid.config_scratch grid idx) ~to_:target))
       else None
     in
     let best = ref infinity and best_x = ref None in

@@ -96,10 +96,12 @@ let solve inst =
           end
         done
     done;
-    (* Operating edges ↑ -> ↓. *)
+    (* Operating edges ↑ -> ↓, memoised at the state's grid rank. *)
+    let table = Model.Cost.layer_table cache ~time size in
+    ignore (table : float array);
     Grid.iter grid (fun idx x ->
         if Float.is_finite dist_up.(time).(idx) then begin
-          let g = Model.Cost.cached_operating cache ~time x in
+          let g = Model.Cost.operating_rank cache ~time ~rank:idx x in
           if dist_up.(time).(idx) +. g < dist_down.(time).(idx) then begin
             dist_down.(time).(idx) <- dist_up.(time).(idx) +. g;
             par_down.(time).(idx) <- P_op

@@ -67,15 +67,32 @@ let dim g = Array.length g.dims
 let axis_length g j = Array.length g.dims.(j)
 let size g = g.size
 
-let config_at g idx =
+let config_into g idx x =
   let d = dim g in
-  let x = Array.make d 0 in
+  if Array.length x <> d then invalid_arg "Grid.config_into: dimension mismatch";
   let rest = ref idx in
   for j = 0 to d - 1 do
     let pos = !rest / g.strides.(j) in
     rest := !rest mod g.strides.(j);
     x.(j) <- g.dims.(j).(pos)
-  done;
+  done
+
+let config_at g idx =
+  let x = Array.make (dim g) 0 in
+  config_into g idx x;
+  x
+
+(* Per-domain scratch buffer, so the parallel hot loops (DP layer
+   fills, reconstruction) can decode states without allocating one
+   array per call.  One buffer per domain suffices: the loops finish
+   with the decoded configuration before decoding the next. *)
+let scratch_key : int array ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [||])
+
+let config_scratch g idx =
+  let buf = Domain.DLS.get scratch_key in
+  if Array.length !buf <> dim g then buf := Array.make (dim g) 0;
+  let x = !buf in
+  config_into g idx x;
   x
 
 let find_axis axis v =

@@ -63,6 +63,52 @@ let iter_lines lengths j f =
    [j+1] reads what axis [j] wrote. *)
 let line_offset ~block ~stride k = ((k / stride) * block) + (k mod stride)
 
+(* Strided variants of the 1-D passes: operate directly on the flat
+   array at [offset + i * stride] instead of copying the line into a
+   scratch buffer.  Same reads, same float operations, same order as
+   the buffered versions — results are bit-identical — but the per-line
+   fan-out closures allocate nothing. *)
+let ramp_line_strided ~beta ~values flat ~offset ~stride =
+  let n = Array.length values in
+  for i = 1 to n - 1 do
+    let climb = beta *. float_of_int (values.(i) - values.(i - 1)) in
+    let prev = flat.(offset + ((i - 1) * stride)) in
+    let cur = offset + (i * stride) in
+    if prev +. climb < flat.(cur) then flat.(cur) <- prev +. climb
+  done;
+  for i = n - 2 downto 0 do
+    let nxt = flat.(offset + ((i + 1) * stride)) in
+    let cur = offset + (i * stride) in
+    if nxt < flat.(cur) then flat.(cur) <- nxt
+  done
+
+(* [dst] slots for this line must be pre-initialised to [infinity]
+   (they are: [ramp_across] allocates each intermediate that way). *)
+let ramp_between_strided ~beta ~src_values ~src ~soff ~dst_values ~dst ~doff ~stride =
+  let ns = Array.length src_values and nd = Array.length dst_values in
+  (* From below: dst.(i) = beta * vd_i + min_{vs_y <= vd_i} (src_y - beta * vs_y). *)
+  let y = ref 0 and best = ref infinity in
+  for i = 0 to nd - 1 do
+    while !y < ns && src_values.(!y) <= dst_values.(i) do
+      let candidate = src.(soff + (!y * stride)) -. (beta *. float_of_int src_values.(!y)) in
+      if candidate < !best then best := candidate;
+      incr y
+    done;
+    if !best < infinity then
+      dst.(doff + (i * stride)) <- !best +. (beta *. float_of_int dst_values.(i))
+  done;
+  (* From above (free descent): suffix minimum of src over vs_y >= vd_i. *)
+  let y = ref (ns - 1) and best = ref infinity in
+  for i = nd - 1 downto 0 do
+    while !y >= 0 && src_values.(!y) >= dst_values.(i) do
+      let v = src.(soff + (!y * stride)) in
+      if v < !best then best := v;
+      decr y
+    done;
+    let cur = doff + (i * stride) in
+    if !best < dst.(cur) then dst.(cur) <- !best
+  done
+
 (* Fan the per-line closure out when the axis slab is big enough.  The
    [min_items] cutoff is in matrix *elements* (the unit of actual
    work), not lines, so it is scaled by the line length before the
@@ -71,8 +117,14 @@ let for_lines ?pool ~domains ~min_items ~line_len ~n_lines f =
   let min_lines = 1 + ((min_items - 1) / max 1 line_len) in
   Util.Parallel.parallel_for ?pool ~min_items:min_lines ~domains ~n:n_lines f
 
-let ramp_grid ?pool ?(domains = 1) ?(min_items = Util.Parallel.min_parallel_items) ~grid
-    ~betas flat =
+(* A ramp pass is pure memory traffic — a handful of float compares per
+   element — so the fan-out only pays for itself on much larger slabs
+   than an operating-cost fill (whose items each run a dispatch solve).
+   16x the generic cutoff keeps small per-layer passes (the common DP
+   shape) inline while grids big enough to care still fan out. *)
+let ramp_min_items = 16 * Util.Parallel.min_parallel_items
+
+let ramp_grid ?pool ?(domains = 1) ?(min_items = ramp_min_items) ~grid ~betas flat =
   let d = Grid.dim grid in
   if Array.length betas <> d then invalid_arg "Transform.ramp_grid: betas mismatch";
   if Array.length flat <> Grid.size grid then
@@ -89,13 +141,10 @@ let ramp_grid ?pool ?(domains = 1) ?(min_items = Util.Parallel.min_parallel_item
       let stride = !stride in
       let block = stride * n in
       let n_lines = Array.length flat / max 1 n in
+      let beta = betas.(j) in
       for_lines ?pool ~domains ~min_items ~line_len:n ~n_lines (fun k ->
-          let offset = line_offset ~block ~stride k in
-          let line = Array.init n (fun i -> flat.(offset + (i * stride))) in
-          ramp_line ~beta:betas.(j) ~values ~costs:line;
-          for i = 0 to n - 1 do
-            flat.(offset + (i * stride)) <- line.(i)
-          done)
+          ramp_line_strided ~beta ~values flat ~offset:(line_offset ~block ~stride k)
+            ~stride)
     end
     else begin
       let line = Array.make n 0. in
@@ -110,8 +159,8 @@ let ramp_grid ?pool ?(domains = 1) ?(min_items = Util.Parallel.min_parallel_item
     end
   done
 
-let ramp_across ?pool ?(domains = 1) ?(min_items = Util.Parallel.min_parallel_items)
-    ~src_grid ~dst_grid ~betas flat =
+let ramp_across ?pool ?(domains = 1) ?(min_items = ramp_min_items) ~src_grid ~dst_grid
+    ~betas flat =
   let d = Grid.dim src_grid in
   if Grid.dim dst_grid <> d then invalid_arg "Transform.ramp_across: dim mismatch";
   if Array.length betas <> d then invalid_arg "Transform.ramp_across: betas mismatch";
@@ -136,14 +185,13 @@ let ramp_across ?pool ?(domains = 1) ?(min_items = Util.Parallel.min_parallel_it
     let src = !current in
     (* Matching src/dst lines share a line index: only axis [j]'s length
        changed, so the other-axes enumeration (and the stride) agree. *)
+    let beta = betas.(j) in
     for_lines ?pool ~domains ~min_items ~line_len:(ns + nd) ~n_lines (fun k ->
-        let soff = line_offset ~block:src_block ~stride k in
-        let doff = line_offset ~block:dst_block ~stride k in
-        let src_line = Array.init ns (fun i -> src.(soff + (i * stride))) in
-        let out = ramp_between ~beta:betas.(j) ~src_values ~src:src_line ~dst_values in
-        for i = 0 to nd - 1 do
-          next.(doff + (i * stride)) <- out.(i)
-        done);
+        ramp_between_strided ~beta ~src_values ~src
+          ~soff:(line_offset ~block:src_block ~stride k)
+          ~dst_values ~dst:next
+          ~doff:(line_offset ~block:dst_block ~stride k)
+          ~stride);
     lengths.(j) <- nd;
     current := next
   done;

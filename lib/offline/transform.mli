@@ -42,10 +42,13 @@ val ramp_grid :
 
     With [domains > 1] the independent lines of each axis pass fan out
     over [pool] (default: the global pool) whenever the pass touches at
-    least [min_items] matrix elements (default
-    {!Util.Parallel.min_parallel_items}); the axis passes themselves
-    stay ordered, and results are bit-identical to the sequential
-    scan. *)
+    least [min_items] matrix elements (default: 16x
+    {!Util.Parallel.min_parallel_items} — a ramp pass is a few float
+    compares per element, so it needs a much larger slab than an
+    operating-cost fill before the fan-out pays); the parallel per-line
+    closures work in place through strided indexing and allocate
+    nothing.  The axis passes themselves stay ordered, and results are
+    bit-identical to the sequential scan. *)
 
 val ramp_across :
   ?pool:Util.Pool.t ->

@@ -3,15 +3,21 @@ let always_on inst =
   let grid = Offline.Grid.dense (Model.Instance.counts inst) in
   let cache = Model.Cost.make_cache inst in
   let d = Model.Instance.num_types inst in
+  let n = Offline.Grid.size grid in
+  (* Every slot sees the full dense grid, so a state's flat index is its
+     rank in each slot's memo table. *)
+  for time = 0 to horizon - 1 do
+    ignore (Model.Cost.layer_table cache ~time n : float array)
+  done;
   let best = ref infinity and best_x = ref None in
-  Offline.Grid.iter grid (fun _ x ->
+  Offline.Grid.iter grid (fun idx x ->
       let sw = Model.Config.switching_cost inst.Model.Instance.types
                  ~from_:(Model.Config.zero d) ~to_:x
       in
       let total = ref sw in
       (try
          for time = 0 to horizon - 1 do
-           let g = Model.Cost.cached_operating cache ~time x in
+           let g = Model.Cost.operating_rank cache ~time ~rank:idx x in
            if not (Float.is_finite g) then raise Exit;
            total := !total +. g
          done;
@@ -28,10 +34,12 @@ let follow_demand inst =
   let horizon = Model.Instance.horizon inst in
   let grid = Offline.Grid.dense (Model.Instance.counts inst) in
   let cache = Model.Cost.make_cache inst in
+  let n = Offline.Grid.size grid in
   Array.init horizon (fun time ->
+      ignore (Model.Cost.layer_table cache ~time n : float array);
       let best = ref infinity and best_x = ref None in
-      Offline.Grid.iter grid (fun _ x ->
-          let g = Model.Cost.cached_operating cache ~time x in
+      Offline.Grid.iter grid (fun idx x ->
+          let g = Model.Cost.operating_rank cache ~time ~rank:idx x in
           if g < !best then begin
             best := g;
             best_x := Some (Model.Config.copy x)

@@ -107,14 +107,26 @@ let step e =
     end
   in
   let n = Offline.Grid.size e.grid in
+  (* The grid states are the ranks of the slot's flat memo table, so
+     the fill is lock-free array traffic; configurations are decoded
+     (into per-domain scratch) only for states not yet cached. *)
+  let table = Model.Cost.layer_table e.cache ~time n in
+  let fill idx =
+    let g =
+      let v = table.(idx) in
+      if Float.is_nan v then
+        Model.Cost.operating_rank e.cache ~time ~rank:idx
+          (Offline.Grid.config_scratch e.grid idx)
+      else v
+    in
+    entering.(idx) <- entering.(idx) +. g
+  in
   if e.domains > 1 && n >= Util.Parallel.min_parallel_items then
-    Util.Parallel.parallel_for ?pool:e.pool ~domains:e.domains ~n (fun idx ->
-        entering.(idx) <-
-          entering.(idx)
-          +. Model.Cost.cached_operating e.cache ~time (Offline.Grid.config_at e.grid idx))
+    Util.Parallel.parallel_for ?pool:e.pool ~domains:e.domains ~n fill
   else
-    Offline.Grid.iter e.grid (fun idx x ->
-        entering.(idx) <- entering.(idx) +. Model.Cost.cached_operating e.cache ~time x);
+    for idx = 0 to n - 1 do
+      fill idx
+    done;
   e.arrival <- entering;
   e.clock <- time + 1;
   (* Flat-index order is lexicographic, so the first strict minimum is the

@@ -36,7 +36,12 @@ val parallel_for :
 (** [parallel_for ~domains ~n f] runs [f i] for every [0 <= i < n] —
     sequentially when [domains <= 1] or [n < min_items], otherwise on
     [pool] (default: [global ~domains]) with at most [domains]
-    participating domains. *)
+    participating domains.  The pooled width is additionally capped at
+    {!recommended_domains}: oversubscribing the cores only adds
+    hand-off overhead, and on a single-core machine the cap makes a
+    pooled request identical to the sequential loop instead of slower
+    than it.  (The {!spawn_per_call} benchmark reference is exempt so
+    it keeps measuring the caller's exact request.) *)
 
 val parallel_fill :
   ?pool:Pool.t -> ?min_items:int -> domains:int -> 'a array -> (int -> 'a) -> unit

@@ -21,10 +21,18 @@ The comparator is deliberately runner-noise-aware:
   or renaming a bench must not break CI until the baseline is
   regenerated.
 
-Pool sanity (warn-only): if both the pooled and the spawn-per-layer DP
-benches are present and the pooled run is slower, a warning is printed.
-Parallel speedups depend on the runner's core count (a 1-CPU runner
-cannot show one), so this is never a failure.
+Pool sanity: two checks on the pool trio.
+
+- Pooled vs sequential DP (gating): the pooled solve must not be
+  slower than the sequential solve by more than 25% plus the 1 ms
+  absolute floor.  The pooled fan-out is right-sized to the runner's
+  cores (Util.Parallel caps domains at recommended_domains), so on a
+  1-CPU runner pooled degenerates to the same sequential loop and the
+  two are statistically tied; on a multicore runner pooled should win
+  outright.  Either way a pooled run materially slower than sequential
+  is a genuine pipeline regression, not core-count noise.
+- Pooled vs spawn-per-layer (warn-only): spawn churn comparisons stay
+  informational because they are the most scheduler-sensitive numbers.
 
 Exit status: 0 when every gated bench passes, 1 otherwise.
 """
@@ -36,6 +44,7 @@ TOLERANCE_DEFAULT = 0.25
 ABS_FLOOR_NANOS = 1e6  # ignore regressions smaller than 1 ms in absolute terms
 
 POOLED_BENCH = "pool: exact DP on 4-domain pool (d=3, T=96)"
+SEQ_BENCH = "pool: exact DP sequential (d=3, T=96, m=(10,6,4))"
 SPAWN_BENCH = "pool: exact DP spawn-per-layer x4 (d=3, T=96)"
 
 
@@ -105,6 +114,24 @@ def main():
         print()
         for name in new:
             print(f"NEW   {name}: {fmt(cur_benches[name]['nanos'])} (not gated)")
+
+    if POOLED_BENCH in cur_benches and SEQ_BENCH in cur_benches:
+        pooled = cur_benches[POOLED_BENCH]["nanos"]
+        seq = cur_benches[SEQ_BENCH]["nanos"]
+        print()
+        if pooled > 0 and seq > 0:
+            slack = seq * (1.0 + tolerance) + ABS_FLOOR_NANOS
+            if pooled > slack:
+                print(
+                    f"FAIL  pooled DP ({fmt(pooled)}) slower than sequential "
+                    f"({fmt(seq)}) beyond {tolerance:.0%} + {fmt(ABS_FLOOR_NANOS)}"
+                )
+                failures.append("pooled DP vs sequential")
+            else:
+                print(
+                    f"ok    pooled DP {fmt(pooled)} vs sequential {fmt(seq)} "
+                    f"({seq / pooled:.2f}x)"
+                )
 
     if POOLED_BENCH in cur_benches and SPAWN_BENCH in cur_benches:
         pooled = cur_benches[POOLED_BENCH]["nanos"]

@@ -52,6 +52,34 @@ let prop_fn_deriv_matches_finite_difference seed =
   let numeric = (Convex.Fn.eval f (z +. h) -. Convex.Fn.eval f (z -. h)) /. (2. *. h) in
   Float.abs (numeric -. Convex.Fn.deriv f z) < 1e-3 *. Float.max 1. (Float.abs numeric)
 
+(* The analytic derivative inverse must agree with bisecting the
+   derivative itself.  Sample the target slope strictly inside the
+   derivative's range over [0, hi], where the boundary conventions of
+   the two methods cannot differ. *)
+let prop_inv_deriv_matches_bisection seed =
+  let rng = Util.Prng.create seed in
+  let f =
+    let g = random_fn rng in
+    if Util.Prng.int rng 2 = 0 then g else Convex.Fn.add g (random_fn rng)
+  in
+  if not (Convex.Fn.has_inv_deriv f) then true
+  else begin
+    let hi = 4. in
+    let d0 = Convex.Fn.deriv f 0. and dhi = Convex.Fn.deriv f hi in
+    if dhi -. d0 < 1e-9 then true (* (near-)affine: no interior crossing *)
+    else begin
+      let t = 0.05 +. (0.9 *. Util.Prng.float rng 1.) in
+      let nu = d0 +. (t *. (dhi -. d0)) in
+      let analytic =
+        Float.min hi (Float.max 0. (Convex.Fn.inv_deriv f nu))
+      in
+      let numeric =
+        Convex.Scalar_min.bisect_monotone (Convex.Fn.deriv f) ~lo:0. ~hi ~target:nu
+      in
+      Float.abs (analytic -. numeric) < 1e-9 *. Float.max 1. hi
+    end
+  end
+
 (* --- Dispatch --- *)
 
 let random_pieces rng =
@@ -126,6 +154,23 @@ let prop_dispatch_matches_greedy seed =
   | Some kkt, Some grd ->
       kkt.Convex.Dispatch.objective
       <= grd.Convex.Dispatch.objective +. (1e-2 *. Float.max 1. grd.Convex.Dispatch.objective)
+  | _ -> false
+
+(* The analytic water-filling path must match the legacy per-piece
+   numeric path on the objective: both solve the same KKT system, only
+   the per-piece response differs. *)
+let prop_dispatch_analytic_matches_numeric seed =
+  let rng = Util.Prng.create seed in
+  let pieces = random_pieces rng in
+  let cap = Array.fold_left (fun acc p -> acc +. p.Convex.Dispatch.upper) 0. pieces in
+  let total = Util.Prng.float rng cap in
+  match
+    (Convex.Dispatch.solve pieces ~total, Convex.Dispatch.solve ~numeric:true pieces ~total)
+  with
+  | Some a, Some n ->
+      Float.abs (a.Convex.Dispatch.objective -. n.Convex.Dispatch.objective)
+      <= 1e-6 *. Float.max 1. (Float.abs n.Convex.Dispatch.objective)
+  | None, None -> true
   | _ -> false
 
 (* --- Transforms --- *)
@@ -495,6 +540,8 @@ let () =
             prop_fn_convex_increasing;
           mk_test ~count:100 ~name:"combinators preserve convexity"
             prop_fn_combinators_preserve_convexity;
+          mk_test ~count:200 ~name:"inv_deriv = derivative bisection"
+            prop_inv_deriv_matches_bisection;
           mk_test ~count:100 ~name:"closed derivative = finite difference"
             prop_fn_deriv_matches_finite_difference
         ] );
@@ -503,7 +550,9 @@ let () =
             prop_dispatch_valid_simplex_point;
           mk_test ~count:50 ~name:"no random feasible point beats the solver"
             prop_dispatch_beats_random_feasible_points;
-          mk_test ~count:50 ~name:"agrees with the greedy oracle" prop_dispatch_matches_greedy
+          mk_test ~count:50 ~name:"agrees with the greedy oracle" prop_dispatch_matches_greedy;
+          mk_test ~count:200 ~name:"analytic path = numeric path"
+            prop_dispatch_analytic_matches_numeric
         ] );
       ( "transform",
         [ mk_test ~count:100 ~name:"ramp_line dominates input and is idempotent"

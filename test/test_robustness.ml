@@ -237,12 +237,24 @@ let test_fault_pool_degrades_to_sequential () =
   let base = Offline.Dp.solve inst in
   let pool = Util.Pool.create ~name:"faulty" ~domains:2 () in
   Fun.protect ~finally:(fun () -> Util.Pool.shutdown pool) @@ fun () ->
-  let degraded0 = counter "pool.degraded_jobs" in
-  let recovered0 = counter "faultinj.recovered" in
+  (* A DP under an injected pool fault stays bit-identical.  (On a
+     single-core runner [Parallel] right-sizes the fan-out down to a
+     sequential loop, so the fault may simply never be reached — the
+     equality is the contract either way.) *)
   let r = with_armed [ ("pool.job", Faultinj.Nth 1) ] (fun () -> Offline.Dp.solve ~pool inst) in
   checkb "degraded solve bit-identical" true
     (r.Offline.Dp.cost = base.Offline.Dp.cost
     && schedules_equal r.Offline.Dp.schedule base.Offline.Dp.schedule);
+  (* Drive the degrade machinery itself through [Pool.run], which fans
+     out regardless of the hardware cap: the faulted job must re-run
+     sequentially with every slot still filled. *)
+  let degraded0 = counter "pool.degraded_jobs" in
+  let recovered0 = counter "faultinj.recovered" in
+  let out = Array.make 512 (-1) in
+  with_armed [ ("pool.job", Faultinj.Nth 1) ] (fun () ->
+      Util.Pool.run pool ~n:512 (fun i -> out.(i) <- 2 * i));
+  checkb "degraded job filled every slot" true
+    (Array.for_all2 ( = ) (Array.init 512 (fun i -> 2 * i)) out);
   checkb "pool.degraded_jobs bumped" true (counter "pool.degraded_jobs" > degraded0);
   checkb "faultinj.recovered bumped" true (counter "faultinj.recovered" > recovered0)
 
