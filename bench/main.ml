@@ -257,7 +257,61 @@ let benches =
        let payload = Core.Offline_dp.frontier_to_sexp (Option.get !captured) in
        fun () ->
          Core.Snapshot.parse ~kind:"dp-frontier"
-           (Core.Snapshot.render ~kind:"dp-frontier" payload))
+           (Core.Snapshot.render ~kind:"dp-frontier" payload));
+    (* Serving: the wire codec alone, then a full in-process request
+       round-trip (decode -> daemon dispatch -> history replay ->
+       encode) — the protocol overhead a served decision pays on top of
+       the stepping kernel. *)
+    bench "server: codec encode+decode (feed, 8 loads)"
+      (let req =
+         Core.Server_protocol.Feed
+           { id = "bench-0001"; seq = 128;
+             loads = Array.init 8 (fun i -> 0.75 +. (float_of_int i *. 0.125)) }
+       in
+       fun () ->
+         let frame = Core.Server_codec.encode (Core.Server_protocol.request_to_sexp req) in
+         let dec = Core.Server_codec.decoder () in
+         Core.Server_codec.feed_string dec frame;
+         match Core.Server_codec.next dec with
+         | Ok (Some sexp) -> Core.Server_protocol.request_of_sexp sexp
+         | Ok None | Error _ -> assert false);
+    bench "server: in-process round-trip (feed replay)"
+      (let sock = Filename.temp_file "rs-bench" ".sock" in
+       Sys.remove sock;
+       at_exit (fun () -> try Sys.remove sock with Sys_error _ -> ());
+       let d =
+         match
+           Core.Daemon.create { Core.Daemon.default_config with unix_path = Some sock }
+         with
+         | Ok d -> d
+         | Error m -> failwith m
+       in
+       ignore
+         (Core.Daemon.handle d
+            (Core.Server_protocol.Create_session
+               { id = "b"; scenario = "cpu-gpu"; max_horizon = None }));
+       (match
+          Core.Daemon.handle d
+            (Core.Server_protocol.Feed { id = "b"; seq = 0; loads = [| 1.0 |] })
+        with
+       | Core.Server_protocol.Decisions _ -> ()
+       | _ -> failwith "bench setup: seed slot");
+       let frame =
+         Core.Server_codec.encode
+           (Core.Server_protocol.request_to_sexp
+              (Core.Server_protocol.Feed { id = "b"; seq = 0; loads = [| 1.0 |] }))
+       in
+       fun () ->
+         let dec = Core.Server_codec.decoder () in
+         Core.Server_codec.feed_string dec frame;
+         match Core.Server_codec.next dec with
+         | Ok (Some sexp) -> (
+             match Core.Server_protocol.request_of_sexp sexp with
+             | Ok req ->
+                 Core.Server_codec.encode
+                   (Core.Server_protocol.response_to_sexp (Core.Daemon.handle d req))
+             | Error m -> failwith m)
+         | Ok None | Error _ -> assert false)
   ]
 
 (* One instrumented run of the kernel: reset every counter, run once,
@@ -287,7 +341,9 @@ let gated =
     "pool: exact DP sequential (d=3, T=96, m=(10,6,4))";
     "pool: exact DP on 4-domain pool (d=3, T=96)";
     "kernel: dispatch water-filling (d=4)";
-    "kernel: memo rank-table hit (d=2)" ]
+    "kernel: memo rank-table hit (d=2)";
+    "server: codec encode+decode (feed, 8 loads)";
+    "server: in-process round-trip (feed replay)" ]
 
 (* Machine-independent reference kernel: the comparator divides every
    timing by the calibration ratio between the two runs, so a uniformly

@@ -91,13 +91,7 @@ let obs_term =
   in
   Term.(const setup_obs $ trace_arg $ metrics_arg $ manifest_arg $ summary_arg)
 
-let scenarios =
-  [ ("cpu-gpu", fun horizon -> Core.Scenarios.cpu_gpu ?horizon ());
-    ("homogeneous", fun horizon -> Core.Scenarios.homogeneous ?horizon ());
-    ("three-tier", fun horizon -> Core.Scenarios.three_tier ?horizon ());
-    ("large-fleet", fun horizon -> Core.Scenarios.large_fleet ?horizon ());
-    ("time-varying", fun horizon -> Core.Scenarios.time_varying_costs ?horizon ());
-    ("maintenance", fun horizon -> Core.Scenarios.maintenance ?horizon ()) ]
+let scenarios = Core.Scenarios.named
 
 let scenario_conv =
   let parse s =
@@ -871,8 +865,169 @@ let simulate_cmd =
         (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ boot_arg $ carry_arg
         $ failure_arg $ repair_arg $ controller_arg $ domains_arg))
 
+(* --- serve --- *)
+
+let unix_sock_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH" ~doc:"Listen on (or connect to) a Unix-domain socket at PATH.")
+
+let tcp_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen on (or connect to) TCP 127.0.0.1:PORT.")
+
+let serve_cmd =
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-sessions" ] ~docv:"N" ~doc:"Refuse new sessions beyond N (default 1024).")
+  in
+  let run () unix_path tcp_port checkpoint every resume crash_after_slots max_sessions domains =
+    if unix_path = None && tcp_port = None then
+      `Error (false, "serve: pass --unix PATH and/or --port PORT")
+    else if every < 1 then `Error (false, "serve: --checkpoint-every must be >= 1")
+    else begin
+      with_domains domains @@ fun pool ->
+      let cfg =
+        { Core.Daemon.default_config with
+          unix_path; tcp_port; pool; checkpoint; checkpoint_every = every;
+          max_sessions; crash_after_slots }
+      in
+      match Core.Daemon.create ?resume cfg with
+      | Error m -> `Error (false, m)
+      | Ok d ->
+          let stop _ = Core.Daemon.request_stop d in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          (match unix_path with
+          | Some p -> Printf.printf "listening on %s\n%!" p
+          | None -> ());
+          (match tcp_port with
+          | Some p -> Printf.printf "listening on 127.0.0.1:%d\n%!" p
+          | None -> ());
+          if resume <> None then
+            Printf.printf "resumed %d sessions\n%!" (Core.Daemon.session_count d);
+          Core.Daemon.run d;
+          Core.Obs.Run_manifest.note "sessions"
+            (string_of_int (Core.Daemon.session_count d));
+          Printf.printf "stopped after %d stepped slots (%d live sessions)\n%!"
+            (Core.Daemon.stepped_slots d) (Core.Daemon.session_count d);
+          `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-session right-sizing daemon (protocol: docs/serving.md).  \
+             SIGINT/SIGTERM stop it gracefully, writing a final checkpoint.")
+    Term.(
+      ret
+        (const run $ obs_term $ unix_sock_arg $ tcp_port_arg $ checkpoint_arg
+        $ checkpoint_every_arg $ resume_arg $ crash_after_arg $ max_sessions_arg
+        $ domains_arg))
+
+(* --- loadgen --- *)
+
+let loadgen_cmd =
+  let connections_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent client connections (default 1).")
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sessions" ] ~docv:"N" ~doc:"Sessions per connection (default 1).")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "slots" ] ~docv:"N" ~doc:"Slots fed to every session (default 64).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N" ~doc:"Slots per feed frame (default 8).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Trace seed (default 1).")
+  in
+  let prefix_arg =
+    Arg.(
+      value & opt string "lg"
+      & info [ "prefix" ] ~docv:"STR" ~doc:"Session-id prefix (default lg).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Dump every decision as lines $(i,id slot n,n,...) to FILE.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Check every received decision against an in-process sequential oracle.")
+  in
+  let oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "oracle-only" ]
+          ~doc:"Skip the daemon entirely: write the oracle's decisions to --out.")
+  in
+  let tolerate_arg =
+    Arg.(
+      value & flag
+      & info [ "tolerate-disconnect" ]
+          ~doc:"Report a dropped daemon instead of failing (crash-test client).")
+  in
+  let close_arg =
+    Arg.(value & flag & info [ "close" ] ~doc:"Close every session when done.")
+  in
+  let run () unix port connections sessions slots batch (scenario, _) seed prefix out
+      verify oracle_only tolerate_disconnect close_sessions =
+    let target =
+      match (unix, port) with
+      | Some p, _ -> Ok (Core.Loadgen.Unix_path p)
+      | None, Some p -> Ok (Core.Loadgen.Tcp p)
+      | None, None ->
+          if oracle_only then Ok (Core.Loadgen.Unix_path "/nonexistent")
+          else Error "loadgen: pass --unix PATH or --port PORT"
+    in
+    match target with
+    | Error m -> `Error (false, m)
+    | Ok target -> (
+        let cfg =
+          { Core.Loadgen.default_config with
+            target; connections; sessions_per_conn = sessions; slots; batch;
+            scenario; seed; prefix; out; verify; oracle_only;
+            tolerate_disconnect; close_sessions }
+        in
+        Core.Obs.Run_manifest.note "scenario" scenario;
+        Core.Obs.Run_manifest.note "connections" (string_of_int connections);
+        match Core.Loadgen.run cfg with
+        | Error m -> `Error (false, m)
+        | Ok r ->
+            print_endline (Core.Loadgen.report_to_string r);
+            if r.Core.Loadgen.verify_failures > 0 then
+              `Error (false, "loadgen: decisions disagree with the oracle")
+            else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay synthetic workload traces against a running daemon over N \
+             concurrent connections and report throughput and latency.")
+    Term.(
+      ret
+        (const run $ obs_term $ unix_sock_arg $ tcp_port_arg $ connections_arg
+        $ sessions_arg $ slots_arg $ batch_arg $ scenario_arg $ seed_arg $ prefix_arg
+        $ out_arg $ verify_arg $ oracle_arg $ tolerate_arg $ close_arg))
+
 let () =
   let doc = "Right-sizing heterogeneous data centers (SPAA 2021 reproduction)" in
   let info = Cmd.info "rightsizer" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; report_cmd; verify_cmd; solve_cmd; online_cmd; compare_cmd;
-       simulate_cmd; analyze_cmd; plan_cmd ]))
+       simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; loadgen_cmd ]))

@@ -33,6 +33,11 @@ module Sim_dc = Dcsim.Sim
 module Controllers = Dcsim.Controllers
 module Workload = Sim.Workload
 module Trace = Sim.Trace
+module Server_protocol = Server.Protocol
+module Server_codec = Server.Codec
+module Server_session = Server.Session
+module Daemon = Server.Daemon
+module Loadgen = Server.Loadgen
 module Report = Experiments.Report
 module Experiment_registry = Experiments.Registry
 module Scenarios = Sim.Scenarios

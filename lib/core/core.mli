@@ -16,6 +16,9 @@
     - {!Baselines}, {!Adversary}, {!Harness}: comparison policies and
       experiment machinery;
     - {!Workload}, {!Scenarios}: synthetic traces and named setups;
+    - {!Daemon}, {!Loadgen}, {!Server_protocol}, {!Server_codec},
+      {!Server_session}: the multi-session serving daemon and its wire
+      protocol (see [docs/serving.md]);
     - {!Prng}, {!Stats}, {!Table}, {!Ascii_plot}: utilities.
 
     The top-level helpers cover the common calls. *)
@@ -55,6 +58,11 @@ module Sim_dc = Dcsim.Sim
 module Controllers = Dcsim.Controllers
 module Workload = Sim.Workload
 module Trace = Sim.Trace
+module Server_protocol = Server.Protocol
+module Server_codec = Server.Codec
+module Server_session = Server.Session
+module Daemon = Server.Daemon
+module Loadgen = Server.Loadgen
 module Report = Experiments.Report
 module Experiment_registry = Experiments.Registry
 module Scenarios = Sim.Scenarios

@@ -80,22 +80,44 @@ let ensure_capacity t ~needed =
     Stepper.rebind t.stepper t.inst
   end
 
-let feed t volume =
+type feed_error =
+  | Bad_volume of float
+  | Over_capacity of { volume : float; capacity : float }
+  | Horizon_exhausted of { fed : int; cap : int }
+
+let feed_error_to_string = function
+  | Bad_volume v -> Printf.sprintf "volume %g must be finite and non-negative" v
+  | Over_capacity { volume; capacity } ->
+      Printf.sprintf "volume %g exceeds the fleet capacity %g" volume capacity
+  | Horizon_exhausted { fed; cap } ->
+      Printf.sprintf "session horizon exhausted (%d slots fed, hard cap %d)" fed cap
+
+let feed_result t volume =
   (* Fault site first: an injected failure leaves the session state
-     untouched, so the caller can retry the same slot. *)
+     untouched, so the caller can retry the same slot.  Every
+     validation below also fires before any mutation, so an [Error]
+     leaves the session alive and fed-able. *)
   Util.Faultinj.hit "streaming.feed";
-  if volume < 0. || not (Float.is_finite volume) then
-    invalid_arg "Streaming.feed: volume must be finite and non-negative";
-  if volume > t.capacity +. 1e-9 then
-    invalid_arg "Streaming.feed: volume exceeds the fleet capacity";
-  ensure_capacity t ~needed:(t.clock + 1);
-  let time = t.clock in
-  t.loads.(time) <- volume;
-  let { Prefix_opt.last = hat; _ } = Prefix_opt.step t.engine in
-  let x = Stepper.step t.stepper ~time ~hat in
-  t.clock <- time + 1;
-  t.current <- x;
-  Array.copy x
+  if volume < 0. || not (Float.is_finite volume) then Error (Bad_volume volume)
+  else if volume > t.capacity +. 1e-9 then
+    Error (Over_capacity { volume; capacity = t.capacity })
+  else
+    match t.hard_cap with
+    | Some cap when t.clock >= cap -> Error (Horizon_exhausted { fed = t.clock; cap })
+    | Some _ | None ->
+        ensure_capacity t ~needed:(t.clock + 1);
+        let time = t.clock in
+        t.loads.(time) <- volume;
+        let { Prefix_opt.last = hat; _ } = Prefix_opt.step t.engine in
+        let x = Stepper.step t.stepper ~time ~hat in
+        t.clock <- time + 1;
+        t.current <- x;
+        Ok (Array.copy x)
+
+let feed t volume =
+  match feed_result t volume with
+  | Ok x -> x
+  | Error e -> invalid_arg ("Streaming.feed: " ^ feed_error_to_string e)
 
 let fed t = t.clock
 let config t = Array.copy t.current

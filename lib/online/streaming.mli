@@ -43,12 +43,28 @@ val alg_b :
 (** A streaming session running algorithm B (time-dependent costs; the
     [cost] closure is consulted as slots arrive). *)
 
-val feed : t -> float -> Model.Config.t
+type feed_error =
+  | Bad_volume of float
+      (** negative or non-finite volume *)
+  | Over_capacity of { volume : float; capacity : float }
+      (** the volume exceeds the fleet's total capacity — no feasible
+          configuration exists *)
+  | Horizon_exhausted of { fed : int; cap : int }
+      (** the session's optional [max_horizon] hard cap is reached *)
+
+val feed_error_to_string : feed_error -> string
+
+val feed_result : t -> float -> (Model.Config.t, feed_error) result
 (** Deliver the next slot's job volume and obtain the configuration to
-    run during that slot.  Raises [Invalid_argument] on a negative or
-    non-finite volume, when the volume exceeds the fleet capacity
-    (no feasible configuration), or past [max_horizon] when a hard cap
-    was given. *)
+    run during that slot.  On [Error] the session state is untouched —
+    a long-running host (the serving daemon) can reject the slot and
+    keep the session alive.  The [streaming.feed] fault site fires
+    before any validation, so {!Util.Faultinj.Injected} may still
+    escape; it, too, leaves the session intact. *)
+
+val feed : t -> float -> Model.Config.t
+(** {!feed_result}, raising [Invalid_argument] on any {!feed_error} —
+    the original batch-experiment interface. *)
 
 val fed : t -> int
 (** Slots processed so far. *)

@@ -1,0 +1,86 @@
+let default_max_frame_bytes = 16 * 1024 * 1024
+
+let encode payload =
+  let body = Util.Sexp.to_string payload in
+  Printf.sprintf "%d %s\n" (String.length body) body
+
+(* The pending input lives in one Buffer; [start] is the offset of the
+   first unconsumed byte.  Frames are small and arrive fast, so the
+   occasional compaction (dropping the consumed prefix once it crosses
+   a threshold) keeps the buffer bounded without per-frame copies. *)
+type decoder = {
+  mutable buf : Buffer.t;
+  mutable start : int;
+  mutable poisoned : string option;
+  max_frame_bytes : int;
+}
+
+let decoder ?(max_frame_bytes = default_max_frame_bytes) () =
+  { buf = Buffer.create 4096; start = 0; poisoned = None; max_frame_bytes }
+
+let feed d buf n =
+  if n < 0 || n > Bytes.length buf then invalid_arg "Codec.feed";
+  Buffer.add_subbytes d.buf buf 0 n
+
+let feed_string d s = Buffer.add_string d.buf s
+
+let pending_bytes d = Buffer.length d.buf - d.start
+
+let compact d =
+  if d.start > 65536 && d.start * 2 > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.start (Buffer.length d.buf - d.start) in
+    let fresh = Buffer.create (max 4096 (String.length rest)) in
+    Buffer.add_string fresh rest;
+    d.buf <- fresh;
+    d.start <- 0
+  end
+
+let poison d msg =
+  d.poisoned <- Some msg;
+  Error msg
+
+(* The longest believable length prefix: 8 digits covers anything under
+   the 16 MiB default and then some; a longer digit run is itself
+   evidence of a corrupt prefix. *)
+let max_prefix_digits = 12
+
+let next d =
+  match d.poisoned with
+  | Some msg -> Error msg
+  | None -> (
+      let len = Buffer.length d.buf in
+      (* Scan the length prefix without materialising anything. *)
+      let rec scan_sp i =
+        if i >= len then None
+        else if Buffer.nth d.buf i = ' ' then Some i
+        else if i - d.start >= max_prefix_digits then Some (-1)
+        else scan_sp (i + 1)
+      in
+      match scan_sp d.start with
+      | None -> Ok None (* prefix still incomplete *)
+      | Some (-1) -> poison d "frame length prefix too long (corrupt stream)"
+      | Some sp -> (
+          let digits = Buffer.sub d.buf d.start (sp - d.start) in
+          let plausible =
+            digits <> "" && String.for_all (fun c -> c >= '0' && c <= '9') digits
+          in
+          match (if plausible then int_of_string_opt digits else None) with
+          | None -> poison d (Printf.sprintf "bad frame length prefix %S" digits)
+          | Some n when n > d.max_frame_bytes ->
+              (* Checked before any allocation sized from [n]. *)
+              poison d
+                (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+                   d.max_frame_bytes)
+          | Some n ->
+              let frame_end = sp + 1 + n in
+              if len < frame_end + 1 then Ok None (* payload + LF not yet here *)
+              else if Buffer.nth d.buf frame_end <> '\n' then
+                poison d "missing frame terminator (corrupt stream)"
+              else begin
+                let body = Buffer.sub d.buf (sp + 1) n in
+                d.start <- frame_end + 1;
+                compact d;
+                match Util.Sexp.parse body with
+                | Ok payload -> Ok (Some payload)
+                | Error m -> poison d (Printf.sprintf "unparseable frame payload: %s" m)
+              end))

@@ -1,0 +1,46 @@
+(** Length-prefixed framing for the wire protocol.
+
+    A frame is
+
+    {v <decimal payload length> SP <payload bytes> LF v}
+
+    where the payload is one rendered s-expression ({!Protocol}).  The
+    ASCII length prefix plus the newline terminator keep the stream
+    debuggable with [nc -U] while still letting the reader allocate
+    exactly once per frame.
+
+    The decoder is incremental: feed it whatever byte chunks arrive on
+    the socket and pull complete frames out as they materialise.  It is
+    also defensive — the declared length is validated against
+    [max_frame_bytes] {e before} any buffer is sized from it, so a
+    corrupt or hostile length prefix cannot trigger an unbounded
+    allocation (the same guard {!Util.Snapshot.load} applies to
+    checkpoint files), and a malformed prefix or a missing terminator
+    is a typed [Error], never an exception. *)
+
+val default_max_frame_bytes : int
+(** 16 MiB — generous for any protocol message, tiny next to memory. *)
+
+val encode : Util.Sexp.t -> string
+(** Render a payload as one complete frame. *)
+
+type decoder
+
+val decoder : ?max_frame_bytes:int -> unit -> decoder
+
+val feed : decoder -> bytes -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf] to the pending
+    input.  Raises [Invalid_argument] if [n] is out of range. *)
+
+val feed_string : decoder -> string -> unit
+
+val next : decoder -> (Util.Sexp.t option, string) result
+(** Extract the next complete frame: [Ok (Some payload)] when one is
+    ready, [Ok None] when more bytes are needed, [Error] when the
+    stream is unrecoverably malformed (bad length prefix, frame above
+    the size guard, missing terminator, unparseable payload).  After an
+    [Error] the decoder is poisoned: every subsequent {!next} returns
+    the same error, and the connection should be dropped. *)
+
+val pending_bytes : decoder -> int
+(** Bytes buffered but not yet consumed (diagnostics). *)

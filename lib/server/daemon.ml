@@ -1,0 +1,529 @@
+module S = Util.Sexp
+module P = Protocol
+
+let c_accepts = Obs.Counter.make "server.accepts"
+let c_requests = Obs.Counter.make "server.requests"
+let c_decisions = Obs.Counter.make "server.decisions"
+let c_batches = Obs.Counter.make "server.batches"
+let c_batch_size = Obs.Counter.make "server.batch_size"
+let c_faults = Obs.Counter.make "server.faults"
+let c_disconnects = Obs.Counter.make "server.disconnects"
+let c_checkpoints = Obs.Counter.make "server.checkpoints"
+let c_sessions = Obs.Counter.make "server.sessions_created"
+
+type config = {
+  unix_path : string option;
+  tcp_port : int option;
+  pool : Util.Pool.t option;
+  checkpoint : string option;
+  checkpoint_every : int;
+  max_frame_bytes : int;
+  max_sessions : int;
+  crash_after_slots : int option;
+}
+
+let default_config =
+  { unix_path = None;
+    tcp_port = None;
+    pool = None;
+    checkpoint = None;
+    checkpoint_every = 64;
+    max_frame_bytes = Codec.default_max_frame_bytes;
+    max_sessions = 1024;
+    crash_after_slots = None }
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Codec.decoder;
+  mutable hello_done : bool;
+  out : Buffer.t;
+  mutable dead : bool;  (* closed after this round's replies are flushed *)
+}
+
+let latency_ring = 65536
+
+type t = {
+  cfg : config;
+  sessions : (string, Session.t) Hashtbl.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  mutable listeners : Unix.file_descr list;
+  stop : bool Atomic.t;
+  mutable stepped : int;   (* freshly stepped slots, across all sessions *)
+  mutable since_ck : int;
+  lat : float array;       (* request latencies, us; ring buffer *)
+  mutable lat_n : int;
+}
+
+let session_count t = Hashtbl.length t.sessions
+let stepped_slots t = t.stepped
+let request_stop t = Atomic.set t.stop true
+
+let latencies t =
+  let n = min t.lat_n (Array.length t.lat) in
+  Array.sub t.lat 0 n
+
+let record_latency t t0 =
+  let cap = Array.length t.lat in
+  t.lat.(t.lat_n mod cap) <- Obs.Span.now_us () -. t0;
+  t.lat_n <- t.lat_n + 1
+
+let stats t =
+  let xs = latencies t in
+  let q p = if Array.length xs = 0 then 0. else Util.Stats.quantile xs p in
+  { P.accepts = Obs.Counter.value c_accepts;
+    sessions = Hashtbl.length t.sessions;
+    requests = Obs.Counter.value c_requests;
+    decisions = Obs.Counter.value c_decisions;
+    batches = Obs.Counter.value c_batches;
+    p50_us = q 0.5;
+    p99_us = q 0.99 }
+
+(* --- checkpointing ------------------------------------------------- *)
+
+let snapshot_kind = "server-sessions"
+
+let table_payload t =
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+  let sorted =
+    List.sort (fun a b -> compare (Session.id a) (Session.id b)) all
+  in
+  S.List (S.Atom "sessions" :: List.map Session.save sorted)
+
+let checkpoint_now t =
+  match t.cfg.checkpoint with
+  | None -> Error "daemon: no checkpoint path configured"
+  | Some path -> (
+      match Util.Snapshot.save ~path ~kind:snapshot_kind (table_payload t) with
+      | Ok () ->
+          t.since_ck <- 0;
+          Obs.Counter.incr c_checkpoints;
+          Ok ()
+      | Error e -> Error (Util.Snapshot.error_to_string e))
+
+let restore_sessions t path =
+  match Util.Snapshot.load ~kind:snapshot_kind ~path () with
+  | Error e -> Error ("daemon: resume: " ^ Util.Snapshot.error_to_string e)
+  | Ok (S.List (S.Atom "sessions" :: rows)) ->
+      let rec go = function
+        | [] -> Ok ()
+        | row :: rest -> (
+            match Session.of_sexp row with
+            | Ok s ->
+                Hashtbl.replace t.sessions (Session.id s) s;
+                go rest
+            | Error m -> Error ("daemon: resume: " ^ m))
+      in
+      go rows
+  | Ok (S.Atom _ | S.List _) ->
+      Error "daemon: resume: unexpected checkpoint payload"
+
+(* --- request execution --------------------------------------------- *)
+
+let err ?fed code msg = P.Error { code; msg; fed }
+
+(* Control-plane requests, executed synchronously in arrival order.
+   [Feed] never reaches this function — it goes through the batch. *)
+let exec_control t (req : P.request) : P.response =
+  match req with
+  | P.Hello { version } ->
+      if version = P.version then P.Welcome { version = P.version }
+      else
+        err P.Unsupported_version
+          (Printf.sprintf "server speaks version %d" P.version)
+  | P.Create_session { id; scenario; max_horizon } ->
+      if not (P.valid_id id) then err P.Bad_request "invalid session id"
+      else (
+        match Hashtbl.find_opt t.sessions id with
+        | Some s ->
+            let spec = Session.spec s in
+            if spec.Session.scenario = scenario && spec.Session.max_horizon = max_horizon
+            then
+              P.Session
+                { id; alg = Session.alg s; types = Session.num_types s;
+                  fed = Session.fed s }
+            else err P.Session_exists "session exists with a different spec"
+        | None ->
+            if Hashtbl.length t.sessions >= t.cfg.max_sessions then
+              err P.Too_many_sessions
+                (Printf.sprintf "session table is full (%d)" t.cfg.max_sessions)
+            else (
+              match Session.create ~id { scenario; max_horizon } with
+              | Error (code, msg) -> err code msg
+              | Ok s ->
+                  Hashtbl.replace t.sessions id s;
+                  Obs.Counter.incr c_sessions;
+                  P.Session
+                    { id; alg = Session.alg s; types = Session.num_types s;
+                      fed = 0 }))
+  | P.Stats -> P.Stats_reply (stats t)
+  | P.Query_snapshot { id } -> (
+      match Hashtbl.find_opt t.sessions id with
+      | Some s -> P.Snapshot_state { id; state = Session.save s }
+      | None -> err P.Unknown_session ("no session " ^ id))
+  | P.Close { id } ->
+      if Hashtbl.mem t.sessions id then begin
+        Hashtbl.remove t.sessions id;
+        P.Closed { id }
+      end
+      else err P.Unknown_session ("no session " ^ id)
+  | P.Shutdown ->
+      Atomic.set t.stop true;
+      P.Bye
+  | P.Feed _ -> err P.Internal "feed escaped the batch path"
+
+type item = {
+  conn : conn option;  (* [None] for the in-process [handle] path *)
+  req : (P.request, string) result;
+  mutable reply : P.response option;
+  t0 : float;
+}
+
+(* One scheduling round: early control ops in arrival order, then all
+   feeds batched per session (fanned out across the pool when there is
+   more than one stepping session), then the late control ops. *)
+let process_round t items =
+  (* early: hello / create-session / stats, plus every malformed or
+     out-of-gate request *)
+  List.iter
+    (fun it ->
+      Obs.Counter.incr c_requests;
+      match it.req with
+      | Error msg -> it.reply <- Some (err P.Bad_request msg)
+      | Ok req ->
+          let gated =
+            match it.conn with
+            | None -> false
+            | Some c -> (
+                (not c.hello_done)
+                && match req with P.Hello _ -> false | _ -> true)
+          in
+          if gated then it.reply <- Some (err P.Bad_request "hello required")
+          else (
+            match req with
+            | P.Hello _ ->
+                let r = exec_control t req in
+                (match (r, it.conn) with
+                | P.Welcome _, Some c -> c.hello_done <- true
+                | _ -> ());
+                it.reply <- Some r
+            | P.Create_session _ | P.Stats -> it.reply <- Some (exec_control t req)
+            | P.Feed _ | P.Query_snapshot _ | P.Close _ | P.Shutdown -> ()))
+    items;
+  (* step: group the round's feeds by session, preserving arrival order
+     within each session *)
+  let order = ref [] in
+  let groups : (string, (item * int * float array) Queue.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun it ->
+      match (it.reply, it.req) with
+      | None, Ok (P.Feed { id; seq; loads }) -> (
+          match Hashtbl.find_opt t.sessions id with
+          | None -> it.reply <- Some (err P.Unknown_session ("no session " ^ id))
+          | Some _ ->
+              let q =
+                match Hashtbl.find_opt groups id with
+                | Some q -> q
+                | None ->
+                    let q = Queue.create () in
+                    Hashtbl.replace groups id q;
+                    order := id :: !order;
+                    q
+              in
+              Queue.add (it, seq, loads) q)
+      | _ -> ())
+    items;
+  let ids = Array.of_list (List.rev !order) in
+  let ntasks = Array.length ids in
+  if ntasks > 0 then begin
+    Obs.Counter.incr c_batches;
+    Obs.Counter.add c_batch_size ntasks;
+    (* Capture sessions and queues up front: worker domains must not
+       touch the hash tables, only their own session's state. *)
+    let sess = Array.map (fun id -> Hashtbl.find t.sessions id) ids in
+    let qs = Array.map (fun id -> Hashtbl.find groups id) ids in
+    let before = Array.map Session.fed sess in
+    let task k =
+      let s = sess.(k) and q = qs.(k) in
+      match Util.Faultinj.check "server.step" with
+      | Some _ ->
+          Obs.Counter.incr c_faults;
+          Util.Faultinj.recovered "server.step";
+          Queue.iter
+            (fun ((it : item), _, _) ->
+              it.reply <-
+                Some
+                  (err ~fed:(Session.fed s) P.Injected
+                     "injected fault at server.step"))
+            q
+      | None ->
+          Queue.iter
+            (fun ((it : item), seq, loads) ->
+              if it.reply = None then
+                match Session.feed s ~seq loads with
+                | Ok configs ->
+                    it.reply <- Some (P.Decisions { id = Session.id s; seq; configs })
+                | Error (code, msg) ->
+                    it.reply <- Some (err ~fed:(Session.fed s) code msg))
+            q
+    in
+    let safe k =
+      let s = sess.(k) and q = qs.(k) in
+      let fail code msg =
+        Queue.iter
+          (fun ((it : item), _, _) ->
+            if it.reply = None then
+              it.reply <- Some (err ~fed:(Session.fed s) code msg))
+          q
+      in
+      try task k with
+      | Util.Faultinj.Injected { site; _ } ->
+          Obs.Counter.incr c_faults;
+          Util.Faultinj.recovered site;
+          fail P.Injected ("injected fault at " ^ site)
+      | exn -> fail P.Internal (Printexc.to_string exn)
+    in
+    Obs.Span.with_ ~args:[ ("sessions", string_of_int ntasks) ] "server.batch"
+      (fun () ->
+        match t.cfg.pool with
+        | Some pool when ntasks >= 2 -> Util.Pool.run pool ~n:ntasks safe
+        | Some _ | None ->
+            for k = 0 to ntasks - 1 do
+              safe k
+            done);
+    let fresh = ref 0 in
+    Array.iteri (fun k s -> fresh := !fresh + Session.fed s - before.(k)) sess;
+    Obs.Counter.add c_decisions !fresh;
+    t.stepped <- t.stepped + !fresh;
+    t.since_ck <- t.since_ck + !fresh
+  end;
+  (* late: snapshot / close / shutdown *)
+  List.iter
+    (fun it ->
+      match (it.reply, it.req) with
+      | None, Ok ((P.Query_snapshot _ | P.Close _ | P.Shutdown) as req) ->
+          it.reply <- Some (exec_control t req)
+      | None, Ok _ -> it.reply <- Some (err P.Internal "unhandled request")
+      | _ -> ())
+    items
+
+let handle t req =
+  let it = { conn = None; req = Ok req; reply = None; t0 = 0. } in
+  process_round t [ it ];
+  match it.reply with Some r -> r | None -> err P.Internal "no reply"
+
+(* --- sockets -------------------------------------------------------- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let bind_unix path =
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let ( let* ) = Result.bind
+
+let create ?resume cfg =
+  if cfg.unix_path = None && cfg.tcp_port = None then
+    Error "daemon: configure at least one of unix_path / tcp_port"
+  else if cfg.checkpoint_every < 1 then
+    Error "daemon: checkpoint_every must be >= 1"
+  else begin
+    let t =
+      { cfg;
+        sessions = Hashtbl.create 64;
+        conns = Hashtbl.create 16;
+        listeners = [];
+        stop = Atomic.make false;
+        stepped = 0;
+        since_ck = 0;
+        lat = Array.make latency_ring 0.;
+        lat_n = 0 }
+    in
+    let* () =
+      match resume with None -> Ok () | Some path -> restore_sessions t path
+    in
+    match
+      (let ls = ref [] in
+       (match cfg.unix_path with
+       | Some p -> ls := bind_unix p :: !ls
+       | None -> ());
+       (match cfg.tcp_port with
+       | Some p -> ls := bind_tcp p :: !ls
+       | None -> ());
+       Ok !ls
+       : (_, string) result)
+    with
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Error (Printf.sprintf "daemon: %s %s: %s" fn arg (Unix.error_message e))
+    | exception Sys_error m -> Error ("daemon: " ^ m)
+    | Error _ as e -> e
+    | Ok ls ->
+        t.listeners <- ls;
+        Ok t
+  end
+
+let accept_on t lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | fd, _ -> (
+      Obs.Counter.incr c_accepts;
+      match Util.Faultinj.check "server.accept" with
+      | Some _ ->
+          Obs.Counter.incr c_faults;
+          close_quietly fd;
+          Util.Faultinj.recovered "server.accept"
+      | None ->
+          (* no-op (EOPNOTSUPP) on the Unix-domain listener *)
+          (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+          Hashtbl.replace t.conns fd
+            { fd;
+              dec = Codec.decoder ~max_frame_bytes:t.cfg.max_frame_bytes ();
+              hello_done = false;
+              out = Buffer.create 256;
+              dead = false })
+
+(* Drain one readable connection into round items (newest first — the
+   caller reverses the accumulated list). *)
+let drain_conn conn buf acc =
+  match Util.Faultinj.check "server.read" with
+  | Some _ ->
+      Obs.Counter.incr c_faults;
+      Util.Faultinj.recovered "server.read";
+      conn.dead <- true;
+      acc
+  | None -> (
+      match Unix.read conn.fd buf 0 (Bytes.length buf) with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> acc
+      | exception Unix.Unix_error _ ->
+          conn.dead <- true;
+          acc
+      | 0 ->
+          conn.dead <- true;
+          acc
+      | n ->
+          Codec.feed conn.dec buf n;
+          let rec pull acc =
+            match Codec.next conn.dec with
+            | Ok None -> acc
+            | Ok (Some sexp) ->
+                pull
+                  ({ conn = Some conn;
+                     req = P.request_of_sexp sexp;
+                     reply = None;
+                     t0 = Obs.Span.now_us () }
+                  :: acc)
+            | Error msg ->
+                (* poisoned framing: answer the error, then hang up *)
+                conn.dead <- true;
+                { conn = Some conn; req = Error msg; reply = None;
+                  t0 = Obs.Span.now_us () }
+                :: acc
+          in
+          pull acc)
+
+let flush_conn conn =
+  let s = Buffer.contents conn.out in
+  Buffer.clear conn.out;
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring conn.fd s off (len - off) with
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> conn.dead <- true
+      | n -> go (off + n)
+  in
+  if len > 0 then go 0
+
+let drop_conn t conn =
+  Hashtbl.remove t.conns conn.fd;
+  close_quietly conn.fd;
+  Obs.Counter.incr c_disconnects
+
+let export_latency t =
+  let xs = latencies t in
+  if Array.length xs > 0 then begin
+    let set name q =
+      let c = Obs.Counter.make name in
+      Obs.Counter.reset c;
+      Obs.Counter.add c (int_of_float (Util.Stats.quantile xs q))
+    in
+    set "server.latency_p50_us" 0.5;
+    set "server.latency_p99_us" 0.99
+  end
+
+let run t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let buf = Bytes.create 65536 in
+  while not (Atomic.get t.stop) do
+    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
+    match Unix.select (t.listeners @ conn_fds) [] [] 0.25 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | readable, _, _ ->
+        let items = ref [] in
+        List.iter
+          (fun fd ->
+            if List.memq fd t.listeners then accept_on t fd
+            else
+              match Hashtbl.find_opt t.conns fd with
+              | Some conn -> items := drain_conn conn buf !items
+              | None -> ())
+          readable;
+        let items = List.rev !items in
+        if items <> [] then begin
+          process_round t items;
+          List.iter
+            (fun it ->
+              match it.conn with
+              | None -> ()
+              | Some c ->
+                  let reply =
+                    match it.reply with
+                    | Some r -> r
+                    | None -> err P.Internal "no reply"
+                  in
+                  Buffer.add_string c.out (Codec.encode (P.response_to_sexp reply));
+                  record_latency t it.t0)
+            items;
+          let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+          List.iter flush_conn conns;
+          List.iter (fun c -> if c.dead then drop_conn t c) conns
+        end;
+        (match t.cfg.crash_after_slots with
+        | Some n when t.stepped >= n ->
+            prerr_endline "daemon: crash-after-slots reached; dying without checkpoint";
+            exit 3
+        | _ -> ());
+        if
+          t.cfg.checkpoint <> None
+          && t.since_ck >= t.cfg.checkpoint_every
+        then
+          match checkpoint_now t with
+          | Ok () -> ()
+          | Error m -> prerr_endline ("daemon: checkpoint failed: " ^ m)
+  done;
+  (match t.cfg.checkpoint with
+  | Some _ -> (
+      match checkpoint_now t with
+      | Ok () -> ()
+      | Error m -> prerr_endline ("daemon: final checkpoint failed: " ^ m))
+  | None -> ());
+  export_latency t;
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter (fun c -> drop_conn t c) conns;
+  List.iter close_quietly t.listeners;
+  t.listeners <- [];
+  match t.cfg.unix_path with
+  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+  | None -> ()

@@ -1,0 +1,92 @@
+(** The multi-session right-sizing daemon.
+
+    A single-threaded [select] loop multiplexes any number of client
+    connections (Unix-domain and/or loopback TCP) over one global
+    session table.  Each scheduling round drains every readable
+    connection, then executes the round's requests in three phases:
+
+    + {e early} — [hello], [create-session], [stats];
+    + {e step} — all [feed] requests, grouped by session (each
+      session's frames in arrival order) and fanned out across a
+      {!Util.Pool} when one is configured, so concurrent sessions
+      share the persistent domains;
+    + {e late} — [snapshot], [close], [shutdown].
+
+    Replies are always written in per-connection arrival order, so a
+    client that waits for each reply observes strictly sequential
+    semantics.  Sessions belong to the daemon, not to a connection: a
+    dropped connection leaves its sessions intact for a later
+    [create-session] re-attach.
+
+    Persistence: with a checkpoint path configured, the whole session
+    table (specs, decision histories, streaming states) is written
+    through {!Util.Snapshot} (kind [server-sessions]) every
+    [checkpoint_every] stepped slots and once more on graceful
+    shutdown; [create ~resume] reloads it, and every restored session
+    continues decision-for-decision identically.
+
+    Fault sites ({!Util.Faultinj}): [server.accept] (the incoming
+    connection is accepted and immediately closed), [server.read] (the
+    connection is dropped; its sessions survive), [server.step] (the
+    faulted session's frames in that round are answered with an
+    [injected] error before any state changes, so the client can
+    simply re-send).  All three degrade the one connection or round —
+    the daemon never dies.
+
+    Telemetry ({!Obs.Counter}, [server.] prefix): [server.accepts],
+    [server.requests], [server.decisions], [server.batches],
+    [server.batch_size] (summed stepped-session count per round —
+    divide by [server.batches] for the mean), [server.faults],
+    [server.disconnects], [server.checkpoints], and on graceful stop
+    [server.latency_p50_us] / [server.latency_p99_us] so the CLI's
+    [--metrics] export carries the latency distribution.  Each step
+    phase runs inside a [server.batch] span. *)
+
+type config = {
+  unix_path : string option;   (** Unix-domain socket path *)
+  tcp_port : int option;       (** TCP port, bound to 127.0.0.1 *)
+  pool : Util.Pool.t option;   (** fan step batches out across domains *)
+  checkpoint : string option;
+  checkpoint_every : int;      (** stepped slots between checkpoints *)
+  max_frame_bytes : int;
+  max_sessions : int;
+  crash_after_slots : int option;
+      (** testing hook: [exit 3] mid-loop (no final checkpoint — the
+          deterministic stand-in for [kill -9]) once this many slots
+          have been stepped *)
+}
+
+val default_config : config
+(** No listeners, no pool, no checkpointing, [checkpoint_every = 64],
+    [max_frame_bytes = Codec.default_max_frame_bytes],
+    [max_sessions = 1024]. *)
+
+type t
+
+val create : ?resume:string -> config -> (t, string) result
+(** Bind the configured listeners (at least one of [unix_path] /
+    [tcp_port] is required; an existing socket file is replaced) and,
+    with [resume], reload a [server-sessions] checkpoint. *)
+
+val run : t -> unit
+(** The blocking serve loop; returns after {!request_stop} (or a
+    [shutdown] request), having written a final checkpoint, closed
+    every socket and removed the Unix socket file. *)
+
+val request_stop : t -> unit
+(** Signal- and thread-safe: the loop exits within its select timeout. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Execute one request synchronously against the session table,
+    bypassing the sockets and the hello gate — the unit-test and
+    bench entry point.  Semantically identical to sending the request
+    on an otherwise idle connection. *)
+
+val session_count : t -> int
+val stepped_slots : t -> int
+
+val stats : t -> Protocol.stats
+
+val checkpoint_now : t -> (unit, string) result
+(** Write the session-table checkpoint immediately (requires a
+    configured checkpoint path). *)

@@ -1,0 +1,369 @@
+module P = Protocol
+
+type target = Unix_path of string | Tcp of int
+
+type config = {
+  target : target;
+  connections : int;
+  sessions_per_conn : int;
+  slots : int;
+  batch : int;
+  scenario : string;
+  max_horizon : int option;
+  seed : int;
+  prefix : string;
+  out : string option;
+  verify : bool;
+  oracle_only : bool;
+  tolerate_disconnect : bool;
+  close_sessions : bool;
+}
+
+let default_config =
+  { target = Unix_path "rightsizer.sock";
+    connections = 1;
+    sessions_per_conn = 1;
+    slots = 64;
+    batch = 8;
+    scenario = "cpu-gpu";
+    max_horizon = None;
+    seed = 1;
+    prefix = "lg";
+    out = None;
+    verify = false;
+    oracle_only = false;
+    tolerate_disconnect = false;
+    close_sessions = false }
+
+type report = {
+  decisions : int;
+  resumed : int;
+  errors : int;
+  verify_failures : int;
+  failed_connections : int;
+  wall_s : float;
+  throughput : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let session_id cfg i = Printf.sprintf "%s-%04d" cfg.prefix i
+
+(* A noisy diurnal trace pinned well inside the scenario's capacity, so
+   every slot is feasible; deterministic in (seed, session_index). *)
+let loads_for cfg ~session_index =
+  match Sim.Scenarios.by_name cfg.scenario with
+  | None -> invalid_arg ("Loadgen.loads_for: unknown scenario " ^ cfg.scenario)
+  | Some mk ->
+      let inst = mk None in
+      let cap = Model.Instance.capacity_at inst ~time:0 in
+      let rng = Util.Prng.create ((cfg.seed * 1_000_003) + session_index) in
+      Sim.Workload.diurnal ~noise:0.05 ~rng ~horizon:cfg.slots ~period:24
+        ~base:(0.1 *. cap) ~peak:(0.6 *. cap) ()
+      |> Sim.Workload.clamp ~lo:0. ~hi:(0.9 *. cap)
+
+(* The sequential oracle: the exact Session the daemon runs, fed the
+   exact trace the generator sends. *)
+let oracle cfg =
+  let n = cfg.connections * cfg.sessions_per_conn in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let id = session_id cfg i in
+      match
+        Session.create ~id
+          { Session.scenario = cfg.scenario; max_horizon = cfg.max_horizon }
+      with
+      | Error (_, msg) -> Error (id ^ ": " ^ msg)
+      | Ok s -> (
+          match Session.feed s ~seq:0 (loads_for cfg ~session_index:i) with
+          | Error (_, msg) -> Error (id ^ ": " ^ msg)
+          | Ok configs -> go (i + 1) ((id, configs) :: acc))
+  in
+  go 0 []
+
+(* --- client plumbing ------------------------------------------------ *)
+
+exception Client_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Client_error m)) fmt
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect = function
+  | Unix_path p ->
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      (try Unix.connect fd (ADDR_UNIX p)
+       with e ->
+         close_quietly fd;
+         raise e);
+      fd
+  | Tcp port ->
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.setsockopt fd TCP_NODELAY true
+       with e ->
+         close_quietly fd;
+         raise e);
+      fd
+
+let send fd req =
+  let s = Codec.encode (P.request_to_sexp req) in
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | n -> go (off + n)
+  in
+  go 0
+
+let recv dec fd buf =
+  let rec loop () =
+    match Codec.next dec with
+    | Error m -> fail "bad frame from server: %s" m
+    | Ok (Some sexp) -> (
+        match P.response_of_sexp sexp with
+        | Ok r -> r
+        | Error m -> fail "bad response from server: %s" m)
+    | Ok None ->
+        (match Unix.read fd buf 0 (Bytes.length buf) with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | 0 -> fail "server closed the connection"
+        | n -> Codec.feed dec buf n);
+        loop ()
+  in
+  loop ()
+
+type conn_out = {
+  mutable ok : bool;
+  mutable fail_msg : string;
+  mutable rows : int;
+  mutable resumed : int;
+  mutable errs : int;
+  mutable lats_ms : float list;
+  mutable partial : (string array * Model.Config.t array array) option;
+      (* per session: per-slot decisions, [||] = not (yet) decided *)
+}
+
+let conn_main cfg out ci () =
+  let buf = Bytes.create 65536 in
+  try
+    let fd = connect cfg.target in
+    Fun.protect
+      ~finally:(fun () -> close_quietly fd)
+      (fun () ->
+        let dec = Codec.decoder () in
+        send fd (P.Hello { version = P.version });
+        (match recv dec fd buf with
+        | P.Welcome _ -> ()
+        | P.Error { msg; _ } -> fail "hello: %s" msg
+        | _ -> fail "unexpected hello reply");
+        let nloc = cfg.sessions_per_conn in
+        let gidx k = (ci * nloc) + k in
+        let ids = Array.init nloc (fun k -> session_id cfg (gidx k)) in
+        let loads =
+          Array.init nloc (fun k -> loads_for cfg ~session_index:(gidx k))
+        in
+        let decided = Array.init nloc (fun _ -> Array.make cfg.slots [||]) in
+        out.partial <- Some (ids, decided);
+        let seqs = Array.make nloc 0 in
+        Array.iter
+          (fun id ->
+            send fd
+              (P.Create_session
+                 { id; scenario = cfg.scenario; max_horizon = cfg.max_horizon });
+            match recv dec fd buf with
+            | P.Session { fed; _ } -> out.resumed <- out.resumed + min fed cfg.slots
+            | P.Error { msg; _ } -> fail "create-session %s: %s" id msg
+            | _ -> fail "unexpected create-session reply")
+          ids;
+        while Array.exists (fun s -> s < cfg.slots) seqs do
+          (* one in-flight frame per unfinished session, pipelined *)
+          let sent = ref [] in
+          for k = 0 to nloc - 1 do
+            if seqs.(k) < cfg.slots then begin
+              let n = min cfg.batch (cfg.slots - seqs.(k)) in
+              send fd
+                (P.Feed
+                   { id = ids.(k);
+                     seq = seqs.(k);
+                     loads = Array.sub loads.(k) seqs.(k) n });
+              sent := (k, seqs.(k), n, Obs.Span.now_us ()) :: !sent
+            end
+          done;
+          List.iter
+            (fun (k, seq, n, t0) ->
+              match recv dec fd buf with
+              | P.Decisions { seq = rseq; configs; _ } ->
+                  if rseq <> seq || Array.length configs <> n then
+                    fail "misaligned decisions for %s (seq %d)" ids.(k) seq;
+                  Array.iteri (fun i x -> decided.(k).(seq + i) <- x) configs;
+                  seqs.(k) <- seq + n;
+                  out.rows <- out.rows + n;
+                  out.lats_ms <- ((Obs.Span.now_us () -. t0) /. 1000.) :: out.lats_ms
+              | P.Error { code = P.Injected; _ } ->
+                  (* frame not advanced: re-sent on the next round *)
+                  out.errs <- out.errs + 1;
+                  if out.errs > 10_000 then fail "giving up after %d injected faults" out.errs
+              | P.Error { code; msg; _ } ->
+                  fail "feed %s: %s (%s)" ids.(k) msg (P.error_code_to_string code)
+              | _ -> fail "unexpected feed reply")
+            (List.rev !sent)
+        done;
+        if cfg.close_sessions then
+          Array.iter
+            (fun id ->
+              send fd (P.Close { id });
+              ignore (recv dec fd buf))
+            ids;
+        out.ok <- true)
+  with
+  | Client_error m ->
+      out.ok <- false;
+      out.fail_msg <- m
+  | Unix.Unix_error (e, fn, _) ->
+      out.ok <- false;
+      out.fail_msg <- fn ^ ": " ^ Unix.error_message e
+
+(* --- aggregation ---------------------------------------------------- *)
+
+(* Trim a per-slot decision array to its decided prefix. *)
+let decided_prefix rows =
+  let n = Array.length rows in
+  let rec len i = if i < n && Array.length rows.(i) > 0 then len (i + 1) else i in
+  Array.sub rows 0 (len 0)
+
+let collect_sessions outs =
+  let acc = ref [] in
+  Array.iter
+    (fun o ->
+      match o.partial with
+      | None -> ()
+      | Some (ids, decided) ->
+          Array.iteri
+            (fun k id -> acc := (id, decided_prefix decided.(k)) :: !acc)
+            ids)
+    outs;
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
+
+let decisions_to_channel oc sessions =
+  List.iter
+    (fun (id, rows) ->
+      Array.iteri
+        (fun slot (x : Model.Config.t) ->
+          output_string oc id;
+          output_char oc ' ';
+          output_string oc (string_of_int slot);
+          output_char oc ' ';
+          Array.iteri
+            (fun j v ->
+              if j > 0 then output_char oc ',';
+              output_string oc (string_of_int v))
+            x;
+          output_char oc '\n')
+        rows)
+    sessions
+
+let write_out path sessions =
+  Out_channel.with_open_bin path (fun oc -> decisions_to_channel oc sessions)
+
+let count_verify_failures cfg ~oracle_sessions ~got =
+  List.fold_left
+    (fun bad (id, rows) ->
+      match List.assoc_opt id oracle_sessions with
+      | None -> bad + 1
+      | Some want ->
+          let complete = Array.length rows = cfg.slots in
+          let agree =
+            Array.length want >= Array.length rows
+            && Array.for_all2
+                 (fun a b -> a = b)
+                 rows
+                 (Array.sub want 0 (Array.length rows))
+          in
+          if complete && agree then bad else bad + 1)
+    0 got
+
+let quantile_ms lats q =
+  match lats with
+  | [] -> 0.
+  | _ -> Util.Stats.quantile (Array.of_list lats) q
+
+let report_to_string r =
+  String.concat "\n"
+    [ Printf.sprintf "decisions   %d (%d replayed from history)" r.decisions r.resumed;
+      Printf.sprintf "wall        %.3f s" r.wall_s;
+      Printf.sprintf "throughput  %.0f decisions/s" r.throughput;
+      Printf.sprintf "latency     p50 %.3f ms, p99 %.3f ms (per frame)" r.p50_ms r.p99_ms;
+      Printf.sprintf "errors      %d injected, %d failed connections, %d verify failures"
+        r.errors r.failed_connections r.verify_failures ]
+
+let ( let* ) = Result.bind
+
+let validate cfg =
+  if cfg.connections < 1 then Error "loadgen: connections must be >= 1"
+  else if cfg.sessions_per_conn < 1 then Error "loadgen: sessions-per-conn must be >= 1"
+  else if cfg.slots < 1 then Error "loadgen: slots must be >= 1"
+  else if cfg.batch < 1 then Error "loadgen: batch must be >= 1"
+  else if Sim.Scenarios.by_name cfg.scenario = None then
+    Error ("loadgen: unknown scenario " ^ cfg.scenario)
+  else Ok ()
+
+let run cfg =
+  let* () = validate cfg in
+  let* oracle_sessions =
+    if cfg.verify || cfg.oracle_only then
+      Result.map_error (fun m -> "loadgen: oracle: " ^ m) (oracle cfg)
+    else Ok []
+  in
+  if cfg.oracle_only then begin
+    (match cfg.out with
+    | Some path -> write_out path oracle_sessions
+    | None -> ());
+    let rows = List.fold_left (fun a (_, r) -> a + Array.length r) 0 oracle_sessions in
+    Ok
+      { decisions = rows; resumed = 0; errors = 0; verify_failures = 0;
+        failed_connections = 0; wall_s = 0.; throughput = 0.; p50_ms = 0.;
+        p99_ms = 0. }
+  end
+  else begin
+    let outs =
+      Array.init cfg.connections (fun _ ->
+          { ok = false; fail_msg = ""; rows = 0; resumed = 0; errs = 0;
+            lats_ms = []; partial = None })
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      Array.mapi (fun ci out -> Thread.create (conn_main cfg out ci) ()) outs
+    in
+    Array.iter Thread.join threads;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let failed = Array.fold_left (fun a o -> if o.ok then a else a + 1) 0 outs in
+    if failed > 0 && not cfg.tolerate_disconnect then
+      let msg =
+        Array.fold_left
+          (fun acc o -> if acc = "" && not o.ok then o.fail_msg else acc)
+          "" outs
+      in
+      Error ("loadgen: " ^ msg)
+    else begin
+      let got = collect_sessions outs in
+      (match cfg.out with Some path -> write_out path got | None -> ());
+      let verify_failures =
+        if cfg.verify then count_verify_failures cfg ~oracle_sessions ~got else 0
+      in
+      let decisions = Array.fold_left (fun a o -> a + o.rows) 0 outs in
+      let lats = Array.fold_left (fun a o -> List.rev_append o.lats_ms a) [] outs in
+      Ok
+        { decisions;
+          resumed = Array.fold_left (fun a o -> a + o.resumed) 0 outs;
+          errors = Array.fold_left (fun a o -> a + o.errs) 0 outs;
+          verify_failures;
+          failed_connections = failed;
+          wall_s;
+          throughput = (if wall_s > 0. then float_of_int decisions /. wall_s else 0.);
+          p50_ms = quantile_ms lats 0.5;
+          p99_ms = quantile_ms lats 0.99 }
+    end
+  end

@@ -1,0 +1,70 @@
+(** Load-generator harness for the serving daemon.
+
+    Opens [connections] client connections (one thread each), creates
+    [sessions_per_conn] sessions per connection and feeds every session
+    a deterministic {!Sim.Workload} trace — a noisy diurnal curve scaled
+    into the scenario's capacity, seeded per session from [seed] — in
+    [batch]-slot [feed] frames, round-robin across the connection's
+    sessions with one in-flight frame per session (so an 8-connection
+    run keeps up to 8 sessions stepping in each daemon round).
+
+    The same trace generator drives an in-process {e oracle}: the exact
+    sequential {!Session} the daemon would run.  [verify] compares every
+    received decision against it; [oracle_only] skips the sockets and
+    writes the oracle's decisions in the same [out] format, which is how
+    the end-to-end test diffs a kill-9-and-resume run against an
+    uninterrupted reference.
+
+    Because feeding is idempotent, a run against a resumed daemon simply
+    re-feeds from slot 0: already-processed slots come back from the
+    decision history ([resumed] counts them), new slots step live, and
+    the [out] file is complete either way. *)
+
+type target = Unix_path of string | Tcp of int  (** TCP is loopback *)
+
+type config = {
+  target : target;
+  connections : int;
+  sessions_per_conn : int;
+  slots : int;             (** slots fed per session *)
+  batch : int;             (** slots per [feed] frame *)
+  scenario : string;
+  max_horizon : int option;
+  seed : int;
+  prefix : string;         (** session ids are [<prefix>-<index>] *)
+  out : string option;     (** decision dump: lines [<id> <slot> <n,n,...>] *)
+  verify : bool;
+  oracle_only : bool;
+  tolerate_disconnect : bool;
+      (** report a dropped daemon instead of failing the run — the
+          kill-9 half of the end-to-end test *)
+  close_sessions : bool;   (** send [close] for every session at the end *)
+}
+
+val default_config : config
+(** One connection, one session, 64 slots, batch 8, scenario [cpu-gpu],
+    seed 1, prefix [lg], everything else off; [target] is
+    [Unix_path "rightsizer.sock"]. *)
+
+type report = {
+  decisions : int;          (** decision rows received (incl. replayed) *)
+  resumed : int;            (** slots already processed at attach time *)
+  errors : int;             (** injected-fault retries *)
+  verify_failures : int;    (** sessions disagreeing with the oracle *)
+  failed_connections : int;
+  wall_s : float;
+  throughput : float;       (** decision rows per second *)
+  p50_ms : float;           (** per-frame round-trip latency *)
+  p99_ms : float;
+}
+
+val run : config -> (report, string) result
+(** Execute the configured run.  [Error] on misconfiguration, an oracle
+    failure, or (unless [tolerate_disconnect]) a connection failure. *)
+
+val loads_for : config -> session_index:int -> float array
+(** The deterministic trace session [session_index] feeds — exposed so
+    tests can replay exactly what the generator sent. *)
+
+val report_to_string : report -> string
+(** Multi-line human summary for the CLI. *)

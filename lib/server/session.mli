@@ -1,0 +1,61 @@
+(** One served right-sizing session: a named {!Online.Streaming}
+    instance plus its decision history.
+
+    A session is created from a {e scenario spec} — the name of a
+    built-in {!Sim.Scenarios} entry (the scenario supplies the server
+    types and cost functions; its loads are ignored, the client streams
+    its own) and an optional hard cap on the number of slots.  The
+    scenario's time-independence picks the algorithm: A for
+    time-independent costs, B otherwise — exactly the choice
+    {!Online.Streaming} offers.
+
+    The decision history makes feeding {e idempotent}: every decision
+    ever returned is kept, so a client that re-delivers slots it
+    already fed (after a crash on either side) gets the stored
+    configurations back, bit-identical, without re-stepping.
+
+    Sessions serialise through {!save}/{!of_sexp} — spec, history and
+    the complete streaming state — which is what the daemon's
+    [server-sessions] checkpoint aggregates. *)
+
+type spec = {
+  scenario : string;
+  max_horizon : int option;
+}
+
+type t
+
+val create : id:string -> spec -> (t, Protocol.error_code * string) result
+(** Build a fresh session (0 slots fed).  Fails with
+    [Unknown_scenario] when the spec names no registry entry. *)
+
+val id : t -> string
+val spec : t -> spec
+val alg : t -> string
+(** ["a"] or ["b"]. *)
+
+val num_types : t -> int
+val fed : t -> int
+
+val feed :
+  t -> seq:int -> float array -> (Model.Config.t array, Protocol.error_code * string) result
+(** Process the loads for slots [seq, seq + n).  Slots below {!fed} are
+    answered from the history ({e after} checking that the stored
+    volume matches within nothing — the history answers regardless; a
+    client that re-feeds different volumes for old slots gets the
+    original decisions); slots at and past {!fed} are stepped.  [seq]
+    beyond {!fed} is a gap and fails with [Bad_seq].  On a typed
+    streaming error the session survives, the slots before the error
+    remain processed, and the error carries {!fed} via the daemon's
+    reply. *)
+
+val decisions_from : t -> from_:int -> Model.Config.t array
+(** The stored decisions for slots [from_, fed) (fresh arrays). *)
+
+val save : t -> Util.Sexp.t
+(** [(session (id ..) (scenario ..) (max-horizon ..)? (history ..) (state ..))] *)
+
+val of_sexp : Util.Sexp.t -> (t, string) result
+(** Rebuild a {!save}d session: create from the spec, restore the
+    streaming state, reload the history.  The result continues
+    decision-for-decision identically to the saved one. *)

@@ -227,3 +227,18 @@ let maintenance ?(horizon = 30) () =
     Workload.diurnal ~horizon ~period:15 ~base:1. ~peak:6. ()
   in
   Model.Instance.make_static ~avail ~types ~load ~fns ()
+
+(* Name registry: the single source of truth for "scenario by name",
+   shared by the CLI's --scenario flag and the serving daemon's
+   create-session requests (the two must agree or a served session
+   could not be checked against a local oracle). *)
+let named =
+  [ ("cpu-gpu", fun horizon -> cpu_gpu ?horizon ());
+    ("homogeneous", fun horizon -> homogeneous ?horizon ());
+    ("three-tier", fun horizon -> three_tier ?horizon ());
+    ("large-fleet", fun horizon -> large_fleet ?horizon ());
+    ("time-varying", fun horizon -> time_varying_costs ?horizon ());
+    ("maintenance", fun horizon -> maintenance ?horizon ()) ]
+
+let names = List.map fst named
+let by_name name = List.assoc_opt name named

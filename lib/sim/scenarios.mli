@@ -67,3 +67,12 @@ val geo_shift : ?horizon:int -> ?seed:int -> unit -> Model.Instance.t
 val maintenance : ?horizon:int -> unit -> Model.Instance.t
 (** Time-varying data-center size (Section 4.3): one type partially
     unavailable mid-horizon, another expanding late. *)
+
+val named : (string * (int option -> Model.Instance.t)) list
+(** The scenarios addressable by name — the CLI's [--scenario] values
+    and the serving daemon's [create-session] scenario names.  Each
+    entry takes an optional horizon override. *)
+
+val names : string list
+
+val by_name : string -> (int option -> Model.Instance.t) option

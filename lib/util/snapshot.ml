@@ -8,6 +8,7 @@ type error =
   | Unknown_version of int
   | Wrong_kind of { expected : string; actual : string }
   | Bad_checksum of { expected : string; actual : string }
+  | Too_large of { limit : int; actual : int }
 
 let error_to_string = function
   | Io_error m -> "I/O error: " ^ m
@@ -19,6 +20,13 @@ let error_to_string = function
   | Bad_checksum { expected; actual } ->
       Printf.sprintf "checksum mismatch (stored %s, computed %s): torn or corrupted write"
         expected actual
+  | Too_large { limit; actual } ->
+      Printf.sprintf "snapshot is %d bytes, above the %d-byte read guard" actual limit
+
+(* Generous enough for any checkpoint this repo writes (the biggest —
+   a large-fleet DP frontier — is a few MB), small enough that a
+   corrupt or hostile file cannot make [load] allocate without bound. *)
+let default_max_bytes = 1 lsl 30
 
 let c_saves = Obs.Counter.make "snapshot.saves"
 let c_loads = Obs.Counter.make "snapshot.loads"
@@ -167,7 +175,18 @@ let save ~path ~kind payload =
           Ok ()
       | exception Sys_error m -> Error (Io_error m))
 
-let load ?kind ~path () =
-  match In_channel.with_open_bin path In_channel.input_all with
+let load ?kind ?(max_bytes = default_max_bytes) ~path () =
+  (* Size guard before the allocation: the length comes from the file
+     system, not from any length field inside the (possibly corrupt or
+     hostile) file, so an oversized snapshot is rejected without ever
+     buffering it. *)
+  match
+    In_channel.with_open_bin path (fun ic ->
+        let len = In_channel.length ic in
+        if Int64.compare len (Int64.of_int max_bytes) > 0 then
+          reject (Too_large { limit = max_bytes; actual = Int64.to_int len })
+        else Ok (In_channel.input_all ic))
+  with
   | exception Sys_error m -> Error (Io_error m)
-  | text -> parse ?kind text
+  | Error _ as e -> e
+  | Ok text -> parse ?kind text

@@ -37,8 +37,15 @@ type error =
   | Wrong_kind of { expected : string; actual : string }
   | Bad_checksum of { expected : string; actual : string }
       (** torn/corrupted payload; [expected] is the stored digest *)
+  | Too_large of { limit : int; actual : int }
+      (** the file exceeds {!load}'s [max_bytes] read guard *)
 
 val error_to_string : error -> string
+
+val default_max_bytes : int
+(** Default read guard for {!load} (1 GiB): far above any checkpoint
+    this repo writes, but a hard ceiling so a corrupt or malicious
+    snapshot cannot trigger an unbounded allocation. *)
 
 val float_atom : float -> Sexp.t
 (** Bit-exact float encoding ([%h]; [infinity] and [nan] spelled out). *)
@@ -70,4 +77,9 @@ val save : path:string -> kind:string -> Sexp.t -> (unit, error) result
     when the [snapshot.write] fault site is armed — after leaving a
     deliberately torn file at [path]. *)
 
-val load : ?kind:string -> path:string -> unit -> (Sexp.t, error) result
+val load :
+  ?kind:string -> ?max_bytes:int -> path:string -> unit -> (Sexp.t, error) result
+(** Read and {!parse} a snapshot file.  The file's size (as reported by
+    the file system, before any read) must not exceed [max_bytes]
+    (default {!default_max_bytes}); an oversized file is rejected with
+    {!Too_large} without being buffered. *)

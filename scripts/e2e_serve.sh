@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# End-to-end serving crash/resume check through the real CLI binary.
+#
+# Phase 1 (happy path): start the daemon on a Unix socket, drive it with
+# the load generator over 8 concurrent connections with --verify (every
+# decision checked against the in-process sequential oracle), and stop
+# the daemon gracefully.
+#
+# Phase 2 (kill -9): restart the daemon with periodic checkpointing and
+# a deterministic mid-run crash (--crash-after, the stand-in for kill -9
+# that still leaves only *periodic* checkpoints behind — no shutdown
+# checkpoint is written), run the generator expecting the disconnect,
+# then resume the daemon from the last checkpoint and re-run the same
+# generator.  Because feeding is idempotent, the second run re-feeds
+# from slot 0: checkpointed slots are answered from the decision
+# history, the rest step live.  The resulting decision dump must be
+# byte-identical to the sequential oracle's.
+#
+# On failure, logs and checkpoints are copied to ARTIFACT_DIR when set
+# (the CI job uploads them).  See docs/serving.md.
+#
+# Usage: scripts/e2e_serve.sh [path-to-rightsizer-binary]
+
+set -u
+
+BIN=${1:-_build/default/bin/rightsizer.exe}
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [ ! -x "$BIN" ]; then
+  echo "e2e_serve: binary not found at $BIN (run 'dune build' first)" >&2
+  exit 2
+fi
+
+SOCK="$WORK/d.sock"
+CK="$WORK/sessions.snap"
+CONNS=8
+SESSIONS=2          # per connection -> 16 sessions total
+SLOTS=120
+BATCH=4
+LOADGEN=(--unix "$SOCK" -c "$CONNS" --sessions "$SESSIONS" \
+         --slots "$SLOTS" --batch "$BATCH" --scenario cpu-gpu --seed 7)
+
+fail() {
+  echo "FAIL e2e_serve: $*" >&2
+  if [ -n "${ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp "$WORK"/*.log "$WORK"/*.txt "$WORK"/*.snap "$ARTIFACT_DIR"/ 2>/dev/null
+  fi
+  exit 1
+}
+
+# Wait for the daemon to bind its socket (it prints "listening" first,
+# but the socket file is the reliable signal).
+wait_sock() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.05
+  done
+  fail "daemon did not bind $SOCK (log: $(cat "$WORK"/serve*.log 2>/dev/null))"
+}
+
+# --- phase 1: verified happy path over 8 connections ------------------
+
+"$BIN" serve --unix "$SOCK" > "$WORK/serve1.log" 2>&1 &
+SERVE_PID=$!
+wait_sock
+
+"$BIN" loadgen "${LOADGEN[@]}" --verify --close --out "$WORK/happy.txt" \
+  > "$WORK/lg1.log" 2>&1 \
+  || fail "verified loadgen run errored: $(tail -2 "$WORK/lg1.log")"
+grep -q "0 verify failures" "$WORK/lg1.log" || fail "verify failures reported"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
+echo "OK   serve: $((CONNS * SESSIONS * SLOTS)) verified decisions over $CONNS connections"
+echo "     $(grep throughput "$WORK/lg1.log")"
+
+# --- phase 2: crash mid-run, resume, compare against the oracle -------
+
+CRASH_AT=$((CONNS * SESSIONS * SLOTS / 3))
+"$BIN" serve --unix "$SOCK" --checkpoint "$CK" --checkpoint-every 20 \
+  --crash-after "$CRASH_AT" > "$WORK/serve2.log" 2>&1 &
+SERVE_PID=$!
+wait_sock
+
+"$BIN" loadgen "${LOADGEN[@]}" --tolerate-disconnect --out "$WORK/run1.txt" \
+  > "$WORK/lg2.log" 2>&1 \
+  || fail "crash-phase loadgen errored: $(tail -2 "$WORK/lg2.log")"
+wait "$SERVE_PID" 2>/dev/null
+STATUS=$?
+SERVE_PID=""
+[ "$STATUS" -eq 3 ] || fail "expected simulated crash (exit 3), got exit $STATUS"
+[ -f "$CK" ] || fail "crash left no checkpoint at $CK"
+
+"$BIN" serve --unix "$SOCK" --checkpoint "$CK" --checkpoint-every 20 \
+  --resume "$CK" > "$WORK/serve3.log" 2>&1 &
+SERVE_PID=$!
+wait_sock
+
+"$BIN" loadgen "${LOADGEN[@]}" --verify --out "$WORK/resumed.txt" \
+  > "$WORK/lg3.log" 2>&1 \
+  || fail "post-resume loadgen errored: $(tail -2 "$WORK/lg3.log")"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
+
+"$BIN" loadgen "${LOADGEN[@]}" --oracle-only --out "$WORK/oracle.txt" \
+  > /dev/null 2>&1 || fail "oracle run errored"
+
+diff -q "$WORK/resumed.txt" "$WORK/oracle.txt" > /dev/null \
+  || fail "resumed decisions differ from the sequential oracle"
+diff -q "$WORK/resumed.txt" "$WORK/happy.txt" > /dev/null \
+  || fail "resumed decisions differ from the uninterrupted run"
+
+REPLAYED=$(grep -o 'decisions *[0-9]* (\([0-9]*\) replayed' "$WORK/lg3.log" \
+  | grep -o '([0-9]*' | tr -d '(')
+echo "OK   crash/resume: killed at $CRASH_AT slots, resumed run bit-identical"
+echo "     to oracle and uninterrupted run (${REPLAYED:-?} slots replayed from history)"
+exit 0

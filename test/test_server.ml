@@ -1,0 +1,487 @@
+(* Serving subsystem tests: wire codec framing and round-trips, the
+   protocol vocabulary, session idempotence, the daemon's request
+   semantics and fault degradation, and crash/resume bit-identity with
+   several concurrent sessions.
+
+   Wire values are generated from an integer seed (the [test_props.ml]
+   convention) so qcheck shrinking walks over seeds and every failure
+   replays. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let st = Model.Server_type.make
+
+module P = Server.Protocol
+module Codec = Server.Codec
+module Session = Server.Session
+module Daemon = Server.Daemon
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let mk_prop ?(count = 100) ~name prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count seed_gen prop)
+
+(* --- generated wire values ------------------------------------------ *)
+
+let gen_string rng =
+  let n = Util.Prng.int rng 12 in
+  String.init n (fun _ -> Char.chr (Util.Prng.int rng 256))
+
+let gen_id rng =
+  let alphabet = "abcXYZ019_.:-" in
+  let n = 1 + Util.Prng.int rng 16 in
+  String.init n (fun _ -> alphabet.[Util.Prng.int rng (String.length alphabet)])
+
+let gen_float rng =
+  match Util.Prng.int rng 6 with
+  | 0 -> 0.
+  | 1 -> -0.
+  | 2 -> 1e-300
+  | 3 -> Float.pi *. 1e10
+  | 4 -> Util.Prng.float rng 1e6
+  | _ -> -.Util.Prng.float rng 1.
+
+let gen_floats rng =
+  Array.init (Util.Prng.int rng 8) (fun _ -> gen_float rng)
+
+let gen_config rng =
+  Array.init (1 + Util.Prng.int rng 4) (fun _ -> Util.Prng.int rng 50)
+
+let gen_request rng : P.request =
+  match Util.Prng.int rng 7 with
+  | 0 -> P.Hello { version = Util.Prng.int rng 10 }
+  | 1 ->
+      P.Create_session
+        { id = gen_id rng;
+          scenario = gen_string rng;
+          max_horizon = (if Util.Prng.bool rng then Some (Util.Prng.int rng 100) else None) }
+  | 2 -> P.Feed { id = gen_id rng; seq = Util.Prng.int rng 1000; loads = gen_floats rng }
+  | 3 -> P.Query_snapshot { id = gen_id rng }
+  | 4 -> P.Stats
+  | 5 -> P.Close { id = gen_id rng }
+  | _ -> P.Shutdown
+
+let gen_error_code rng =
+  let all =
+    [| P.Bad_request; P.Unsupported_version; P.Unknown_scenario; P.Unknown_session;
+       P.Session_exists; P.Too_many_sessions; P.Bad_seq; P.Bad_volume;
+       P.Over_capacity; P.Horizon_exhausted; P.Injected; P.Internal |]
+  in
+  Util.Prng.pick rng all
+
+let gen_response rng : P.response =
+  match Util.Prng.int rng 8 with
+  | 0 -> P.Welcome { version = Util.Prng.int rng 10 }
+  | 1 ->
+      P.Session
+        { id = gen_id rng; alg = (if Util.Prng.bool rng then "a" else "b");
+          types = 1 + Util.Prng.int rng 5; fed = Util.Prng.int rng 100 }
+  | 2 ->
+      P.Decisions
+        { id = gen_id rng; seq = Util.Prng.int rng 1000;
+          configs = Array.init (Util.Prng.int rng 5) (fun _ -> gen_config rng) }
+  | 3 ->
+      P.Snapshot_state
+        { id = gen_id rng;
+          state =
+            Util.Sexp.List
+              [ Util.Sexp.Atom "state"; Util.Sexp.Atom (string_of_int (Util.Prng.int rng 99)) ] }
+  | 4 ->
+      P.Stats_reply
+        { accepts = Util.Prng.int rng 100; sessions = Util.Prng.int rng 100;
+          requests = Util.Prng.int rng 1000; decisions = Util.Prng.int rng 1000;
+          batches = Util.Prng.int rng 100; p50_us = gen_float rng; p99_us = gen_float rng }
+  | 5 -> P.Closed { id = gen_id rng }
+  | 6 -> P.Bye
+  | _ -> P.Error { code = gen_error_code rng; msg = gen_string rng;
+                   fed = (if Util.Prng.bool rng then Some (Util.Prng.int rng 100) else None) }
+
+(* Feed a frame to a decoder in random-sized chunks. *)
+let feed_chunked rng dec s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let k = 1 + Util.Prng.int rng (n - !i) in
+    Codec.feed_string dec (String.sub s !i k);
+    i := !i + k
+  done
+
+(* --- properties ----------------------------------------------------- *)
+
+let prop_quote_roundtrip seed =
+  let rng = Util.Prng.create seed in
+  let n = Util.Prng.int rng 32 in
+  let s = String.init n (fun _ -> Char.chr (Util.Prng.int rng 256)) in
+  P.unquote (P.quote s) = s
+
+let prop_request_roundtrip seed =
+  let rng = Util.Prng.create seed in
+  let req = gen_request rng in
+  let dec = Codec.decoder () in
+  feed_chunked rng dec (Codec.encode (P.request_to_sexp req));
+  match Codec.next dec with
+  | Ok (Some sexp) -> P.request_of_sexp sexp = Ok req && Codec.next dec = Ok None
+  | Ok None | Error _ -> false
+
+let prop_response_roundtrip seed =
+  let rng = Util.Prng.create seed in
+  let resp = gen_response rng in
+  let dec = Codec.decoder () in
+  feed_chunked rng dec (Codec.encode (P.response_to_sexp resp));
+  match Codec.next dec with
+  | Ok (Some sexp) -> P.response_of_sexp sexp = Ok resp && Codec.next dec = Ok None
+  | Ok None | Error _ -> false
+
+let prop_pipelined_frames seed =
+  let rng = Util.Prng.create seed in
+  let reqs = List.init (1 + Util.Prng.int rng 10) (fun _ -> gen_request rng) in
+  let wire =
+    String.concat "" (List.map (fun r -> Codec.encode (P.request_to_sexp r)) reqs)
+  in
+  let dec = Codec.decoder () in
+  feed_chunked rng dec wire;
+  let rec pull acc =
+    match Codec.next dec with
+    | Ok (Some sexp) -> (
+        match P.request_of_sexp sexp with
+        | Ok r -> pull (r :: acc)
+        | Error _ -> None)
+    | Ok None -> Some (List.rev acc)
+    | Error _ -> None
+  in
+  pull [] = Some reqs
+
+(* --- codec defensiveness -------------------------------------------- *)
+
+let test_codec_rejects_oversized () =
+  let dec = Codec.decoder ~max_frame_bytes:64 () in
+  (* The declared length alone must poison the stream — before any
+     payload arrives, so the guard fires before allocation. *)
+  Codec.feed_string dec "999999 ";
+  (match Codec.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  (* poisoned: even a now-valid frame is rejected *)
+  Codec.feed_string dec "5 (hi)\n";
+  checkb "stays poisoned" true (Result.is_error (Codec.next dec))
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun garbage ->
+      let dec = Codec.decoder () in
+      Codec.feed_string dec garbage;
+      checkb (Printf.sprintf "rejects %S" garbage) true
+        (Result.is_error (Codec.next dec)))
+    [ "nonsense (hi)\n"; "-5 x\n"; "12345678901234 (hi)\n"; "4 (hi)X"; "2 ))\n" ]
+
+let test_codec_incomplete_is_not_error () =
+  let dec = Codec.decoder () in
+  Codec.feed_string dec "9 (hel";
+  checkb "incomplete frame pends" true (Codec.next dec = Ok None);
+  Codec.feed_string dec "lo 1)\n";
+  checkb "completes" true
+    (match Codec.next dec with Ok (Some _) -> true | _ -> false)
+
+(* --- streaming typed errors (regression for the raising path) ------- *)
+
+let test_streaming_feed_result_errors () =
+  let types = [| st ~count:2 ~switching_cost:1. ~cap:1. () |] in
+  let fns = [| Convex.Fn.const 1. |] in
+  let s = Online.Streaming.alg_a ~max_horizon:2 ~types ~fns () in
+  (match Online.Streaming.feed_result s (-1.) with
+  | Error (Online.Streaming.Bad_volume v) -> checkb "bad volume" true (v = -1.)
+  | _ -> Alcotest.fail "negative volume not typed");
+  (match Online.Streaming.feed_result s nan with
+  | Error (Online.Streaming.Bad_volume _) -> ()
+  | _ -> Alcotest.fail "nan volume not typed");
+  (match Online.Streaming.feed_result s 5. with
+  | Error (Online.Streaming.Over_capacity { volume; capacity }) ->
+      checkb "over capacity carries both" true (volume = 5. && capacity = 2.)
+  | _ -> Alcotest.fail "over-capacity not typed");
+  (* the error path must leave the session untouched *)
+  checki "nothing fed after errors" 0 (Online.Streaming.fed s);
+  checkb "slot 0 ok" true (Result.is_ok (Online.Streaming.feed_result s 1.));
+  checkb "slot 1 ok" true (Result.is_ok (Online.Streaming.feed_result s 1.));
+  (match Online.Streaming.feed_result s 1. with
+  | Error (Online.Streaming.Horizon_exhausted { fed; cap }) ->
+      checkb "cap carried" true (fed = 2 && cap = 2)
+  | _ -> Alcotest.fail "horizon exhaustion not typed");
+  checki "cap errors leave clock alone" 2 (Online.Streaming.fed s);
+  (* the raising wrapper still raises, with the rendered message *)
+  checkb "feed raises Invalid_argument" true
+    (try ignore (Online.Streaming.feed s 1.); false
+     with Invalid_argument m -> String.length m > 0)
+
+(* --- snapshot size guard -------------------------------------------- *)
+
+let test_snapshot_load_size_guard () =
+  let dir = Filename.temp_file "rs-snap" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let path = Filename.concat dir "big.snap" in
+      let payload =
+        Util.Sexp.List
+          (Util.Sexp.Atom "blob"
+          :: List.init 2000 (fun i -> Util.Sexp.Atom (string_of_int i)))
+      in
+      (match Util.Snapshot.save ~path ~kind:"guard-test" payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Util.Snapshot.error_to_string e));
+      let size = (Unix.stat path).Unix.st_size in
+      checkb "fixture is oversized for the guard" true (size > 1024);
+      (match Util.Snapshot.load ~kind:"guard-test" ~max_bytes:1024 ~path () with
+      | Error (Util.Snapshot.Too_large { limit; actual }) ->
+          checki "limit echoed" 1024 limit;
+          checki "actual is the file size" size actual
+      | Error e -> Alcotest.fail ("wrong error: " ^ Util.Snapshot.error_to_string e)
+      | Ok _ -> Alcotest.fail "oversized snapshot accepted");
+      (* the same file loads fine under the default limit *)
+      match Util.Snapshot.load ~kind:"guard-test" ~path () with
+      | Ok p -> checkb "payload intact" true (p = payload)
+      | Error e -> Alcotest.fail (Util.Snapshot.error_to_string e))
+
+(* --- sessions -------------------------------------------------------- *)
+
+let test_session_idempotent_feed () =
+  let spec = { Session.scenario = "cpu-gpu"; max_horizon = None } in
+  let s =
+    match Session.create ~id:"s1" spec with
+    | Ok s -> s
+    | Error (_, m) -> Alcotest.fail m
+  in
+  let loads = Array.init 10 (fun i -> 1. +. float_of_int (i mod 3)) in
+  let first =
+    match Session.feed s ~seq:0 loads with
+    | Ok xs -> xs
+    | Error (_, m) -> Alcotest.fail m
+  in
+  checki "10 slots fed" 10 (Session.fed s);
+  (* full overlap: answered from history, bit-identical, no stepping *)
+  (match Session.feed s ~seq:0 loads with
+  | Ok again ->
+      checkb "replay identical" true (Array.for_all2 Model.Config.equal first again);
+      checki "no extra slots" 10 (Session.fed s)
+  | Error (_, m) -> Alcotest.fail m);
+  (* a gap is a typed error *)
+  (match Session.feed s ~seq:12 [| 1. |] with
+  | Error (P.Bad_seq, _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "gap not rejected");
+  (* partial overlap continues where the history ends *)
+  match Session.feed s ~seq:8 [| 1.; 2.; 1.; 1. |] with
+  | Ok xs ->
+      checki "stepped past history" 12 (Session.fed s);
+      checkb "overlap slots replayed" true
+        (Model.Config.equal xs.(0) first.(8) && Model.Config.equal xs.(1) first.(9))
+  | Error (_, m) -> Alcotest.fail m
+
+let prop_session_save_restore seed =
+  let rng = Util.Prng.create seed in
+  let scenario = Util.Prng.pick rng [| "cpu-gpu"; "three-tier"; "time-varying" |] in
+  let spec = { Session.scenario; max_horizon = None } in
+  let a =
+    match Session.create ~id:"p" spec with Ok s -> s | Error (_, m) -> failwith m
+  in
+  let n = 1 + Util.Prng.int rng 12 in
+  let loads = Array.init n (fun _ -> Util.Prng.float rng 2.) in
+  (match Session.feed a ~seq:0 loads with Ok _ -> () | Error (_, m) -> failwith m);
+  let b =
+    match Session.of_sexp (Session.save a) with Ok s -> s | Error m -> failwith m
+  in
+  let more = Array.init 5 (fun _ -> Util.Prng.float rng 2.) in
+  match (Session.feed a ~seq:n more, Session.feed b ~seq:n more) with
+  | Ok xa, Ok xb -> Array.for_all2 Model.Config.equal xa xb
+  | _ -> false
+
+(* --- daemon ---------------------------------------------------------- *)
+
+let with_daemon ?(cfg = Daemon.default_config) f =
+  let dir = Filename.temp_file "rs-daemon" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let mk ?resume name cfg =
+        match
+          Daemon.create ?resume
+            { cfg with Daemon.unix_path = Some (Filename.concat dir name) }
+        with
+        | Ok d -> d
+        | Error m -> Alcotest.fail m
+      in
+      f dir mk cfg)
+
+let expect_decisions = function
+  | P.Decisions { configs; _ } -> configs
+  | P.Error { msg; _ } -> Alcotest.fail ("unexpected error reply: " ^ msg)
+  | _ -> Alcotest.fail "expected decisions"
+
+let test_daemon_request_semantics () =
+  with_daemon (fun _dir mk cfg ->
+      let d = mk "a.sock" cfg in
+      (match Daemon.handle d (P.Hello { version = P.version }) with
+      | P.Welcome { version } -> checki "version echoed" P.version version
+      | _ -> Alcotest.fail "hello failed");
+      (match Daemon.handle d (P.Hello { version = 99 }) with
+      | P.Error { code = P.Unsupported_version; _ } -> ()
+      | _ -> Alcotest.fail "bad version accepted");
+      (match
+         Daemon.handle d
+           (P.Create_session { id = "s1"; scenario = "cpu-gpu"; max_horizon = None })
+       with
+      | P.Session { alg; fed; _ } ->
+          checks "cpu-gpu is time-independent" "a" alg;
+          checki "fresh session" 0 fed
+      | _ -> Alcotest.fail "create failed");
+      (match
+         Daemon.handle d
+           (P.Create_session { id = "s1"; scenario = "cpu-gpu"; max_horizon = None })
+       with
+      | P.Session { fed = 0; _ } -> ()
+      | _ -> Alcotest.fail "same-spec create should attach");
+      (match
+         Daemon.handle d
+           (P.Create_session { id = "s1"; scenario = "three-tier"; max_horizon = None })
+       with
+      | P.Error { code = P.Session_exists; _ } -> ()
+      | _ -> Alcotest.fail "spec mismatch accepted");
+      (match
+         Daemon.handle d
+           (P.Create_session { id = "s2"; scenario = "nope"; max_horizon = None })
+       with
+      | P.Error { code = P.Unknown_scenario; _ } -> ()
+      | _ -> Alcotest.fail "unknown scenario accepted");
+      (match Daemon.handle d (P.Feed { id = "ghost"; seq = 0; loads = [| 1. |] }) with
+      | P.Error { code = P.Unknown_session; _ } -> ()
+      | _ -> Alcotest.fail "unknown session accepted");
+      let xs =
+        expect_decisions
+          (Daemon.handle d (P.Feed { id = "s1"; seq = 0; loads = [| 1.; 2.; 1. |] }))
+      in
+      checki "three decisions" 3 (Array.length xs);
+      checki "three slots stepped" 3 (Daemon.stepped_slots d);
+      (* a feed past the processed count is a typed gap error carrying
+         the resync point *)
+      (match Daemon.handle d (P.Feed { id = "s1"; seq = 5; loads = [| 1. |] }) with
+      | P.Error { code = P.Bad_seq; fed = Some 3; _ } -> ()
+      | _ -> Alcotest.fail "gap not rejected with resync point");
+      (match Daemon.handle d (P.Close { id = "s1" }) with
+      | P.Closed _ -> checki "table empty" 0 (Daemon.session_count d)
+      | _ -> Alcotest.fail "close failed");
+      match Daemon.handle d (P.Query_snapshot { id = "s1" }) with
+      | P.Error { code = P.Unknown_session; _ } -> ()
+      | _ -> Alcotest.fail "closed session still answers")
+
+let test_daemon_step_fault_degrades () =
+  with_daemon (fun _dir mk cfg ->
+      let d = mk "b.sock" cfg in
+      ignore
+        (Daemon.handle d
+           (P.Create_session { id = "s"; scenario = "cpu-gpu"; max_horizon = None }));
+      ignore
+        (expect_decisions (Daemon.handle d (P.Feed { id = "s"; seq = 0; loads = [| 1. |] })));
+      Util.Faultinj.arm [ ("server.step", Util.Faultinj.Nth 1) ];
+      Fun.protect ~finally:Util.Faultinj.disarm (fun () ->
+          (match Daemon.handle d (P.Feed { id = "s"; seq = 1; loads = [| 1. |] }) with
+          | P.Error { code = P.Injected; fed = Some 1; _ } -> ()
+          | _ -> Alcotest.fail "fault not surfaced as injected");
+          (* the session survived untouched; the retry succeeds *)
+          let xs =
+            expect_decisions
+              (Daemon.handle d (P.Feed { id = "s"; seq = 1; loads = [| 1. |] }))
+          in
+          checki "retry stepped" 1 (Array.length xs);
+          checki "two slots total" 2 (Daemon.stepped_slots d)))
+
+(* Crash/resume with several concurrent sessions on both algorithms:
+   feed part of each trace, checkpoint, throw the daemon away, resume a
+   fresh one from the file, feed the rest — and require every decision
+   (replayed and newly stepped) to match an uninterrupted oracle. *)
+let test_daemon_checkpoint_resume_multisession () =
+  with_daemon (fun dir mk cfg ->
+      let ck = Filename.concat dir "sessions.snap" in
+      let cfg = { cfg with Daemon.checkpoint = Some ck } in
+      let scenarios =
+        [ ("m1", "cpu-gpu"); ("m2", "three-tier"); ("m3", "time-varying");
+          ("m4", "cpu-gpu") ]
+      in
+      let slots = 14 and cut = 9 in
+      let loads name =
+        let rng = Util.Prng.create (Hashtbl.hash name) in
+        Array.init slots (fun _ -> Util.Prng.float rng 1.5)
+      in
+      let d1 = mk "c1.sock" cfg in
+      List.iter
+        (fun (id, scenario) ->
+          (match Daemon.handle d1 (P.Create_session { id; scenario; max_horizon = None }) with
+          | P.Session _ -> ()
+          | _ -> Alcotest.fail ("create " ^ id));
+          ignore
+            (expect_decisions
+               (Daemon.handle d1
+                  (P.Feed { id; seq = 0; loads = Array.sub (loads id) 0 cut }))))
+        scenarios;
+      (match Daemon.checkpoint_now d1 with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (* resume in a fresh daemon; d1 is abandoned (as after kill -9) *)
+      let d2 = mk ~resume:ck "c2.sock" cfg in
+      checki "all sessions resumed" (List.length scenarios) (Daemon.session_count d2);
+      List.iter
+        (fun (id, scenario) ->
+          let all = loads id in
+          (* re-attach reports the processed prefix *)
+          (match Daemon.handle d2 (P.Create_session { id; scenario; max_horizon = None }) with
+          | P.Session { fed; _ } -> checki (id ^ " resumed slots") cut fed
+          | _ -> Alcotest.fail ("re-attach " ^ id));
+          (* idempotent re-feed of the whole trace: prefix replayed,
+             suffix stepped on the restored state *)
+          let resumed =
+            expect_decisions (Daemon.handle d2 (P.Feed { id; seq = 0; loads = all }))
+          in
+          let spec = { Session.scenario; max_horizon = None } in
+          let oracle =
+            match Session.create ~id spec with
+            | Ok s -> (
+                match Session.feed s ~seq:0 all with
+                | Ok xs -> xs
+                | Error (_, m) -> Alcotest.fail m)
+            | Error (_, m) -> Alcotest.fail m
+          in
+          checkb (id ^ " bit-identical to oracle") true
+            (Array.for_all2 Model.Config.equal resumed oracle))
+        scenarios)
+
+let () =
+  Alcotest.run "server"
+    [ ( "codec",
+        [ Alcotest.test_case "rejects oversized frames" `Quick test_codec_rejects_oversized;
+          Alcotest.test_case "rejects garbage prefixes" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "incomplete frames pend" `Quick test_codec_incomplete_is_not_error;
+          mk_prop ~name:"request round-trip (chunked)" prop_request_roundtrip;
+          mk_prop ~name:"response round-trip (chunked)" prop_response_roundtrip;
+          mk_prop ~name:"pipelined frames decode in order" prop_pipelined_frames;
+          mk_prop ~name:"quote/unquote round-trip" prop_quote_roundtrip ] );
+      ( "streaming-errors",
+        [ Alcotest.test_case "typed feed errors" `Quick test_streaming_feed_result_errors ] );
+      ( "snapshot-guard",
+        [ Alcotest.test_case "load rejects oversized files" `Quick
+            test_snapshot_load_size_guard ] );
+      ( "session",
+        [ Alcotest.test_case "idempotent feed" `Quick test_session_idempotent_feed;
+          mk_prop ~count:25 ~name:"save/restore continues identically"
+            prop_session_save_restore ] );
+      ( "daemon",
+        [ Alcotest.test_case "request semantics" `Quick test_daemon_request_semantics;
+          Alcotest.test_case "step fault degrades per session" `Quick
+            test_daemon_step_fault_degrades;
+          Alcotest.test_case "checkpoint/resume, 4 sessions" `Quick
+            test_daemon_checkpoint_resume_multisession ] ) ]
