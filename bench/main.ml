@@ -311,7 +311,32 @@ let benches =
                  Core.Server_codec.encode
                    (Core.Server_protocol.response_to_sexp (Core.Daemon.handle d req))
              | Error m -> failwith m)
-         | Ok None | Error _ -> assert false)
+         | Ok None | Error _ -> assert false);
+    (* Telemetry: the histogram increment sits on the daemon's
+       per-request and per-batch hot paths (one log, one multiply, a
+       handful of stores — must stay well under 50ns), and the
+       Prometheus render runs on every scrape. *)
+    bench "obs: histogram observe"
+      (let h = Core.Obs.Histogram.create () in
+       let i = ref 0 in
+       fun () ->
+         incr i;
+         Core.Obs.Histogram.observe h (float_of_int (1 + (!i land 0xffff))));
+    bench "obs: to_prometheus render"
+      (let h = Core.Obs.Histogram.create () in
+       for i = 1 to 10_000 do
+         Core.Obs.Histogram.observe h (float_of_int i)
+       done;
+       let counters = List.init 8 (fun i -> (Printf.sprintf "bench.c%d" i, i * 37)) in
+       let gauges =
+         List.init 8 (fun i ->
+             (Printf.sprintf "bench.g%d" i, [ ("shard", string_of_int i) ], float_of_int i *. 1.5))
+       in
+       let histograms =
+         let e = Core.Obs.Histogram.export h in
+         List.init 4 (fun i -> (Printf.sprintf "bench.h%d" i, e))
+       in
+       fun () -> Core.Obs.Metrics_export.to_prometheus ~counters ~gauges ~histograms ())
   ]
 
 (* One instrumented run of the kernel: reset every counter, run once,
@@ -343,7 +368,9 @@ let gated =
     "kernel: dispatch water-filling (d=4)";
     "kernel: memo rank-table hit (d=2)";
     "server: codec encode+decode (feed, 8 loads)";
-    "server: in-process round-trip (feed replay)" ]
+    "server: in-process round-trip (feed replay)";
+    "obs: histogram observe";
+    "obs: to_prometheus render" ]
 
 (* Machine-independent reference kernel: the comparator divides every
    timing by the calibration ratio between the two runs, so a uniformly

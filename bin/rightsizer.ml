@@ -885,16 +885,42 @@ let serve_cmd =
       value & opt int 1024
       & info [ "max-sessions" ] ~docv:"N" ~doc:"Refuse new sessions beyond N (default 1024).")
   in
-  let run () unix_path tcp_port checkpoint every resume crash_after_slots max_sessions domains =
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:"Serve the Prometheus-format telemetry scrape on 127.0.0.1:PORT.")
+  in
+  let audit_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "audit-every" ] ~docv:"SLOTS"
+          ~doc:"Enable the shadow oracle: every SLOTS freshly stepped slots, replay \
+                sampled sessions through the offline optimum and publish \
+                audit_regret_ratio (docs/observability.md).")
+  in
+  let audit_sample_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "audit-sample" ] ~docv:"N"
+          ~doc:"Sessions sampled per audit batch (default 4).")
+  in
+  let run () unix_path tcp_port checkpoint every resume crash_after_slots max_sessions
+      metrics_port audit_every audit_sample domains =
     if unix_path = None && tcp_port = None then
       `Error (false, "serve: pass --unix PATH and/or --port PORT")
     else if every < 1 then `Error (false, "serve: --checkpoint-every must be >= 1")
+    else if audit_sample < 1 then `Error (false, "serve: --audit-sample must be >= 1")
+    else if audit_every <> None && Option.get audit_every < 1 then
+      `Error (false, "serve: --audit-every must be >= 1")
     else begin
       with_domains domains @@ fun pool ->
       let cfg =
         { Core.Daemon.default_config with
           unix_path; tcp_port; pool; checkpoint; checkpoint_every = every;
-          max_sessions; crash_after_slots }
+          max_sessions; crash_after_slots; metrics_port; audit_every; audit_sample }
       in
       match Core.Daemon.create ?resume cfg with
       | Error m -> `Error (false, m)
@@ -907,6 +933,9 @@ let serve_cmd =
           | None -> ());
           (match tcp_port with
           | Some p -> Printf.printf "listening on 127.0.0.1:%d\n%!" p
+          | None -> ());
+          (match metrics_port with
+          | Some p -> Printf.printf "metrics on 127.0.0.1:%d\n%!" p
           | None -> ());
           if resume <> None then
             Printf.printf "resumed %d sessions\n%!" (Core.Daemon.session_count d);
@@ -926,7 +955,94 @@ let serve_cmd =
       ret
         (const run $ obs_term $ unix_sock_arg $ tcp_port_arg $ checkpoint_arg
         $ checkpoint_every_arg $ resume_arg $ crash_after_arg $ max_sessions_arg
-        $ domains_arg))
+        $ metrics_port_arg $ audit_every_arg $ audit_sample_arg $ domains_arg))
+
+(* --- monitor --- *)
+
+let monitor_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"The daemon's --metrics-port on 127.0.0.1.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period (default 2).")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Scrape once, print, exit.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print one JSON object per scrape instead of the table.")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:"Print the raw Prometheus scrape body verbatim (implies --once \
+                unless --interval looping is explicitly wanted).")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N" ~doc:"Stop after N scrapes.")
+  in
+  let run () port interval once json raw count =
+    if interval <= 0. then `Error (false, "monitor: --interval must be > 0")
+    else begin
+      let limit = if once || raw then Some 1 else count in
+      let clear = not (once || raw || json || count <> None) in
+      let rec loop i prev =
+        match (limit, i) with
+        | Some n, i when i >= n -> `Ok ()
+        | _ -> (
+            match Core.Server_monitor.scrape ~port with
+            | Error m -> `Error (false, m)
+            | Ok body ->
+                if raw then begin
+                  print_string body;
+                  if String.length body = 0 || body.[String.length body - 1] <> '\n'
+                  then print_newline ();
+                  next i prev
+                end
+                else (
+                  match Core.Server_monitor.parse body with
+                  | Error m -> `Error (false, m)
+                  | Ok snap ->
+                      let row = Core.Server_monitor.row_of snap in
+                      if json then
+                        print_endline (Core.Server_monitor.to_json ?prev row)
+                      else begin
+                        if clear then print_string "\027[H\027[2J";
+                        print_string (Core.Server_monitor.render ?prev row)
+                      end;
+                      flush stdout;
+                      next i (Some row)))
+      and next i prev =
+        match limit with
+        | Some n when i + 1 >= n -> `Ok ()
+        | _ ->
+            Unix.sleepf interval;
+            loop (i + 1) prev
+      in
+      loop 0 None
+    end
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Poll a daemon's --metrics-port and render a refreshing status table \
+             (decisions/s, latency quantiles, live sessions, shadow-oracle regret \
+             ratio).  --once/--json/--raw for scripting.")
+    Term.(
+      ret
+        (const run $ obs_term $ port_arg $ interval_arg $ once_arg $ json_arg
+        $ raw_arg $ count_arg))
 
 (* --- loadgen --- *)
 
@@ -1030,4 +1146,4 @@ let () =
   let doc = "Right-sizing heterogeneous data centers (SPAA 2021 reproduction)" in
   let info = Cmd.info "rightsizer" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; report_cmd; verify_cmd; solve_cmd; online_cmd; compare_cmd;
-       simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; loadgen_cmd ]))
+       simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; monitor_cmd; loadgen_cmd ]))

@@ -62,6 +62,8 @@ module Server_protocol = Server.Protocol
 module Server_codec = Server.Codec
 module Server_session = Server.Session
 module Daemon = Server.Daemon
+module Server_audit = Server.Audit
+module Server_monitor = Server.Monitor
 module Loadgen = Server.Loadgen
 module Report = Experiments.Report
 module Experiment_registry = Experiments.Registry

@@ -1,0 +1,81 @@
+(* Gauges are named (and optionally labelled) floats that can be set to
+   a level or moved by a delta — the "current state" complement to the
+   monotone Counter.  The cell is an [Atomic.t] holding a boxed float:
+   [set] is one atomic store, [add] a CAS loop, so any thread or domain
+   may write without a lock (gauges live off the hot paths — pool
+   occupancy, checkpoint age, audit results — so the boxing is
+   irrelevant). *)
+
+type t = {
+  name : string;
+  labels : (string * string) list;
+  cell : float Atomic.t;
+}
+
+(* Registry key: name plus the canonically ordered labels, so the same
+   (name, labels) pair always yields the same gauge. *)
+let key name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      name ^ "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=" ^ v)
+             (List.sort (fun (a, _) (b, _) -> String.compare a b) labels))
+      ^ "}"
+
+let lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let make ?(labels = []) name =
+  let k = key name labels in
+  Mutex.lock lock;
+  let g =
+    match Hashtbl.find_opt registry k with
+    | Some g -> g
+    | None ->
+        let g =
+          { name;
+            labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels;
+            cell = Atomic.make 0. }
+        in
+        Hashtbl.add registry k g;
+        g
+  in
+  Mutex.unlock lock;
+  g
+
+let name t = t.name
+let labels t = t.labels
+let set t v = Atomic.set t.cell v
+let get t = Atomic.get t.cell
+
+let add t d =
+  let rec go () =
+    let v = Atomic.get t.cell in
+    if not (Atomic.compare_and_set t.cell v (v +. d)) then go ()
+  in
+  if d <> 0. then go ()
+
+let find ?(labels = []) name =
+  Mutex.lock lock;
+  let g = Hashtbl.find_opt registry (key name labels) in
+  Mutex.unlock lock;
+  g
+
+let snapshot () =
+  Mutex.lock lock;
+  let all =
+    Hashtbl.fold (fun _ g acc -> (g.name, g.labels, Atomic.get g.cell) :: acc)
+      registry []
+  in
+  Mutex.unlock lock;
+  List.sort
+    (fun (a, la, _) (b, lb, _) ->
+      match String.compare a b with 0 -> compare la lb | c -> c)
+    all
+
+let reset_all () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ g -> Atomic.set g.cell 0.) registry;
+  Mutex.unlock lock

@@ -1,0 +1,33 @@
+(** Named current-level metrics (the non-monotone complement of
+    {!Counter}).
+
+    A gauge is a named — and optionally labelled — float: pool
+    occupancy, live session count, checkpoint age, the latest audit's
+    competitive ratio.  {!set} is one atomic store and {!add} a CAS
+    loop, so writers need no lock and values never tear.  Gauges
+    register themselves process-wide by (name, labels): {!make} returns
+    the same gauge for the same pair, and {!snapshot} reads them all
+    (the Prometheus exporter's input). *)
+
+type t
+
+val make : ?labels:(string * string) list -> string -> t
+(** Create or look up the gauge [(name, labels)].  Labels are
+    canonically sorted by key; initial value [0.]. *)
+
+val name : t -> string
+val labels : t -> (string * string) list
+
+val set : t -> float -> unit
+val add : t -> float -> unit
+val get : t -> float
+
+val find : ?labels:(string * string) list -> string -> t option
+(** Look up without creating. *)
+
+val snapshot : unit -> (string * (string * string) list * float) list
+(** Every registered gauge with its labels and current value, sorted by
+    name then labels. *)
+
+val reset_all : unit -> unit
+(** Zero every registered gauge (between benchmark runs). *)

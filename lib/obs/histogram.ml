@@ -1,0 +1,194 @@
+(* Log-bucketed histograms.  A histogram is a fixed array of integer
+   bucket counts over geometrically spaced value ranges, plus exact
+   count / sum / min / max side-channels — bounded memory (O(buckets),
+   not O(observations)) however long the run, which is the whole point:
+   the daemon's latency distribution used to be an ever-growing sample
+   array computed into quantiles only at shutdown.
+
+   Concurrency contract: [observe] is plain mutation — a few stores, no
+   atomics, no locks — and is therefore {e single-writer}: one domain
+   (or thread) owns a given histogram's write side.  Cross-domain
+   aggregation is by construction instead: give each writer its own
+   histogram and [merge] them at read time (the load generator does
+   exactly this with its per-connection histograms).  Readers racing a
+   writer see a slightly stale but well-formed view (OCaml guarantees
+   no tearing on immediate fields), which is fine for telemetry. *)
+
+type t = {
+  lo : float;                (* upper edge of bucket 0 is lo*gamma *)
+  gamma : float;
+  inv_log_gamma : float;     (* 1 / log gamma, for the hot-path index *)
+  bounds : float array;      (* bounds.(i): upper edge of bucket i *)
+  counts : int array;        (* length nbuckets + 1; last is overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;      (* infinity when empty *)
+  mutable vmax : float;      (* neg_infinity when empty *)
+}
+
+type export = {
+  e_bounds : float array;
+  e_counts : int array;
+  e_count : int;
+  e_sum : float;
+  e_min : float;
+  e_max : float;
+}
+
+let default_lo = 1.0
+let default_hi = 1e9
+let default_buckets_per_decade = 5
+
+let create ?(lo = default_lo) ?(hi = default_hi)
+    ?(buckets_per_decade = default_buckets_per_decade) () =
+  if not (Float.is_finite lo) || lo <= 0. then
+    invalid_arg "Histogram.create: lo must be positive and finite";
+  if not (Float.is_finite hi) || hi <= lo then
+    invalid_arg "Histogram.create: hi must be finite and exceed lo";
+  if buckets_per_decade < 1 then
+    invalid_arg "Histogram.create: buckets_per_decade must be >= 1";
+  let gamma = Float.pow 10. (1. /. float_of_int buckets_per_decade) in
+  let nbuckets =
+    int_of_float
+      (Float.ceil (Float.log10 (hi /. lo) *. float_of_int buckets_per_decade))
+  in
+  let nbuckets = max 1 nbuckets in
+  { lo;
+    gamma;
+    inv_log_gamma = 1. /. Float.log gamma;
+    bounds = Array.init nbuckets (fun i -> lo *. Float.pow gamma (float_of_int (i + 1)));
+    counts = Array.make (nbuckets + 1) 0;
+    count = 0;
+    sum = 0.;
+    vmin = Float.infinity;
+    vmax = Float.neg_infinity }
+
+let nbuckets t = Array.length t.bounds
+
+(* Bucket i covers [lo*gamma^i, lo*gamma^(i+1)); everything below [lo]
+   folds into bucket 0, everything at or above the top edge into the
+   overflow bucket.  One log and one multiply — the exact value still
+   lands in the sum/min/max side-channels, the bucket only positions it
+   for quantiles. *)
+let bucket_index t v =
+  if v < t.lo *. t.gamma then 0
+  else
+    let i = int_of_float (Float.log (v /. t.lo) *. t.inv_log_gamma) in
+    if i < 0 then 0 else min i (Array.length t.bounds)
+
+let observe t v =
+  if Float.is_finite v then begin
+    let i = bucket_index t v in
+    Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + 1);
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+  end
+
+let count t = t.count
+let sum t = t.sum
+let minimum t = t.vmin
+let maximum t = t.vmax
+let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.vmin <- Float.infinity;
+  t.vmax <- Float.neg_infinity
+
+let same_shape a b =
+  a.lo = b.lo && a.gamma = b.gamma && Array.length a.bounds = Array.length b.bounds
+
+let merge_into ~src ~dst =
+  if not (same_shape src dst) then
+    invalid_arg "Histogram.merge_into: bucket layouts differ";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax
+
+let merge a b =
+  if not (same_shape a b) then invalid_arg "Histogram.merge: bucket layouts differ";
+  let out =
+    { a with
+      bounds = a.bounds (* immutable, shared *);
+      counts = Array.copy a.counts;
+      count = a.count;
+      sum = a.sum;
+      vmin = a.vmin;
+      vmax = a.vmax }
+  in
+  merge_into ~src:b ~dst:out;
+  out
+
+(* Interpolated quantile: walk the cumulative counts to the bucket
+   containing rank [q * count], then interpolate linearly inside that
+   bucket's edges, tightened by the exact min/max.  Monotone in [q] by
+   construction (bucket index and in-bucket fraction both are). *)
+let quantile t q =
+  if t.count = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int t.count in
+    let n = Array.length t.counts in
+    let rec go b cum =
+      if b >= n then t.vmax
+      else
+        let c = t.counts.(b) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lower = if b = 0 then 0. else t.bounds.(b - 1) in
+          let upper = if b = n - 1 then t.vmax else t.bounds.(b) in
+          let lower = Float.max lower t.vmin in
+          let upper = Float.min upper t.vmax in
+          let upper = Float.max lower upper in
+          let frac = (target -. cum) /. float_of_int c in
+          let frac = Float.max 0. (Float.min 1. frac) in
+          lower +. (frac *. (upper -. lower))
+        end
+        else go (b + 1) cum'
+    in
+    go 0 0.
+  end
+
+let export t =
+  { e_bounds = t.bounds;
+    e_counts = Array.copy t.counts;
+    e_count = t.count;
+    e_sum = t.sum;
+    e_min = t.vmin;
+    e_max = t.vmax }
+
+(* --- registry (the Counter convention: make is idempotent by name) --- *)
+
+let lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let make ?lo ?hi ?buckets_per_decade name =
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h = create ?lo ?hi ?buckets_per_decade () in
+        Hashtbl.add registry name h;
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let find name =
+  Mutex.lock lock;
+  let h = Hashtbl.find_opt registry name in
+  Mutex.unlock lock;
+  h
+
+let snapshot () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun name h acc -> (name, export h) :: acc) registry [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all

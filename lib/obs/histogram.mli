@@ -1,0 +1,84 @@
+(** Bounded log-bucketed value distributions.
+
+    A histogram holds a {e fixed} array of integer bucket counts over
+    geometrically spaced ranges — memory is O(buckets) regardless of
+    how many values are observed — plus exact count / sum / min / max.
+    Quantiles are interpolated inside the containing bucket and
+    tightened by the exact extremes, so relative error is bounded by
+    the bucket width (~58% per bucket at the default 5 buckets per
+    decade; raise [buckets_per_decade] for tighter tails).
+
+    Concurrency: {!observe} is a handful of plain stores and is
+    {b single-writer} — one domain or thread owns a histogram's write
+    side.  For multi-writer aggregation give each writer its own
+    histogram and {!merge} at read time; merging is exact (counts and
+    sums add), associative and commutative up to float rounding of the
+    sums.  Concurrent readers see a stale but well-formed view. *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> unit -> t
+(** A fresh unregistered histogram.  Finite buckets span
+    [\[lo, hi)] geometrically ([lo = 1.0], [hi = 1e9], 5 buckets per
+    decade by default — microsecond latencies up to ~17 minutes);
+    values below [lo] fold into the first bucket, values at or above
+    [hi] into a final overflow bucket.  Raises [Invalid_argument]
+    unless [0 < lo < hi] (finite) and [buckets_per_decade >= 1]. *)
+
+val make : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> string -> t
+(** Create or look up the process-wide registered histogram called
+    [name] (the {!Counter.make} convention).  The bucket parameters
+    apply only on first creation. *)
+
+val observe : t -> float -> unit
+(** Record one value (a few plain stores; single-writer).  Non-finite
+    values are ignored. *)
+
+val count : t -> int
+val sum : t -> float
+
+val minimum : t -> float
+(** Exact smallest observed value; [infinity] when empty. *)
+
+val maximum : t -> float
+(** Exact largest observed value; [neg_infinity] when empty. *)
+
+val mean : t -> float
+(** [sum / count]; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]] (clamped), linearly
+    interpolated within the containing bucket and clamped to the exact
+    [\[minimum, maximum\]] envelope; monotone in [q]; [nan] when
+    empty. *)
+
+val reset : t -> unit
+
+val nbuckets : t -> int
+(** Number of finite buckets (the overflow bucket is extra). *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s buckets and side-channels into [dst].  Raises
+    [Invalid_argument] when the bucket layouts differ. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding the sum of both; same layout requirement. *)
+
+type export = {
+  e_bounds : float array;  (** upper edge of each finite bucket *)
+  e_counts : int array;    (** per-bucket counts; one extra overflow cell *)
+  e_count : int;
+  e_sum : float;
+  e_min : float;
+  e_max : float;
+}
+(** A self-contained read-out (counts copied), the input to
+    {!Metrics_export.to_prometheus}. *)
+
+val export : t -> export
+
+val find : string -> t option
+(** Look up a registered histogram by name without creating it. *)
+
+val snapshot : unit -> (string * export) list
+(** Every registered histogram, exported, sorted by name. *)

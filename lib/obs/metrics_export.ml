@@ -29,3 +29,186 @@ let compact counters =
   |> List.filter (fun (_, v) -> v <> 0)
   |> List.map (fun (name, v) -> Printf.sprintf "%s=%s" name (pretty_count v))
   |> String.concat " "
+
+(* --- Prometheus text exposition ----------------------------------- *)
+
+(* Metric names allow [a-zA-Z0-9_:], not starting with a digit; our
+   dotted counter names ("server.requests") become underscored. *)
+let sanitize_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+        || (i > 0 && c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+(* Label values escape backslash, double-quote and newline. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let fmt_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+             labels)
+      ^ "}"
+
+let fmt_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let to_prometheus ?counters ?gauges ?histograms () =
+  let counters = match counters with Some c -> c | None -> Counter.snapshot () in
+  let gauges = match gauges with Some g -> g | None -> Gauge.snapshot () in
+  let histograms =
+    match histograms with Some h -> h | None -> Histogram.snapshot ()
+  in
+  let buf = Buffer.create 4096 in
+  let line name labels v =
+    Buffer.add_string buf name;
+    Buffer.add_string buf (fmt_labels labels);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (fmt_float v);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      line n [] (float_of_int v))
+    counters;
+  List.iter
+    (fun (name, labels, v) ->
+      let n = sanitize_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      line n labels v)
+    gauges;
+  List.iter
+    (fun (name, (e : Histogram.export)) ->
+      let n = sanitize_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          let le =
+            if i < Array.length e.e_bounds then fmt_float e.e_bounds.(i)
+            else "+Inf"
+          in
+          line (n ^ "_bucket") [ ("le", le) ] (float_of_int !cum))
+        e.e_counts;
+      line (n ^ "_sum") [] e.e_sum;
+      line (n ^ "_count") [] (float_of_int e.e_count);
+      if e.e_count > 0 then begin
+        line (n ^ "_min") [] e.e_min;
+        line (n ^ "_max") [] e.e_max
+      end)
+    histograms;
+  Buffer.contents buf
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+exception Parse_error of string
+
+let parse_labels name s =
+  (* [s] is the text between '{' and '}'. *)
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let labels = ref [] in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s: %s" name msg)) in
+  while !i < n do
+    (* label name *)
+    let start = !i in
+    while !i < n && s.[!i] <> '=' do incr i done;
+    if !i >= n then fail "label without '='";
+    let lname = String.trim (String.sub s start (!i - start)) in
+    incr i;
+    if !i >= n || s.[!i] <> '"' then fail "label value not quoted";
+    incr i;
+    Buffer.clear buf;
+    let closed = ref false in
+    while not !closed do
+      if !i >= n then fail "unterminated label value"
+      else
+        match s.[!i] with
+        | '"' -> closed := true; incr i
+        | '\\' ->
+            if !i + 1 >= n then fail "dangling escape";
+            (match s.[!i + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | c -> Buffer.add_char buf c);
+            i := !i + 2
+        | c -> Buffer.add_char buf c; incr i
+    done;
+    labels := (lname, Buffer.contents buf) :: !labels;
+    if !i < n then
+      if s.[!i] = ',' then incr i
+      else fail "expected ',' between labels"
+  done;
+  List.rev !labels
+
+let parse_float s =
+  match String.lowercase_ascii s with
+  | "nan" -> Float.nan
+  | "+inf" | "inf" -> Float.infinity
+  | "-inf" -> Float.neg_infinity
+  | _ -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "bad float %S" s)))
+
+let parse_prometheus text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun ln ->
+         let ln = String.trim ln in
+         if ln = "" || ln.[0] = '#' then None
+         else
+           (* name[{labels}] value *)
+           match String.index_opt ln '{' with
+           | Some lb ->
+               let name = String.sub ln 0 lb in
+               let rb =
+                 match String.rindex_opt ln '}' with
+                 | Some rb when rb > lb -> rb
+                 | _ -> raise (Parse_error (name ^ ": unterminated labels"))
+               in
+               let labels = parse_labels name (String.sub ln (lb + 1) (rb - lb - 1)) in
+               let rest = String.trim (String.sub ln (rb + 1) (String.length ln - rb - 1)) in
+               Some { s_name = name; s_labels = labels; s_value = parse_float rest }
+           | None -> (
+               match String.index_opt ln ' ' with
+               | None -> raise (Parse_error ("sample without value: " ^ ln))
+               | Some sp ->
+                   let name = String.sub ln 0 sp in
+                   let rest =
+                     String.trim (String.sub ln (sp + 1) (String.length ln - sp - 1))
+                   in
+                   Some { s_name = name; s_labels = []; s_value = parse_float rest }))

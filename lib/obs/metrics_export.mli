@@ -12,3 +12,36 @@ val pretty_count : int -> string
 val compact : (string * int) list -> string
 (** Single-line [name=1.2k] rendering of the non-zero counters — used by
     the bench harness next to each timing. *)
+
+(** {1 Prometheus text exposition}
+
+    The scrape format served by the daemon's metrics endpoint: counters
+    and gauges as [# TYPE]-annotated single samples, histograms as
+    cumulative [_bucket{le="..."}] series plus [_sum] / [_count] (and
+    exact [_min] / [_max] gauge-style lines when non-empty).  Dotted
+    names are sanitised to underscores; label values escape backslash,
+    double-quote and newline. *)
+
+val to_prometheus :
+  ?counters:(string * int) list ->
+  ?gauges:(string * (string * string) list * float) list ->
+  ?histograms:(string * Histogram.export) list ->
+  unit ->
+  string
+(** Render a scrape body.  Each input defaults to the corresponding
+    process-wide registry snapshot ({!Counter.snapshot},
+    {!Gauge.snapshot}, {!Histogram.snapshot}); pass explicit lists to
+    add unregistered series or control ordering. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+exception Parse_error of string
+
+val parse_prometheus : string -> sample list
+(** Parse a scrape body back into samples (comments and blank lines
+    skipped, label escapes decoded).  Raises {!Parse_error} on malformed
+    lines — used by the monitor CLI and the round-trip tests. *)

@@ -4,8 +4,15 @@ let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
 
 let tid () = (Domain.self () :> int)
 
+(* Spans emitted with no sink installed used to vanish without a trace;
+   counting them makes "why is my trace empty" a one-counter check. *)
+let c_dropped = Counter.make "span.dropped"
+
 let with_ ?args name f =
-  if not (Sink.installed ()) then f ()
+  if not (Sink.installed ()) then begin
+    Counter.incr c_dropped;
+    f ()
+  end
   else begin
     let t = tid () in
     Sink.emit (Events.make ?args Events.Begin ~name ~ts_us:(now_us ()) ~tid:t);
@@ -18,6 +25,7 @@ let with_ ?args name f =
 let instant ?args name =
   if Sink.installed () then
     Sink.emit (Events.make ?args Events.Instant ~name ~ts_us:(now_us ()) ~tid:(tid ()))
+  else Counter.incr c_dropped
 
 let timed f =
   let t0 = Unix.gettimeofday () in

@@ -16,13 +16,16 @@ val tid : unit -> int
 
 val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_ name f] runs [f] inside a span called [name].  Without an
-    installed sink this is just [f ()] after one atomic read.  The [End]
-    event is emitted even when [f] raises. *)
+    installed sink this is just [f ()] after one atomic read, and the
+    ["span.dropped"] counter is bumped so silently-lost instrumentation
+    is visible in the metrics snapshot.  The [End] event is emitted even
+    when [f] raises. *)
 
 val instant : ?args:(string * string) list -> string -> unit
-(** Emit a point event (rendered as a Chrome "instant"); no-op without a
-    sink.  When [args] are costly to build, guard the call with
-    {!Sink.installed} to avoid the allocation in disabled runs. *)
+(** Emit a point event (rendered as a Chrome "instant"); without a sink
+    it only bumps ["span.dropped"].  When [args] are costly to build,
+    guard the call with {!Sink.installed} to avoid the allocation in
+    disabled runs. *)
 
 val timed : (unit -> 'a) -> 'a * float
 (** [timed f] is [(f (), wall seconds f took)].  The replacement for the

@@ -121,6 +121,7 @@ let feed t volume =
 
 let fed t = t.clock
 let config t = Array.copy t.current
+let loads t = Array.sub t.loads 0 t.clock
 
 module S = Util.Sexp
 

@@ -73,6 +73,10 @@ val config : t -> Model.Config.t
 (** The currently active configuration (all-off before the first
     [feed]). *)
 
+val loads : t -> float array
+(** A copy of the volumes fed so far (length {!fed}) — what the shadow
+    oracle replays through the offline solver. *)
+
 val save : t -> Util.Sexp.t
 (** The session's complete resumable state: fed loads, clock, current
     configuration, engine and stepper payloads. *)

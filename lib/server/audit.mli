@@ -1,0 +1,70 @@
+(** The shadow oracle: continuous empirical competitive-ratio auditing.
+
+    Every [every] freshly stepped slots, the daemon hands the audit a
+    copy-out snapshot of its [sample] longest-running sessions — loads
+    fed, decisions returned, scenario name.  A background thread
+    rebuilds each session's instance (scenario types and costs over the
+    observed loads, cost clamped into the scenario horizon exactly as
+    {!Session} does), prices the online decisions with
+    [Model.Cost.schedule], solves the offline optimum with
+    [Offline.Dp.solve_optimal], and publishes:
+
+    - [audit.regret_ratio] (gauge): the worst [online / OPT] over the
+      last batch — an empirical sample of the paper's competitive
+      ratio, clamped at [1.0] so float noise never reads as beating
+      OPT;
+    - [audit.regret_abs] (gauge) and [audit.regret_abs_dist] /
+      [audit.regret_ratio_dist] (histograms): the absolute gap and the
+      cumulative per-session distributions;
+    - [audit.lag_rounds] (gauge): slots the daemon stepped while the
+      batch waited for the worker — how stale the published ratio is;
+    - [audit.runs] / [audit.sessions_audited] / [audit.failures]
+      (counters).
+
+    The handoff shares no mutable state: the select loop never blocks
+    on a DP solve, and at most one batch is ever queued (a slow worker
+    drops stale batches in favour of the newest snapshot).  [~sync]
+    runs batches inline on the calling thread — deterministic for
+    tests. *)
+
+type t
+
+val create :
+  ?sync:bool ->
+  every:int ->
+  sample:int ->
+  stepped_now:(unit -> int) ->
+  unit ->
+  t
+(** [stepped_now] reads the daemon's total-stepped-slots clock (used
+    both to schedule batches and to measure lag).  Spawns the worker
+    thread unless [sync].  Raises [Invalid_argument] when [every] or
+    [sample] is less than 1. *)
+
+val maybe_run : t -> sessions:(unit -> Session.t list) -> unit
+(** Called by the daemon after each scheduling round.  When at least
+    [every] slots have been stepped since the last audit, snapshots up
+    to [sample] sessions from [sessions ()] (only materialised when an
+    audit is actually due) and submits the batch — inline in [sync]
+    mode, to the worker otherwise. *)
+
+val stop : t -> unit
+(** Stop and join the worker (idempotent; no-op in [sync] mode).  A
+    queued batch may be dropped. *)
+
+val runs : t -> int
+val audited : t -> int
+
+val last_regret_ratio : t -> float
+(** Worst [online / OPT] of the last completed batch; [nan] before the
+    first one. *)
+
+val last_regret_abs : t -> float
+
+val gauges : t -> (string * (string * string) list * float) list
+val counters : t -> (string * int) list
+val histograms : t -> (string * Obs.Histogram.export) list
+(** The audit's telemetry in the shapes {!Obs.Metrics_export}
+    consumes — owned by this audit instance, not the process-wide
+    registries, so concurrent daemons in one process (tests) do not
+    cross-contaminate. *)

@@ -20,6 +20,10 @@ type config = {
   max_frame_bytes : int;
   max_sessions : int;
   crash_after_slots : int option;
+  metrics_port : int option;
+  audit_every : int option;
+  audit_sample : int;
+  audit_sync : bool;
 }
 
 let default_config =
@@ -30,7 +34,11 @@ let default_config =
     checkpoint_every = 64;
     max_frame_bytes = Codec.default_max_frame_bytes;
     max_sessions = 1024;
-    crash_after_slots = None }
+    crash_after_slots = None;
+    metrics_port = None;
+    audit_every = None;
+    audit_sample = 4;
+    audit_sync = false }
 
 type conn = {
   fd : Unix.file_descr;
@@ -40,8 +48,6 @@ type conn = {
   mutable dead : bool;  (* closed after this round's replies are flushed *)
 }
 
-let latency_ring = 65536
-
 type t = {
   cfg : config;
   sessions : (string, Session.t) Hashtbl.t;
@@ -50,26 +56,31 @@ type t = {
   stop : bool Atomic.t;
   mutable stepped : int;   (* freshly stepped slots, across all sessions *)
   mutable since_ck : int;
-  lat : float array;       (* request latencies, us; ring buffer *)
-  mutable lat_n : int;
+  (* Bounded latency telemetry: O(buckets) forever, where the old
+     design kept a per-request sample array.  Daemon-owned (not in the
+     process-wide registry) so concurrent daemons in one test process
+     stay isolated. *)
+  lat_h : Obs.Histogram.t;     (* per-request service latency, us *)
+  batch_h : Obs.Histogram.t;   (* step-phase duration per round, us *)
+  mutable audit : Audit.t option;
+  mutable metrics_listener : Unix.file_descr option;
+  mutable metrics_conns : Unix.file_descr list;
+  start_time : float;
+  mutable last_ck_at : float;  (* wall clock of last checkpoint; nan before *)
 }
 
 let session_count t = Hashtbl.length t.sessions
 let stepped_slots t = t.stepped
 let request_stop t = Atomic.set t.stop true
+let audit t = t.audit
 
-let latencies t =
-  let n = min t.lat_n (Array.length t.lat) in
-  Array.sub t.lat 0 n
-
-let record_latency t t0 =
-  let cap = Array.length t.lat in
-  t.lat.(t.lat_n mod cap) <- Obs.Span.now_us () -. t0;
-  t.lat_n <- t.lat_n + 1
+let record_latency t t0 = Obs.Histogram.observe t.lat_h (Obs.Span.now_us () -. t0)
 
 let stats t =
-  let xs = latencies t in
-  let q p = if Array.length xs = 0 then 0. else Util.Stats.quantile xs p in
+  let q p =
+    if Obs.Histogram.count t.lat_h = 0 then 0.
+    else Obs.Histogram.quantile t.lat_h p
+  in
   { P.accepts = Obs.Counter.value c_accepts;
     sessions = Hashtbl.length t.sessions;
     requests = Obs.Counter.value c_requests;
@@ -77,6 +88,46 @@ let stats t =
     batches = Obs.Counter.value c_batches;
     p50_us = q 0.5;
     p99_us = q 0.99 }
+
+(* The full telemetry scrape: process-wide counter/gauge/histogram
+   registries (faultinj sites, streaming buffer grows, span.dropped,
+   ...) plus the daemon's own series and, when auditing, the shadow
+   oracle's.  One body serves both the [metrics] protocol request and
+   the [--metrics-port] HTTP listener. *)
+let metrics_body t =
+  let counters =
+    Obs.Counter.snapshot ()
+    @ (match t.audit with Some a -> Audit.counters a | None -> [])
+  in
+  let gauges =
+    Obs.Gauge.snapshot ()
+    @ [ ("server.sessions", [], float_of_int (Hashtbl.length t.sessions));
+        ("server.connections", [], float_of_int (Hashtbl.length t.conns));
+        ( "server.pool_domains",
+          [],
+          match t.cfg.pool with
+          | Some p -> float_of_int (Util.Pool.size p)
+          | None -> 0. );
+        ("server.uptime_s", [], Unix.gettimeofday () -. t.start_time) ]
+    @ (if Float.is_nan t.last_ck_at then []
+       else
+         [ ("server.checkpoint_age_s", [], Unix.gettimeofday () -. t.last_ck_at) ])
+    @ (match t.audit with Some a -> Audit.gauges a | None -> [])
+  in
+  (* Distribution of slots fed across live sessions, rebuilt per scrape
+     (cheap: one pass over the table into a fixed bucket array). *)
+  let fed_h = Obs.Histogram.create ~lo:1. ~hi:1e7 () in
+  Hashtbl.iter
+    (fun _ s -> Obs.Histogram.observe fed_h (float_of_int (Session.fed s)))
+    t.sessions;
+  let histograms =
+    Obs.Histogram.snapshot ()
+    @ [ ("server.request_latency_us", Obs.Histogram.export t.lat_h);
+        ("server.batch_duration_us", Obs.Histogram.export t.batch_h);
+        ("server.session_fed_slots", Obs.Histogram.export fed_h) ]
+    @ (match t.audit with Some a -> Audit.histograms a | None -> [])
+  in
+  Obs.Metrics_export.to_prometheus ~counters ~gauges ~histograms ()
 
 (* --- checkpointing ------------------------------------------------- *)
 
@@ -96,6 +147,7 @@ let checkpoint_now t =
       match Util.Snapshot.save ~path ~kind:snapshot_kind (table_payload t) with
       | Ok () ->
           t.since_ck <- 0;
+          t.last_ck_at <- Unix.gettimeofday ();
           Obs.Counter.incr c_checkpoints;
           Ok ()
       | Error e -> Error (Util.Snapshot.error_to_string e))
@@ -156,6 +208,7 @@ let exec_control t (req : P.request) : P.response =
                     { id; alg = Session.alg s; types = Session.num_types s;
                       fed = 0 }))
   | P.Stats -> P.Stats_reply (stats t)
+  | P.Metrics -> P.Metrics_reply { body = metrics_body t }
   | P.Query_snapshot { id } -> (
       match Hashtbl.find_opt t.sessions id with
       | Some s -> P.Snapshot_state { id; state = Session.save s }
@@ -206,7 +259,8 @@ let process_round t items =
                 | P.Welcome _, Some c -> c.hello_done <- true
                 | _ -> ());
                 it.reply <- Some r
-            | P.Create_session _ | P.Stats -> it.reply <- Some (exec_control t req)
+            | P.Create_session _ | P.Stats | P.Metrics ->
+                it.reply <- Some (exec_control t req)
             | P.Feed _ | P.Query_snapshot _ | P.Close _ | P.Shutdown -> ()))
     items;
   (* step: group the round's feeds by session, preserving arrival order
@@ -284,6 +338,7 @@ let process_round t items =
           fail P.Injected ("injected fault at " ^ site)
       | exn -> fail P.Internal (Printexc.to_string exn)
     in
+    let batch_t0 = Obs.Span.now_us () in
     Obs.Span.with_ ~args:[ ("sessions", string_of_int ntasks) ] "server.batch"
       (fun () ->
         match t.cfg.pool with
@@ -292,6 +347,7 @@ let process_round t items =
             for k = 0 to ntasks - 1 do
               safe k
             done);
+    Obs.Histogram.observe t.batch_h (Obs.Span.now_us () -. batch_t0);
     let fresh = ref 0 in
     Array.iteri (fun k s -> fresh := !fresh + Session.fed s - before.(k)) sess;
     Obs.Counter.add c_decisions !fresh;
@@ -306,7 +362,12 @@ let process_round t items =
           it.reply <- Some (exec_control t req)
       | None, Ok _ -> it.reply <- Some (err P.Internal "unhandled request")
       | _ -> ())
-    items
+    items;
+  match t.audit with
+  | None -> ()
+  | Some a ->
+      Audit.maybe_run a
+        ~sessions:(fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [])
 
 let handle t req =
   let it = { conn = None; req = Ok req; reply = None; t0 = 0. } in
@@ -347,9 +408,22 @@ let create ?resume cfg =
         stop = Atomic.make false;
         stepped = 0;
         since_ck = 0;
-        lat = Array.make latency_ring 0.;
-        lat_n = 0 }
+        lat_h = Obs.Histogram.create ();
+        batch_h = Obs.Histogram.create ();
+        audit = None;
+        metrics_listener = None;
+        metrics_conns = [];
+        start_time = Unix.gettimeofday ();
+        last_ck_at = Float.nan }
     in
+    (match cfg.audit_every with
+    | Some every ->
+        t.audit <-
+          Some
+            (Audit.create ~sync:cfg.audit_sync ~every ~sample:cfg.audit_sample
+               ~stepped_now:(fun () -> t.stepped)
+               ())
+    | None -> ());
     let* () =
       match resume with None -> Ok () | Some path -> restore_sessions t path
     in
@@ -360,6 +434,9 @@ let create ?resume cfg =
        | None -> ());
        (match cfg.tcp_port with
        | Some p -> ls := bind_tcp p :: !ls
+       | None -> ());
+       (match cfg.metrics_port with
+       | Some p -> t.metrics_listener <- Some (bind_tcp p)
        | None -> ());
        Ok !ls
        : (_, string) result)
@@ -451,16 +528,50 @@ let drop_conn t conn =
   Obs.Counter.incr c_disconnects
 
 let export_latency t =
-  let xs = latencies t in
-  if Array.length xs > 0 then begin
+  if Obs.Histogram.count t.lat_h > 0 then begin
     let set name q =
       let c = Obs.Counter.make name in
       Obs.Counter.reset c;
-      Obs.Counter.add c (int_of_float (Util.Stats.quantile xs q))
+      Obs.Counter.add c (int_of_float (Obs.Histogram.quantile t.lat_h q))
     in
     set "server.latency_p50_us" 0.5;
     set "server.latency_p99_us" 0.99
   end
+
+(* --- the /metrics HTTP listener ------------------------------------ *)
+
+let accept_metrics t lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | fd, _ -> t.metrics_conns <- fd :: t.metrics_conns
+
+(* One-shot HTTP/1.0 exchange: read whatever request arrived (a scraper
+   on loopback sends it in one write), answer with the scrape body,
+   close.  No keep-alive, no routing — any path gets the metrics. *)
+let serve_metrics_conn t fd =
+  let buf = Bytes.create 4096 in
+  (try ignore (Unix.read fd buf 0 (Bytes.length buf))
+   with Unix.Unix_error _ -> ());
+  let body = metrics_body t in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\r\n%s"
+      (String.length body) body
+  in
+  let len = String.length resp in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd resp off (len - off) with
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> ()
+      | n -> go (off + n)
+  in
+  go 0;
+  t.metrics_conns <- List.filter (fun fd' -> fd' != fd) t.metrics_conns;
+  close_quietly fd
 
 let run t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -468,13 +579,20 @@ let run t =
   let buf = Bytes.create 65536 in
   while not (Atomic.get t.stop) do
     let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
-    match Unix.select (t.listeners @ conn_fds) [] [] 0.25 with
+    let metric_fds =
+      match t.metrics_listener with
+      | Some lfd -> lfd :: t.metrics_conns
+      | None -> []
+    in
+    match Unix.select (t.listeners @ conn_fds @ metric_fds) [] [] 0.25 with
     | exception Unix.Unix_error (EINTR, _, _) -> ()
     | readable, _, _ ->
         let items = ref [] in
         List.iter
           (fun fd ->
             if List.memq fd t.listeners then accept_on t fd
+            else if t.metrics_listener = Some fd then accept_metrics t fd
+            else if List.memq fd t.metrics_conns then serve_metrics_conn t fd
             else
               match Hashtbl.find_opt t.conns fd with
               | Some conn -> items := drain_conn conn buf !items
@@ -520,10 +638,18 @@ let run t =
       | Error m -> prerr_endline ("daemon: final checkpoint failed: " ^ m))
   | None -> ());
   export_latency t;
+  (match t.audit with Some a -> Audit.stop a | None -> ());
   let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   List.iter (fun c -> drop_conn t c) conns;
   List.iter close_quietly t.listeners;
   t.listeners <- [];
+  List.iter close_quietly t.metrics_conns;
+  t.metrics_conns <- [];
+  (match t.metrics_listener with
+  | Some lfd ->
+      close_quietly lfd;
+      t.metrics_listener <- None
+  | None -> ());
   match t.cfg.unix_path with
   | Some p -> ( try Sys.remove p with Sys_error _ -> ())
   | None -> ()

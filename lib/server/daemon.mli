@@ -54,10 +54,21 @@ type config = {
       (** testing hook: [exit 3] mid-loop (no final checkpoint — the
           deterministic stand-in for [kill -9]) once this many slots
           have been stepped *)
+  metrics_port : int option;
+      (** loopback TCP port serving the Prometheus scrape over one-shot
+          HTTP/1.0 exchanges, multiplexed in the same select loop *)
+  audit_every : int option;
+      (** enable the {!Audit} shadow oracle, auditing every this many
+          freshly stepped slots *)
+  audit_sample : int;  (** sessions sampled per audit batch *)
+  audit_sync : bool;
+      (** run audits inline instead of on the worker thread —
+          deterministic for tests *)
 }
 
 val default_config : config
-(** No listeners, no pool, no checkpointing, [checkpoint_every = 64],
+(** No listeners, no pool, no checkpointing, no metrics port, no
+    auditing ([audit_sample = 4]), [checkpoint_every = 64],
     [max_frame_bytes = Codec.default_max_frame_bytes],
     [max_sessions = 1024]. *)
 
@@ -86,6 +97,18 @@ val session_count : t -> int
 val stepped_slots : t -> int
 
 val stats : t -> Protocol.stats
+
+val metrics_body : t -> string
+(** The full Prometheus-format scrape: the process-wide
+    counter/gauge/histogram registries plus the daemon's own series
+    (request-latency and batch-duration histograms, session/connection/
+    pool-occupancy gauges, checkpoint age, per-session fed-slot
+    distribution) and, when auditing is enabled, the shadow oracle's
+    regret metrics.  The same body answers the [metrics] protocol
+    request and the [--metrics-port] HTTP listener. *)
+
+val audit : t -> Audit.t option
+(** The shadow oracle, when [audit_every] is configured. *)
 
 val checkpoint_now : t -> (unit, string) result
 (** Write the session-table checkpoint immediately (requires a

@@ -141,7 +141,9 @@ type conn_out = {
   mutable rows : int;
   mutable resumed : int;
   mutable errs : int;
-  mutable lats_ms : float list;
+  lat_h : Obs.Histogram.t;
+      (* per-frame latency, us; each connection thread is the single
+         writer of its own histogram, merged after the joins *)
   mutable partial : (string array * Model.Config.t array array) option;
       (* per session: per-slot decisions, [||] = not (yet) decided *)
 }
@@ -201,7 +203,7 @@ let conn_main cfg out ci () =
                   Array.iteri (fun i x -> decided.(k).(seq + i) <- x) configs;
                   seqs.(k) <- seq + n;
                   out.rows <- out.rows + n;
-                  out.lats_ms <- ((Obs.Span.now_us () -. t0) /. 1000.) :: out.lats_ms
+                  Obs.Histogram.observe out.lat_h (Obs.Span.now_us () -. t0)
               | P.Error { code = P.Injected; _ } ->
                   (* frame not advanced: re-sent on the next round *)
                   out.errs <- out.errs + 1;
@@ -285,10 +287,8 @@ let count_verify_failures cfg ~oracle_sessions ~got =
           if complete && agree then bad else bad + 1)
     0 got
 
-let quantile_ms lats q =
-  match lats with
-  | [] -> 0.
-  | _ -> Util.Stats.quantile (Array.of_list lats) q
+let quantile_ms h q =
+  if Obs.Histogram.count h = 0 then 0. else Obs.Histogram.quantile h q /. 1000.
 
 let report_to_string r =
   String.concat "\n"
@@ -331,7 +331,7 @@ let run cfg =
     let outs =
       Array.init cfg.connections (fun _ ->
           { ok = false; fail_msg = ""; rows = 0; resumed = 0; errs = 0;
-            lats_ms = []; partial = None })
+            lat_h = Obs.Histogram.create (); partial = None })
     in
     let t0 = Unix.gettimeofday () in
     let threads =
@@ -354,7 +354,8 @@ let run cfg =
         if cfg.verify then count_verify_failures cfg ~oracle_sessions ~got else 0
       in
       let decisions = Array.fold_left (fun a o -> a + o.rows) 0 outs in
-      let lats = Array.fold_left (fun a o -> List.rev_append o.lats_ms a) [] outs in
+      let lats = Obs.Histogram.create () in
+      Array.iter (fun o -> Obs.Histogram.merge_into ~src:o.lat_h ~dst:lats) outs;
       Ok
         { decisions;
           resumed = Array.fold_left (fun a o -> a + o.resumed) 0 outs;

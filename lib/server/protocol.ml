@@ -9,6 +9,7 @@ type request =
   | Feed of { id : string; seq : int; loads : float array }
   | Query_snapshot of { id : string }
   | Stats
+  | Metrics
   | Close of { id : string }
   | Shutdown
 
@@ -61,6 +62,7 @@ type response =
   | Decisions of { id : string; seq : int; configs : Model.Config.t array }
   | Snapshot_state of { id : string; state : Util.Sexp.t }
   | Stats_reply of stats
+  | Metrics_reply of { body : string }
   | Closed of { id : string }
   | Bye
   | Error of { code : error_code; msg : string; fed : int option }
@@ -146,6 +148,7 @@ let request_to_sexp = function
           Snap.float_array_field "loads" loads ]
   | Query_snapshot { id } -> S.List [ S.Atom "snapshot"; str_field "id" id ]
   | Stats -> S.List [ S.Atom "stats" ]
+  | Metrics -> S.List [ S.Atom "metrics" ]
   | Close { id } -> S.List [ S.Atom "close"; str_field "id" id ]
   | Shutdown -> S.List [ S.Atom "shutdown" ]
 
@@ -171,6 +174,7 @@ let response_to_sexp = function
           int_field "batches" batches;
           S.List [ S.Atom "p50-us"; Snap.float_atom p50_us ];
           S.List [ S.Atom "p99-us"; Snap.float_atom p99_us ] ]
+  | Metrics_reply { body } -> S.List [ S.Atom "metrics"; str_field "body" body ]
   | Closed { id } -> S.List [ S.Atom "closed"; str_field "id" id ]
   | Bye -> S.List [ S.Atom "bye" ]
   | Error { code; msg; fed } ->
@@ -214,6 +218,7 @@ let request_of_sexp sexp =
       let* id = str_of_field fields "id" in
       Ok (Query_snapshot { id })
   | S.List [ S.Atom "stats" ] -> Ok Stats
+  | S.List [ S.Atom "metrics" ] -> Ok Metrics
   | S.List (S.Atom "close" :: fields) ->
       let* id = str_of_field fields "id" in
       Ok (Close { id })
@@ -273,6 +278,9 @@ let response_of_sexp sexp =
       let* p50_us = float_of_field fields "p50-us" in
       let* p99_us = float_of_field fields "p99-us" in
       Ok (Stats_reply { accepts; sessions; requests; decisions; batches; p50_us; p99_us })
+  | S.List (S.Atom "metrics" :: fields) ->
+      let* body = str_of_field fields "body" in
+      Ok (Metrics_reply { body })
   | S.List (S.Atom "closed" :: fields) ->
       let* id = str_of_field fields "id" in
       Ok (Closed { id })

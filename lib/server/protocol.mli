@@ -31,6 +31,11 @@ type request =
           decision history (feeding is idempotent). *)
   | Query_snapshot of { id : string }  (** the session's resumable state *)
   | Stats                              (** daemon-wide counters and latency *)
+  | Metrics
+      (** the full telemetry scrape in Prometheus text format, the same
+          body the [--metrics-port] HTTP listener serves.  Added within
+          protocol version 1: old daemons answer [bad-request], old
+          clients simply never send it. *)
   | Close of { id : string }
   | Shutdown
 
@@ -67,6 +72,8 @@ type response =
   | Decisions of { id : string; seq : int; configs : Model.Config.t array }
   | Snapshot_state of { id : string; state : Util.Sexp.t }
   | Stats_reply of stats
+  | Metrics_reply of { body : string }
+      (** Prometheus text scrape (see {!Obs.Metrics_export.to_prometheus}) *)
   | Closed of { id : string }
   | Bye                   (** acknowledges [Shutdown] *)
   | Error of { code : error_code; msg : string; fed : int option }

@@ -107,6 +107,8 @@ let feed t ~seq loads =
     go 0
   end
 
+let loads t = Online.Streaming.loads t.streaming
+
 let decisions_from t ~from_ =
   let from_ = max 0 (min from_ t.hist_len) in
   Array.init (t.hist_len - from_) (fun i -> Array.copy t.history.(from_ + i))

@@ -52,6 +52,11 @@ val feed :
 val decisions_from : t -> from_:int -> Model.Config.t array
 (** The stored decisions for slots [from_, fed) (fresh arrays). *)
 
+val loads : t -> float array
+(** A copy of the volumes fed so far (length {!fed}) — together with
+    {!decisions_from} and {!spec}, everything the shadow oracle needs to
+    re-cost this session offline. *)
+
 val save : t -> Util.Sexp.t
 (** [(session (id ..) (scenario ..) (max-horizon ..)? (history ..) (state ..))] *)
 

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# End-to-end telemetry-plane check through the real CLI binary.
+#
+# Start the daemon with a metrics listener and the shadow-oracle audit
+# enabled, drive it with the load generator, and scrape it twice while
+# (and after) traffic flows.  Asserts, on the raw Prometheus bodies:
+#
+#   - request/decision counters are present and monotone across scrapes;
+#   - the batch-latency histogram exposes cumulative buckets whose +Inf
+#     cell equals its _count;
+#   - the shadow oracle ran and published a finite empirical competitive
+#     ratio audit_regret_ratio >= 1 - EPS (the online cost can never
+#     genuinely beat the offline DP optimum, see docs/observability.md);
+#   - `rightsizer monitor --once --json` digests the same endpoint into
+#     JSON that agrees with the raw scrape.
+#
+# Scrapes are kept on disk and copied to ARTIFACT_DIR when set (the CI
+# job uploads them on failure).
+#
+# Usage: scripts/e2e_monitor.sh [path-to-rightsizer-binary]
+
+set -u
+
+BIN=${1:-_build/default/bin/rightsizer.exe}
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [ ! -x "$BIN" ]; then
+  echo "e2e_monitor: binary not found at $BIN (run 'dune build' first)" >&2
+  exit 2
+fi
+
+SOCK="$WORK/d.sock"
+MPORT=$((20000 + RANDOM % 20000))
+EPS=0.000001
+
+fail() {
+  echo "FAIL e2e_monitor: $*" >&2
+  if [ -n "${ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp "$WORK"/*.log "$WORK"/*.prom "$WORK"/*.json "$ARTIFACT_DIR"/ 2>/dev/null
+  fi
+  exit 1
+}
+
+# value <scrape-file> <metric-name>: first label-free sample's value
+value() {
+  awk -v m="$2" '$1 == m { print $2; exit }' "$1"
+}
+
+"$BIN" serve --unix "$SOCK" --metrics-port "$MPORT" \
+  --audit-every 32 --audit-sample 2 > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.05
+done
+[ -S "$SOCK" ] || fail "daemon did not bind $SOCK ($(cat "$WORK/serve.log"))"
+
+# First traffic wave, then scrape 1.
+"$BIN" loadgen --unix "$SOCK" -c 4 --sessions 2 --slots 60 --batch 4 \
+  --scenario cpu-gpu --seed 11 > "$WORK/lg1.log" 2>&1 \
+  || fail "loadgen wave 1 errored: $(tail -2 "$WORK/lg1.log")"
+"$BIN" monitor --port "$MPORT" --raw > "$WORK/scrape1.prom" 2>/dev/null \
+  || fail "scrape 1 failed (is --metrics-port serving?)"
+
+# Second wave extends the same sessions to 120 slots (slots 0-59 replay
+# from history, 60-119 step fresh), then scrape 2 — counters must have
+# advanced.
+"$BIN" loadgen --unix "$SOCK" -c 4 --sessions 2 --slots 120 --batch 4 \
+  --scenario cpu-gpu --seed 11 > "$WORK/lg2.log" 2>&1 \
+  || fail "loadgen wave 2 errored: $(tail -2 "$WORK/lg2.log")"
+"$BIN" monitor --port "$MPORT" --raw > "$WORK/scrape2.prom" 2>/dev/null \
+  || fail "scrape 2 failed"
+
+for metric in server_requests server_decisions server_sessions; do
+  grep -q "^$metric " "$WORK/scrape2.prom" || fail "$metric missing from scrape"
+done
+
+# Counters monotone (and strictly advanced) between the scrapes.
+for metric in server_requests server_decisions; do
+  V1=$(value "$WORK/scrape1.prom" "$metric")
+  V2=$(value "$WORK/scrape2.prom" "$metric")
+  [ -n "$V1" ] && [ -n "$V2" ] || fail "$metric absent from a scrape"
+  awk -v a="$V1" -v b="$V2" 'BEGIN { exit !(b > a) }' \
+    || fail "$metric not monotone across scrapes ($V1 -> $V2)"
+done
+
+# Histogram exposition: buckets present, +Inf cumulative cell == _count.
+grep -q '^server_batch_duration_us_bucket{le="' "$WORK/scrape2.prom" \
+  || fail "batch-latency histogram buckets missing"
+BCOUNT=$(value "$WORK/scrape2.prom" server_batch_duration_us_count)
+BINF=$(awk '/^server_batch_duration_us_bucket\{le="\+Inf"\}/ { print $2; exit }' \
+  "$WORK/scrape2.prom")
+[ "$BCOUNT" = "$BINF" ] || fail "+Inf bucket ($BINF) != _count ($BCOUNT)"
+awk -v c="$BCOUNT" 'BEGIN { exit !(c > 0) }' || fail "batch histogram empty"
+
+# Shadow oracle: it ran, and the empirical competitive ratio is a
+# finite number >= 1 - EPS.
+RUNS=$(value "$WORK/scrape2.prom" audit_runs)
+awk -v r="${RUNS:-0}" 'BEGIN { exit !(r > 0) }' \
+  || fail "shadow oracle never ran (audit_runs=${RUNS:-absent})"
+RATIO=$(value "$WORK/scrape2.prom" audit_regret_ratio)
+[ -n "$RATIO" ] || fail "audit_regret_ratio missing"
+case "$RATIO" in
+  NaN|nan|+Inf|-Inf) fail "audit_regret_ratio not finite: $RATIO" ;;
+esac
+awk -v r="$RATIO" -v e="$EPS" 'BEGIN { exit !(r >= 1 - e) }' \
+  || fail "audit_regret_ratio $RATIO < 1 - $EPS (online cannot beat OPT)"
+FAILURES=$(value "$WORK/scrape2.prom" audit_failures)
+[ "${FAILURES:-0}" = "0" ] || fail "audit reported $FAILURES replay failures"
+
+# The monitor CLI digests the same endpoint consistently.
+"$BIN" monitor --port "$MPORT" --once --json > "$WORK/monitor.json" 2>/dev/null \
+  || fail "monitor --once --json failed"
+grep -q '"regret_ratio": *[0-9]' "$WORK/monitor.json" \
+  || fail "monitor JSON lacks a numeric regret_ratio: $(cat "$WORK/monitor.json")"
+JSESS=$(grep -o '"sessions": *[0-9.]*' "$WORK/monitor.json" | grep -o '[0-9.]*$')
+SSESS=$(value "$WORK/scrape2.prom" server_sessions)
+awk -v a="${JSESS:-x}" -v b="${SSESS:-y}" 'BEGIN { exit !(a + 0 == b + 0) }' \
+  || fail "monitor sessions ($JSESS) disagrees with scrape ($SSESS)"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
+
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$ARTIFACT_DIR"
+  cp "$WORK"/*.prom "$WORK"/*.json "$ARTIFACT_DIR"/ 2>/dev/null
+fi
+
+echo "OK   monitor: counters monotone ($(value "$WORK/scrape1.prom" server_decisions) -> $(value "$WORK/scrape2.prom" server_decisions) decisions),"
+echo "     batch histogram populated ($BCOUNT observations), audit ran ${RUNS}x,"
+echo "     empirical competitive ratio $RATIO (>= 1), monitor JSON consistent"
+exit 0

@@ -237,13 +237,310 @@ let test_manifest () =
      find 0);
   Obs.Run_manifest.reset_notes ()
 
+(* --- histograms --- *)
+
+let checkf msg = Alcotest.(check (float 0.)) msg
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let mk_prop ?(count = 100) ~name prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count seed_gen prop)
+
+let test_histogram_basics () =
+  let h = Obs.Histogram.create () in
+  checki "empty count" 0 (Obs.Histogram.count h);
+  checkb "empty quantile nan" true (Float.is_nan (Obs.Histogram.quantile h 0.5));
+  checkb "empty mean nan" true (Float.is_nan (Obs.Histogram.mean h));
+  List.iter (Obs.Histogram.observe h) [ 1.; 10.; 100.; 1000. ];
+  Obs.Histogram.observe h Float.nan (* ignored *);
+  Obs.Histogram.observe h Float.infinity (* ignored *);
+  checki "count" 4 (Obs.Histogram.count h);
+  checkf "sum" 1111. (Obs.Histogram.sum h);
+  checkf "min exact" 1. (Obs.Histogram.minimum h);
+  checkf "max exact" 1000. (Obs.Histogram.maximum h);
+  checkf "mean" (1111. /. 4.) (Obs.Histogram.mean h);
+  checkf "q0 is min" 1. (Obs.Histogram.quantile h 0.);
+  checkf "q1 is max" 1000. (Obs.Histogram.quantile h 1.);
+  checkf "q below 0 clamped" 1. (Obs.Histogram.quantile h (-0.5));
+  Obs.Histogram.reset h;
+  checki "reset empties" 0 (Obs.Histogram.count h);
+  Alcotest.check_raises "lo >= hi rejected"
+    (Invalid_argument "Histogram.create: hi must be finite and exceed lo")
+    (fun () -> ignore (Obs.Histogram.create ~lo:10. ~hi:10. ()))
+
+let test_histogram_folding () =
+  (* Below-range values fold into the first bucket, at-or-above-range
+     into the overflow cell; every observation lands somewhere. *)
+  let h = Obs.Histogram.create ~lo:1. ~hi:1e3 () in
+  (* exact-at-[hi] classification is at the mercy of float log rounding,
+     so the overflow probes sit strictly above the edge *)
+  List.iter (Obs.Histogram.observe h) [ 0.001; 0.5; 2.; 999.; 2e3; 1e12 ];
+  let e = Obs.Histogram.export h in
+  checki "all counted" 6 e.Obs.Histogram.e_count;
+  checki "buckets cover count" 6 (Array.fold_left ( + ) 0 e.Obs.Histogram.e_counts);
+  checki "overflow cell holds the big ones" 2
+    e.Obs.Histogram.e_counts.(Array.length e.Obs.Histogram.e_counts - 1);
+  checkf "min tracks underflow exactly" 0.001 (Obs.Histogram.minimum h);
+  checkf "max tracks overflow exactly" 1e12 (Obs.Histogram.maximum h);
+  checki "one extra overflow cell" (Array.length e.Obs.Histogram.e_bounds + 1)
+    (Array.length e.Obs.Histogram.e_counts)
+
+let test_histogram_registry () =
+  let h = Obs.Histogram.make "test.hreg" in
+  Obs.Histogram.reset h;
+  Obs.Histogram.observe h 5.;
+  let h' = Obs.Histogram.make "test.hreg" in
+  checki "make idempotent by name" 1 (Obs.Histogram.count h');
+  checkb "find" true (Obs.Histogram.find "test.hreg" <> None);
+  checkb "find unknown" true (Obs.Histogram.find "test.no_such_h" = None);
+  checkb "snapshot sorted and includes it" true
+    (let snap = Obs.Histogram.snapshot () in
+     List.mem_assoc "test.hreg" snap
+     && List.map fst snap = List.sort compare (List.map fst snap))
+
+let gen_values ?(cap = 200) seed =
+  let rng = Util.Prng.create seed in
+  let n = 1 + Util.Prng.int rng cap in
+  Array.init n (fun _ ->
+      match Util.Prng.int rng 5 with
+      | 0 -> Util.Prng.float rng 0.9 (* below default lo *)
+      | 1 -> 1. +. Util.Prng.float rng 99.
+      | 2 -> Util.Prng.float rng 1e6
+      | 3 -> Util.Prng.float rng 1e9
+      | _ -> 1e9 +. Util.Prng.float rng 1e12 (* overflow *))
+
+let hist_of values =
+  let h = Obs.Histogram.create () in
+  Array.iter (Obs.Histogram.observe h) values;
+  h
+
+let export_eq ?(sum_tol = 1e-9) (a : Obs.Histogram.export) (b : Obs.Histogram.export) =
+  a.e_counts = b.e_counts && a.e_count = b.e_count && a.e_min = b.e_min
+  && a.e_max = b.e_max
+  && Float.abs (a.e_sum -. b.e_sum) <= sum_tol *. (1. +. Float.abs a.e_sum)
+
+let prop_histogram_merge_comm_assoc seed =
+  let rng = Util.Prng.create seed in
+  let va = gen_values (Util.Prng.int rng 1_000_000)
+  and vb = gen_values (Util.Prng.int rng 1_000_000)
+  and vc = gen_values (Util.Prng.int rng 1_000_000) in
+  let a () = hist_of va and b () = hist_of vb and c () = hist_of vc in
+  let m = Obs.Histogram.merge in
+  (* commutative *)
+  export_eq (Obs.Histogram.export (m (a ()) (b ()))) (Obs.Histogram.export (m (b ()) (a ())))
+  (* associative *)
+  && export_eq
+       (Obs.Histogram.export (m (m (a ()) (b ())) (c ())))
+       (Obs.Histogram.export (m (a ()) (m (b ()) (c ()))))
+  (* merging equals observing the concatenation *)
+  && export_eq
+       (Obs.Histogram.export (m (a ()) (b ())))
+       (Obs.Histogram.export (hist_of (Array.append va vb)))
+
+let prop_histogram_exact_vs_naive seed =
+  let values = gen_values ~cap:10_000 seed in
+  let h = hist_of values in
+  let naive_sum = Array.fold_left ( +. ) 0. values in
+  let naive_min = Array.fold_left Float.min Float.infinity values in
+  let naive_max = Array.fold_left Float.max Float.neg_infinity values in
+  Obs.Histogram.count h = Array.length values
+  && Obs.Histogram.sum h = naive_sum (* same additions, same order *)
+  && Obs.Histogram.minimum h = naive_min
+  && Obs.Histogram.maximum h = naive_max
+
+let prop_histogram_quantile_monotone seed =
+  let h = hist_of (gen_values seed) in
+  let qs = List.init 21 (fun i -> float_of_int i /. 20.) in
+  let vs = List.map (Obs.Histogram.quantile h) qs in
+  List.for_all2 ( <= ) vs (List.tl vs @ [ Float.infinity ])
+  && List.for_all
+       (fun v -> v >= Obs.Histogram.minimum h && v <= Obs.Histogram.maximum h)
+       vs
+
+let prop_histogram_quantile_bucket_error seed =
+  (* Interpolation never leaves the containing bucket: against a sorted
+     naive reference, the estimate is within one bucket width (factor
+     gamma = 10^(1/5)) of the true order statistic. *)
+  let values = gen_values seed in
+  let h = hist_of values in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let gamma = Float.pow 10. 0.2 in
+  List.for_all
+    (fun q ->
+      let est = Obs.Histogram.quantile h q in
+      let true_v = sorted.(min (n - 1) (int_of_float (q *. float_of_int n))) in
+      (* overflow-bucket estimates are clamped by the exact max *)
+      est <= Float.max (true_v *. gamma) (Obs.Histogram.maximum h)
+      && est >= Float.min (true_v /. gamma) 1.)
+    [ 0.25; 0.5; 0.9; 0.99 ]
+
+(* --- gauges --- *)
+
+let test_gauge_basics () =
+  let g = Obs.Gauge.make "test.gauge" in
+  Obs.Gauge.set g 0.;
+  Obs.Gauge.set g 3.5;
+  Obs.Gauge.add g 1.5;
+  checkf "set + add" 5. (Obs.Gauge.get g);
+  let g' = Obs.Gauge.make "test.gauge" in
+  checkf "make idempotent" 5. (Obs.Gauge.get g');
+  checks "name" "test.gauge" (Obs.Gauge.name g);
+  (* labelled gauges are distinct metrics; labels sort canonically *)
+  let l1 = Obs.Gauge.make ~labels:[ ("b", "2"); ("a", "1") ] "test.gauge" in
+  let l2 = Obs.Gauge.make ~labels:[ ("a", "1"); ("b", "2") ] "test.gauge" in
+  Obs.Gauge.set l1 9.;
+  checkf "label order canonical" 9. (Obs.Gauge.get l2);
+  checkb "labels sorted" true (Obs.Gauge.labels l1 = [ ("a", "1"); ("b", "2") ]);
+  checkf "unlabelled unaffected" 5. (Obs.Gauge.get g);
+  checkb "find with labels" true
+    (Obs.Gauge.find ~labels:[ ("b", "2"); ("a", "1") ] "test.gauge" <> None);
+  checkb "find unknown" true (Obs.Gauge.find "test.no_such_g" = None);
+  checkb "snapshot has both series" true
+    (List.length
+       (List.filter
+          (fun (n, _, _) -> n = "test.gauge")
+          (Obs.Gauge.snapshot ()))
+    = 2);
+  Obs.Gauge.reset_all ();
+  checkf "reset_all zeroes" 0. (Obs.Gauge.get g)
+
+(* --- span drop accounting --- *)
+
+let test_span_dropped_counter () =
+  Obs.Sink.uninstall ();
+  let c = Obs.Counter.make "span.dropped" in
+  Obs.Counter.reset c;
+  checki "with_ counts a drop" 42 (Obs.Span.with_ "lost" (fun () -> 42));
+  Obs.Span.instant "also-lost";
+  checki "both drops counted" 2 (Obs.Counter.value c);
+  let sink, _ = Obs.Sink.memory () in
+  Obs.Sink.with_sink sink (fun () -> Obs.Span.instant "kept");
+  checki "sinked events don't count" 2 (Obs.Counter.value c)
+
+(* --- prometheus exposition --- *)
+
+let test_prometheus_golden () =
+  let h = Obs.Histogram.create ~lo:1. ~hi:100. ~buckets_per_decade:1 () in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 5.; 500. ];
+  let body =
+    Obs.Metrics_export.to_prometheus
+      ~counters:[ ("req.total", 3) ]
+      ~gauges:[ ("pool.size", [ ("kind", {|a"b|}) ], 2.5) ]
+      ~histograms:[ ("lat.us", Obs.Histogram.export h) ]
+      ()
+  in
+  let expected =
+    String.concat "\n"
+      [ "# TYPE req_total counter";
+        "req_total 3";
+        "# TYPE pool_size gauge";
+        {|pool_size{kind="a\"b"} 2.5|};
+        "# TYPE lat_us histogram";
+        {|lat_us_bucket{le="10"} 2|};
+        {|lat_us_bucket{le="100"} 2|};
+        {|lat_us_bucket{le="+Inf"} 3|};
+        "lat_us_sum 505.5";
+        "lat_us_count 3";
+        "lat_us_min 0.5";
+        "lat_us_max 500";
+        "" ]
+  in
+  checks "golden scrape" expected body
+
+let test_prometheus_parse_errors () =
+  let bad s =
+    try
+      ignore (Obs.Metrics_export.parse_prometheus s);
+      false
+    with Obs.Metrics_export.Parse_error _ -> true
+  in
+  checkb "missing value" true (bad "name_only\n");
+  checkb "unparseable value" true (bad "m not-a-number\n");
+  checkb "unterminated labels" true (bad "m{a=\"x 1\n");
+  checkb "comments + blanks fine" true
+    (Obs.Metrics_export.parse_prometheus "# HELP x\n\n# TYPE x counter\nx 1\n"
+    = [ { Obs.Metrics_export.s_name = "x"; s_labels = []; s_value = 1. } ])
+
+let gen_label_value rng =
+  let n = Util.Prng.int rng 12 in
+  String.init n (fun _ ->
+      match Util.Prng.int rng 8 with
+      | 0 -> '"'
+      | 1 -> '\\'
+      | 2 -> '\n'
+      | _ -> Char.chr (32 + Util.Prng.int rng 95))
+
+let prop_prometheus_roundtrip seed =
+  let rng = Util.Prng.create seed in
+  let counters =
+    List.init (Util.Prng.int rng 4) (fun i -> (Printf.sprintf "c%d" i, Util.Prng.int rng 1000))
+  in
+  let gauges =
+    List.init (Util.Prng.int rng 4) (fun i ->
+        let labels =
+          List.init (Util.Prng.int rng 3) (fun j ->
+              (Printf.sprintf "k%d" j, gen_label_value rng))
+        in
+        let v =
+          match Util.Prng.int rng 5 with
+          | 0 -> Float.infinity
+          | 1 -> Float.neg_infinity
+          | 2 -> -.Util.Prng.float rng 1e9
+          | _ -> Util.Prng.float rng 1e-3
+        in
+        (Printf.sprintf "g%d" i, labels, v))
+  in
+  let histograms =
+    List.init (Util.Prng.int rng 2) (fun i ->
+        (Printf.sprintf "h%d" i, Obs.Histogram.export (hist_of (gen_values ~cap:50 seed))))
+  in
+  let body = Obs.Metrics_export.to_prometheus ~counters ~gauges ~histograms () in
+  let samples = Obs.Metrics_export.parse_prometheus body in
+  let keys =
+    List.map (fun (s : Obs.Metrics_export.sample) -> (s.s_name, s.s_labels)) samples
+  in
+  let find name labels =
+    List.find_opt
+      (fun (s : Obs.Metrics_export.sample) -> s.s_name = name && s.s_labels = labels)
+      samples
+  in
+  (* every series parses back under a unique key with its exact value *)
+  List.length keys = List.length (List.sort_uniq compare keys)
+  && List.for_all
+       (fun (n, v) ->
+         match find n [] with
+         | Some s -> s.s_value = float_of_int v
+         | None -> false)
+       counters
+  && List.for_all
+       (fun (n, labels, v) ->
+         match find n labels with Some s -> s.s_value = v | None -> false)
+       gauges
+  && List.for_all
+       (fun (n, (e : Obs.Histogram.export)) ->
+         (match find (n ^ "_count") [] with
+         | Some s -> s.s_value = float_of_int e.e_count
+         | None -> false)
+         && (match find (n ^ "_sum") [] with
+            | Some s -> s.s_value = e.e_sum
+            | None -> false)
+         &&
+         (* cumulative +Inf bucket equals the total count *)
+         match find (n ^ "_bucket") [ ("le", "+Inf") ] with
+         | Some s -> s.s_value = float_of_int e.e_count
+         | None -> false)
+       histograms
+
 let () =
   Alcotest.run "obs"
     [ ( "span",
         [ Alcotest.test_case "nesting through memory sink" `Quick test_span_nesting;
           Alcotest.test_case "end emitted on raise" `Quick test_span_end_on_raise;
           Alcotest.test_case "disabled is transparent" `Quick test_span_disabled_is_transparent;
-          Alcotest.test_case "timed / timed_n" `Quick test_timed
+          Alcotest.test_case "timed / timed_n" `Quick test_timed;
+          Alcotest.test_case "drops counted without a sink" `Quick test_span_dropped_counter
         ] );
       ( "counter",
         [ Alcotest.test_case "basics and registry" `Quick test_counter_basics;
@@ -262,6 +559,24 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "render / pretty / compact" `Quick test_metrics_render ] );
+      ( "histogram",
+        [ Alcotest.test_case "basics, quantile clamps, reset" `Quick test_histogram_basics;
+          Alcotest.test_case "under/overflow folding" `Quick test_histogram_folding;
+          Alcotest.test_case "registry" `Quick test_histogram_registry;
+          mk_prop ~count:50 ~name:"merge commutative + associative"
+            prop_histogram_merge_comm_assoc;
+          mk_prop ~count:50 ~name:"count/sum/min/max exact vs naive (<=10k)"
+            prop_histogram_exact_vs_naive;
+          mk_prop ~name:"quantile monotone in q" prop_histogram_quantile_monotone;
+          mk_prop ~count:50 ~name:"quantile within one bucket of naive"
+            prop_histogram_quantile_bucket_error ] );
+      ( "gauge",
+        [ Alcotest.test_case "set/add, labels, registry" `Quick test_gauge_basics ] );
+      ( "prometheus",
+        [ Alcotest.test_case "golden exposition" `Quick test_prometheus_golden;
+          Alcotest.test_case "parse errors and comments" `Quick test_prometheus_parse_errors;
+          mk_prop ~count:75 ~name:"render/parse round-trip, unique series"
+            prop_prometheus_roundtrip ] );
       ( "manifest",
         [ Alcotest.test_case "notes and capture" `Quick test_manifest ] )
     ]

@@ -49,7 +49,7 @@ let gen_config rng =
   Array.init (1 + Util.Prng.int rng 4) (fun _ -> Util.Prng.int rng 50)
 
 let gen_request rng : P.request =
-  match Util.Prng.int rng 7 with
+  match Util.Prng.int rng 8 with
   | 0 -> P.Hello { version = Util.Prng.int rng 10 }
   | 1 ->
       P.Create_session
@@ -60,6 +60,7 @@ let gen_request rng : P.request =
   | 3 -> P.Query_snapshot { id = gen_id rng }
   | 4 -> P.Stats
   | 5 -> P.Close { id = gen_id rng }
+  | 6 -> P.Metrics
   | _ -> P.Shutdown
 
 let gen_error_code rng =
@@ -71,7 +72,7 @@ let gen_error_code rng =
   Util.Prng.pick rng all
 
 let gen_response rng : P.response =
-  match Util.Prng.int rng 8 with
+  match Util.Prng.int rng 9 with
   | 0 -> P.Welcome { version = Util.Prng.int rng 10 }
   | 1 ->
       P.Session
@@ -94,6 +95,9 @@ let gen_response rng : P.response =
           batches = Util.Prng.int rng 100; p50_us = gen_float rng; p99_us = gen_float rng }
   | 5 -> P.Closed { id = gen_id rng }
   | 6 -> P.Bye
+  | 7 ->
+      (* scrape bodies carry newlines, quotes and high bytes *)
+      P.Metrics_reply { body = gen_string rng ^ "\n# TYPE x counter\nx 1\n" }
   | _ -> P.Error { code = gen_error_code rng; msg = gen_string rng;
                    fed = (if Util.Prng.bool rng then Some (Util.Prng.int rng 100) else None) }
 
@@ -460,6 +464,134 @@ let test_daemon_checkpoint_resume_multisession () =
             (Array.for_all2 Model.Config.equal resumed oracle))
         scenarios)
 
+(* Metrics scrape + shadow oracle, through the in-process handle path
+   with a synchronous audit so every number is deterministic. *)
+let test_daemon_metrics_and_audit () =
+  with_daemon (fun _dir mk cfg ->
+      let cfg =
+        { cfg with
+          Daemon.audit_every = Some 4; audit_sample = 2; audit_sync = true }
+      in
+      let d = mk "m.sock" cfg in
+      List.iter
+        (fun (id, scenario) ->
+          (match Daemon.handle d (P.Create_session { id; scenario; max_horizon = None }) with
+          | P.Session _ -> ()
+          | _ -> Alcotest.fail ("create " ^ id));
+          let loads = Array.init 12 (fun i -> 0.5 +. float_of_int (i mod 4)) in
+          ignore (expect_decisions (Daemon.handle d (P.Feed { id; seq = 0; loads }))))
+        [ ("a1", "cpu-gpu"); ("a2", "three-tier") ];
+      (* the sync audit ran inside the feed rounds *)
+      let audit = match Daemon.audit d with Some a -> a | None -> Alcotest.fail "no audit" in
+      checkb "audit ran" true (Server.Audit.runs audit >= 1);
+      checkb "sessions audited" true (Server.Audit.audited audit >= 1);
+      let ratio = Server.Audit.last_regret_ratio audit in
+      checkb "empirical competitive ratio >= 1" true (ratio >= 1.0);
+      checkb "ratio finite" true (Float.is_finite ratio);
+      let body =
+        match Daemon.handle d P.Metrics with
+        | P.Metrics_reply { body } -> body
+        | _ -> Alcotest.fail "metrics request failed"
+      in
+      let samples = Obs.Metrics_export.parse_prometheus body in
+      checkb "scrape parses to samples" true (samples <> []);
+      (* no duplicate series: (name, labels) unique *)
+      let keys =
+        List.map
+          (fun (s : Obs.Metrics_export.sample) -> (s.s_name, s.s_labels))
+          samples
+      in
+      checkb "no duplicate series" true
+        (List.length keys = List.length (List.sort_uniq compare keys));
+      let find name =
+        List.find_map
+          (fun (s : Obs.Metrics_export.sample) ->
+            if s.s_name = name && s.s_labels = [] then Some s.s_value else None)
+          samples
+      in
+      checkb "live session gauge" true (find "server_sessions" = Some 2.);
+      (match find "audit_regret_ratio" with
+      | Some v -> checkb "scraped ratio matches audit" true (v = ratio)
+      | None -> Alcotest.fail "audit_regret_ratio missing");
+      checkb "latency histogram buckets present" true
+        (List.exists
+           (fun (s : Obs.Metrics_export.sample) ->
+             s.s_name = "server_request_latency_us_bucket")
+           samples);
+      (* the handle path skips the socket-side request timer, but the
+         batch step timer runs for every round *)
+      checkb "batch histogram count positive" true
+        (match find "server_batch_duration_us_count" with
+        | Some v -> v > 0.
+        | None -> false);
+      (* counters are monotone across scrapes *)
+      let requests_1 = find "server_requests" in
+      let body2 =
+        match Daemon.handle d P.Metrics with
+        | P.Metrics_reply { body } -> body
+        | _ -> Alcotest.fail "second scrape failed"
+      in
+      let samples2 = Obs.Metrics_export.parse_prometheus body2 in
+      let find2 name =
+        List.find_map
+          (fun (s : Obs.Metrics_export.sample) ->
+            if s.s_name = name && s.s_labels = [] then Some s.s_value else None)
+          samples2
+      in
+      (match (requests_1, find2 "server_requests") with
+      | Some a, Some b -> checkb "requests monotone" true (b > a)
+      | _ -> Alcotest.fail "server_requests missing");
+      (* the monitor digests the same body into the same numbers *)
+      match Server.Monitor.parse body2 with
+      | Error m -> Alcotest.fail m
+      | Ok snap ->
+          let row = Server.Monitor.row_of snap in
+          checkb "monitor sessions" true (row.Server.Monitor.sessions = 2.);
+          checkb "monitor ratio" true
+            (row.Server.Monitor.regret_ratio = Some ratio);
+          checkb "monitor reconstructs batch quantile" true
+            (match row.Server.Monitor.p50_batch_us with
+            | Some v -> Float.is_finite v && v > 0.
+            | None -> false))
+
+(* The audit oracle agrees with a direct offline computation. *)
+let test_audit_matches_direct_computation () =
+  with_daemon (fun _dir mk cfg ->
+      let cfg =
+        { cfg with
+          Daemon.audit_every = Some 1; audit_sample = 1; audit_sync = true }
+      in
+      let d = mk "n.sock" cfg in
+      ignore
+        (Daemon.handle d
+           (P.Create_session { id = "x"; scenario = "cpu-gpu"; max_horizon = None }));
+      let loads = Array.init 10 (fun i -> 1.0 +. float_of_int (i mod 3)) in
+      ignore (expect_decisions (Daemon.handle d (P.Feed { id = "x"; seq = 0; loads })));
+      let audit = match Daemon.audit d with Some a -> a | None -> Alcotest.fail "no audit" in
+      let ratio = Server.Audit.last_regret_ratio audit in
+      (* recompute both sides directly *)
+      let spec = { Session.scenario = "cpu-gpu"; max_horizon = None } in
+      let s = match Session.create ~id:"ref" spec with Ok s -> s | Error (_, m) -> Alcotest.fail m in
+      (match Session.feed s ~seq:0 loads with Ok _ -> () | Error (_, m) -> Alcotest.fail m);
+      let inst =
+        match Sim.Scenarios.by_name "cpu-gpu" with
+        | Some mk ->
+            let base = mk None in
+            let horizon = Model.Instance.horizon base in
+            let cost ~time ~typ =
+              base.Model.Instance.cost ~time:(min time (horizon - 1)) ~typ
+            in
+            Model.Instance.make ~types:base.Model.Instance.types ~load:loads
+              ~cost ()
+        | None -> Alcotest.fail "scenario missing"
+      in
+      let online = Model.Cost.schedule inst (Session.decisions_from s ~from_:0) in
+      let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+      checkb "opt positive" true (opt > 0.);
+      let expected = Float.max 1. (online /. opt) in
+      checkb "audit ratio equals direct ratio" true
+        (Float.abs (ratio -. expected) <= 1e-9 *. expected))
+
 let () =
   Alcotest.run "server"
     [ ( "codec",
@@ -484,4 +616,8 @@ let () =
           Alcotest.test_case "step fault degrades per session" `Quick
             test_daemon_step_fault_degrades;
           Alcotest.test_case "checkpoint/resume, 4 sessions" `Quick
-            test_daemon_checkpoint_resume_multisession ] ) ]
+            test_daemon_checkpoint_resume_multisession;
+          Alcotest.test_case "metrics scrape + shadow audit" `Quick
+            test_daemon_metrics_and_audit;
+          Alcotest.test_case "audit matches direct offline replay" `Quick
+            test_audit_matches_direct_computation ] ) ]
