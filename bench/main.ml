@@ -336,7 +336,23 @@ let benches =
          let e = Core.Obs.Histogram.export h in
          List.init 4 (fun i -> (Printf.sprintf "bench.h%d" i, e))
        in
-       fun () -> Core.Obs.Metrics_export.to_prometheus ~counters ~gauges ~histograms ())
+       fun () -> Core.Obs.Metrics_export.to_prometheus ~counters ~gauges ~histograms ());
+    (* Scenario runner overhead minus the daemon: the strict sexp
+       parse/validate plus per-session workload synthesis that every
+       `scenario run` pays before the first frame is sent. *)
+    bench "scenario: parse + workload synthesis (96x4)"
+      (let text =
+         "(scenario (name bench) (base cpu-gpu) (slots 96) (sessions 4) \
+          (workload (diurnal (period 24) (base 0.1) (peak 0.45) (noise 0.05)) \
+          (spikes (base 0) (height 0.3) (rate 0.04)) (clamp (lo 0) (hi 0.9))))"
+       in
+       fun () ->
+         match Core.Scenario_def.parse text with
+         | Error m -> failwith m
+         | Ok def ->
+             for k = 0 to def.Core.Scenario_def.sessions - 1 do
+               ignore (Core.Scenario_def.loads def ~session_index:k)
+             done)
   ]
 
 (* One instrumented run of the kernel: reset every counter, run once,
@@ -370,7 +386,8 @@ let gated =
     "server: codec encode+decode (feed, 8 loads)";
     "server: in-process round-trip (feed replay)";
     "obs: histogram observe";
-    "obs: to_prometheus render" ]
+    "obs: to_prometheus render";
+    "scenario: parse + workload synthesis (96x4)" ]
 
 (* Machine-independent reference kernel: the comparator divides every
    timing by the calibration ratio between the two runs, so a uniformly

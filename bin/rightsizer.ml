@@ -867,6 +867,11 @@ let simulate_cmd =
 
 (* --- serve --- *)
 
+let faultinj_plan = function
+  | Core.Scenario_def.Nth n -> Core.Faultinj.Nth n
+  | Core.Scenario_def.Every n -> Core.Faultinj.Every n
+  | Core.Scenario_def.Prob p -> Core.Faultinj.Prob p
+
 let unix_sock_arg =
   Arg.(
     value
@@ -907,8 +912,39 @@ let serve_cmd =
       & info [ "audit-sample" ] ~docv:"N"
           ~doc:"Sessions sampled per audit batch (default 4).")
   in
+  let fault_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"SITE=PLAN"
+          ~doc:"Arm a fault-injection site (repeatable), e.g. \
+                $(b,server.step=every:40) or $(b,server.read=nth:2); plans are \
+                $(b,nth:N), $(b,every:N) or $(b,prob:P) (docs/robustness.md).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed for probabilistic fault plans (default 0).")
+  in
+  let parse_faults specs =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | spec :: rest -> (
+          match String.index_opt spec '=' with
+          | None -> Error (Printf.sprintf "serve: --fault %s: want SITE=PLAN" spec)
+          | Some i -> (
+              let site = String.sub spec 0 i in
+              let plan = String.sub spec (i + 1) (String.length spec - i - 1) in
+              if site = "" then Error ("serve: --fault " ^ spec ^ ": empty site")
+              else
+                match Core.Scenario_def.plan_of_string plan with
+                | Error m -> Error ("serve: --fault " ^ spec ^ ": " ^ m)
+                | Ok p -> go ((site, faultinj_plan p) :: acc) rest))
+    in
+    go [] specs
+  in
   let run () unix_path tcp_port checkpoint every resume crash_after_slots max_sessions
-      metrics_port audit_every audit_sample domains =
+      metrics_port audit_every audit_sample faults fault_seed domains =
     if unix_path = None && tcp_port = None then
       `Error (false, "serve: pass --unix PATH and/or --port PORT")
     else if every < 1 then `Error (false, "serve: --checkpoint-every must be >= 1")
@@ -916,6 +952,10 @@ let serve_cmd =
     else if audit_every <> None && Option.get audit_every < 1 then
       `Error (false, "serve: --audit-every must be >= 1")
     else begin
+      match parse_faults faults with
+      | Error m -> `Error (false, m)
+      | Ok faults ->
+      if faults <> [] then Core.Faultinj.arm ~seed:fault_seed faults;
       with_domains domains @@ fun pool ->
       let cfg =
         { Core.Daemon.default_config with
@@ -955,7 +995,8 @@ let serve_cmd =
       ret
         (const run $ obs_term $ unix_sock_arg $ tcp_port_arg $ checkpoint_arg
         $ checkpoint_every_arg $ resume_arg $ crash_after_arg $ max_sessions_arg
-        $ metrics_port_arg $ audit_every_arg $ audit_sample_arg $ domains_arg))
+        $ metrics_port_arg $ audit_every_arg $ audit_sample_arg $ fault_arg
+        $ fault_seed_arg $ domains_arg))
 
 (* --- monitor --- *)
 
@@ -1142,8 +1183,138 @@ let loadgen_cmd =
         $ sessions_arg $ slots_arg $ batch_arg $ scenario_arg $ seed_arg $ prefix_arg
         $ out_arg $ verify_arg $ oracle_arg $ tolerate_arg $ close_arg))
 
+(* --- scenario --- *)
+
+let scenario_files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE" ~doc:"Scenario file(s) (sexp; see docs/scenarios.md).")
+
+let scenario_run_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "scenario_artifacts"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for the per-scenario JSON artifacts (default \
+                scenario_artifacts).")
+  in
+  let bin_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bin" ] ~docv:"PATH"
+          ~doc:"The rightsizer binary to spawn as the daemon (default: this one).")
+  in
+  let workdir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workdir" ] ~docv:"DIR"
+          ~doc:"Scratch directory for socket/log/checkpoint (default: a fresh \
+                temp dir, removed when the scenario passes).")
+  in
+  let summarize (o : Core.Scenario_runner.outcome) artifact =
+    let d = o.Core.Scenario_runner.def in
+    Printf.printf "scenario  %s (base %s, alg %s)\n" d.Core.Scenario_def.name
+      d.Core.Scenario_def.base o.Core.Scenario_runner.alg;
+    Printf.printf "sessions  %d x %d slots in %.2f s\n" d.Core.Scenario_def.sessions
+      d.Core.Scenario_def.slots o.Core.Scenario_runner.wall_s;
+    Printf.printf "ratio     %.4f (bound %.2f, theory %.2f)\n"
+      o.Core.Scenario_runner.ratio_max
+      d.Core.Scenario_def.verify.Core.Scenario_def.ratio_bound
+      o.Core.Scenario_runner.theory_bound;
+    if o.Core.Scenario_runner.injected_retries > 0
+       || o.Core.Scenario_runner.reconnects > 0 then
+      Printf.printf "faults    %d injected retries, %d reconnects\n"
+        o.Core.Scenario_runner.injected_retries o.Core.Scenario_runner.reconnects;
+    (match o.Core.Scenario_runner.crash with
+    | Some c ->
+        Printf.printf "crash     exit %d, resumed and re-fed\n"
+          c.Core.Scenario_runner.exit_code
+    | None -> ());
+    (match o.Core.Scenario_runner.metrics with
+    | Some m ->
+        Printf.printf "metrics   %.0f decisions, p99 request %s us\n"
+          m.Core.Scenario_runner.decisions
+          (match m.Core.Scenario_runner.p99_req_us with
+          | Some v -> Printf.sprintf "%.0f" v
+          | None -> "-")
+    | None -> ());
+    Printf.printf "artifact  %s\n" artifact;
+    match o.Core.Scenario_runner.failures with
+    | [] ->
+        Printf.printf "PASS\n";
+        true
+    | fs ->
+        List.iter (fun m -> Printf.printf "FAIL      %s\n" m) fs;
+        Printf.printf "workdir kept at %s\n" o.Core.Scenario_runner.workdir;
+        false
+  in
+  let run () files out bin workdir =
+    let ok = ref true in
+    List.iter
+      (fun file ->
+        if !ok then begin
+          match Core.Scenario_def.load_file file with
+          | Error m ->
+              Printf.printf "%s: %s\n" file m;
+              ok := false
+          | Ok def -> (
+              Core.Obs.Run_manifest.note "scenario" def.Core.Scenario_def.name;
+              match Core.Scenario_runner.run ?bin ?workdir def with
+              | Error m ->
+                  Printf.printf "%s: %s\n" file m;
+                  ok := false
+              | Ok o -> (
+                  match Core.Scenario_runner.write_artifact ~dir:out o with
+                  | Error m ->
+                      Printf.printf "%s: cannot write artifact: %s\n" file m;
+                      ok := false
+                  | Ok path -> if not (summarize o path) then ok := false))
+        end)
+      files;
+    if !ok then `Ok () else `Error (false, "scenario: failures (see above)")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute scenario FILEs end-to-end against a freshly spawned daemon \
+             process, verify decisions against the sequential oracle and the \
+             offline optimum, and write one JSON artifact per scenario.")
+    Term.(ret (const run $ obs_term $ scenario_files_arg $ out_arg $ bin_arg $ workdir_arg))
+
+let scenario_check_cmd =
+  let print_arg =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the canonical form of each file.")
+  in
+  let run () files print =
+    let ok = ref true in
+    List.iter
+      (fun file ->
+        match Core.Scenario_def.load_file file with
+        | Error m ->
+            Printf.printf "%s: %s\n" file m;
+            ok := false
+        | Ok def ->
+            Printf.printf "%s: ok (%s, %d sessions x %d slots)\n" file
+              def.Core.Scenario_def.name def.Core.Scenario_def.sessions
+              def.Core.Scenario_def.slots;
+            if print then print_endline (Core.Scenario_def.to_string def))
+      files;
+    if !ok then `Ok () else `Error (false, "scenario: invalid files")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate scenario FILEs without running them.")
+    Term.(ret (const run $ obs_term $ scenario_files_arg $ print_arg))
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:"Declarative datacenter-in-a-box system tests (docs/scenarios.md).")
+    [ scenario_run_cmd; scenario_check_cmd ]
+
 let () =
   let doc = "Right-sizing heterogeneous data centers (SPAA 2021 reproduction)" in
   let info = Cmd.info "rightsizer" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; report_cmd; verify_cmd; solve_cmd; online_cmd; compare_cmd;
-       simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; monitor_cmd; loadgen_cmd ]))
+       simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; monitor_cmd; loadgen_cmd; scenario_cmd ]))

@@ -1,0 +1,16 @@
+; Minimal demo scenario: try it with
+;   rightsizer scenario run examples/instances/demo_scenario.sexp
+; (or `scenario check --print` to see the canonical form).
+(scenario
+  (name demo)
+  (description A thirty-second tour of the scenario runner)
+  (base cpu-gpu)
+  (slots 48)
+  (sessions 2)
+  (batch 8)
+  (seed 1)
+  (workload
+    (diurnal (period 24) (base 0.1) (peak 0.4) (noise 0.05))
+    (clamp (lo 0) (hi 0.9)))
+  (daemon (metrics true))
+  (verify (oracle true) (ratio-bound 5.0)))

@@ -40,6 +40,10 @@ module Daemon = Server.Daemon
 module Server_audit = Server.Audit
 module Server_monitor = Server.Monitor
 module Loadgen = Server.Loadgen
+module Server_client = Server.Client
+module Server_spawn = Server.Spawn
+module Scenario_def = Scenario.Def
+module Scenario_runner = Scenario.Runner
 module Report = Experiments.Report
 module Experiment_registry = Experiments.Registry
 module Scenarios = Sim.Scenarios

@@ -65,6 +65,23 @@ module Daemon = Server.Daemon
 module Server_audit = Server.Audit
 module Server_monitor = Server.Monitor
 module Loadgen = Server.Loadgen
+
+module Server_client = Server.Client
+(** Synchronous wire-protocol client (connect/hello/request over a Unix
+    or loopback TCP socket). *)
+
+module Server_spawn = Server.Spawn
+(** Spawn and tear down real daemon processes (leak-proof via an
+    [at_exit] SIGKILL registry; see [docs/scenarios.md]). *)
+
+module Scenario_def = Scenario.Def
+(** Declarative scenario files — strict sexp codec plus
+    capacity-fraction workload synthesis ([docs/scenarios.md]). *)
+
+module Scenario_runner = Scenario.Runner
+(** Execute a scenario end-to-end against a spawned daemon and verify
+    against the sequential oracle and the offline optimum. *)
+
 module Report = Experiments.Report
 module Experiment_registry = Experiments.Registry
 module Scenarios = Sim.Scenarios

@@ -1,0 +1,90 @@
+type target = Unix_path of string | Tcp of int
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Codec.decoder;
+  buf : Bytes.t;
+  mutable closed : bool;
+}
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect target =
+  match
+    match target with
+    | Unix_path p ->
+        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+        (try Unix.connect fd (ADDR_UNIX p)
+         with e ->
+           close_quietly fd;
+           raise e);
+        fd
+    | Tcp port ->
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        (try
+           Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+           Unix.setsockopt fd TCP_NODELAY true
+         with e ->
+           close_quietly fd;
+           raise e);
+        fd
+  with
+  | fd -> Ok { fd; dec = Codec.decoder (); buf = Bytes.create 65536; closed = false }
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "connect: %s: %s" fn (Unix.error_message e))
+
+let send t req =
+  if t.closed then Error "send: connection closed"
+  else
+    let s = Codec.encode (Protocol.request_to_sexp req) in
+    let len = String.length s in
+    let rec go off =
+      if off >= len then Ok ()
+      else
+        match Unix.write_substring t.fd s off (len - off) with
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
+        | exception Unix.Unix_error (e, fn, _) ->
+            Error (Printf.sprintf "send: %s: %s" fn (Unix.error_message e))
+        | n -> go (off + n)
+    in
+    go 0
+
+let recv t =
+  if t.closed then Error "recv: connection closed"
+  else
+    let rec loop () =
+      match Codec.next t.dec with
+      | Error m -> Error ("bad frame from server: " ^ m)
+      | Ok (Some sexp) -> (
+          match Protocol.response_of_sexp sexp with
+          | Ok r -> Ok r
+          | Error m -> Error ("bad response from server: " ^ m))
+      | Ok None -> (
+          match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+          | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "recv: %s: %s" fn (Unix.error_message e))
+          | 0 -> Error "server closed the connection"
+          | n ->
+              Codec.feed t.dec t.buf n;
+              loop ())
+    in
+    loop ()
+
+let request t req =
+  match send t req with
+  | Error _ as e -> e
+  | Ok () -> recv t
+
+let hello t =
+  match request t (Protocol.Hello { version = Protocol.version }) with
+  | Ok (Protocol.Welcome _) -> Ok ()
+  | Ok (Protocol.Error { msg; _ }) -> Error ("hello: " ^ msg)
+  | Ok _ -> Error "hello: unexpected reply"
+  | Error _ as e -> e
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_quietly t.fd
+  end

@@ -1,6 +1,6 @@
 module P = Protocol
 
-type target = Unix_path of string | Tcp of int
+type target = Client.target = Unix_path of string | Tcp of int
 
 type config = {
   target : target;
@@ -82,58 +82,17 @@ let oracle cfg =
   in
   go 0 []
 
-(* --- client plumbing ------------------------------------------------ *)
+(* --- client plumbing: the shared {!Client}, exception-wrapped so the
+   per-connection thread body stays a straight-line loop ------------- *)
 
 exception Client_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Client_error m)) fmt
-let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let connect = function
-  | Unix_path p ->
-      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
-      (try Unix.connect fd (ADDR_UNIX p)
-       with e ->
-         close_quietly fd;
-         raise e);
-      fd
-  | Tcp port ->
-      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-      (try
-         Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
-         Unix.setsockopt fd TCP_NODELAY true
-       with e ->
-         close_quietly fd;
-         raise e);
-      fd
+let ok_or_fail = function Ok v -> v | Error m -> raise (Client_error m)
 
-let send fd req =
-  let s = Codec.encode (P.request_to_sexp req) in
-  let len = String.length s in
-  let rec go off =
-    if off < len then
-      match Unix.write_substring fd s off (len - off) with
-      | exception Unix.Unix_error (EINTR, _, _) -> go off
-      | n -> go (off + n)
-  in
-  go 0
-
-let recv dec fd buf =
-  let rec loop () =
-    match Codec.next dec with
-    | Error m -> fail "bad frame from server: %s" m
-    | Ok (Some sexp) -> (
-        match P.response_of_sexp sexp with
-        | Ok r -> r
-        | Error m -> fail "bad response from server: %s" m)
-    | Ok None ->
-        (match Unix.read fd buf 0 (Bytes.length buf) with
-        | exception Unix.Unix_error (EINTR, _, _) -> ()
-        | 0 -> fail "server closed the connection"
-        | n -> Codec.feed dec buf n);
-        loop ()
-  in
-  loop ()
+let send c req = ok_or_fail (Client.send c req)
+let recv c = ok_or_fail (Client.recv c)
 
 type conn_out = {
   mutable ok : bool;
@@ -149,18 +108,12 @@ type conn_out = {
 }
 
 let conn_main cfg out ci () =
-  let buf = Bytes.create 65536 in
   try
-    let fd = connect cfg.target in
+    let c = ok_or_fail (Client.connect cfg.target) in
     Fun.protect
-      ~finally:(fun () -> close_quietly fd)
+      ~finally:(fun () -> Client.close c)
       (fun () ->
-        let dec = Codec.decoder () in
-        send fd (P.Hello { version = P.version });
-        (match recv dec fd buf with
-        | P.Welcome _ -> ()
-        | P.Error { msg; _ } -> fail "hello: %s" msg
-        | _ -> fail "unexpected hello reply");
+        ok_or_fail (Client.hello c);
         let nloc = cfg.sessions_per_conn in
         let gidx k = (ci * nloc) + k in
         let ids = Array.init nloc (fun k -> session_id cfg (gidx k)) in
@@ -172,10 +125,10 @@ let conn_main cfg out ci () =
         let seqs = Array.make nloc 0 in
         Array.iter
           (fun id ->
-            send fd
+            send c
               (P.Create_session
                  { id; scenario = cfg.scenario; max_horizon = cfg.max_horizon });
-            match recv dec fd buf with
+            match recv c with
             | P.Session { fed; _ } -> out.resumed <- out.resumed + min fed cfg.slots
             | P.Error { msg; _ } -> fail "create-session %s: %s" id msg
             | _ -> fail "unexpected create-session reply")
@@ -186,7 +139,7 @@ let conn_main cfg out ci () =
           for k = 0 to nloc - 1 do
             if seqs.(k) < cfg.slots then begin
               let n = min cfg.batch (cfg.slots - seqs.(k)) in
-              send fd
+              send c
                 (P.Feed
                    { id = ids.(k);
                      seq = seqs.(k);
@@ -196,7 +149,7 @@ let conn_main cfg out ci () =
           done;
           List.iter
             (fun (k, seq, n, t0) ->
-              match recv dec fd buf with
+              match recv c with
               | P.Decisions { seq = rseq; configs; _ } ->
                   if rseq <> seq || Array.length configs <> n then
                     fail "misaligned decisions for %s (seq %d)" ids.(k) seq;
@@ -216,8 +169,8 @@ let conn_main cfg out ci () =
         if cfg.close_sessions then
           Array.iter
             (fun id ->
-              send fd (P.Close { id });
-              ignore (recv dec fd buf))
+              send c (P.Close { id });
+              ignore (recv c))
             ids;
         out.ok <- true)
   with

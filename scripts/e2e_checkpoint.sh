@@ -8,11 +8,13 @@
 #      simulated crash (exit 3) to leave a checkpoint behind,
 #   3. resumes from the checkpoint with --resume,
 # and fails unless the resumed result line is byte-identical to the
-# uninterrupted one.  See docs/robustness.md.
+# uninterrupted one.  See docs/robustness.md.  (Daemon-level serving,
+# metrics, and crash/resume e2e live in the scenario fleet now:
+# `rightsizer scenario run test/scenarios/*.sexp`, docs/scenarios.md.)
 #
 # Usage: scripts/e2e_checkpoint.sh [path-to-rightsizer-binary]
 
-set -u
+set -euo pipefail
 
 BIN=${1:-_build/default/bin/rightsizer.exe}
 WORK=$(mktemp -d)
@@ -24,39 +26,51 @@ if [ ! -x "$BIN" ]; then
   exit 2
 fi
 
+# First line of a command's stdout, without a SIGPIPE-prone `| head -1`
+# (under pipefail the producer's EPIPE death would count as a failure).
+first_line() {
+  local out
+  out=$("$@") || return 1
+  printf '%s\n' "${out%%$'\n'*}"
+}
+
 check_case() {
   local name=$1; shift
   local crash_after=$1; shift
   local ck="$WORK/$name.snap"
+  local status
 
   # The uninterrupted reference also runs with --checkpoint (same code
   # path and algorithm selection as the crashed run — the time-dependent
   # online case checkpoints the B stepper, while the plain run would
   # pick algorithm C); it just never crashes.
-  "$BIN" "$@" --checkpoint "$WORK/$name.base.snap" --checkpoint-every 2 \
-    | head -1 > "$WORK/$name.base" \
-    || { echo "FAIL $name: uninterrupted run errored" >&2; FAILED=1; return; }
+  if ! first_line "$BIN" "$@" --checkpoint "$WORK/$name.base.snap" \
+      --checkpoint-every 2 > "$WORK/$name.base"; then
+    echo "FAIL $name: uninterrupted run errored" >&2; FAILED=1; return 0
+  fi
 
-  "$BIN" "$@" --checkpoint "$ck" --checkpoint-every 2 --crash-after "$crash_after" \
-    > /dev/null 2>&1
-  local status=$?
+  status=0
+  "$BIN" "$@" --checkpoint "$ck" --checkpoint-every 2 \
+    --crash-after "$crash_after" > /dev/null 2>&1 || status=$?
   if [ "$status" -ne 3 ]; then
     echo "FAIL $name: expected simulated crash (exit 3), got exit $status" >&2
-    FAILED=1; return
+    FAILED=1; return 0
   fi
   if [ ! -f "$ck" ]; then
     echo "FAIL $name: crash left no checkpoint at $ck" >&2
-    FAILED=1; return
+    FAILED=1; return 0
   fi
 
-  "$BIN" "$@" --checkpoint "$ck" --resume "$ck" | head -1 > "$WORK/$name.resumed" \
-    || { echo "FAIL $name: resume errored" >&2; FAILED=1; return; }
+  if ! first_line "$BIN" "$@" --checkpoint "$ck" --resume "$ck" \
+      > "$WORK/$name.resumed"; then
+    echo "FAIL $name: resume errored" >&2; FAILED=1; return 0
+  fi
 
   if diff -u "$WORK/$name.base" "$WORK/$name.resumed"; then
     echo "OK   $name: resumed run identical ($(cat "$WORK/$name.base"))"
   else
     echo "FAIL $name: resumed result differs from uninterrupted run" >&2
-    cp "$ck" "${ARTIFACT_DIR:-$WORK}/" 2>/dev/null
+    cp "$ck" "${ARTIFACT_DIR:-$WORK}/" 2>/dev/null || true
     FAILED=1
   fi
 }

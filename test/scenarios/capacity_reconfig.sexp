@@ -1,0 +1,20 @@
+; Section 4.3 capacity reconfiguration served live: the `maintenance`
+; base takes rack-a down to 2 machines during slots 10-15 and brings
+; rack-b from 2 to 4 at slot 20.  Serving ignores avail (declared
+; capacity 14), but the verifier additionally solves the avail-aware
+; offline optimum, so the load is clamped to 0.4 of declared capacity
+; to stay feasible inside the maintenance window (min avail capacity 6).
+(scenario
+  (name capacity-reconfig)
+  (description Live serving across a maintenance window with time-varying machine counts)
+  (base maintenance)
+  (slots 48)
+  (sessions 3)
+  (batch 8)
+  (seed 43)
+  (workload
+    (diurnal (period 12) (base 0.08) (peak 0.35) (noise 0.04))
+    (clamp (lo 0) (hi 0.4)))
+  (daemon
+    (metrics true))
+  (verify (oracle true) (ratio-bound 6.0)))

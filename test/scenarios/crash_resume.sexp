@@ -1,0 +1,20 @@
+; Crash/resume: the daemon checkpoints every 20 steps and hard-crashes
+; (exit 3) after 160 steps; the runner respawns it with --resume,
+; re-attaches every session at the daemon's `fed` count, and asserts the
+; re-fed decisions are bit-identical to the pre-crash ones.
+(scenario
+  (name crash-resume)
+  (description Daemon crash after 160 steps with checkpoint resume and idempotent refeed)
+  (base cpu-gpu)
+  (slots 120)
+  (sessions 4)
+  (batch 10)
+  (seed 71)
+  (workload
+    (mmpp (low 0.08) (high 0.45) (switch-prob 0.08) (jitter 0.03))
+    (clamp (lo 0) (hi 0.9)))
+  (daemon
+    (metrics false)
+    (checkpoint-every 20)
+    (crash-after 160))
+  (verify (oracle true) (ratio-bound 5.0)))

@@ -1,0 +1,25 @@
+; Failure storm: a three-tier fleet (d = 3) served by a daemon whose
+; accept / read / step paths are deterministically fault-injected.  The
+; runner must survive dropped connections (re-attach + resync via the
+; daemon's `fed` count) and Injected step errors (bounded re-sends),
+; and the decisions must still match the sequential oracle bit for bit.
+(scenario
+  (name failure-storm)
+  (description Bursty traffic on a three-tier fleet under injected accept read and step faults)
+  (base three-tier)
+  (slots 72)
+  (sessions 3)
+  (batch 6)
+  (seed 23)
+  (workload
+    (bursty (burst 6) (gap 10) (height 0.5) (base 0.12))
+    (random-walk (start 0.05) (step 0.03) (lo 0) (hi 0.2))
+    (clamp (lo 0) (hi 0.85)))
+  (daemon
+    (metrics false)
+    (fault-seed 7)
+    (faults
+      (server.step (every 17))
+      (server.read (nth 2))
+      (server.accept (nth 1))))
+  (verify (oracle true) (ratio-bound 7.0) (max-injected-retries 64)))

@@ -1,0 +1,20 @@
+; Flash crowd: diurnal base traffic with random spikes on top — the
+; motivating "right-size for the valley, survive the peak" story.
+; CPU+GPU mix (d = 2, time-independent costs, algorithm A; the paper's
+; guarantee is 2d + 1 = 5).
+(scenario
+  (name flash-crowd)
+  (description Diurnal base traffic with random flash crowds on a CPU+GPU fleet)
+  (base cpu-gpu)
+  (slots 96)
+  (sessions 4)
+  (batch 8)
+  (seed 11)
+  (workload
+    (diurnal (period 24) (base 0.1) (peak 0.45) (noise 0.05))
+    (spikes (base 0) (height 0.3) (rate 0.04))
+    (clamp (lo 0) (hi 0.9)))
+  (daemon
+    (metrics true)
+    (audit (every 48) (sample 2)))
+  (verify (oracle true) (ratio-bound 5.0)))

@@ -1,0 +1,20 @@
+; Forecast receding-horizon race: the daemon's online decisions are
+; raced against a Holt-Winters receding-horizon planner (window 4,
+; period 24) replanning over session 0's trace.  A fleet-planning
+; section also sizes a budgeted fleet against the same trace.
+(scenario
+  (name forecast-race)
+  (description Online serving raced against a Holt-Winters receding-horizon planner)
+  (base cpu-gpu)
+  (slots 96)
+  (sessions 2)
+  (batch 8)
+  (seed 59)
+  (workload
+    (diurnal (period 24) (base 0.12) (peak 0.5) (noise 0.04))
+    (clamp (lo 0) (hi 0.9)))
+  (daemon
+    (metrics true))
+  (race (window 4) (predictor holt-winters) (period 24))
+  (fleet (budget 40) (capex 6 10))
+  (verify (oracle true) (ratio-bound 5.0)))

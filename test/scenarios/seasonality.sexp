@@ -1,0 +1,20 @@
+; Diurnal x weekly seasonality on time-dependent operating costs
+; (spot-priced energy), so the daemon runs algorithm B.  A compressed
+; week: one "day" is 24 slots, weekday peaks above weekend peaks, with
+; a diurnal swing layered on top.
+(scenario
+  (name seasonality)
+  (description Diurnal and weekly seasonality under time-varying energy prices)
+  (base time-varying)
+  (slots 168)
+  (sessions 2)
+  (batch 12)
+  (seed 37)
+  (workload
+    (weekly (day 24) (weekday-peak 0.5) (weekend-peak 0.22) (base 0.1) (noise 0.03))
+    (diurnal (period 24) (base 0) (peak 0.12) (noise 0.02))
+    (clamp (lo 0) (hi 0.9)))
+  (daemon
+    (metrics true)
+    (audit (every 84) (sample 1)))
+  (verify (oracle true) (ratio-bound 6.0)))
