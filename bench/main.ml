@@ -140,6 +140,30 @@ let benches =
     bench "randomized: Alg_rand full run (d=2, T=24)"
       (let rng = Core.Prng.create 9 in
        fun () -> Core.Alg_rand.run ~rng:(Core.Prng.copy rng) (Lazy.force fix_cpu_gpu));
+    bench "det2d: break-even full run (d=2, T=36, spot prices)"
+      (let inst = Core.Scenarios.spot_market ~horizon:36 () in
+       fun () -> Core.Alg_det2d.run inst);
+    bench "homog: pooled full run (2x5 coinciding, T=36)"
+      (let types =
+         Array.init 2 (fun j ->
+             Core.Server_type.make
+               ~name:(Printf.sprintf "zone%d" j)
+               ~count:5 ~switching_cost:4. ~cap:1. ())
+       in
+       let fns = Array.make 2 (Core.Fn.power ~idle:0.5 ~coef:0.8 ~expo:2.) in
+       let load =
+         Array.init 36 (fun t ->
+             4. +. (3.5 *. sin (float_of_int t *. Float.pi /. 12.)))
+       in
+       let inst = Core.Instance.make_static ~types ~load ~fns () in
+       fun () -> Core.Alg_homog.run inst);
+    bench "arena: small race (3 scenarios, all solvers)"
+      (let fixture =
+         [ ("homogeneous", Core.Scenarios.homogeneous ~horizon:12 ());
+           ("spot-market", Core.Scenarios.spot_market ~horizon:12 ());
+           ("load-independent", Core.Scenarios.load_independent ~d:2 ~horizon:8 ~seed:3) ]
+       in
+       fun () -> Core.Arena.race fixture);
     bench "fractional: refined solve (d=1, k=8, T=24)"
       (let inst = Core.Scenarios.homogeneous ~horizon:24 () in
        let refined = Core.Fractional.refine ~granularity:8 inst in
@@ -289,7 +313,7 @@ let benches =
        ignore
          (Core.Daemon.handle d
             (Core.Server_protocol.Create_session
-               { id = "b"; scenario = "cpu-gpu"; max_horizon = None }));
+               { id = "b"; scenario = "cpu-gpu"; max_horizon = None; alg = None }));
        (match
           Core.Daemon.handle d
             (Core.Server_protocol.Feed { id = "b"; seq = 0; loads = [| 1.0 |] })
@@ -387,7 +411,10 @@ let gated =
     "server: in-process round-trip (feed replay)";
     "obs: histogram observe";
     "obs: to_prometheus render";
-    "scenario: parse + workload synthesis (96x4)" ]
+    "scenario: parse + workload synthesis (96x4)";
+    "det2d: break-even full run (d=2, T=36, spot prices)";
+    "homog: pooled full run (2x5 coinciding, T=36)";
+    "arena: small race (3 scenarios, all solvers)" ]
 
 (* Machine-independent reference kernel: the comparator divides every
    timing by the calibration ratio between the two runs, so a uniformly

@@ -508,21 +508,61 @@ let solve_cmd =
 
 (* --- online --- *)
 
+(* Run a solver chosen by name; Error when the instance does not meet
+   the solver's preconditions.  The names are the same the serving
+   daemon accepts in create-session (docs/solvers.md). *)
+let run_named_alg ?pool ~eps inst alg =
+  match alg with
+  | "a" ->
+      if inst.Core.Instance.time_independent then
+        Ok ("A", (Core.Alg_a.run ?pool inst).Core.Alg_a.schedule)
+      else Error "--alg a requires time-independent costs"
+  | "b" -> Ok ("B", (Core.Alg_b.run ?pool inst).Core.Alg_b.schedule)
+  | "c" -> Ok ("C", (Core.Alg_c.run ?pool ~eps inst).Core.Alg_c.schedule)
+  | "rand" ->
+      Ok
+        ( "rand",
+          (Core.Alg_rand.run ~rng:(Core.Prng.create 42) inst).Core.Alg_rand.schedule )
+  | "det2d" ->
+      if Core.Alg_det2d.applicable inst then
+        Ok ("det2d", (Core.Alg_det2d.run ?pool inst).Core.Alg_det2d.schedule)
+      else Error "--alg det2d requires load-independent costs and positive switching costs"
+  | "homog" ->
+      if Core.Alg_homog.applicable inst then
+        Ok ("homog", (Core.Alg_homog.run ?pool inst).Core.Alg_homog.schedule)
+      else
+        Error
+          "--alg homog requires coinciding server types (equal beta, cap, costs) and a \
+           fixed fleet size"
+  | other -> Error (Printf.sprintf "unknown --alg %s (a|b|c|rand|det2d|homog)" other)
+
 let online_cmd =
   let eps_arg =
     Arg.(
       value & opt float 0.5
       & info [ "eps" ] ~docv:"EPS" ~doc:"Algorithm C's eps (time-dependent costs only).")
   in
-  let run () scenario horizon file eps domains checkpoint every resume crash_after =
+  let alg_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alg" ] ~docv:"ALG"
+          ~doc:
+            "Solver to run: a, b, c, rand, det2d or homog (default: auto-pick A or B/C \
+             from the instance).  See docs/solvers.md.")
+  in
+  let run () scenario horizon file eps alg domains checkpoint every resume crash_after =
     match resolve_instance scenario horizon file with
     | Error m -> `Error (false, m)
     | Ok (name, inst) -> (
         let checkpointing = checkpoint <> None || resume <> None in
         let algorithm =
-          if inst.Core.Instance.time_independent then "A"
-          else if checkpointing then "B"
-          else "C"
+          match alg with
+          | Some a -> String.uppercase_ascii a
+          | None ->
+              if inst.Core.Instance.time_independent then "A"
+              else if checkpointing then "B"
+              else "C"
         in
         Core.Obs.Run_manifest.note "algorithm" ("alg-" ^ algorithm);
         if algorithm = "C" then
@@ -530,35 +570,81 @@ let online_cmd =
         if every < 1 then `Error (false, "--checkpoint-every must be >= 1")
         else if crash_after <> None && checkpoint = None then
           `Error (false, "--crash-after requires --checkpoint")
+        else if alg <> None && checkpointing then
+          `Error (false, "--alg cannot be combined with --checkpoint/--resume")
         else begin
           with_domains domains @@ fun pool ->
           let result =
-            if checkpointing then
-              run_online_checkpointed ?pool ~checkpoint ~every ~resume ~crash_after
-                inst
-            else Ok (Core.run_online ~eps ?pool inst)
+            match alg with
+            | Some a ->
+                Result.map
+                  (fun (_, schedule) -> (schedule, Core.Cost.schedule inst schedule))
+                  (run_named_alg ?pool ~eps inst a)
+            | None ->
+                if checkpointing then
+                  run_online_checkpointed ?pool ~checkpoint ~every ~resume ~crash_after
+                    inst
+                else Ok (Core.run_online ~eps ?pool inst)
           in
           match result with
           | Error m -> `Error (false, m)
           | Ok (schedule, cost) ->
               let opt = Core.Harness.opt_cost ?pool inst in
               Printf.printf "instance %s: algorithm %s cost %.4f, OPT %.4f, ratio %.4f\n"
-                name algorithm cost opt (cost /. opt);
+                name algorithm cost opt
+                (Core.Harness.ratio ~cost ~opt);
               print_schedule inst schedule;
               `Ok ()
         end)
   in
   Cmd.v
     (Cmd.info "online"
-       ~doc:"Run the paper's online algorithm on a scenario or instance file.  With \
+       ~doc:"Run one of the online algorithms on a scenario or instance file \
+             (--alg a|b|c|rand|det2d|homog, default auto).  With \
              --checkpoint/--resume the run is a checkpointable slot loop (algorithm A \
              for time-independent instances, algorithm B otherwise) that survives \
              crashes bit-identically.")
     Term.(
       ret
         (const run $ obs_term $ scenario_arg $ horizon_arg $ file_arg $ eps_arg
-        $ domains_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+        $ alg_arg $ domains_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
         $ crash_after_arg))
+
+(* --- arena --- *)
+
+let arena_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write the arena artifacts (arena.json, arena.csv) into $(docv).")
+  in
+  let run () () out domains =
+    with_domains domains @@ fun pool ->
+    let report = Core.Arena.report ?pool () in
+    print_string (Core.Report.to_string report);
+    (match out with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (file, content) ->
+            let path = Filename.concat dir file in
+            let oc = open_out path in
+            output_string oc content;
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          report.Core.Report.artifacts);
+    if report.Core.Report.pass then `Ok ()
+    else `Error (false, "arena: a solver broke its bound (see the race table)")
+  in
+  Cmd.v
+    (Cmd.info "arena"
+       ~doc:"Race every online solver (A, B, C, rand, det2d, homog and the baselines) \
+             across the scenario library and an adversarial trace; measure competitive \
+             ratios against the exact optimum and assert every theoretical bound.")
+    Term.(ret (const run $ verbose_term $ obs_term $ out_arg $ domains_arg))
 
 (* --- compare --- *)
 
@@ -1316,5 +1402,5 @@ let scenario_cmd =
 let () =
   let doc = "Right-sizing heterogeneous data centers (SPAA 2021 reproduction)" in
   let info = Cmd.info "rightsizer" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; report_cmd; verify_cmd; solve_cmd; online_cmd; compare_cmd;
-       simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; monitor_cmd; loadgen_cmd; scenario_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; report_cmd; verify_cmd; solve_cmd; online_cmd; arena_cmd;
+       compare_cmd; simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; monitor_cmd; loadgen_cmd; scenario_cmd ]))

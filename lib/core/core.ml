@@ -18,6 +18,8 @@ module Alg_a = Online.Alg_a
 module Alg_b = Online.Alg_b
 module Alg_c = Online.Alg_c
 module Alg_rand = Online.Alg_rand
+module Alg_det2d = Online.Alg_det2d
+module Alg_homog = Online.Alg_homog
 module Stepper = Online.Stepper
 module Streaming = Online.Streaming
 module Analysis = Online.Analysis
@@ -45,6 +47,7 @@ module Server_spawn = Server.Spawn
 module Scenario_def = Scenario.Def
 module Scenario_runner = Scenario.Runner
 module Report = Experiments.Report
+module Arena = Experiments.Arena
 module Experiment_registry = Experiments.Registry
 module Scenarios = Sim.Scenarios
 module Pool = Util.Pool
@@ -77,4 +80,6 @@ let run_online ?(eps = 0.5) ?domains ?pool inst =
   (schedule, Model.Cost.schedule inst schedule)
 
 let competitive_ratio inst schedule =
-  Model.Cost.schedule inst schedule /. Online.Harness.opt_cost inst
+  Online.Harness.ratio
+    ~cost:(Model.Cost.schedule inst schedule)
+    ~opt:(Online.Harness.opt_cost inst)

@@ -43,6 +43,8 @@ module Alg_a = Online.Alg_a
 module Alg_b = Online.Alg_b
 module Alg_c = Online.Alg_c
 module Alg_rand = Online.Alg_rand
+module Alg_det2d = Online.Alg_det2d
+module Alg_homog = Online.Alg_homog
 module Stepper = Online.Stepper
 module Streaming = Online.Streaming
 module Analysis = Online.Analysis
@@ -83,6 +85,7 @@ module Scenario_runner = Scenario.Runner
     against the sequential oracle and the offline optimum. *)
 
 module Report = Experiments.Report
+module Arena = Experiments.Arena
 module Experiment_registry = Experiments.Registry
 module Scenarios = Sim.Scenarios
 module Pool = Util.Pool

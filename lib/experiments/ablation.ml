@@ -85,7 +85,7 @@ let online_section () =
     let r, t = time (fun () -> Online.Alg_a.run ?grid inst) in
     let cost = Model.Cost.schedule inst r.Online.Alg_a.schedule in
     Util.Table.add_row tbl
-      [ name; string_of_int states; fmt "%.4f" (cost /. opt); fmt "%.3f" t ]
+      [ name; string_of_int states; fmt "%.4f" (Online.Harness.ratio ~cost ~opt); fmt "%.3f" t ]
   in
   let dense = Offline.Grid.dense (Model.Instance.counts inst) in
   run_mode "dense (exact, paper)" None (Offline.Grid.size dense);

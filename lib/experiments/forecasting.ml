@@ -41,7 +41,7 @@ let policy_section () =
   let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
   let tbl = Util.Table.create ~header:[ "policy"; "lookahead"; "ratio vs OPT" ] in
   let add name window ratio = Util.Table.add_row tbl [ name; window; fmt "%.4f" ratio ] in
-  let ratio schedule = Model.Cost.schedule inst schedule /. opt in
+  let ratio schedule = Online.Harness.ratio ~cost:(Model.Cost.schedule inst schedule) ~opt in
   add "oracle receding horizon" "true future (6)"
     (ratio (Online.Baselines.receding_horizon ~window:6 inst));
   List.iter

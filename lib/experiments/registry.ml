@@ -56,7 +56,10 @@ let all =
       run = Simulation.run };
     { id = "ablation"; kind = `Extension;
       description = "Design-choice ablations (fast paths, graph vs DP, reduced grids)";
-      run = Ablation.run }
+      run = Ablation.run };
+    { id = "arena"; kind = `Extension;
+      description = "Competitive-ratio arena: every solver raced on every scenario";
+      run = Arena.run }
   ]
 
 let all = List.map (fun e -> { e with run = traced e.id e.run }) all

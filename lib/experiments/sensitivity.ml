@@ -24,7 +24,9 @@ let cell ~beta_scale ~noise =
         in
         let inst = Model.Instance.make_static ~types ~load ~fns () in
         let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
-        Model.Cost.schedule inst (Online.Alg_a.run inst).Online.Alg_a.schedule /. opt)
+        Online.Harness.ratio
+          ~cost:(Model.Cost.schedule inst (Online.Alg_a.run inst).Online.Alg_a.schedule)
+          ~opt)
       seeds
   in
   Util.Stats.mean (Array.of_list ratios)

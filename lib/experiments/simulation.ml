@@ -87,7 +87,7 @@ let controllers_section () =
       Util.Table.add_row tbl
         [ name;
           fmt "%.2f" (total m);
-          fmt "%.3f" (total m /. opt);
+          fmt "%.3f" (Online.Harness.ratio ~cost:(total m) ~opt);
           fmt "%.2f" m.Dcsim.Sim.mean_utilisation;
           string_of_int m.Dcsim.Sim.power_up_events ])
     [ ("algorithm A (paper)", Dcsim.Controllers.alg_a inst);

@@ -1,6 +1,7 @@
 let fmt = Printf.sprintf
 
-let ratio_of inst schedule opt = Model.Cost.schedule inst schedule /. opt
+let ratio_of inst schedule opt =
+  Online.Harness.ratio ~cost:(Model.Cost.schedule inst schedule) ~opt
 
 (* Run [per_instance] over [n] seeded instances, collect ratios. *)
 let sweep ~n ~make ~run =
@@ -182,7 +183,7 @@ let thm21 () =
       let gamma = 1. +. (eps /. 2.) in
       let states = Offline.Dp.state_count inst ~grids:(Offline.Dp.approx_grids ~gamma inst) in
       let approx, apx_time = time (fun () -> Offline.Dp.solve_approx ~eps inst) in
-      let ratio = approx.Offline.Dp.cost /. exact.Offline.Dp.cost in
+      let ratio = Online.Harness.ratio ~cost:approx.Offline.Dp.cost ~opt:exact.Offline.Dp.cost in
       if ratio > 1. +. eps +. 1e-6 then ok := false;
       Util.Table.add_row tbl
         [ fmt "%g" eps;
@@ -244,7 +245,7 @@ let thm22 () =
   List.iter
     (fun eps ->
       let a = Offline.Dp.solve_approx ~eps inst in
-      let ratio = a.Offline.Dp.cost /. opt.Offline.Dp.cost in
+      let ratio = Online.Harness.ratio ~cost:a.Offline.Dp.cost ~opt:opt.Offline.Dp.cost in
       if ratio > 1. +. eps +. 1e-6 then ok := false;
       Util.Table.add_row tbl
         [ fmt "%g" eps; fmt "%.3f" a.Offline.Dp.cost; fmt "%.4f" ratio; fmt "%.2f" (1. +. eps);
@@ -352,7 +353,8 @@ let baselines () =
     (Online.Harness.evaluate inst ~opt named);
   let rand_mean = !rand_total /. float_of_int n in
   Util.Table.add_row tbl
-    [ "alg-A-rand (E over 20 seeds)"; fmt "%.2f" rand_mean; fmt "%.3f" (rand_mean /. opt) ];
+    [ "alg-A-rand (E over 20 seeds)"; fmt "%.2f" rand_mean;
+      fmt "%.3f" (Online.Harness.ratio ~cost:rand_mean ~opt) ];
   { Report.id = "baselines";
     title = "Policy comparison on the CPU+GPU diurnal scenario (T = 48)";
     claim = "right-sizing beats static provisioning and eager power-down";
@@ -470,7 +472,7 @@ let geo () =
     Util.Table.add_row tbl
       [ name;
         fmt "%.2f" (Model.Cost.schedule inst schedule);
-        fmt "%.3f" (Model.Cost.schedule inst schedule /. opt.Offline.Dp.cost);
+        fmt "%.3f" (ratio_of inst schedule opt.Offline.Dp.cost);
         fmt "%.0f%%" (100. *. cheap_share schedule 0);
         fmt "%.0f%%" (100. *. cheap_share schedule 1) ]
   in

@@ -1,0 +1,40 @@
+type result = {
+  schedule : Model.Schedule.t;
+  prefix_last : Model.Config.t array;
+  prefix_costs : float array;
+  power_ups : (int * int * int) list;
+  power_downs : (int * int * int) list;
+}
+
+let applicable inst =
+  let ok = ref true in
+  for time = 0 to Model.Instance.horizon inst - 1 do
+    for typ = 0 to Model.Instance.num_types inst - 1 do
+      if not (Convex.Fn.is_constant (inst.Model.Instance.cost ~time ~typ)) then
+        ok := false
+    done
+  done;
+  !ok
+  && Array.for_all
+       (fun st -> st.Model.Server_type.switching_cost > 0.)
+       inst.Model.Instance.types
+
+let run ?grid ?domains ?pool inst =
+  Obs.Span.with_ "alg_det2d.run" @@ fun () ->
+  let horizon = Model.Instance.horizon inst in
+  let engine = Prefix_opt.create ?grid ?domains ?pool inst in
+  let stepper = Stepper.alg_det2d inst in
+  let schedule = Array.make horizon [||] in
+  let prefix_last = Array.make horizon [||] in
+  let prefix_costs = Array.make horizon 0. in
+  for time = 0 to horizon - 1 do
+    let { Prefix_opt.last = hat; prefix_cost; _ } = Prefix_opt.step engine in
+    prefix_last.(time) <- hat;
+    prefix_costs.(time) <- prefix_cost;
+    schedule.(time) <- Stepper.step stepper ~time ~hat
+  done;
+  { schedule;
+    prefix_last;
+    prefix_costs;
+    power_ups = Stepper.power_ups stepper;
+    power_downs = Stepper.power_downs stepper }

@@ -3,13 +3,20 @@ type evaluation = { name : string; cost : float; ratio : float; feasible : bool 
 let opt_cost ?domains ?pool inst =
   (Offline.Dp.solve_optimal ?domains ?pool inst).Offline.Dp.cost
 
+(* The canonical nan-free competitive ratio: on all-idle traces (zero
+   load, free idling) OPT is 0 and a plain division yields nan; an
+   algorithm matching the zero optimum is 1-competitive, one paying
+   anything at all is unboundedly bad. *)
+let ratio ~cost ~opt =
+  if opt > 0. then cost /. opt else if cost <= 0. then 1. else infinity
+
 let evaluate inst ~opt named =
   List.map
     (fun (name, schedule) ->
       let cost = Model.Cost.schedule inst schedule in
       { name;
         cost;
-        ratio = (if opt > 0. then cost /. opt else if cost = 0. then 1. else infinity);
+        ratio = ratio ~cost ~opt;
         feasible = Model.Schedule.feasible inst schedule })
     named
 
@@ -29,6 +36,26 @@ let competitive_bound inst ~algorithm =
   | `A -> if all_load_independent inst then 2. *. d else (2. *. d) +. 1.
   | `B -> (2. *. d) +. 1. +. Alg_b.c_of_instance inst
   | `C eps -> (2. *. d) +. 1. +. eps
+  | `Rand ->
+      (* Per-seed worst case: every randomised budget is z * beta with
+         z <= 1, so each batch powers down no later than under B and the
+         same block accounting applies. *)
+      (2. *. d) +. 1. +. Alg_b.c_of_instance inst
+  | `Det2d ->
+      (* Load-independent by construction.  Time-independent: the
+         break-even rule equals A's timers, so Corollary 9's optimal 2d
+         applies.  Time-varying prices: the final slot may overshoot the
+         beta budget by at most max_t l_{t,j}, adding Theorem 13's
+         constant (without B's +1 — there is no load-dependent part). *)
+      if inst.Model.Instance.time_independent then 2. *. d
+      else (2. *. d) +. Alg_b.c_of_instance inst
+  | `Homog ->
+      (* One effective type: the d-free member of each bound family. *)
+      if all_load_independent inst then
+        if inst.Model.Instance.time_independent then 2.
+        else 2. +. Alg_homog.c_of_instance inst
+      else if inst.Model.Instance.time_independent then 3.
+      else 3. +. Alg_homog.c_of_instance inst
 
 let run_suite ?(eps = 0.5) ?(window = 3) ?(include_baselines = true) ?domains ?pool inst
     =

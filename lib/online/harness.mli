@@ -11,6 +11,12 @@ type evaluation = {
 val opt_cost : ?domains:int -> ?pool:Util.Pool.t -> Model.Instance.t -> float
 (** Exact optimum via {!Offline.Dp.solve_optimal}. *)
 
+val ratio : cost:float -> opt:float -> float
+(** The canonical nan-free competitive ratio [cost / opt], defined on
+    all-idle traces where [opt = 0]: an algorithm matching the zero
+    optimum is [1.]-competitive, one paying anything is [infinity].
+    Every ratio the repo reports should route through this. *)
+
 val evaluate :
   Model.Instance.t -> opt:float -> (string * Model.Schedule.t) list -> evaluation list
 (** Cost, ratio and feasibility of each named schedule. *)
@@ -32,8 +38,15 @@ val run_suite :
     online algorithms' prefix engines, receding horizon); every
     schedule is bit-identical to the single-domain run. *)
 
-val competitive_bound : Model.Instance.t -> algorithm:[ `A | `B | `C of float ] -> float
-(** The paper's guarantee for the instance: [2d + 1] for A (Theorem 8;
+val competitive_bound :
+  Model.Instance.t ->
+  algorithm:[ `A | `B | `C of float | `Rand | `Det2d | `Homog ] ->
+  float
+(** The asserted guarantee for the instance: [2d + 1] for A (Theorem 8;
     [2d] when costs are also load-independent, Corollary 9),
     [2d + 1 + c(I)] for B (Theorem 13), [2d + 1 + eps] for C
-    (Theorem 15). *)
+    (Theorem 15), [2d + 1 + c(I)] per seed for the randomised variant
+    (its thresholds never exceed B's), [2d] for the break-even det2d
+    rule on time-independent instances ([2d + c(I)] with time-varying
+    prices), and the [d]-free [2] / [2 + c] / [3] / [3 + c] family for
+    the pooled homogeneous rule (arXiv:1807.05112). *)

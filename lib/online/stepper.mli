@@ -18,6 +18,26 @@ val alg_b : Model.Instance.t -> t
 (** Algorithm B's idle-budget rule; raises [Invalid_argument] unless
     every [beta_j > 0]. *)
 
+val alg_det2d : Model.Instance.t -> t
+(** The deterministic break-even rule of the sister paper
+    (arXiv:2107.14672): algorithm B's accumulated-idle bookkeeping, but
+    a group powers down as soon as its idle cost {e reaches} [beta_j]
+    instead of strictly exceeding it.  Restricted to load-independent
+    costs (possibly time-dependent prices); [step] raises
+    [Invalid_argument] on a slot whose cost function is not constant.
+    On time-independent instances the rule coincides with algorithm A's
+    [ceil(beta_j / l_j)] timers, so the measured ratio meets the [2d]
+    bound of Corollary 9 there.  Requires every [beta_j > 0]. *)
+
+val alg_homog : Model.Instance.t -> t
+(** The pooled homogeneous rule (arXiv:1807.05112): applicable when
+    [d = 1] or all server types coincide ([beta], [cap] and the cost
+    functions equal — the latter checked per slot in [step]).  The
+    summed active count follows one accumulated-idle break-even budget
+    and the per-type split is kept canonical (type 0 filled first), so
+    the guarantee is independent of [d].  Raises [Invalid_argument] on
+    non-coinciding types, [beta <= 0], or time-varying fleet sizes. *)
+
 val step : t -> time:int -> hat:Model.Config.t -> Model.Config.t
 (** Process one slot (slots must be fed in order, starting at 0) and
     return the resulting active configuration (a fresh array). *)
@@ -31,7 +51,7 @@ val power_downs : t -> (int * int * int) list
 
 val runtimes : t -> int option array
 (** Algorithm A's timers per type ([None] = never powers down); raises
-    [Invalid_argument] on a B stepper. *)
+    [Invalid_argument] on any other stepper. *)
 
 val rebind : t -> Model.Instance.t -> unit
 (** Swap in a new instance agreeing with the slots already processed —

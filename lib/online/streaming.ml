@@ -56,6 +56,16 @@ let alg_b ?max_horizon ~types ~cost () =
     ~make_inst:(fun ~loads -> Model.Instance.make ~types ~load:loads ~cost ())
     ~make_stepper:Stepper.alg_b
 
+let det2d ?max_horizon ~types ~cost () =
+  build ~max_horizon ~types
+    ~make_inst:(fun ~loads -> Model.Instance.make ~types ~load:loads ~cost ())
+    ~make_stepper:Stepper.alg_det2d
+
+let homog ?max_horizon ~types ~fns () =
+  build ~max_horizon ~types
+    ~make_inst:(fun ~loads -> Model.Instance.make_static ~types ~load:loads ~fns ())
+    ~make_stepper:Stepper.alg_homog
+
 (* Grow the load buffer geometrically so it can absorb [needed] slots,
    rebuilding the instance over the larger buffer and rebinding the
    engine and stepper to it — their DP layer and power-down bookkeeping

@@ -43,6 +43,26 @@ val alg_b :
 (** A streaming session running algorithm B (time-dependent costs; the
     [cost] closure is consulted as slots arrive). *)
 
+val det2d :
+  ?max_horizon:int ->
+  types:Model.Server_type.t array ->
+  cost:(time:int -> typ:int -> Convex.Fn.t) ->
+  unit ->
+  t
+(** A streaming session running the break-even algorithm
+    ({!Stepper.alg_det2d}): load-independent, possibly time-dependent
+    costs — every function the [cost] closure yields must be constant
+    ([feed] raises on a non-constant slot). *)
+
+val homog :
+  ?max_horizon:int ->
+  types:Model.Server_type.t array ->
+  fns:Convex.Fn.t array ->
+  unit ->
+  t
+(** A streaming session running the pooled homogeneous algorithm
+    ({!Stepper.alg_homog}): [d = 1] or coinciding server types. *)
+
 type feed_error =
   | Bad_volume of float
       (** negative or non-finite volume *)

@@ -43,6 +43,7 @@ type t = {
   name : string;
   description : string;
   base : string;
+  alg : string option;  (* requested solver; None = daemon auto-pick *)
   slots : int;
   sessions : int;
   batch : int;
@@ -206,6 +207,19 @@ let validate t =
           (String.concat ", " Sim.Scenarios.names)
   in
   let* () = check_dur ~ctx:"scenario" "slots" t.slots in
+  let* () =
+    (* Ask the session layer up front, so an incompatible (alg ...) is a
+       parse-time error, not a create-session failure mid-run. *)
+    match t.alg with
+    | None -> Ok ()
+    | Some _ -> (
+        match
+          Server.Session.create ~id:"validate"
+            { Server.Session.scenario = t.base; max_horizon = Some 1; alg = t.alg }
+        with
+        | Ok _ -> Ok ()
+        | Error (_, m) -> err "scenario: (alg %s): %s" (Option.get t.alg) m)
+  in
   let* () =
     if t.sessions >= 1 && t.sessions <= max_sessions then Ok ()
     else err "scenario: (sessions %d) must be in [1, %d]" t.sessions max_sessions
@@ -513,8 +527,8 @@ let of_sexp = function
       let ctx = "scenario" in
       let* get =
         fields ~ctx
-          [ "name"; "description"; "base"; "slots"; "sessions"; "batch"; "seed";
-            "workload"; "daemon"; "race"; "fleet"; "verify" ]
+          [ "name"; "description"; "base"; "alg"; "slots"; "sessions"; "batch";
+            "seed"; "workload"; "daemon"; "race"; "fleet"; "verify" ]
           body
       in
       let* name = req_atom ~ctx get "name" in
@@ -535,6 +549,15 @@ let of_sexp = function
             Ok (String.concat " " words)
       in
       let* base = req_atom ~ctx get "base" in
+      let* alg =
+        match get "alg" with
+        | None -> Ok None
+        | Some args -> (
+            let* v = one ~ctx "alg" args in
+            match S.atom v with
+            | Some a -> Ok (Some a)
+            | None -> err "%s: (alg ...) value must be an atom" ctx)
+      in
       let* slots = req_int ~ctx get "slots" in
       let* sessions =
         let* v = opt_int ~ctx get "sessions" in
@@ -592,8 +615,8 @@ let of_sexp = function
         match get "verify" with None -> Ok default_verify | Some b -> parse_verify b
       in
       validate
-        { name; description; base; slots; sessions; batch; seed; workload; clamp;
-          daemon; race; fleet; verify }
+        { name; description; base; alg; slots; sessions; batch; seed; workload;
+          clamp; daemon; race; fleet; verify }
   | S.List (S.Atom k :: _) -> err "expected (scenario ...), got (%s ...)" k
   | bad -> err "expected (scenario ...), got %s" (S.to_string bad)
 
@@ -700,8 +723,11 @@ let to_sexp t =
          [ [ S.List [ S.Atom "name"; S.Atom t.name ] ];
            (if t.description = "" then []
             else [ S.List [ S.Atom "description"; S.Atom (Server.Protocol.quote t.description) ] ]);
-           [ S.List [ S.Atom "base"; S.Atom t.base ];
-             ifield "slots" t.slots;
+           [ S.List [ S.Atom "base"; S.Atom t.base ] ];
+           (match t.alg with
+           | None -> []
+           | Some a -> [ S.List [ S.Atom "alg"; S.Atom a ] ]);
+           [ ifield "slots" t.slots;
              ifield "sessions" t.sessions;
              ifield "batch" t.batch;
              ifield "seed" t.seed;

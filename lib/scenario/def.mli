@@ -103,6 +103,10 @@ type t = {
   name : string;
   description : string;
   base : string;          (** {!Sim.Scenarios} name *)
+  alg : string option;
+      (** solver the sessions request ([a], [b], [det2d], [homog]);
+          [None] lets the daemon pick.  Validated against the base
+          scenario's cost structure at parse time. *)
   slots : int;            (** slots fed per session, [1 .. max_slots] *)
   sessions : int;
   batch : int;            (** slots per feed frame *)

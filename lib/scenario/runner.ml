@@ -166,7 +166,7 @@ let connect_and_attach st =
           (Client.send c
              (P.Create_session
                 { id; scenario = st.def.Def.base;
-                  max_horizon = Some st.def.Def.slots }));
+                  max_horizon = Some st.def.Def.slots; alg = st.def.Def.alg }));
         match ok_or_lost (Client.recv c) with
         | P.Session { alg; fed; _ } ->
             st.alg <- alg;
@@ -351,7 +351,8 @@ let metrics_phase st ~port ~failures =
 let oracle_decisions def ~id ~loads =
   match
     Server.Session.create ~id
-      { Server.Session.scenario = def.Def.base; max_horizon = Some def.Def.slots }
+      { Server.Session.scenario = def.Def.base; max_horizon = Some def.Def.slots;
+        alg = def.Def.alg }
   with
   | Error (_, m) -> Error m
   | Ok s -> (
@@ -618,7 +619,13 @@ let run ?bin ?workdir def =
                           replay_instance ~base_name:def.Def.base ~loads:loads.(0) ()
                         in
                         let alg_v =
-                          if inst.Model.Instance.time_independent then `A else `B
+                          match st.alg with
+                          | "a" -> `A
+                          | "b" -> `B
+                          | "det2d" -> `Det2d
+                          | "homog" -> `Homog
+                          | _ ->
+                              if inst.Model.Instance.time_independent then `A else `B
                         in
                         ( Online.Harness.competitive_bound inst ~algorithm:alg_v,
                           race_phase def ~loads:loads.(0) ~online_cost:s0.online_cost

@@ -182,13 +182,16 @@ let exec_control t (req : P.request) : P.response =
       else
         err P.Unsupported_version
           (Printf.sprintf "server speaks version %d" P.version)
-  | P.Create_session { id; scenario; max_horizon } ->
+  | P.Create_session { id; scenario; max_horizon; alg } ->
       if not (P.valid_id id) then err P.Bad_request "invalid session id"
       else (
         match Hashtbl.find_opt t.sessions id with
         | Some s ->
             let spec = Session.spec s in
-            if spec.Session.scenario = scenario && spec.Session.max_horizon = max_horizon
+            if
+              spec.Session.scenario = scenario
+              && spec.Session.max_horizon = max_horizon
+              && spec.Session.alg = alg
             then
               P.Session
                 { id; alg = Session.alg s; types = Session.num_types s;
@@ -199,7 +202,7 @@ let exec_control t (req : P.request) : P.response =
               err P.Too_many_sessions
                 (Printf.sprintf "session table is full (%d)" t.cfg.max_sessions)
             else (
-              match Session.create ~id { scenario; max_horizon } with
+              match Session.create ~id { scenario; max_horizon; alg } with
               | Error (code, msg) -> err code msg
               | Ok s ->
                   Hashtbl.replace t.sessions id s;

@@ -72,7 +72,8 @@ let oracle cfg =
       let id = session_id cfg i in
       match
         Session.create ~id
-          { Session.scenario = cfg.scenario; max_horizon = cfg.max_horizon }
+          { Session.scenario = cfg.scenario; max_horizon = cfg.max_horizon;
+            alg = None }
       with
       | Error (_, msg) -> Error (id ^ ": " ^ msg)
       | Ok s -> (
@@ -127,7 +128,8 @@ let conn_main cfg out ci () =
           (fun id ->
             send c
               (P.Create_session
-                 { id; scenario = cfg.scenario; max_horizon = cfg.max_horizon });
+                 { id; scenario = cfg.scenario; max_horizon = cfg.max_horizon;
+                   alg = None });
             match recv c with
             | P.Session { fed; _ } -> out.resumed <- out.resumed + min fed cfg.slots
             | P.Error { msg; _ } -> fail "create-session %s: %s" id msg

@@ -5,7 +5,12 @@ let version = 1
 
 type request =
   | Hello of { version : int }
-  | Create_session of { id : string; scenario : string; max_horizon : int option }
+  | Create_session of {
+      id : string;
+      scenario : string;
+      max_horizon : int option;
+      alg : string option;  (* solver name; None = let the daemon pick *)
+    }
   | Feed of { id : string; seq : int; loads : float array }
   | Query_snapshot of { id : string }
   | Stats
@@ -135,13 +140,13 @@ let str_field k v = S.List [ S.Atom k; S.Atom (quote v) ]
 
 let request_to_sexp = function
   | Hello { version } -> S.List [ S.Atom "hello"; int_field "version" version ]
-  | Create_session { id; scenario; max_horizon } ->
+  | Create_session { id; scenario; max_horizon; alg } ->
       S.List
         (S.Atom "create-session" :: str_field "id" id :: str_field "scenario" scenario
-        ::
-        (match max_horizon with
-        | None -> []
-        | Some h -> [ int_field "max-horizon" h ]))
+        :: ((match max_horizon with
+            | None -> []
+            | Some h -> [ int_field "max-horizon" h ])
+           @ (match alg with None -> [] | Some a -> [ str_field "alg" a ])))
   | Feed { id; seq; loads } ->
       S.List
         [ S.Atom "feed"; str_field "id" id; int_field "seq" seq;
@@ -208,7 +213,12 @@ let request_of_sexp sexp =
       let* id = str_of_field fields "id" in
       let* scenario = str_of_field fields "scenario" in
       let* max_horizon = opt_int_of_field fields "max-horizon" in
-      Ok (Create_session { id; scenario; max_horizon })
+      let* alg =
+        match S.assoc "alg" fields with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (str_of_field fields "alg")
+      in
+      Ok (Create_session { id; scenario; max_horizon; alg })
   | S.List (S.Atom "feed" :: fields) ->
       let* id = str_of_field fields "id" in
       let* seq = Snap.int_of_field fields "seq" in

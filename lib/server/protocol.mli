@@ -20,7 +20,16 @@ val version : int
 
 type request =
   | Hello of { version : int }
-  | Create_session of { id : string; scenario : string; max_horizon : int option }
+  | Create_session of {
+      id : string;
+      scenario : string;
+      max_horizon : int option;
+      alg : string option;
+          (** requested solver ([a], [b], [det2d], [homog]); [None]
+              lets the daemon pick from the scenario's cost structure.
+              Added within protocol version 1: old clients omit the
+              field and get the original auto-pick. *)
+    }
       (** Create the session, or {e attach} to an existing one with the
           same spec (the reply carries how many slots it has already
           processed — the crash/resume re-entry point). *)

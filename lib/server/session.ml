@@ -4,6 +4,7 @@ module Snap = Util.Snapshot
 type spec = {
   scenario : string;
   max_horizon : int option;
+  alg : string option;  (* requested solver; None = pick from the scenario *)
 }
 
 type t = {
@@ -28,27 +29,68 @@ let build_streaming spec =
       match spec.max_horizon with
       | Some h when h < 1 ->
           Error (Protocol.Bad_request, "max-horizon must be >= 1")
-      | _ ->
+      | _ -> (
           let inst = mk None in
           let types = inst.Model.Instance.types in
           let horizon = Model.Instance.horizon inst in
-          if inst.Model.Instance.time_independent then begin
-            let fns =
-              Array.init (Array.length types) (fun j ->
-                  inst.Model.Instance.cost ~time:0 ~typ:j)
-            in
-            Ok
-              ( "a",
-                Online.Streaming.alg_a ?max_horizon:spec.max_horizon ~types ~fns () )
-          end
-          else begin
-            let cost ~time ~typ =
-              inst.Model.Instance.cost ~time:(min time (horizon - 1)) ~typ
-            in
-            Ok
-              ( "b",
-                Online.Streaming.alg_b ?max_horizon:spec.max_horizon ~types ~cost () )
-          end)
+          let fns () =
+            Array.init (Array.length types) (fun j ->
+                inst.Model.Instance.cost ~time:0 ~typ:j)
+          in
+          let cost ~time ~typ =
+            inst.Model.Instance.cost ~time:(min time (horizon - 1)) ~typ
+          in
+          match spec.alg with
+          | None ->
+              if inst.Model.Instance.time_independent then
+                Ok
+                  ( "a",
+                    Online.Streaming.alg_a ?max_horizon:spec.max_horizon ~types
+                      ~fns:(fns ()) () )
+              else
+                Ok
+                  ( "b",
+                    Online.Streaming.alg_b ?max_horizon:spec.max_horizon ~types ~cost
+                      () )
+          | Some "a" ->
+              if inst.Model.Instance.time_independent then
+                Ok
+                  ( "a",
+                    Online.Streaming.alg_a ?max_horizon:spec.max_horizon ~types
+                      ~fns:(fns ()) () )
+              else
+                Error
+                  ( Protocol.Bad_request,
+                    "algorithm a requires time-independent costs" )
+          | Some "b" ->
+              Ok
+                ("b", Online.Streaming.alg_b ?max_horizon:spec.max_horizon ~types ~cost ())
+          | Some "det2d" ->
+              if Online.Alg_det2d.applicable inst then
+                Ok
+                  ( "det2d",
+                    Online.Streaming.det2d ?max_horizon:spec.max_horizon ~types ~cost
+                      () )
+              else
+                Error
+                  ( Protocol.Bad_request,
+                    "algorithm det2d requires load-independent costs" )
+          | Some "homog" ->
+              if not inst.Model.Instance.time_independent then
+                Error
+                  ( Protocol.Bad_request,
+                    "algorithm homog requires time-independent costs when served" )
+              else if Online.Alg_homog.applicable inst then
+                Ok
+                  ( "homog",
+                    Online.Streaming.homog ?max_horizon:spec.max_horizon ~types
+                      ~fns:(fns ()) () )
+              else
+                Error
+                  ( Protocol.Bad_request,
+                    "algorithm homog requires coinciding server types" )
+          | Some other ->
+              Error (Protocol.Bad_request, "unknown algorithm " ^ other)))
 
 let create ~id spec =
   match build_streaming spec with
@@ -121,6 +163,9 @@ let save t =
     :: ((match t.spec.max_horizon with
         | None -> []
         | Some h -> [ S.List [ S.Atom "max-horizon"; S.Atom (string_of_int h) ] ])
+       @ (match t.spec.alg with
+         | None -> []
+         | Some a -> [ S.List [ S.Atom "alg"; S.Atom (Protocol.quote a) ] ])
        @ [ S.List
              (S.Atom "history"
              :: List.init t.hist_len (fun i -> Snap.int_array_field "x" t.history.(i)));
@@ -142,6 +187,11 @@ let of_sexp sexp =
         match S.assoc "max-horizon" fields with
         | None -> Ok None
         | Some _ -> Result.map Option.some (Snap.int_of_field fields "max-horizon")
+      in
+      let* alg =
+        match S.assoc "alg" fields with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (str "alg")
       in
       let* rows =
         match S.assoc "history" fields with
@@ -165,7 +215,7 @@ let of_sexp sexp =
       let* session =
         Result.map_error
           (fun (_, msg) -> "session: " ^ msg)
-          (create ~id { scenario; max_horizon })
+          (create ~id { scenario; max_horizon; alg })
       in
       let* () = Online.Streaming.restore session.streaming state in
       let fed_now = Online.Streaming.fed session.streaming in

@@ -21,6 +21,9 @@
 type spec = {
   scenario : string;
   max_horizon : int option;
+  alg : string option;
+      (** requested solver name; [None] picks [a] or [b] from the
+          scenario's cost structure *)
 }
 
 type t

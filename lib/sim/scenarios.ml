@@ -75,6 +75,24 @@ let time_varying_costs ?(horizon = 36) ?(seed = 23) () =
   let load = Workload.diurnal ~noise:0.1 ~rng ~horizon ~period:24 ~base:1. ~peak:10. () in
   Model.Instance.make ~types ~load ~cost ()
 
+let spot_market ?(horizon = 36) ?(seed = 31) () =
+  let rng = Util.Prng.create seed in
+  let types =
+    [| st ~name:"reserved" ~count:6 ~switching_cost:4. ~cap:1. ();
+       st ~name:"spot" ~count:4 ~switching_cost:1.5 ~cap:2. () |]
+  in
+  (* Spot prices swing with a short market cycle; reserved capacity is
+     steadier.  Costs are load-independent (constant per slot) but
+     time-dependent — the break-even det2d setting. *)
+  let price typ t =
+    match typ with
+    | 0 -> 0.8 +. (0.1 *. sin (2. *. Float.pi *. float_of_int t /. 24.))
+    | _ -> 0.5 +. (0.45 *. (1. +. sin (2. *. Float.pi *. float_of_int t /. 8.)))
+  in
+  let cost ~time ~typ = Convex.Fn.const (price typ time) in
+  let load = Workload.diurnal ~noise:0.08 ~rng ~horizon ~period:24 ~base:1. ~peak:10. () in
+  Model.Instance.make ~types ~load ~cost ()
+
 let load_independent ~d ~horizon ~seed =
   let rng = Util.Prng.create seed in
   let types =
@@ -238,6 +256,7 @@ let named =
     ("three-tier", fun horizon -> three_tier ?horizon ());
     ("large-fleet", fun horizon -> large_fleet ?horizon ());
     ("time-varying", fun horizon -> time_varying_costs ?horizon ());
+    ("spot-market", fun horizon -> spot_market ?horizon ());
     ("maintenance", fun horizon -> maintenance ?horizon ()) ]
 
 let names = List.map fst named

@@ -30,6 +30,13 @@ val time_varying_costs : ?horizon:int -> ?seed:int -> unit -> Model.Instance.t
 (** Two types whose idle costs follow a day/night electricity price —
     the time-dependent setting of Section 3 (algorithms B/C). *)
 
+val spot_market : ?horizon:int -> ?seed:int -> unit -> Model.Instance.t
+(** Two types with load-independent but time-dependent costs: steady
+    reserved capacity against a fast-cycling spot market.  The natural
+    habitat of the break-even algorithm ({!Online.Alg_det2d}), which
+    requires constant per-slot cost functions but tolerates
+    time-varying prices. *)
+
 val load_independent : d:int -> horizon:int -> seed:int -> Model.Instance.t
 (** Constant operating costs [f_{t,j}(z) = l_j] — the special case with
     the optimal [2d] ratio (Corollary 9). *)

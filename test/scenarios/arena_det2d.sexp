@@ -1,0 +1,23 @@
+; Arena entrant: the break-even solver of the sister paper
+; (arXiv:2107.14672) explicitly requested with (alg det2d), served on
+; the spot-market base — load-independent costs with time-varying
+; electricity prices, its exact habitat.  The verify bound is the
+; solver's guarantee 2d + c(I) on this base (d = 2; the spot price
+; swings keep c(I) below 2), with audit sampling the shadow oracle.
+(scenario
+  (name arena-det2d)
+  (description Break-even det2d solver served on time-varying spot prices)
+  (base spot-market)
+  (alg det2d)
+  (slots 72)
+  (sessions 3)
+  (batch 6)
+  (seed 21)
+  (workload
+    (diurnal (period 24) (base 0.15) (peak 0.5) (noise 0.04))
+    (random-walk (start 0.1) (step 0.03) (lo 0) (hi 0.25))
+    (clamp (lo 0) (hi 0.85)))
+  (daemon
+    (metrics true)
+    (audit (every 24) (sample 2)))
+  (verify (oracle true) (ratio-bound 6.0)))

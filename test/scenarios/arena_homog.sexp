@@ -1,0 +1,22 @@
+; Arena entrant: the pooled homogeneous solver (arXiv:1807.05112)
+; explicitly requested with (alg homog) on the homogeneous base
+; (d = 1, convex time-independent costs).  Its guarantee is the d-free
+; 3 = 2*1 + 1; the verify section asserts exactly that bound while the
+; shadow oracle checks every sampled session decision-for-decision.
+(scenario
+  (name arena-homog)
+  (description Pooled homogeneous solver served on the single-type fleet)
+  (base homogeneous)
+  (alg homog)
+  (slots 96)
+  (sessions 4)
+  (batch 8)
+  (seed 22)
+  (workload
+    (diurnal (period 24) (base 0.2) (peak 0.6) (noise 0.05))
+    (bursty (burst 3) (gap 13) (height 0.2) (base 0))
+    (clamp (lo 0) (hi 0.9)))
+  (daemon
+    (metrics true)
+    (audit (every 32) (sample 2)))
+  (verify (oracle true) (ratio-bound 3.0)))

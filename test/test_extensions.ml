@@ -253,6 +253,80 @@ let test_rand_deterministic_given_seed () =
   in
   Alcotest.(check (float 0.)) "replayable" (run 7) (run 7)
 
+(* --- Arena --- *)
+
+(* A small deterministic fixture: three scenarios covering every
+   solver's habitat (d = 1 pooled, load-independent spot prices,
+   heterogeneous static). *)
+let arena_fixture () =
+  [ ("homogeneous", Sim.Scenarios.homogeneous ~horizon:12 ());
+    ("spot-market", Sim.Scenarios.spot_market ~horizon:12 ());
+    ("load-independent", Sim.Scenarios.load_independent ~d:2 ~horizon:8 ~seed:3) ]
+
+let test_arena_entries_sound () =
+  let entries = Core.Arena.race (arena_fixture ()) in
+  checkb "non-empty" true (entries <> []);
+  List.iter
+    (fun (e : Core.Arena.entry) ->
+      let name = e.Core.Arena.solver ^ "/" ^ e.Core.Arena.scenario in
+      checkb (name ^ " feasible") true e.Core.Arena.feasible;
+      checkb (name ^ " ratio >= 1") true (e.Core.Arena.ratio >= 1. -. 1e-6);
+      checkb (name ^ " ratio not nan") true (not (Float.is_nan e.Core.Arena.ratio));
+      checkb (name ^ " within bound") true e.Core.Arena.within_bound;
+      match e.Core.Arena.bound with
+      | None -> ()
+      | Some b ->
+          checkb (name ^ " bound respected") true (e.Core.Arena.ratio <= b +. 1e-6))
+    entries;
+  (* Every solver that can enter these scenarios does: A and det2d and
+     homog all find at least one race here. *)
+  let entered s = List.exists (fun e -> e.Core.Arena.solver = s) entries in
+  List.iter
+    (fun s -> checkb (s ^ " entered") true (entered s))
+    [ "alg-A"; "alg-B"; "alg-C(0.5)"; "alg-rand(42)"; "det2d"; "homog"; "always-on";
+      "follow-demand" ]
+
+let test_arena_golden_deterministic () =
+  (* Bit-exact reproducibility: two runs, and a run with the DP layer
+     parallelised, produce identical entries and identical standings —
+     ranks and ratios do not drift with repetition or -j. *)
+  let fixture = arena_fixture () in
+  let e1 = Core.Arena.race fixture in
+  let e2 = Core.Arena.race fixture in
+  checkb "entries replay bit-exactly" true (e1 = e2);
+  let e4 = Core.Arena.race ~domains:4 fixture in
+  checkb "entries identical under domains=4" true (e1 = e4);
+  let s1 = Core.Arena.standings e1 and s4 = Core.Arena.standings e4 in
+  checkb "standings identical" true (s1 = s4);
+  Alcotest.(check (list string))
+    "rank order stable"
+    (List.map (fun (s : Core.Arena.standing) -> s.Core.Arena.name) s1)
+    (List.map (fun (s : Core.Arena.standing) -> s.Core.Arena.name) s4)
+
+let test_arena_standings_consistent () =
+  let entries = Core.Arena.race (arena_fixture ()) in
+  let standings = Core.Arena.standings entries in
+  (* Ranked ascending by mean ratio; races and wins tally up. *)
+  let rec sorted = function
+    | (a : Core.Arena.standing) :: (b :: _ as rest) ->
+        a.Core.Arena.mean_ratio <= b.Core.Arena.mean_ratio +. 1e-12 && sorted rest
+    | _ -> true
+  in
+  checkb "sorted by mean ratio" true (sorted standings);
+  List.iter
+    (fun (s : Core.Arena.standing) ->
+      let mine = List.filter (fun e -> e.Core.Arena.solver = s.Core.Arena.name) entries in
+      checki (s.Core.Arena.name ^ " races") (List.length mine) s.Core.Arena.races;
+      checkb (s.Core.Arena.name ^ " worst >= mean") true
+        (s.Core.Arena.worst_ratio >= s.Core.Arena.mean_ratio -. 1e-12);
+      checkb (s.Core.Arena.name ^ " bounded") true s.Core.Arena.bounded)
+    standings;
+  let total_wins =
+    List.fold_left (fun acc (s : Core.Arena.standing) -> acc + s.Core.Arena.wins) 0 standings
+  in
+  (* Ties share a win, so at least one win per scenario. *)
+  checkb "every scenario has a winner" true (total_wins >= List.length (arena_fixture ()))
+
 let () =
   Alcotest.run "extensions"
     [ ( "graph_paper",
@@ -282,5 +356,13 @@ let () =
           Alcotest.test_case "beats deterministic on bursts (on average)" `Quick
             test_rand_expected_improvement_on_bursts;
           Alcotest.test_case "replayable" `Quick test_rand_deterministic_given_seed
+        ] );
+      ( "arena",
+        [ Alcotest.test_case "entries sound (feasible, ratio in [1, bound])" `Quick
+            test_arena_entries_sound;
+          Alcotest.test_case "golden: bit-exact across runs and domains" `Quick
+            test_arena_golden_deterministic;
+          Alcotest.test_case "standings consistent with entries" `Quick
+            test_arena_standings_consistent
         ] )
     ]

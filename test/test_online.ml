@@ -546,7 +546,344 @@ let test_competitive_bounds () =
   let general = Sim.Scenarios.cpu_gpu ~horizon:4 () in
   checkf 1e-9 "Theorem 8: 2d+1" 5. (Online.Harness.competitive_bound general ~algorithm:`A);
   checkf 1e-9 "Theorem 15: 2d+1+eps" 5.25
-    (Online.Harness.competitive_bound general ~algorithm:(`C 0.25))
+    (Online.Harness.competitive_bound general ~algorithm:(`C 0.25));
+  checkf 1e-9 "det2d: 2d when time-independent" 4.
+    (Online.Harness.competitive_bound li ~algorithm:`Det2d);
+  let homog = Sim.Scenarios.homogeneous ~horizon:4 () in
+  checkf 1e-9 "homog: d-free 3 for convex time-independent" 3.
+    (Online.Harness.competitive_bound homog ~algorithm:`Homog)
+
+let test_harness_ratio_all_idle () =
+  (* The canonical ratio is defined (and nan-free) on all-idle traces
+     where OPT = 0: matching the zero optimum is 1-competitive, paying
+     anything is infinity. *)
+  checkf 1e-9 "0/0 = 1" 1. (Online.Harness.ratio ~cost:0. ~opt:0.);
+  checkb "paying against a zero OPT = infinity" true
+    (Online.Harness.ratio ~cost:1. ~opt:0. = infinity);
+  checkb "never nan" true
+    (not (Float.is_nan (Online.Harness.ratio ~cost:0. ~opt:0.)));
+  checkf 1e-9 "ordinary division untouched" 1.5 (Online.Harness.ratio ~cost:3. ~opt:2.);
+  (* End to end: free idling and an all-zero trace make OPT exactly 0;
+     algorithm B never powers up, so the reported ratio must be 1. *)
+  let types = [| st ~count:2 ~switching_cost:3. ~cap:1. () |] in
+  let inst =
+    Model.Instance.make_static ~types ~load:(Array.make 6 0.)
+      ~fns:[| Convex.Fn.const 0. |] ()
+  in
+  let opt = Online.Harness.opt_cost inst in
+  checkf 1e-9 "OPT = 0" 0. opt;
+  let cost = Model.Cost.schedule inst (Online.Alg_b.run inst).Online.Alg_b.schedule in
+  checkf 1e-9 "ratio 1.0, not nan" 1. (Online.Harness.ratio ~cost ~opt)
+
+(* --- Sister-paper solver: det2d (arXiv:2107.14672) --- *)
+
+let test_det2d_rejects_load_dependent () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:4 () in
+  checkb "not applicable" false (Online.Alg_det2d.applicable inst);
+  checkb "run raises" true
+    (try ignore (Online.Alg_det2d.run inst); false with Invalid_argument _ -> true)
+
+let test_det2d_equals_alg_a_time_independent () =
+  (* On time-independent load-independent instances the break-even rule
+     reproduces A's ceil(beta_j / l_j) timers decision-for-decision. *)
+  let inst = Sim.Scenarios.load_independent ~d:2 ~horizon:14 ~seed:5 in
+  let a = (Online.Alg_a.run inst).Online.Alg_a.schedule in
+  let d2 = (Online.Alg_det2d.run inst).Online.Alg_det2d.schedule in
+  Array.iteri
+    (fun t x -> checkb (Printf.sprintf "slot %d" t) true (Model.Config.equal x d2.(t)))
+    a
+
+let test_det2d_powers_down_at_break_even () =
+  (* beta = 2, idle cost 1 per slot (accrued from the slot after the
+     power-up): the accumulated idle cost reaches beta at slot 2, so the
+     break-even rule retires the group there, one slot before B's
+     strict-exceed rule. *)
+  let idles = [| 1.; 1.; 1.; 1.; 1.; 1. |] in
+  let load = [| 2.; 0.; 0.; 0.; 0.; 0. |] in
+  let inst = dynamic_idle_instance ~beta:2. ~idles ~load in
+  let first_down downs =
+    List.fold_left (fun acc (t, _, _) -> min acc t) max_int downs
+  in
+  checki "det2d retires at the break-even slot" 2
+    (first_down (Online.Alg_det2d.run inst).Online.Alg_det2d.power_downs);
+  checki "B waits for a strict exceed" 3
+    (first_down (Online.Alg_b.run inst).Online.Alg_b.power_downs)
+
+let test_det2d_bound_on_scenario () =
+  let inst = Sim.Scenarios.spot_market ~horizon:24 () in
+  checkb "applicable to spot prices" true (Online.Alg_det2d.applicable inst);
+  let r = Online.Alg_det2d.run inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_det2d.schedule);
+  let ratio =
+    Online.Harness.ratio
+      ~cost:(Model.Cost.schedule inst r.Online.Alg_det2d.schedule)
+      ~opt:(Online.Harness.opt_cost inst)
+  in
+  let bound = Online.Harness.competitive_bound inst ~algorithm:`Det2d in
+  checkb "within 2d + c(I)" true (ratio <= bound +. 1e-6)
+
+let test_streaming_matches_batch_det2d () =
+  let inst = Sim.Scenarios.spot_market ~horizon:16 () in
+  let batch = (Online.Alg_det2d.run inst).Online.Alg_det2d.schedule in
+  let session =
+    Online.Streaming.det2d ~max_horizon:16 ~types:inst.Model.Instance.types
+      ~cost:(fun ~time ~typ -> inst.Model.Instance.cost ~time ~typ)
+      ()
+  in
+  Array.iteri
+    (fun t load ->
+      let x = Online.Streaming.feed session load in
+      checkb (Printf.sprintf "slot %d identical" t) true (Model.Config.equal x batch.(t)))
+    inst.Model.Instance.load
+
+(* --- Sister-paper solver: pooled homogeneous (arXiv:1807.05112) --- *)
+
+let coinciding_instance ~counts ~load =
+  (* All types share beta, cap and the (physically identical) cost
+     function — the pooled rule's habitat. *)
+  let fn = Convex.Fn.shift_idle 0.5 (Convex.Fn.power ~idle:0. ~coef:1. ~expo:2.) in
+  let types =
+    Array.map (fun c -> st ~count:c ~switching_cost:3. ~cap:1. ()) counts
+  in
+  Model.Instance.make_static ~types ~load ~fns:(Array.make (Array.length counts) fn) ()
+
+let test_homog_rejects_non_coinciding () =
+  let inst = Sim.Scenarios.cpu_gpu ~horizon:4 () in
+  checkb "not applicable" false (Online.Alg_homog.applicable inst);
+  checkb "run raises" true
+    (try ignore (Online.Alg_homog.run inst); false with Invalid_argument _ -> true)
+
+let test_homog_rejects_size_varying () =
+  let types = [| st ~count:3 ~switching_cost:3. ~cap:1. () |] in
+  let inst =
+    Model.Instance.make
+      ~avail:(fun ~time ~typ:_ -> if time = 1 then 2 else 3)
+      ~types ~load:[| 1.; 1.; 1. |]
+      ~cost:(fun ~time:_ ~typ:_ -> Convex.Fn.const 1.)
+      ()
+  in
+  checkb "size-varying rejected" false (Online.Alg_homog.applicable inst)
+
+let test_homog_canonical_split () =
+  (* The per-type split of the pooled total is canonical: type 0 fills
+     before type 1 touches a machine. *)
+  let load = [| 1.; 4.; 6.; 2.; 0.; 0.; 5.; 1. |] in
+  let inst = coinciding_instance ~counts:[| 3; 3 |] ~load in
+  let r = Online.Alg_homog.run inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_homog.schedule);
+  Array.iteri
+    (fun t x ->
+      checkb (Printf.sprintf "slot %d: type 0 first" t) true (x.(1) = 0 || x.(0) = 3))
+    r.Online.Alg_homog.schedule
+
+let test_homog_pooling_invariant () =
+  (* Two coinciding types of 3 machines behave exactly like one type of
+     6: the pooled rule only ever sees the summed count. *)
+  let load = [| 1.; 4.; 6.; 2.; 0.; 0.; 5.; 1. |] in
+  let split = coinciding_instance ~counts:[| 3; 3 |] ~load in
+  let merged = coinciding_instance ~counts:[| 6 |] ~load in
+  let rs = Online.Alg_homog.run split and rm = Online.Alg_homog.run merged in
+  checkf 1e-9 "same total cost"
+    (Model.Cost.schedule merged rm.Online.Alg_homog.schedule)
+    (Model.Cost.schedule split rs.Online.Alg_homog.schedule);
+  Array.iteri
+    (fun t x ->
+      checki (Printf.sprintf "slot %d: same pooled total" t)
+        rm.Online.Alg_homog.schedule.(t).(0)
+        (x.(0) + x.(1)))
+    rs.Online.Alg_homog.schedule
+
+let test_homog_bound_on_scenario () =
+  let inst = Sim.Scenarios.homogeneous ~horizon:24 () in
+  checkb "applicable to d = 1" true (Online.Alg_homog.applicable inst);
+  let r = Online.Alg_homog.run inst in
+  checkb "feasible" true (Model.Schedule.feasible inst r.Online.Alg_homog.schedule);
+  let ratio =
+    Online.Harness.ratio
+      ~cost:(Model.Cost.schedule inst r.Online.Alg_homog.schedule)
+      ~opt:(Online.Harness.opt_cost inst)
+  in
+  let bound = Online.Harness.competitive_bound inst ~algorithm:`Homog in
+  checkb "d-free bound holds" true (bound = 3. && ratio <= bound +. 1e-6)
+
+let test_streaming_matches_batch_homog () =
+  let load = [| 1.; 4.; 6.; 2.; 0.; 0.; 5.; 1. |] in
+  let inst = coinciding_instance ~counts:[| 3; 3 |] ~load in
+  let batch = (Online.Alg_homog.run inst).Online.Alg_homog.schedule in
+  let fns =
+    Array.init (Model.Instance.num_types inst) (fun j ->
+        inst.Model.Instance.cost ~time:0 ~typ:j)
+  in
+  let session =
+    Online.Streaming.homog ~max_horizon:8 ~types:inst.Model.Instance.types ~fns ()
+  in
+  Array.iteri
+    (fun t l ->
+      let x = Online.Streaming.feed session l in
+      checkb (Printf.sprintf "slot %d identical" t) true (Model.Config.equal x batch.(t)))
+    inst.Model.Instance.load
+
+(* --- Cross-solver property sweep (qcheck) ---
+
+   Every stepper family — A, B, det2d, homog — is raced on random
+   instances drawn from its own domain.  Instances are derived
+   deterministically from a generated integer seed (as in test_props),
+   so shrinking walks over seeds and every failure replays. *)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let mk_prop ?(count = 20) ~name prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count seed_gen prop)
+
+let random_load_independent_dynamic rng =
+  (* Constant per-slot cost functions with time-varying prices — the
+     det2d domain beyond Scenarios.load_independent's static prices. *)
+  let d = 1 + Util.Prng.int rng 2 in
+  let horizon = 4 + Util.Prng.int rng 6 in
+  let types =
+    Array.init d (fun j ->
+        st
+          ~name:(Printf.sprintf "t%d" j)
+          ~count:(1 + Util.Prng.int rng 3)
+          ~switching_cost:(0.5 +. Util.Prng.float rng 3.)
+          ~cap:(float_of_int (1 + Util.Prng.int rng 2))
+          ())
+  in
+  let capacity =
+    Array.fold_left
+      (fun acc t ->
+        acc +. (float_of_int t.Model.Server_type.count *. t.Model.Server_type.cap))
+      0. types
+  in
+  let fns =
+    Array.init horizon (fun _ ->
+        Array.init d (fun _ -> Convex.Fn.const (0.1 +. Util.Prng.float rng 1.5)))
+  in
+  let load = Array.init horizon (fun _ -> Util.Prng.float rng (0.9 *. capacity)) in
+  Model.Instance.make ~types ~load ~cost:(fun ~time ~typ -> fns.(time).(typ)) ()
+
+let random_fn rng =
+  match Util.Prng.int rng 3 with
+  | 0 -> Convex.Fn.const (0.1 +. Util.Prng.float rng 1.5)
+  | 1 ->
+      Convex.Fn.affine
+        ~intercept:(0.1 +. Util.Prng.float rng 1.)
+        ~slope:(Util.Prng.float rng 2.)
+  | _ ->
+      Convex.Fn.power
+        ~idle:(0.1 +. Util.Prng.float rng 1.)
+        ~coef:(Util.Prng.float rng 2.)
+        ~expo:(1. +. Util.Prng.float rng 2.)
+
+let random_coinciding rng =
+  let d = 1 + Util.Prng.int rng 2 in
+  let count = 1 + Util.Prng.int rng 3 in
+  let beta = 0.5 +. Util.Prng.float rng 3. in
+  let horizon = 4 + Util.Prng.int rng 6 in
+  let fn = random_fn rng in
+  let types =
+    Array.init d (fun j ->
+        st ~name:(Printf.sprintf "t%d" j) ~count ~switching_cost:beta ~cap:1. ())
+  in
+  let capacity = float_of_int (d * count) in
+  let load = Array.init horizon (fun _ -> Util.Prng.float rng (0.9 *. capacity)) in
+  Model.Instance.make_static ~types ~load ~fns:(Array.make d fn) ()
+
+type solver_family = {
+  fname : string;
+  gen : Util.Prng.t -> Model.Instance.t;
+  algorithm : [ `A | `B | `C of float | `Rand | `Det2d | `Homog ];
+  batch : Model.Instance.t -> Model.Schedule.t;
+  session : Model.Instance.t -> Online.Streaming.t;
+}
+
+let static_fns inst =
+  Array.init (Model.Instance.num_types inst) (fun j ->
+      inst.Model.Instance.cost ~time:0 ~typ:j)
+
+let solver_families =
+  let horizon inst = Array.length inst.Model.Instance.load in
+  [ { fname = "a";
+      gen = (fun rng -> Sim.Scenarios.random_static ~rng ~d:(1 + Util.Prng.int rng 2) ~horizon:(4 + Util.Prng.int rng 6) ~max_count:3);
+      algorithm = `A;
+      batch = (fun i -> (Online.Alg_a.run i).Online.Alg_a.schedule);
+      session =
+        (fun i ->
+          Online.Streaming.alg_a ~max_horizon:(horizon i) ~types:i.Model.Instance.types
+            ~fns:(static_fns i) ()) };
+    { fname = "b";
+      gen = (fun rng -> Sim.Scenarios.random_dynamic ~rng ~d:(1 + Util.Prng.int rng 2) ~horizon:(4 + Util.Prng.int rng 6) ~max_count:3);
+      algorithm = `B;
+      batch = (fun i -> (Online.Alg_b.run i).Online.Alg_b.schedule);
+      session =
+        (fun i ->
+          Online.Streaming.alg_b ~max_horizon:(horizon i) ~types:i.Model.Instance.types
+            ~cost:(fun ~time ~typ -> i.Model.Instance.cost ~time ~typ)
+            ()) };
+    { fname = "det2d";
+      gen = random_load_independent_dynamic;
+      algorithm = `Det2d;
+      batch = (fun i -> (Online.Alg_det2d.run i).Online.Alg_det2d.schedule);
+      session =
+        (fun i ->
+          Online.Streaming.det2d ~max_horizon:(horizon i) ~types:i.Model.Instance.types
+            ~cost:(fun ~time ~typ -> i.Model.Instance.cost ~time ~typ)
+            ()) };
+    { fname = "homog";
+      gen = random_coinciding;
+      algorithm = `Homog;
+      batch = (fun i -> (Online.Alg_homog.run i).Online.Alg_homog.schedule);
+      session =
+        (fun i ->
+          Online.Streaming.homog ~max_horizon:(horizon i) ~types:i.Model.Instance.types
+            ~fns:(static_fns i) ()) }
+  ]
+
+let prop_all_solvers_feasible_within_bound seed =
+  let rng = Util.Prng.create seed in
+  List.for_all
+    (fun f ->
+      let inst = f.gen rng in
+      let s = f.batch inst in
+      let ratio =
+        Online.Harness.ratio
+          ~cost:(Model.Cost.schedule inst s)
+          ~opt:(Online.Harness.opt_cost inst)
+      in
+      Model.Schedule.feasible inst s
+      && ratio >= 1. -. 1e-9
+      && ratio <= Online.Harness.competitive_bound inst ~algorithm:f.algorithm +. 1e-6)
+    solver_families
+
+let prop_checkpoint_resume_bit_identity seed =
+  (* Feed half the trace, save, restore into a fresh session, feed the
+     rest: every decision must be bit-identical to the batch run. *)
+  let rng = Util.Prng.create seed in
+  List.for_all
+    (fun f ->
+      let inst = f.gen rng in
+      let batch = f.batch inst in
+      let loads = inst.Model.Instance.load in
+      let k = Array.length loads / 2 in
+      let live = f.session inst in
+      let prefix_ok = ref true in
+      for t = 0 to k - 1 do
+        prefix_ok :=
+          !prefix_ok && Model.Config.equal (Online.Streaming.feed live loads.(t)) batch.(t)
+      done;
+      let snap = Online.Streaming.save live in
+      let resumed = f.session inst in
+      match Online.Streaming.restore resumed snap with
+      | Error _ -> false
+      | Ok () ->
+          let suffix_ok = ref (Online.Streaming.fed resumed = k) in
+          for t = k to Array.length loads - 1 do
+            suffix_ok :=
+              !suffix_ok
+              && Model.Config.equal (Online.Streaming.feed resumed loads.(t)) batch.(t)
+          done;
+          !prefix_ok && !suffix_ok)
+    solver_families
 
 let () =
   Alcotest.run "online"
@@ -635,10 +972,44 @@ let () =
           Alcotest.test_case "reactive adversary instance valid" `Quick
             test_reactive_adversary_instance_valid
         ] );
+      ( "det2d",
+        [ Alcotest.test_case "rejects load-dependent costs" `Quick
+            test_det2d_rejects_load_dependent;
+          Alcotest.test_case "equals A on time-independent instances" `Quick
+            test_det2d_equals_alg_a_time_independent;
+          Alcotest.test_case "powers down at break-even, not strict exceed" `Quick
+            test_det2d_powers_down_at_break_even;
+          Alcotest.test_case "bound on the spot-market scenario" `Quick
+            test_det2d_bound_on_scenario;
+          Alcotest.test_case "streaming matches batch" `Quick
+            test_streaming_matches_batch_det2d
+        ] );
+      ( "homog",
+        [ Alcotest.test_case "rejects non-coinciding types" `Quick
+            test_homog_rejects_non_coinciding;
+          Alcotest.test_case "rejects size-varying fleets" `Quick
+            test_homog_rejects_size_varying;
+          Alcotest.test_case "canonical split (type 0 first)" `Quick
+            test_homog_canonical_split;
+          Alcotest.test_case "pooling invariant (3+3 = 6)" `Quick
+            test_homog_pooling_invariant;
+          Alcotest.test_case "d-free bound on the homogeneous scenario" `Quick
+            test_homog_bound_on_scenario;
+          Alcotest.test_case "streaming matches batch" `Quick
+            test_streaming_matches_batch_homog
+        ] );
+      ( "solver_sweep",
+        [ mk_prop ~name:"every solver feasible and within its bound"
+            prop_all_solvers_feasible_within_bound;
+          mk_prop ~name:"checkpoint/resume bit-identity across solvers"
+            prop_checkpoint_resume_bit_identity
+        ] );
       ( "harness",
         [ Alcotest.test_case "evaluate" `Quick test_harness_evaluate;
           Alcotest.test_case "run_suite (static)" `Quick test_harness_run_suite_static;
           Alcotest.test_case "run_suite (dynamic)" `Quick test_harness_run_suite_dynamic;
-          Alcotest.test_case "bound formulas" `Quick test_competitive_bounds
+          Alcotest.test_case "bound formulas" `Quick test_competitive_bounds;
+          Alcotest.test_case "ratio on all-idle traces (OPT = 0)" `Quick
+            test_harness_ratio_all_idle
         ] )
     ]

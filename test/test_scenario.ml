@@ -114,7 +114,7 @@ let random_def seed =
   let lo = Prng.float rng 0.5 in
   { Def.name = Printf.sprintf "gen-%d" (Prng.int rng 100_000);
     description = random_description rng;
-    base; slots; sessions;
+    base; alg = None; slots; sessions;
     batch = dur rng 32;
     seed = Prng.int rng 1_000;
     workload = List.init (dur rng 3) (fun _ -> random_source rng);

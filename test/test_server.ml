@@ -55,7 +55,11 @@ let gen_request rng : P.request =
       P.Create_session
         { id = gen_id rng;
           scenario = gen_string rng;
-          max_horizon = (if Util.Prng.bool rng then Some (Util.Prng.int rng 100) else None) }
+          max_horizon = (if Util.Prng.bool rng then Some (Util.Prng.int rng 100) else None);
+          alg =
+            (if Util.Prng.bool rng then
+               Some (List.nth [ "a"; "b"; "det2d"; "homog" ] (Util.Prng.int rng 4))
+             else None) }
   | 2 -> P.Feed { id = gen_id rng; seq = Util.Prng.int rng 1000; loads = gen_floats rng }
   | 3 -> P.Query_snapshot { id = gen_id rng }
   | 4 -> P.Stats
@@ -253,7 +257,7 @@ let test_snapshot_load_size_guard () =
 (* --- sessions -------------------------------------------------------- *)
 
 let test_session_idempotent_feed () =
-  let spec = { Session.scenario = "cpu-gpu"; max_horizon = None } in
+  let spec = { Session.scenario = "cpu-gpu"; max_horizon = None; alg = None } in
   let s =
     match Session.create ~id:"s1" spec with
     | Ok s -> s
@@ -287,7 +291,7 @@ let test_session_idempotent_feed () =
 let prop_session_save_restore seed =
   let rng = Util.Prng.create seed in
   let scenario = Util.Prng.pick rng [| "cpu-gpu"; "three-tier"; "time-varying" |] in
-  let spec = { Session.scenario; max_horizon = None } in
+  let spec = { Session.scenario; max_horizon = None; alg = None } in
   let a =
     match Session.create ~id:"p" spec with Ok s -> s | Error (_, m) -> failwith m
   in
@@ -339,7 +343,7 @@ let test_daemon_request_semantics () =
       | _ -> Alcotest.fail "bad version accepted");
       (match
          Daemon.handle d
-           (P.Create_session { id = "s1"; scenario = "cpu-gpu"; max_horizon = None })
+           (P.Create_session { id = "s1"; scenario = "cpu-gpu"; max_horizon = None; alg = None })
        with
       | P.Session { alg; fed; _ } ->
           checks "cpu-gpu is time-independent" "a" alg;
@@ -347,19 +351,19 @@ let test_daemon_request_semantics () =
       | _ -> Alcotest.fail "create failed");
       (match
          Daemon.handle d
-           (P.Create_session { id = "s1"; scenario = "cpu-gpu"; max_horizon = None })
+           (P.Create_session { id = "s1"; scenario = "cpu-gpu"; max_horizon = None; alg = None })
        with
       | P.Session { fed = 0; _ } -> ()
       | _ -> Alcotest.fail "same-spec create should attach");
       (match
          Daemon.handle d
-           (P.Create_session { id = "s1"; scenario = "three-tier"; max_horizon = None })
+           (P.Create_session { id = "s1"; scenario = "three-tier"; max_horizon = None; alg = None })
        with
       | P.Error { code = P.Session_exists; _ } -> ()
       | _ -> Alcotest.fail "spec mismatch accepted");
       (match
          Daemon.handle d
-           (P.Create_session { id = "s2"; scenario = "nope"; max_horizon = None })
+           (P.Create_session { id = "s2"; scenario = "nope"; max_horizon = None; alg = None })
        with
       | P.Error { code = P.Unknown_scenario; _ } -> ()
       | _ -> Alcotest.fail "unknown scenario accepted");
@@ -389,7 +393,7 @@ let test_daemon_step_fault_degrades () =
       let d = mk "b.sock" cfg in
       ignore
         (Daemon.handle d
-           (P.Create_session { id = "s"; scenario = "cpu-gpu"; max_horizon = None }));
+           (P.Create_session { id = "s"; scenario = "cpu-gpu"; max_horizon = None; alg = None }));
       ignore
         (expect_decisions (Daemon.handle d (P.Feed { id = "s"; seq = 0; loads = [| 1. |] })));
       Util.Faultinj.arm [ ("server.step", Util.Faultinj.Nth 1) ];
@@ -425,7 +429,7 @@ let test_daemon_checkpoint_resume_multisession () =
       let d1 = mk "c1.sock" cfg in
       List.iter
         (fun (id, scenario) ->
-          (match Daemon.handle d1 (P.Create_session { id; scenario; max_horizon = None }) with
+          (match Daemon.handle d1 (P.Create_session { id; scenario; max_horizon = None; alg = None }) with
           | P.Session _ -> ()
           | _ -> Alcotest.fail ("create " ^ id));
           ignore
@@ -443,7 +447,7 @@ let test_daemon_checkpoint_resume_multisession () =
         (fun (id, scenario) ->
           let all = loads id in
           (* re-attach reports the processed prefix *)
-          (match Daemon.handle d2 (P.Create_session { id; scenario; max_horizon = None }) with
+          (match Daemon.handle d2 (P.Create_session { id; scenario; max_horizon = None; alg = None }) with
           | P.Session { fed; _ } -> checki (id ^ " resumed slots") cut fed
           | _ -> Alcotest.fail ("re-attach " ^ id));
           (* idempotent re-feed of the whole trace: prefix replayed,
@@ -451,7 +455,7 @@ let test_daemon_checkpoint_resume_multisession () =
           let resumed =
             expect_decisions (Daemon.handle d2 (P.Feed { id; seq = 0; loads = all }))
           in
-          let spec = { Session.scenario; max_horizon = None } in
+          let spec = { Session.scenario; max_horizon = None; alg = None } in
           let oracle =
             match Session.create ~id spec with
             | Ok s -> (
@@ -475,7 +479,7 @@ let test_daemon_metrics_and_audit () =
       let d = mk "m.sock" cfg in
       List.iter
         (fun (id, scenario) ->
-          (match Daemon.handle d (P.Create_session { id; scenario; max_horizon = None }) with
+          (match Daemon.handle d (P.Create_session { id; scenario; max_horizon = None; alg = None }) with
           | P.Session _ -> ()
           | _ -> Alcotest.fail ("create " ^ id));
           let loads = Array.init 12 (fun i -> 0.5 +. float_of_int (i mod 4)) in
@@ -564,13 +568,13 @@ let test_audit_matches_direct_computation () =
       let d = mk "n.sock" cfg in
       ignore
         (Daemon.handle d
-           (P.Create_session { id = "x"; scenario = "cpu-gpu"; max_horizon = None }));
+           (P.Create_session { id = "x"; scenario = "cpu-gpu"; max_horizon = None; alg = None }));
       let loads = Array.init 10 (fun i -> 1.0 +. float_of_int (i mod 3)) in
       ignore (expect_decisions (Daemon.handle d (P.Feed { id = "x"; seq = 0; loads })));
       let audit = match Daemon.audit d with Some a -> a | None -> Alcotest.fail "no audit" in
       let ratio = Server.Audit.last_regret_ratio audit in
       (* recompute both sides directly *)
-      let spec = { Session.scenario = "cpu-gpu"; max_horizon = None } in
+      let spec = { Session.scenario = "cpu-gpu"; max_horizon = None; alg = None } in
       let s = match Session.create ~id:"ref" spec with Ok s -> s | Error (_, m) -> Alcotest.fail m in
       (match Session.feed s ~seq:0 loads with Ok _ -> () | Error (_, m) -> Alcotest.fail m);
       let inst =
