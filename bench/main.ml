@@ -77,6 +77,19 @@ let dispatch_pieces =
          { Core.Dispatch.fn = Core.Fn.power ~idle:0.2 ~coef:(0.5 +. float_of_int j) ~expo:2.;
            upper = 0.5 }))
 
+(* One monotone 64-cell grid line, d=3: fixed 2-piece prefix plus a
+   swept slot whose capacity grows with the cell index — exactly what
+   [Model.Cost.fill_line] hands to the warm-started batch solver. *)
+let dispatch_line_cells =
+  lazy
+    (let cube = Core.Fn.power ~idle:0.3 ~coef:1. ~expo:3. in
+     let quad = Core.Fn.power ~idle:0.2 ~coef:0.7 ~expo:2. in
+     let prefix = [| { Core.Dispatch.fn = cube; upper = 0.3 };
+                     { Core.Dispatch.fn = quad; upper = 0.25 } |] in
+     Array.init 64 (fun v ->
+         let cap = 0.02 *. float_of_int v in
+         Array.append prefix [| { Core.Dispatch.fn = cube; upper = cap } |]))
+
 (* Each bench keeps its kernel thunk alongside the Bechamel test so the
    timing loop can replay one run under Obs.Counter and report the work
    done per run. *)
@@ -240,6 +253,28 @@ let benches =
        fun () -> Core.Dispatch.solve pieces ~total:0.9);
     bench "kernel: dispatch numeric water-filling (d=4)"
       (fun () -> Core.Dispatch.solve ~numeric:true (Lazy.force dispatch_pieces) ~total:1.);
+    (* Warm vs cold line sweep: the same 64-cell monotone line (fixed
+       d=3 prefix, swept slot growing cell by cell — the shape a layer
+       fill produces) solved once with the warm-started batch solver and
+       once as independent per-cell solves.  Their ratio is the payoff
+       of carrying the multiplier bracket along the line. *)
+    bench "dispatch: warm line sweep (d=3, 64 cells)"
+      (let cells = Lazy.force dispatch_line_cells in
+       fun () -> Core.Dispatch.solve_line cells ~total:1.);
+    bench "dispatch: cold per-cell sweep (d=3, 64 cells)"
+      (let cells = Lazy.force dispatch_line_cells in
+       fun () ->
+         Array.iter (fun cell -> ignore (Core.Dispatch.solve cell ~total:1.)) cells);
+    (* Per-cell cost of a whole-layer fill on a fresh cache: 61*41 =
+       2501 states, each one dispatch sweep cell.  Divide the reported
+       time by 2501 for the ns/cell figure quoted in
+       docs/performance.md. *)
+    bench "dp: ns/cell layer fill (d=2, m=(60,40), 2501 cells)"
+      (let inst = Lazy.force fix_large in
+       let grid = Core.Grid.dense (Core.Instance.counts inst) in
+       fun () ->
+         let cache = Core.Cost.make_cache inst in
+         ignore (Core.Offline_dp.fill_layer cache grid ~time:6 : float array));
     bench "kernel: memo rank-table hit (d=2)"
       (let inst = Lazy.force fix_cpu_gpu in
        let cache = Core.Cost.make_cache inst in

@@ -3,6 +3,7 @@ type solution = { assignment : float array; objective : float }
 
 let c_calls = Obs.Counter.make "dispatch.calls"
 let c_analytic = Obs.Counter.make "dispatch.analytic_solves"
+let c_newton = Obs.Counter.make "dispatch.newton_evals"
 let c_iters = Obs.Counter.make "scalar_min.iters"
 let count_iters n = Obs.Counter.add c_iters n
 
@@ -163,6 +164,327 @@ let waterfill ~tol ~analytic pieces ~total =
     done;
   { assignment = z; objective = objective pieces z }
 
+(* --- warm-started analytic water-filling --------------------------------
+
+   The analytic path no longer bisects blindly: it runs a safeguarded
+   Newton iteration on the residual [s(nu) = sum_j z_j(nu) - total],
+   whose multiplier-space slope is [sum_j 1 / h_j''(z_j)] over the
+   interior pieces (closed-form via {!Fn.curvature}).  The iteration is
+   confined to a bracket [lo, hi] maintained exactly as the old
+   bisection did, so every safeguard degenerates to the legacy
+   behaviour; the plateau interpolation and drift repair epilogues are
+   unchanged.
+
+   The [sweep] record makes the solve *amortised* along a grid line:
+   [h_j(z) = x_j f(load z / x_j)] has derivative [load f'(load z / x_j)],
+   non-increasing in the capacity [x_j], and a cap [u_j] non-decreasing
+   in it — so the response sum is pointwise non-decreasing in capacity
+   and the optimal multiplier is non-increasing along a line of
+   non-decreasing capacities.  The final upper bracket of one cell is
+   therefore a valid (and usually razor-thin) upper bracket for every
+   later cell of the line: the next solve starts by probing it and the
+   Newton step lands at the root almost immediately.  The record also
+   caches the endpoint derivatives of pieces that are physically reused
+   between cells (a line fill mutates only the swept axis's piece). *)
+
+type sweep = {
+  mutable warm : float; (* upper multiplier bracket carried along a line; nan = cold *)
+  mutable d0 : float array; (* derivative at 0 per piece *)
+  mutable dup : float array; (* derivative at the cap per piece *)
+  mutable v0 : float array; (* value at 0 per piece; nan = not yet evaluated *)
+  mutable vup : float array; (* value at the cap per piece; nan = not yet evaluated *)
+  mutable z : float array; (* final assignment scratch *)
+  mutable zl : float array; (* responses at the lower bracket *)
+  mutable zh : float array; (* responses at the upper bracket *)
+  mutable pker : Fn.probe_kernel array; (* pre-derived probe constants per piece *)
+  mutable pfn : Fn.t array; (* piece identity for endpoint-derivative reuse *)
+  mutable pup : float array;
+}
+
+type stats = {
+  s_d0 : float;
+  s_dup : float;
+  s_v0 : float;
+  s_vup : float;
+  s_ker : Fn.probe_kernel;
+}
+
+let piece_stats p =
+  { s_d0 = Fn.deriv p.fn 0.;
+    s_dup = Fn.deriv p.fn p.upper;
+    s_v0 = Fn.eval p.fn 0.;
+    s_vup = Fn.eval p.fn p.upper;
+    s_ker = Fn.probe_kernel p.fn }
+
+let dummy_fn = Fn.const 0.
+
+let new_sweep () =
+  { warm = nan;
+    d0 = [||];
+    dup = [||];
+    v0 = [||];
+    vup = [||];
+    z = [||];
+    zl = [||];
+    zh = [||];
+    pker = [||];
+    pfn = [||];
+    pup = [||] }
+
+let ensure_capacity sw d =
+  if Array.length sw.d0 < d then begin
+    sw.d0 <- Array.make d 0.;
+    sw.dup <- Array.make d 0.;
+    sw.v0 <- Array.make d nan;
+    sw.vup <- Array.make d nan;
+    sw.z <- Array.make d 0.;
+    sw.zl <- Array.make d 0.;
+    sw.zh <- Array.make d 0.;
+    sw.pker <- Array.make d Fn.Generic_kernel;
+    sw.pfn <- Array.make d dummy_fn;
+    sw.pup <- Array.make d (-1.)
+  end
+
+(* Per-domain scratch: a line sweep runs cell after cell on one domain,
+   so one record per domain suffices.  [solve] keeps a second, separate
+   record so its internal analytic solves never clobber a caller's
+   in-progress line sweep (e.g. the non-invertible fallback inside
+   [sweep_solve]). *)
+let sweep_key : sweep Domain.DLS.key = Domain.DLS.new_key new_sweep
+let cold_key : sweep Domain.DLS.key = Domain.DLS.new_key new_sweep
+
+let sweep_start () =
+  let sw = Domain.DLS.get sweep_key in
+  sw.warm <- nan;
+  sw
+
+(* Core analytic solve.  Leaves the optimal assignment in [sw.z] (first
+   [d] entries) and returns the objective; updates [sw.warm] with a
+   multiplier upper bracket valid for any cell whose responses dominate
+   this one's pointwise. *)
+let waterfill_analytic ~tol ?swept sw pieces ~total =
+  let d = Array.length pieces in
+  ensure_capacity sw d;
+  let d0 = sw.d0 and dup = sw.dup in
+  (* A caller-precomputed invariant bundle for the swept (last) piece
+     seeds the endpoint cache: line fills cycle that slot through a
+     per-layer piece table whose stats were derived once, not per
+     cell. *)
+  (match swept with
+  | Some s ->
+      let j = d - 1 in
+      let p = pieces.(j) in
+      if p.upper > 0. then begin
+        d0.(j) <- s.s_d0;
+        dup.(j) <- s.s_dup;
+        sw.v0.(j) <- s.s_v0;
+        sw.vup.(j) <- s.s_vup;
+        sw.pker.(j) <- s.s_ker;
+        sw.pfn.(j) <- p.fn;
+        sw.pup.(j) <- p.upper
+      end
+  | None -> ());
+  let nu_min = ref infinity and nu_max = ref neg_infinity in
+  for j = 0 to d - 1 do
+    let p = pieces.(j) in
+    if p.upper > 0. then begin
+      (* Endpoint derivatives are invariants of (fn, upper): reuse them
+         when the piece is physically the one from the previous cell. *)
+      if not (sw.pfn.(j) == p.fn && sw.pup.(j) = p.upper) then begin
+        d0.(j) <- Fn.deriv p.fn 0.;
+        dup.(j) <- Fn.deriv p.fn p.upper;
+        sw.v0.(j) <- nan;
+        sw.vup.(j) <- nan;
+        sw.pker.(j) <- Fn.probe_kernel p.fn;
+        sw.pfn.(j) <- p.fn;
+        sw.pup.(j) <- p.upper
+      end;
+      if d0.(j) < !nu_min then nu_min := d0.(j);
+      if dup.(j) > !nu_max then nu_max := dup.(j)
+    end
+  done;
+  let lo = ref (!nu_min -. 1.) and hi = ref (!nu_max +. 1.) in
+  (* A warm bracket from the previous (smaller) cell tightens the top;
+     the bottom must come from this cell's own endpoint derivatives. *)
+  if Float.is_finite sw.warm && sw.warm > !lo && sw.warm < !hi then hi := sw.warm;
+  let response j nu =
+    let p = pieces.(j) in
+    if p.upper <= 0. then 0.
+    else if d0.(j) >= nu then 0.
+    else if dup.(j) <= nu then p.upper
+    else Float.min p.upper (Float.max 0. (Fn.inv_deriv p.fn nu))
+  in
+  (* One probe: responses summed with the closed-form multiplier-space
+     slope of the interior pieces (d nu / d z = h'', so the response
+     slope is 1 / h''; flat stretches contribute a jump, not slope).
+     Each response is recorded in [sw.z] as it is computed, so the
+     common exit — the probe that meets the feasibility residual — is
+     already the final assignment, with no second response pass. *)
+  let zs = sw.z in
+  let pker = sw.pker in
+  let sum = ref 0. and slope = ref 0. and curv = ref 0. in
+  let eval_at nu =
+    sum := 0.;
+    slope := 0.;
+    for j = 0 to d - 1 do
+      let p = pieces.(j) in
+      let zj =
+        if p.upper <= 0. then 0.
+        else if d0.(j) >= nu then 0.
+        else if dup.(j) <= nu then p.upper
+        else begin
+          let zi =
+            match Array.unsafe_get pker j with
+            | Fn.Power_kernel { scale; expo_inv; expo_m1; quarters } ->
+                if nu <= 0. then begin
+                  curv := 0.;
+                  0.
+                end
+                else begin
+                  let x = nu *. scale in
+                  (* Quarter-power exponents take the sqrt-chain fast
+                     path: x^(k/4) from at most two sqrts and two
+                     multiplies (see [Fn.probe_kernel]). *)
+                  let z =
+                    match quarters with
+                    | 4 -> x
+                    | 8 -> x *. x
+                    | 2 -> sqrt x
+                    | 6 -> x *. sqrt x
+                    | 1 -> sqrt (sqrt x)
+                    | 5 -> x *. sqrt (sqrt x)
+                    | 3 ->
+                        let s = sqrt x in
+                        s *. sqrt s
+                    | 7 ->
+                        let s = sqrt x in
+                        x *. s *. sqrt s
+                    | _ -> x ** expo_inv
+                  in
+                  curv := (if z > 0. then expo_m1 *. nu /. z else 0.);
+                  z
+                end
+            | Fn.Quad_kernel { c1; inv_c2x2; c2x2 } ->
+                curv := c2x2;
+                if c1 >= nu then 0. else (nu -. c1) *. inv_c2x2
+            | Fn.Generic_kernel -> Fn.inv_deriv_curv p.fn nu ~curv
+          in
+          let z = Float.min p.upper (Float.max 0. zi) in
+          let c = !curv in
+          if c > 0. then slope := !slope +. (1. /. c);
+          z
+        end
+      in
+      Array.unsafe_set zs j zj;
+      sum := !sum +. zj
+    done
+  in
+  let nu_eps = tol *. 1e-3 in
+  let resid_tol = nu_eps *. Float.max 1. total in
+  let iters = ref 0 in
+  let exact = ref nan in
+  (* Warm cells probe the inherited bracket first: its residual is tiny
+     and the Newton step from it lands on the root.  Cold cells start
+     at the midpoint, exactly like the old bisection. *)
+  let nu = ref (if Float.is_finite sw.warm then !hi else 0.5 *. (!lo +. !hi)) in
+  let continue_ = ref (Float.is_finite !nu && !hi > !lo) in
+  while !continue_ && !iters < 80 do
+    incr iters;
+    eval_at !nu;
+    if Float.abs (!sum -. total) <= resid_tol then begin
+      exact := !nu;
+      continue_ := false
+    end
+    else begin
+      if !sum < total then lo := !nu else hi := !nu;
+      if !hi -. !lo <= nu_eps *. Float.max 1. (Float.abs !lo +. Float.abs !hi) then
+        continue_ := false
+      else begin
+        let step = if !slope > 0. then !nu -. ((!sum -. total) /. !slope) else nan in
+        nu := (if step > !lo && step < !hi then step else 0.5 *. (!lo +. !hi))
+      end
+    end
+  done;
+  Obs.Counter.add c_newton !iters;
+  let z = sw.z in
+  if Float.is_finite !exact then
+    (* [z] already holds the exact probe's responses (the loop recorded
+       them), so the assignment is done.  The probe met the constraint,
+       so it brackets from whichever side; only a sum >= total makes it
+       a sound upper bracket to carry. *)
+    sw.warm <- (if !sum >= total then !exact else !hi)
+  else begin
+    let s_lo = ref 0. and s_hi = ref 0. in
+    for j = 0 to d - 1 do
+      let a = response j !lo and b = response j !hi in
+      sw.zl.(j) <- a;
+      sw.zh.(j) <- b;
+      s_lo := !s_lo +. a;
+      s_hi := !s_hi +. b
+    done;
+    if Float.abs (!s_hi -. !s_lo) <= tol then
+      for j = 0 to d - 1 do
+        z.(j) <- sw.zh.(j)
+      done
+    else begin
+      (* A derivative plateau straddles the optimal multiplier: cost is
+         linear along it, so linear interpolation is optimal. *)
+      let theta =
+        Util.Float_cmp.clamp ~lo:0. ~hi:1. ((total -. !s_lo) /. (!s_hi -. !s_lo))
+      in
+      for j = 0 to d - 1 do
+        z.(j) <- sw.zl.(j) +. (theta *. (sw.zh.(j) -. sw.zl.(j)))
+      done
+    end;
+    sw.warm <- !hi
+  end;
+  (* Repair any residual drift from the stopping tolerance. *)
+  let s = ref 0. in
+  for j = 0 to d - 1 do
+    s := !s +. z.(j)
+  done;
+  let resid = ref (total -. !s) in
+  if Float.abs !resid > 0. then
+    for j = 0 to d - 1 do
+      if !resid > 0. then begin
+        let room = pieces.(j).upper -. z.(j) in
+        let delta = Float.min room !resid in
+        if delta > 0. then begin
+          z.(j) <- z.(j) +. delta;
+          resid := !resid -. delta
+        end
+      end
+      else if !resid < 0. then begin
+        let delta = Float.min z.(j) (-. !resid) in
+        if delta > 0. then begin
+          z.(j) <- z.(j) -. delta;
+          resid := !resid +. delta
+        end
+      end
+    done;
+  (* Objective; boundary values (z at 0 or at the cap — the common
+     cases) come from the per-piece cache, evaluated at most once per
+     cached piece.  Only genuinely interior assignments evaluate. *)
+  let obj = ref 0. in
+  for j = 0 to d - 1 do
+    let p = pieces.(j) in
+    let zj = z.(j) in
+    let v =
+      if p.upper <= 0. then Fn.eval p.fn zj
+      else if zj = 0. then begin
+        if Float.is_nan sw.v0.(j) then sw.v0.(j) <- Fn.eval p.fn 0.;
+        sw.v0.(j)
+      end
+      else if zj = p.upper then begin
+        if Float.is_nan sw.vup.(j) then sw.vup.(j) <- Fn.eval p.fn p.upper;
+        sw.vup.(j)
+      end
+      else Fn.eval p.fn zj
+    in
+    obj := !obj +. v
+  done;
+  !obj
+
 let solve ?(tol = 1e-9) ?(numeric = false) pieces ~total =
   Obs.Counter.incr c_calls;
   if total < 0. then invalid_arg "Dispatch.solve: negative total";
@@ -191,9 +513,13 @@ let solve ?(tol = 1e-9) ?(numeric = false) pieces ~total =
       && Array.for_all (fun p -> p.upper <= 0. || Fn.has_inv_deriv p.fn) pieces
     then begin
       (* Every active piece inverts its derivative in closed form: one
-         outer bisection on the multiplier, no nested 1-D searches. *)
+         safeguarded Newton iteration on the multiplier, no nested 1-D
+         searches.  Cold start (no line context). *)
       Obs.Counter.incr c_analytic;
-      Some (waterfill ~tol ~analytic:true pieces ~total)
+      let sw = Domain.DLS.get cold_key in
+      sw.warm <- nan;
+      let objective = waterfill_analytic ~tol sw pieces ~total in
+      Some { assignment = Array.sub sw.z 0 (Array.length pieces); objective }
     end
     else begin
       match solve_few ~tol pieces ~total with
@@ -201,6 +527,55 @@ let solve ?(tol = 1e-9) ?(numeric = false) pieces ~total =
       | None -> Some (waterfill ~tol ~analytic:false pieces ~total)
     end
   end
+
+(* Objective of the forced assignments, without materialising them. *)
+let objective_zeros pieces =
+  let acc = ref 0. in
+  for j = 0 to Array.length pieces - 1 do
+    acc := !acc +. Fn.eval pieces.(j).fn 0.
+  done;
+  !acc
+
+let sweep_solve ?(tol = 1e-9) ?swept sw pieces ~total =
+  Obs.Counter.incr c_calls;
+  if total < 0. then invalid_arg "Dispatch.sweep_solve: negative total";
+  if not (feasible pieces ~total) then infinity
+  else if total = 0. then objective_zeros pieces
+  else begin
+    let nactive = ref 0 and last_active = ref (-1) in
+    Array.iteri
+      (fun j p ->
+        if p.upper > 0. then begin
+          incr nactive;
+          last_active := j
+        end)
+      pieces;
+    if !nactive = 0 then
+      (* Feasible only through the tolerance: everything stays at 0. *)
+      objective_zeros pieces
+    else if !nactive = 1 then begin
+      let acc = ref 0. in
+      for j = 0 to Array.length pieces - 1 do
+        acc := !acc +. Fn.eval pieces.(j).fn (if j = !last_active then total else 0.)
+      done;
+      !acc
+    end
+    else if Array.for_all (fun p -> p.upper <= 0. || Fn.has_inv_deriv p.fn) pieces
+    then begin
+      Obs.Counter.incr c_analytic;
+      waterfill_analytic ~tol ?swept sw pieces ~total
+    end
+    else
+      (* Non-invertible pieces: the golden-section / numeric route via
+         [solve], which uses its own scratch (the warm chain survives). *)
+      match solve ~tol pieces ~total with
+      | Some s -> s.objective
+      | None -> infinity
+  end
+
+let solve_line ?(tol = 1e-9) cells ~total =
+  let sw = sweep_start () in
+  Array.map (fun pieces -> sweep_solve ~tol sw pieces ~total) cells
 
 let greedy ?(steps = 4096) pieces ~total =
   Obs.Counter.incr c_calls;

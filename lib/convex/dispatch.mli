@@ -7,18 +7,28 @@
 
     {[ min  sum_j h_j(z_j)   s.t.  sum_j z_j = total,  0 <= z_j <= u_j ]}
 
-    The solver is KKT water-filling: a value [nu] is bisected so
+    The solver is KKT water-filling: a multiplier [nu] is driven so
     that the per-piece responses [z_j(nu) = sup {z | h_j'(z) <= nu}]
     (clamped to [\[0, u_j\]]) sum to [total]; a final interpolation step
     resolves derivative plateaus (e.g. affine pieces with equal slopes),
     along which cost is linear, so interpolation keeps optimality.
     When every active piece has a closed-form derivative inverse
     ({!Fn.has_inv_deriv} — all the built-in families except
-    max-of-affine), each response is computed analytically and the whole
-    solve is a single outer bisection; otherwise the interior crossings
-    fall back to nested [Scalar_min.bisect_monotone] searches, and up to
-    three active pieces are solved by (nested) golden section on the
-    convex 1-D restrictions.
+    max-of-affine), the multiplier search is a safeguarded Newton
+    iteration: the residual's slope is the closed-form
+    [sum_j 1 / h_j''(z_j)] ({!Fn.curvature}), each step is confined to a
+    bisection bracket maintained exactly as before, and pieces without
+    curvature simply withhold the step so the iteration degenerates to
+    bisection.  Otherwise the interior crossings fall back to nested
+    [Scalar_min.bisect_monotone] searches, and up to three active pieces
+    are solved by (nested) golden section on the convex 1-D restrictions.
+
+    The {!sweep} API amortises the search along a monotone family of
+    instances (a DP grid line): [h_j(z) = x_j f(lambda z / x_j)] has
+    responses pointwise non-decreasing in the capacity [x_j], so the
+    optimal multiplier is non-increasing along a line of non-decreasing
+    capacities and each cell's final upper bracket warm-starts the next
+    cell's Newton iteration — most cells converge in one or two probes.
 
     [greedy] is an independent discretised solver used to cross-check the
     water-filler in the test suite. *)
@@ -43,6 +53,57 @@ val solve :
     forces the legacy golden-section / nested-bisection route — kept so
     the property tests and the benchmark suite can measure the analytic
     path against it; production callers should leave the default. *)
+
+type sweep
+(** Mutable per-domain scratch for a warm-started line sweep: carries
+    the previous cell's multiplier bracket and cached endpoint
+    derivatives between {!sweep_solve} calls.  Obtain one with
+    {!sweep_start}; each domain owns a single record, so do not
+    interleave two sweeps on one domain (finish a line before starting
+    the next — the DP line fills do exactly that). *)
+
+val sweep_start : unit -> sweep
+(** The calling domain's sweep scratch with the warm bracket cleared.
+    Call once per grid line, before the first {!sweep_solve}. *)
+
+type stats = {
+  s_d0 : float;
+  s_dup : float;
+  s_v0 : float;
+  s_vup : float;
+  s_ker : Fn.probe_kernel;
+}
+(** The per-piece invariants the solver caches: derivative and value at
+    [0] and at the cap, plus the {!Fn.probe_kernel} constants of the
+    Newton loop.  Precompute them with {!piece_stats} when the
+    same piece recurs across many {!sweep_solve} calls (a layer fill
+    cycles the swept slot through one per-layer piece table) and pass
+    them as [?swept] to skip their per-cell re-derivation. *)
+
+val piece_stats : piece -> stats
+(** [stats] of a piece, exactly as the solver would derive them. *)
+
+val sweep_solve : ?tol:float -> ?swept:stats -> sweep -> piece array -> total:float -> float
+(** [sweep_solve sw pieces ~total] is the optimal objective (as
+    {!solve}, but [infinity] where {!solve} returns [None]), reusing
+    and updating the sweep's warm multiplier bracket.  Sound whenever
+    successive calls present instances whose responses are pointwise
+    non-decreasing (a grid line swept in order of non-decreasing
+    capacity): the optimal multiplier is then non-increasing, so the
+    carried upper bracket stays valid — including across skipped cells.
+    Pieces physically shared with the previous call (the line fills
+    rebuild only the swept axis's piece) also reuse their cached
+    endpoint derivatives.  [swept] seeds that cache for the final piece
+    ([pieces.(d-1)], the swept slot) with {!stats} the caller derived
+    once — they must describe exactly that piece.  Matches per-cell
+    {!solve} to well within [tol] (default [1e-9]); non-invertible
+    pieces fall back to {!solve} transparently. *)
+
+val solve_line : ?tol:float -> piece array array -> total:float -> float array
+(** Batched {!sweep_solve} over the cells of one line, in order:
+    [solve_line cells ~total] is the per-cell optimal objectives
+    ([infinity] for infeasible cells).  The cells must be ordered by
+    pointwise non-decreasing capacity (see {!sweep_solve}). *)
 
 val greedy : ?steps:int -> piece array -> total:float -> solution option
 (** Marginal-cost greedy on a grid of [steps] increments (default 4096).

@@ -79,6 +79,16 @@ let rec deriv f z =
 
 let has_closed_deriv _ = true
 
+(* Second derivative, closed-form.  Piecewise-affine families are flat
+   between kinks (the kinks themselves contribute response jumps, not
+   slope, so 0 is the value the Newton safeguard wants there). *)
+let rec curvature f z =
+  match f with
+  | Const _ | Affine _ | Piecewise _ | Max_affine _ -> 0.
+  | Quadratic { c2; _ } -> 2. *. c2
+  | Power { coef; expo; _ } -> coef *. expo *. (expo -. 1.) *. (z ** (expo -. 2.))
+  | Sum (a, b) -> curvature a z +. curvature b z
+
 (* The derivative is constant exactly for [Const] and [Affine] leaves;
    knowing it lets [inv_deriv] peel such terms off a [Sum]. *)
 let const_slope = function
@@ -105,6 +115,88 @@ let rec inv_deriv f nu =
       | Some s -> inv_deriv b (nu -. s)
       | None -> (
           match const_slope b with Some s -> inv_deriv a (nu -. s) | None -> nan))
+
+(* Fused response probe: [inv_deriv f nu] with the curvature at that
+   point written to [curv], sharing the single [**] the power-law
+   family needs — at the response, [z^(expo-1) = nu / (coef expo)], so
+   [f''(z) = coef expo (expo-1) z^(expo-2) = (expo-1) nu / z] with no
+   second power evaluation.  Families with flat or constant second
+   derivative report it directly. *)
+let rec inv_deriv_curv f nu ~curv =
+  match f with
+  | Const _ ->
+      curv := 0.;
+      if nu >= 0. then infinity else 0.
+  | Affine { slope; _ } ->
+      curv := 0.;
+      if slope <= nu then infinity else 0.
+  | Quadratic { c1; c2; _ } ->
+      curv := 2. *. c2;
+      if c1 >= nu then 0. else (nu -. c1) /. (2. *. c2)
+  | Power { coef; expo; _ } ->
+      if nu <= 0. then begin
+        curv := 0.;
+        0.
+      end
+      else begin
+        let z = (nu /. (coef *. expo)) ** (1. /. (expo -. 1.)) in
+        curv := (if z > 0. then (expo -. 1.) *. nu /. z else 0.);
+        z
+      end
+  | Piecewise _ ->
+      curv := 0.;
+      inv_deriv f nu
+  | Max_affine _ ->
+      curv := 0.;
+      nan
+  | Sum (a, b) -> (
+      match const_slope a with
+      | Some s -> inv_deriv_curv b (nu -. s) ~curv
+      | None -> (
+          match const_slope b with
+          | Some s -> inv_deriv_curv a (nu -. s) ~curv
+          | None ->
+              curv := 0.;
+              nan))
+
+(* Pre-derived probe constants: the dispatch solver's Newton loop
+   probes the same piece at many multipliers, so the per-family
+   reciprocals are hoisted out of the loop.  [Power_kernel] responds
+   with [(nu * scale) ^ expo_inv] and curvature [expo_m1 * nu / z]
+   (reciprocal-multiplied, so the last few ulps may differ from
+   [inv_deriv]'s division — irrelevant at the solver's tolerance).
+   [quarters] classifies the inverse exponent: when [expo_inv] is a
+   small multiple of 1/4 — which covers the power-model exponents the
+   literature actually uses, [expo] in {5, 3, 7/3, 2, 9/5, 5/3, 1.5}
+   — the response is a chain of [sqrt]s and multiplies instead of a
+   [**], which is several times cheaper per probe. *)
+type probe_kernel =
+  | Power_kernel of {
+      scale : float;
+      expo_inv : float;
+      expo_m1 : float;
+      quarters : int;  (* k when expo_inv = k/4 with 1 <= k <= 8, else 0 *)
+    }
+  | Quad_kernel of { c1 : float; inv_c2x2 : float; c2x2 : float }
+  | Generic_kernel
+
+let probe_kernel f =
+  match f with
+  | Power { coef; expo; _ } ->
+      let expo_inv = 1. /. (expo -. 1.) in
+      let k4 = 4. *. expo_inv in
+      let k = Float.round k4 in
+      let quarters =
+        (* [1e-12] relative: the snapped exponent [k/4] then differs
+           from [expo_inv] by less than an ulp of the response. *)
+        if k >= 1. && k <= 8. && Float.abs (k4 -. k) <= 1e-12 *. k then
+          int_of_float k
+        else 0
+      in
+      Power_kernel { scale = 1. /. (coef *. expo); expo_inv; expo_m1 = expo -. 1.; quarters }
+  | Quadratic { c1; c2; _ } ->
+      Quad_kernel { c1; inv_c2x2 = 1. /. (2. *. c2); c2x2 = 2. *. c2 }
+  | Const _ | Affine _ | Piecewise _ | Max_affine _ | Sum _ -> Generic_kernel
 
 let rec has_inv_deriv = function
   | Const _ | Affine _ | Quadratic _ | Power _ | Piecewise _ -> true

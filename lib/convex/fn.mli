@@ -34,6 +34,15 @@ val has_closed_deriv : t -> bool
 (** Always [true] under the variant representation; retained for
     compatibility with callers that used to probe the closure record. *)
 
+val curvature : t -> float -> float
+(** [curvature f z] is the second derivative [f''(z)], closed-form for
+    every family: [0] for (piecewise-)affine functions (kinks carry no
+    slope), [2 c2] for quadratics, [coef expo (expo-1) z^(expo-2)] for
+    powers, and the sum for {!add}ed terms.  The dispatch solver's
+    safeguarded Newton iteration uses [1 / f''] as the multiplier-space
+    slope of the response [z_j(nu)]; a zero curvature simply withholds
+    the Newton step and the iteration bisects instead. *)
+
 val inv_deriv : t -> float -> float
 (** [inv_deriv f nu] solves [f'(z) = nu] in closed form:
     [sup { z >= 0 | f'(z) <= nu }], which may be [0.] (when
@@ -44,6 +53,39 @@ val inv_deriv : t -> float -> float
     {!has_inv_deriv} first.  The dispatch solver only calls it with
     [f'(lo) < nu < f'(hi)], where the crossing is interior and the
     boundary conventions are irrelevant. *)
+
+val inv_deriv_curv : t -> float -> curv:float ref -> float
+(** {!inv_deriv} fused with {!curvature} at the returned point, written
+    to [curv]: the power-law family derives the curvature from the
+    response identity [z^(expo-1) = nu / (coef expo)] instead of a
+    second power evaluation, halving the cost of the dispatch solver's
+    Newton probes.  [curv] receives [0.] whenever the response is a
+    boundary or the family is (piecewise-)affine. *)
+
+type probe_kernel =
+  | Power_kernel of {
+      scale : float;
+      expo_inv : float;
+      expo_m1 : float;
+      quarters : int;
+    }
+      (** response [(nu * scale) ^ expo_inv], curvature
+          [expo_m1 * nu / z].  [quarters = k] marks inverse exponents
+          that are small multiples of a quarter ([expo_inv = k/4],
+          [1 <= k <= 8]) — these cover the standard dynamic-power
+          exponents ([expo] in [{5, 3, 7/3, 2, 9/5, 5/3, 3/2}]) and
+          evaluate as a chain of [sqrt]s and multiplies instead of
+          [Float.pow]; [0] means no such form. *)
+  | Quad_kernel of { c1 : float; inv_c2x2 : float; c2x2 : float }
+      (** response [(nu - c1) * inv_c2x2] (or [0] below [c1]),
+          curvature [c2x2] *)
+  | Generic_kernel  (** fall back to {!inv_deriv_curv} *)
+
+val probe_kernel : t -> probe_kernel
+(** Pre-derived constants for the dispatch solver's probe loop — the
+    per-family reciprocals hoisted out of the Newton iteration.  The
+    kernels use reciprocal multiplication, so responses may differ from
+    {!inv_deriv} in the last few ulps. *)
 
 val has_inv_deriv : t -> bool
 (** Whether {!inv_deriv} returns a closed form ([nan]-free) for this

@@ -226,6 +226,160 @@ let layer_table cache ~time n =
     t
   end
 
+(* A piece with no capacity; shared so line fills allocate nothing for
+   inactive types. *)
+let zero_piece = { Convex.Dispatch.fn = Convex.Fn.const 0.; upper = 0. }
+
+(* Per-domain pieces scratch for the line fills: the prefix pieces are
+   built once per line and only the swept axis's piece is rebuilt per
+   cell (which also lets the dispatch sweep reuse their cached endpoint
+   derivatives via physical equality). *)
+let pieces_key : Convex.Dispatch.piece array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let pieces_scratch d =
+  let buf = Domain.DLS.get pieces_key in
+  if Array.length !buf <> d then buf := Array.make d zero_piece;
+  !buf
+
+let make_piece fn xj ~load ~cap =
+  if xj = 0 then zero_piece
+  else begin
+    let xf = float_of_int xj in
+    { Convex.Dispatch.fn = Convex.Fn.compose_scaled ~outer:xf ~inner:(load /. xf) fn;
+      upper = Float.min 1. (xf *. cap /. load) }
+  end
+
+(* Fill the not-yet-computed entries of one grid line of slot [time]'s
+   rank table: ranks [rank0 .. rank0 + |values| - 1], whose
+   configurations share the prefix [x.(0 .. d-2)] and take the swept
+   (last) axis's value from [values] (ascending, so capacity is
+   non-decreasing and the dispatch sweep's warm bracket applies).
+   [x.(d-1)] is clobbered.  Every fast path reproduces [operating]
+   bit-for-bit (same summation order); the dispatch path solves the
+   same KKT system from a warm bracket, which can move the objective at
+   the solver-tolerance level (~1e-12 relative) only. *)
+(* Per-layer invariants of a line fill: the swept (last) axis's
+   dispatch piece and its solver stats per value index.  Every line of
+   a layer shares the same load and last-axis values, so these are
+   derived once per layer instead of once per cell; the arrays are
+   immutable after construction and safe to share across pool
+   domains. *)
+type line_ctx = {
+  lx_pieces : Convex.Dispatch.piece array;
+  lx_swept : Convex.Dispatch.stats option array;
+}
+
+let line_ctx cache ~time ~values =
+  let inst = cache.inst in
+  let d = Instance.num_types inst in
+  let load = inst.Instance.load.(time) in
+  if load <= 0. then { lx_pieces = [||]; lx_swept = [||] }
+  else begin
+    let types = inst.Instance.types in
+    let fn_last = inst.Instance.cost ~time ~typ:(d - 1) in
+    let cap_last = types.(d - 1).Server_type.cap in
+    let pieces =
+      Array.map (fun v -> make_piece fn_last v ~load ~cap:cap_last) values
+    in
+    let swept = Array.map (fun p -> Some (Convex.Dispatch.piece_stats p)) pieces in
+    { lx_pieces = pieces; lx_swept = swept }
+  end
+
+let fill_line ?ctx cache ~time ~table ~rank0 ~x ~values =
+  let inst = cache.inst in
+  let d = Array.length x in
+  let len = Array.length values in
+  let any = ref false in
+  for i = 0 to len - 1 do
+    if Float.is_nan table.(rank0 + i) then any := true
+  done;
+  if !any then begin
+    let types = inst.Instance.types in
+    let load = inst.Instance.load.(time) in
+    let misses = ref 0 in
+    if load <= 0. then begin
+      (* idle_sum, split into the fixed-prefix part and the swept term
+         (ascending-type order keeps the float sum identical). *)
+      let base = ref 0. in
+      for j = 0 to d - 2 do
+        if x.(j) > 0 then
+          base := !base +. (float_of_int x.(j) *. Instance.idle_cost inst ~time ~typ:j)
+      done;
+      let idle_last = Instance.idle_cost inst ~time ~typ:(d - 1) in
+      for i = 0 to len - 1 do
+        let idx = rank0 + i in
+        if Float.is_nan table.(idx) then begin
+          incr misses;
+          let v = values.(i) in
+          table.(idx) <-
+            (if v > 0 then !base +. (float_of_int v *. idle_last) else !base)
+        end
+      done
+    end
+    else begin
+      let cap_last = types.(d - 1).Server_type.cap in
+      let cap_base = ref 0. in
+      for j = 0 to d - 2 do
+        cap_base := !cap_base +. (float_of_int x.(j) *. types.(j).Server_type.cap)
+      done;
+      let base_const = ref true in
+      for j = 0 to d - 2 do
+        if x.(j) > 0 && not (Convex.Fn.is_constant (inst.Instance.cost ~time ~typ:j))
+        then base_const := false
+      done;
+      let fn_last = inst.Instance.cost ~time ~typ:(d - 1) in
+      let last_const = Convex.Fn.is_constant fn_last in
+      let idle_base =
+        lazy
+          (let acc = ref 0. in
+           for j = 0 to d - 2 do
+             if x.(j) > 0 then
+               acc := !acc +. (float_of_int x.(j) *. Instance.idle_cost inst ~time ~typ:j)
+           done;
+           !acc)
+      in
+      let idle_last = lazy (Instance.idle_cost inst ~time ~typ:(d - 1)) in
+      let ps = pieces_scratch d in
+      for j = 0 to d - 2 do
+        ps.(j) <- make_piece (inst.Instance.cost ~time ~typ:j) x.(j) ~load
+                    ~cap:types.(j).Server_type.cap
+      done;
+      let sw = Convex.Dispatch.sweep_start () in
+      for i = 0 to len - 1 do
+        let idx = rank0 + i in
+        if Float.is_nan table.(idx) then begin
+          incr misses;
+          let v = values.(i) in
+          let cap = !cap_base +. (float_of_int v *. cap_last) in
+          let g =
+            if cap +. cap_eps < load then infinity
+            else if !base_const && (v = 0 || last_const) then
+              if v > 0 then Lazy.force idle_base +. (float_of_int v *. Lazy.force idle_last)
+              else Lazy.force idle_base
+            else if d = 1 then begin
+              (* Lemma 2: spread the volume evenly over the active servers. *)
+              let xf = float_of_int v in
+              let z = Float.min (load /. xf) cap_last in
+              xf *. Convex.Fn.eval fn_last z
+            end
+            else begin
+              match ctx with
+              | Some c ->
+                  ps.(d - 1) <- c.lx_pieces.(i);
+                  Convex.Dispatch.sweep_solve ?swept:c.lx_swept.(i) sw ps ~total:1.
+              | None ->
+                  ps.(d - 1) <- make_piece fn_last v ~load ~cap:cap_last;
+                  Convex.Dispatch.sweep_solve sw ps ~total:1.
+            end
+          in
+          table.(idx) <- g
+        end
+      done;
+    end;
+    if !misses > 0 then Obs.Counter.add c_rank_misses !misses
+  end
+
 let operating_rank cache ~time ~rank x =
   let t = cache.layers.(time) in
   let v = t.(rank) in

@@ -78,6 +78,41 @@ val layer_table : cache -> time:int -> int -> float array
     returned array may then be read and filled concurrently at disjoint
     ranks. *)
 
+type line_ctx
+(** Per-layer invariants of {!fill_line}: the swept axis's dispatch
+    pieces and their solver stats per value index.  Build one with
+    {!line_ctx} per (slot, grid) layer fill and pass it to every line
+    of that layer — it is immutable and safe to share across pool
+    domains.  Purely an amortisation: the cached stats are value-equal
+    to what the solver would re-derive, so fills with and without a
+    context produce bit-identical tables. *)
+
+val line_ctx : cache -> time:int -> values:int array -> line_ctx
+(** The shared per-layer context for lines sweeping the last axis
+    through [values] at slot [time]. *)
+
+val fill_line :
+  ?ctx:line_ctx ->
+  cache ->
+  time:int ->
+  table:float array ->
+  rank0:int ->
+  x:Config.t ->
+  values:int array ->
+  unit
+(** [fill_line cache ~time ~table ~rank0 ~x ~values] computes the
+    not-yet-cached entries of one grid line of slot [time]'s rank table
+    [table] (obtained from {!layer_table}): ranks [rank0 + i] hold the
+    configurations sharing the prefix [x.(0 .. d-2)] with the last
+    coordinate swept through [values.(i)] ([x.(d-1)] is clobbered).
+    [values] must be ascending — capacity then grows along the line, so
+    the dispatch solves share one warm-started multiplier sweep
+    ({!Convex.Dispatch.sweep_solve}) and the per-line prefix pieces are
+    built once.  Zero-load, load-independent, infeasible and [d = 1]
+    cells match {!operating} bit-for-bit; dispatch cells agree to the
+    solver tolerance (~1e-12 relative).  Lines are disjoint rank
+    ranges, so concurrent calls on different lines are safe. *)
+
 val operating_rank : cache -> time:int -> rank:int -> Config.t -> float
 (** Memoised {!operating} through slot [time]'s rank table: returns the
     cached value at [rank], or computes [operating ~time x] and stores

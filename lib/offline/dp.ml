@@ -58,25 +58,36 @@ let state_count inst ~grids =
   !acc
 
 (* Operating costs of every state of a layer's grid, memoised in the
-   slot's flat rank table (Model.Cost.layer_table): the state's flat
-   index is the key, so a lookup is one array read and the pooled
-   fan-out writes disjoint ranks with no locks.  Configurations are
-   decoded into per-domain scratch buffers only on a miss — the loop
-   allocates nothing either way. *)
-let layer_operating ?pool ~domains cache grid ~time =
+   slot's flat rank table (Model.Cost.layer_table).  The fill walks the
+   grid line by line along the last axis (stride 1, so each line is a
+   contiguous rank range): within a line the configurations differ only
+   in the swept coordinate, so Model.Cost.fill_line builds the dispatch
+   pieces once and warm-starts each cell's multiplier search from the
+   previous cell's bracket.  The pooled fan-out hands whole lines to
+   workers — a warm chain never crosses a line, so sequential and
+   pooled fills stay bit-identical. *)
+let fill_layer ?pool ?(domains = 1) cache grid ~time =
   let n = Grid.size grid in
   let table = Model.Cost.layer_table cache ~time n in
-  let fill idx =
-    if Float.is_nan table.(idx) then
-      ignore
-        (Model.Cost.operating_rank cache ~time ~rank:idx (Grid.config_scratch grid idx)
-          : float)
+  let d = Grid.dim grid in
+  let values = Grid.axis_values grid (d - 1) in
+  let len = Array.length values in
+  let n_lines = n / len in
+  let ctx = Model.Cost.line_ctx cache ~time ~values in
+  let line k =
+    let rank0 = k * len in
+    Model.Cost.fill_line ~ctx cache ~time ~table ~rank0
+      ~x:(Grid.config_scratch grid rank0) ~values
   in
-  if domains > 1 && n >= Util.Parallel.min_parallel_items then
-    Util.Parallel.parallel_for ?pool ~domains ~n fill
+  if domains > 1 && n >= Util.Parallel.min_parallel_items then begin
+    (* The parallel cutoff counts cells (each runs a dispatch solve);
+       expressed in lines for the per-line fan-out. *)
+    let min_lines = 1 + ((Util.Parallel.min_parallel_items - 1) / len) in
+    Util.Parallel.parallel_for ?pool ~min_items:min_lines ~domains ~n:n_lines line
+  end
   else
-    for idx = 0 to n - 1 do
-      fill idx
+    for k = 0 to n_lines - 1 do
+      line k
     done;
   table
 
@@ -99,9 +110,6 @@ let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
   let betas = betas inst in
   let d = Model.Instance.num_types inst in
   let cache = Model.Cost.make_cache inst in
-  (* arrival.(t).(i): cheapest cost of a schedule prefix ending in state i
-     of grid t, including slot t's operating cost. *)
-  let arrival = Array.make horizon [||] in
   (* Reuse the previous slot's grid object when the axes coincide, so the
      cheap in-place transform applies on the common static-size path. *)
   let grid_at = Array.make horizon (grids 0) in
@@ -109,6 +117,31 @@ let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
     let g = grids time in
     grid_at.(time) <- (if Grid.equal g grid_at.(time - 1) then grid_at.(time - 1) else g)
   done;
+  (* The layer arena: every retained layer lives back to back in one
+     unboxed float64 plane — arena[offsets.(t) + i] is the cheapest cost
+     of a schedule prefix ending in state i of grid t, including slot
+     t's operating cost.  Layers are blitted forward and ramped in
+     place; no per-layer copies. *)
+  let offsets = Array.make (horizon + 1) 0 in
+  for time = 0 to horizon - 1 do
+    offsets.(time + 1) <- offsets.(time) + Grid.size grid_at.(time)
+  done;
+  let arena = Plane.create offsets.(horizon) in
+  (* Cross-grid transforms ping-pong through two scratch planes sized
+     for the largest intermediate mixed shape; lazy, so the common
+     static-grid path allocates none. *)
+  let work_size = ref 0 in
+  for time = 1 to horizon - 1 do
+    if grid_at.(time) != grid_at.(time - 1) then begin
+      let sg = grid_at.(time - 1) and dg = grid_at.(time) in
+      let sz = ref (Grid.size sg) in
+      for j = 0 to d - 2 do
+        sz := !sz / Grid.axis_length sg j * Grid.axis_length dg j;
+        if !sz > !work_size then work_size := !sz
+      done
+    end
+  done;
+  let work = lazy (Plane.create !work_size, Plane.create !work_size) in
   (* Resume a checkpointed forward pass: the saved layers replace the
      recomputation up to [next_time].  The caller must supply the same
      instance and grids the frontier was captured under; sizes are
@@ -124,71 +157,95 @@ let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
         for time = 0 to f.next_time - 1 do
           if Array.length f.layers.(time) <> Grid.size grid_at.(time) then
             invalid_arg "Dp.solve: resume frontier does not match the grids";
-          arrival.(time) <- Array.copy f.layers.(time)
+          Plane.of_array f.layers.(time) arena ~off:offsets.(time)
         done;
         f.next_time
   in
   (Obs.Span.with_ "dp.forward" @@ fun () ->
   for time = start_time to horizon - 1 do
     let grid = grid_at.(time) in
-    Obs.Counter.add c_cells (Grid.size grid);
-    (* The fill only reads the previous layer (through a copy), so an
-       injected fault can be absorbed by simply refilling. *)
+    let n = Grid.size grid in
+    let off = offsets.(time) in
+    Obs.Counter.add c_cells n;
+    (* The fill only reads the previous layer's (untouched) arena
+       segment, so an injected fault can be absorbed by refilling. *)
     let fill () =
-      let entering =
-        if time = 0 then begin
-          (* Single known source: the switching cost from it is closed-form,
-             no transform needed (and [initial] need not be on the grid). *)
-          let init =
-            match initial with None -> Model.Config.zero d | Some c -> Array.copy c
-          in
-          let flat = Array.make (Grid.size grid) infinity in
-          Grid.iter grid (fun idx x ->
-              flat.(idx) <-
-                Model.Config.switching_cost inst.Model.Instance.types ~from_:init ~to_:x);
-          flat
+      if time = 0 then begin
+        (* Single known source: the switching cost from it is closed-form,
+           no transform needed (and [initial] need not be on the grid).
+           Strided per-line fill: the cost splits into the fixed-prefix
+           part and the swept last coordinate's term (same ascending-type
+           summation as Model.Config.switching_cost, so values are
+           bit-identical to the closed form) — no per-cell closure or
+           configuration allocation. *)
+        let init =
+          match initial with None -> Model.Config.zero d | Some c -> c
+        in
+        let values = Grid.axis_values grid (d - 1) in
+        let len = Array.length values in
+        let init_last = init.(d - 1) in
+        let beta_last = betas.(d - 1) in
+        for k = 0 to (n / len) - 1 do
+          let rank0 = k * len in
+          let x = Grid.config_scratch grid rank0 in
+          let base = ref 0. in
+          for j = 0 to d - 2 do
+            let up = x.(j) - init.(j) in
+            if up > 0 then base := !base +. (float_of_int up *. betas.(j))
+          done;
+          for i = 0 to len - 1 do
+            let up = values.(i) - init_last in
+            Bigarray.Array1.unsafe_set arena (off + rank0 + i)
+              (if up > 0 then !base +. (float_of_int up *. beta_last) else !base)
+          done
+        done;
+        let ops = fill_layer ?pool ~domains cache grid ~time in
+        for i = 0 to n - 1 do
+          Bigarray.Array1.unsafe_set arena (off + i)
+            (Bigarray.Array1.unsafe_get arena (off + i) +. Array.unsafe_get ops i)
+        done
+      end
+      else begin
+        let src_grid = grid_at.(time - 1) in
+        let ops = fill_layer ?pool ~domains cache grid ~time in
+        if src_grid == grid then begin
+          Plane.blit ~src:arena ~soff:offsets.(time - 1) ~dst:arena ~doff:off ~len:n;
+          Transform.ramp_grid_plane ?pool ~domains ~ops ~grid ~betas arena ~off
         end
-        else begin
-          let src = Array.copy arrival.(time - 1) in
-          let src_grid = grid_at.(time - 1) in
-          if src_grid == grid then begin
-            Transform.ramp_grid ?pool ~domains ~grid ~betas src;
-            src
-          end
-          else Transform.ramp_across ?pool ~domains ~src_grid ~dst_grid:grid ~betas src
-        end
-      in
-      let ops = layer_operating ?pool ~domains cache grid ~time in
-      Array.iteri (fun i c -> entering.(i) <- c +. ops.(i)) entering;
-      entering
+        else
+          Transform.ramp_across_plane ?pool ~domains ~ops ~src_grid ~dst_grid:grid
+            ~betas ~src:arena ~soff:offsets.(time - 1) ~tmp:(Lazy.force work) arena
+            ~doff:off
+      end
     in
-    let entering =
-      try
-        Util.Faultinj.hit "dp.layer_fill";
-        fill ()
-      with Util.Faultinj.Injected { site = "dp.layer_fill"; _ } ->
-        Obs.Counter.incr c_layer_retries;
-        Util.Faultinj.recovered "dp.layer_fill";
-        Util.Faultinj.suppressed fill
-    in
-    arrival.(time) <- entering;
+    (try
+       Util.Faultinj.hit "dp.layer_fill";
+       fill ()
+     with Util.Faultinj.Injected { site = "dp.layer_fill"; _ } ->
+       Obs.Counter.incr c_layer_retries;
+       Util.Faultinj.recovered "dp.layer_fill";
+       Util.Faultinj.suppressed fill);
     match on_layer with
     | None -> ()
     | Some cb ->
         cb ~time (fun () ->
             { next_time = time + 1;
-              layers = Array.init (time + 1) (fun u -> Array.copy arrival.(u)) })
+              layers =
+                Array.init (time + 1) (fun u ->
+                    Plane.to_array arena ~off:offsets.(u) ~len:(Grid.size grid_at.(u)))
+            })
   done);
   (* Terminal: powering everything down is free. *)
   let last_grid = grid_at.(horizon - 1) in
+  let last_off = offsets.(horizon - 1) in
   let best = ref infinity and best_idx = ref (-1) in
-  Array.iteri
-    (fun i c ->
-      if c < !best then begin
-        best := c;
-        best_idx := i
-      end)
-    arrival.(horizon - 1);
+  for i = 0 to Grid.size last_grid - 1 do
+    let c = Bigarray.Array1.unsafe_get arena (last_off + i) in
+    if c < !best then begin
+      best := c;
+      best_idx := i
+    end
+  done;
   if not (Float.is_finite !best) then
     invalid_arg "Dp.solve: no feasible schedule (load exceeds capacity)";
   (* Reconstruct backwards: pick, per slot, the lexicographically smallest
@@ -199,27 +256,43 @@ let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
   for time = horizon - 1 downto 1 do
     let target = schedule.(time) in
     let grid = grid_at.(time - 1) in
-    let layer = arrival.(time - 1) in
+    let loff = offsets.(time - 1) in
     (* The candidate totals are independent per state, so the expensive
        half of the scan fans out; the fuzzy tie-breaking argmin stays a
        single ordered pass, keeping the chosen predecessor — and hence
-       the schedule — bit-identical to the sequential solve. *)
+       the schedule — bit-identical to the sequential solve.  Gated on
+       the fan-out the pool will actually deliver: the dense precompute
+       trades away the pruned scan's skipped switching-cost
+       evaluations, which only pays off when the domains are real. *)
     let totals =
-      if domains > 1 && Grid.size grid >= Util.Parallel.min_parallel_items then
+      if
+        Util.Parallel.effective_domains domains > 1
+        && Grid.size grid >= Util.Parallel.min_parallel_items
+      then
         Some
           (Util.Parallel.parallel_init ?pool ~domains (Grid.size grid) (fun idx ->
-               layer.(idx)
+               Bigarray.Array1.unsafe_get arena (loff + idx)
                +. Model.Config.switching_cost inst.Model.Instance.types
                     ~from_:(Grid.config_scratch grid idx) ~to_:target))
       else None
     in
     let best = ref infinity and best_x = ref None in
-    Grid.iter grid (fun idx y ->
+    (* Ordered scan with a cheap lower-bound prune: the candidate total
+       is at least the arrival cost (switching costs are non-negative),
+       so states whose arrival already exceeds the incumbent by more
+       than the tie fuzz can skip both the config decode and the
+       switching-cost evaluation.  Accepted candidates follow the exact
+       legacy comparison, so the chosen predecessor is unchanged. *)
+    for idx = 0 to Grid.size grid - 1 do
+      let arrival = Bigarray.Array1.unsafe_get arena (loff + idx) in
+      let lower = match totals with Some t -> t.(idx) | None -> arrival in
+      if lower <= !best +. 1e-12 then begin
+        let y = Grid.config_scratch grid idx in
         let total =
           match totals with
           | Some t -> t.(idx)
           | None ->
-              layer.(idx)
+              arrival
               +. Model.Config.switching_cost inst.Model.Instance.types ~from_:y ~to_:target
         in
         if
@@ -229,7 +302,9 @@ let solve ?grids ?initial ?domains ?pool ?resume ?on_layer inst =
         then begin
           best := total;
           best_x := Some (Model.Config.copy y)
-        end);
+        end
+      end
+    done;
     match !best_x with
     | Some y -> schedule.(time - 1) <- y
     | None -> invalid_arg "Dp.solve: reconstruction failed"

@@ -68,6 +68,18 @@ val solve :
     under {!Util.Faultinj.suppressed} (the fill only reads the previous
     layer, so the retry is exact) and counted in [dp.layer_retries]. *)
 
+val fill_layer :
+  ?pool:Util.Pool.t -> ?domains:int -> Model.Cost.cache -> Grid.t -> time:int -> float array
+(** Operating costs of every state of a layer's grid, memoised in the
+    slot's flat rank table ({!Model.Cost.layer_table}) and returned.
+    The fill walks the grid line by line along the last (stride-1) axis
+    through {!Model.Cost.fill_line}, so each line builds its dispatch
+    pieces once and warm-starts every cell's multiplier search from its
+    predecessor's bracket.  With [domains > 1] whole lines fan out over
+    [pool]; a warm chain never crosses a line, so sequential and pooled
+    fills are bit-identical.  Also the per-slot fill of the online
+    prefix DP. *)
+
 val solve_optimal : ?domains:int -> ?pool:Util.Pool.t -> Model.Instance.t -> result
 (** Section 4.1: exact optimum on dense grids. *)
 

@@ -1,0 +1,23 @@
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n : t = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let length (p : t) = Bigarray.Array1.dim p
+
+let fill_range (p : t) ~off ~len v =
+  for i = off to off + len - 1 do
+    Bigarray.Array1.unsafe_set p i v
+  done
+
+let blit ~(src : t) ~soff ~(dst : t) ~doff ~len =
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub src soff len)
+    (Bigarray.Array1.sub dst doff len)
+
+let of_array a (p : t) ~off =
+  for i = 0 to Array.length a - 1 do
+    Bigarray.Array1.unsafe_set p (off + i) (Array.unsafe_get a i)
+  done
+
+let to_array (p : t) ~off ~len =
+  Array.init len (fun i -> Bigarray.Array1.unsafe_get p (off + i))

@@ -1,0 +1,32 @@
+(** Unboxed [float64] planes for the DP layer engine.
+
+    A plane is a flat [Bigarray.Array1] of doubles in C layout: the
+    layer arena stores every retained DP layer back to back in one
+    allocation, the ramp transforms run strided passes over segments in
+    place, and the two scratch planes absorb the intermediate shapes of
+    cross-grid transforms — no per-layer [Array.copy], no per-axis
+    fresh array.  Bigarrays live outside the OCaml heap, so the passes
+    never trigger minor-GC work and segments can be shared freely
+    across pool domains (the fills write disjoint lines).
+
+    Conversion to and from ordinary [float array]s happens only at the
+    boundaries (snapshot codecs, [on_layer] frontier capture), keeping
+    the serialised formats bit-compatible with the legacy layout. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** An uninitialised plane of [n] doubles (callers fill each segment
+    before reading it). *)
+
+val length : t -> int
+
+val fill_range : t -> off:int -> len:int -> float -> unit
+
+val blit : src:t -> soff:int -> dst:t -> doff:int -> len:int -> unit
+
+val of_array : float array -> t -> off:int -> unit
+(** Copy a float array into the plane at [off]. *)
+
+val to_array : t -> off:int -> len:int -> float array
+(** Fresh float array copy of a segment. *)

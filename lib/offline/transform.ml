@@ -11,9 +11,21 @@ let ramp_line ~beta ~values ~costs =
     if costs.(i + 1) < costs.(i) then costs.(i) <- costs.(i + 1)
   done
 
+(* Both two-pointer passes of the between-transform assume sorted axes;
+   an unsorted destination silently leaves [infinity] holes instead of
+   failing, so it is checked eagerly (the cost is one compare per
+   element, dwarfed by the pass itself). *)
+let check_sorted name values =
+  for i = 0 to Array.length values - 2 do
+    if values.(i) >= values.(i + 1) then
+      invalid_arg (name ^ ": values must be sorted strictly ascending")
+  done
+
 let ramp_between ~beta ~src_values ~src ~dst_values =
   let ns = Array.length src_values and nd = Array.length dst_values in
   if Array.length src <> ns then invalid_arg "Transform.ramp_between: length mismatch";
+  check_sorted "Transform.ramp_between: src_values" src_values;
+  check_sorted "Transform.ramp_between: dst_values" dst_values;
   let out = Array.make nd infinity in
   (* From below: out.(i) = beta * vd_i + min_{vs_y <= vd_i} (src_y - beta * vs_y). *)
   let y = ref 0 and best = ref infinity in
@@ -166,6 +178,9 @@ let ramp_across ?pool ?(domains = 1) ?(min_items = ramp_min_items) ~src_grid ~ds
   if Array.length betas <> d then invalid_arg "Transform.ramp_across: betas mismatch";
   if Array.length flat <> Grid.size src_grid then
     invalid_arg "Transform.ramp_across: size mismatch";
+  for j = 0 to d - 1 do
+    check_sorted "Transform.ramp_across: dst axis" (Grid.axis_values dst_grid j)
+  done;
   (* Replace one axis at a time; [lengths] tracks the mixed shape. *)
   let lengths = Array.init d (Grid.axis_length src_grid) in
   let current = ref (Array.copy flat) in
@@ -196,3 +211,176 @@ let ramp_across ?pool ?(domains = 1) ?(min_items = ramp_min_items) ~src_grid ~ds
     current := next
   done;
   !current
+
+(* --- Bigarray plane variants ------------------------------------------
+
+   The same passes over [Plane.t] segments instead of fresh float
+   arrays: the DP arena keeps every layer in one unboxed allocation and
+   ramps each new layer in place, and the cross-grid transform
+   ping-pongs through two reusable scratch planes instead of allocating
+   one array per axis.  The float operations and their order are
+   exactly those of the array versions, so results are bit-identical.
+
+   The last axis has stride 1, so its lines are contiguous both in the
+   plane segment and in the slot's rank table — the optional [ops]
+   rank-table add is fused into that final pass while the line is still
+   cache-hot ([inf + g = inf] keeps infeasible states infeasible). *)
+
+let ramp_line_strided_p ~beta ~values (p : Plane.t) ~offset ~stride =
+  let n = Array.length values in
+  for i = 1 to n - 1 do
+    let climb = beta *. float_of_int (values.(i) - values.(i - 1)) in
+    let prev = Bigarray.Array1.unsafe_get p (offset + ((i - 1) * stride)) in
+    let cur = offset + (i * stride) in
+    if prev +. climb < Bigarray.Array1.unsafe_get p cur then
+      Bigarray.Array1.unsafe_set p cur (prev +. climb)
+  done;
+  for i = n - 2 downto 0 do
+    let nxt = Bigarray.Array1.unsafe_get p (offset + ((i + 1) * stride)) in
+    let cur = offset + (i * stride) in
+    if nxt < Bigarray.Array1.unsafe_get p cur then Bigarray.Array1.unsafe_set p cur nxt
+  done
+
+(* Contiguous (stride-1) last-axis pass with the fused rank-table add. *)
+let ramp_line_last_p ~beta ~values ?ops (p : Plane.t) ~offset ~rank0 =
+  ramp_line_strided_p ~beta ~values p ~offset ~stride:1;
+  match ops with
+  | None -> ()
+  | Some o ->
+      for i = 0 to Array.length values - 1 do
+        Bigarray.Array1.unsafe_set p (offset + i)
+          (Bigarray.Array1.unsafe_get p (offset + i) +. Array.unsafe_get o (rank0 + i))
+      done
+
+(* [dst] slots for this line must be pre-initialised to [infinity]. *)
+let ramp_between_strided_p ~beta ~src_values ~(src : Plane.t) ~soff ~dst_values
+    ~(dst : Plane.t) ~doff ~stride =
+  let ns = Array.length src_values and nd = Array.length dst_values in
+  let y = ref 0 and best = ref infinity in
+  for i = 0 to nd - 1 do
+    while !y < ns && src_values.(!y) <= dst_values.(i) do
+      let candidate =
+        Bigarray.Array1.unsafe_get src (soff + (!y * stride))
+        -. (beta *. float_of_int src_values.(!y))
+      in
+      if candidate < !best then best := candidate;
+      incr y
+    done;
+    if !best < infinity then
+      Bigarray.Array1.unsafe_set dst
+        (doff + (i * stride))
+        (!best +. (beta *. float_of_int dst_values.(i)))
+  done;
+  let y = ref (ns - 1) and best = ref infinity in
+  for i = nd - 1 downto 0 do
+    while !y >= 0 && src_values.(!y) >= dst_values.(i) do
+      let v = Bigarray.Array1.unsafe_get src (soff + (!y * stride)) in
+      if v < !best then best := v;
+      decr y
+    done;
+    let cur = doff + (i * stride) in
+    if !best < Bigarray.Array1.unsafe_get dst cur then
+      Bigarray.Array1.unsafe_set dst cur !best
+  done
+
+let ramp_grid_plane ?pool ?(domains = 1) ?(min_items = ramp_min_items) ?ops ~grid
+    ~betas (p : Plane.t) ~off =
+  let d = Grid.dim grid in
+  if Array.length betas <> d then invalid_arg "Transform.ramp_grid_plane: betas mismatch";
+  let size = Grid.size grid in
+  if off < 0 || off + size > Plane.length p then
+    invalid_arg "Transform.ramp_grid_plane: segment out of range";
+  (match ops with
+  | Some o when Array.length o <> size ->
+      invalid_arg "Transform.ramp_grid_plane: ops size mismatch"
+  | _ -> ());
+  let lengths = Array.init d (Grid.axis_length grid) in
+  for j = 0 to d - 1 do
+    let values = Grid.axis_values grid j in
+    let n = lengths.(j) in
+    let stride = ref 1 in
+    for k = j + 1 to d - 1 do
+      stride := !stride * lengths.(k)
+    done;
+    let stride = !stride in
+    let block = stride * n in
+    let n_lines = size / max 1 n in
+    let beta = betas.(j) in
+    let run k =
+      if j = d - 1 then
+        ramp_line_last_p ~beta ~values ?ops p ~offset:(off + (k * n)) ~rank0:(k * n)
+      else
+        ramp_line_strided_p ~beta ~values p
+          ~offset:(off + line_offset ~block ~stride k)
+          ~stride
+    in
+    if domains > 1 then for_lines ?pool ~domains ~min_items ~line_len:n ~n_lines run
+    else
+      for k = 0 to n_lines - 1 do
+        run k
+      done
+  done
+
+let ramp_across_plane ?pool ?(domains = 1) ?(min_items = ramp_min_items) ?ops ~src_grid
+    ~dst_grid ~betas ~(src : Plane.t) ~soff ~tmp:((wa, wb) : Plane.t * Plane.t)
+    (dst : Plane.t) ~doff =
+  let d = Grid.dim src_grid in
+  if Grid.dim dst_grid <> d then invalid_arg "Transform.ramp_across_plane: dim mismatch";
+  if Array.length betas <> d then
+    invalid_arg "Transform.ramp_across_plane: betas mismatch";
+  (match ops with
+  | Some o when Array.length o <> Grid.size dst_grid ->
+      invalid_arg "Transform.ramp_across_plane: ops size mismatch"
+  | _ -> ());
+  let lengths = Array.init d (Grid.axis_length src_grid) in
+  let cur = ref src and cur_off = ref soff and cur_size = ref (Grid.size src_grid) in
+  for j = 0 to d - 1 do
+    let src_values = Grid.axis_values src_grid j in
+    let dst_values = Grid.axis_values dst_grid j in
+    let ns = lengths.(j) and nd = Array.length dst_values in
+    let stride = ref 1 in
+    for k = j + 1 to d - 1 do
+      stride := !stride * lengths.(k)
+    done;
+    let stride = !stride in
+    let src_block = stride * ns and dst_block = stride * nd in
+    let new_size = !cur_size / ns * nd in
+    let last = j = d - 1 in
+    (* Final axis writes straight into the destination segment; earlier
+       axes ping-pong between the two scratch planes. *)
+    let target, target_off =
+      if last then (dst, doff) else if !cur == wa then (wb, 0) else (wa, 0)
+    in
+    if target_off + new_size > Plane.length target then
+      invalid_arg "Transform.ramp_across_plane: scratch plane too small";
+    Plane.fill_range target ~off:target_off ~len:new_size infinity;
+    let n_lines = !cur_size / ns in
+    let beta = betas.(j) in
+    let src_p = !cur and src_off = !cur_off in
+    let run k =
+      let soff = src_off + line_offset ~block:src_block ~stride k in
+      let doff = target_off + line_offset ~block:dst_block ~stride k in
+      ramp_between_strided_p ~beta ~src_values ~src:src_p ~soff ~dst_values ~dst:target
+        ~doff ~stride;
+      if last then
+        (* stride = 1 here: the finished line is ranks k*nd onward. *)
+        match ops with
+        | None -> ()
+        | Some o ->
+            for i = 0 to nd - 1 do
+              Bigarray.Array1.unsafe_set target (doff + i)
+                (Bigarray.Array1.unsafe_get target (doff + i)
+                +. Array.unsafe_get o ((k * nd) + i))
+            done
+    in
+    if domains > 1 then
+      for_lines ?pool ~domains ~min_items ~line_len:(ns + nd) ~n_lines run
+    else
+      for k = 0 to n_lines - 1 do
+        run k
+      done;
+    lengths.(j) <- nd;
+    cur := target;
+    cur_off := target_off;
+    cur_size := new_size
+  done

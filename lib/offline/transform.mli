@@ -26,7 +26,10 @@ val ramp_between :
   float array
 (** 1-D transform across two (possibly different) sorted axes:
     [out.(i) = min_y src.(y) + beta * (dst_values.(i) - src_values.(y))^+].
-    Runs in [O(|src| + |dst|)]. *)
+    Runs in [O(|src| + |dst|)].  Both value arrays must be sorted
+    strictly ascending — the two-pointer scans would otherwise leave
+    silent [infinity] holes, so unsorted input raises
+    [Invalid_argument]. *)
 
 val ramp_grid :
   ?pool:Util.Pool.t ->
@@ -63,3 +66,51 @@ val ramp_across :
     fresh flat array over [dst_grid] (axes are transformed one at a time
     through intermediate mixed shapes).  The grids must have the same
     dimension.  [pool]/[domains]/[min_items] as in {!ramp_grid}. *)
+
+(** {1 Plane variants}
+
+    The same transforms over {!Plane.t} segments — the DP layer arena.
+    Float operations and their order match the array versions exactly,
+    so results are bit-identical; sequential and pooled runs agree
+    bit-for-bit as well.  The optional [ops] array (the slot's rank
+    table, indexed by grid rank) is added elementwise during the final
+    (contiguous, stride-1) axis pass, fusing the DP's
+    [entering += g_t] into the last cache-hot traversal; [inf + g]
+    keeps infeasible states at [infinity]. *)
+
+val ramp_grid_plane :
+  ?pool:Util.Pool.t ->
+  ?domains:int ->
+  ?min_items:int ->
+  ?ops:float array ->
+  grid:Grid.t ->
+  betas:float array ->
+  Plane.t ->
+  off:int ->
+  unit
+(** In-place {!ramp_grid} on the plane segment
+    [\[off, off + Grid.size grid)], with the optional fused [ops] add
+    ([ops] must have exactly [Grid.size grid] entries). *)
+
+val ramp_across_plane :
+  ?pool:Util.Pool.t ->
+  ?domains:int ->
+  ?min_items:int ->
+  ?ops:float array ->
+  src_grid:Grid.t ->
+  dst_grid:Grid.t ->
+  betas:float array ->
+  src:Plane.t ->
+  soff:int ->
+  tmp:Plane.t * Plane.t ->
+  Plane.t ->
+  doff:int ->
+  unit
+(** {!ramp_across} from the [src] segment at [soff] (over [src_grid])
+    into the [dst] segment at [doff] (over [dst_grid]), ping-ponging
+    the intermediate mixed shapes through the two [tmp] scratch planes
+    (each must hold the largest intermediate shape; with [d = 1] the
+    single pass goes straight from [src] to [dst]).  The source segment
+    is left untouched, and may live in the same plane as [dst] as long
+    as the segments are disjoint.  [ops] is fused into the final axis
+    pass as in {!ramp_grid_plane}. *)

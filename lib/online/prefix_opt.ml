@@ -11,7 +11,7 @@ type t = {
   mutable cache : Model.Cost.cache;
   pool : Util.Pool.t option;
   domains : int;
-  mutable arrival : float array;  (* empty before the first step *)
+  arrival : Offline.Plane.t;  (* meaningful only when [clock > 0] *)
   mutable clock : int;
 }
 
@@ -40,7 +40,7 @@ let create ?grid ?domains ?pool inst =
     cache = Model.Cost.make_cache inst;
     pool;
     domains;
-    arrival = [||];
+    arrival = Offline.Plane.create (Offline.Grid.size grid);
     clock = 0 }
 
 let time e = e.clock
@@ -60,10 +60,17 @@ let rebind e inst =
   e.cache <- Model.Cost.make_cache inst
 
 let save e =
+  (* The codec predates the plane engine: the arrival layer still
+     travels as a plain float-array field (empty before the first
+     step), so snapshots stay readable across versions. *)
+  let arrival =
+    if e.clock = 0 then [||]
+    else Offline.Plane.to_array e.arrival ~off:0 ~len:(Offline.Plane.length e.arrival)
+  in
   Util.Sexp.List
     [ Util.Sexp.Atom "prefix-opt";
       Util.Sexp.List [ Util.Sexp.Atom "clock"; Util.Sexp.Atom (string_of_int e.clock) ];
-      Util.Snapshot.float_array_field "arrival" e.arrival ]
+      Util.Snapshot.float_array_field "arrival" arrival ]
 
 let restore e sexp =
   match sexp with
@@ -80,7 +87,7 @@ let restore e sexp =
             Error "prefix-opt: arrival layer does not match the state grid"
           else begin
             e.clock <- clock;
-            e.arrival <- (if clock = 0 then [||] else arrival);
+            if clock > 0 then Offline.Plane.of_array arrival e.arrival ~off:0;
             Ok ()
           end)
   | Util.Sexp.Atom _ | Util.Sexp.List _ -> Error "prefix-opt: unexpected payload shape"
@@ -90,57 +97,34 @@ let step e =
     invalid_arg "Prefix_opt.step: past the horizon";
   let time = e.clock in
   let d = Model.Instance.num_types e.inst in
-  let ramp = Offline.Transform.ramp_grid ?pool:e.pool ~domains:e.domains in
-  let entering =
-    if time = 0 then begin
-      let flat = Array.make (Offline.Grid.size e.grid) infinity in
-      (match Offline.Grid.index_of e.grid (Model.Config.zero d) with
-      | Some idx -> flat.(idx) <- 0.
-      | None -> assert false);
-      ramp ~grid:e.grid ~betas:e.betas flat;
-      flat
-    end
-    else begin
-      let flat = Array.copy e.arrival in
-      ramp ~grid:e.grid ~betas:e.betas flat;
-      flat
-    end
-  in
   let n = Offline.Grid.size e.grid in
-  (* The grid states are the ranks of the slot's flat memo table, so
-     the fill is lock-free array traffic; configurations are decoded
-     (into per-domain scratch) only for states not yet cached. *)
-  let table = Model.Cost.layer_table e.cache ~time n in
-  let fill idx =
-    let g =
-      let v = table.(idx) in
-      if Float.is_nan v then
-        Model.Cost.operating_rank e.cache ~time ~rank:idx
-          (Offline.Grid.config_scratch e.grid idx)
-      else v
-    in
-    entering.(idx) <- entering.(idx) +. g
-  in
-  if e.domains > 1 && n >= Util.Parallel.min_parallel_items then
-    Util.Parallel.parallel_for ?pool:e.pool ~domains:e.domains ~n fill
-  else
-    for idx = 0 to n - 1 do
-      fill idx
-    done;
-  e.arrival <- entering;
+  if time = 0 then begin
+    Offline.Plane.fill_range e.arrival ~off:0 ~len:n infinity;
+    match Offline.Grid.index_of e.grid (Model.Config.zero d) with
+    | Some idx -> Bigarray.Array1.unsafe_set e.arrival idx 0.
+    | None -> assert false
+  end;
+  (* The grid states are the ranks of the slot's flat memo table, so the
+     fill is lock-free array traffic; the line-based fill warm-starts
+     each cell's dispatch from its line predecessor.  The ramp then
+     updates the arrival plane in place (no per-slot copy), fusing the
+     operating-cost add into its final contiguous pass. *)
+  let ops = Offline.Dp.fill_layer ?pool:e.pool ~domains:e.domains e.cache e.grid ~time in
+  Offline.Transform.ramp_grid_plane ?pool:e.pool ~domains:e.domains ~ops ~grid:e.grid
+    ~betas:e.betas e.arrival ~off:0;
   e.clock <- time + 1;
   (* Flat-index order is lexicographic, so the first strict minimum is the
      lexicographically smallest optimal last configuration. *)
   let best = ref infinity and lo = ref (-1) and hi = ref (-1) in
-  Array.iteri
-    (fun idx c ->
-      if c < !best then begin
-        best := c;
-        lo := idx;
-        hi := idx
-      end
-      else if c = !best then hi := idx)
-    entering;
+  for idx = 0 to n - 1 do
+    let c = Bigarray.Array1.unsafe_get e.arrival idx in
+    if c < !best then begin
+      best := c;
+      lo := idx;
+      hi := idx
+    end
+    else if c = !best then hi := idx
+  done;
   if not (Float.is_finite !best) then
     invalid_arg "Prefix_opt.step: no feasible schedule for this prefix";
   { last = Offline.Grid.config_at e.grid !lo;

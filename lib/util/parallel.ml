@@ -1,5 +1,12 @@
 let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
+(* Forward declaration of the benchmark knob so [effective_domains] can
+   honour it; defined for real below. *)
+let spawn_per_call = ref false
+
+let effective_domains domains =
+  if !spawn_per_call then domains else min domains (recommended_domains ())
+
 (* Below this many items the job hand-off overhead dominates any
    speed-up, even on the persistent pool. *)
 let min_parallel_items = 256
@@ -39,8 +46,6 @@ let global ~domains =
 
 (* --- legacy spawn-per-call strategy (benchmark reference) ------------- *)
 
-let spawn_per_call = ref false
-
 let spawning_for ~domains ~n f =
   let workers = max 1 (min (min domains n) Pool.max_domains) in
   Obs.Counter.add c_spawns (workers - 1);
@@ -69,7 +74,7 @@ let parallel_for ?pool ?(min_items = min_parallel_items) ~domains ~n f =
      pooled path to the plain sequential loop).  The legacy
      spawn-per-call branch keeps the caller's count untouched so the
      benchmark reference still measures exactly what was asked. *)
-  let domains = if !spawn_per_call then domains else min domains (recommended_domains ()) in
+  let domains = effective_domains domains in
   if domains <= 1 || n < min_items then
     for i = 0 to n - 1 do
       f i

@@ -17,6 +17,15 @@ val recommended_domains : unit -> int
 (** A sensible worker count: [Domain.recommended_domain_count], at
     least 1. *)
 
+val effective_domains : int -> int
+(** The fan-out {!parallel_for} will actually use for a request of the
+    given width — the request capped at {!recommended_domains} (or
+    untouched under {!spawn_per_call}).  Callers that *restructure*
+    work for parallelism (e.g. precomputing a dense candidate array a
+    pruned sequential scan would mostly skip) should gate on this, not
+    on the requested width: when the fan-out collapses to 1 the
+    restructuring is pure overhead. *)
+
 val min_parallel_items : int
 (** Ranges smaller than this are always executed sequentially and never
     reach the pool (below it, chunk hand-off and submitter wake-up cost

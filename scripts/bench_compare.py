@@ -20,6 +20,10 @@ The comparator is deliberately runner-noise-aware:
 - Benches present in only one file are reported, never failed: adding
   or renaming a bench must not break CI until the baseline is
   regenerated.
+- Improvements are never failures either, but a gated bench that beats
+  its baseline beyond the same tolerance + absolute floor earns a
+  "faster than baseline - consider refreshing" note: a stale baseline
+  quietly widens the regression budget for every later change.
 
 Pool sanity: two checks on the pool trio.
 
@@ -87,6 +91,7 @@ def main():
     print()
 
     failures = []
+    improvements = []
     for name, base in sorted(base_benches.items()):
         if not base.get("gate"):
             continue
@@ -101,6 +106,7 @@ def main():
         norm = cur_n / cal_ratio
         delta = norm / base_n - 1.0
         regressed = delta > tolerance and (norm - base_n) > ABS_FLOOR_NANOS
+        improved = -delta > tolerance and (base_n - norm) > ABS_FLOOR_NANOS
         status = "FAIL" if regressed else "ok"
         print(
             f"{status:<5} {name}: baseline {fmt(base_n)}, "
@@ -108,6 +114,8 @@ def main():
         )
         if regressed:
             failures.append(name)
+        if improved:
+            improvements.append((name, -delta))
 
     new = sorted(set(cur_benches) - set(base_benches))
     if new:
@@ -147,6 +155,15 @@ def main():
                 f"info  pooled DP {fmt(pooled)} vs spawn-per-layer {fmt(spawn)} "
                 f"({spawn / pooled:.2f}x)"
             )
+
+    if improvements:
+        print(
+            f"\n{len(improvements)} gated bench(es) faster than baseline beyond "
+            f"{tolerance:.0%} + {fmt(ABS_FLOOR_NANOS)} - consider refreshing the "
+            "baseline so the gate keeps teeth:"
+        )
+        for name, gain in improvements:
+            print(f"  - {name} ({gain:+.1%} faster)")
 
     if failures:
         print(f"\n{len(failures)} gated bench(es) regressed beyond {tolerance:.0%}:")

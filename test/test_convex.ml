@@ -230,6 +230,34 @@ let test_dispatch_negative_total_rejected () =
     (try ignore (Convex.Dispatch.solve [| piece (Convex.Fn.const 0.) 1. |] ~total:(-1.)); false
      with Invalid_argument _ -> true)
 
+let test_dispatch_warm_line_matches_cold () =
+  (* A concrete monotone line: a fixed prefix of two pieces plus a
+     swept slot whose capacity grows cell by cell, exactly the shape
+     the DP layer fill hands to [solve_line].  The warm-started sweep
+     must agree with a cold per-cell [solve] at every cell, including
+     the leading infeasible ones. *)
+  let cube = Convex.Fn.power ~idle:0.3 ~coef:1. ~expo:3. in
+  let quad = Convex.Fn.quadratic ~c0:0.1 ~c1:0.4 ~c2:0.8 in
+  let prefix = [| piece cube 0.25; piece quad 0.2 |] in
+  let cells =
+    Array.init 6 (fun v ->
+        let cap = 0.3 *. float_of_int v in
+        Array.append prefix [| piece cube (min 1.2 cap) |])
+  in
+  let warm = Convex.Dispatch.solve_line cells ~total:1. in
+  Array.iteri
+    (fun v cell ->
+      let cold =
+        match Convex.Dispatch.solve cell ~total:1. with
+        | None -> infinity
+        | Some sol -> sol.Convex.Dispatch.objective
+      in
+      if Float.is_finite cold then
+        checkb (Printf.sprintf "cell %d" v) true
+          (Float.abs (warm.(v) -. cold) <= 1e-9 *. (1. +. Float.abs cold))
+      else checkb (Printf.sprintf "cell %d infeasible" v) true (warm.(v) = infinity))
+    cells
+
 let () =
   Alcotest.run "convex"
     [ ( "fn",
@@ -264,6 +292,8 @@ let () =
           Alcotest.test_case "matches greedy oracle" `Quick test_dispatch_matches_greedy;
           Alcotest.test_case "total equals capacity" `Quick test_dispatch_total_equals_capacity;
           Alcotest.test_case "many identical pieces" `Quick test_dispatch_many_identical_pieces;
-          Alcotest.test_case "rejects negative total" `Quick test_dispatch_negative_total_rejected
+          Alcotest.test_case "rejects negative total" `Quick test_dispatch_negative_total_rejected;
+          Alcotest.test_case "warm line sweep matches cold" `Quick
+            test_dispatch_warm_line_matches_cold
         ] )
     ]

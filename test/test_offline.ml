@@ -196,6 +196,23 @@ let test_ramp_across_mismatched () =
   checkf 1e-12 "dst 0" 1. out.(0);
   checkf 1e-12 "dst 2" 3. out.(1)
 
+let test_ramp_between_rejects_unsorted () =
+  (* The two-pointer scans would leave silent [infinity] holes on an
+     unsorted axis, so both sides must be rejected up front. *)
+  let sorted = [| 0; 2 |] in
+  let unsorted = [| 2; 0 |] in
+  let src = [| 1.; 2. |] in
+  Alcotest.check_raises "unsorted dst" (Invalid_argument
+      "Transform.ramp_between: dst_values: values must be sorted strictly ascending")
+    (fun () ->
+      ignore
+        (Offline.Transform.ramp_between ~beta:1. ~src_values:sorted ~src ~dst_values:unsorted));
+  Alcotest.check_raises "unsorted src" (Invalid_argument
+      "Transform.ramp_between: src_values: values must be sorted strictly ascending")
+    (fun () ->
+      ignore
+        (Offline.Transform.ramp_between ~beta:1. ~src_values:unsorted ~src ~dst_values:sorted))
+
 (* --- DP vs brute force --- *)
 
 let random_small_instance rng ~dynamic =
@@ -465,7 +482,9 @@ let () =
           Alcotest.test_case "2-D climb costs" `Quick test_ramp_grid_up_costs;
           Alcotest.test_case "across = in-place on equal grids" `Quick
             test_ramp_across_matches_dense;
-          Alcotest.test_case "across mismatched grids" `Quick test_ramp_across_mismatched
+          Alcotest.test_case "across mismatched grids" `Quick test_ramp_across_mismatched;
+          Alcotest.test_case "unsorted values rejected" `Quick
+            test_ramp_between_rejects_unsorted
         ] );
       ( "dp",
         [ Alcotest.test_case "matches brute force (static)" `Quick test_dp_matches_bruteforce;

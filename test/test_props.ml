@@ -173,6 +173,68 @@ let prop_dispatch_analytic_matches_numeric seed =
   | None, None -> true
   | _ -> false
 
+(* The warm-started line sweep must agree with independent per-cell
+   solves.  Cells are built exactly like a DP grid line (equation (1)
+   pieces with the swept axis's count growing), so the monotone
+   multiplier precondition holds; the function pool includes
+   non-invertible families (max-of-affine) to exercise the sweep's
+   numeric fallback and piecewise-linear ones for derivative
+   plateaus. *)
+let random_sweep_fn rng =
+  match Util.Prng.int rng 6 with
+  | 0 | 1 | 2 | 3 -> random_fn rng
+  | 4 ->
+      (* Convex increasing piecewise-linear: growing slopes. *)
+      let slope1 = Util.Prng.float rng 1. in
+      let slope2 = slope1 +. Util.Prng.float rng 2. in
+      let v0 = Util.Prng.float rng 1. in
+      Convex.Fn.piecewise_linear
+        [ (0., v0); (1., v0 +. slope1); (3., v0 +. slope1 +. (2. *. slope2)) ]
+  | _ ->
+      Convex.Fn.max_affine
+        (List.init
+           (1 + Util.Prng.int rng 3)
+           (fun _ -> (Util.Prng.float rng 2., Util.Prng.float rng 2.)))
+
+let prop_solve_line_matches_per_cell seed =
+  let rng = Util.Prng.create seed in
+  let d = 2 + Util.Prng.int rng 3 in
+  let load = 0.5 +. Util.Prng.float rng 4. in
+  let piece_for fn count cap =
+    if count = 0 then { Convex.Dispatch.fn = Convex.Fn.const 0.; upper = 0. }
+    else
+      let xf = float_of_int count in
+      { Convex.Dispatch.fn = Convex.Fn.compose_scaled ~outer:xf ~inner:(load /. xf) fn;
+        upper = Float.min 1. (xf *. cap /. load) }
+  in
+  let prefix =
+    Array.init (d - 1) (fun _ ->
+        piece_for (random_sweep_fn rng) (Util.Prng.int rng 4) (0.5 +. Util.Prng.float rng 1.5))
+  in
+  let fn_last = random_sweep_fn rng in
+  let cap_last = 0.5 +. Util.Prng.float rng 1.5 in
+  let cells =
+    (* Swept counts 0 .. len-1: the first cells may be infeasible or
+       capped at zero, exercising sweeps that start on skipped cells. *)
+    Array.init
+      (1 + Util.Prng.int rng 5)
+      (fun v ->
+        let ps = Array.copy prefix in
+        let ps = Array.append ps [| piece_for fn_last v cap_last |] in
+        ps)
+  in
+  let line = Convex.Dispatch.solve_line cells ~total:1. in
+  let ok = ref true in
+  Array.iteri
+    (fun i ps ->
+      match Convex.Dispatch.solve ps ~total:1. with
+      | None -> if line.(i) <> infinity then ok := false
+      | Some { Convex.Dispatch.objective; _ } ->
+          if Float.abs (line.(i) -. objective) > 1e-9 *. Float.max 1. (Float.abs objective)
+          then ok := false)
+    cells;
+  !ok
+
 (* --- Transforms --- *)
 
 let prop_ramp_line_dominated_and_idempotent seed =
@@ -402,6 +464,82 @@ let prop_ramp_across_random_grids seed =
     dst_values;
   !ok
 
+(* The Bigarray plane arena must reproduce a reference float-array DP
+   layer by layer.  The reference recomputes every forward layer the
+   pre-arena way — fresh arrays, [ramp_grid]/[ramp_across], operating
+   costs through [Cost.operating] rather than the warm-swept line
+   fill — and the engine's layers are observed through [?on_layer].
+   Dynamic instances give per-slot grids, exercising the cross-grid
+   [ramp_across] ping-pong path; the final frontier also round-trips
+   through the sexp codec bit-exactly. *)
+let prop_plane_engine_matches_reference seed =
+  let rng = Util.Prng.create seed in
+  let inst = tiny_instance rng ~dynamic:(Util.Prng.bool rng) in
+  let instf = Model.Instance.fold_switching inst in
+  let horizon = Model.Instance.horizon instf in
+  let d = Model.Instance.num_types instf in
+  let betas =
+    Array.map (fun st -> st.Model.Server_type.switching_cost) instf.Model.Instance.types
+  in
+  let grids = Array.init horizon (Offline.Dp.dense_grids instf) in
+  let zero = Model.Config.zero d in
+  let reference = Array.make horizon [||] in
+  for time = 0 to horizon - 1 do
+    let g = grids.(time) in
+    let n = Offline.Grid.size g in
+    let ops =
+      Array.init n (fun i ->
+          Model.Cost.operating instf ~time (Offline.Grid.config_scratch g i))
+    in
+    let arrival =
+      if time = 0 then
+        Array.init n (fun i ->
+            Model.Config.switching_cost instf.Model.Instance.types ~from_:zero
+              ~to_:(Offline.Grid.config_scratch g i))
+      else if Offline.Grid.equal g grids.(time - 1) then begin
+        let a = Array.copy reference.(time - 1) in
+        Offline.Transform.ramp_grid ~grid:g ~betas a;
+        a
+      end
+      else
+        Offline.Transform.ramp_across ~src_grid:grids.(time - 1) ~dst_grid:g ~betas
+          reference.(time - 1)
+    in
+    reference.(time) <- Array.mapi (fun i c -> c +. ops.(i)) arrival
+  done;
+  let close a b =
+    if Float.is_finite a && Float.is_finite b then
+      Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs b)
+    else a = b
+  in
+  let ok = ref true in
+  let final = ref None in
+  (try
+     ignore
+       (Offline.Dp.solve
+          ~on_layer:(fun ~time thunk ->
+            let f = thunk () in
+            let got = f.Offline.Dp.layers.(time) in
+            if not (Array.for_all2 close got reference.(time)) then ok := false;
+            if time = horizon - 1 then final := Some f)
+          inst)
+   with Invalid_argument _ ->
+     (* Infeasible instances raise after the forward pass; the layer
+        comparisons above still ran for every slot. *)
+     ());
+  !ok
+  &&
+  match !final with
+  | None -> false
+  | Some f -> (
+      match Offline.Dp.frontier_of_sexp (Offline.Dp.frontier_to_sexp f) with
+      | Error _ -> false
+      | Ok f' ->
+          f'.Offline.Dp.next_time = f.Offline.Dp.next_time
+          && Array.for_all2
+               (fun a b -> Array.for_all2 (fun (x : float) y -> x = y || (x <> x && y <> y)) a b)
+               f.Offline.Dp.layers f'.Offline.Dp.layers)
+
 let prop_sexp_roundtrip seed =
   (* print . parse = id on generated trees. *)
   let rng = Util.Prng.create seed in
@@ -552,7 +690,9 @@ let () =
             prop_dispatch_beats_random_feasible_points;
           mk_test ~count:50 ~name:"agrees with the greedy oracle" prop_dispatch_matches_greedy;
           mk_test ~count:200 ~name:"analytic path = numeric path"
-            prop_dispatch_analytic_matches_numeric
+            prop_dispatch_analytic_matches_numeric;
+          mk_test ~count:100 ~name:"warm line sweep = per-cell solve"
+            prop_solve_line_matches_per_cell
         ] );
       ( "transform",
         [ mk_test ~count:100 ~name:"ramp_line dominates input and is idempotent"
@@ -561,7 +701,9 @@ let () =
       ( "offline",
         [ mk_test ~count:40 ~name:"DP = brute force" prop_dp_equals_bruteforce;
           mk_test ~count:40 ~name:"DP schedule feasible" prop_dp_schedule_feasible;
-          mk_test ~count:20 ~name:"Theorem 16: (1+eps)-approximation" prop_approx_theorem16
+          mk_test ~count:20 ~name:"Theorem 16: (1+eps)-approximation" prop_approx_theorem16;
+          mk_test ~count:60 ~name:"plane arena = reference float-array DP"
+            prop_plane_engine_matches_reference
         ] );
       ( "systems",
         [ mk_test ~count:25 ~name:"streaming session = batch run" prop_streaming_equals_batch;
