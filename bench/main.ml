@@ -411,7 +411,112 @@ let benches =
          | Ok def ->
              for k = 0 to def.Core.Scenario_def.sessions - 1 do
                ignore (Core.Scenario_def.loads def ~session_index:k)
-             done)
+             done);
+    (* Durability store: one daemon round's worth of log appends
+       (encode + write, fsync disabled to isolate the CPU path) — the
+       O(delta) cost that replaced the per-checkpoint full-table
+       rewrite — and a cold recovery over base + tail, which must stay
+       O(base + tail) regardless of how many chunks have cemented. *)
+    bench "store: append round (64 records, no fsync)"
+      (let path = Filename.temp_file "rs-bench" ".log" in
+       at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+       let w =
+         match Core.Store_log.open_writer ~sync:false ~path () with
+         | Ok (w, _) -> w
+         | Error m -> failwith m
+       in
+       let records =
+         List.init 64 (fun i ->
+             Core.Store_log.Feed
+               { id = Printf.sprintf "bench-%04d" (i mod 8); seq = i * 4;
+                 loads = Array.init 4 (fun j -> 0.3 +. (float_of_int ((i + j) mod 7) *. 0.11)) })
+       in
+       fun () ->
+         List.iter (Core.Store_log.append w) records;
+         (match Core.Store_log.flush w with Ok () -> () | Error m -> failwith m);
+         match Core.Store_log.reset w with Ok () -> () | Error m -> failwith m);
+    bench "store: full-table checkpoint (8 sessions, 96 slots)"
+      (let dir = Filename.temp_file "rs-bench" ".ck" in
+       Sys.remove dir;
+       Sys.mkdir dir 0o755;
+       at_exit (fun () ->
+           try
+             Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+             Sys.rmdir dir
+           with Sys_error _ -> ());
+       let d =
+         match
+           Core.Daemon.create
+             { Core.Daemon.default_config with
+               unix_path = Some (Filename.concat dir "b.sock");
+               checkpoint = Some (Filename.concat dir "sessions.snap") }
+         with
+         | Ok d -> d
+         | Error m -> failwith m
+       in
+       for i = 0 to 7 do
+         let id = Printf.sprintf "bench-%04d" i in
+         ignore
+           (Core.Daemon.handle d
+              (Core.Server_protocol.Create_session
+                 { id; scenario = "cpu-gpu"; max_horizon = None; alg = None }));
+         match
+           Core.Daemon.handle d
+             (Core.Server_protocol.Feed
+                { id; seq = 0;
+                  loads = Array.init 96 (fun j -> 0.3 +. (float_of_int (j mod 5) *. 0.1)) })
+         with
+         | Core.Server_protocol.Decisions _ -> ()
+         | _ -> failwith "bench setup: feed"
+       done;
+       fun () ->
+         match Core.Daemon.checkpoint_now d with
+         | Ok () -> ()
+         | Error m -> failwith m);
+    bench "store: recover (base + 128-record tail, 512 cemented)"
+      (let dir = Filename.temp_file "rs-bench" ".store" in
+       Sys.remove dir;
+       Sys.mkdir dir 0o755;
+       at_exit (fun () ->
+           try
+             Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+             Sys.rmdir dir
+           with Sys_error _ -> ());
+       let record i =
+         Core.Store_log.Feed
+           { id = Printf.sprintf "bench-%04d" (i mod 16); seq = i;
+             loads = Array.init 4 (fun j -> 0.2 +. (float_of_int ((i + j) mod 9) *. 0.09)) }
+       in
+       let base =
+         Core.Sexp.List
+           (Core.Sexp.Atom "sessions"
+           :: List.init 16 (fun i ->
+                  Core.Sexp.List
+                    [ Core.Sexp.Atom (Printf.sprintf "bench-%04d" i);
+                      Core.Sexp.Atom (String.make 64 'x') ]))
+       in
+       (match
+          Core.Store_cemented.cement ~dir ~base ~records:(List.init 512 record) ()
+        with
+       | Ok _ -> ()
+       | Error m -> failwith m);
+       let w =
+         match
+           Core.Store_log.open_writer ~sync:false
+             ~path:(Core.Store_cemented.tail_path ~dir) ()
+         with
+         | Ok (w, _) -> w
+         | Error m -> failwith m
+       in
+       for r = 0 to 127 do
+         Core.Store_log.append w (record (512 + r))
+       done;
+       (match Core.Store_log.flush w with Ok () -> () | Error m -> failwith m);
+       Core.Store_log.close_writer w;
+       fun () ->
+         match Core.Store_cemented.recover ~dir with
+         | Ok r -> assert (List.length r.Core.Store_cemented.tail.Core.Store_log.records = 128)
+         | Error m -> failwith m)
   ]
 
 (* One instrumented run of the kernel: reset every counter, run once,
@@ -449,7 +554,9 @@ let gated =
     "scenario: parse + workload synthesis (96x4)";
     "det2d: break-even full run (d=2, T=36, spot prices)";
     "homog: pooled full run (2x5 coinciding, T=36)";
-    "arena: small race (3 scenarios, all solvers)" ]
+    "arena: small race (3 scenarios, all solvers)";
+    "store: append round (64 records, no fsync)";
+    "store: recover (base + 128-record tail, 512 cemented)" ]
 
 (* Machine-independent reference kernel: the comparator divides every
    timing by the calibration ratio between the two runs, so a uniformly

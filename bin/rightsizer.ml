@@ -1012,6 +1012,38 @@ let serve_cmd =
       & info [ "fault-seed" ] ~docv:"N"
           ~doc:"Seed for probabilistic fault plans (default 0).")
   in
+  (* Not the shared [resume_arg]: that one is a cmdliner [file] whose
+     existence check is right for offline solves, but a log-mode daemon
+     may legitimately resume with no snapshot on disk (the store is the
+     durable state and the snapshot only its fallback). *)
+  let serve_resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Resume the session table.  With $(b,--log-dir), recovery prefers \
+                the incremental store (base + tail) and falls back to this \
+                checkpoint FILE; without it, FILE is the checkpoint written by \
+                $(b,--checkpoint).  The resumed daemon is bit-identical to an \
+                uninterrupted one; torn or corrupted state is rejected.")
+  in
+  let log_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-dir" ] ~docv:"DIR"
+          ~doc:"Switch durability to the incremental store: append-only decision \
+                log + cemented chunks in DIR, fsynced per round — O(delta) instead \
+                of the full-table snapshot (docs/durability.md).  $(b,--resume) \
+                then prefers log recovery, falling back to the snapshot.")
+  in
+  let cement_every_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "cement-every" ] ~docv:"RECORDS"
+          ~doc:"With --log-dir: fold the live tail into an immutable cemented \
+                chunk once it holds RECORDS fsynced records (default 4096).")
+  in
   let parse_faults specs =
     let rec go acc = function
       | [] -> Ok (List.rev acc)
@@ -1030,13 +1062,15 @@ let serve_cmd =
     go [] specs
   in
   let run () unix_path tcp_port checkpoint every resume crash_after_slots max_sessions
-      metrics_port audit_every audit_sample faults fault_seed domains =
+      metrics_port audit_every audit_sample faults fault_seed log_dir cement_every
+      domains =
     if unix_path = None && tcp_port = None then
       `Error (false, "serve: pass --unix PATH and/or --port PORT")
     else if every < 1 then `Error (false, "serve: --checkpoint-every must be >= 1")
     else if audit_sample < 1 then `Error (false, "serve: --audit-sample must be >= 1")
     else if audit_every <> None && Option.get audit_every < 1 then
       `Error (false, "serve: --audit-every must be >= 1")
+    else if cement_every < 1 then `Error (false, "serve: --cement-every must be >= 1")
     else begin
       match parse_faults faults with
       | Error m -> `Error (false, m)
@@ -1046,7 +1080,8 @@ let serve_cmd =
       let cfg =
         { Core.Daemon.default_config with
           unix_path; tcp_port; pool; checkpoint; checkpoint_every = every;
-          max_sessions; crash_after_slots; metrics_port; audit_every; audit_sample }
+          max_sessions; crash_after_slots; metrics_port; audit_every; audit_sample;
+          log_dir; cement_every }
       in
       match Core.Daemon.create ?resume cfg with
       | Error m -> `Error (false, m)
@@ -1080,9 +1115,9 @@ let serve_cmd =
     Term.(
       ret
         (const run $ obs_term $ unix_sock_arg $ tcp_port_arg $ checkpoint_arg
-        $ checkpoint_every_arg $ resume_arg $ crash_after_arg $ max_sessions_arg
+        $ checkpoint_every_arg $ serve_resume_arg $ crash_after_arg $ max_sessions_arg
         $ metrics_port_arg $ audit_every_arg $ audit_sample_arg $ fault_arg
-        $ fault_seed_arg $ domains_arg))
+        $ fault_seed_arg $ log_dir_arg $ cement_every_arg $ domains_arg))
 
 (* --- monitor --- *)
 
@@ -1399,8 +1434,89 @@ let scenario_cmd =
        ~doc:"Declarative datacenter-in-a-box system tests (docs/scenarios.md).")
     [ scenario_run_cmd; scenario_check_cmd ]
 
+(* --- replay --- *)
+
+(* Re-run recorded sessions through Server.Session — the same code path
+   that served them — so the "old" decisions are reproduced
+   bit-faithfully, not approximated.  Store.Replay owns the store
+   reading and the OPT comparison; this callback owns the stepping. *)
+let replay_run ~scenario ~alg ~loads =
+  match
+    Core.Server_session.create ~id:"replay"
+      { Core.Server_session.scenario; max_horizon = None; alg = Some alg }
+  with
+  | Error (_, m) -> Error m
+  | Ok s -> (
+      match Core.Server_session.feed s ~seq:0 loads with
+      | Error (_, m) -> Error m
+      | Ok configs -> Ok configs)
+
+let replay_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"The daemon's --log-dir directory (cemented chunks + live tail).")
+  in
+  let alg_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alg" ] ~docv:"ALG"
+          ~doc:"Challenger algorithm (a|b|det2d|homog).  Default: re-run each \
+                session under the algorithm that originally served it.")
+  in
+  let session_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "session" ] ~docv:"ID" ~doc:"Replay only this session.")
+  in
+  let run () store alg session =
+    match Core.Store_replay.replay ~run:replay_run ?alg ?session ~dir:store () with
+    | Error m -> `Error (false, "replay: " ^ m)
+    | Ok { Core.Store_replay.rows; failures } ->
+        let tbl =
+          Core.Table.create
+            ~header:
+              [ "session"; "scenario"; "slots"; "old"; "old cost"; "old ratio";
+                "new"; "new cost"; "new ratio"; "OPT"; "delta%" ]
+        in
+        List.iter
+          (fun (r : Core.Store_replay.row) ->
+            let delta =
+              if r.old_cost > 0. then
+                100. *. (r.new_cost -. r.old_cost) /. r.old_cost
+              else 0.
+            in
+            Core.Table.add_row tbl
+              [ r.r_id; r.r_scenario; string_of_int r.slots; r.old_alg;
+                Printf.sprintf "%.3f" r.old_cost;
+                Printf.sprintf "%.4f" r.old_ratio; r.new_alg;
+                Printf.sprintf "%.3f" r.new_cost;
+                Printf.sprintf "%.4f" r.new_ratio;
+                Printf.sprintf "%.3f" r.opt_cost;
+                Printf.sprintf "%+.2f" delta ])
+          rows;
+        Core.Table.print tbl;
+        List.iter
+          (fun (id, why) -> Printf.printf "skipped %s: %s\n" id why)
+          failures;
+        if rows = [] then `Error (false, "replay: no session could be replayed")
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Reconstruct recorded sessions from a daemon's incremental store \
+             (--log-dir) and re-run them — under the original algorithm and an \
+             optional challenger — reporting cost and competitive ratio against \
+             the exact offline optimum (docs/durability.md).")
+    Term.(ret (const run $ obs_term $ store_arg $ alg_arg $ session_arg))
+
 let () =
   let doc = "Right-sizing heterogeneous data centers (SPAA 2021 reproduction)" in
   let info = Cmd.info "rightsizer" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; report_cmd; verify_cmd; solve_cmd; online_cmd; arena_cmd;
-       compare_cmd; simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; monitor_cmd; loadgen_cmd; scenario_cmd ]))
+       compare_cmd; simulate_cmd; analyze_cmd; plan_cmd; serve_cmd; monitor_cmd; loadgen_cmd; scenario_cmd;
+       replay_cmd ]))

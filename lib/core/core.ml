@@ -44,6 +44,9 @@ module Server_monitor = Server.Monitor
 module Loadgen = Server.Loadgen
 module Server_client = Server.Client
 module Server_spawn = Server.Spawn
+module Store_log = Store.Log
+module Store_cemented = Store.Cemented
+module Store_replay = Store.Replay
 module Scenario_def = Scenario.Def
 module Scenario_runner = Scenario.Runner
 module Report = Experiments.Report

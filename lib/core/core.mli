@@ -73,6 +73,9 @@ module Server_client = Server.Client
     or loopback TCP socket). *)
 
 module Server_spawn = Server.Spawn
+module Store_log = Store.Log
+module Store_cemented = Store.Cemented
+module Store_replay = Store.Replay
 (** Spawn and tear down real daemon processes (leak-proof via an
     [at_exit] SIGKILL registry; see [docs/scenarios.md]). *)
 

@@ -25,6 +25,8 @@ type daemon = {
   metrics : bool;
   faults : (string * fault_plan) list;
   fault_seed : int;
+  log_dir : bool;
+  cement_every : int option;
 }
 
 type predictor = Naive | Seasonal of int | Ewma | Holt | Holt_winters of int
@@ -59,11 +61,13 @@ type t = {
 let max_slots = 8192
 let max_sessions = 256
 let max_job_rate = 64.
-let fault_sites = [ "server.accept"; "server.read"; "server.step" ]
+let fault_sites =
+  [ "server.accept"; "server.read"; "server.step"; "store.append"; "store.cement";
+    "store.recover" ]
 
 let default_daemon =
   { checkpoint_every = None; crash_after = None; audit = None; metrics = true;
-    faults = []; fault_seed = 1 }
+    faults = []; fault_seed = 1; log_dir = false; cement_every = None }
 
 let default_verify = { oracle = true; ratio_bound = 10.; max_injected_retries = 10_000 }
 
@@ -177,6 +181,23 @@ let validate_daemon ~slots ~sessions d =
     | Some (every, sample) ->
         let* () = check_pos ~ctx "audit/every" every in
         check_pos ~ctx "audit/sample" sample
+  in
+  let* () =
+    match d.cement_every with
+    | None -> Ok ()
+    | Some n ->
+        let* () = check_pos ~ctx "cement-every" n in
+        if not d.log_dir then
+          err "%s: (cement-every %d) requires (log-dir true)" ctx n
+        else Ok ()
+  in
+  let* () =
+    let store_fault_armed =
+      List.exists (fun (site, _) -> String.length site >= 6 && String.sub site 0 6 = "store.") d.faults
+    in
+    if store_fault_armed && not d.log_dir then
+      err "%s: store.* fault sites require (log-dir true)" ctx
+    else Ok ()
   in
   let* () =
     let rec go seen = function
@@ -433,7 +454,8 @@ let parse_daemon body =
   let ctx = "daemon" in
   let* get =
     fields ~ctx
-      [ "checkpoint-every"; "crash-after"; "audit"; "metrics"; "faults"; "fault-seed" ]
+      [ "checkpoint-every"; "crash-after"; "audit"; "metrics"; "faults"; "fault-seed";
+        "log-dir"; "cement-every" ]
       body
   in
   let* checkpoint_every = opt_int ~ctx get "checkpoint-every" in
@@ -456,7 +478,11 @@ let parse_daemon body =
     let* v = opt_int ~ctx get "fault-seed" in
     Ok (Option.value v ~default:default_daemon.fault_seed)
   in
-  Ok { checkpoint_every; crash_after; audit; metrics; faults; fault_seed }
+  let* log_dir = opt_bool ~ctx ~default:false get "log-dir" in
+  let* cement_every = opt_int ~ctx get "cement-every" in
+  Ok
+    { checkpoint_every; crash_after; audit; metrics; faults; fault_seed; log_dir;
+      cement_every }
 
 let predictor_names =
   [ "naive"; "seasonal-naive"; "ewma"; "holt"; "holt-winters" ]
@@ -689,7 +715,11 @@ let daemon_to_sexp d =
                    :: List.map
                         (fun (site, plan) -> S.List [ S.Atom site; plan_to_sexp plan ])
                         fs) ]);
-           [ ifield "fault-seed" d.fault_seed ] ])
+           [ ifield "fault-seed" d.fault_seed ];
+           (if d.log_dir then [ bfield "log-dir" true ] else []);
+           (match d.cement_every with
+           | None -> []
+           | Some n -> [ ifield "cement-every" n ]) ])
 
 let race_to_sexp r =
   let name, period =

@@ -74,6 +74,11 @@ type daemon = {
   metrics : bool;                 (** serve and scrape [--metrics-port] *)
   faults : (string * fault_plan) list;  (** site must be in {!fault_sites} *)
   fault_seed : int;
+  log_dir : bool;
+      (** serve with [--log-dir]: incremental-store durability (a
+          [store/] directory inside the scenario workdir) *)
+  cement_every : int option;
+      (** [--cement-every] records; requires [log_dir] *)
 }
 
 type predictor =

@@ -515,7 +515,10 @@ let spawn_config def ~bin ~workdir ~metrics_port ~resume =
     crash_after = (if resume then None else d.Def.crash_after);
     audit = d.Def.audit;
     faults = List.map (fun (site, plan) -> site, Def.plan_to_string plan) d.Def.faults;
-    fault_seed = Some d.Def.fault_seed }
+    fault_seed = Some d.Def.fault_seed;
+    log_dir =
+      (if d.Def.log_dir then Some (Filename.concat workdir "store") else None);
+    cement_every = d.Def.cement_every }
 
 let run ?bin ?workdir def =
   (* A fault-injected daemon drops connections mid-write; turn the

@@ -1,6 +1,8 @@
 module S = Util.Sexp
 module P = Protocol
 
+let ( let* ) = Result.bind
+
 let c_accepts = Obs.Counter.make "server.accepts"
 let c_requests = Obs.Counter.make "server.requests"
 let c_decisions = Obs.Counter.make "server.decisions"
@@ -10,6 +12,7 @@ let c_faults = Obs.Counter.make "server.faults"
 let c_disconnects = Obs.Counter.make "server.disconnects"
 let c_checkpoints = Obs.Counter.make "server.checkpoints"
 let c_sessions = Obs.Counter.make "server.sessions_created"
+let c_store_degraded = Obs.Counter.make "server.store_degraded"
 
 type config = {
   unix_path : string option;
@@ -24,6 +27,8 @@ type config = {
   audit_every : int option;
   audit_sample : int;
   audit_sync : bool;
+  log_dir : string option;
+  cement_every : int;
 }
 
 let default_config =
@@ -38,7 +43,9 @@ let default_config =
     metrics_port = None;
     audit_every = None;
     audit_sample = 4;
-    audit_sync = false }
+    audit_sync = false;
+    log_dir = None;
+    cement_every = 4096 }
 
 type conn = {
   fd : Unix.file_descr;
@@ -46,6 +53,19 @@ type conn = {
   mutable hello_done : bool;
   out : Buffer.t;
   mutable dead : bool;  (* closed after this round's replies are flushed *)
+}
+
+(* State of the incremental store ([--log-dir]): the live tail writer
+   plus daemon-owned telemetry.  [None] means full-snapshot mode —
+   either never configured, or degraded to it after a store failure. *)
+type store_state = {
+  store_dir : string;
+  writer : Store.Log.writer;
+  append_h : Obs.Histogram.t;          (* per-round flush+fsync, us *)
+  cement_h : Obs.Histogram.t;          (* cement duration, us *)
+  mutable chunks : int;                (* cemented chunks on disk *)
+  mutable last_append_at : float;      (* wall clock of last fsync; nan before *)
+  mutable recover_s : float;           (* startup recovery duration, s *)
 }
 
 type t = {
@@ -67,6 +87,7 @@ type t = {
   mutable metrics_conns : Unix.file_descr list;
   start_time : float;
   mutable last_ck_at : float;  (* wall clock of last checkpoint; nan before *)
+  mutable store : store_state option;
 }
 
 let session_count t = Hashtbl.length t.sessions
@@ -109,9 +130,25 @@ let metrics_body t =
           | Some p -> float_of_int (Util.Pool.size p)
           | None -> 0. );
         ("server.uptime_s", [], Unix.gettimeofday () -. t.start_time) ]
-    @ (if Float.is_nan t.last_ck_at then []
-       else
-         [ ("server.checkpoint_age_s", [], Unix.gettimeofday () -. t.last_ck_at) ])
+    @ (* checkpoint-age means "how stale is my durable state": with the
+         incremental store active that is the last fsync'd record, not
+         the last full snapshot. *)
+    (let durable_at =
+       match t.store with
+       | Some st when not (Float.is_nan st.last_append_at) -> st.last_append_at
+       | Some _ | None -> t.last_ck_at
+     in
+     if Float.is_nan durable_at then []
+     else [ ("server.checkpoint_age_s", [], Unix.gettimeofday () -. durable_at) ])
+    @ (match t.store with
+      | None -> []
+      | Some st ->
+          [ ( "store.tail_records",
+              [],
+              float_of_int (Store.Log.records_on_disk st.writer) );
+            ("store.tail_bytes", [], float_of_int (Store.Log.tail_bytes st.writer));
+            ("store.cemented_chunks", [], float_of_int st.chunks);
+            ("store.recovery_s", [], st.recover_s) ])
     @ (match t.audit with Some a -> Audit.gauges a | None -> [])
   in
   (* Distribution of slots fed across live sessions, rebuilt per scrape
@@ -125,6 +162,11 @@ let metrics_body t =
     @ [ ("server.request_latency_us", Obs.Histogram.export t.lat_h);
         ("server.batch_duration_us", Obs.Histogram.export t.batch_h);
         ("server.session_fed_slots", Obs.Histogram.export fed_h) ]
+    @ (match t.store with
+      | None -> []
+      | Some st ->
+          [ ("store.append_latency_us", Obs.Histogram.export st.append_h);
+            ("store.cement_duration_us", Obs.Histogram.export st.cement_h) ])
     @ (match t.audit with Some a -> Audit.histograms a | None -> [])
   in
   Obs.Metrics_export.to_prometheus ~counters ~gauges ~histograms ()
@@ -169,6 +211,230 @@ let restore_sessions t path =
   | Ok (S.Atom _ | S.List _) ->
       Error "daemon: resume: unexpected checkpoint payload"
 
+(* --- the incremental store (--log-dir) ------------------------------ *)
+
+(* A marker left behind when the store degrades mid-run: the log is
+   stale from that point on, so a later resume must not prefer it over
+   the full snapshot.  Removed when the store is re-enabled (rebased)
+   at the next start. *)
+let degraded_marker dir = Filename.concat dir "degraded"
+
+let store_log t r =
+  match t.store with None -> () | Some st -> Store.Log.append st.writer r
+
+(* Give up on the store and fall back to full-snapshot durability:
+   close the tail, leave the degraded marker, and immediately take a
+   snapshot so nothing logged-but-not-snapshotted can be lost. *)
+let store_degrade t why =
+  match t.store with
+  | None -> ()
+  | Some st ->
+      prerr_endline ("daemon: store degraded to full-snapshot mode: " ^ why);
+      (try Out_channel.with_open_bin (degraded_marker st.store_dir) (fun _ -> ())
+       with Sys_error _ -> ());
+      Store.Log.close_writer st.writer;
+      t.store <- None;
+      Obs.Counter.incr c_store_degraded;
+      if t.cfg.checkpoint <> None then
+        match checkpoint_now t with
+        | Ok () -> ()
+        | Error m -> prerr_endline ("daemon: checkpoint failed: " ^ m)
+
+(* Fold the fsync'd tail into the next cemented chunk with the current
+   table as the new base, then truncate the tail.  An injected
+   [store.cement] fault leaves the tail intact — the cement simply
+   retries at the next threshold crossing.  An empty tail only rewrites
+   the base (no empty chunks). *)
+let store_cement_now t st =
+  match Store.Log.read ~path:(Store.Cemented.tail_path ~dir:st.store_dir) with
+  | Error m -> store_degrade t ("cement: " ^ m)
+  | Ok scan -> (
+      let base = table_payload t in
+      let t0 = Obs.Span.now_us () in
+      match
+        if scan.Store.Log.records = [] then
+          Result.map (fun () -> None) (Store.Cemented.write_base ~dir:st.store_dir base)
+        else
+          Result.map Option.some
+            (Store.Cemented.cement ~dir:st.store_dir ~base
+               ~records:scan.Store.Log.records ())
+      with
+      | exception Util.Faultinj.Injected { site; _ } ->
+          Obs.Counter.incr c_faults;
+          Util.Faultinj.recovered site
+      | Error m -> store_degrade t ("cement: " ^ m)
+      | Ok cemented ->
+          Obs.Histogram.observe st.cement_h (Obs.Span.now_us () -. t0);
+          (match cemented with Some _ -> st.chunks <- st.chunks + 1 | None -> ());
+          st.last_append_at <- Unix.gettimeofday ();
+          (match Store.Log.reset st.writer with
+          | Ok () -> ()
+          | Error m -> store_degrade t ("tail reset: " ^ m)))
+
+(* End-of-round durability: one write + fsync for everything this round
+   appended — O(records this round), not O(sessions) — then cement once
+   the tail passes [cement_every] records. *)
+let store_round_end t =
+  (match t.store with
+  | None -> ()
+  | Some st ->
+      if Store.Log.pending st.writer > 0 then begin
+        let t0 = Obs.Span.now_us () in
+        match Store.Log.flush st.writer with
+        | exception Util.Faultinj.Injected { site; _ } ->
+            Obs.Counter.incr c_faults;
+            Util.Faultinj.recovered site;
+            store_degrade t ("injected fault at " ^ site)
+        | Ok () ->
+            Obs.Histogram.observe st.append_h (Obs.Span.now_us () -. t0);
+            st.last_append_at <- Unix.gettimeofday ()
+        | Error m -> store_degrade t ("append: " ^ m)
+      end);
+  match t.store with
+  | Some st when Store.Log.records_on_disk st.writer >= t.cfg.cement_every ->
+      store_cement_now t st
+  | Some _ | None -> ()
+
+(* Rebuild the session table from the store: the base snapshot (the
+   table at the last cement) plus the tail replayed on top.  Replay is
+   idempotent — a tail that overlaps the base (crash between cement and
+   tail truncate) re-answers old slots from each session's history — so
+   every crash point lands on the same state. *)
+let restore_from_store t (r : Store.Cemented.recovery) =
+  let* () =
+    match r.Store.Cemented.base with
+    | None -> Ok ()
+    | Some (S.List (S.Atom "sessions" :: rows)) ->
+        let rec go = function
+          | [] -> Ok ()
+          | row :: rest -> (
+              match Session.of_sexp row with
+              | Ok s ->
+                  Hashtbl.replace t.sessions (Session.id s) s;
+                  go rest
+              | Error m -> Error ("daemon: store base: " ^ m))
+        in
+        go rows
+    | Some (S.Atom _ | S.List _) -> Error "daemon: store base: unexpected payload"
+  in
+  let apply = function
+    | Store.Log.Create { id; scenario; max_horizon; alg; alg_used = _ } ->
+        if Hashtbl.mem t.sessions id then Ok ()
+        else (
+          match Session.create ~id { Session.scenario; max_horizon; alg } with
+          | Ok s ->
+              Hashtbl.replace t.sessions id s;
+              Ok ()
+          | Error (_, m) -> Error (Printf.sprintf "daemon: store: create %s: %s" id m))
+    | Store.Log.Feed { id; seq; loads } -> (
+        match Hashtbl.find_opt t.sessions id with
+        | None -> Error (Printf.sprintf "daemon: store: feed for unknown session %s" id)
+        | Some s -> (
+            match Session.feed s ~seq loads with
+            | Ok _ -> Ok ()
+            | Error (_, m) -> Error (Printf.sprintf "daemon: store: feed %s: %s" id m)))
+    | Store.Log.Close { id } ->
+        Hashtbl.remove t.sessions id;
+        Ok ()
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | rec_ :: rest -> (
+        match apply rec_ with Ok () -> go rest | Error _ as e -> e)
+  in
+  go r.Store.Cemented.tail.Store.Log.records
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+(* Bring the store up at daemon start.  A resume prefers log recovery;
+   it falls back to the snapshot file when the store is empty (log mode
+   newly enabled), marked degraded, unreadable, or when the
+   [store.recover] fault fires — and in every fallback case the
+   restored state is {e rebased}: the current table becomes the new
+   base and the stale tail is truncated, so the log is authoritative
+   again from this round on. *)
+let store_setup t ~dir ~resume =
+  let* () =
+    match mkdir_p dir with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "daemon: store: mkdir %s: %s" dir (Unix.error_message e))
+  in
+  let t0 = Unix.gettimeofday () in
+  let fallback why =
+    (match why with
+    | Some m -> prerr_endline ("daemon: store: " ^ m ^ "; resuming from snapshot")
+    | None -> ());
+    match resume with
+    | Some path when Sys.file_exists path -> restore_sessions t path
+    | Some path ->
+        prerr_endline
+          ("daemon: store: no snapshot at " ^ path ^ "; starting with an empty table");
+        Ok ()
+    | None -> Ok ()
+  in
+  let* from_log =
+    match resume with
+    | None -> Ok false (* fresh epoch: whatever is on disk is history *)
+    | Some _ ->
+        if Sys.file_exists (degraded_marker dir) then
+          let* () = fallback (Some "log was marked degraded") in
+          Ok false
+        else (
+          match Store.Cemented.recover ~dir with
+          | exception Util.Faultinj.Injected { site; _ } ->
+              Obs.Counter.incr c_faults;
+              Util.Faultinj.recovered site;
+              let* () = fallback (Some ("injected fault at " ^ site)) in
+              Ok false
+          | Error m ->
+              let* () = fallback (Some ("recovery failed: " ^ m)) in
+              Ok false
+          | Ok r ->
+              if
+                r.Store.Cemented.base = None
+                && r.Store.Cemented.tail.Store.Log.records = []
+                && r.Store.Cemented.chunks = 0
+              then
+                let* () = fallback None in
+                Ok false
+              else
+                let* () = restore_from_store t r in
+                Ok true)
+  in
+  let* writer, _scan =
+    Result.map_error
+      (fun m -> "daemon: store: " ^ m)
+      (Store.Log.open_writer ~path:(Store.Cemented.tail_path ~dir) ())
+  in
+  let* chunks = Result.map List.length (Store.Cemented.read_index ~dir) in
+  let st =
+    { store_dir = dir;
+      writer;
+      append_h = Obs.Histogram.create ();
+      cement_h = Obs.Histogram.create ();
+      chunks;
+      last_append_at = Float.nan;
+      recover_s = 0. }
+  in
+  t.store <- Some st;
+  let* () =
+    if from_log then Ok ()
+    else begin
+      (* rebase: the table did not come from this log *)
+      let* () = Store.Cemented.write_base ~dir (table_payload t) in
+      let* () = Store.Log.reset writer in
+      (try Sys.remove (degraded_marker dir) with Sys_error _ -> ());
+      Ok ()
+    end
+  in
+  st.recover_s <- Unix.gettimeofday () -. t0;
+  Ok ()
+
 (* --- request execution --------------------------------------------- *)
 
 let err ?fed code msg = P.Error { code; msg; fed }
@@ -207,6 +473,10 @@ let exec_control t (req : P.request) : P.response =
               | Ok s ->
                   Hashtbl.replace t.sessions id s;
                   Obs.Counter.incr c_sessions;
+                  store_log t
+                    (Store.Log.Create
+                       { id; scenario; max_horizon; alg;
+                         alg_used = Session.alg s });
                   P.Session
                     { id; alg = Session.alg s; types = Session.num_types s;
                       fed = 0 }))
@@ -219,6 +489,7 @@ let exec_control t (req : P.request) : P.response =
   | P.Close { id } ->
       if Hashtbl.mem t.sessions id then begin
         Hashtbl.remove t.sessions id;
+        store_log t (Store.Log.Close { id });
         P.Closed { id }
       end
       else err P.Unknown_session ("no session " ^ id)
@@ -355,7 +626,21 @@ let process_round t items =
     Array.iteri (fun k s -> fresh := !fresh + Session.fed s - before.(k)) sess;
     Obs.Counter.add c_decisions !fresh;
     t.stepped <- t.stepped + !fresh;
-    t.since_ck <- t.since_ck + !fresh
+    t.since_ck <- t.since_ck + !fresh;
+    (* One feed record per session per round, carrying only the slots
+       freshly stepped this round — the O(delta) append. *)
+    if t.store <> None then
+      Array.iteri
+        (fun k s ->
+          let fed = Session.fed s in
+          if fed > before.(k) then
+            let loads = Session.loads s in
+            store_log t
+              (Store.Log.Feed
+                 { id = Session.id s;
+                   seq = before.(k);
+                   loads = Array.sub loads before.(k) (fed - before.(k)) }))
+        sess
   end;
   (* late: snapshot / close / shutdown *)
   List.iter
@@ -366,6 +651,7 @@ let process_round t items =
       | None, Ok _ -> it.reply <- Some (err P.Internal "unhandled request")
       | _ -> ())
     items;
+  store_round_end t;
   match t.audit with
   | None -> ()
   | Some a ->
@@ -395,13 +681,12 @@ let bind_tcp port =
   Unix.listen fd 64;
   fd
 
-let ( let* ) = Result.bind
-
 let create ?resume cfg =
   if cfg.unix_path = None && cfg.tcp_port = None then
     Error "daemon: configure at least one of unix_path / tcp_port"
   else if cfg.checkpoint_every < 1 then
     Error "daemon: checkpoint_every must be >= 1"
+  else if cfg.cement_every < 1 then Error "daemon: cement_every must be >= 1"
   else begin
     let t =
       { cfg;
@@ -417,7 +702,8 @@ let create ?resume cfg =
         metrics_listener = None;
         metrics_conns = [];
         start_time = Unix.gettimeofday ();
-        last_ck_at = Float.nan }
+        last_ck_at = Float.nan;
+        store = None }
     in
     (match cfg.audit_every with
     | Some every ->
@@ -428,7 +714,10 @@ let create ?resume cfg =
                ())
     | None -> ());
     let* () =
-      match resume with None -> Ok () | Some path -> restore_sessions t path
+      match cfg.log_dir with
+      | Some dir -> store_setup t ~dir ~resume
+      | None -> (
+          match resume with None -> Ok () | Some path -> restore_sessions t path)
     in
     match
       (let ls = ref [] in
@@ -626,19 +915,30 @@ let run t =
             prerr_endline "daemon: crash-after-slots reached; dying without checkpoint";
             exit 3
         | _ -> ());
+        (* With the store active, per-round durability is the log flush
+           in [store_round_end]; the periodic full-table rewrite is
+           exactly the O(sessions) cost the store exists to avoid. *)
         if
-          t.cfg.checkpoint <> None
+          t.store = None
+          && t.cfg.checkpoint <> None
           && t.since_ck >= t.cfg.checkpoint_every
         then
           match checkpoint_now t with
           | Ok () -> ()
           | Error m -> prerr_endline ("daemon: checkpoint failed: " ^ m)
   done;
+  (* Graceful stop: cement what the log holds, then (when configured)
+     write the full snapshot too — it stays the fallback, and the
+     equivalence tests restore the same state through both paths. *)
+  (match t.store with Some st -> store_cement_now t st | None -> ());
   (match t.cfg.checkpoint with
   | Some _ -> (
       match checkpoint_now t with
       | Ok () -> ()
       | Error m -> prerr_endline ("daemon: final checkpoint failed: " ^ m))
+  | None -> ());
+  (match t.store with
+  | Some st -> Store.Log.close_writer st.writer
   | None -> ());
   export_latency t;
   (match t.audit with Some a -> Audit.stop a | None -> ());

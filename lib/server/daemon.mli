@@ -25,13 +25,31 @@
     shutdown; [create ~resume] reloads it, and every restored session
     continues decision-for-decision identically.
 
+    With [log_dir] set, durability switches to the incremental store
+    ({!Store.Log} / {!Store.Cemented}): every round appends one record
+    per state transition and fsyncs once, so per-round durability work
+    is O(records that round) instead of the snapshot's O(sessions);
+    once the tail passes [cement_every] records it is folded into an
+    immutable chunk with the table as the new base.  [create ~resume]
+    then {e prefers} log recovery (base + tail replay — bit-identical
+    to the snapshot path) and falls back to the snapshot when the
+    store is empty, marked degraded, or fails; any store failure at
+    runtime degrades the daemon back to full-snapshot mode after an
+    immediate checkpoint.  The periodic full-table snapshot is skipped
+    while the store is active; the graceful-stop snapshot still runs,
+    keeping the fallback file fresh.
+
     Fault sites ({!Util.Faultinj}): [server.accept] (the incoming
     connection is accepted and immediately closed), [server.read] (the
     connection is dropped; its sessions survive), [server.step] (the
     faulted session's frames in that round are answered with an
     [injected] error before any state changes, so the client can
     simply re-send).  All three degrade the one connection or round —
-    the daemon never dies.
+    the daemon never dies.  The store adds [store.append] (the round's
+    flush tears and the daemon degrades to snapshot mode),
+    [store.cement] (a torn [chunk-*.store.tmp] orphan is left and the
+    cement retries at the next threshold crossing) and [store.recover]
+    (resume falls back to the snapshot path).
 
     Telemetry ({!Obs.Counter}, [server.] prefix): [server.accepts],
     [server.requests], [server.decisions], [server.batches],
@@ -64,13 +82,19 @@ type config = {
   audit_sync : bool;
       (** run audits inline instead of on the worker thread —
           deterministic for tests *)
+  log_dir : string option;
+      (** directory for the incremental store (tail log + cemented
+          chunks); [None] keeps full-snapshot durability *)
+  cement_every : int;
+      (** fold the tail into a cemented chunk once it holds this many
+          fsync'd records *)
 }
 
 val default_config : config
 (** No listeners, no pool, no checkpointing, no metrics port, no
     auditing ([audit_sample = 4]), [checkpoint_every = 64],
     [max_frame_bytes = Codec.default_max_frame_bytes],
-    [max_sessions = 1024]. *)
+    [max_sessions = 1024], no [log_dir], [cement_every = 4096]. *)
 
 type t
 

@@ -9,6 +9,8 @@ type config = {
   audit : (int * int) option;
   faults : (string * string) list;
   fault_seed : int option;
+  log_dir : string option;
+  cement_every : int option;
   log : string;
   extra_args : string list;
 }
@@ -16,7 +18,7 @@ type config = {
 let config ~bin ~sock ~log =
   { bin; sock; metrics_port = None; checkpoint = None; checkpoint_every = None;
     resume = None; crash_after = None; audit = None; faults = []; fault_seed = None;
-    log; extra_args = [] }
+    log_dir = None; cement_every = None; log; extra_args = [] }
 
 type t = {
   cfg : config;
@@ -60,9 +62,31 @@ let argv cfg =
             "--audit-sample"; string_of_int sample ]);
       List.concat_map (fun (site, plan) -> [ "--fault"; site ^ "=" ^ plan ]) cfg.faults;
       int_opt "--fault-seed" cfg.fault_seed;
+      opt "--log-dir" cfg.log_dir;
+      int_opt "--cement-every" cfg.cement_every;
       cfg.extra_args ]
 
+(* A killed daemon can leave torn [*.tmp] files behind — a snapshot
+   rename that never happened, or an injected [store.cement] crash's
+   orphaned chunk.  They are never valid state, and in a reused workdir
+   a stale partial file is a trap for any later scan, so sweep them
+   before every (re)spawn. *)
+let clean_orphans cfg =
+  let rm path = try Sys.remove path with Sys_error _ -> () in
+  (match cfg.checkpoint with Some p -> rm (p ^ ".tmp") | None -> ());
+  match cfg.log_dir with
+  | None -> ()
+  | Some dir -> (
+      match Sys.readdir dir with
+      | exception Sys_error _ -> ()
+      | entries ->
+          Array.iter
+            (fun name ->
+              if Filename.check_suffix name ".tmp" then rm (Filename.concat dir name))
+            entries)
+
 let start cfg =
+  clean_orphans cfg;
   match
     let logfd =
       Unix.openfile cfg.log [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644

@@ -28,6 +28,8 @@ type config = {
       (** [(site, plan)] pairs passed as [--fault site=plan]; plan
           syntax is [nth:N], [every:N] or [prob:P] *)
   fault_seed : int option;
+  log_dir : string option;        (** --log-dir: the incremental store *)
+  cement_every : int option;
   log : string;                   (** stdout+stderr capture file *)
   extra_args : string list;
 }
@@ -38,7 +40,11 @@ val config : bin:string -> sock:string -> log:string -> config
 type t
 
 val start : config -> (t, string) result
-(** Fork/exec [bin serve ...].  The daemon is not yet ready — call
+(** Fork/exec [bin serve ...].  Before forking, orphaned [*.tmp] files
+    a killed daemon may have left (the checkpoint's, and any in
+    [log_dir] — torn snapshot renames, injected-crash chunk orphans)
+    are removed, so a respawn in a reused workdir can never trip over a
+    stale partial file.  The daemon is not yet ready — call
     {!wait_ready}. *)
 
 val pid : t -> int

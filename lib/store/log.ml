@@ -1,0 +1,291 @@
+module S = Util.Sexp
+
+let c_appends = Obs.Counter.make "store.appends"
+let c_flushes = Obs.Counter.make "store.flushes"
+let c_truncations = Obs.Counter.make "store.truncated_tails"
+
+type record =
+  | Create of {
+      id : string;
+      scenario : string;
+      max_horizon : int option;
+      alg : string option;
+      alg_used : string;
+    }
+  | Feed of { id : string; seq : int; loads : float array }
+  | Close of { id : string }
+
+(* Free-form strings (ids, scenario names, alg tags) travel through the
+   same percent-escape the wire protocol uses, so a record payload is
+   always a clean sexp atom however hostile the input.  Local copy
+   rather than Server.Protocol.quote: the server depends on this
+   library, not the other way round. *)
+let needs_escape c =
+  match c with
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '%' -> true
+  | c -> Char.code c < 0x20 || Char.code c > 0x7E
+
+let quote s =
+  if s = "" then "%"
+  else if String.exists needs_escape s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if needs_escape c then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let unquote s =
+  if s = "%" then ""
+  else if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let hex c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] <> '%' then Buffer.add_char buf s.[!i]
+       else if !i + 2 < n then begin
+         match (hex s.[!i + 1], hex s.[!i + 2]) with
+         | Some hi, Some lo ->
+             Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+             i := !i + 2
+         | _ -> Buffer.add_char buf '?'
+       end
+       else Buffer.add_char buf '?');
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+(* --- record codec ---------------------------------------------------- *)
+
+let str_field k v = S.List [ S.Atom k; S.Atom (quote v) ]
+let int_field k v = S.List [ S.Atom k; S.Atom (string_of_int v) ]
+
+let record_to_sexp = function
+  | Create { id; scenario; max_horizon; alg; alg_used } ->
+      S.List
+        (S.Atom "create" :: str_field "id" id :: str_field "scenario" scenario
+        :: ((match max_horizon with
+            | None -> []
+            | Some h -> [ int_field "max-horizon" h ])
+           @ (match alg with None -> [] | Some a -> [ str_field "alg" a ])
+           @ [ str_field "alg-used" alg_used ]))
+  | Feed { id; seq; loads } ->
+      S.List
+        [ S.Atom "feed"; str_field "id" id; int_field "seq" seq;
+          Util.Snapshot.float_array_field "loads" loads ]
+  | Close { id } -> S.List [ S.Atom "close"; str_field "id" id ]
+
+let ( let* ) = Result.bind
+
+let record_of_sexp sexp =
+  let str fields name =
+    match S.assoc name fields with
+    | Some [ S.Atom a ] -> Ok (unquote a)
+    | Some _ | None -> Error (Printf.sprintf "record: missing field %s" name)
+  in
+  match sexp with
+  | S.List (S.Atom "create" :: fields) ->
+      let* id = str fields "id" in
+      let* scenario = str fields "scenario" in
+      let* max_horizon =
+        match S.assoc "max-horizon" fields with
+        | None -> Ok None
+        | Some _ ->
+            Result.map Option.some (Util.Snapshot.int_of_field fields "max-horizon")
+      in
+      let* alg =
+        match S.assoc "alg" fields with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (str fields "alg")
+      in
+      let* alg_used = str fields "alg-used" in
+      Ok (Create { id; scenario; max_horizon; alg; alg_used })
+  | S.List (S.Atom "feed" :: fields) ->
+      let* id = str fields "id" in
+      let* seq = Util.Snapshot.int_of_field fields "seq" in
+      let* loads = Util.Snapshot.floats_of_field fields "loads" in
+      Ok (Feed { id; seq; loads })
+  | S.List (S.Atom "close" :: fields) ->
+      let* id = str fields "id" in
+      Ok (Close { id })
+  | S.List (S.Atom k :: _) -> Error ("record: unknown kind " ^ k)
+  | S.Atom _ | S.List _ -> Error "record: unexpected payload shape"
+
+(* --- framing ---------------------------------------------------------- *)
+
+(* One record per frame: `<len> <crc64> <payload>\n` where [len] is the
+   byte length of [payload] and [crc64] is Util.Snapshot's FNV-1a digest
+   of it — the same checksum discipline as the snapshot container, in a
+   length-prefixed form that makes the torn tail of a crashed append
+   detectable byte-for-byte. *)
+let frame payload =
+  Printf.sprintf "%d %s %s\n" (String.length payload) (Util.Snapshot.fnv1a64 payload)
+    payload
+
+let encode r = frame (S.to_string (record_to_sexp r))
+
+type scan = {
+  records : record list;  (** every complete, checksummed record, in order *)
+  clean_bytes : int;      (** file offset after the last good record *)
+  torn_bytes : int;       (** trailing bytes dropped by the scan *)
+}
+
+(* Scan the tail text.  The first incomplete, malformed or
+   checksum-failing frame ends the clean prefix; everything after it is
+   the torn tail a crashed append (or an injected store.append fault)
+   left behind. *)
+let scan_string text =
+  let n = String.length text in
+  let records = ref [] in
+  let clean = ref 0 in
+  let torn = ref false in
+  while (not !torn) && !clean < n do
+    let start = !clean in
+    let fail () = torn := true in
+    match String.index_from_opt text start ' ' with
+    | None -> fail ()
+    | Some sp1 -> (
+        match int_of_string_opt (String.sub text start (sp1 - start)) with
+        | None -> fail ()
+        | Some len when len < 0 -> fail ()
+        | Some len -> (
+            match String.index_from_opt text (sp1 + 1) ' ' with
+            | None -> fail ()
+            | Some sp2 ->
+                let crc = String.sub text (sp1 + 1) (sp2 - sp1 - 1) in
+                let payload_start = sp2 + 1 in
+                let stop = payload_start + len in
+                if stop >= n + 1 || stop + 1 > n then fail ()
+                else if text.[stop] <> '\n' then fail ()
+                else begin
+                  let payload = String.sub text payload_start len in
+                  if Util.Snapshot.fnv1a64 payload <> crc then fail ()
+                  else
+                    match S.parse payload with
+                    | Error _ -> fail ()
+                    | Ok sexp -> (
+                        match record_of_sexp sexp with
+                        | Error _ -> fail ()
+                        | Ok r ->
+                            records := r :: !records;
+                            clean := stop + 1)
+                end))
+  done;
+  { records = List.rev !records; clean_bytes = !clean; torn_bytes = n - !clean }
+
+let read ~path =
+  if not (Sys.file_exists path) then
+    Ok { records = []; clean_bytes = 0; torn_bytes = 0 }
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error m -> Error m
+    | text -> Ok (scan_string text)
+
+(* --- the append-only writer ------------------------------------------ *)
+
+type writer = {
+  path : string;
+  fd : Unix.file_descr;
+  sync : bool;
+  buf : Buffer.t;
+  mutable pending : int;  (* records buffered, not yet flushed *)
+  mutable records : int;  (* records durably on disk (after recovery) *)
+  mutable bytes : int;    (* clean bytes on disk *)
+}
+
+(* Open for appending, truncating any torn tail the scan found so the
+   next append starts at a record boundary. *)
+let open_writer ?(sync = true) ~path () =
+  match read ~path with
+  | Error m -> Error m
+  | Ok scan -> (
+      match Unix.openfile path [ O_WRONLY; O_CREAT; O_CLOEXEC ] 0o644 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "open %s: %s" path (Unix.error_message e))
+      | fd ->
+          if scan.torn_bytes > 0 then begin
+            Unix.ftruncate fd scan.clean_bytes;
+            Obs.Counter.incr c_truncations
+          end;
+          ignore (Unix.lseek fd scan.clean_bytes Unix.SEEK_SET);
+          Ok
+            ( { path; fd; sync; buf = Buffer.create 4096; pending = 0;
+                records = List.length scan.records; bytes = scan.clean_bytes },
+              scan ))
+
+let append w r =
+  Buffer.add_string w.buf (encode r);
+  w.pending <- w.pending + 1;
+  Obs.Counter.incr c_appends
+
+let pending w = w.pending
+let records_on_disk w = w.records
+let tail_bytes w = w.bytes + Buffer.length w.buf
+
+let write_all fd s off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd s off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+(* Flush the buffered records and (by default) fsync.  Fault site
+   [store.append]: simulates a crash mid-append by writing a torn half
+   of the pending bytes straight to the file and raising
+   {!Util.Faultinj.Injected} — exactly the tail {!read} must truncate. *)
+let flush w =
+  if w.pending = 0 then Ok ()
+  else begin
+    let text = Buffer.contents w.buf in
+    match Util.Faultinj.check "store.append" with
+    | Some f ->
+        (try write_all w.fd text 0 (String.length text / 2)
+         with Unix.Unix_error _ -> ());
+        raise (Util.Faultinj.Injected f)
+    | None -> (
+        match
+          write_all w.fd text 0 (String.length text);
+          if w.sync then Unix.fsync w.fd
+        with
+        | () ->
+            w.bytes <- w.bytes + String.length text;
+            w.records <- w.records + w.pending;
+            w.pending <- 0;
+            Buffer.clear w.buf;
+            Obs.Counter.incr c_flushes;
+            Ok ()
+        | exception Unix.Unix_error (e, fn, _) ->
+            Error (Printf.sprintf "%s %s: %s" fn w.path (Unix.error_message e)))
+  end
+
+(* Drop everything on disk (after the records were folded into a
+   cemented chunk) and keep appending from offset 0. *)
+let reset w =
+  Buffer.clear w.buf;
+  w.pending <- 0;
+  match
+    Unix.ftruncate w.fd 0;
+    ignore (Unix.lseek w.fd 0 Unix.SEEK_SET)
+  with
+  | () ->
+      w.records <- 0;
+      w.bytes <- 0;
+      Ok ()
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s %s: %s" fn w.path (Unix.error_message e))
+
+let close_writer w = try Unix.close w.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,201 @@
+module S = Util.Sexp
+
+(* --- trace reconstruction --------------------------------------------- *)
+
+type trace = {
+  id : string;
+  scenario : string;
+  max_horizon : int option;
+  alg : string option;
+  alg_used : string;
+  loads : float array;
+  closed : bool;
+}
+
+type building = {
+  t_id : string;
+  t_scenario : string;
+  t_max_horizon : int option;
+  t_alg : string option;
+  t_alg_used : string;
+  buf : Buffer.t;  (* loads, 8 bytes each, little-endian *)
+  mutable n : int;
+  mutable t_closed : bool;
+}
+
+let push b x =
+  Buffer.add_int64_le b.buf (Int64.bits_of_float x);
+  b.n <- b.n + 1
+
+let finish b =
+  let bytes = Buffer.contents b.buf in
+  let loads =
+    Array.init b.n (fun i -> Int64.float_of_bits (String.get_int64_le bytes (i * 8)))
+  in
+  {
+    id = b.t_id;
+    scenario = b.t_scenario;
+    max_horizon = b.t_max_horizon;
+    alg = b.t_alg;
+    alg_used = b.t_alg_used;
+    loads;
+    closed = b.t_closed;
+  }
+
+(* Fold a record stream into per-session traces.  The stream may
+   contain overlaps — a tail that was never truncated after a cement
+   replays records already folded into a chunk — so a duplicate
+   [Create] is ignored and a [Feed] whose [seq] lands inside the
+   already-reconstructed history contributes only its fresh suffix,
+   mirroring the idempotence of [Session.feed] itself.  A [seq] {e
+   beyond} the history is real corruption (a lost record) and fails the
+   fold. *)
+let traces_of_records records =
+  let tbl : (string, building) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let fold = function
+    | Log.Create { id; scenario; max_horizon; alg; alg_used } ->
+        if not (Hashtbl.mem tbl id) then begin
+          Hashtbl.replace tbl id
+            {
+              t_id = id;
+              t_scenario = scenario;
+              t_max_horizon = max_horizon;
+              t_alg = alg;
+              t_alg_used = alg_used;
+              buf = Buffer.create 256;
+              n = 0;
+              t_closed = false;
+            };
+          order := id :: !order
+        end;
+        Ok ()
+    | Log.Feed { id; seq; loads } -> (
+        match Hashtbl.find_opt tbl id with
+        | None -> Error (Printf.sprintf "feed for unknown session %s" id)
+        | Some b ->
+            if seq > b.n then
+              Error
+                (Printf.sprintf "session %s: feed seq %d leaves a gap after %d slots" id
+                   seq b.n)
+            else begin
+              let skip = b.n - seq in
+              for i = skip to Array.length loads - 1 do
+                push b loads.(i)
+              done;
+              Ok ()
+            end)
+    | Log.Close { id } ->
+        (match Hashtbl.find_opt tbl id with
+        | None -> ()
+        | Some b -> b.t_closed <- true);
+        Ok ()
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | r :: rest -> ( match fold r with Ok () -> go rest | Error _ as e -> e)
+  in
+  match go records with
+  | Error _ as e -> e
+  | Ok () -> Ok (List.rev_map (fun id -> finish (Hashtbl.find tbl id)) !order)
+
+let traces ~dir =
+  match Cemented.read_all ~dir with
+  | Error _ as e -> e
+  | Ok records -> traces_of_records records
+
+(* --- re-running -------------------------------------------------------- *)
+
+(* The instance a recorded session implicitly solved: the scenario's
+   types and costs over the {e observed} loads, cost clamped into the
+   scenario horizon — the same reconstruction the scenario runner and
+   the daemon's shadow oracle perform. *)
+let instance ~scenario ~loads =
+  match Sim.Scenarios.by_name scenario with
+  | None -> Error (Printf.sprintf "unknown base scenario %s" scenario)
+  | Some mk ->
+      let base = mk None in
+      let horizon = Model.Instance.horizon base in
+      let clamp time = min time (horizon - 1) in
+      let cost ~time ~typ = base.Model.Instance.cost ~time:(clamp time) ~typ in
+      Ok (Model.Instance.make ~types:base.Model.Instance.types ~load:loads ~cost ())
+
+type row = {
+  r_id : string;
+  r_scenario : string;
+  slots : int;
+  old_alg : string;
+  new_alg : string;
+  old_cost : float;
+  new_cost : float;
+  opt_cost : float;
+  old_ratio : float;
+  new_ratio : float;
+}
+
+type report = { rows : row list; failures : (string * string) list }
+
+let ratio ~cost ~opt = if opt > 0. then Float.max 1. (cost /. opt) else 1.
+
+(* Re-run every recorded session (or just [session]) through [run] —
+   once under the alg the daemon actually served, once under [alg] when
+   given — and race both against the exact offline optimum.  [run] is
+   supplied by the caller (the CLI passes a [Server.Session]-backed
+   runner, so "old" decisions are reproduced by the very code path that
+   produced them); this library stays below the server in the
+   dependency order. *)
+let replay ~run ?alg ?session ~dir () =
+  match traces ~dir with
+  | Error _ as e -> e
+  | Ok all ->
+      let selected =
+        match session with
+        | None -> all
+        | Some id -> List.filter (fun t -> t.id = id) all
+      in
+      if selected = [] then
+        Error
+          (match session with
+          | Some id -> Printf.sprintf "no recorded session %s" id
+          | None -> "the store holds no sessions")
+      else begin
+        let rows = ref [] and failures = ref [] in
+        List.iter
+          (fun t ->
+            let fail msg = failures := (t.id, msg) :: !failures in
+            if Array.length t.loads = 0 then fail "no slots fed"
+            else
+              match instance ~scenario:t.scenario ~loads:t.loads with
+              | Error m -> fail m
+              | Ok inst -> (
+                  let opt = (Offline.Dp.solve_optimal inst).Offline.Dp.cost in
+                  match run ~scenario:t.scenario ~alg:t.alg_used ~loads:t.loads with
+                  | Error m -> fail (Printf.sprintf "old alg %s: %s" t.alg_used m)
+                  | Ok old_decisions -> (
+                      let old_cost = Model.Cost.schedule inst old_decisions in
+                      let new_alg = Option.value alg ~default:t.alg_used in
+                      let new_result =
+                        if new_alg = t.alg_used then Ok old_decisions
+                        else run ~scenario:t.scenario ~alg:new_alg ~loads:t.loads
+                      in
+                      match new_result with
+                      | Error m -> fail (Printf.sprintf "new alg %s: %s" new_alg m)
+                      | Ok new_decisions ->
+                          let new_cost = Model.Cost.schedule inst new_decisions in
+                          rows :=
+                            {
+                              r_id = t.id;
+                              r_scenario = t.scenario;
+                              slots = Array.length t.loads;
+                              old_alg = t.alg_used;
+                              new_alg;
+                              old_cost;
+                              new_cost;
+                              opt_cost = opt;
+                              old_ratio = ratio ~cost:old_cost ~opt;
+                              new_ratio = ratio ~cost:new_cost ~opt;
+                            }
+                            :: !rows)))
+          selected;
+        Ok { rows = List.rev !rows; failures = List.rev !failures }
+      end

@@ -47,6 +47,12 @@ val default_max_bytes : int
     this repo writes, but a hard ceiling so a corrupt or malicious
     snapshot cannot trigger an unbounded allocation. *)
 
+val fnv1a64 : string -> string
+(** The container's checksum: FNV-1a 64-bit, rendered as 16 lowercase
+    hex digits.  Exposed so other persistence layers (the append-only
+    session log in [Store.Log]) can frame their records with the same
+    digest discipline. *)
+
 val float_atom : float -> Sexp.t
 (** Bit-exact float encoding ([%h]; [infinity] and [nan] spelled out). *)
 

@@ -1,0 +1,28 @@
+; Crash/resume through the incremental store: the daemon serves with
+; --log-dir (per-round fsync'd decision log, cemented every 12 records)
+; instead of periodic full-table snapshots.  The first cement attempt
+; dies mid-compaction (store.cement nth:1 leaves a torn chunk-*.tmp
+; orphan); the retry succeeds; then a hard crash (exit 3) after 160
+; steps forces a respawn with --resume, which recovers from base + tail
+; and must answer the re-fed slots bit-identically to the pre-crash
+; decisions — the same assertion crash_resume makes of the snapshot
+; path.
+(scenario
+  (name crash-resume-log)
+  (description Log-mode crash resume: mid-cement fault then hard crash recovered from base plus tail)
+  (base cpu-gpu)
+  (slots 120)
+  (sessions 4)
+  (batch 10)
+  (seed 71)
+  (workload
+    (mmpp (low 0.08) (high 0.45) (switch-prob 0.08) (jitter 0.03))
+    (clamp (lo 0) (hi 0.9)))
+  (daemon
+    (metrics false)
+    (checkpoint-every 20)
+    (crash-after 160)
+    (log-dir true)
+    (cement-every 12)
+    (faults (store.cement (nth 1))))
+  (verify (oracle true) (ratio-bound 5.0)))

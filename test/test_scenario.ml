@@ -85,11 +85,20 @@ let random_daemon rng ~slots ~sessions =
         Some (dur rng (slots * sessions - 1))
     | _ -> None
   in
+  let log_dir = Prng.int rng 2 = 0 in
+  let faults =
+    (* store.* sites are only valid with (log-dir true) *)
+    List.filter
+      (fun (site, _) -> log_dir || not (String.starts_with ~prefix:"store." site))
+      (random_faults rng)
+  in
   { Def.checkpoint_every; crash_after;
     audit = (if Prng.int rng 2 = 0 then Some (dur rng 100, dur rng 4) else None);
     metrics = Prng.int rng 2 = 0;
-    faults = random_faults rng;
-    fault_seed = Prng.int rng 100 }
+    faults;
+    fault_seed = Prng.int rng 100;
+    log_dir;
+    cement_every = (if log_dir && Prng.int rng 2 = 0 then Some (dur rng 200) else None) }
 
 let random_predictor rng =
   match Prng.int rng 5 with
